@@ -1,0 +1,44 @@
+//! E9 benchmarks: per-churn-event maintenance cost of the three routing
+//! knowledge structures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqpeer::prelude::*;
+use sqpeer::routing::{PathIndex, TripleIndexCost};
+use sqpeer::rvl::ActiveSchema;
+use sqpeer_testkit::{community_schema, populate, DataSpec, SchemaSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let schema = community_schema(SchemaSpec::default(), 8);
+    let props: Vec<PropertyId> = schema.properties().take(3).collect();
+    let mut base = DescriptionBase::new(schema.clone());
+    let mut rng = StdRng::seed_from_u64(9);
+    populate(
+        &mut base,
+        &props,
+        DataSpec { triples_per_property: 100, class_pool: 50 },
+        &mut rng,
+    );
+    let active = ActiveSchema::of_base(&base);
+
+    c.bench_function("e9/derive_advertisement", |b| {
+        b.iter(|| black_box(ActiveSchema::of_base(&base)))
+    });
+
+    c.bench_function("e9/path_index_join_leave", |b| {
+        b.iter(|| {
+            let mut idx = PathIndex::new(3);
+            idx.index_peer(PeerId(1), &active, &schema);
+            black_box(idx.remove_peer(PeerId(1)))
+        })
+    });
+
+    c.bench_function("e9/triple_index_cost_model", |b| {
+        b.iter(|| black_box(TripleIndexCost::join_cost(black_box(base.triple_count()))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

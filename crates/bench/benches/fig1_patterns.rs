@@ -1,0 +1,39 @@
+//! E1 (Figure 1) microbenchmarks: RQL compilation and pattern extraction,
+//! RVL view resolution and active-schema derivation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqpeer::prelude::*;
+use sqpeer_testkit::fixtures::{fig1_query_text, fig1_schema};
+use sqpeer_testkit::{community_schema, SchemaSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let schema = fig1_schema();
+
+    c.bench_function("fig1/compile_query", |b| {
+        b.iter(|| black_box(compile(black_box(fig1_query_text()), &schema).unwrap()))
+    });
+
+    let view_text = "VIEW n1:C5(X), n1:prop4(X,Y), n1:C6(Y) FROM {X}n1:prop4{Y}";
+    c.bench_function("fig1/resolve_view", |b| {
+        b.iter(|| black_box(ViewDefinition::parse(black_box(view_text), &schema).unwrap()))
+    });
+
+    let view = ViewDefinition::parse(view_text, &schema).unwrap();
+    c.bench_function("fig1/derive_active_schema", |b| {
+        b.iter(|| black_box(view.active_schema()))
+    });
+
+    // Schema-construction cost (subsumption closures) at a realistic size.
+    c.bench_function("fig1/build_schema_60_classes", |b| {
+        b.iter(|| {
+            black_box(community_schema(
+                SchemaSpec { chain_classes: 20, subclasses_per_class: 2, subproperty_fraction: 0.5 },
+                7,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

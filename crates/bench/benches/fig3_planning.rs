@@ -1,0 +1,65 @@
+//! E3 (Figure 3) benchmarks: the Query-Processing Algorithm (plan
+//! generation) for growing pattern counts and peer fan-outs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqpeer::plan::generate_plan;
+use sqpeer::prelude::*;
+use sqpeer::routing::RoutingPolicy;
+use sqpeer::rvl::{ActiveProperty, ActiveSchema};
+use sqpeer_testkit::{chain_properties, chain_query_text, community_schema, SchemaSpec};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Advertisements where every peer can answer every property.
+fn full_ads(schema: &Arc<Schema>, peers: usize) -> Vec<Advertisement> {
+    let arcs: Vec<ActiveProperty> = schema
+        .properties()
+        .map(|p| {
+            let def = schema.property(p);
+            ActiveProperty {
+                property: p,
+                domain: def.domain,
+                range: match def.range {
+                    Range::Class(c) => Some(c),
+                    Range::Literal(_) => None,
+                },
+            }
+        })
+        .collect();
+    (0..peers)
+        .map(|i| {
+            Advertisement::new(
+                PeerId(i as u32 + 1),
+                ActiveSchema::new(Arc::clone(schema), [], arcs.clone()),
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let schema = community_schema(
+        SchemaSpec { chain_classes: 9, subclasses_per_class: 0, subproperty_fraction: 0.0 },
+        3,
+    );
+
+    let mut group = c.benchmark_group("fig3/generate_plan");
+    for patterns in [2usize, 4, 8] {
+        for peers in [4usize, 16, 64] {
+            let chain = chain_properties(&schema, patterns)
+                .into_iter()
+                .next()
+                .expect("chain exists");
+            let query = compile(&chain_query_text(&schema, &chain), &schema).unwrap();
+            let annotated = route(&query, &full_ads(&schema, peers), RoutingPolicy::SubsumedOnly);
+            group.bench_with_input(
+                BenchmarkId::new(format!("patterns{patterns}"), peers),
+                &peers,
+                |b, _| b.iter(|| black_box(generate_plan(&annotated))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

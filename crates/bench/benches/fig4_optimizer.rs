@@ -1,0 +1,59 @@
+//! E4 (Figure 4) benchmarks: the optimisation pipeline — join/union
+//! distribution, TR1/TR2 merging, and the full cost-based `optimize`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqpeer::plan::{
+    distribute_joins, flatten_joins, generate_plan, merge_same_peer, optimize, CostParams,
+    Estimator, UniformCost,
+};
+use sqpeer::prelude::*;
+use sqpeer::routing::RoutingPolicy;
+use sqpeer::rvl::ActiveSchema;
+use sqpeer_testkit::fixtures::{base_with, fig1_query_text, fig1_schema};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let schema = fig1_schema();
+    let query = compile(fig1_query_text(), &schema).unwrap();
+    let profiles: [&[(&str, &str, &str)]; 4] = [
+        &[("http://a", "prop1", "http://b"), ("http://b", "prop2", "http://c")],
+        &[("http://a", "prop1", "http://b")],
+        &[("http://b", "prop2", "http://c")],
+        &[("http://a", "prop4", "http://b"), ("http://b", "prop2", "http://c")],
+    ];
+    let bases: Vec<DescriptionBase> =
+        profiles.iter().map(|p| base_with(&schema, p)).collect();
+    let ads: Vec<Advertisement> = bases
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            Advertisement::new(PeerId(i as u32 + 1), ActiveSchema::of_base(b))
+                .with_stats(b.statistics())
+        })
+        .collect();
+    let annotated = route(&query, &ads, RoutingPolicy::SubsumedOnly);
+    let plan1 = generate_plan(&annotated);
+
+    c.bench_function("fig4/distribute_joins", |b| {
+        b.iter(|| black_box(distribute_joins(flatten_joins(plan1.clone()))))
+    });
+
+    let plan2 = distribute_joins(flatten_joins(plan1.clone()));
+    c.bench_function("fig4/merge_same_peer", |b| {
+        b.iter(|| black_box(merge_same_peer(flatten_joins(plan2.clone()))))
+    });
+
+    let mut estimator = Estimator::new(CostParams::default());
+    for ad in &ads {
+        if let Some(s) = &ad.stats {
+            estimator.set_stats(ad.peer, s.clone());
+        }
+    }
+    let net = UniformCost::default();
+    c.bench_function("fig4/optimize_full_pipeline", |b| {
+        b.iter(|| black_box(optimize(plan1.clone(), PeerId(1), &estimator, &net)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

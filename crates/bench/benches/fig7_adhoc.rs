@@ -1,0 +1,34 @@
+//! E7 (Figure 7) benchmarks: ad-hoc discovery plus the hole-filling query
+//! round trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqpeer::exec::{PeerConfig, PeerMode};
+use sqpeer_testkit::fig7_network;
+use std::hint::black_box;
+
+fn config() -> PeerConfig {
+    PeerConfig { mode: PeerMode::Adhoc, ..PeerConfig::default() }
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig7/build_network_with_discovery", |b| {
+        b.iter(|| black_box(fig7_network(config())))
+    });
+
+    c.bench_function("fig7/interleaved_query", |b| {
+        b.iter_batched(
+            || fig7_network(config()),
+            |(mut net, peers)| {
+                let query =
+                    net.compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}").unwrap();
+                let qid = net.query(peers[0], query);
+                net.run();
+                black_box(net.outcome(peers[0], qid).unwrap().result.len())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

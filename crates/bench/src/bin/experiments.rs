@@ -1,0 +1,41 @@
+//! The experiment harness: regenerates every table and figure of
+//! EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release --bin experiments            # run everything
+//! cargo run --release --bin experiments fig5 e8    # run a subset
+//! cargo run --release --bin experiments --list     # list experiments
+//! ```
+
+use sqpeer_bench::{all_experiments, run_experiment};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        for (id, desc) in all_experiments() {
+            println!("{id:<6} {desc}");
+        }
+        return;
+    }
+    let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        all_experiments().iter().map(|(id, _)| id.to_string()).collect()
+    } else {
+        args
+    };
+    let mut failed = false;
+    for id in &ids {
+        match run_experiment(id) {
+            Some(report) => {
+                println!("{}", "=".repeat(72));
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment `{id}` (try --list)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

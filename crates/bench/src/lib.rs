@@ -1,0 +1,11 @@
+//! The SQPeer experiment suite: one module per paper figure plus the
+//! measured qualitative claims (E8–E11 of DESIGN.md / EXPERIMENTS.md).
+//!
+//! Every experiment is a pure function returning a printable report, so
+//! the `experiments` binary, the integration tests and EXPERIMENTS.md all
+//! see identical numbers (the whole stack is deterministic).
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{all_experiments, run_experiment};

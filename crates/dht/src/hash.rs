@@ -1,0 +1,56 @@
+//! Deterministic 64-bit hashing for DHT keys (FNV-1a).
+//!
+//! `std::hash` hashers are not guaranteed stable across releases; DHT key
+//! placement must be, so experiments and tests reproduce bit-identically.
+
+/// FNV-1a over a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// splitmix64 finalizer: spreads FNV's poorly-mixed high bits across the
+/// whole identifier space (short, similar qnames would otherwise cluster
+/// on one arc of the ring).
+pub fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The DHT key of a textual identifier (property qname, node name, …).
+pub fn key_of(text: &str) -> u64 {
+    mix(fnv1a(text.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_and_distinct() {
+        assert_eq!(key_of("n1:prop1"), key_of("n1:prop1"));
+        assert_ne!(key_of("n1:prop1"), key_of("n1:prop2"));
+        // Pinned value: placement must never silently change.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn spreads_over_the_ring() {
+        // 100 sequential names should not cluster into one quadrant.
+        let mut quadrants = [0usize; 4];
+        for i in 0..100 {
+            let k = key_of(&format!("n1:prop{i}"));
+            quadrants[(k >> 62) as usize] += 1;
+        }
+        assert!(quadrants.iter().all(|&q| q > 5), "bad spread: {quadrants:?}");
+    }
+}

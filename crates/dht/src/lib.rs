@@ -1,0 +1,34 @@
+//! A Chord-style DHT for RDF/S schema lookups with subsumption.
+//!
+//! The paper's future work (§5): "we want to investigate the possible use
+//! of Distributed Hash Tables \[28\] for RDF/S schemas with subsumption
+//! information, used in the query routing process" — and the §3.2
+//! footnote: "More elaborated techniques based on DHT for RDF/S schemas
+//! can be used" for ad-hoc neighbour discovery.
+//!
+//! This crate provides that substrate:
+//!
+//! * [`ring`]: a deterministic Chord identifier ring with finger tables
+//!   and hop-counted greedy lookup (O(log N) per key),
+//! * [`schema_dht`]: advertisement postings keyed by *schema property* —
+//!   publishing a peer's active-schema stores `(property → advertisement)`
+//!   at the property key's owner. Subsumption is handled in one of two
+//!   ways, both implemented so they can be compared (experiment E14):
+//!     * **publish-closure** — a peer posting `prop4` also posts under
+//!       every superproperty (`prop1`), so a query for `prop1` needs one
+//!       lookup;
+//!     * **query-expansion** — postings are exact; a query for `prop1`
+//!       looks up `prop1` *and all its subproperties*.
+//!
+//! The DHT is a routing-knowledge structure: given a query pattern it
+//! returns the advertisements relevant to each property, which then feed
+//! the ordinary SQPeer routing algorithm for subsumption matching and
+//! rewriting.
+
+pub mod hash;
+pub mod ring;
+pub mod schema_dht;
+
+pub use hash::key_of;
+pub use ring::{ChordRing, Lookup, NodeHandle};
+pub use schema_dht::{DhtStats, SchemaDht, SubsumptionMode};

@@ -1,0 +1,252 @@
+//! The Chord identifier ring: successor ownership, finger tables and
+//! hop-counted greedy lookup.
+
+use crate::hash::key_of;
+use sqpeer_routing::PeerId;
+use std::collections::BTreeMap;
+
+/// One DHT node: a peer placed on the ring at `id = hash(peer)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeHandle {
+    /// Ring position.
+    pub id: u64,
+    /// The owning peer.
+    pub peer: PeerId,
+}
+
+/// The result of a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    /// The node owning the key (its successor on the ring).
+    pub owner: NodeHandle,
+    /// Routing hops taken from the querying node (0 if it owns the key).
+    pub hops: usize,
+}
+
+/// A Chord ring over `u64` identifier space.
+///
+/// Ownership follows Chord: a key belongs to its **successor** — the
+/// first node clockwise from the key. Lookups start at an arbitrary node
+/// and follow its finger table greedily (closest preceding finger),
+/// taking the O(log N) hops Chord promises; hops are counted so
+/// experiments can report them.
+#[derive(Debug, Clone, Default)]
+pub struct ChordRing {
+    /// Ring position → peer, sorted by position (BTreeMap gives us
+    /// successor queries for free).
+    nodes: BTreeMap<u64, PeerId>,
+}
+
+impl ChordRing {
+    /// An empty ring.
+    pub fn new() -> Self {
+        ChordRing::default()
+    }
+
+    /// Adds a peer at `hash(P<id>)`. Returns its handle.
+    pub fn join(&mut self, peer: PeerId) -> NodeHandle {
+        let mut id = key_of(&format!("node:{}", peer.0));
+        // Resolve (astronomically unlikely) position collisions
+        // deterministically.
+        while self.nodes.contains_key(&id) {
+            id = id.wrapping_add(1);
+        }
+        self.nodes.insert(id, peer);
+        NodeHandle { id, peer }
+    }
+
+    /// Removes a peer; returns `true` if it was on the ring.
+    pub fn leave(&mut self, peer: PeerId) -> bool {
+        let pos = self.nodes.iter().find(|(_, &p)| p == peer).map(|(&k, _)| k);
+        match pos {
+            Some(k) => {
+                self.nodes.remove(&k);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of nodes on the ring.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node handle of `peer`, if on the ring.
+    pub fn handle_of(&self, peer: PeerId) -> Option<NodeHandle> {
+        self.nodes.iter().find(|(_, &p)| p == peer).map(|(&id, &peer)| NodeHandle { id, peer })
+    }
+
+    /// The successor node of ring position `key` (wrapping).
+    pub fn successor(&self, key: u64) -> Option<NodeHandle> {
+        self.nodes
+            .range(key..)
+            .next()
+            .or_else(|| self.nodes.iter().next())
+            .map(|(&id, &peer)| NodeHandle { id, peer })
+    }
+
+    /// Chord finger `i` of the node at `id`: successor(id + 2^i).
+    fn finger(&self, id: u64, i: u32) -> Option<NodeHandle> {
+        self.successor(id.wrapping_add(1u64.wrapping_shl(i)))
+    }
+
+    /// Looks up `key` starting from `from`, following fingers greedily and
+    /// counting hops.
+    pub fn lookup_from(&self, from: PeerId, key: u64) -> Option<Lookup> {
+        let owner = self.successor(key)?;
+        let mut current = self.handle_of(from)?;
+        let mut hops = 0;
+        // Greedy Chord routing: from each node, take the farthest finger
+        // that does not overshoot the key.
+        while current.id != owner.id {
+            let mut next = None;
+            for i in (0..64).rev() {
+                let Some(f) = self.finger(current.id, i) else { continue };
+                if f.id == current.id {
+                    continue;
+                }
+                // Does f lie in (current, key] going clockwise?
+                if in_arc(current.id, f.id, key) {
+                    next = Some(f);
+                    break;
+                }
+            }
+            let next = next.unwrap_or(owner);
+            hops += 1;
+            current = next;
+            if hops > self.nodes.len() {
+                // Safety net; greedy Chord always terminates, but a bug
+                // here should fail loudly rather than loop.
+                unreachable!("chord lookup did not converge");
+            }
+        }
+        Some(Lookup { owner, hops })
+    }
+
+    /// Looks up the key of a textual name from `from`.
+    pub fn lookup_name(&self, from: PeerId, name: &str) -> Option<Lookup> {
+        self.lookup_from(from, key_of(name))
+    }
+
+    /// All node handles, in ring order.
+    pub fn handles(&self) -> Vec<NodeHandle> {
+        self.nodes.iter().map(|(&id, &peer)| NodeHandle { id, peer }).collect()
+    }
+}
+
+/// Is `x` in the clockwise half-open arc `(from, to]` on the ring?
+fn in_arc(from: u64, x: u64, to: u64) -> bool {
+    if from < to {
+        x > from && x <= to
+    } else if from > to {
+        x > from || x <= to
+    } else {
+        // Degenerate full-circle arc.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: u32) -> ChordRing {
+        let mut r = ChordRing::new();
+        for i in 0..n {
+            r.join(PeerId(i));
+        }
+        r
+    }
+
+    #[test]
+    fn successor_wraps() {
+        let r = ring(8);
+        let handles = r.handles();
+        // A key just above the last node wraps to the first.
+        let last = handles.last().unwrap().id;
+        let first = handles.first().unwrap();
+        assert_eq!(r.successor(last.wrapping_add(1)).unwrap().id, first.id);
+        // A key equal to a node id is owned by that node.
+        assert_eq!(r.successor(handles[3].id).unwrap().id, handles[3].id);
+    }
+
+    #[test]
+    fn lookup_reaches_the_owner_from_everywhere() {
+        let r = ring(32);
+        let key = crate::hash::key_of("n1:prop1");
+        let owner = r.successor(key).unwrap();
+        for h in r.handles() {
+            let l = r.lookup_from(h.peer, key).unwrap();
+            assert_eq!(l.owner.id, owner.id);
+            if h.id == owner.id {
+                assert_eq!(l.hops, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn hops_grow_logarithmically() {
+        let max_hops = |n: u32| -> usize {
+            let r = ring(n);
+            let key = crate::hash::key_of("some:key");
+            r.handles()
+                .iter()
+                .map(|h| r.lookup_from(h.peer, key).unwrap().hops)
+                .max()
+                .unwrap()
+        };
+        let h16 = max_hops(16);
+        let h256 = max_hops(256);
+        // log2(16)=4, log2(256)=8 — greedy Chord stays within ~2× log2 N.
+        assert!(h16 <= 8, "h16={h16}");
+        assert!(h256 <= 16, "h256={h256}");
+        assert!(h256 > h16, "hops must grow with ring size");
+    }
+
+    #[test]
+    fn leave_transfers_ownership_to_successor() {
+        let mut r = ring(8);
+        let key = crate::hash::key_of("k");
+        let owner = r.successor(key).unwrap();
+        assert!(r.leave(owner.peer));
+        assert!(!r.leave(owner.peer));
+        let new_owner = r.successor(key).unwrap();
+        assert_ne!(new_owner.peer, owner.peer);
+        assert_eq!(r.len(), 7);
+    }
+
+    #[test]
+    fn single_node_owns_everything_zero_hops() {
+        let mut r = ChordRing::new();
+        r.join(PeerId(7));
+        let l = r.lookup_name(PeerId(7), "anything").unwrap();
+        assert_eq!(l.owner.peer, PeerId(7));
+        assert_eq!(l.hops, 0);
+    }
+
+    #[test]
+    fn empty_ring_has_no_owner() {
+        let r = ChordRing::new();
+        assert!(r.successor(42).is_none());
+        assert!(r.lookup_from(PeerId(0), 42).is_none());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn in_arc_cases() {
+        assert!(in_arc(10, 20, 30));
+        assert!(in_arc(10, 30, 30));
+        assert!(!in_arc(10, 10, 30));
+        assert!(!in_arc(10, 31, 30));
+        // Wrapping arc.
+        assert!(in_arc(u64::MAX - 5, 3, 10));
+        assert!(in_arc(u64::MAX - 5, u64::MAX, 10));
+        assert!(!in_arc(u64::MAX - 5, 11, 10));
+    }
+}

@@ -1,0 +1,287 @@
+//! Advertisement postings over the Chord ring, with RDF/S subsumption.
+
+use crate::hash::key_of;
+use crate::ring::ChordRing;
+use sqpeer_rdfs::{PropertyId, Schema};
+use sqpeer_routing::{route, Advertisement, AnnotatedQuery, PeerId, RoutingPolicy};
+use sqpeer_rql::QueryPattern;
+use std::collections::HashMap;
+
+/// How subsumption is folded into DHT placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubsumptionMode {
+    /// A peer advertising `prop4 ⊑ prop1` posts under **both** keys:
+    /// queries need one lookup per pattern, publishing costs
+    /// O(superproperties) postings.
+    PublishClosure,
+    /// Postings are exact; a query for `prop1` must look up `prop1` *and
+    /// every subproperty*: publishing is cheap, queries cost
+    /// O(subproperties) lookups.
+    QueryExpansion,
+}
+
+/// Cumulative DHT traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DhtStats {
+    /// Postings written (publish operations × keys).
+    pub postings: usize,
+    /// Routing hops spent publishing.
+    pub publish_hops: usize,
+    /// Key lookups performed by queries.
+    pub lookups: usize,
+    /// Routing hops spent on query lookups.
+    pub lookup_hops: usize,
+}
+
+/// The schema-keyed advertisement store on top of [`ChordRing`].
+#[derive(Debug, Clone)]
+pub struct SchemaDht {
+    ring: ChordRing,
+    mode: SubsumptionMode,
+    /// Postings held *at* each owner node: property key → advertisements.
+    store: HashMap<u64, Vec<Advertisement>>,
+    stats: DhtStats,
+}
+
+impl SchemaDht {
+    /// An empty DHT in the given subsumption mode.
+    pub fn new(mode: SubsumptionMode) -> Self {
+        SchemaDht { ring: ChordRing::new(), mode, store: HashMap::new(), stats: DhtStats::default() }
+    }
+
+    /// The underlying ring.
+    pub fn ring(&self) -> &ChordRing {
+        &self.ring
+    }
+
+    /// Accumulated traffic counters.
+    pub fn stats(&self) -> DhtStats {
+        self.stats
+    }
+
+    /// Resets traffic counters (e.g. after the publish phase).
+    pub fn reset_stats(&mut self) {
+        self.stats = DhtStats::default();
+    }
+
+    /// Adds a node to the ring (no data migration is modelled; postings
+    /// are re-published by their owners on churn, as in the SON design).
+    pub fn join_node(&mut self, peer: PeerId) {
+        self.ring.join(peer);
+    }
+
+    /// The keys a property is posted under in the current mode.
+    fn publish_keys(&self, schema: &Schema, p: PropertyId) -> Vec<u64> {
+        match self.mode {
+            SubsumptionMode::PublishClosure => {
+                schema.superproperties(p).map(|q| key_of(&schema.property_qname(q))).collect()
+            }
+            SubsumptionMode::QueryExpansion => vec![key_of(&schema.property_qname(p))],
+        }
+    }
+
+    /// The keys a query pattern over `p` must look up in the current mode.
+    fn lookup_keys(&self, schema: &Schema, p: PropertyId) -> Vec<u64> {
+        match self.mode {
+            SubsumptionMode::PublishClosure => vec![key_of(&schema.property_qname(p))],
+            SubsumptionMode::QueryExpansion => {
+                schema.subproperties(p).map(|q| key_of(&schema.property_qname(q))).collect()
+            }
+        }
+    }
+
+    /// Publishes `ad` from its owning peer: one posting per (advertised
+    /// property × publish key), each costing a ring lookup.
+    pub fn publish(&mut self, schema: &Schema, ad: &Advertisement) {
+        for ap in ad.active.active_properties() {
+            for key in self.publish_keys(schema, ap.property) {
+                if let Some(lookup) = self.ring.lookup_from(ad.peer, key) {
+                    self.stats.publish_hops += lookup.hops;
+                }
+                self.stats.postings += 1;
+                let entries = self.store.entry(key).or_default();
+                if !entries.iter().any(|e| e.peer == ad.peer) {
+                    entries.push(ad.clone());
+                }
+            }
+        }
+    }
+
+    /// Removes every posting of `peer` (leave/churn). Returns postings
+    /// touched.
+    pub fn withdraw(&mut self, peer: PeerId) -> usize {
+        let mut touched = 0;
+        self.store.retain(|_, ads| {
+            let before = ads.len();
+            ads.retain(|a| a.peer != peer);
+            touched += before - ads.len();
+            !ads.is_empty()
+        });
+        touched
+    }
+
+    /// Fetches the advertisements relevant to one property, from `from`'s
+    /// position on the ring, charging lookup hops.
+    pub fn ads_for_property(
+        &mut self,
+        schema: &Schema,
+        from: PeerId,
+        p: PropertyId,
+    ) -> Vec<Advertisement> {
+        let mut out: Vec<Advertisement> = Vec::new();
+        for key in self.lookup_keys(schema, p) {
+            if let Some(lookup) = self.ring.lookup_from(from, key) {
+                self.stats.lookup_hops += lookup.hops;
+            }
+            self.stats.lookups += 1;
+            for ad in self.store.get(&key).into_iter().flatten() {
+                if !out.iter().any(|e| e.peer == ad.peer) {
+                    out.push(ad.clone());
+                }
+            }
+        }
+        out.sort_by_key(|a| a.peer);
+        out
+    }
+
+    /// DHT-backed routing: gathers the relevant advertisements per pattern
+    /// through ring lookups, then runs the ordinary SQPeer routing
+    /// algorithm on them (subsumption matching + per-peer rewriting).
+    pub fn route(
+        &mut self,
+        from: PeerId,
+        query: &QueryPattern,
+        policy: RoutingPolicy,
+    ) -> AnnotatedQuery {
+        let schema = query.schema().clone();
+        let mut ads: Vec<Advertisement> = Vec::new();
+        for pattern in query.patterns() {
+            for ad in self.ads_for_property(&schema, from, pattern.property) {
+                if !ads.iter().any(|e| e.peer == ad.peer) {
+                    ads.push(ad);
+                }
+            }
+        }
+        route(query, &ads, policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqpeer_rdfs::{Range, Resource, SchemaBuilder, Triple};
+    use sqpeer_rql::compile;
+    use sqpeer_rvl::ActiveSchema;
+    use std::sync::Arc;
+
+    fn fig1_schema() -> Arc<Schema> {
+        let mut b = SchemaBuilder::new("n1", "http://example.org/n1#");
+        let c1 = b.class("C1").unwrap();
+        let c2 = b.class("C2").unwrap();
+        let c3 = b.class("C3").unwrap();
+        let c5 = b.subclass("C5", c1).unwrap();
+        let c6 = b.subclass("C6", c2).unwrap();
+        let p1 = b.property("prop1", c1, Range::Class(c2)).unwrap();
+        let _ = b.property("prop2", c2, Range::Class(c3)).unwrap();
+        let _ = b.subproperty("prop4", p1, c5, Range::Class(c6)).unwrap();
+        Arc::new(b.finish().unwrap())
+    }
+
+    fn ad(schema: &Arc<Schema>, peer: u32, prop: &str) -> Advertisement {
+        let p = schema.property_by_name(prop).unwrap();
+        let mut base = sqpeer_store::DescriptionBase::new(Arc::clone(schema));
+        base.insert_described(Triple::new(
+            Resource::new(format!("http://p{peer}/s")),
+            p,
+            Resource::new(format!("http://p{peer}/o")),
+        ));
+        Advertisement::new(PeerId(peer), ActiveSchema::of_base(&base))
+    }
+
+    fn dht_with(mode: SubsumptionMode, schema: &Arc<Schema>) -> SchemaDht {
+        let mut dht = SchemaDht::new(mode);
+        for i in 0..16u32 {
+            dht.join_node(PeerId(i));
+        }
+        // P1 advertises prop1, P4 advertises prop4 ⊑ prop1, P3 prop2.
+        dht.publish(schema, &ad(schema, 1, "prop1"));
+        dht.publish(schema, &ad(schema, 4, "prop4"));
+        dht.publish(schema, &ad(schema, 3, "prop2"));
+        dht
+    }
+
+    #[test]
+    fn publish_closure_finds_subproperty_holders_in_one_lookup() {
+        let schema = fig1_schema();
+        let mut dht = dht_with(SubsumptionMode::PublishClosure, &schema);
+        dht.reset_stats();
+        let p1 = schema.property_by_name("prop1").unwrap();
+        let ads = dht.ads_for_property(&schema, PeerId(0), p1);
+        let peers: Vec<PeerId> = ads.iter().map(|a| a.peer).collect();
+        assert_eq!(peers, vec![PeerId(1), PeerId(4)], "prop4 holder found via closure");
+        assert_eq!(dht.stats().lookups, 1, "single lookup suffices");
+    }
+
+    #[test]
+    fn query_expansion_finds_the_same_holders_with_more_lookups() {
+        let schema = fig1_schema();
+        let mut dht = dht_with(SubsumptionMode::QueryExpansion, &schema);
+        dht.reset_stats();
+        let p1 = schema.property_by_name("prop1").unwrap();
+        let ads = dht.ads_for_property(&schema, PeerId(0), p1);
+        let peers: Vec<PeerId> = ads.iter().map(|a| a.peer).collect();
+        assert_eq!(peers, vec![PeerId(1), PeerId(4)]);
+        assert_eq!(dht.stats().lookups, 2, "prop1 and prop4 both probed");
+    }
+
+    #[test]
+    fn publish_costs_mirror_lookup_costs() {
+        let schema = fig1_schema();
+        let closure = dht_with(SubsumptionMode::PublishClosure, &schema);
+        let expansion = dht_with(SubsumptionMode::QueryExpansion, &schema);
+        // Closure posts prop4 twice (under prop4 and prop1); expansion once.
+        assert_eq!(closure.stats().postings, 4);
+        assert_eq!(expansion.stats().postings, 3);
+    }
+
+    #[test]
+    fn dht_route_matches_registry_route() {
+        let schema = fig1_schema();
+        let query = compile("SELECT X, Y FROM {X}prop1{Y}, {Y}prop2{Z}", &schema).unwrap();
+        let all_ads =
+            vec![ad(&schema, 1, "prop1"), ad(&schema, 4, "prop4"), ad(&schema, 3, "prop2")];
+        let reference = route(&query, &all_ads, RoutingPolicy::SubsumedOnly);
+        for mode in [SubsumptionMode::PublishClosure, SubsumptionMode::QueryExpansion] {
+            let mut dht = dht_with(mode, &schema);
+            let got = dht.route(PeerId(0), &query, RoutingPolicy::SubsumedOnly);
+            for i in 0..query.patterns().len() {
+                let want: Vec<PeerId> = reference.peers_for(i).iter().map(|a| a.peer).collect();
+                let have: Vec<PeerId> = got.peers_for(i).iter().map(|a| a.peer).collect();
+                assert_eq!(want, have, "mode {mode:?}, pattern {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn withdraw_removes_all_postings() {
+        let schema = fig1_schema();
+        let mut dht = dht_with(SubsumptionMode::PublishClosure, &schema);
+        // P4 posted under prop4 and prop1.
+        assert_eq!(dht.withdraw(PeerId(4)), 2);
+        assert_eq!(dht.withdraw(PeerId(4)), 0);
+        let p1 = schema.property_by_name("prop1").unwrap();
+        let ads = dht.ads_for_property(&schema, PeerId(0), p1);
+        assert_eq!(ads.len(), 1);
+        assert_eq!(ads[0].peer, PeerId(1));
+    }
+
+    #[test]
+    fn republish_is_idempotent() {
+        let schema = fig1_schema();
+        let mut dht = dht_with(SubsumptionMode::PublishClosure, &schema);
+        dht.publish(&schema, &ad(&schema, 1, "prop1"));
+        let p1 = schema.property_by_name("prop1").unwrap();
+        let ads = dht.ads_for_property(&schema, PeerId(0), p1);
+        assert_eq!(ads.iter().filter(|a| a.peer == PeerId(1)).count(), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! The SQPeer distributed execution engine (paper §2.4–§2.5, §3).
+//!
+//! This crate implements the peer state machine that runs inside the
+//! network simulator: the [`PeerNode`] plugs into
+//! [`sqpeer_net::Simulator`] and implements, per peer role,
+//!
+//! * query intake from client-peers,
+//! * routing — locally (ad-hoc mode, over the peer's pulled neighbourhood
+//!   advertisements) or delegated to a super-peer (hybrid mode),
+//! * plan generation and (optional) optimisation,
+//! * plan execution over ubQL channels: remote fetches and shipped join
+//!   subplans, streaming `Data` packets dest → root, union/join assembly,
+//! * **interleaved routing and processing** for partial plans with holes
+//!   (§3.2, Figure 7): a peer receiving a plan it cannot complete fills
+//!   what it can from local knowledge and forwards the rest,
+//! * **run-time adaptation** (§2.5): on channel failure the root discards
+//!   intermediate results (the ubQL approach), excludes the obsolete peer
+//!   and re-runs routing + processing.
+
+pub mod local;
+pub mod msg;
+pub mod peer;
+
+pub use local::eval_local;
+pub use msg::{Msg, QueryId, QueryOutcome};
+pub use peer::{BaseKind, PeerConfig, PeerMode, PeerNode, Role};
+
+/// Maps a routing-level [`PeerId`](sqpeer_routing::PeerId) onto its
+/// simulator node (the two id spaces coincide by construction).
+pub fn node_of(peer: sqpeer_routing::PeerId) -> sqpeer_net::NodeId {
+    sqpeer_net::NodeId(peer.0)
+}
+
+/// Maps a simulator node id back to the routing-level peer id.
+pub fn peer_of(node: sqpeer_net::NodeId) -> sqpeer_routing::PeerId {
+    sqpeer_routing::PeerId(node.0)
+}

@@ -1,0 +1,246 @@
+//! The message vocabulary peers exchange, with wire-size estimation.
+
+use sqpeer_net::Channel;
+use sqpeer_plan::PlanNode;
+use sqpeer_routing::{Advertisement, AnnotatedQuery};
+use sqpeer_rql::{QueryPattern, ResultSet};
+
+/// Globally unique query identifier (assigned at injection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// The outcome of a query recorded at its root peer.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The final (projected) answer.
+    pub result: ResultSet,
+    /// Virtual time (µs) at which the answer was completed.
+    pub completed_at_us: u64,
+    /// Virtual time the query took from intake to answer.
+    pub latency_us: u64,
+    /// Number of re-planning rounds run-time adaptation performed.
+    pub replans: u32,
+    /// Whether the answer may be partial (execution gave up on a subplan).
+    pub partial: bool,
+}
+
+/// Messages exchanged between peers (and injected by client-peers).
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Push an advertisement (peer → super-peer, or peer → neighbour).
+    Advertise(Advertisement),
+    /// Pull request: "send me the advertisements of your ≤`depth`-hop
+    /// neighbourhood" (§3.2).
+    RequestAds {
+        /// Remaining propagation depth.
+        depth: u32,
+    },
+    /// Response to [`Msg::RequestAds`].
+    AdsResponse(Vec<Advertisement>),
+    /// A peer leaves gracefully; recipients drop its advertisement.
+    Withdraw,
+    /// Backbone replication of a withdrawal: drop the named peer's
+    /// advertisement.
+    WithdrawPeer(sqpeer_routing::PeerId),
+
+    /// Hybrid mode: ask a super-peer to route `query` (§3.1).
+    RouteRequest {
+        /// The query being routed.
+        qid: QueryId,
+        /// The query pattern.
+        query: QueryPattern,
+        /// Hops left on the super-peer backbone before giving up.
+        backbone_ttl: u32,
+        /// Annotations accumulated by earlier super-peers on the backbone;
+        /// each hop merges its local knowledge until the pattern is
+        /// complete or the TTL runs out.
+        partial: Option<AnnotatedQuery>,
+    },
+    /// The super-peer's annotated pattern, sent back to the requester.
+    RouteResponse {
+        /// The query being routed.
+        qid: QueryId,
+        /// The annotated query pattern (may contain holes).
+        annotated: AnnotatedQuery,
+    },
+
+    /// Ship a (sub)plan through a channel for remote execution. The
+    /// destination may fill holes (interleaved routing/processing) before
+    /// executing.
+    Subplan {
+        /// The channel this subplan belongs to (root manages it).
+        channel: Channel,
+        /// The query it serves.
+        qid: QueryId,
+        /// Echoed verbatim in the `Data` reply so the root can slot the
+        /// result into the right frame.
+        tag: u64,
+        /// The plan fragment to execute.
+        plan: PlanNode,
+        /// Peers that already saw this (partial) plan — loop guard for
+        /// hole-filling forwards.
+        visited: Vec<sqpeer_routing::PeerId>,
+    },
+    /// A data packet streaming a subplan result dest → root (§2.4).
+    Data {
+        /// The channel it flows on.
+        channel: Channel,
+        /// The query it serves.
+        qid: QueryId,
+        /// Echo of the request tag.
+        tag: u64,
+        /// The subplan's result rows.
+        result: ResultSet,
+        /// Whether the result may be incomplete (a downstream subplan
+        /// failed or a hole went unfilled).
+        partial: bool,
+        /// Fresh base statistics piggybacked by the answering peer —
+        /// "these packets can also contain … statistics useful for query
+        /// optimization" (§2.4). The root folds them into its registry.
+        stats: Option<sqpeer_store::BaseStatistics>,
+        /// Batch sequence number (0-based) when the result streams in
+        /// several packets; single-packet results use `(0, true)`.
+        seq: u32,
+        /// Whether this is the final packet of the result stream.
+        last: bool,
+    },
+    /// Failure control packet: the destination could not complete the
+    /// subplan (no peer found for a hole, downstream failure, …).
+    SubplanFailed {
+        /// The channel it flows on.
+        channel: Channel,
+        /// The query it serves.
+        qid: QueryId,
+        /// Echo of the request tag.
+        tag: u64,
+    },
+
+    /// Drive an explicit, pre-built plan from this peer (experiment
+    /// harness entry point — bypasses routing and optimisation so plan
+    /// variants can be compared under identical conditions).
+    ExecutePlan {
+        /// Fresh query id.
+        qid: QueryId,
+        /// The query the plan answers (for the final projection).
+        query: QueryPattern,
+        /// The plan to execute verbatim.
+        plan: PlanNode,
+    },
+    /// A client-peer poses a query to a simple-peer.
+    ClientQuery {
+        /// Fresh query id.
+        qid: QueryId,
+        /// The compiled query pattern.
+        query: QueryPattern,
+    },
+    /// The final answer returned to the client-peer.
+    ClientAnswer {
+        /// The completed query.
+        qid: QueryId,
+        /// Projected result rows.
+        result: ResultSet,
+    },
+}
+
+impl Msg {
+    /// Estimated wire size in bytes, used by the simulator to charge
+    /// bandwidth.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Msg::Advertise(ad) => ad.active.wire_size() + 16,
+            Msg::RequestAds { .. } => 24,
+            Msg::AdsResponse(ads) => {
+                24 + ads.iter().map(|a| a.active.wire_size()).sum::<usize>()
+            }
+            Msg::Withdraw => 16,
+            Msg::WithdrawPeer(_) => 24,
+            Msg::RouteRequest { query, .. } => 48 + query.to_string().len(),
+            Msg::RouteResponse { annotated, .. } => {
+                let anns: usize =
+                    (0..annotated.query().patterns().len()).map(|i| annotated.peers_for(i).len()).sum();
+                64 + 32 * anns
+            }
+            Msg::Subplan { plan, .. } => 96 + 80 * plan.fetch_count(),
+            Msg::Data { result, stats, .. } => {
+                48 + result.wire_size() + if stats.is_some() { 64 } else { 0 }
+            }
+            Msg::SubplanFailed { .. } => 48,
+            Msg::ExecutePlan { query, plan, .. } => {
+                32 + query.to_string().len() + 80 * plan.fetch_count()
+            }
+            Msg::ClientQuery { query, .. } => 32 + query.to_string().len(),
+            Msg::ClientAnswer { result, .. } => 32 + result.wire_size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqpeer_rdfs::{Range, SchemaBuilder};
+    use sqpeer_rql::compile;
+    use std::sync::Arc;
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let mut b = SchemaBuilder::new("n1", "u");
+        let c1 = b.class("C1").unwrap();
+        let c2 = b.class("C2").unwrap();
+        let _ = b.property("p", c1, Range::Class(c2)).unwrap();
+        let schema = Arc::new(b.finish().unwrap());
+        let q = compile("SELECT X, Y FROM {X}p{Y}", &schema).unwrap();
+
+        let small = Msg::ClientQuery { qid: QueryId(1), query: q.clone() };
+        assert!(small.wire_size() > 32);
+
+        let empty = ResultSet::empty(vec!["X".into()]);
+        let mut big = ResultSet::empty(vec!["X".into()]);
+        for i in 0..100 {
+            big.push_distinct(vec![sqpeer_rdfs::Node::Resource(sqpeer_rdfs::Resource::new(
+                format!("r{i}"),
+            ))]);
+        }
+        let d_small = Msg::Data {
+            channel: sqpeer_net::Channel {
+                id: sqpeer_net::ChannelId(0),
+                root: sqpeer_net::NodeId(0),
+                dest: sqpeer_net::NodeId(1),
+                state: sqpeer_net::ChannelState::Open,
+            },
+            qid: QueryId(1),
+            tag: 0,
+            result: empty,
+            partial: false,
+            stats: None,
+            seq: 0,
+            last: true,
+        };
+        let d_big = Msg::Data {
+            channel: sqpeer_net::Channel {
+                id: sqpeer_net::ChannelId(0),
+                root: sqpeer_net::NodeId(0),
+                dest: sqpeer_net::NodeId(1),
+                state: sqpeer_net::ChannelState::Open,
+            },
+            qid: QueryId(1),
+            tag: 0,
+            result: big,
+            partial: false,
+            stats: None,
+            seq: 0,
+            last: true,
+        };
+        assert!(d_big.wire_size() > d_small.wire_size() + 1_000);
+    }
+
+    #[test]
+    fn query_id_display() {
+        assert_eq!(QueryId(7).to_string(), "q7");
+    }
+}

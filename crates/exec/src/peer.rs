@@ -1,0 +1,1784 @@
+//! The SQPeer peer state machine: client-, simple- and super-peers (§3).
+//!
+//! One [`PeerNode`] type implements all three roles the paper describes:
+//!
+//! * **client-peers** "have only the ability to pose RQL queries",
+//! * **simple-peers** share their description bases, answer subqueries and
+//!   (in the ad-hoc architecture) route queries over their semantic
+//!   neighbourhood,
+//! * **super-peers** "act as a centralized server for a subset of
+//!   simple-peers … mainly responsible for routing queries".
+//!
+//! The node plugs into the [`sqpeer_net::Simulator`] event loop; every
+//! behaviour — advertisement push/pull, routing delegation, channel
+//! deployment, result streaming, hole filling, run-time adaptation — is a
+//! reaction to a delivered message or a failure notification.
+
+use crate::local::{eval_local, fully_local};
+use crate::msg::{Msg, QueryId, QueryOutcome};
+use crate::{node_of, peer_of};
+use sqpeer_net::{Channel, ChannelTable, Ctx, NodeId, NodeLogic};
+use sqpeer_plan::{
+    generate_plan, optimize, CostParams, Estimator, PlanNode, Site, Subquery, UniformCost,
+};
+use sqpeer_routing::{
+    route_limited, AdRegistry, Advertisement, AnnotatedQuery, PeerId, RoutingPolicy,
+};
+use sqpeer_rql::{QueryPattern, ResultSet, Row};
+use sqpeer_rvl::{ActiveSchema, VirtualBase};
+use sqpeer_store::DescriptionBase;
+use std::cell::OnceCell;
+use std::collections::{HashMap, HashSet};
+
+/// The role a peer plays in the system (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Poses queries only; no base, no routing, no processing.
+    Client,
+    /// Shares a base, processes queries; routes locally in ad-hoc mode.
+    Simple,
+    /// Routes queries for its SON cluster (hybrid architecture).
+    Super,
+}
+
+/// Which architecture the peer participates in (§3.1 vs §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerMode {
+    /// Super-peer based: routing delegated to super-peers.
+    Hybrid,
+    /// Self-organising: local routing over pulled neighbourhood
+    /// advertisements, interleaved routing/processing for holes.
+    Adhoc,
+}
+
+/// Per-peer configuration.
+#[derive(Debug, Clone)]
+pub struct PeerConfig {
+    /// The architecture this peer runs in.
+    pub mode: PeerMode,
+    /// Run the §2.5 compile-time optimiser on generated plans.
+    pub optimize: bool,
+    /// React to channel failures by re-planning (§2.5 run-time
+    /// adaptation); otherwise failed subplans yield partial answers.
+    pub adaptive: bool,
+    /// Which advertisement matches are routed to (paper-strict or
+    /// completeness-favouring).
+    pub routing_policy: RoutingPolicy,
+    /// Bound on adaptation rounds per query.
+    pub max_replans: u32,
+    /// Hops a route request may travel on the super-peer backbone.
+    pub backbone_ttl: u32,
+    /// Broadcast-bounding caps applied to every routing pass (§5 future
+    /// work: "constraints regarding the number of peer nodes that each
+    /// query is broadcasted").
+    pub limits: sqpeer_routing::RoutingLimits,
+    /// Stream subplan results back in batches of at most this many rows
+    /// (ubQL pipelining: "data packets are sent through each channel",
+    /// §2.4). `None` sends one packet per result.
+    pub stream_batch_rows: Option<usize>,
+    /// Concurrent subplans this peer evaluates simultaneously (§2.5:
+    /// "the existence of slots in each peer, which show the amount of
+    /// queries that can be handled simultaneously"). Excess subplans queue
+    /// until a slot frees. Only meaningful together with
+    /// `processing_us_per_row`; `None` = unbounded.
+    pub slots: Option<usize>,
+    /// Re-route a dispatched subplan whose result has not arrived within
+    /// this many virtual µs — the §2.5 run-time reaction to low channel
+    /// throughput ("the optimizer may alter a running query plan by
+    /// observing the throughput of a certain channel"). `None` disables
+    /// timeout-based adaptation (failures still adapt via delivery
+    /// notifications).
+    pub subplan_timeout_us: Option<u64>,
+    /// Phased re-execution (\[15\] in the paper): instead of discarding all
+    /// intermediate results on adaptation (the ubQL default), the root
+    /// caches completed subplan results per (peer, subplan) and reuses
+    /// them in the new phase, re-fetching only what was lost.
+    pub phased: bool,
+    /// Virtual µs of local processing charged per result row produced by
+    /// a local evaluation — models the peer's processing load ("the
+    /// processing load of the peers should also be taken into account",
+    /// §2.5). Zero = infinitely fast peers.
+    pub processing_us_per_row: u64,
+    /// Network cost model the optimiser consults for shipping decisions;
+    /// `None` uses uniform costs. Overlay builders mirror the simulator's
+    /// link table here so compile-time shipping choices (§2.5, Figure 5)
+    /// see the same network the execution will.
+    pub cost_model: Option<UniformCost>,
+}
+
+impl Default for PeerConfig {
+    fn default() -> Self {
+        PeerConfig {
+            mode: PeerMode::Hybrid,
+            optimize: true,
+            adaptive: true,
+            routing_policy: RoutingPolicy::SubsumedOnly,
+            max_replans: 3,
+            backbone_ttl: 4,
+            limits: sqpeer_routing::RoutingLimits::unlimited(),
+            stream_batch_rows: None,
+            slots: None,
+            subplan_timeout_us: None,
+            phased: false,
+            processing_us_per_row: 0,
+            cost_model: None,
+        }
+    }
+}
+
+/// A peer's description base: materialized RDF, a virtual view over the
+/// relational substrate (populated on demand and cached), or none
+/// (client-peers and pure super-peers).
+#[derive(Debug)]
+pub enum BaseKind {
+    /// An RDF base actually holding descriptions (§2.2 materialized
+    /// scenario).
+    Materialized(DescriptionBase),
+    /// A virtual base: population happens at first query (§2.2 virtual
+    /// scenario).
+    Virtual {
+        /// The relational substrate plus mapping rules.
+        source: VirtualBase,
+        /// Cache filled on first access.
+        cache: OnceCell<DescriptionBase>,
+    },
+    /// A virtual base over an XML document (the paper's other legacy
+    /// substrate).
+    VirtualXml {
+        /// The document plus mapping rules.
+        source: sqpeer_rvl::XmlBase,
+        /// Cache filled on first access.
+        cache: OnceCell<DescriptionBase>,
+    },
+    /// No base (client-peers, routing-only super-peers).
+    None,
+}
+
+impl BaseKind {
+    /// Wraps a relational virtual base.
+    pub fn virtual_base(source: VirtualBase) -> Self {
+        BaseKind::Virtual { source, cache: OnceCell::new() }
+    }
+
+    /// Wraps an XML virtual base.
+    pub fn virtual_xml(source: sqpeer_rvl::XmlBase) -> Self {
+        BaseKind::VirtualXml { source, cache: OnceCell::new() }
+    }
+
+    /// Runs `f` over the materialized view of this base (populating the
+    /// virtual cache if needed). `None` bases see an empty store.
+    pub fn with_materialized<R>(&self, f: impl FnOnce(&DescriptionBase) -> R) -> R {
+        match self {
+            BaseKind::Materialized(db) => f(db),
+            BaseKind::Virtual { source, cache } => {
+                f(cache.get_or_init(|| source.populate().0))
+            }
+            BaseKind::VirtualXml { source, cache } => {
+                f(cache.get_or_init(|| source.populate().0))
+            }
+            BaseKind::None => {
+                // Client-peers are never asked to evaluate; defensive empty.
+                unreachable!("with_materialized on a base-less peer")
+            }
+        }
+    }
+
+    /// The advertisement this base induces, if any.
+    pub fn active_schema(&self) -> Option<ActiveSchema> {
+        match self {
+            BaseKind::Materialized(db) => Some(ActiveSchema::of_base(db)),
+            BaseKind::Virtual { source, .. } => Some(source.active_schema()),
+            BaseKind::VirtualXml { source, .. } => Some(source.active_schema()),
+            BaseKind::None => None,
+        }
+    }
+
+    /// Does this peer hold any base at all?
+    pub fn is_some(&self) -> bool {
+        !matches!(self, BaseKind::None)
+    }
+}
+
+/// Root-side bookkeeping for a query this peer initiated.
+#[derive(Debug)]
+struct RootQuery {
+    query: QueryPattern,
+    client: Option<NodeId>,
+    excluded: HashSet<PeerId>,
+    replans: u32,
+    started_at_us: u64,
+    answered: bool,
+    /// Completed subplan results kept across phases (phased adaptation):
+    /// `(destination peer, rendered subplan) → result`.
+    phase_cache: HashMap<(PeerId, String), ResultSet>,
+}
+
+/// How a finished subtree result is consumed.
+#[derive(Debug, Clone)]
+enum Completion {
+    /// Fill `slot` of `frame`.
+    Parent { frame: u64, slot: usize },
+    /// Stream a `Data` packet to the channel root.
+    Channel { channel: Channel, qid: QueryId, tag: u64 },
+    /// Finalise a rooted query.
+    Root { qid: QueryId },
+}
+
+/// How a frame combines its slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameOp {
+    /// Set union over all slots (horizontal distribution).
+    Union,
+    /// Natural join over all slots, in order (vertical distribution).
+    Join,
+    /// First successful slot wins (competing hole-fillers, §3.2).
+    Race,
+}
+
+#[derive(Debug)]
+struct Frame {
+    qid: QueryId,
+    op: FrameOp,
+    completion: Completion,
+    slots: Vec<Option<ResultSet>>,
+    remaining: usize,
+    partial: bool,
+    done: bool,
+}
+
+/// Reassembly state for one streamed subplan result.
+#[derive(Debug, Default)]
+struct StreamBuffer {
+    columns: Vec<String>,
+    batches: std::collections::BTreeMap<u32, Vec<Row>>,
+    last_seq: Option<u32>,
+    partial: bool,
+}
+
+impl StreamBuffer {
+    /// All batches `0..=last_seq` present?
+    fn complete(&self) -> bool {
+        match self.last_seq {
+            Some(last) => (0..=last).all(|i| self.batches.contains_key(&i)),
+            None => false,
+        }
+    }
+
+    fn assemble(self) -> ResultSet {
+        let mut rows = Vec::new();
+        for (_, mut batch) in self.batches {
+            rows.append(&mut batch);
+        }
+        ResultSet { columns: self.columns, rows }
+    }
+}
+
+#[derive(Debug)]
+struct PendingRemote {
+    qid: QueryId,
+    frame: u64,
+    slot: usize,
+    dest: PeerId,
+    /// The shipped subtree's output columns, so a failed slot can be
+    /// filled with a *well-formed* empty table.
+    columns: Vec<String>,
+    /// Rendered subplan, keying the phased-execution result cache.
+    plan_key: String,
+    /// The shipped plan itself (needed to repair around a slow or failed
+    /// destination).
+    plan: PlanNode,
+}
+
+/// The peer node: state machine over the simulated network.
+pub struct PeerNode {
+    /// This peer's id (coincides with its simulator node id).
+    pub id: PeerId,
+    /// Role in the architecture.
+    pub role: Role,
+    /// Configuration.
+    pub config: PeerConfig,
+    /// The description base.
+    pub base: BaseKind,
+    /// Advertisement knowledge: the SON registry (super-peers), or the
+    /// semantic neighbourhood (ad-hoc simple-peers).
+    pub registry: AdRegistry,
+    /// Super-peers this peer is connected to (simple-peers), or the
+    /// backbone (super-peers).
+    pub super_peers: Vec<PeerId>,
+    /// Physical neighbours (ad-hoc mode).
+    pub neighbours: Vec<PeerId>,
+    /// Articulations this super-peer can mediate with: queries over a
+    /// foreign schema are reformulated onto the local SON's schema before
+    /// routing (§3.1 "super-peers may handle the role of a mediator").
+    pub articulations: Vec<sqpeer_subsume::Articulation>,
+    /// Answers to queries this peer rooted.
+    pub outcomes: HashMap<QueryId, QueryOutcome>,
+    /// Answers received as a client.
+    pub client_answers: HashMap<QueryId, ResultSet>,
+    /// Subqueries this peer evaluated locally (the per-peer load measure
+    /// of §2.2 / E8).
+    pub queries_processed: usize,
+
+    channels: ChannelTable,
+    rooted: HashMap<QueryId, RootQuery>,
+    frames: HashMap<u64, Frame>,
+    next_frame: u64,
+    outstanding: HashMap<u64, PendingRemote>,
+    next_tag: u64,
+    /// Route requests this super-peer relayed on the backbone:
+    /// query id → the node the eventual response must be forwarded to.
+    route_relays: HashMap<QueryId, NodeId>,
+    /// Completions deferred by the processing-delay model, keyed by timer.
+    delayed: HashMap<u64, (Completion, ResultSet, bool)>,
+    /// Subplan-timeout timers: timer id → outstanding tag.
+    timeouts: HashMap<u64, u64>,
+    /// Subplans waiting for a processing slot (FIFO).
+    slot_queue: std::collections::VecDeque<(Channel, QueryId, u64, PlanNode, Vec<PeerId>)>,
+    /// Partially received streamed results, keyed by outstanding tag:
+    /// out-of-order batches indexed by sequence number plus the final
+    /// sequence once known.
+    streams: HashMap<u64, StreamBuffer>,
+    next_timer: u64,
+}
+
+impl PeerNode {
+    /// Creates a peer with the given role and base.
+    pub fn new(id: PeerId, role: Role, base: BaseKind, config: PeerConfig) -> Self {
+        PeerNode {
+            id,
+            role,
+            config,
+            base,
+            registry: AdRegistry::new(),
+            super_peers: Vec::new(),
+            neighbours: Vec::new(),
+            articulations: Vec::new(),
+            outcomes: HashMap::new(),
+            client_answers: HashMap::new(),
+            queries_processed: 0,
+            channels: ChannelTable::new(),
+            rooted: HashMap::new(),
+            frames: HashMap::new(),
+            next_frame: 0,
+            outstanding: HashMap::new(),
+            next_tag: 0,
+            route_relays: HashMap::new(),
+            delayed: HashMap::new(),
+            timeouts: HashMap::new(),
+            slot_queue: std::collections::VecDeque::new(),
+            streams: HashMap::new(),
+            next_timer: 0,
+        }
+    }
+
+    /// A client-peer.
+    pub fn client(id: PeerId) -> Self {
+        PeerNode::new(id, Role::Client, BaseKind::None, PeerConfig::default())
+    }
+
+    /// A simple-peer over a materialized base.
+    pub fn simple(id: PeerId, base: DescriptionBase, config: PeerConfig) -> Self {
+        PeerNode::new(id, Role::Simple, BaseKind::Materialized(base), config)
+    }
+
+    /// A routing-only super-peer.
+    pub fn super_peer(id: PeerId, config: PeerConfig) -> Self {
+        PeerNode::new(id, Role::Super, BaseKind::None, config)
+    }
+
+    /// This peer's own advertisement, if it has a base.
+    pub fn own_advertisement(&self) -> Option<Advertisement> {
+        let active = self.base.active_schema()?;
+        let stats = match &self.base {
+            BaseKind::Materialized(db) => Some(db.statistics()),
+            _ => None,
+        };
+        let mut ad = Advertisement::new(self.id, active);
+        if let Some(s) = stats {
+            ad = ad.with_stats(s);
+        }
+        Some(ad)
+    }
+
+    /// Channels currently rooted here (inspection).
+    pub fn rooted_channels(&self) -> usize {
+        self.channels.rooted_count()
+    }
+
+    // ------------------------------------------------------------------
+    // Planning at the root
+    // ------------------------------------------------------------------
+
+    fn begin_query(&mut self, ctx: &mut Ctx<Msg>, qid: QueryId, query: QueryPattern, client: Option<NodeId>) {
+        // Class-membership patterns are outside the routable fragment
+        // (§2.1: routing operates on path patterns); such queries are
+        // answered against this peer's own base only and flagged partial
+        // so callers know the network was not consulted.
+        if !query.class_patterns().is_empty() {
+            self.rooted.insert(
+                qid,
+                RootQuery {
+                    query: query.clone(),
+                    client,
+                    excluded: HashSet::new(),
+                    replans: 0,
+                    started_at_us: ctx.now_us(),
+                    answered: false,
+                    phase_cache: HashMap::new(),
+                },
+            );
+            let result = if self.base.is_some() {
+                self.base.with_materialized(|db| sqpeer_rql::evaluate(&query, db))
+            } else {
+                ResultSet::default()
+            };
+            self.finalize(ctx, qid, result, true);
+            return;
+        }
+        self.rooted.insert(
+            qid,
+            RootQuery {
+                query,
+                client,
+                excluded: HashSet::new(),
+                replans: 0,
+                started_at_us: ctx.now_us(),
+                answered: false,
+                phase_cache: HashMap::new(),
+            },
+        );
+        self.plan_and_execute(ctx, qid);
+    }
+
+    fn plan_and_execute(&mut self, ctx: &mut Ctx<Msg>, qid: QueryId) {
+        let Some(root) = self.rooted.get(&qid) else { return };
+        let query = root.query.clone();
+        match self.config.mode {
+            PeerMode::Hybrid => {
+                // Delegate routing to a super-peer (§3.1). Pick the first
+                // non-excluded one.
+                let sp = self.super_peers.iter().find(|p| !root.excluded.contains(p)).copied();
+                match sp {
+                    Some(sp) => {
+                        let msg = Msg::RouteRequest {
+                            qid,
+                            query,
+                            backbone_ttl: self.config.backbone_ttl,
+                            partial: None,
+                        };
+                        let bytes = msg.wire_size();
+                        ctx.send(node_of(sp), msg, bytes);
+                    }
+                    None => self.finalize(ctx, qid, ResultSet::default(), true),
+                }
+            }
+            PeerMode::Adhoc => {
+                // Route locally over the semantic neighbourhood (§3.2).
+                let annotated = self.local_route(&query, &self.excluded_of(qid));
+                self.continue_with_annotation(ctx, qid, annotated);
+            }
+        }
+    }
+
+    fn excluded_of(&self, qid: QueryId) -> HashSet<PeerId> {
+        self.rooted.get(&qid).map(|r| r.excluded.clone()).unwrap_or_default()
+    }
+
+    fn local_route(&self, query: &QueryPattern, excluded: &HashSet<PeerId>) -> AnnotatedQuery {
+        let ads: Vec<Advertisement> = self
+            .registry
+            .advertisements()
+            .into_iter()
+            .filter(|a| !excluded.contains(&a.peer))
+            .cloned()
+            .collect();
+        route_limited(query, &ads, self.config.routing_policy, self.config.limits)
+    }
+
+    fn continue_with_annotation(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        qid: QueryId,
+        mut annotated: AnnotatedQuery,
+    ) {
+        // Run-time adaptation: peers this root already saw fail must not
+        // reappear, even when the (stale) super-peer registry still lists
+        // them (§2.5: "not taking into consideration those peers that
+        // became obsolete").
+        for peer in self.excluded_of(qid) {
+            annotated.remove_peer(peer);
+        }
+        let plan = generate_plan(&annotated);
+        let plan = if self.config.optimize {
+            let mut estimator = Estimator::new(CostParams::default());
+            for ad in self.registry.advertisements() {
+                if let Some(stats) = &ad.stats {
+                    estimator.set_stats(ad.peer, stats.clone());
+                }
+            }
+            let net_cost = self.config.cost_model.clone().unwrap_or_default();
+            optimize(plan, self.id, &estimator, &net_cost).0
+        } else {
+            plan
+        };
+
+        if plan.is_complete() {
+            self.execute(ctx, qid, plan, Completion::Root { qid });
+        } else {
+            // Partial plan: forward it to peers that can answer parts of
+            // it; the first to complete executes and streams back (§3.2).
+            let candidates: Vec<PeerId> =
+                plan.peers().into_iter().filter(|p| *p != self.id).collect();
+            if candidates.is_empty() {
+                self.finalize(ctx, qid, ResultSet::default(), true);
+                return;
+            }
+            let frame = self.new_frame(
+                qid,
+                FrameOp::Race,
+                Completion::Root { qid },
+                candidates.len(),
+            );
+            for (slot, peer) in candidates.into_iter().enumerate() {
+                self.dispatch_remote(ctx, qid, peer, plan.clone(), frame, slot, vec![self.id]);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Plan execution
+    // ------------------------------------------------------------------
+
+    fn new_frame(
+        &mut self,
+        qid: QueryId,
+        op: FrameOp,
+        completion: Completion,
+        slots: usize,
+    ) -> u64 {
+        let id = self.next_frame;
+        self.next_frame += 1;
+        self.frames.insert(
+            id,
+            Frame {
+                qid,
+                op,
+                completion,
+                slots: vec![None; slots],
+                remaining: slots,
+                partial: false,
+                done: false,
+            },
+        );
+        id
+    }
+
+    fn execute(&mut self, ctx: &mut Ctx<Msg>, qid: QueryId, plan: PlanNode, completion: Completion) {
+        if fully_local(&plan, self.id) {
+            self.queries_processed += 1;
+            let result = eval_local(&plan, self.id, &self.base);
+            let per_row = self.config.processing_us_per_row;
+            if per_row > 0 {
+                // Model the peer's processing load: the result is ready
+                // after `rows × per_row` virtual microseconds.
+                let delay = per_row * (result.len() as u64 + 1);
+                let timer = self.next_timer;
+                self.next_timer += 1;
+                self.delayed.insert(timer, (completion, result, false));
+                ctx.set_timer(delay, timer);
+            } else {
+                self.complete(ctx, completion, result, false);
+            }
+            return;
+        }
+        match plan {
+            PlanNode::Fetch { subquery, site } => match site {
+                Site::Peer(p) => {
+                    debug_assert_ne!(p, self.id);
+                    let frame = self.new_frame(qid, FrameOp::Union, completion, 1);
+                    let plan = PlanNode::Fetch { subquery, site };
+                    self.dispatch_remote(ctx, qid, p, plan, frame, 0, vec![self.id]);
+                }
+                Site::Hole => {
+                    // An unfillable hole reaching execution means routing
+                    // found nobody: a partial empty result.
+                    let columns = plan_columns(&PlanNode::Fetch { subquery, site });
+                    self.complete(ctx, completion, ResultSet::empty(columns), true);
+                }
+            },
+            PlanNode::Union(inputs) => {
+                let frame = self.new_frame(qid, FrameOp::Union, completion, inputs.len());
+                for (slot, input) in inputs.into_iter().enumerate() {
+                    self.execute(ctx, qid, input, Completion::Parent { frame, slot });
+                }
+            }
+            PlanNode::Join { inputs, site } => {
+                match site {
+                    Some(p) if p != self.id => {
+                        // Query shipping: the whole join subtree executes
+                        // at `p` (§2.5, Figure 5 right).
+                        let frame = self.new_frame(qid, FrameOp::Union, completion, 1);
+                        let plan = PlanNode::Join { inputs, site: Some(p) };
+                        self.dispatch_remote(ctx, qid, p, plan, frame, 0, vec![self.id]);
+                    }
+                    _ => {
+                        let frame = self.new_frame(qid, FrameOp::Join, completion, inputs.len());
+                        for (slot, input) in inputs.into_iter().enumerate() {
+                            self.execute(ctx, qid, input, Completion::Parent { frame, slot });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_remote(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        qid: QueryId,
+        dest: PeerId,
+        plan: PlanNode,
+        frame: u64,
+        slot: usize,
+        visited: Vec<PeerId>,
+    ) {
+        // Reuse the open channel towards `dest` if one exists (§2.4: one
+        // channel per contacted peer).
+        let channel = match self.channels.open_towards(node_of(dest)) {
+            Some(ch) => ch,
+            None => self.channels.open(node_of(self.id), node_of(dest)),
+        };
+        let plan_key = plan.to_string();
+        if self.config.phased {
+            if let Some(root) = self.rooted.get(&qid) {
+                if let Some(cached) = root.phase_cache.get(&(dest, plan_key.clone())) {
+                    // A previous phase already fetched this subplan from
+                    // this peer: reuse the result, ship nothing (§2.5's
+                    // phased alternative to discarding).
+                    let cached = cached.clone();
+                    self.fill_slot(ctx, frame, slot, cached, false);
+                    return;
+                }
+            }
+        }
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let columns = plan_columns(&plan);
+        self.outstanding.insert(
+            tag,
+            PendingRemote { qid, frame, slot, dest, columns, plan_key, plan: plan.clone() },
+        );
+        if let Some(timeout) = self.config.subplan_timeout_us {
+            let timer = self.next_timer;
+            self.next_timer += 1;
+            self.timeouts.insert(timer, tag);
+            ctx.set_timer(timeout, timer);
+        }
+        let msg = Msg::Subplan { channel, qid, tag, plan, visited };
+        let bytes = msg.wire_size();
+        ctx.send(node_of(dest), msg, bytes);
+    }
+
+    fn complete(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        completion: Completion,
+        result: ResultSet,
+        partial: bool,
+    ) {
+        match completion {
+            Completion::Parent { frame, slot } => self.fill_slot(ctx, frame, slot, result, partial),
+            Completion::Channel { channel, qid, tag } => {
+                // Piggyback fresh statistics for the root's optimiser
+                // (§2.4); only materialized bases snapshot cheaply.
+                let stats = match &self.base {
+                    BaseKind::Materialized(db) => Some(db.statistics()),
+                    _ => None,
+                };
+                let batch = self.config.stream_batch_rows.unwrap_or(usize::MAX).max(1);
+                if result.rows.len() <= batch {
+                    let msg =
+                        Msg::Data { channel, qid, tag, result, partial, stats, seq: 0, last: true };
+                    let bytes = msg.wire_size();
+                    ctx.send(channel.root, msg, bytes);
+                } else {
+                    // Stream the result as a pipeline of data packets.
+                    let columns = result.columns.clone();
+                    let chunks: Vec<Vec<Row>> =
+                        result.rows.chunks(batch).map(<[Row]>::to_vec).collect();
+                    let n = chunks.len();
+                    for (i, rows) in chunks.into_iter().enumerate() {
+                        let part = ResultSet { columns: columns.clone(), rows };
+                        let last = i + 1 == n;
+                        let msg = Msg::Data {
+                            channel,
+                            qid,
+                            tag,
+                            result: part,
+                            partial,
+                            stats: if last { stats.clone() } else { None },
+                            seq: i as u32,
+                            last,
+                        };
+                        let bytes = msg.wire_size();
+                        ctx.send(channel.root, msg, bytes);
+                    }
+                }
+            }
+            Completion::Root { qid } => self.finalize(ctx, qid, result, partial),
+        }
+    }
+
+    fn fail(&mut self, ctx: &mut Ctx<Msg>, completion: Completion, columns: Vec<String>) {
+        match completion {
+            Completion::Parent { frame, slot } => {
+                self.fill_slot(ctx, frame, slot, ResultSet::empty(columns), true)
+            }
+            Completion::Channel { channel, qid, tag } => {
+                let msg = Msg::SubplanFailed { channel, qid, tag };
+                let bytes = msg.wire_size();
+                ctx.send(channel.root, msg, bytes);
+            }
+            Completion::Root { qid } => self.finalize(ctx, qid, ResultSet::default(), true),
+        }
+    }
+
+    fn fill_slot(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        frame_id: u64,
+        slot: usize,
+        result: ResultSet,
+        partial: bool,
+    ) {
+        let Some(frame) = self.frames.get_mut(&frame_id) else { return };
+        if frame.done {
+            return;
+        }
+
+        if frame.op == FrameOp::Race {
+            if !partial {
+                // First successful filler wins; later arrivals are ignored
+                // (their frame is gone).
+                let frame = self.frames.remove(&frame_id).expect("frame exists");
+                self.complete(ctx, frame.completion, result, false);
+            } else {
+                if frame.slots[slot].is_none() {
+                    frame.remaining -= 1;
+                }
+                frame.slots[slot] = Some(result);
+                if frame.remaining == 0 {
+                    // Every racer failed.
+                    let frame = self.frames.remove(&frame_id).expect("frame exists");
+                    let first = frame.slots.into_iter().flatten().next().unwrap_or_default();
+                    self.complete(ctx, frame.completion, first, true);
+                }
+            }
+            return;
+        }
+
+        frame.partial |= partial;
+        if frame.slots[slot].is_none() {
+            frame.remaining -= 1;
+        }
+        frame.slots[slot] = Some(result);
+        if frame.remaining > 0 {
+            return;
+        }
+        let frame = self.frames.remove(&frame_id).expect("frame exists");
+        let (combined, combined_partial) = combine(&frame);
+        let per_row = self.config.processing_us_per_row;
+        if per_row > 0 && frame.op == FrameOp::Join {
+            // The join work happens at this peer: charge its load before
+            // the result moves on (§2.5's processing-load axis).
+            let delay = per_row * (combined.len() as u64 + 1);
+            let timer = self.next_timer;
+            self.next_timer += 1;
+            self.delayed.insert(timer, (frame.completion.clone(), combined, combined_partial));
+            ctx.set_timer(delay, timer);
+        } else {
+            self.complete(ctx, frame.completion.clone(), combined, combined_partial);
+        }
+    }
+
+    fn finalize(&mut self, ctx: &mut Ctx<Msg>, qid: QueryId, result: ResultSet, partial: bool) {
+        let (names, client, replans, started) = {
+            let Some(root) = self.rooted.get_mut(&qid) else { return };
+            if root.answered {
+                return;
+            }
+            root.answered = true;
+            let names: Vec<String> = root
+                .query
+                .projection()
+                .iter()
+                .map(|&v| root.query.var_name(v).to_string())
+                .collect();
+            (names, root.client, root.replans, root.started_at_us)
+        };
+        // Apply the query's final projection (§2.1 projections). An empty
+        // result coming out of a hole has no columns; give it the query's
+        // projection schema so consumers see a well-formed (empty) table.
+        let mut projected = result.project(&names);
+        if projected.rows.is_empty() && projected.columns.len() != names.len() {
+            projected = ResultSet::empty(names.clone());
+        }
+        // Top-N (§5): ORDER BY + LIMIT apply to the whole distributed
+        // answer, at the root, after assembly.
+        let (order, limit) = {
+            let root = self.rooted.get(&qid).expect("checked above");
+            let order = root
+                .query
+                .order_by()
+                .map(|(v, asc)| (root.query.var_name(v).to_string(), asc));
+            (order, root.query.limit())
+        };
+        if order.is_some() || limit.is_some() {
+            projected.apply_top(order.as_ref().map(|(n, a)| (n.as_str(), *a)), limit);
+        }
+        self.outcomes.insert(
+            qid,
+            QueryOutcome {
+                result: projected.clone(),
+                completed_at_us: ctx.now_us(),
+                latency_us: ctx.now_us().saturating_sub(started),
+                replans,
+                partial,
+            },
+        );
+        if let Some(client) = client {
+            let msg = Msg::ClientAnswer { qid, result: projected };
+            let bytes = msg.wire_size();
+            ctx.send(client, msg, bytes);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Run-time adaptation (§2.5)
+    // ------------------------------------------------------------------
+
+    fn adapt_or_give_up(&mut self, ctx: &mut Ctx<Msg>, qid: QueryId, culprit: Option<PeerId>) {
+        let Some(root) = self.rooted.get_mut(&qid) else { return };
+        if root.answered {
+            return;
+        }
+        if let Some(p) = culprit {
+            root.excluded.insert(p);
+        }
+        if root.replans >= self.config.max_replans {
+            self.finalize(ctx, qid, ResultSet::default(), true);
+            return;
+        }
+        root.replans += 1;
+        // ubQL semantics: discard all intermediate results and on-going
+        // computations, then re-run routing + processing.
+        let stale_frames: Vec<u64> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.qid == qid)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in stale_frames {
+            self.frames.remove(&id);
+        }
+        self.outstanding.retain(|_, p| p.qid != qid);
+        self.plan_and_execute(ctx, qid);
+    }
+
+    /// Common handling for a subplan lost to a failed destination or a
+    /// too-slow channel: phased repair, full re-plan, or graceful partial
+    /// degradation, per configuration.
+    fn handle_lost_subplan(&mut self, ctx: &mut Ctx<Msg>, pending: PendingRemote) {
+        let qid = pending.qid;
+        let failed_peer = pending.dest;
+        let is_root = self.rooted.contains_key(&qid);
+        if is_root && self.config.adaptive && self.config.phased {
+            // Phased, subplan-level repair (§2.5: "the alteration is done
+            // on a subplan and not on the whole query plan"): everything
+            // else keeps running; only the lost fragment is re-routed.
+            let plan = pending.plan.clone();
+            self.repair_subplan(ctx, qid, failed_peer, plan, pending);
+        } else if is_root && self.config.adaptive {
+            // ubQL semantics: discard everything and re-plan.
+            self.adapt_or_give_up(ctx, qid, Some(failed_peer));
+        } else {
+            // Static execution (or an intermediate peer): the lost branch
+            // becomes an empty partial slot and the rest of the plan
+            // continues.
+            let empty = ResultSet::empty(pending.columns);
+            self.fill_slot(ctx, pending.frame, pending.slot, empty, true);
+        }
+    }
+
+    /// Re-routes one lost subplan around `failed` without disturbing the
+    /// rest of the running plan: the failed peer's fetches become holes,
+    /// local routing fills them with alternatives, and the repaired
+    /// fragment feeds the *same* frame slot.
+    fn repair_subplan(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        qid: QueryId,
+        failed: PeerId,
+        plan: PlanNode,
+        pending: PendingRemote,
+    ) {
+        let excluded: Vec<PeerId> = {
+            let Some(root) = self.rooted.get_mut(&qid) else { return };
+            if root.answered {
+                return;
+            }
+            root.excluded.insert(failed);
+            root.replans += 1;
+            root.excluded.iter().copied().collect()
+        };
+        // Every trace of the failed peer becomes a hole / unsited join.
+        let holed = strip_peer(plan, failed);
+        let repaired = self.fill_holes(holed, &excluded);
+        if repaired.is_complete() {
+            self.execute(
+                ctx,
+                qid,
+                repaired,
+                Completion::Parent { frame: pending.frame, slot: pending.slot },
+            );
+        } else {
+            let empty = ResultSet::empty(pending.columns);
+            self.fill_slot(ctx, pending.frame, pending.slot, empty, true);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Serving subplans (destination side)
+    // ------------------------------------------------------------------
+
+    fn serve_subplan(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        channel: Channel,
+        qid: QueryId,
+        tag: u64,
+        plan: PlanNode,
+        mut visited: Vec<PeerId>,
+    ) {
+        // Slot admission (§2.5): with every slot busy the subplan queues
+        // until a running local evaluation finishes.
+        if let Some(slots) = self.config.slots {
+            if self.delayed.len() >= slots.max(1) {
+                self.slot_queue.push_back((channel, qid, tag, plan, visited));
+                return;
+            }
+        }
+        self.channels.accept(channel);
+        let completion = Completion::Channel { channel, qid, tag };
+
+        if plan.is_complete() {
+            self.execute(ctx, qid, plan, completion);
+            return;
+        }
+
+        // Interleaved routing and processing (§3.2): fill holes from local
+        // knowledge, then execute or forward.
+        let filled = self.fill_holes(plan, &visited);
+        if filled.is_complete() {
+            self.execute(ctx, qid, filled, completion);
+            return;
+        }
+        // Forward to a peer of the plan not yet visited.
+        visited.push(self.id);
+        let next = filled.peers().into_iter().find(|p| !visited.contains(p));
+        match next {
+            Some(peer) => {
+                let frame = self.new_frame(qid, FrameOp::Race, completion, 1);
+                self.dispatch_remote(ctx, qid, peer, filled, frame, 0, visited);
+            }
+            None => {
+                let columns = plan_columns(&filled);
+                self.fail(ctx, completion, columns);
+            }
+        }
+    }
+
+    /// Replaces hole fetches with unions over locally-known peers —
+    /// the interleaved routing step of §3.2.
+    ///
+    /// Only single-pattern holes are fillable (composite fetches are never
+    /// minted with a hole site); a hole nobody matches stays a hole.
+    fn fill_holes(&self, plan: PlanNode, visited: &[PeerId]) -> PlanNode {
+        let excluded: HashSet<PeerId> = visited.iter().copied().collect();
+        plan.map_fetches(&mut |subquery: Subquery, site: Site| {
+            if site != Site::Hole || subquery.query.patterns().len() != 1 {
+                return PlanNode::Fetch { subquery, site };
+            }
+            let annotated = self.local_route(&subquery.query, &excluded);
+            let branches: Vec<PlanNode> = annotated
+                .peers_for(0)
+                .iter()
+                .map(|ann| {
+                    let query = QueryPattern::from_parts(
+                        subquery.query.schema().clone(),
+                        subquery.query.var_names().to_vec(),
+                        vec![ann.pattern.clone()],
+                        subquery.query.projection().to_vec(),
+                        subquery.query.filters().to_vec(),
+                    );
+                    PlanNode::Fetch {
+                        subquery: Subquery { covers: subquery.covers.clone(), query },
+                        site: Site::Peer(ann.peer),
+                    }
+                })
+                .collect();
+            match branches.len() {
+                0 => PlanNode::Fetch { subquery, site: Site::Hole },
+                1 => branches.into_iter().next().expect("non-empty"),
+                _ => PlanNode::Union(branches),
+            }
+        })
+    }
+}
+
+/// Replaces every fetch at `peer` with a hole and clears join sites
+/// assigned to it (used by phased subplan repair).
+fn strip_peer(plan: PlanNode, peer: PeerId) -> PlanNode {
+    let plan = match plan {
+        PlanNode::Join { inputs, site } => PlanNode::Join {
+            inputs: inputs.into_iter().map(|i| strip_peer(i, peer)).collect(),
+            site: site.filter(|&s| s != peer),
+        },
+        PlanNode::Union(inputs) => {
+            PlanNode::Union(inputs.into_iter().map(|i| strip_peer(i, peer)).collect())
+        }
+        leaf => leaf,
+    };
+    plan.map_fetches(&mut |sq, site| {
+        let site = if site == Site::Peer(peer) { Site::Hole } else { site };
+        PlanNode::Fetch { subquery: sq, site }
+    })
+}
+
+/// The natural output columns of a plan subtree.
+pub(crate) fn plan_columns(plan: &PlanNode) -> Vec<String> {
+    match plan {
+        PlanNode::Fetch { subquery, .. } => subquery
+            .query
+            .projection()
+            .iter()
+            .map(|&v| subquery.query.var_name(v).to_string())
+            .collect(),
+        PlanNode::Union(inputs) => {
+            inputs.first().map(plan_columns).unwrap_or_default()
+        }
+        PlanNode::Join { inputs, .. } => {
+            let mut cols: Vec<String> = Vec::new();
+            for input in inputs {
+                for c in plan_columns(input) {
+                    if !cols.contains(&c) {
+                        cols.push(c);
+                    }
+                }
+            }
+            cols
+        }
+    }
+}
+
+fn combine(frame: &Frame) -> (ResultSet, bool) {
+    let slots: Vec<&ResultSet> = frame.slots.iter().flatten().collect();
+    let combined = match frame.op {
+        FrameOp::Union => {
+            let mut iter = slots.into_iter();
+            let Some(first) = iter.next() else { return (ResultSet::default(), true) };
+            let mut acc = first.clone();
+            for s in iter {
+                acc.union(s);
+            }
+            acc
+        }
+        FrameOp::Join => {
+            let mut iter = slots.into_iter();
+            let Some(first) = iter.next() else { return (ResultSet::default(), true) };
+            let mut acc = first.clone();
+            for s in iter {
+                acc = acc.join(s);
+            }
+            acc
+        }
+        FrameOp::Race => {
+            // The winning (non-partial) slot if any, else the first filled.
+            slots.first().map(|s| (*s).clone()).unwrap_or_default()
+        }
+    };
+    (combined, frame.partial && frame.op != FrameOp::Race)
+}
+
+impl NodeLogic for PeerNode {
+    type Msg = Msg;
+
+    fn on_message(&mut self, ctx: &mut Ctx<Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Advertise(ad) => {
+                // Super-peers replicate simple-peer advertisements across
+                // the backbone ("all super-peers are aware of each other",
+                // §3.1) so every super-peer can produce the complete
+                // annotated pattern the hybrid architecture promises.
+                // Advertisements relayed by another super-peer are stored
+                // but not re-forwarded (loop guard).
+                let from_backbone = self.super_peers.contains(&peer_of(from));
+                self.registry.register(ad.clone());
+                if self.role == Role::Super && !from_backbone {
+                    for &sp in &self.super_peers {
+                        let msg = Msg::Advertise(ad.clone());
+                        let bytes = msg.wire_size();
+                        ctx.send(node_of(sp), msg, bytes);
+                    }
+                }
+            }
+            Msg::Withdraw => {
+                self.registry.unregister(peer_of(from));
+                // Withdrawals replicate like advertisements. A withdrawal
+                // relayed over the backbone names the leaving peer in the
+                // dedicated variant below, so only direct leaves fan out.
+                if self.role == Role::Super && !self.super_peers.contains(&peer_of(from)) {
+                    for &sp in &self.super_peers {
+                        let msg = Msg::WithdrawPeer(peer_of(from));
+                        let bytes = msg.wire_size();
+                        ctx.send(node_of(sp), msg, bytes);
+                    }
+                }
+            }
+            Msg::WithdrawPeer(peer) => {
+                self.registry.unregister(peer);
+            }
+            Msg::RequestAds { .. } => {
+                let ads: Vec<Advertisement> = self.own_advertisement().into_iter().collect();
+                let msg = Msg::AdsResponse(ads);
+                let bytes = msg.wire_size();
+                ctx.send(from, msg, bytes);
+            }
+            Msg::AdsResponse(ads) => {
+                for ad in ads {
+                    self.registry.register(ad);
+                }
+            }
+            Msg::RouteRequest { qid, query, backbone_ttl, partial } => {
+                self.handle_route_request(ctx, from, qid, query, backbone_ttl, partial);
+            }
+            Msg::RouteResponse { qid, annotated } => {
+                if let Some(requester) = self.route_relays.remove(&qid) {
+                    // This node was a backbone relay: pass the answer back.
+                    let msg = Msg::RouteResponse { qid, annotated };
+                    let bytes = msg.wire_size();
+                    ctx.send(requester, msg, bytes);
+                } else {
+                    self.continue_with_annotation(ctx, qid, annotated);
+                }
+            }
+            Msg::Subplan { channel, qid, tag, plan, visited } => {
+                self.serve_subplan(ctx, channel, qid, tag, plan, visited);
+            }
+            Msg::Data { qid, tag, result, partial, stats, seq, last, .. } => {
+                if let Some(fresh) = stats {
+                    // Refresh the sender's advertised statistics — channel
+                    // packets keep the optimiser's estimates current (§2.4).
+                    if let Some(ad) = self.registry.get(peer_of(from)).cloned() {
+                        self.registry.register(ad.with_stats(fresh));
+                    }
+                }
+                if !self.outstanding.contains_key(&tag) {
+                    self.streams.remove(&tag);
+                    return;
+                }
+                // Reassemble streamed batches; they may arrive out of
+                // order (smaller packets travel faster).
+                let buffer = self.streams.entry(tag).or_default();
+                if buffer.columns.is_empty() {
+                    buffer.columns = result.columns.clone();
+                }
+                buffer.partial |= partial;
+                buffer.batches.insert(seq, result.rows);
+                if last {
+                    buffer.last_seq = Some(seq);
+                }
+                if !buffer.complete() {
+                    return;
+                }
+                let buffer = self.streams.remove(&tag).expect("present");
+                let partial = buffer.partial;
+                let result = buffer.assemble();
+                if let Some(pending) = self.outstanding.remove(&tag) {
+                    debug_assert_eq!(pending.qid, qid);
+                    if self.config.phased && !partial {
+                        if let Some(root) = self.rooted.get_mut(&qid) {
+                            root.phase_cache
+                                .insert((pending.dest, pending.plan_key.clone()), result.clone());
+                        }
+                    }
+                    self.fill_slot(ctx, pending.frame, pending.slot, result, partial);
+                }
+            }
+            Msg::SubplanFailed { qid, tag, .. } => {
+                if let Some(pending) = self.outstanding.remove(&tag) {
+                    if self.rooted.contains_key(&qid) && self.config.adaptive {
+                        self.adapt_or_give_up(ctx, qid, Some(pending.dest));
+                    } else {
+                        let empty = ResultSet::empty(pending.columns);
+                        self.fill_slot(ctx, pending.frame, pending.slot, empty, true);
+                    }
+                }
+            }
+            Msg::ExecutePlan { qid, query, plan } => {
+                self.rooted.insert(
+                    qid,
+                    RootQuery {
+                        query,
+                        client: Some(from),
+                        excluded: HashSet::new(),
+                        replans: 0,
+                        started_at_us: ctx.now_us(),
+                        answered: false,
+                        phase_cache: HashMap::new(),
+                    },
+                );
+                self.execute(ctx, qid, plan, Completion::Root { qid });
+            }
+            Msg::ClientQuery { qid, query } => {
+                self.begin_query(ctx, qid, query, Some(from));
+            }
+            Msg::ClientAnswer { qid, result } => {
+                self.client_answers.insert(qid, result);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Msg>, timer: u64) {
+        if let Some((completion, result, partial)) = self.delayed.remove(&timer) {
+            self.complete(ctx, completion, result, partial);
+            // A slot freed: admit the next queued subplan, if any.
+            if let Some((channel, qid, tag, plan, visited)) = self.slot_queue.pop_front() {
+                self.serve_subplan(ctx, channel, qid, tag, plan, visited);
+            }
+            return;
+        }
+        if let Some(tag) = self.timeouts.remove(&timer) {
+            // The subplan is still outstanding: the channel is too slow —
+            // treat it like a failure and adapt (§2.5 throughput
+            // adaptation). A result that already arrived cleared the
+            // outstanding entry, making this a no-op.
+            if let Some(pending) = self.outstanding.remove(&tag) {
+                self.handle_lost_subplan(ctx, pending);
+            }
+        }
+    }
+
+    fn on_delivery_failure(&mut self, ctx: &mut Ctx<Msg>, to: NodeId, msg: Msg) {
+        let failed_peer = peer_of(to);
+        self.channels.fail_towards(to);
+        match msg {
+            Msg::Subplan { tag, .. } => {
+                let Some(pending) = self.outstanding.remove(&tag) else { return };
+                self.handle_lost_subplan(ctx, pending);
+            }
+            Msg::RouteRequest { qid, .. } if self.rooted.contains_key(&qid) => {
+                self.adapt_or_give_up(ctx, qid, Some(failed_peer));
+            }
+            // Lost answers/acknowledgements are not recoverable.
+            _ => {}
+        }
+    }
+}
+
+impl PeerNode {
+    /// Super-peer routing service (§3.1): annotate from the SON registry,
+    /// or discover the responsible super-peer through the backbone when
+    /// this SON is unknown here ("it sends the query randomly to one of
+    /// its known super-peers, which will consecutively discover the
+    /// appropriate super-peer through the super-peers backbone").
+    #[allow(clippy::too_many_arguments)]
+    fn handle_route_request(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        from: NodeId,
+        qid: QueryId,
+        query: QueryPattern,
+        backbone_ttl: u32,
+        partial: Option<AnnotatedQuery>,
+    ) {
+        let mut annotated = self.local_route(&query, &HashSet::new());
+        if annotated.all_peers().is_empty() {
+            // Mediation (§3.1): a query over a foreign schema is
+            // reformulated onto this SON's schema through an articulation
+            // and routed again. Variables are preserved, so the requester
+            // executes the reformulated subplans transparently.
+            for articulation in &self.articulations {
+                if !sqpeer_routing::same_schema(articulation.source(), query.schema()) {
+                    continue;
+                }
+                if let Some(reformulated) = articulation.reformulate(&query) {
+                    let mediated = self.local_route(&reformulated, &HashSet::new());
+                    if !mediated.all_peers().is_empty() {
+                        annotated = mediated;
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(prev) = partial {
+            annotated.merge(&prev);
+        }
+        // Forward along the backbone while the pattern is incomplete: some
+        // other super-peer may know peers for the remaining patterns. The
+        // response retraces the relay chain back to the requester.
+        let next = self
+            .super_peers
+            .iter()
+            .find(|p| node_of(**p) != from && !self.route_relays.contains_key(&qid))
+            .copied();
+        if annotated.is_complete() || backbone_ttl == 0 || next.is_none() {
+            let msg = Msg::RouteResponse { qid, annotated };
+            let bytes = msg.wire_size();
+            ctx.send(from, msg, bytes);
+            return;
+        }
+        let sp = next.expect("checked above");
+        self.route_relays.insert(qid, from);
+        let msg = Msg::RouteRequest {
+            qid,
+            query,
+            backbone_ttl: backbone_ttl - 1,
+            partial: Some(annotated),
+        };
+        let bytes = msg.wire_size();
+        ctx.send(node_of(sp), msg, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqpeer_net::{NodeId, Simulator};
+    use sqpeer_rdfs::{Range, Resource, Schema, SchemaBuilder, Triple};
+    use sqpeer_rql::compile;
+    use std::sync::Arc;
+
+    pub(crate) fn fig1_schema() -> Arc<Schema> {
+        let mut b = SchemaBuilder::new("n1", "http://example.org/n1#");
+        let c1 = b.class("C1").unwrap();
+        let c2 = b.class("C2").unwrap();
+        let c3 = b.class("C3").unwrap();
+        let _ = b.class("C4").unwrap();
+        let c5 = b.subclass("C5", c1).unwrap();
+        let c6 = b.subclass("C6", c2).unwrap();
+        let p1 = b.property("prop1", c1, Range::Class(c2)).unwrap();
+        let _ = b.property("prop2", c2, Range::Class(c3)).unwrap();
+        let _ = b.subproperty("prop4", p1, c5, Range::Class(c6)).unwrap();
+        Arc::new(b.finish().unwrap())
+    }
+
+    fn base_with(schema: &Arc<Schema>, triples: &[(&str, &str, &str)]) -> DescriptionBase {
+        let mut db = DescriptionBase::new(Arc::clone(schema));
+        for (s, p, o) in triples {
+            let prop = schema.property_by_name(p).unwrap();
+            db.insert_described(Triple::new(Resource::new(*s), prop, Resource::new(*o)));
+        }
+        db
+    }
+
+    fn adhoc_config() -> PeerConfig {
+        PeerConfig { mode: PeerMode::Adhoc, optimize: false, ..PeerConfig::default() }
+    }
+
+    /// Two peers in ad-hoc mode; P1 knows P2's advertisement and queries.
+    #[test]
+    fn adhoc_two_peer_query() {
+        let schema = fig1_schema();
+        let mut sim: Simulator<PeerNode> = Simulator::default();
+
+        let b1 = base_with(&schema, &[("a", "prop1", "b")]);
+        let b2 = base_with(&schema, &[("b", "prop2", "c")]);
+        let mut p1 = PeerNode::simple(PeerId(1), b1, adhoc_config());
+        let p2 = PeerNode::simple(PeerId(2), b2, adhoc_config());
+
+        // P1 knows itself and P2.
+        let ad1 = p1.own_advertisement().unwrap();
+        let ad2 = p2.own_advertisement().unwrap();
+        p1.registry.register(ad1);
+        p1.registry.register(ad2);
+
+        sim.add_node(NodeId(1), p1);
+        sim.add_node(NodeId(2), p2);
+        sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+
+        let query = compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}", &schema).unwrap();
+        let msg = Msg::ClientQuery { qid: QueryId(1), query };
+        let bytes = msg.wire_size();
+        sim.inject(NodeId(99), NodeId(1), msg, bytes);
+        sim.run_to_quiescence();
+
+        let p1 = sim.node(NodeId(1)).unwrap();
+        let outcome = p1.outcomes.get(&QueryId(1)).expect("query completed");
+        assert!(!outcome.partial);
+        assert_eq!(outcome.result.len(), 1);
+        assert_eq!(outcome.result.columns, vec!["X", "Z"]);
+        // The client got the same answer.
+        let client = sim.node(NodeId(99)).unwrap();
+        assert_eq!(client.client_answers.get(&QueryId(1)).unwrap().len(), 1);
+    }
+
+    /// Horizontal distribution: two peers both answering the same pattern.
+    #[test]
+    fn adhoc_union_across_peers() {
+        let schema = fig1_schema();
+        let mut sim: Simulator<PeerNode> = Simulator::default();
+        let b1 = base_with(&schema, &[("a", "prop1", "b")]);
+        let b2 = base_with(&schema, &[("c", "prop1", "d")]);
+        let b3 = base_with(&schema, &[("a", "prop1", "b")]); // duplicate of b1
+        let mut p1 = PeerNode::simple(PeerId(1), b1, adhoc_config());
+        let p2 = PeerNode::simple(PeerId(2), b2, adhoc_config());
+        let p3 = PeerNode::simple(PeerId(3), b3, adhoc_config());
+        for ad in [
+            p1.own_advertisement().unwrap(),
+            p2.own_advertisement().unwrap(),
+            p3.own_advertisement().unwrap(),
+        ] {
+            p1.registry.register(ad);
+        }
+        sim.add_node(NodeId(1), p1);
+        sim.add_node(NodeId(2), p2);
+        sim.add_node(NodeId(3), p3);
+        sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+
+        let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
+        let msg = Msg::ClientQuery { qid: QueryId(7), query };
+        let bytes = msg.wire_size();
+        sim.inject(NodeId(99), NodeId(1), msg, bytes);
+        sim.run_to_quiescence();
+
+        let outcome =
+            sim.node(NodeId(1)).unwrap().outcomes.get(&QueryId(7)).expect("completed").clone();
+        // Set semantics: the duplicate row across P1/P3 appears once.
+        assert_eq!(outcome.result.len(), 2);
+        assert!(!outcome.partial);
+    }
+
+    /// Top-N routing caps the union fan-out.
+    #[test]
+    fn routing_limits_cap_fanout() {
+        let schema = fig1_schema();
+        let mut sim: Simulator<PeerNode> = Simulator::default();
+        let config = PeerConfig {
+            limits: sqpeer_routing::RoutingLimits::top(1),
+            ..adhoc_config()
+        };
+        let mut p1 = PeerNode::simple(PeerId(1), base_with(&schema, &[]), config);
+        // Three peers hold prop1 with different volumes; top(1) must pick
+        // the largest and the answer misses the other rows.
+        let mut nodes = Vec::new();
+        for (i, count) in [(2u32, 1usize), (3, 2), (4, 3)] {
+            let triples: Vec<(String, String, String)> = (0..count)
+                .map(|j| (format!("http://p{i}/s{j}"), "prop1".to_string(), format!("http://p{i}/o{j}")))
+                .collect();
+            let refs: Vec<(&str, &str, &str)> =
+                triples.iter().map(|(a, b, c)| (a.as_str(), b.as_str(), c.as_str())).collect();
+            let node = PeerNode::simple(PeerId(i), base_with(&schema, &refs), adhoc_config());
+            p1.registry.register(node.own_advertisement().unwrap());
+            nodes.push((i, node));
+        }
+        sim.add_node(NodeId(1), p1);
+        for (i, node) in nodes {
+            sim.add_node(NodeId(i), node);
+        }
+        sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+        let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
+        let msg = Msg::ClientQuery { qid: QueryId(5), query };
+        let bytes = msg.wire_size();
+        sim.inject(NodeId(99), NodeId(1), msg, bytes);
+        sim.run_to_quiescence();
+        let outcome = sim.node(NodeId(1)).unwrap().outcomes.get(&QueryId(5)).unwrap();
+        // Only P4's three rows (the largest extent) were fetched.
+        assert_eq!(outcome.result.len(), 3);
+    }
+
+    /// §2.4 pipelining: streamed batches reassemble into exactly the
+    /// single-packet answer, with more (smaller) messages on the wire.
+    #[test]
+    fn streamed_results_match_single_packet() {
+        let schema = fig1_schema();
+        let run = |batch: Option<usize>| -> (ResultSet, usize) {
+            let mut sim: Simulator<PeerNode> = Simulator::default();
+            let mut p1 = PeerNode::simple(PeerId(1), base_with(&schema, &[]), adhoc_config());
+            let config = PeerConfig { stream_batch_rows: batch, ..adhoc_config() };
+            let mut holder_base = DescriptionBase::new(Arc::clone(&schema));
+            let prop1 = schema.property_by_name("prop1").unwrap();
+            for i in 0..25 {
+                holder_base.insert_described(sqpeer_rdfs::Triple::new(
+                    sqpeer_rdfs::Resource::new(format!("http://s/{i}")),
+                    prop1,
+                    sqpeer_rdfs::Resource::new(format!("http://o/{i}")),
+                ));
+            }
+            let holder = PeerNode::simple(PeerId(2), holder_base, config);
+            p1.registry.register(holder.own_advertisement().unwrap());
+            sim.add_node(NodeId(1), p1);
+            sim.add_node(NodeId(2), holder);
+            sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+            let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
+            let msg = Msg::ClientQuery { qid: QueryId(8), query };
+            let bytes = msg.wire_size();
+            sim.inject(NodeId(99), NodeId(1), msg, bytes);
+            sim.run_to_quiescence();
+            let rs = sim
+                .node(NodeId(1))
+                .unwrap()
+                .outcomes
+                .get(&QueryId(8))
+                .unwrap()
+                .result
+                .clone()
+                .sorted();
+            (rs, sim.metrics().total_messages())
+        };
+        let (single, msgs_single) = run(None);
+        let (streamed, msgs_streamed) = run(Some(4));
+        assert_eq!(single.len(), 25);
+        assert_eq!(single, streamed, "batching must not change the answer");
+        assert!(
+            msgs_streamed > msgs_single,
+            "7 batches beat 1 packet in message count ({msgs_streamed} vs {msgs_single})"
+        );
+    }
+
+    /// §2.4: data packets piggyback statistics that refresh the root's
+    /// registry knowledge.
+    #[test]
+    fn data_packets_refresh_statistics() {
+        let schema = fig1_schema();
+        let mut sim: Simulator<PeerNode> = Simulator::default();
+        let mut p1 = PeerNode::simple(PeerId(1), base_with(&schema, &[]), adhoc_config());
+        let holder = PeerNode::simple(
+            PeerId(2),
+            base_with(&schema, &[("http://a", "prop1", "http://b")]),
+            adhoc_config(),
+        );
+        // Register the holder's ad WITHOUT statistics.
+        let bare = sqpeer_routing::Advertisement::new(
+            PeerId(2),
+            holder.own_advertisement().unwrap().active,
+        );
+        assert!(bare.stats.is_none());
+        p1.registry.register(bare);
+        sim.add_node(NodeId(1), p1);
+        sim.add_node(NodeId(2), holder);
+        sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+        let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
+        let msg = Msg::ClientQuery { qid: QueryId(3), query };
+        let bytes = msg.wire_size();
+        sim.inject(NodeId(99), NodeId(1), msg, bytes);
+        sim.run_to_quiescence();
+        // After the answer streamed back, P1 holds fresh statistics.
+        let p1 = sim.node(NodeId(1)).unwrap();
+        let stats = p1.registry.get(PeerId(2)).unwrap().stats.as_ref().expect("refreshed");
+        let prop1 = schema.property_by_name("prop1").unwrap();
+        assert_eq!(stats.property(prop1).triples, 1);
+    }
+
+    /// §2.5 slots: a single-slot peer serialises concurrent subplans;
+    /// more slots restore parallel service.
+    #[test]
+    fn slots_serialize_concurrent_subplans() {
+        let schema = fig1_schema();
+        let run = |slots: usize| -> u64 {
+            let mut sim: Simulator<PeerNode> = Simulator::default();
+            // Two querying peers share one busy data holder.
+            let holder_config = PeerConfig {
+                processing_us_per_row: 50_000, // 50 ms/row
+                slots: Some(slots),
+                ..adhoc_config()
+            };
+            let holder = PeerNode::simple(
+                PeerId(3),
+                base_with(&schema, &[("http://a", "prop1", "http://b")]),
+                holder_config,
+            );
+            let holder_ad = holder.own_advertisement().unwrap();
+            for i in [1u32, 2] {
+                let mut p = PeerNode::simple(PeerId(i), base_with(&schema, &[]), adhoc_config());
+                p.registry.register(holder_ad.clone());
+                sim.add_node(NodeId(i), p);
+            }
+            sim.add_node(NodeId(3), holder);
+            sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+            let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
+            for (qid, origin) in [(QueryId(1), NodeId(1)), (QueryId(2), NodeId(2))] {
+                let msg = Msg::ClientQuery { qid, query: query.clone() };
+                let bytes = msg.wire_size();
+                sim.inject(NodeId(99), origin, msg, bytes);
+            }
+            sim.run_to_quiescence();
+            // Latest completion across the two queries.
+            [1u32, 2]
+                .iter()
+                .map(|&i| {
+                    sim.node(NodeId(i))
+                        .unwrap()
+                        .outcomes
+                        .values()
+                        .map(|o| o.completed_at_us)
+                        .max()
+                        .unwrap()
+                })
+                .max()
+                .unwrap()
+        };
+        let serialized = run(1);
+        let parallel = run(2);
+        assert!(
+            serialized > parallel,
+            "one slot must serialise service ({serialized} vs {parallel})"
+        );
+    }
+
+    /// §2.5 throughput adaptation: a live-but-slow peer gets abandoned
+    /// when its subplan result misses the timeout; a fast replica answers.
+    #[test]
+    fn slow_channel_timeout_adapts() {
+        let schema = fig1_schema();
+        let run = |timeout: Option<u64>| -> (usize, u64) {
+            let mut sim: Simulator<PeerNode> = Simulator::default();
+            let config = PeerConfig {
+                subplan_timeout_us: timeout,
+                phased: true,
+                ..adhoc_config()
+            };
+            let mut p1 = PeerNode::simple(PeerId(1), base_with(&schema, &[]), config);
+            // The slow peer takes ~2 s of processing per row.
+            let slow_config =
+                PeerConfig { processing_us_per_row: 1_000_000, ..adhoc_config() };
+            let slow = PeerNode::simple(
+                PeerId(2),
+                base_with(&schema, &[("http://a", "prop1", "http://b")]),
+                slow_config,
+            );
+            let fast = PeerNode::simple(
+                PeerId(3),
+                base_with(&schema, &[("http://a", "prop1", "http://b")]),
+                adhoc_config(),
+            );
+            // P1 initially knows only the slow holder; the fast replica is
+            // discovered at repair time.
+            let slow_ad = slow.own_advertisement().unwrap();
+            let fast_ad = fast.own_advertisement().unwrap();
+            p1.registry.register(slow_ad);
+            p1.registry.register(fast_ad);
+            // Make routing prefer the slow peer deterministically by
+            // capping to 1 (slow peer wins the tiebreak on PeerId).
+            p1.config.limits = sqpeer_routing::RoutingLimits::top(1);
+            sim.add_node(NodeId(1), p1);
+            sim.add_node(NodeId(2), slow);
+            sim.add_node(NodeId(3), fast);
+            sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+            let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
+            let msg = Msg::ClientQuery { qid: QueryId(4), query };
+            let bytes = msg.wire_size();
+            sim.inject(NodeId(99), NodeId(1), msg, bytes);
+            sim.run_to_quiescence();
+            let o = sim.node(NodeId(1)).unwrap().outcomes.get(&QueryId(4)).unwrap();
+            (o.result.len(), o.latency_us)
+        };
+        let (rows_slow, t_slow) = run(None);
+        let (rows_fast, t_fast) = run(Some(200_000)); // 200 ms timeout
+        assert_eq!(rows_slow, 1);
+        assert_eq!(rows_fast, 1);
+        assert!(
+            t_fast < t_slow,
+            "timeout adaptation must beat waiting for the slow channel \
+             ({t_fast} vs {t_slow})"
+        );
+    }
+
+    /// Phased adaptation reuses completed subplan results instead of
+    /// re-fetching them.
+    #[test]
+    fn phased_adaptation_reuses_results() {
+        let schema = fig1_schema();
+        let run = |phased: bool| -> (usize, usize) {
+            let mut sim: Simulator<PeerNode> = Simulator::default();
+            let config = PeerConfig { phased, ..adhoc_config() };
+            let mut p1 = PeerNode::simple(PeerId(1), base_with(&schema, &[]), config);
+            let survivor = PeerNode::simple(
+                PeerId(2),
+                base_with(&schema, &[("http://a", "prop1", "http://b")]),
+                adhoc_config(),
+            );
+            let dying = PeerNode::simple(
+                PeerId(3),
+                base_with(&schema, &[("http://b", "prop2", "http://c")]),
+                adhoc_config(),
+            );
+            let backup = PeerNode::simple(
+                PeerId(4),
+                base_with(&schema, &[("http://b", "prop2", "http://c")]),
+                adhoc_config(),
+            );
+            for ad in [
+                survivor.own_advertisement().unwrap(),
+                dying.own_advertisement().unwrap(),
+                backup.own_advertisement().unwrap(),
+            ] {
+                p1.registry.register(ad);
+            }
+            sim.add_node(NodeId(1), p1);
+            sim.add_node(NodeId(2), survivor);
+            sim.add_node(NodeId(3), dying);
+            sim.add_node(NodeId(4), backup);
+            sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+            // P3 dies while the subplans are in flight (before delivery).
+            sim.schedule_node_down(30_000, NodeId(3));
+            let query =
+                compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}", &schema).unwrap();
+            let msg = Msg::ClientQuery { qid: QueryId(9), query };
+            let bytes = msg.wire_size();
+            sim.inject(NodeId(99), NodeId(1), msg, bytes);
+            sim.run_to_quiescence();
+            let rows =
+                sim.node(NodeId(1)).unwrap().outcomes.get(&QueryId(9)).unwrap().result.len();
+            // How many subqueries the survivor ended up answering: with
+            // phased adaptation the second phase reuses its cached result.
+            let survivor_load = sim.node(NodeId(2)).unwrap().queries_processed;
+            (rows, survivor_load)
+        };
+        let (rows_discard, load_discard) = run(false);
+        let (rows_phased, load_phased) = run(true);
+        assert_eq!(rows_discard, 1);
+        assert_eq!(rows_phased, 1);
+        assert!(
+            load_phased < load_discard,
+            "phased ({load_phased}) must re-use the survivor's result vs discard ({load_discard})"
+        );
+    }
+
+    /// A query nobody can answer yields an empty partial answer rather
+    /// than hanging.
+    #[test]
+    fn adhoc_no_peers_is_partial_empty() {
+        let schema = fig1_schema();
+        let mut sim: Simulator<PeerNode> = Simulator::default();
+        let b1 = base_with(&schema, &[("a", "prop1", "b")]);
+        let mut p1 = PeerNode::simple(PeerId(1), b1, adhoc_config());
+        let ad1 = p1.own_advertisement().unwrap();
+        p1.registry.register(ad1);
+        sim.add_node(NodeId(1), p1);
+        sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+
+        // prop2 is not in anyone's base.
+        let query = compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}", &schema).unwrap();
+        let msg = Msg::ClientQuery { qid: QueryId(2), query };
+        let bytes = msg.wire_size();
+        sim.inject(NodeId(99), NodeId(1), msg, bytes);
+        sim.run_to_quiescence();
+
+        let outcome =
+            sim.node(NodeId(1)).unwrap().outcomes.get(&QueryId(2)).expect("completed").clone();
+        assert!(outcome.partial);
+        assert!(outcome.result.is_empty());
+    }
+}

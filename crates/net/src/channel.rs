@@ -1,0 +1,202 @@
+//! The ubQL channel construct (paper §2.4, after \[26\]).
+//!
+//! "Each channel has a root and a destination node. The root node of a
+//! channel is responsible for the management of the channel using its
+//! local unique id. Data packets are sent through each channel from the
+//! destination to the root node. Beside query results, these packets can
+//! also contain 'changing plan' and failure information or even statistics
+//! useful for query optimization."
+//!
+//! The simulator moves the actual messages; this module is the channel
+//! *bookkeeping* both ends keep: local ids minted by the root, per-channel
+//! state, and lookup in both directions. The execution engine
+//! (`sqpeer-exec`) opens one channel per contacted peer and tags every
+//! packet with the channel id.
+
+use crate::sim::NodeId;
+use std::collections::HashMap;
+
+/// A channel id, unique *per root node* ("its local unique id").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(pub u64);
+
+/// Channel lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelState {
+    /// Deployed and usable.
+    Open,
+    /// The destination (or the link to it) failed; the root must adapt.
+    Failed,
+    /// Closed after the subplan completed or was abandoned.
+    Closed,
+}
+
+/// One channel endpoint's view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Channel {
+    /// The root-minted id.
+    pub id: ChannelId,
+    /// The root node (receives data packets, manages the channel).
+    pub root: NodeId,
+    /// The destination node (evaluates the subplan, streams data back).
+    pub dest: NodeId,
+    /// Current state.
+    pub state: ChannelState,
+}
+
+/// The channel table a node keeps: channels it roots plus channels rooted
+/// elsewhere that target it.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelTable {
+    next_id: u64,
+    /// Channels this node manages (it is the root).
+    rooted: HashMap<ChannelId, Channel>,
+    /// Channels this node serves (it is the destination), keyed by
+    /// (root, id) because ids are only unique per root.
+    serving: HashMap<(NodeId, ChannelId), Channel>,
+}
+
+impl ChannelTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ChannelTable::default()
+    }
+
+    /// Opens a channel rooted at `root` (this node) towards `dest`,
+    /// minting a fresh local id.
+    pub fn open(&mut self, root: NodeId, dest: NodeId) -> Channel {
+        let id = ChannelId(self.next_id);
+        self.next_id += 1;
+        let ch = Channel { id, root, dest, state: ChannelState::Open };
+        self.rooted.insert(id, ch);
+        ch
+    }
+
+    /// Records, at the destination side, a channel another node rooted.
+    pub fn accept(&mut self, ch: Channel) {
+        self.serving.insert((ch.root, ch.id), ch);
+    }
+
+    /// A channel this node roots.
+    pub fn rooted(&self, id: ChannelId) -> Option<&Channel> {
+        self.rooted.get(&id)
+    }
+
+    /// A channel this node serves for `root`.
+    pub fn serving(&self, root: NodeId, id: ChannelId) -> Option<&Channel> {
+        self.serving.get(&(root, id))
+    }
+
+    /// All open channels this node roots, ordered by id.
+    pub fn open_rooted(&self) -> Vec<Channel> {
+        let mut out: Vec<Channel> =
+            self.rooted.values().filter(|c| c.state == ChannelState::Open).copied().collect();
+        out.sort_by_key(|c| c.id);
+        out
+    }
+
+    /// The open channel (if any) this node roots towards `dest` —
+    /// "although each of these peers may contribute … only one channel is
+    /// of course created" (§2.4).
+    pub fn open_towards(&self, dest: NodeId) -> Option<Channel> {
+        self.open_rooted().into_iter().find(|c| c.dest == dest)
+    }
+
+    /// Marks a rooted channel's state; returns the updated channel.
+    pub fn set_state(&mut self, id: ChannelId, state: ChannelState) -> Option<Channel> {
+        let ch = self.rooted.get_mut(&id)?;
+        ch.state = state;
+        Some(*ch)
+    }
+
+    /// Marks every open channel towards `dest` failed, returning them —
+    /// what a root does on a delivery-failure signal.
+    pub fn fail_towards(&mut self, dest: NodeId) -> Vec<Channel> {
+        let mut failed = Vec::new();
+        for ch in self.rooted.values_mut() {
+            if ch.dest == dest && ch.state == ChannelState::Open {
+                ch.state = ChannelState::Failed;
+                failed.push(*ch);
+            }
+        }
+        failed.sort_by_key(|c| c.id);
+        failed
+    }
+
+    /// Closes and forgets a served channel.
+    pub fn finish_serving(&mut self, root: NodeId, id: ChannelId) -> Option<Channel> {
+        self.serving.remove(&(root, id))
+    }
+
+    /// Number of channels this node currently roots (any state).
+    pub fn rooted_count(&self) -> usize {
+        self.rooted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_local_to_the_root() {
+        let mut a = ChannelTable::new();
+        let mut b = ChannelTable::new();
+        let ch_a = a.open(NodeId(1), NodeId(2));
+        let ch_b = b.open(NodeId(3), NodeId(2));
+        // Both roots mint id 0 — disambiguated at the destination by root.
+        assert_eq!(ch_a.id, ch_b.id);
+        let mut dest = ChannelTable::new();
+        dest.accept(ch_a);
+        dest.accept(ch_b);
+        assert_eq!(dest.serving(NodeId(1), ch_a.id).unwrap().root, NodeId(1));
+        assert_eq!(dest.serving(NodeId(3), ch_b.id).unwrap().root, NodeId(3));
+    }
+
+    #[test]
+    fn open_towards_reuses_single_channel() {
+        let mut t = ChannelTable::new();
+        assert!(t.open_towards(NodeId(5)).is_none());
+        let ch = t.open(NodeId(1), NodeId(5));
+        assert_eq!(t.open_towards(NodeId(5)), Some(ch));
+        assert_eq!(t.open_rooted().len(), 1);
+    }
+
+    #[test]
+    fn failure_marks_all_channels_to_dest() {
+        let mut t = ChannelTable::new();
+        let c1 = t.open(NodeId(1), NodeId(5));
+        let _c2 = t.open(NodeId(1), NodeId(6));
+        let c3 = t.open(NodeId(1), NodeId(5));
+        let failed = t.fail_towards(NodeId(5));
+        assert_eq!(failed.len(), 2);
+        assert_eq!(failed[0].id, c1.id);
+        assert_eq!(failed[1].id, c3.id);
+        assert_eq!(t.rooted(c1.id).unwrap().state, ChannelState::Failed);
+        assert!(t.open_towards(NodeId(5)).is_none());
+        assert!(t.open_towards(NodeId(6)).is_some());
+    }
+
+    #[test]
+    fn state_transitions_and_cleanup() {
+        let mut t = ChannelTable::new();
+        let ch = t.open(NodeId(1), NodeId(2));
+        assert_eq!(t.set_state(ch.id, ChannelState::Closed).unwrap().state, ChannelState::Closed);
+        assert!(t.open_rooted().is_empty());
+        assert_eq!(t.set_state(ChannelId(99), ChannelState::Closed), None);
+
+        let mut dest = ChannelTable::new();
+        dest.accept(ch);
+        assert!(dest.finish_serving(NodeId(1), ch.id).is_some());
+        assert!(dest.finish_serving(NodeId(1), ch.id).is_none());
+    }
+
+    #[test]
+    fn ids_increase_monotonically() {
+        let mut t = ChannelTable::new();
+        let a = t.open(NodeId(1), NodeId(2));
+        let b = t.open(NodeId(1), NodeId(3));
+        assert!(b.id > a.id);
+        assert_eq!(t.rooted_count(), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Message and byte accounting for simulation runs.
+//!
+//! Experiments E5–E10 report these counters: queries processed per peer,
+//! total messages, bytes moved, and drops caused by failures.
+
+use crate::sim::NodeId;
+use std::collections::HashMap;
+
+/// Per-node counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeMetrics {
+    /// Messages this node sent.
+    pub messages_sent: usize,
+    /// Messages delivered to this node.
+    pub messages_received: usize,
+    /// Bytes this node sent.
+    pub bytes_sent: usize,
+    /// Bytes delivered to this node.
+    pub bytes_received: usize,
+}
+
+/// Global and per-node simulation metrics.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    per_node: HashMap<NodeId, NodeMetrics>,
+    deliveries: usize,
+    delivered_bytes: usize,
+    dropped: usize,
+}
+
+impl Metrics {
+    /// Records a successful delivery of `bytes` from `from` to `to`.
+    pub(crate) fn record_delivery(&mut self, from: NodeId, to: NodeId, bytes: usize) {
+        let _ = from;
+        self.deliveries += 1;
+        self.delivered_bytes += bytes;
+        let m = self.per_node.entry(to).or_default();
+        m.messages_received += 1;
+        m.bytes_received += bytes;
+    }
+
+    /// Records a send by `from` (whether or not it is later delivered).
+    pub(crate) fn record_send(&mut self, from: NodeId, to: NodeId, bytes: usize) {
+        let _ = to;
+        let m = self.per_node.entry(from).or_default();
+        m.messages_sent += 1;
+        m.bytes_sent += bytes;
+    }
+
+    /// Records a dropped delivery (destination or link down).
+    pub(crate) fn record_drop(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Counters of one node.
+    pub fn node(&self, id: NodeId) -> NodeMetrics {
+        self.per_node.get(&id).copied().unwrap_or_default()
+    }
+
+    /// Total delivered messages.
+    pub fn total_messages(&self) -> usize {
+        self.deliveries
+    }
+
+    /// Total delivered bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.delivered_bytes
+    }
+
+    /// Deliveries dropped by failures.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Maximum messages received by any single node — the hot-spot measure
+    /// behind "the load of queries processed by each peer is smaller"
+    /// (§2.2).
+    pub fn max_received(&self) -> usize {
+        self.per_node.values().map(|m| m.messages_received).max().unwrap_or(0)
+    }
+
+    /// Resets all counters (between experiment phases).
+    pub fn reset(&mut self) {
+        *self = Metrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::default();
+        m.record_send(NodeId(1), NodeId(2), 10);
+        m.record_delivery(NodeId(1), NodeId(2), 10);
+        m.record_delivery(NodeId(2), NodeId(1), 5);
+        m.record_drop();
+        assert_eq!(m.total_messages(), 2);
+        assert_eq!(m.total_bytes(), 15);
+        assert_eq!(m.dropped(), 1);
+        assert_eq!(m.node(NodeId(2)).messages_received, 1);
+        assert_eq!(m.node(NodeId(2)).bytes_received, 10);
+        assert_eq!(m.node(NodeId(1)).messages_sent, 1);
+        assert_eq!(m.node(NodeId(9)), NodeMetrics::default());
+        assert_eq!(m.max_received(), 1);
+        m.reset();
+        assert_eq!(m.total_messages(), 0);
+    }
+}

@@ -1,0 +1,435 @@
+//! The ad-hoc, self-adaptive architecture of §3.2.
+//!
+//! "When a peer first joins the system, it becomes aware only of its
+//! physically close neighbors. … In the next step, the peer explicitly
+//! requests the active-schemas of its neighbor peers (pull)." Peers route
+//! locally over this semantic neighbourhood; partial plans with holes are
+//! forwarded and filled downstream (interleaved routing and processing).
+
+use sqpeer_exec::{node_of, BaseKind, Msg, PeerConfig, PeerMode, PeerNode, QueryId, QueryOutcome};
+use sqpeer_rvl::VirtualBase;
+use sqpeer_net::{LinkSpec, Simulator};
+use sqpeer_rdfs::Schema;
+use sqpeer_routing::{PeerId, Topology};
+use sqpeer_rql::{compile, QueryPattern, RqlError};
+use sqpeer_store::DescriptionBase;
+use std::sync::Arc;
+
+/// Builder for an ad-hoc SON.
+pub struct AdhocBuilder {
+    schema: Arc<Schema>,
+    config: PeerConfig,
+    default_link: LinkSpec,
+    bases: Vec<BaseKind>,
+    links: Vec<(u32, u32)>,
+    discovery_depth: u32,
+}
+
+impl AdhocBuilder {
+    /// Starts an ad-hoc network over `schema`. Peers pull advertisements
+    /// from their `discovery_depth`-hop physical neighbourhood on join.
+    pub fn new(schema: Arc<Schema>, discovery_depth: u32) -> Self {
+        AdhocBuilder {
+            schema,
+            config: PeerConfig { mode: PeerMode::Adhoc, ..PeerConfig::default() },
+            default_link: LinkSpec::default(),
+            bases: Vec::new(),
+            links: Vec::new(),
+            discovery_depth: discovery_depth.max(1),
+        }
+    }
+
+    /// Overrides the peer configuration template.
+    pub fn config(mut self, config: PeerConfig) -> Self {
+        self.config = PeerConfig { mode: PeerMode::Adhoc, ..config };
+        self
+    }
+
+    /// Overrides the default link characteristics.
+    pub fn default_link(mut self, link: LinkSpec) -> Self {
+        self.default_link = link;
+        self
+    }
+
+    /// Adds a peer with `base`; returns its future id (ids count from 0 in
+    /// insertion order).
+    pub fn add_peer(&mut self, base: DescriptionBase) -> PeerId {
+        self.add_base(BaseKind::Materialized(base))
+    }
+
+    /// Adds a peer whose base is a **virtual** view over a legacy
+    /// relational database (§2.2's virtual scenario).
+    pub fn add_virtual_peer(&mut self, source: VirtualBase) -> PeerId {
+        self.add_base(BaseKind::virtual_base(source))
+    }
+
+    /// Adds a peer backed by an XML document (the paper's other legacy
+    /// substrate).
+    pub fn add_xml_peer(&mut self, source: sqpeer_rvl::XmlBase) -> PeerId {
+        self.add_base(BaseKind::virtual_xml(source))
+    }
+
+    fn add_base(&mut self, base: BaseKind) -> PeerId {
+        let id = self.bases.len() as u32;
+        self.bases.push(base);
+        PeerId(id)
+    }
+
+    /// Adds a physical link between two peers.
+    pub fn link(&mut self, a: PeerId, b: PeerId) {
+        self.links.push((a.0, b.0));
+    }
+
+    /// Finalises the network: spawns nodes, records physical neighbours,
+    /// runs the pull-based discovery protocol (one costed `RequestAds` /
+    /// `AdsResponse` round trip per neighbourhood member) and quiesces.
+    pub fn build(self) -> AdhocNetwork {
+        let AdhocBuilder { schema, config, default_link, bases, links, discovery_depth } = self;
+        let mut sim: Simulator<PeerNode> = Simulator::new(default_link);
+        let mut topology = Topology::new();
+
+        let count = bases.len() as u32;
+        for (i, base) in bases.into_iter().enumerate() {
+            let id = PeerId(i as u32);
+            let mut node = PeerNode::new(id, sqpeer_exec::Role::Simple, base, config.clone());
+            // A peer always knows its own base.
+            if let Some(ad) = node.own_advertisement() {
+                node.registry.register(ad);
+            }
+            sim.add_node(node_of(id), node);
+            topology.add_peer(id);
+        }
+        for (a, b) in links {
+            topology.add_link(PeerId(a), PeerId(b));
+        }
+        // Record physical neighbours on each node.
+        for i in 0..count {
+            let id = PeerId(i);
+            let neighbours = topology.neighbours(id).to_vec();
+            if let Some(node) = sim.node_mut(node_of(id)) {
+                node.neighbours = neighbours;
+            }
+        }
+
+        // The client node.
+        let client = PeerId(count);
+        sim.add_node(node_of(client), PeerNode::client(client));
+
+        let mut net = AdhocNetwork { sim, schema, topology, peer_count: count, client, next_qid: 0 };
+        // Pull-based discovery.
+        for i in 0..count {
+            net.discover(PeerId(i), discovery_depth);
+        }
+        net.run();
+        net
+    }
+}
+
+/// A running ad-hoc SON.
+pub struct AdhocNetwork {
+    sim: Simulator<PeerNode>,
+    schema: Arc<Schema>,
+    topology: Topology,
+    peer_count: u32,
+    client: PeerId,
+    next_qid: u64,
+}
+
+impl AdhocNetwork {
+    /// The community schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The physical topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// All peer ids.
+    pub fn peers(&self) -> Vec<PeerId> {
+        (0..self.peer_count).map(PeerId).collect()
+    }
+
+    /// The client-peer id.
+    pub fn client(&self) -> PeerId {
+        self.client
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &Simulator<PeerNode> {
+        &self.sim
+    }
+
+    /// Mutable simulator access.
+    pub fn sim_mut(&mut self) -> &mut Simulator<PeerNode> {
+        &mut self.sim
+    }
+
+    /// Compiles an RQL text against the community schema.
+    pub fn compile(&self, rql: &str) -> Result<QueryPattern, RqlError> {
+        compile(rql, &self.schema)
+    }
+
+    /// Sends `RequestAds` from `peer` to every member of its `depth`-hop
+    /// neighbourhood — "it could request the active-schema information of
+    /// a 2-depth, 3-depth, etc. neighbourhood" (§3.2).
+    pub fn discover(&mut self, peer: PeerId, depth: u32) {
+        for other in self.topology.neighbourhood(peer, depth as usize) {
+            let msg = Msg::RequestAds { depth };
+            let bytes = msg.wire_size();
+            self.sim.inject(node_of(peer), node_of(other), msg, bytes);
+        }
+    }
+
+    /// Injects `query` from the client at peer `at`.
+    pub fn query(&mut self, at: PeerId, query: QueryPattern) -> QueryId {
+        let qid = QueryId(self.next_qid);
+        self.next_qid += 1;
+        let msg = Msg::ClientQuery { qid, query };
+        let bytes = msg.wire_size();
+        self.sim.inject(node_of(self.client), node_of(at), msg, bytes);
+        qid
+    }
+
+    /// Injects a pre-built plan for execution at peer `at` (experiment
+    /// harness entry — bypasses routing and optimisation).
+    pub fn execute_plan(
+        &mut self,
+        at: PeerId,
+        query: QueryPattern,
+        plan: sqpeer_plan::PlanNode,
+    ) -> QueryId {
+        let qid = QueryId(self.next_qid);
+        self.next_qid += 1;
+        let msg = Msg::ExecutePlan { qid, query, plan };
+        let bytes = msg.wire_size();
+        self.sim.inject(node_of(self.client), node_of(at), msg, bytes);
+        qid
+    }
+
+    /// Runs the network to quiescence.
+    pub fn run(&mut self) {
+        self.sim.run_to_quiescence();
+    }
+
+    /// The outcome of `qid` at its root peer `at`.
+    pub fn outcome(&self, at: PeerId, qid: QueryId) -> Option<&QueryOutcome> {
+        self.sim.node(node_of(at)).and_then(|n| n.outcomes.get(&qid))
+    }
+
+    /// All peer bases (for oracle construction).
+    pub fn bases(&self) -> Vec<&DescriptionBase> {
+        (0..self.peer_count)
+            .filter_map(|i| match &self.sim.node(node_of(PeerId(i)))?.base {
+                sqpeer_exec::BaseKind::Materialized(db) => Some(db),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Takes a peer down at the current virtual time.
+    pub fn crash_peer(&mut self, peer: PeerId) {
+        let now = self.sim.now_us();
+        self.sim.schedule_node_down(now, node_of(peer));
+        self.topology.remove_peer(peer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{oracle_answer, oracle_base};
+    use sqpeer_rdfs::{Range, Resource, SchemaBuilder, Triple};
+
+    fn fig1_schema() -> Arc<Schema> {
+        let mut b = SchemaBuilder::new("n1", "http://example.org/n1#");
+        let c1 = b.class("C1").unwrap();
+        let c2 = b.class("C2").unwrap();
+        let c3 = b.class("C3").unwrap();
+        let _ = b.class("C4").unwrap();
+        let c5 = b.subclass("C5", c1).unwrap();
+        let c6 = b.subclass("C6", c2).unwrap();
+        let p1 = b.property("prop1", c1, Range::Class(c2)).unwrap();
+        let _ = b.property("prop2", c2, Range::Class(c3)).unwrap();
+        let _ = b.subproperty("prop4", p1, c5, Range::Class(c6)).unwrap();
+        Arc::new(b.finish().unwrap())
+    }
+
+    fn base_with(schema: &Arc<Schema>, triples: &[(&str, &str, &str)]) -> DescriptionBase {
+        let mut db = DescriptionBase::new(Arc::clone(schema));
+        for (s, p, o) in triples {
+            let prop = schema.property_by_name(p).unwrap();
+            db.insert_described(Triple::new(Resource::new(*s), prop, Resource::new(*o)));
+        }
+        db
+    }
+
+    /// The Figure 7 scenario: P1 knows P2, P3, P4; only P5 (known to P2)
+    /// can answer Q2; the query completes through interleaved routing.
+    #[test]
+    fn figure7_hole_filling() {
+        let schema = fig1_schema();
+        let mut b = AdhocBuilder::new(Arc::clone(&schema), 1);
+        let p1 = b.add_peer(base_with(&schema, &[]));
+        let p2 = b.add_peer(base_with(&schema, &[("a", "prop1", "b")]));
+        let p3 = b.add_peer(base_with(&schema, &[("c", "prop1", "b")]));
+        let p4 = b.add_peer(base_with(&schema, &[])); // knows nothing useful
+        let p5 = b.add_peer(base_with(&schema, &[("b", "prop2", "d")]));
+        // Physical topology: P1 - {P2,P3,P4}; P5 only reachable via P2.
+        b.link(p1, p2);
+        b.link(p1, p3);
+        b.link(p1, p4);
+        b.link(p2, p5);
+        let mut net = b.build();
+
+        // With 1-hop discovery P1 does not know P5.
+        let p1_node = net.sim().node(node_of(p1)).unwrap();
+        assert!(p1_node.registry.get(p5).is_none());
+        assert!(p1_node.registry.get(p2).is_some());
+
+        let query = net.compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}").unwrap();
+        let qid = net.query(p1, query.clone());
+        net.run();
+
+        let outcome = net.outcome(p1, qid).expect("completed").clone();
+        let oracle = oracle_base(&schema, net.bases());
+        let expected = oracle_answer(&oracle, &query);
+        assert_eq!(outcome.result.clone().sorted(), expected, "hole filled through P2/P5");
+        assert_eq!(outcome.result.len(), 2);
+    }
+
+    #[test]
+    fn deeper_discovery_avoids_holes() {
+        let schema = fig1_schema();
+        let build = |depth: u32| {
+            let mut b = AdhocBuilder::new(Arc::clone(&schema), depth);
+            let p1 = b.add_peer(base_with(&schema, &[]));
+            let p2 = b.add_peer(base_with(&schema, &[("a", "prop1", "b")]));
+            let p5 = b.add_peer(base_with(&schema, &[("b", "prop2", "d")]));
+            b.link(p1, p2);
+            b.link(p2, p5);
+            (b.build(), p1, p5)
+        };
+        // Depth 2: P1 knows P5 directly; no interleaving needed.
+        let (net2, p1, p5) = build(2);
+        assert!(net2.sim().node(node_of(p1)).unwrap().registry.get(p5).is_some());
+        // Depth 1: P1 does not know P5.
+        let (net1, p1, p5) = build(1);
+        assert!(net1.sim().node(node_of(p1)).unwrap().registry.get(p5).is_none());
+    }
+
+    #[test]
+    fn unanswerable_hole_yields_partial() {
+        let schema = fig1_schema();
+        let mut b = AdhocBuilder::new(Arc::clone(&schema), 1);
+        let p1 = b.add_peer(base_with(&schema, &[]));
+        let p2 = b.add_peer(base_with(&schema, &[("a", "prop1", "b")]));
+        b.link(p1, p2);
+        let mut net = b.build();
+        // Nobody anywhere holds prop2.
+        let query = net.compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}").unwrap();
+        let qid = net.query(p1, query);
+        net.run();
+        let outcome = net.outcome(p1, qid).expect("completed");
+        assert!(outcome.partial);
+        assert!(outcome.result.is_empty());
+    }
+
+    #[test]
+    fn virtual_peer_answers_through_the_network() {
+        use sqpeer_rvl::{ColumnMapping, Database, Table, TableMapping};
+        let schema = fig1_schema();
+        let p1_prop = schema.property_by_name("prop1").unwrap();
+        // A legacy relational peer exposing prop1 through a mapping.
+        let mut table = Table::new("links", &["src", "dst"]);
+        table.insert(&["a", "b"]);
+        table.insert(&["c", "d"]);
+        let mut db = Database::new();
+        db.add_table(table);
+        let vb = VirtualBase::new(
+            Arc::clone(&schema),
+            db,
+            vec![TableMapping {
+                table: "links".into(),
+                subject_column: "src".into(),
+                subject_prefix: "http://legacy/".into(),
+                object_column: "dst".into(),
+                object: ColumnMapping::Resource { prefix: "http://legacy/".into() },
+                property: p1_prop,
+            }],
+        );
+        let mut b = AdhocBuilder::new(Arc::clone(&schema), 1);
+        let origin = b.add_peer(base_with(&schema, &[]));
+        let legacy = b.add_virtual_peer(vb);
+        b.link(origin, legacy);
+        let mut net = b.build();
+        // The virtual peer advertised prop1 without materialising anything.
+        assert!(net
+            .sim()
+            .node(node_of(origin))
+            .unwrap()
+            .registry
+            .get(legacy)
+            .is_some());
+        let query = net.compile("SELECT X, Y FROM {X}prop1{Y}").unwrap();
+        let qid = net.query(origin, query);
+        net.run();
+        let outcome = net.outcome(origin, qid).expect("completed");
+        assert_eq!(outcome.result.len(), 2, "populated on demand at query time");
+    }
+
+    #[test]
+    fn xml_peer_answers_through_the_network() {
+        use sqpeer_rvl::{ColumnMapping, Element, PathMapping, ValueSource, XmlBase};
+        let schema = fig1_schema();
+        let prop1 = schema.property_by_name("prop1").unwrap();
+        let doc = Element::new("lib").child(
+            Element::new("item")
+                .attr("id", "a")
+                .child(Element::new("rel").text("b")),
+        );
+        let xb = XmlBase::new(
+            Arc::clone(&schema),
+            doc,
+            vec![PathMapping {
+                path: "lib/item".into(),
+                subject: ValueSource::Attribute("id".into()),
+                subject_prefix: "http://xml/".into(),
+                object: ValueSource::ChildText("rel".into()),
+                object_kind: ColumnMapping::Resource { prefix: "http://xml/".into() },
+                property: prop1,
+            }],
+        );
+        let mut b = AdhocBuilder::new(Arc::clone(&schema), 1);
+        let origin = b.add_peer(base_with(&schema, &[]));
+        let xml_peer = b.add_xml_peer(xb);
+        b.link(origin, xml_peer);
+        let mut net = b.build();
+        let query = net.compile("SELECT X, Y FROM {X}prop1{Y}").unwrap();
+        let qid = net.query(origin, query);
+        net.run();
+        let outcome = net.outcome(origin, qid).expect("completed");
+        assert_eq!(outcome.result.len(), 1, "XML-backed population answered");
+    }
+
+    #[test]
+    fn crash_during_query_adapts() {
+        let schema = fig1_schema();
+        let mut b = AdhocBuilder::new(Arc::clone(&schema), 1);
+        let p1 = b.add_peer(base_with(&schema, &[]));
+        let dying = b.add_peer(base_with(&schema, &[("a", "prop1", "b")]));
+        let backup = b.add_peer(base_with(&schema, &[("a", "prop1", "b")]));
+        b.link(p1, dying);
+        b.link(p1, backup);
+        let mut net = b.build();
+
+        net.crash_peer(dying);
+        let query = net.compile("SELECT X, Y FROM {X}prop1{Y}").unwrap();
+        let qid = net.query(p1, query);
+        net.run();
+        let outcome = net.outcome(p1, qid).expect("completed");
+        assert_eq!(outcome.result.len(), 1);
+        let _ = backup;
+    }
+}

@@ -1,0 +1,557 @@
+//! The hybrid (super-peer) architecture of §3.1.
+//!
+//! "Each peer is connected with at least one super-peer, who is
+//! responsible for collecting the active-schemas … of all its
+//! simple-peers. … When a peer connects to a super-peer, it forwards its
+//! corresponding active-schema (push). All super-peers are aware of each
+//! other."
+
+use sqpeer_exec::{node_of, BaseKind, Msg, PeerConfig, PeerMode, PeerNode, QueryId, QueryOutcome};
+use sqpeer_rvl::VirtualBase;
+use sqpeer_net::{LinkSpec, NodeId, Simulator};
+use sqpeer_rdfs::Schema;
+use sqpeer_routing::PeerId;
+use sqpeer_rql::{compile, QueryPattern, RqlError};
+use sqpeer_store::DescriptionBase;
+use std::sync::Arc;
+
+/// Builder for a hybrid SON.
+pub struct HybridBuilder {
+    schema: Arc<Schema>,
+    config: PeerConfig,
+    default_link: LinkSpec,
+    super_count: u32,
+    bases: Vec<(BaseKind, u32)>, // base, super-peer index
+}
+
+impl HybridBuilder {
+    /// Starts a hybrid network over `schema` with `super_count`
+    /// super-peers forming a fully-connected backbone.
+    pub fn new(schema: Arc<Schema>, super_count: u32) -> Self {
+        HybridBuilder {
+            schema,
+            config: PeerConfig { mode: PeerMode::Hybrid, ..PeerConfig::default() },
+            default_link: LinkSpec::default(),
+            super_count: super_count.max(1),
+            bases: Vec::new(),
+        }
+    }
+
+    /// Overrides the peer configuration template.
+    pub fn config(mut self, config: PeerConfig) -> Self {
+        self.config = PeerConfig { mode: PeerMode::Hybrid, ..config };
+        self
+    }
+
+    /// Overrides the default link characteristics.
+    pub fn default_link(mut self, link: LinkSpec) -> Self {
+        self.default_link = link;
+        self
+    }
+
+    /// Adds a simple-peer with `base`, clustered under super-peer
+    /// `super_index` (0-based). Returns the peer's future id.
+    pub fn add_peer(&mut self, base: DescriptionBase, super_index: u32) -> PeerId {
+        self.add_base(BaseKind::Materialized(base), super_index)
+    }
+
+    /// Adds a simple-peer whose base is a **virtual** view over a legacy
+    /// relational database (§2.2's virtual scenario): it advertises from
+    /// its mapping rules and populates on demand at query time.
+    pub fn add_virtual_peer(&mut self, source: VirtualBase, super_index: u32) -> PeerId {
+        self.add_base(BaseKind::virtual_base(source), super_index)
+    }
+
+    /// Adds a simple-peer backed by an XML document (the paper's other
+    /// legacy substrate).
+    pub fn add_xml_peer(&mut self, source: sqpeer_rvl::XmlBase, super_index: u32) -> PeerId {
+        self.add_base(BaseKind::virtual_xml(source), super_index)
+    }
+
+    fn add_base(&mut self, base: BaseKind, super_index: u32) -> PeerId {
+        assert!(super_index < self.super_count, "no such super-peer");
+        let id = self.super_count + self.bases.len() as u32;
+        self.bases.push((base, super_index));
+        PeerId(id)
+    }
+
+    /// Finalises the network: spawns nodes, wires the backbone, pushes
+    /// every peer's advertisement to its super-peer (as real, costed
+    /// messages) and runs to quiescence.
+    pub fn build(self) -> HybridNetwork {
+        let HybridBuilder { schema, config, default_link, super_count, bases } = self;
+        let mut sim: Simulator<PeerNode> = Simulator::new(default_link);
+
+        let super_ids: Vec<PeerId> = (0..super_count).map(PeerId).collect();
+        for &sp in &super_ids {
+            let mut node = PeerNode::super_peer(sp, config.clone());
+            node.super_peers = super_ids.iter().copied().filter(|&o| o != sp).collect();
+            sim.add_node(node_of(sp), node);
+        }
+
+        let mut peer_ids = Vec::with_capacity(bases.len());
+        let mut assignments = Vec::with_capacity(bases.len());
+        for (i, (base, sp_idx)) in bases.into_iter().enumerate() {
+            let id = PeerId(super_count + i as u32);
+            let sp = super_ids[sp_idx as usize];
+            let mut node = PeerNode::new(id, sqpeer_exec::Role::Simple, base, config.clone());
+            node.super_peers = vec![sp];
+            sim.add_node(node_of(id), node);
+            peer_ids.push(id);
+            assignments.push((id, sp));
+        }
+
+        // The client node lives past all peers.
+        let client = PeerId(super_count + peer_ids.len() as u32);
+        sim.add_node(node_of(client), PeerNode::client(client));
+
+        // Advertisement push (join protocol).
+        for (peer, sp) in assignments {
+            let ad = sim
+                .node(node_of(peer))
+                .and_then(PeerNode::own_advertisement)
+                .expect("simple peers have bases");
+            let msg = Msg::Advertise(ad);
+            let bytes = msg.wire_size();
+            sim.inject(node_of(peer), node_of(sp), msg, bytes);
+        }
+        let mut net = HybridNetwork {
+            sim,
+            schema,
+            super_ids,
+            peer_ids,
+            client,
+            next_qid: 0,
+        };
+        net.run();
+        net
+    }
+}
+
+/// A running hybrid SON.
+pub struct HybridNetwork {
+    sim: Simulator<PeerNode>,
+    schema: Arc<Schema>,
+    super_ids: Vec<PeerId>,
+    peer_ids: Vec<PeerId>,
+    client: PeerId,
+    next_qid: u64,
+}
+
+impl HybridNetwork {
+    /// The community schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The super-peer ids.
+    pub fn super_peers(&self) -> &[PeerId] {
+        &self.super_ids
+    }
+
+    /// The simple-peer ids, in creation order.
+    pub fn peers(&self) -> &[PeerId] {
+        &self.peer_ids
+    }
+
+    /// The client-peer id.
+    pub fn client(&self) -> PeerId {
+        self.client
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &Simulator<PeerNode> {
+        &self.sim
+    }
+
+    /// Mutable simulator access (links, failure injection, metrics reset).
+    pub fn sim_mut(&mut self) -> &mut Simulator<PeerNode> {
+        &mut self.sim
+    }
+
+    /// Compiles an RQL text against the community schema.
+    pub fn compile(&self, rql: &str) -> Result<QueryPattern, RqlError> {
+        compile(rql, &self.schema)
+    }
+
+    /// Injects `query` from the client-peer at simple-peer `at`. Call
+    /// [`HybridNetwork::run`] to process it.
+    pub fn query(&mut self, at: PeerId, query: QueryPattern) -> QueryId {
+        let qid = QueryId(self.next_qid);
+        self.next_qid += 1;
+        let msg = Msg::ClientQuery { qid, query };
+        let bytes = msg.wire_size();
+        self.sim.inject(node_of(self.client), node_of(at), msg, bytes);
+        qid
+    }
+
+    /// Injects a pre-built plan for execution at peer `at` (experiment
+    /// harness entry — bypasses routing and optimisation).
+    pub fn execute_plan(
+        &mut self,
+        at: PeerId,
+        query: QueryPattern,
+        plan: sqpeer_plan::PlanNode,
+    ) -> QueryId {
+        let qid = QueryId(self.next_qid);
+        self.next_qid += 1;
+        let msg = Msg::ExecutePlan { qid, query, plan };
+        let bytes = msg.wire_size();
+        self.sim.inject(node_of(self.client), node_of(at), msg, bytes);
+        qid
+    }
+
+    /// Runs the network to quiescence.
+    pub fn run(&mut self) {
+        self.sim.run_to_quiescence();
+    }
+
+    /// The outcome of `qid` at its root peer `at`.
+    pub fn outcome(&self, at: PeerId, qid: QueryId) -> Option<&QueryOutcome> {
+        self.sim.node(node_of(at)).and_then(|n| n.outcomes.get(&qid))
+    }
+
+    /// All peer bases (for oracle construction).
+    pub fn bases(&self) -> Vec<&DescriptionBase> {
+        self.peer_ids
+            .iter()
+            .filter_map(|&p| match &self.sim.node(node_of(p))?.base {
+                sqpeer_exec::BaseKind::Materialized(db) => Some(db),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Takes a peer down at the current virtual time (crash churn).
+    pub fn crash_peer(&mut self, peer: PeerId) {
+        let now = self.sim.now_us();
+        self.sim.schedule_node_down(now, peer_node(peer));
+    }
+
+    /// Mutates a peer's materialized base in place and re-pushes its
+    /// advertisement to its super-peer (the update protocol behind E9's
+    /// churn accounting). No-op for virtual or absent bases.
+    pub fn update_peer_base(&mut self, peer: PeerId, f: impl FnOnce(&mut DescriptionBase)) {
+        let Some(node) = self.sim.node_mut(peer_node(peer)) else { return };
+        if let sqpeer_exec::BaseKind::Materialized(db) = &mut node.base {
+            f(db);
+        } else {
+            return;
+        }
+        let sp = node.super_peers.first().copied();
+        let ad = node.own_advertisement();
+        if let (Some(sp), Some(ad)) = (sp, ad) {
+            let msg = Msg::Advertise(ad);
+            let bytes = msg.wire_size();
+            self.sim.inject(peer_node(peer), peer_node(sp), msg, bytes);
+        }
+    }
+
+    /// Graceful leave: the peer withdraws its advertisement from its
+    /// super-peer (which replicates the withdrawal over the backbone),
+    /// then goes down once the notice is delivered.
+    pub fn leave_peer(&mut self, peer: PeerId) {
+        let sp = self
+            .sim
+            .node(peer_node(peer))
+            .and_then(|n| n.super_peers.first().copied());
+        if let Some(sp) = sp {
+            let msg = Msg::Withdraw;
+            let bytes = msg.wire_size();
+            self.sim.inject(peer_node(peer), peer_node(sp), msg, bytes);
+        }
+        // Down after the withdrawal is on the wire (generous margin).
+        let at = self.sim.now_us() + 1_000_000;
+        self.sim.schedule_node_down(at, peer_node(peer));
+    }
+}
+
+fn peer_node(p: PeerId) -> NodeId {
+    node_of(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{oracle_answer, oracle_base};
+    use sqpeer_rdfs::{Range, Resource, Triple};
+    use sqpeer_rdfs::SchemaBuilder;
+
+    pub(crate) fn fig1_schema() -> Arc<Schema> {
+        let mut b = SchemaBuilder::new("n1", "http://example.org/n1#");
+        let c1 = b.class("C1").unwrap();
+        let c2 = b.class("C2").unwrap();
+        let c3 = b.class("C3").unwrap();
+        let _ = b.class("C4").unwrap();
+        let c5 = b.subclass("C5", c1).unwrap();
+        let c6 = b.subclass("C6", c2).unwrap();
+        let p1 = b.property("prop1", c1, Range::Class(c2)).unwrap();
+        let _ = b.property("prop2", c2, Range::Class(c3)).unwrap();
+        let _ = b.subproperty("prop4", p1, c5, Range::Class(c6)).unwrap();
+        Arc::new(b.finish().unwrap())
+    }
+
+    pub(crate) fn base_with(
+        schema: &Arc<Schema>,
+        triples: &[(&str, &str, &str)],
+    ) -> DescriptionBase {
+        let mut db = DescriptionBase::new(Arc::clone(schema));
+        for (s, p, o) in triples {
+            let prop = schema.property_by_name(p).unwrap();
+            db.insert_described(Triple::new(Resource::new(*s), prop, Resource::new(*o)));
+        }
+        db
+    }
+
+    /// The Figure 6 scenario: a super-peer backbone and five simple-peers.
+    #[test]
+    fn figure6_end_to_end() {
+        let schema = fig1_schema();
+        let mut b = HybridBuilder::new(Arc::clone(&schema), 3);
+        // P2, P3 answer Q1 (prop1); P5 answers Q2 (prop2); the rest hold
+        // unrelated data.
+        let _p1 = b.add_peer(base_with(&schema, &[]), 0);
+        let p2 = b.add_peer(base_with(&schema, &[("a", "prop1", "b")]), 0);
+        let p3 = b.add_peer(base_with(&schema, &[("c", "prop1", "b")]), 0);
+        let _p4 = b.add_peer(base_with(&schema, &[]), 0);
+        let p5 = b.add_peer(base_with(&schema, &[("b", "prop2", "d")]), 0);
+        let mut net = b.build();
+
+        // Super-peer 0 holds every advertisement after the push phase.
+        assert_eq!(
+            net.sim().node(node_of(net.super_peers()[0])).unwrap().registry.len(),
+            5
+        );
+
+        let query = net.compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}").unwrap();
+        let origin = net.peers()[0]; // P1 receives the client query
+        let qid = net.query(origin, query.clone());
+        net.run();
+
+        let outcome = net.outcome(origin, qid).expect("completed").clone();
+        assert!(!outcome.partial);
+        // Ground truth: (a,d) and (c,d).
+        let oracle = oracle_base(&schema, net.bases());
+        let expected = oracle_answer(&oracle, &query);
+        assert_eq!(outcome.result.clone().sorted(), expected);
+        assert_eq!(outcome.result.len(), 2);
+
+        // P2, P3 and P5 each processed a subquery.
+        for p in [p2, p3, p5] {
+            assert!(net.sim().node(node_of(p)).unwrap().queries_processed >= 1, "{p}");
+        }
+    }
+
+    #[test]
+    fn backbone_routing_for_foreign_son() {
+        // A query whose SON is registered at SP1 only; the query enters
+        // through a peer clustered under SP0 — the backbone must find SP1.
+        let schema = fig1_schema();
+        let mut b = HybridBuilder::new(Arc::clone(&schema), 2);
+        let entry = b.add_peer(base_with(&schema, &[]), 0);
+        let holder = b.add_peer(base_with(&schema, &[("a", "prop1", "b")]), 1);
+        let mut net = b.build();
+
+        let query = net.compile("SELECT X, Y FROM {X}prop1{Y}").unwrap();
+        let qid = net.query(entry, query);
+        net.run();
+        let outcome = net.outcome(entry, qid).expect("completed");
+        assert_eq!(outcome.result.len(), 1);
+        assert!(!outcome.partial);
+        let _ = holder;
+    }
+
+    #[test]
+    fn adaptation_on_peer_failure() {
+        // Two peers can answer the same pattern; one dies before the query.
+        let schema = fig1_schema();
+        let mut b = HybridBuilder::new(Arc::clone(&schema), 1);
+        let origin = b.add_peer(base_with(&schema, &[]), 0);
+        let dying = b.add_peer(base_with(&schema, &[("a", "prop1", "b")]), 0);
+        let backup = b.add_peer(base_with(&schema, &[("a", "prop1", "b")]), 0);
+        let mut net = b.build();
+
+        net.crash_peer(dying);
+        let query = net.compile("SELECT X, Y FROM {X}prop1{Y}").unwrap();
+        let qid = net.query(origin, query);
+        net.run();
+
+        let outcome = net.outcome(origin, qid).expect("completed").clone();
+        // The union over {dying, backup} loses the dying branch but the
+        // backup still delivers the row; with adaptation the result is
+        // complete.
+        assert_eq!(outcome.result.len(), 1, "backup peer must deliver the row");
+        let _ = backup;
+    }
+
+    /// Class-membership queries stay local (§2.1 restricts routing to
+    /// path patterns): the root answers from its own base and flags the
+    /// answer partial.
+    #[test]
+    fn class_queries_answered_locally() {
+        let schema = fig1_schema();
+        let mut b = HybridBuilder::new(Arc::clone(&schema), 1);
+        let origin =
+            b.add_peer(base_with(&schema, &[("http://o/a", "prop4", "http://o/b")]), 0);
+        let _other =
+            b.add_peer(base_with(&schema, &[("http://x/c", "prop4", "http://x/d")]), 0);
+        let mut net = b.build();
+        let query = net.compile("SELECT X FROM {X;C5}").unwrap();
+        let qid = net.query(origin, query);
+        net.run();
+        let outcome = net.outcome(origin, qid).expect("completed");
+        // Only the origin's own C5 instance; flagged partial because the
+        // network was not consulted.
+        assert_eq!(outcome.result.len(), 1);
+        assert!(outcome.partial);
+    }
+
+    /// §5 Top-N: ORDER BY + LIMIT apply to the assembled distributed
+    /// answer at the root.
+    #[test]
+    fn distributed_top_n() {
+        let schema = fig1_schema();
+        let mut b = HybridBuilder::new(Arc::clone(&schema), 1);
+        let origin = b.add_peer(base_with(&schema, &[]), 0);
+        let _a = b.add_peer(
+            base_with(&schema, &[("http://x/1", "prop1", "http://y/1")]),
+            0,
+        );
+        let _c = b.add_peer(
+            base_with(
+                &schema,
+                &[("http://x/3", "prop1", "http://y/3"), ("http://x/2", "prop1", "http://y/2")],
+            ),
+            0,
+        );
+        let mut net = b.build();
+        let query = net
+            .compile("SELECT X, Y FROM {X}prop1{Y} ORDER BY X DESC LIMIT 2")
+            .unwrap();
+        let qid = net.query(origin, query);
+        net.run();
+        let outcome = net.outcome(origin, qid).expect("completed");
+        assert_eq!(outcome.result.len(), 2);
+        assert_eq!(outcome.result.rows[0][0].to_string(), "&http://x/3");
+        assert_eq!(outcome.result.rows[1][0].to_string(), "&http://x/2");
+    }
+
+    /// §3.1 mediation: a query in a global schema answered by peers whose
+    /// bases use a different local schema, through a super-peer
+    /// articulation.
+    #[test]
+    fn mediation_across_schemas() {
+        use sqpeer_subsume::Articulation;
+        // Global (query) schema.
+        let mut gb = SchemaBuilder::new("g", "http://global#");
+        let doc = gb.class("Document").unwrap();
+        let person = gb.class("Person").unwrap();
+        let author = gb.property("author", doc, Range::Class(person)).unwrap();
+        let global = Arc::new(gb.finish().unwrap());
+        // Local (data) schema.
+        let mut lb = SchemaBuilder::new("l", "http://local#");
+        let book = lb.class("Book").unwrap();
+        let writer = lb.class("Writer").unwrap();
+        let written_by = lb.property("writtenBy", book, Range::Class(writer)).unwrap();
+        let local = Arc::new(lb.finish().unwrap());
+
+        // A peer holding *local*-schema data inside a network whose
+        // "community" compile schema is the global one.
+        let mut local_base = DescriptionBase::new(Arc::clone(&local));
+        local_base.insert_described(Triple::new(
+            Resource::new("http://lib/moby-dick"),
+            written_by,
+            Resource::new("http://lib/melville"),
+        ));
+        let mut b = HybridBuilder::new(Arc::clone(&global), 1);
+        let origin = b.add_peer(DescriptionBase::new(Arc::clone(&global)), 0);
+        let holder = b.add_peer(local_base, 0);
+        let mut net = b.build();
+
+        let art = Articulation::builder(Arc::clone(&global), Arc::clone(&local))
+            .map_class(doc, book)
+            .map_class(person, writer)
+            .map_property(author, written_by)
+            .finish()
+            .unwrap();
+        let sp = net.super_peers()[0];
+        net.sim_mut().node_mut(node_of(sp)).unwrap().articulations.push(art);
+
+        let query = net.compile("SELECT D, P FROM {D}g:author{P}").unwrap();
+        let qid = net.query(origin, query);
+        net.run();
+        let outcome = net.outcome(origin, qid).expect("completed");
+        assert_eq!(outcome.result.len(), 1, "mediated answer from the local-schema peer");
+        assert_eq!(outcome.result.columns, vec!["D", "P"]);
+        assert!(!outcome.partial);
+        let _ = holder;
+    }
+
+    #[test]
+    fn base_update_reaches_routing() {
+        let schema = fig1_schema();
+        let mut b = HybridBuilder::new(Arc::clone(&schema), 1);
+        let origin = b.add_peer(base_with(&schema, &[]), 0);
+        let grower = b.add_peer(base_with(&schema, &[]), 0);
+        let mut net = b.build();
+        // Initially nobody can answer.
+        let query = net.compile("SELECT X, Y FROM {X}prop1{Y}").unwrap();
+        let q1 = net.query(origin, query.clone());
+        net.run();
+        assert!(net.outcome(origin, q1).unwrap().result.is_empty());
+        // The grower acquires prop1 data and re-advertises.
+        let p1 = schema.property_by_name("prop1").unwrap();
+        net.update_peer_base(grower, |db| {
+            db.insert_described(Triple::new(
+                Resource::new("http://new/a"),
+                p1,
+                Resource::new("http://new/b"),
+            ));
+        });
+        net.run();
+        let q2 = net.query(origin, query);
+        net.run();
+        assert_eq!(net.outcome(origin, q2).unwrap().result.len(), 1);
+    }
+
+    #[test]
+    fn graceful_leave_withdraws_advertisement() {
+        let schema = fig1_schema();
+        let mut b = HybridBuilder::new(Arc::clone(&schema), 2);
+        let origin = b.add_peer(base_with(&schema, &[]), 0);
+        let leaver = b.add_peer(base_with(&schema, &[("http://a", "prop1", "http://b")]), 0);
+        let mut net = b.build();
+        // Both super-peers know the leaver (backbone replication).
+        for &sp in net.super_peers() {
+            assert!(net.sim().node(node_of(sp)).unwrap().registry.get(leaver).is_some());
+        }
+        net.leave_peer(leaver);
+        net.run();
+        for &sp in net.super_peers() {
+            assert!(
+                net.sim().node(node_of(sp)).unwrap().registry.get(leaver).is_none(),
+                "withdrawal must replicate to {sp}"
+            );
+        }
+        // A query now returns empty (no holder remains) instead of failing.
+        let query = net.compile("SELECT X, Y FROM {X}prop1{Y}").unwrap();
+        let qid = net.query(origin, query);
+        net.run();
+        let outcome = net.outcome(origin, qid).expect("completed");
+        assert!(outcome.result.is_empty());
+    }
+
+    #[test]
+    fn ids_are_stable_and_disjoint() {
+        let schema = fig1_schema();
+        let mut b = HybridBuilder::new(Arc::clone(&schema), 2);
+        let p = b.add_peer(base_with(&schema, &[]), 0);
+        let q = b.add_peer(base_with(&schema, &[]), 1);
+        let net = b.build();
+        assert_eq!(net.super_peers(), &[PeerId(0), PeerId(1)]);
+        assert_eq!(net.peers(), &[p, q]);
+        assert_eq!(p, PeerId(2));
+        assert_eq!(q, PeerId(3));
+        assert_eq!(net.client(), PeerId(4));
+    }
+}

@@ -1,0 +1,51 @@
+//! Semantic Overlay Network architectures (paper §3).
+//!
+//! This crate assembles running P2P systems out of
+//! [`PeerNode`]s on the
+//! [`Simulator`]:
+//!
+//! * [`HybridNetwork`] — the super-peer architecture of §3.1:
+//!   simple-peers *push* their active-schemas to their super-peer on join,
+//!   super-peers form a fully-connected backbone and do all routing,
+//! * [`AdhocNetwork`] — the self-adaptive architecture of §3.2:
+//!   peers *pull* active-schemas from their k-hop physical neighbourhood,
+//!   route locally and interleave routing with processing when plans have
+//!   holes.
+//!
+//! Both expose the same driver API: inject client queries, run the
+//! simulation to quiescence, inspect outcomes and metrics, and inject
+//! churn (joins, leaves, failures). A centralised [`oracle`] store gives
+//! the ground-truth answer every distributed result is checked against.
+
+pub mod adhoc;
+pub mod hybrid;
+pub mod oracle;
+
+pub use adhoc::{AdhocBuilder, AdhocNetwork};
+pub use hybrid::{HybridBuilder, HybridNetwork};
+pub use oracle::{oracle_answer, oracle_base};
+
+use sqpeer_exec::PeerNode;
+use sqpeer_net::{LinkSpec, NodeId, Simulator};
+use sqpeer_plan::UniformCost;
+use sqpeer_routing::PeerId;
+
+/// Builds a plan-level cost model mirroring a simulator's link table, so
+/// compile-time shipping decisions see the execution network. `peers`
+/// bounds which pairs are tabulated.
+pub fn cost_model_of(sim: &Simulator<PeerNode>, peers: &[PeerId]) -> UniformCost {
+    // Per-byte cost proportional to 1/bandwidth; the constant matches the
+    // default link so uniform networks stay uniform.
+    let default = LinkSpec::default();
+    let mut cost = UniformCost::new(1.0 / default.bytes_per_ms as f64, 0.001);
+    for (i, &a) in peers.iter().enumerate() {
+        for &b in peers.iter().skip(i + 1) {
+            let spec = sim.link(NodeId(a.0), NodeId(b.0));
+            if spec != default {
+                let per_byte = if spec.up { 1.0 / spec.bytes_per_ms.max(1) as f64 } else { 1e9 };
+                cost.set_link(a, b, per_byte);
+            }
+        }
+    }
+    cost
+}

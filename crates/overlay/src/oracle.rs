@@ -1,0 +1,53 @@
+//! Centralised ground truth for distributed answers.
+//!
+//! §2.4 argues vertical distribution ensures *correctness* and horizontal
+//! distribution *completeness*. The oracle makes both checkable: union
+//! every peer base into one store and evaluate the query centrally; a
+//! distributed answer is correct iff it is a subset of the oracle answer
+//! and complete iff it equals it.
+
+use sqpeer_rdfs::Schema;
+use sqpeer_rql::{evaluate, QueryPattern, ResultSet};
+use sqpeer_store::DescriptionBase;
+use std::sync::Arc;
+
+/// Unions peer bases into a single centralised store.
+pub fn oracle_base<'a>(
+    schema: &Arc<Schema>,
+    bases: impl IntoIterator<Item = &'a DescriptionBase>,
+) -> DescriptionBase {
+    let mut oracle = DescriptionBase::new(Arc::clone(schema));
+    for base in bases {
+        oracle.absorb(base);
+    }
+    oracle
+}
+
+/// The centralised answer to `query` over the union of all bases, sorted
+/// for deterministic comparison.
+pub fn oracle_answer(oracle: &DescriptionBase, query: &QueryPattern) -> ResultSet {
+    evaluate(query, oracle).sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqpeer_rdfs::{Range, Resource, SchemaBuilder, Triple};
+    use sqpeer_rql::compile;
+
+    #[test]
+    fn oracle_unions_bases() {
+        let mut b = SchemaBuilder::new("n1", "u");
+        let c1 = b.class("C1").unwrap();
+        let c2 = b.class("C2").unwrap();
+        let p = b.property("p", c1, Range::Class(c2)).unwrap();
+        let schema = Arc::new(b.finish().unwrap());
+        let mut b1 = DescriptionBase::new(Arc::clone(&schema));
+        b1.insert_described(Triple::new(Resource::new("a"), p, Resource::new("b")));
+        let mut b2 = DescriptionBase::new(Arc::clone(&schema));
+        b2.insert_described(Triple::new(Resource::new("c"), p, Resource::new("d")));
+        let oracle = oracle_base(&schema, [&b1, &b2]);
+        let q = compile("SELECT X, Y FROM {X}p{Y}", &schema).unwrap();
+        assert_eq!(oracle_answer(&oracle, &q).len(), 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Distributed query plans and their optimisation (paper §2.4–§2.5).
+//!
+//! From an [`AnnotatedQuery`](sqpeer_routing::AnnotatedQuery) the
+//! [`generate`] module runs the paper's Query-Processing Algorithm:
+//! every path pattern becomes a **union** over the peers annotated on it
+//! (*horizontal distribution*), and the unions are **joined** along the
+//! join tree (*vertical distribution*). Unannotated patterns become
+//! **holes** `Q@?` that downstream peers fill (§3.2).
+//!
+//! The [`mod@optimize`] module implements the §2.5 compile-time rewrites:
+//!
+//! 1. *distribution of joins and unions* — push joins below unions so the
+//!    plan streams smaller intermediate results (Fig 4, Plan 2),
+//! 2. *Transformation Rules 1 & 2* — merge subplans answerable by the same
+//!    peer into one composite subquery (Fig 4, Plan 3),
+//! 3. *shipping policies* — a cost-based choice of execution site per join
+//!    (data / query / hybrid shipping, Fig 5), driven by the [`cost`]
+//!    module's cardinality estimator and a pluggable network-cost model.
+
+pub mod cost;
+pub mod generate;
+pub mod node;
+pub mod optimize;
+
+pub use cost::{CostParams, Estimator, NetworkCost, UniformCost};
+pub use generate::{generate_plan, single_pattern_subquery};
+pub use node::{PlanNode, Site, Subquery};
+pub use optimize::{
+    assign_sites, distribute_joins, flatten_joins, merge_same_peer, optimize, OptimizeReport,
+};

@@ -1,0 +1,204 @@
+//! A compact fixed-capacity bit set used for subsumption closures.
+//!
+//! Schema lattices in SQPeer are computed once (when a community schema is
+//! built) and then queried millions of times during routing, so ancestor and
+//! descendant sets are materialised as bit sets for O(1) subsumption tests
+//! and fast unions.
+
+/// A growable bit set over `usize` indices.
+///
+/// Unlike `std::collections::HashSet<usize>` this has O(1) membership with a
+/// single word read, cheap in-place unions (used by the transitive-closure
+/// computation) and deterministic ascending iteration order.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty bit set.
+    pub fn new() -> Self {
+        BitSet { words: Vec::new() }
+    }
+
+    /// Creates an empty bit set able to hold indices `0..capacity` without
+    /// reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `index`, growing the set if necessary. Returns `true` if the
+    /// index was newly inserted.
+    pub fn insert(&mut self, index: usize) -> bool {
+        let word = index / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (index % 64);
+        let newly = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        newly
+    }
+
+    /// Removes `index`. Returns `true` if it was present.
+    pub fn remove(&mut self, index: usize) -> bool {
+        let word = index / 64;
+        if word >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << (index % 64);
+        let present = self.words[word] & mask != 0;
+        self.words[word] &= !mask;
+        present
+    }
+
+    /// Tests whether `index` is in the set.
+    pub fn contains(&self, index: usize) -> bool {
+        let word = index / 64;
+        word < self.words.len() && self.words[word] & (1u64 << (index % 64)) != 0
+    }
+
+    /// In-place union with `other`. Returns `true` if this set changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (dst, src) in self.words.iter_mut().zip(other.words.iter()) {
+            let merged = *dst | *src;
+            changed |= merged != *dst;
+            *dst = merged;
+        }
+        changed
+    }
+
+    /// Tests whether every element of `self` is also in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words.iter().enumerate().all(|(i, &w)| {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            w & !o == 0
+        })
+    }
+
+    /// Tests whether the two sets share at least one element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Tests whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut set = BitSet::new();
+        for i in iter {
+            set.insert(i);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = BitSet::new();
+        assert!(s.insert(3));
+        assert!(s.insert(200));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(s.contains(200));
+        assert!(!s.contains(4));
+        assert!(!s.contains(100_000));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn remove() {
+        let mut s: BitSet = [1, 2, 3].into_iter().collect();
+        assert!(s.remove(2));
+        assert!(!s.remove(2));
+        assert!(!s.remove(1000));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn union_with_reports_change() {
+        let mut a: BitSet = [1, 5].into_iter().collect();
+        let b: BitSet = [5, 70].into_iter().collect();
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 5, 70]);
+    }
+
+    #[test]
+    fn subset_and_intersects() {
+        let a: BitSet = [1, 2].into_iter().collect();
+        let b: BitSet = [1, 2, 3].into_iter().collect();
+        let c: BitSet = [9, 130].into_iter().collect();
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        // The empty set is a subset of everything and intersects nothing.
+        let empty = BitSet::new();
+        assert!(empty.is_subset(&a));
+        assert!(empty.is_subset(&empty));
+        assert!(!empty.intersects(&a));
+    }
+
+    #[test]
+    fn iter_ascending_across_words() {
+        let s: BitSet = [500, 0, 63, 64, 65].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 65, 500]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = BitSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        let mut t = BitSet::with_capacity(128);
+        assert!(t.is_empty());
+        t.insert(127);
+        assert!(!t.is_empty());
+    }
+}

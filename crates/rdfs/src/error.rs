@@ -1,0 +1,58 @@
+//! Error types for schema construction and validation.
+
+use std::fmt;
+
+/// An error raised while building or validating an RDF/S schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Two classes or two properties were declared with the same qualified
+    /// name.
+    DuplicateName(String),
+    /// A class or property name was referenced but never declared.
+    UnknownName(String),
+    /// The subclass or subproperty graph contains a cycle through the named
+    /// definition.
+    CyclicHierarchy(String),
+    /// A subproperty's domain is not subsumed by its parent property's
+    /// domain (RQL requires refinement to narrow, never widen).
+    IncompatibleDomain {
+        /// The offending subproperty.
+        property: String,
+        /// Its parent property.
+        parent: String,
+    },
+    /// A subproperty's range is not subsumed by its parent property's range.
+    IncompatibleRange {
+        /// The offending subproperty.
+        property: String,
+        /// Its parent property.
+        parent: String,
+    },
+    /// A namespace prefix was declared twice with different URIs.
+    DuplicateNamespace(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateName(n) => write!(f, "duplicate definition of `{n}`"),
+            SchemaError::UnknownName(n) => write!(f, "unknown class or property `{n}`"),
+            SchemaError::CyclicHierarchy(n) => {
+                write!(f, "cyclic subsumption hierarchy through `{n}`")
+            }
+            SchemaError::IncompatibleDomain { property, parent } => write!(
+                f,
+                "domain of subproperty `{property}` is not subsumed by the domain of `{parent}`"
+            ),
+            SchemaError::IncompatibleRange { property, parent } => write!(
+                f,
+                "range of subproperty `{property}` is not subsumed by the range of `{parent}`"
+            ),
+            SchemaError::DuplicateNamespace(p) => {
+                write!(f, "namespace prefix `{p}` declared twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}

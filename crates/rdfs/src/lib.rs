@@ -1,0 +1,52 @@
+//! RDF/S schema and data model for the SQPeer middleware.
+//!
+//! This crate implements the intensional layer every other SQPeer component
+//! builds on: community RDF/S schemas with namespaces, class and property
+//! hierarchies (`rdfs:subClassOf` / `rdfs:subPropertyOf`) and fast
+//! subsumption tests, plus the extensional primitives (resources, literals,
+//! triples) stored in peer description bases.
+//!
+//! The paper (§1) relies on four RDF/S modelling features, all supported
+//! here:
+//!
+//! * modular schema design via **namespaces**,
+//! * reuse/refinement via **subsumption** of class and property definitions,
+//! * **partial descriptions** (properties are optional and repeatable),
+//! * **super-imposed descriptions** (a resource may be classified under
+//!   several classes).
+//!
+//! # Example
+//!
+//! Build the community schema of Figure 1 of the paper:
+//!
+//! ```
+//! use sqpeer_rdfs::{SchemaBuilder, Range};
+//!
+//! let mut b = SchemaBuilder::new("n1", "http://example.org/n1#");
+//! let c1 = b.class("C1").unwrap();
+//! let c2 = b.class("C2").unwrap();
+//! let c3 = b.class("C3").unwrap();
+//! let _c4 = b.class("C4").unwrap();
+//! let c5 = b.subclass("C5", c1).unwrap();
+//! let c6 = b.subclass("C6", c2).unwrap();
+//! let p1 = b.property("prop1", c1, Range::Class(c2)).unwrap();
+//! let _p2 = b.property("prop2", c2, Range::Class(c3)).unwrap();
+//! let p4 = b.subproperty("prop4", p1, c5, Range::Class(c6)).unwrap();
+//! let schema = b.finish().unwrap();
+//!
+//! assert!(schema.is_subclass(c5, c1));
+//! assert!(schema.is_subproperty(p4, p1));
+//! ```
+
+pub mod bitset;
+pub mod error;
+pub mod schema;
+pub mod term;
+
+pub use bitset::BitSet;
+pub use error::SchemaError;
+pub use schema::{
+    ClassDef, ClassId, LiteralType, NamespaceDecl, NamespaceId, PropertyDef, PropertyId, Range,
+    Schema, SchemaBuilder,
+};
+pub use term::{Literal, Node, Resource, Triple, Typing};

@@ -1,0 +1,290 @@
+//! Extensional primitives: resources, literals and description triples.
+//!
+//! Peer description bases (paper §2.2) hold two kinds of facts:
+//!
+//! * [`Typing`] facts — `resource rdf:type Class` — populating class
+//!   extents, and
+//! * [`Triple`] facts — `subject property object` — populating property
+//!   extents.
+//!
+//! Resources are URI references shared across peers; joins between partial
+//! results produced by different peers compare resources by URI, exactly as
+//! a real RDF middleware would.
+
+use crate::schema::{ClassId, LiteralType, PropertyId};
+use std::fmt;
+use std::sync::Arc;
+
+/// A resource: a URI reference identifying an information resource in the
+/// network.
+///
+/// Cloning is cheap (`Arc`), equality and hashing are by URI so resources
+/// minted independently by different peers join correctly.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Resource(Arc<str>);
+
+impl Resource {
+    /// Creates a resource from a URI string.
+    pub fn new(uri: impl Into<Arc<str>>) -> Self {
+        Resource(uri.into())
+    }
+
+    /// The resource's URI.
+    pub fn uri(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "&{}", self.0)
+    }
+}
+
+impl From<&str> for Resource {
+    fn from(uri: &str) -> Self {
+        Resource::new(uri)
+    }
+}
+
+/// A literal value with an XSD-style datatype.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Literal {
+    /// A string literal.
+    String(Arc<str>),
+    /// An integer literal.
+    Integer(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A boolean literal.
+    Boolean(bool),
+}
+
+impl Literal {
+    /// Creates a string literal.
+    pub fn string(s: impl Into<Arc<str>>) -> Self {
+        Literal::String(s.into())
+    }
+
+    /// The datatype of this literal.
+    pub fn literal_type(&self) -> LiteralType {
+        match self {
+            Literal::String(_) => LiteralType::String,
+            Literal::Integer(_) => LiteralType::Integer,
+            Literal::Float(_) => LiteralType::Float,
+            Literal::Boolean(_) => LiteralType::Boolean,
+        }
+    }
+
+    /// Total order used by filter evaluation; literals of different types
+    /// compare by type tag first so sorting is always defined.
+    pub fn total_cmp(&self, other: &Literal) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Literal::String(a), Literal::String(b)) => a.cmp(b),
+            (Literal::Integer(a), Literal::Integer(b)) => a.cmp(b),
+            (Literal::Float(a), Literal::Float(b)) => a.total_cmp(b),
+            (Literal::Boolean(a), Literal::Boolean(b)) => a.cmp(b),
+            (Literal::Integer(a), Literal::Float(b)) => (*a as f64).total_cmp(b),
+            (Literal::Float(a), Literal::Integer(b)) => a.total_cmp(&(*b as f64)),
+            _ => {
+                let rank = |l: &Literal| match l {
+                    Literal::Boolean(_) => 0,
+                    Literal::Integer(_) => 1,
+                    Literal::Float(_) => 2,
+                    Literal::String(_) => 3,
+                };
+                rank(self).cmp(&rank(other)).then(Ordering::Equal)
+            }
+        }
+    }
+}
+
+impl Eq for Literal {}
+
+impl std::hash::Hash for Literal {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Literal::String(s) => {
+                0u8.hash(state);
+                s.hash(state);
+            }
+            Literal::Integer(i) => {
+                1u8.hash(state);
+                i.hash(state);
+            }
+            Literal::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Literal::Boolean(b) => {
+                3u8.hash(state);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::String(s) => write!(f, "\"{s}\""),
+            Literal::Integer(i) => write!(f, "{i}"),
+            Literal::Float(x) => write!(f, "{x}"),
+            Literal::Boolean(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// A graph node: either a resource or a literal. Appears as the object of a
+/// triple and as a binding in query answers.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// A resource node.
+    Resource(Resource),
+    /// A literal node.
+    Literal(Literal),
+}
+
+impl Node {
+    /// Returns the resource if this node is one.
+    pub fn as_resource(&self) -> Option<&Resource> {
+        match self {
+            Node::Resource(r) => Some(r),
+            Node::Literal(_) => None,
+        }
+    }
+
+    /// Returns the literal if this node is one.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Node::Literal(l) => Some(l),
+            Node::Resource(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Resource(r) => write!(f, "{r}"),
+            Node::Literal(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+impl From<Resource> for Node {
+    fn from(r: Resource) -> Self {
+        Node::Resource(r)
+    }
+}
+
+impl From<Literal> for Node {
+    fn from(l: Literal) -> Self {
+        Node::Literal(l)
+    }
+}
+
+/// A description triple: `subject property object`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Triple {
+    /// Subject resource.
+    pub subject: Resource,
+    /// Property (schema-resolved).
+    pub property: PropertyId,
+    /// Object node.
+    pub object: Node,
+}
+
+impl Triple {
+    /// Creates a triple.
+    pub fn new(subject: Resource, property: PropertyId, object: impl Into<Node>) -> Self {
+        Triple { subject, property, object: object.into() }
+    }
+}
+
+/// A class-instantiation fact: `resource rdf:type class`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Typing {
+    /// The classified resource.
+    pub resource: Resource,
+    /// The class it is an instance of.
+    pub class: ClassId,
+}
+
+impl Typing {
+    /// Creates a typing fact.
+    pub fn new(resource: Resource, class: ClassId) -> Self {
+        Typing { resource, class }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn resources_compare_by_uri() {
+        let a = Resource::new("http://x/r1");
+        let b = Resource::new(String::from("http://x/r1"));
+        let c = Resource::new("http://x/r2");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let set: HashSet<_> = [a.clone(), b, c].into_iter().collect();
+        assert_eq!(set.len(), 2);
+        assert_eq!(a.uri(), "http://x/r1");
+    }
+
+    #[test]
+    fn literal_types() {
+        assert_eq!(Literal::string("x").literal_type(), LiteralType::String);
+        assert_eq!(Literal::Integer(1).literal_type(), LiteralType::Integer);
+        assert_eq!(Literal::Float(1.0).literal_type(), LiteralType::Float);
+        assert_eq!(Literal::Boolean(true).literal_type(), LiteralType::Boolean);
+    }
+
+    #[test]
+    fn literal_total_order_mixed_numeric() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Literal::Integer(2).total_cmp(&Literal::Float(2.5)), Less);
+        assert_eq!(Literal::Float(3.0).total_cmp(&Literal::Integer(2)), Greater);
+        assert_eq!(Literal::Integer(2).total_cmp(&Literal::Integer(2)), Equal);
+        assert_eq!(
+            Literal::string("a").total_cmp(&Literal::string("b")),
+            Less
+        );
+    }
+
+    #[test]
+    fn float_literals_hash_consistently() {
+        let mut set = HashSet::new();
+        set.insert(Literal::Float(1.5));
+        assert!(set.contains(&Literal::Float(1.5)));
+        assert!(!set.contains(&Literal::Float(2.5)));
+    }
+
+    #[test]
+    fn node_accessors() {
+        let r = Node::Resource(Resource::new("u"));
+        let l = Node::Literal(Literal::Integer(7));
+        assert!(r.as_resource().is_some());
+        assert!(r.as_literal().is_none());
+        assert!(l.as_literal().is_some());
+        assert!(l.as_resource().is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = Triple::new(Resource::new("s"), PropertyId(0), Literal::string("v"));
+        assert_eq!(t.subject.to_string(), "&s");
+        assert_eq!(t.object.to_string(), "\"v\"");
+        assert_eq!(Node::from(Resource::new("o")).to_string(), "&o");
+    }
+}

@@ -1,0 +1,204 @@
+//! Annotated query patterns: the routing algorithm's output.
+
+use crate::PeerId;
+use sqpeer_rql::{PathPattern, QueryPattern};
+use sqpeer_subsume::PatternMatch;
+use std::fmt;
+
+/// One peer annotation on a path pattern: who can answer it, how the
+/// advertisement relates to the pattern, and the rewritten pattern actually
+/// sent to that peer (§2.3: subsumption techniques "rewrite accordingly the
+/// query sent to a peer").
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerAnnotation {
+    /// The annotated peer.
+    pub peer: PeerId,
+    /// How the peer's advertisement matched.
+    pub kind: PatternMatch,
+    /// The pattern specialised for this peer.
+    pub pattern: PathPattern,
+}
+
+/// A query pattern annotated, per path pattern, with the peers able to
+/// answer it.
+#[derive(Debug, Clone)]
+pub struct AnnotatedQuery {
+    query: QueryPattern,
+    /// `annotations[i]` lists the peers for `query.patterns()[i]`.
+    annotations: Vec<Vec<PeerAnnotation>>,
+}
+
+impl AnnotatedQuery {
+    /// Creates an annotation set (one, possibly empty, list per path
+    /// pattern).
+    pub fn new(query: QueryPattern, annotations: Vec<Vec<PeerAnnotation>>) -> Self {
+        assert_eq!(query.patterns().len(), annotations.len());
+        AnnotatedQuery { query, annotations }
+    }
+
+    /// Creates an annotation set with empty annotations (step 1 of the
+    /// routing algorithm).
+    pub fn empty(query: QueryPattern) -> Self {
+        let n = query.patterns().len();
+        AnnotatedQuery { query, annotations: vec![Vec::new(); n] }
+    }
+
+    /// The underlying query pattern.
+    pub fn query(&self) -> &QueryPattern {
+        &self.query
+    }
+
+    /// The peers annotated on path pattern `i`.
+    pub fn peers_for(&self, i: usize) -> &[PeerAnnotation] {
+        &self.annotations[i]
+    }
+
+    /// Adds an annotation to path pattern `i` (deduplicating by peer).
+    pub fn annotate(&mut self, i: usize, annotation: PeerAnnotation) {
+        if !self.annotations[i].iter().any(|a| a.peer == annotation.peer) {
+            self.annotations[i].push(annotation);
+        }
+    }
+
+    /// Indexes of path patterns with no annotated peer — the "holes"
+    /// (`Q@?`) of partial plans (§2.4, §3.2).
+    pub fn holes(&self) -> Vec<usize> {
+        self.annotations
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_empty())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Is every path pattern annotated with at least one peer (a complete
+    /// plan can be generated)?
+    pub fn is_complete(&self) -> bool {
+        self.annotations.iter().all(|a| !a.is_empty())
+    }
+
+    /// All distinct peers appearing anywhere in the annotation.
+    pub fn all_peers(&self) -> Vec<PeerId> {
+        let mut peers: Vec<PeerId> =
+            self.annotations.iter().flatten().map(|a| a.peer).collect();
+        peers.sort();
+        peers.dedup();
+        peers
+    }
+
+    /// Merges another routing pass over the same query into this one —
+    /// used by the ad-hoc architecture where peers interleave routing and
+    /// processing, each contributing its local knowledge (§3.2).
+    pub fn merge(&mut self, other: &AnnotatedQuery) {
+        for (i, anns) in other.annotations.iter().enumerate() {
+            for a in anns {
+                self.annotate(i, a.clone());
+            }
+        }
+    }
+
+    /// Removes every annotation of `peer` — used by run-time adaptation
+    /// when a peer becomes obsolete (§2.5: "not taking into consideration
+    /// those peers that became obsolete").
+    pub fn remove_peer(&mut self, peer: PeerId) {
+        for anns in &mut self.annotations {
+            anns.retain(|a| a.peer != peer);
+        }
+    }
+}
+
+impl fmt::Display for AnnotatedQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, anns) in self.annotations.iter().enumerate() {
+            let peers: Vec<String> =
+                anns.iter().map(|a| format!("{}({:?})", a.peer, a.kind)).collect();
+            writeln!(f, "Q{}: [{}]", i + 1, peers.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqpeer_rdfs::{Range, SchemaBuilder};
+    use sqpeer_rql::compile;
+    use std::sync::Arc;
+
+    fn query() -> QueryPattern {
+        let mut b = SchemaBuilder::new("n1", "u");
+        let c1 = b.class("C1").unwrap();
+        let c2 = b.class("C2").unwrap();
+        let c3 = b.class("C3").unwrap();
+        let _ = b.property("prop1", c1, Range::Class(c2)).unwrap();
+        let _ = b.property("prop2", c2, Range::Class(c3)).unwrap();
+        let s = Arc::new(b.finish().unwrap());
+        compile("SELECT X, Y FROM {X}prop1{Y}, {Y}prop2{Z}", &s).unwrap()
+    }
+
+    fn ann(q: &QueryPattern, i: usize, peer: u32) -> PeerAnnotation {
+        PeerAnnotation {
+            peer: PeerId(peer),
+            kind: PatternMatch::Equivalent,
+            pattern: q.patterns()[i].clone(),
+        }
+    }
+
+    #[test]
+    fn holes_and_completeness() {
+        let q = query();
+        let mut aq = AnnotatedQuery::empty(q.clone());
+        assert_eq!(aq.holes(), vec![0, 1]);
+        assert!(!aq.is_complete());
+        aq.annotate(0, ann(&q, 0, 1));
+        assert_eq!(aq.holes(), vec![1]);
+        aq.annotate(1, ann(&q, 1, 2));
+        assert!(aq.is_complete());
+        assert_eq!(aq.all_peers(), vec![PeerId(1), PeerId(2)]);
+    }
+
+    #[test]
+    fn annotate_dedups_by_peer() {
+        let q = query();
+        let mut aq = AnnotatedQuery::empty(q.clone());
+        aq.annotate(0, ann(&q, 0, 1));
+        aq.annotate(0, ann(&q, 0, 1));
+        assert_eq!(aq.peers_for(0).len(), 1);
+    }
+
+    #[test]
+    fn merge_combines_local_knowledge() {
+        let q = query();
+        let mut a = AnnotatedQuery::empty(q.clone());
+        a.annotate(0, ann(&q, 0, 1));
+        let mut b = AnnotatedQuery::empty(q.clone());
+        b.annotate(0, ann(&q, 0, 1));
+        b.annotate(1, ann(&q, 1, 5));
+        a.merge(&b);
+        assert!(a.is_complete());
+        assert_eq!(a.peers_for(0).len(), 1);
+        assert_eq!(a.peers_for(1)[0].peer, PeerId(5));
+    }
+
+    #[test]
+    fn remove_peer_reopens_holes() {
+        let q = query();
+        let mut aq = AnnotatedQuery::empty(q.clone());
+        aq.annotate(0, ann(&q, 0, 1));
+        aq.annotate(1, ann(&q, 1, 1));
+        aq.annotate(1, ann(&q, 1, 2));
+        aq.remove_peer(PeerId(1));
+        assert_eq!(aq.holes(), vec![0]);
+        assert_eq!(aq.peers_for(1).len(), 1);
+    }
+
+    #[test]
+    fn display_lists_pattern_annotations() {
+        let q = query();
+        let mut aq = AnnotatedQuery::empty(q.clone());
+        aq.annotate(0, ann(&q, 0, 7));
+        let text = aq.to_string();
+        assert!(text.contains("Q1: [P7(Equivalent)]"), "{text}");
+        assert!(text.contains("Q2: []"), "{text}");
+    }
+}

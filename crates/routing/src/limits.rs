@@ -1,0 +1,207 @@
+//! Broadcast-bounding constraints (§5 future work).
+//!
+//! "We plan to study the trade-off between result completeness and
+//! processing load using the concepts of Top N (or Bottom N) queries. In
+//! the same direction, we can use constraints regarding the number of
+//! peer nodes that each query is broadcasted and further processed."
+//!
+//! [`RoutingLimits`] caps how many peers each path pattern is annotated
+//! with; candidates are ranked so the cap cuts the least useful peers
+//! first (strongest match kind, then largest advertised extent).
+
+use crate::annotated::{AnnotatedQuery, PeerAnnotation};
+use crate::router::{route, Advertisement, RoutingPolicy};
+use crate::PeerId;
+use sqpeer_rql::QueryPattern;
+use sqpeer_store::BaseStatistics;
+use sqpeer_subsume::PatternMatch;
+use std::collections::HashMap;
+
+/// Caps on routing fan-out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoutingLimits {
+    /// Annotate at most this many peers per path pattern (`None` =
+    /// unlimited). Trades answer completeness for processing load.
+    pub max_peers_per_pattern: Option<usize>,
+}
+
+impl RoutingLimits {
+    /// No limits: the plain routing algorithm.
+    pub fn unlimited() -> Self {
+        RoutingLimits::default()
+    }
+
+    /// At most `n` peers per pattern.
+    pub fn top(n: usize) -> Self {
+        RoutingLimits { max_peers_per_pattern: Some(n.max(1)) }
+    }
+}
+
+/// Runs the routing algorithm, then applies [`RoutingLimits`]: per
+/// pattern, annotations are ranked by match strength (equivalent >
+/// specialises > generalises > overlaps) and then by the advertised
+/// closed extent of the matched property (peers expected to contribute
+/// the most answers survive the cut).
+pub fn route_limited(
+    query: &QueryPattern,
+    ads: &[Advertisement],
+    policy: RoutingPolicy,
+    limits: RoutingLimits,
+) -> AnnotatedQuery {
+    let annotated = route(query, ads, policy);
+    let Some(k) = limits.max_peers_per_pattern else { return annotated };
+
+    let stats: HashMap<PeerId, &BaseStatistics> =
+        ads.iter().filter_map(|a| a.stats.as_ref().map(|s| (a.peer, s))).collect();
+    let mut trimmed = AnnotatedQuery::empty(query.clone());
+    for i in 0..query.patterns().len() {
+        let mut anns: Vec<PeerAnnotation> = annotated.peers_for(i).to_vec();
+        anns.sort_by_key(|a| {
+            let strength = match a.kind {
+                PatternMatch::Equivalent => 0,
+                PatternMatch::SpecializesQuery => 1,
+                PatternMatch::GeneralizesQuery => 2,
+                PatternMatch::Overlaps => 3,
+            };
+            let extent = stats
+                .get(&a.peer)
+                .map(|s| s.property_closed(a.pattern.property).triples)
+                .unwrap_or(0);
+            // Ascending sort: stronger match first, then larger extents,
+            // then stable peer order for determinism.
+            (strength, usize::MAX - extent, a.peer)
+        });
+        for ann in anns.into_iter().take(k) {
+            trimmed.annotate(i, ann);
+        }
+    }
+    trimmed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqpeer_rdfs::{Range, Resource, Schema, SchemaBuilder, Triple};
+    use sqpeer_rql::compile;
+    use sqpeer_rvl::ActiveSchema;
+    use sqpeer_store::DescriptionBase;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        let mut b = SchemaBuilder::new("n1", "u");
+        let c1 = b.class("C1").unwrap();
+        let c2 = b.class("C2").unwrap();
+        let _ = b.property("p", c1, Range::Class(c2)).unwrap();
+        Arc::new(b.finish().unwrap())
+    }
+
+    /// Peers 1..=4 hold 10, 20, 30, 40 triples of `p` respectively.
+    fn ads(schema: &Arc<Schema>) -> Vec<Advertisement> {
+        let p = schema.property_by_name("p").unwrap();
+        (1..=4u32)
+            .map(|i| {
+                let mut base = DescriptionBase::new(Arc::clone(schema));
+                for j in 0..i * 10 {
+                    base.insert_described(Triple::new(
+                        Resource::new(format!("s{i}-{j}")),
+                        p,
+                        Resource::new(format!("o{i}-{j}")),
+                    ));
+                }
+                Advertisement::new(PeerId(i), ActiveSchema::of_base(&base))
+                    .with_stats(base.statistics())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unlimited_is_identity() {
+        let s = schema();
+        let q = compile("SELECT X FROM {X}p{Y}", &s).unwrap();
+        let ads = ads(&s);
+        let full = route(&q, &ads, RoutingPolicy::SubsumedOnly);
+        let limited = route_limited(&q, &ads, RoutingPolicy::SubsumedOnly, RoutingLimits::unlimited());
+        assert_eq!(full.peers_for(0).len(), limited.peers_for(0).len());
+    }
+
+    #[test]
+    fn top_k_keeps_largest_extents() {
+        let s = schema();
+        let q = compile("SELECT X FROM {X}p{Y}", &s).unwrap();
+        let limited =
+            route_limited(&q, &ads(&s), RoutingPolicy::SubsumedOnly, RoutingLimits::top(2));
+        let peers: Vec<PeerId> = limited.peers_for(0).iter().map(|a| a.peer).collect();
+        // Peers 4 (40 triples) and 3 (30) survive the cut.
+        assert_eq!(peers, vec![PeerId(4), PeerId(3)]);
+    }
+
+    #[test]
+    fn top_one_is_the_biggest_holder() {
+        let s = schema();
+        let q = compile("SELECT X FROM {X}p{Y}", &s).unwrap();
+        let limited =
+            route_limited(&q, &ads(&s), RoutingPolicy::SubsumedOnly, RoutingLimits::top(1));
+        assert_eq!(limited.peers_for(0).len(), 1);
+        assert_eq!(limited.peers_for(0)[0].peer, PeerId(4));
+    }
+
+    #[test]
+    fn match_strength_beats_extent() {
+        // A huge-extent *overlap* match must lose to a small *equivalent*
+        // match under the cap.
+        let mut b = SchemaBuilder::new("n1", "u");
+        let c1 = b.class("C1").unwrap();
+        let c2 = b.class("C2").unwrap();
+        let c5 = b.subclass("C5", c1).unwrap();
+        let c6 = b.subclass("C6", c2).unwrap();
+        let p = b.property("p", c1, Range::Class(c2)).unwrap();
+        let psub = b.subproperty("psub", p, c5, Range::Class(c6)).unwrap();
+        let s = Arc::new(b.finish().unwrap());
+
+        // Peer 1: tiny, advertises psub exactly (equivalent for a psub query).
+        let mut small = DescriptionBase::new(Arc::clone(&s));
+        small.insert_described(Triple::new(Resource::new("a"), psub, Resource::new("b")));
+        // Peer 2: huge, advertises the broader p (generalizes the query).
+        let mut big = DescriptionBase::new(Arc::clone(&s));
+        for j in 0..100 {
+            big.insert_described(Triple::new(
+                Resource::new(format!("s{j}")),
+                p,
+                Resource::new(format!("o{j}")),
+            ));
+        }
+        let ads = vec![
+            Advertisement::new(PeerId(1), ActiveSchema::of_base(&small))
+                .with_stats(small.statistics()),
+            Advertisement::new(PeerId(2), ActiveSchema::of_base(&big))
+                .with_stats(big.statistics()),
+        ];
+        let q = compile("SELECT X FROM {X}psub{Y}", &s).unwrap();
+        let limited =
+            route_limited(&q, &ads, RoutingPolicy::IncludeOverlapping, RoutingLimits::top(1));
+        assert_eq!(limited.peers_for(0)[0].peer, PeerId(1), "equivalent beats generalizing");
+    }
+
+    #[test]
+    fn deterministic_tiebreak_by_peer_id() {
+        let s = schema();
+        let p = s.property_by_name("p").unwrap();
+        // Two identical peers.
+        let ads: Vec<Advertisement> = (1..=2u32)
+            .map(|i| {
+                let mut base = DescriptionBase::new(Arc::clone(&s));
+                base.insert_described(Triple::new(
+                    Resource::new("x"),
+                    p,
+                    Resource::new("y"),
+                ));
+                Advertisement::new(PeerId(i), ActiveSchema::of_base(&base))
+                    .with_stats(base.statistics())
+            })
+            .collect();
+        let q = compile("SELECT X FROM {X}p{Y}", &s).unwrap();
+        let limited =
+            route_limited(&q, &ads, RoutingPolicy::SubsumedOnly, RoutingLimits::top(1));
+        assert_eq!(limited.peers_for(0)[0].peer, PeerId(1));
+    }
+}

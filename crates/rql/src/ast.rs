@@ -1,0 +1,200 @@
+//! Abstract syntax of the RQL conjunctive fragment.
+//!
+//! The AST mirrors the concrete syntax; all names are still strings. Schema
+//! resolution into [`QueryPattern`](crate::pattern::QueryPattern)s happens
+//! in [`crate::pattern`].
+
+use std::fmt;
+
+/// A parsed RQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAst {
+    /// The SELECT clause.
+    pub projection: Projection,
+    /// The FROM clause: one or more path expressions.
+    pub paths: Vec<PathExpr>,
+    /// Standalone class-membership expressions in FROM: `{X;C1}` with no
+    /// property. Full RQL class queries; evaluated locally (the paper's
+    /// routing operates on path patterns only, §2.1).
+    pub class_exprs: Vec<NodeSpec>,
+    /// The WHERE clause: zero or more AND-ed comparisons.
+    pub filters: Vec<Condition>,
+    /// `USING NAMESPACE prefix = &uri` declarations.
+    pub namespaces: Vec<(String, String)>,
+    /// Optional `ORDER BY var [ASC|DESC]` (Top-N queries, §5).
+    pub order_by: Option<OrderBy>,
+    /// Optional `LIMIT n`.
+    pub limit: Option<usize>,
+}
+
+/// An `ORDER BY` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderBy {
+    /// The ordering variable.
+    pub var: String,
+    /// Ascending (`true`, default) or descending.
+    pub ascending: bool,
+}
+
+/// The SELECT clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Projection {
+    /// `SELECT *` — project every variable in FROM-clause order.
+    Star,
+    /// `SELECT X, Y` — project the named variables.
+    Vars(Vec<String>),
+}
+
+/// A path expression `{subject}property{object}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathExpr {
+    /// The subject node specification.
+    pub subject: NodeSpec,
+    /// The qualified (or bare) property name.
+    pub property: String,
+    /// The object node specification.
+    pub object: NodeSpec,
+}
+
+/// What appears between braces in a path expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeSpec {
+    /// `{X}` or `{X;C1}` — a variable, optionally class-constrained.
+    Var {
+        /// The variable name.
+        name: String,
+        /// An optional class constraint following `;`.
+        class: Option<String>,
+    },
+    /// `{&http://...}` — a constant resource.
+    Resource(String),
+    /// `{"text"}` / `{42}` — a constant literal (object position only).
+    Literal(LiteralSpec),
+}
+
+/// A literal constant in the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LiteralSpec {
+    /// A string constant.
+    String(String),
+    /// An integer constant.
+    Integer(i64),
+    /// A float constant.
+    Float(f64),
+    /// A boolean constant.
+    Boolean(bool),
+}
+
+/// A WHERE-clause comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    /// Left operand.
+    pub left: Operand,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub right: Operand,
+}
+
+/// An operand of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A variable reference.
+    Var(String),
+    /// A literal constant.
+    Literal(LiteralSpec),
+    /// A resource constant.
+    Resource(String),
+}
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for NodeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeSpec::Var { name, class: Some(c) } => write!(f, "{{{name};{c}}}"),
+            NodeSpec::Var { name, class: None } => write!(f, "{{{name}}}"),
+            NodeSpec::Resource(uri) => write!(f, "{{&{uri}}}"),
+            NodeSpec::Literal(LiteralSpec::String(s)) => write!(f, "{{\"{s}\"}}"),
+            NodeSpec::Literal(LiteralSpec::Integer(i)) => write!(f, "{{{i}}}"),
+            NodeSpec::Literal(LiteralSpec::Float(x)) => write!(f, "{{{x}}}"),
+            NodeSpec::Literal(LiteralSpec::Boolean(b)) => write!(f, "{{{b}}}"),
+        }
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}", self.subject, self.property, self.object)
+    }
+}
+
+impl fmt::Display for QueryAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.projection {
+            Projection::Star => write!(f, "SELECT *")?,
+            Projection::Vars(vs) => write!(f, "SELECT {}", vs.join(", "))?,
+        }
+        let mut items: Vec<_> = self.paths.iter().map(|p| p.to_string()).collect();
+        items.extend(self.class_exprs.iter().map(|c| c.to_string()));
+        write!(f, " FROM {}", items.join(", "))?;
+        if !self.filters.is_empty() {
+            let conds: Vec<_> = self
+                .filters
+                .iter()
+                .map(|c| format!("{} {} {}", operand_str(&c.left), c.op, operand_str(&c.right)))
+                .collect();
+            write!(f, " WHERE {}", conds.join(" AND "))?;
+        }
+        if let Some(ob) = &self.order_by {
+            write!(f, " ORDER BY {}{}", ob.var, if ob.ascending { "" } else { " DESC" })?;
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        for (prefix, uri) in &self.namespaces {
+            write!(f, " USING NAMESPACE {prefix} = &{uri}")?;
+        }
+        Ok(())
+    }
+}
+
+fn operand_str(op: &Operand) -> String {
+    match op {
+        Operand::Var(v) => v.clone(),
+        Operand::Literal(LiteralSpec::String(s)) => format!("\"{s}\""),
+        Operand::Literal(LiteralSpec::Integer(i)) => i.to_string(),
+        Operand::Literal(LiteralSpec::Float(x)) => x.to_string(),
+        Operand::Literal(LiteralSpec::Boolean(b)) => b.to_string(),
+        Operand::Resource(u) => format!("&{u}"),
+    }
+}

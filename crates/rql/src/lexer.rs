@@ -1,0 +1,329 @@
+//! Lexer for the RQL/RVL concrete syntax.
+//!
+//! Shared by the RQL query parser in this crate and the RVL view parser in
+//! `sqpeer-rvl` (RVL is "formulated in the same formalism", paper §2.2).
+
+use crate::error::ParseError;
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword `SELECT` (case-insensitive).
+    Select,
+    /// Keyword `FROM`.
+    From,
+    /// Keyword `WHERE`.
+    Where,
+    /// Keyword `USING`.
+    Using,
+    /// Keyword `NAMESPACE`.
+    Namespace,
+    /// Keyword `VIEW` (RVL).
+    View,
+    /// Keyword `CREATE` (RVL).
+    Create,
+    /// Keyword `AND`.
+    And,
+    /// Keyword `ORDER` (Top-N queries, §5).
+    Order,
+    /// Keyword `BY`.
+    By,
+    /// Keyword `LIMIT`.
+    Limit,
+    /// Keyword `ASC`.
+    Asc,
+    /// Keyword `DESC`.
+    Desc,
+    /// An identifier or qualified name: `X`, `C1`, `n1:prop1`.
+    Name(String),
+    /// A resource constant: `&http://...` (delimited by whitespace or `}`).
+    ResourceRef(String),
+    /// A string literal: `"text"`.
+    String(String),
+    /// An integer literal.
+    Integer(i64),
+    /// A float literal.
+    Float(f64),
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semicolon,
+    /// `*`.
+    Star,
+    /// `=`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub offset: usize,
+}
+
+/// A hand-written lexer over the query text.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+    }
+
+    /// Lexes the whole input into a token vector ending with
+    /// [`TokenKind::Eof`].
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, ParseError> {
+        self.skip_ws();
+        let offset = self.pos;
+        let Some(b) = self.bump() else {
+            return Ok(Token { kind: TokenKind::Eof, offset });
+        };
+        let kind = match b {
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semicolon,
+            b'*' => TokenKind::Star,
+            b'=' => TokenKind::Eq,
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Ne
+                } else {
+                    return Err(ParseError::new(offset, "expected `=` after `!`"));
+                }
+            }
+            b'<' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'&' => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_whitespace()
+                        || c == b'}'
+                        || c == b','
+                        || c == b')'
+                        || c == b';'
+                    {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                if self.pos == start {
+                    return Err(ParseError::new(offset, "empty resource reference after `&`"));
+                }
+                TokenKind::ResourceRef(self.src[start..self.pos].to_string())
+            }
+            b'"' => {
+                let start = self.pos;
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(_) => {}
+                        None => {
+                            return Err(ParseError::new(offset, "unterminated string literal"))
+                        }
+                    }
+                }
+                TokenKind::String(self.src[start..self.pos - 1].to_string())
+            }
+            b'0'..=b'9' | b'-' => {
+                let start = self.pos - 1;
+                let mut is_float = false;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        self.pos += 1;
+                    } else if c == b'.' && !is_float {
+                        is_float = true;
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &self.src[start..self.pos];
+                if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| {
+                        ParseError::new(offset, format!("invalid float literal `{text}`"))
+                    })?)
+                } else {
+                    TokenKind::Integer(text.parse().map_err(|_| {
+                        ParseError::new(offset, format!("invalid integer literal `{text}`"))
+                    })?)
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos - 1;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b':' || c == b'.' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &self.src[start..self.pos];
+                match text.to_ascii_uppercase().as_str() {
+                    "SELECT" => TokenKind::Select,
+                    "FROM" => TokenKind::From,
+                    "WHERE" => TokenKind::Where,
+                    "USING" => TokenKind::Using,
+                    "NAMESPACE" => TokenKind::Namespace,
+                    "VIEW" => TokenKind::View,
+                    "CREATE" => TokenKind::Create,
+                    "AND" => TokenKind::And,
+                    "ORDER" => TokenKind::Order,
+                    "BY" => TokenKind::By,
+                    "LIMIT" => TokenKind::Limit,
+                    "ASC" => TokenKind::Asc,
+                    "DESC" => TokenKind::Desc,
+                    "TRUE" => return Ok(Token { kind: TokenKind::Name("true".into()), offset }),
+                    "FALSE" => return Ok(Token { kind: TokenKind::Name("false".into()), offset }),
+                    _ => TokenKind::Name(text.to_string()),
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    offset,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        };
+        Ok(Token { kind, offset })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_figure1_query() {
+        let toks = kinds("SELECT X, Y FROM {X}n1:prop1{Y}, {Y}n1:prop2{Z}");
+        assert_eq!(toks[0], TokenKind::Select);
+        assert!(toks.contains(&TokenKind::Name("n1:prop1".into())));
+        assert!(toks.contains(&TokenKind::LBrace));
+        assert_eq!(*toks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(kinds("select")[0], TokenKind::Select);
+        assert_eq!(kinds("SeLeCt")[0], TokenKind::Select);
+        assert_eq!(kinds("from")[0], TokenKind::From);
+        assert_eq!(kinds("view")[0], TokenKind::View);
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(kinds("\"hello world\"")[0], TokenKind::String("hello world".into()));
+        assert_eq!(kinds("42")[0], TokenKind::Integer(42));
+        assert_eq!(kinds("-7")[0], TokenKind::Integer(-7));
+        assert_eq!(kinds("3.5")[0], TokenKind::Float(3.5));
+    }
+
+    #[test]
+    fn resource_refs_stop_at_delimiters() {
+        let toks = kinds("{&http://x/r1}n1:p{Y}");
+        assert_eq!(toks[1], TokenKind::ResourceRef("http://x/r1".into()));
+        assert_eq!(toks[2], TokenKind::RBrace);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(kinds("<")[0], TokenKind::Lt);
+        assert_eq!(kinds("<=")[0], TokenKind::Le);
+        assert_eq!(kinds(">=")[0], TokenKind::Ge);
+        assert_eq!(kinds("!=")[0], TokenKind::Ne);
+        assert_eq!(kinds("=")[0], TokenKind::Eq);
+    }
+
+    #[test]
+    fn errors_have_offsets() {
+        let err = Lexer::new("SELECT @").tokenize().unwrap_err();
+        assert_eq!(err.offset, 7);
+        let err = Lexer::new("\"open").tokenize().unwrap_err();
+        assert_eq!(err.offset, 0);
+        assert!(Lexer::new("!x").tokenize().is_err());
+    }
+
+    #[test]
+    fn qualified_names_keep_colon() {
+        assert_eq!(kinds("ns:Class")[0], TokenKind::Name("ns:Class".into()));
+    }
+}

@@ -1,0 +1,232 @@
+//! Active-schemas: the schema fragment a peer advertises (paper §2.2).
+//!
+//! An [`ActiveSchema`] "denotes essentially the subset of a community RDF/S
+//! schema(s) for which all classes and properties are (in the materialized
+//! scenario) or can be (in the virtual scenario) populated in a peer base".
+//! It is the unit the routing algorithm matches query path patterns
+//! against, and what peers broadcast to (or pull from) their neighbours.
+
+use sqpeer_rdfs::{BitSet, ClassId, PropertyId, Range, Schema};
+use sqpeer_store::DescriptionBase;
+use std::fmt;
+use std::sync::Arc;
+
+/// One populated property with its (possibly view-narrowed) end-points.
+///
+/// A view such as `VIEW prop1(X,Y) FROM {X;C5}prop1{Y}` populates `prop1`
+/// but only with `C5` subjects; the advertised domain is then `C5`, which
+/// makes subsumption-based routing more precise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ActiveProperty {
+    /// The populated property.
+    pub property: PropertyId,
+    /// Effective domain class of the populated triples.
+    pub domain: ClassId,
+    /// Effective range class; `None` for literal-ranged properties.
+    pub range: Option<ClassId>,
+}
+
+/// The advertised fragment of a community schema.
+#[derive(Debug, Clone)]
+pub struct ActiveSchema {
+    schema: Arc<Schema>,
+    classes: BitSet,
+    properties: Vec<ActiveProperty>,
+}
+
+impl ActiveSchema {
+    /// Creates an active-schema from explicit parts.
+    pub fn new(
+        schema: Arc<Schema>,
+        classes: impl IntoIterator<Item = ClassId>,
+        properties: Vec<ActiveProperty>,
+    ) -> Self {
+        let mut set = BitSet::with_capacity(schema.class_count());
+        for c in classes {
+            set.insert(c.0 as usize);
+        }
+        ActiveSchema { schema, classes: set, properties }
+    }
+
+    /// Derives the active-schema of a **materialized** peer base: every
+    /// populated class and property, with declared end-points.
+    pub fn of_base(base: &DescriptionBase) -> Self {
+        let schema = Arc::clone(base.schema());
+        let properties = base
+            .populated_properties()
+            .into_iter()
+            .map(|p| {
+                let def = schema.property(p);
+                ActiveProperty {
+                    property: p,
+                    domain: def.domain,
+                    range: match def.range {
+                        Range::Class(c) => Some(c),
+                        Range::Literal(_) => None,
+                    },
+                }
+            })
+            .collect();
+        ActiveSchema::new(Arc::clone(&schema), base.populated_classes(), properties)
+    }
+
+    /// The community schema this fragment belongs to.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The populated classes.
+    pub fn classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        self.classes.iter().map(|i| ClassId(i as u32))
+    }
+
+    /// Is `c` advertised as populated?
+    pub fn has_class(&self, c: ClassId) -> bool {
+        self.classes.contains(c.0 as usize)
+    }
+
+    /// The populated properties with effective end-points — the
+    /// active-schema's path patterns `AS_j1 ... AS_jl` in the routing
+    /// algorithm of §2.3.
+    pub fn active_properties(&self) -> &[ActiveProperty] {
+        &self.properties
+    }
+
+    /// Does this active-schema populate `p` (directly, not via
+    /// subproperties)?
+    pub fn has_property(&self, p: PropertyId) -> bool {
+        self.properties.iter().any(|ap| ap.property == p)
+    }
+
+    /// Is the advertisement empty (nothing populated)?
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty() && self.properties.is_empty()
+    }
+
+    /// An estimate of the wire size of this advertisement in bytes. The
+    /// maintenance-cost experiment (E9) compares this against data-level
+    /// index maintenance traffic.
+    pub fn wire_size(&self) -> usize {
+        // One qname reference per class, three per property arc.
+        16 * (self.classes.len() + 3 * self.properties.len()) + 16
+    }
+}
+
+impl PartialEq for ActiveSchema {
+    fn eq(&self, other: &Self) -> bool {
+        self.classes == other.classes && self.properties == other.properties
+    }
+}
+
+impl Eq for ActiveSchema {}
+
+impl fmt::Display for ActiveSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let classes: Vec<_> = self.classes().map(|c| self.schema.class_qname(c)).collect();
+        let props: Vec<_> = self
+            .properties
+            .iter()
+            .map(|ap| {
+                let range = match ap.range {
+                    Some(c) => self.schema.class_qname(c),
+                    None => "literal".to_string(),
+                };
+                format!(
+                    "{}({} -> {})",
+                    self.schema.property_qname(ap.property),
+                    self.schema.class_qname(ap.domain),
+                    range
+                )
+            })
+            .collect();
+        write!(f, "classes: [{}] properties: [{}]", classes.join(", "), props.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqpeer_rdfs::{Resource, SchemaBuilder, Triple};
+
+    fn fig1_schema() -> Arc<Schema> {
+        let mut b = SchemaBuilder::new("n1", "http://example.org/n1#");
+        let c1 = b.class("C1").unwrap();
+        let c2 = b.class("C2").unwrap();
+        let c3 = b.class("C3").unwrap();
+        let _ = b.class("C4").unwrap();
+        let c5 = b.subclass("C5", c1).unwrap();
+        let c6 = b.subclass("C6", c2).unwrap();
+        let p1 = b.property("prop1", c1, Range::Class(c2)).unwrap();
+        let _ = b.property("prop2", c2, Range::Class(c3)).unwrap();
+        let _ = b.subproperty("prop4", p1, c5, Range::Class(c6)).unwrap();
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn of_base_reflects_population() {
+        let schema = fig1_schema();
+        let p4 = schema.property_by_name("prop4").unwrap();
+        let c5 = schema.class_by_name("C5").unwrap();
+        let c6 = schema.class_by_name("C6").unwrap();
+        let mut base = DescriptionBase::new(Arc::clone(&schema));
+        base.insert_described(Triple::new(Resource::new("r1"), p4, Resource::new("r2")));
+        let active = ActiveSchema::of_base(&base);
+        assert!(active.has_property(p4));
+        assert!(!active.has_property(schema.property_by_name("prop1").unwrap()));
+        assert!(active.has_class(c5));
+        assert!(active.has_class(c6));
+        let ap = active.active_properties()[0];
+        assert_eq!(ap.domain, c5);
+        assert_eq!(ap.range, Some(c6));
+    }
+
+    #[test]
+    fn empty_base_empty_advertisement() {
+        let schema = fig1_schema();
+        let base = DescriptionBase::new(schema);
+        assert!(ActiveSchema::of_base(&base).is_empty());
+    }
+
+    #[test]
+    fn display_contains_qnames() {
+        let schema = fig1_schema();
+        let p4 = schema.property_by_name("prop4").unwrap();
+        let mut base = DescriptionBase::new(Arc::clone(&schema));
+        base.insert_described(Triple::new(Resource::new("r1"), p4, Resource::new("r2")));
+        let text = ActiveSchema::of_base(&base).to_string();
+        assert!(text.contains("n1:prop4(n1:C5 -> n1:C6)"), "{text}");
+    }
+
+    #[test]
+    fn wire_size_grows_with_fragment() {
+        let schema = fig1_schema();
+        let p1 = schema.property_by_name("prop1").unwrap();
+        let p4 = schema.property_by_name("prop4").unwrap();
+        let small = ActiveSchema::new(
+            Arc::clone(&schema),
+            [],
+            vec![ActiveProperty {
+                property: p4,
+                domain: schema.class_by_name("C5").unwrap(),
+                range: schema.class_by_name("C6"),
+            }],
+        );
+        let big = ActiveSchema::new(
+            Arc::clone(&schema),
+            [schema.class_by_name("C1").unwrap()],
+            vec![
+                ActiveProperty {
+                    property: p4,
+                    domain: schema.class_by_name("C5").unwrap(),
+                    range: schema.class_by_name("C6"),
+                },
+                ActiveProperty {
+                    property: p1,
+                    domain: schema.class_by_name("C1").unwrap(),
+                    range: schema.class_by_name("C2"),
+                },
+            ],
+        );
+        assert!(big.wire_size() > small.wire_size());
+    }
+}

@@ -1,0 +1,201 @@
+//! Parser for the RVL view fragment.
+//!
+//! Grammar (keywords case-insensitive, reusing the RQL lexer):
+//!
+//! ```text
+//! view      := VIEW clause (',' clause)*
+//!              FROM pathexpr (',' pathexpr)*
+//!              (WHERE conditions)?
+//!              (USING NAMESPACE decls)?
+//! clause    := name '(' var ')'            -- class population
+//!            | name '(' var ',' var ')'    -- property population
+//! ```
+
+use sqpeer_rql::ast::{Condition, PathExpr};
+use sqpeer_rql::lexer::{Lexer, TokenKind};
+use sqpeer_rql::parser::Parser;
+use sqpeer_rql::ParseError;
+
+/// A parsed (unresolved) RVL view program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewAst {
+    /// The view clauses listing populated classes/properties.
+    pub clauses: Vec<ViewClauseAst>,
+    /// The FROM clause path expressions.
+    pub paths: Vec<PathExpr>,
+    /// Standalone class-membership expressions in FROM (`{X;C}`), letting
+    /// a view populate one class from another class's extent.
+    pub class_exprs: Vec<sqpeer_rql::ast::NodeSpec>,
+    /// Optional WHERE filters.
+    pub filters: Vec<Condition>,
+    /// Namespace declarations.
+    pub namespaces: Vec<(String, String)>,
+}
+
+/// One view clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewClauseAst {
+    /// `C5(X)` — populate class `C5` with bindings of `X`.
+    Class {
+        /// The class name.
+        name: String,
+        /// The populating variable.
+        var: String,
+    },
+    /// `prop4(X, Y)` — populate property `prop4` with `(X, Y)` bindings.
+    Property {
+        /// The property name.
+        name: String,
+        /// Subject variable.
+        subject: String,
+        /// Object variable.
+        object: String,
+    },
+}
+
+/// Parses an RVL view program.
+pub fn parse_view(src: &str) -> Result<ViewAst, ParseError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser::from_tokens(tokens);
+    // Optional leading `CREATE`.
+    p.eat(&TokenKind::Create);
+    p.expect(&TokenKind::View, "VIEW")?;
+
+    let mut clauses = vec![view_clause(&mut p)?];
+    while p.eat(&TokenKind::Comma) {
+        clauses.push(view_clause(&mut p)?);
+    }
+
+    p.expect(&TokenKind::From, "FROM")?;
+    let (paths, class_exprs) = p.from_items()?;
+    let filters = if p.eat(&TokenKind::Where) { conditions(&mut p)? } else { Vec::new() };
+    let namespaces = p.using_namespaces()?;
+    p.expect_eof()?;
+    Ok(ViewAst { clauses, paths, class_exprs, filters, namespaces })
+}
+
+fn view_clause(p: &mut Parser) -> Result<ViewClauseAst, ParseError> {
+    let name = match p.peek().kind.clone() {
+        TokenKind::Name(n) => {
+            p.bump();
+            n
+        }
+        _ => return Err(p.unexpected("class or property name")),
+    };
+    p.expect(&TokenKind::LParen, "`(`")?;
+    let first = var_name(p)?;
+    let clause = if p.eat(&TokenKind::Comma) {
+        let second = var_name(p)?;
+        ViewClauseAst::Property { name, subject: first, object: second }
+    } else {
+        ViewClauseAst::Class { name, var: first }
+    };
+    p.expect(&TokenKind::RParen, "`)`")?;
+    Ok(clause)
+}
+
+fn var_name(p: &mut Parser) -> Result<String, ParseError> {
+    match p.peek().kind.clone() {
+        TokenKind::Name(n) => {
+            p.bump();
+            Ok(n)
+        }
+        _ => Err(p.unexpected("variable name")),
+    }
+}
+
+fn conditions(p: &mut Parser) -> Result<Vec<Condition>, ParseError> {
+    // Delegate condition parsing to a throwaway RQL query around the
+    // remaining tokens is not possible with this cursor; instead the RQL
+    // parser exposes its pieces. We re-implement the small condition loop.
+    use sqpeer_rql::ast::{CmpOp, LiteralSpec, Operand};
+    let mut out = Vec::new();
+    loop {
+        let left = operand(p)?;
+        let op = match p.peek().kind {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => return Err(p.unexpected("comparison operator")),
+        };
+        p.bump();
+        let right = operand(p)?;
+        out.push(Condition { left, op, right });
+        if !p.eat(&TokenKind::And) {
+            break;
+        }
+    }
+    return Ok(out);
+
+    fn operand(p: &mut Parser) -> Result<Operand, ParseError> {
+        let op = match p.peek().kind.clone() {
+            TokenKind::Name(n) if n == "true" => Operand::Literal(LiteralSpec::Boolean(true)),
+            TokenKind::Name(n) if n == "false" => Operand::Literal(LiteralSpec::Boolean(false)),
+            TokenKind::Name(n) => Operand::Var(n),
+            TokenKind::String(s) => Operand::Literal(LiteralSpec::String(s)),
+            TokenKind::Integer(i) => Operand::Literal(LiteralSpec::Integer(i)),
+            TokenKind::Float(x) => Operand::Literal(LiteralSpec::Float(x)),
+            TokenKind::ResourceRef(u) => Operand::Resource(u),
+            _ => return Err(p.unexpected("operand")),
+        };
+        p.bump();
+        Ok(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure1_view() {
+        // The RVL statement of Figure 1: populate C5, prop4 and C6.
+        let v = parse_view(
+            "VIEW n1:C5(X), n1:prop4(X,Y), n1:C6(Y) FROM {X}n1:prop4{Y} \
+             USING NAMESPACE n1 = &http://example.org/n1#",
+        )
+        .unwrap();
+        assert_eq!(v.clauses.len(), 3);
+        assert_eq!(
+            v.clauses[0],
+            ViewClauseAst::Class { name: "n1:C5".into(), var: "X".into() }
+        );
+        assert_eq!(
+            v.clauses[1],
+            ViewClauseAst::Property { name: "n1:prop4".into(), subject: "X".into(), object: "Y".into() }
+        );
+        assert_eq!(v.paths.len(), 1);
+        assert_eq!(v.namespaces.len(), 1);
+    }
+
+    #[test]
+    fn optional_create_keyword() {
+        let v = parse_view("CREATE VIEW C1(X) FROM {X}p{Y}").unwrap();
+        assert_eq!(v.clauses.len(), 1);
+    }
+
+    #[test]
+    fn where_clause() {
+        let v = parse_view("VIEW C1(X) FROM {X}p{Z} WHERE Z >= 10 AND Z < 20").unwrap();
+        assert_eq!(v.filters.len(), 2);
+    }
+
+    #[test]
+    fn multiple_paths() {
+        let v = parse_view("VIEW p(X,Y), q(Y,Z) FROM {X}p{Y}, {Y}q{Z}").unwrap();
+        assert_eq!(v.paths.len(), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_view("").is_err());
+        assert!(parse_view("VIEW FROM {X}p{Y}").is_err());
+        assert!(parse_view("VIEW C1() FROM {X}p{Y}").is_err());
+        assert!(parse_view("VIEW C1(X,Y,Z) FROM {X}p{Y}").is_err());
+        assert!(parse_view("VIEW C1(X)").is_err());
+        assert!(parse_view("VIEW C1(X) FROM {X}p{Y} garbage").is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! An XML-document substrate for the **virtual** advertisement scenario.
+//!
+//! §2.2 lets peers define views over "legacy (XML or relational)
+//! databases"; `relational` covers the relational half, this module the
+//! XML half: a minimal element tree plus path-based mappings
+//! (`PathMapping`) that populate RDF properties from element/attribute
+//! values — the XML face of the SWIM \[9\] mapping layer.
+
+use crate::active::{ActiveProperty, ActiveSchema};
+use sqpeer_rdfs::{Literal, Node, PropertyId, Range, Resource, Schema, Triple};
+use sqpeer_store::DescriptionBase;
+use std::sync::Arc;
+
+/// One XML element: a tag, attributes, text content and children.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name.
+    pub tag: String,
+    /// Attribute name/value pairs, in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Concatenated text content directly under this element.
+    pub text: String,
+    /// Child elements, in document order.
+    pub children: Vec<Element>,
+}
+
+impl Element {
+    /// Creates an element with the given tag.
+    pub fn new(tag: &str) -> Self {
+        Element { tag: tag.to_string(), ..Element::default() }
+    }
+
+    /// Builder: sets an attribute.
+    pub fn attr(mut self, name: &str, value: &str) -> Self {
+        self.attributes.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Builder: sets the text content.
+    pub fn text(mut self, text: &str) -> Self {
+        self.text = text.to_string();
+        self
+    }
+
+    /// Builder: appends a child.
+    pub fn child(mut self, child: Element) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// The value of attribute `name`, if present.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// All descendants (including self) matching a `/`-separated tag path
+    /// rooted at this element, e.g. `library/book`.
+    pub fn select<'a>(&'a self, path: &str) -> Vec<&'a Element> {
+        let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        let mut current = vec![self];
+        for (i, seg) in segments.iter().enumerate() {
+            if i == 0 {
+                current.retain(|e| e.tag == *seg);
+            } else {
+                current = current
+                    .into_iter()
+                    .flat_map(|e| e.children.iter().filter(|c| c.tag == *seg))
+                    .collect();
+            }
+        }
+        current
+    }
+}
+
+/// Where a mapped value comes from within a selected element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueSource {
+    /// An attribute of the element.
+    Attribute(String),
+    /// The text of a named child element.
+    ChildText(String),
+    /// The element's own text content.
+    Text,
+}
+
+impl ValueSource {
+    fn extract(&self, element: &Element) -> Option<String> {
+        match self {
+            ValueSource::Attribute(name) => element.attribute(name).map(str::to_string),
+            ValueSource::ChildText(tag) => element
+                .children
+                .iter()
+                .find(|c| &c.tag == tag)
+                .map(|c| c.text.clone())
+                .filter(|t| !t.is_empty()),
+            ValueSource::Text => {
+                if element.text.is_empty() {
+                    None
+                } else {
+                    Some(element.text.clone())
+                }
+            }
+        }
+    }
+}
+
+/// A SWIM-style XML mapping: elements matching `path` populate `property`
+/// with (subject, object) values drawn from the element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathMapping {
+    /// `/`-separated tag path selecting the mapped elements.
+    pub path: String,
+    /// Where the subject value comes from.
+    pub subject: ValueSource,
+    /// URI prefix for subjects.
+    pub subject_prefix: String,
+    /// Where the object value comes from.
+    pub object: ValueSource,
+    /// How the object value becomes a node.
+    pub object_kind: super::relational::ColumnMapping,
+    /// The populated property.
+    pub property: PropertyId,
+}
+
+/// A peer base whose RDF content lives virtually in an XML document.
+#[derive(Debug, Clone)]
+pub struct XmlBase {
+    schema: Arc<Schema>,
+    root: Element,
+    mappings: Vec<PathMapping>,
+}
+
+impl XmlBase {
+    /// Creates an XML-backed virtual base.
+    pub fn new(schema: Arc<Schema>, root: Element, mappings: Vec<PathMapping>) -> Self {
+        XmlBase { schema, root, mappings }
+    }
+
+    /// The community schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The document root.
+    pub fn root(&self) -> &Element {
+        &self.root
+    }
+
+    /// The advertised active-schema, derived from the mapping rules alone.
+    pub fn active_schema(&self) -> ActiveSchema {
+        let mut classes = Vec::new();
+        let mut properties = Vec::new();
+        for m in &self.mappings {
+            let def = self.schema.property(m.property);
+            classes.push(def.domain);
+            let range = match def.range {
+                Range::Class(rc) => {
+                    classes.push(rc);
+                    Some(rc)
+                }
+                Range::Literal(_) => None,
+            };
+            properties.push(ActiveProperty { property: m.property, domain: def.domain, range });
+        }
+        classes.sort();
+        classes.dedup();
+        ActiveSchema::new(Arc::clone(&self.schema), classes, properties)
+    }
+
+    /// Populates a description base on demand (the virtual scenario's
+    /// query-time population). Returns the base and the number of triples
+    /// produced.
+    pub fn populate(&self) -> (DescriptionBase, usize) {
+        let mut base = DescriptionBase::new(Arc::clone(&self.schema));
+        let mut produced = 0;
+        for m in &self.mappings {
+            for element in self.root.select(&m.path) {
+                let Some(subject_value) = m.subject.extract(element) else { continue };
+                let Some(object_value) = m.object.extract(element) else { continue };
+                let subject = Resource::new(format!("{}{}", m.subject_prefix, subject_value));
+                let Some(object) = column_node(&m.object_kind, &object_value) else { continue };
+                if base.insert_described(Triple { subject, property: m.property, object }) {
+                    produced += 1;
+                }
+            }
+        }
+        (base, produced)
+    }
+}
+
+fn column_node(kind: &super::relational::ColumnMapping, value: &str) -> Option<Node> {
+    use super::relational::ColumnMapping;
+    match kind {
+        ColumnMapping::Resource { prefix } => {
+            Some(Node::Resource(Resource::new(format!("{prefix}{value}"))))
+        }
+        ColumnMapping::StringLiteral => Some(Node::Literal(Literal::string(value))),
+        ColumnMapping::IntegerLiteral => {
+            value.parse::<i64>().ok().map(|i| Node::Literal(Literal::Integer(i)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relational::ColumnMapping;
+    use sqpeer_rdfs::{LiteralType, SchemaBuilder};
+
+    fn schema() -> Arc<Schema> {
+        let mut b = SchemaBuilder::new("n1", "u");
+        let c1 = b.class("C1").unwrap();
+        let c2 = b.class("C2").unwrap();
+        let _ = b.property("prop1", c1, Range::Class(c2)).unwrap();
+        let _ = b.property("year", c1, Range::Literal(LiteralType::Integer)).unwrap();
+        Arc::new(b.finish().unwrap())
+    }
+
+    /// `<library><book id="b1" year="2004"><author>kokkinidis</author>
+    /// </book>…</library>`
+    fn document() -> Element {
+        Element::new("library")
+            .child(
+                Element::new("book")
+                    .attr("id", "b1")
+                    .attr("year", "2004")
+                    .child(Element::new("author").text("kokkinidis")),
+            )
+            .child(
+                Element::new("book")
+                    .attr("id", "b2")
+                    .attr("year", "oops")
+                    .child(Element::new("author").text("christophides")),
+            )
+            .child(Element::new("journal").attr("id", "j1"))
+    }
+
+    fn mappings(schema: &Arc<Schema>) -> Vec<PathMapping> {
+        vec![
+            PathMapping {
+                path: "library/book".into(),
+                subject: ValueSource::Attribute("id".into()),
+                subject_prefix: "http://lib/".into(),
+                object: ValueSource::ChildText("author".into()),
+                object_kind: ColumnMapping::Resource { prefix: "http://people/".into() },
+                property: schema.property_by_name("prop1").unwrap(),
+            },
+            PathMapping {
+                path: "library/book".into(),
+                subject: ValueSource::Attribute("id".into()),
+                subject_prefix: "http://lib/".into(),
+                object: ValueSource::Attribute("year".into()),
+                object_kind: ColumnMapping::IntegerLiteral,
+                property: schema.property_by_name("year").unwrap(),
+            },
+        ]
+    }
+
+    #[test]
+    fn selection_walks_tag_paths() {
+        let doc = document();
+        assert_eq!(doc.select("library/book").len(), 2);
+        assert_eq!(doc.select("library/journal").len(), 1);
+        assert_eq!(doc.select("library/nothing").len(), 0);
+        assert_eq!(doc.select("wrongroot/book").len(), 0);
+        assert_eq!(doc.select("library").len(), 1);
+    }
+
+    #[test]
+    fn populate_from_document() {
+        let schema = schema();
+        let xb = XmlBase::new(Arc::clone(&schema), document(), mappings(&schema));
+        let (base, produced) = xb.populate();
+        let prop1 = schema.property_by_name("prop1").unwrap();
+        let year = schema.property_by_name("year").unwrap();
+        // Two author triples; only b1's year parses as an integer.
+        assert_eq!(base.triples_direct(prop1).count(), 2);
+        assert_eq!(base.triples_direct(year).count(), 1);
+        assert_eq!(produced, 3);
+        // RDF/S typing was inferred on population.
+        let c1 = schema.class_by_name("C1").unwrap();
+        assert_eq!(base.class_extent_closed(c1).len(), 2);
+    }
+
+    #[test]
+    fn advertises_without_reading_the_document() {
+        let schema = schema();
+        let xb = XmlBase::new(Arc::clone(&schema), Element::new("empty"), mappings(&schema));
+        let active = xb.active_schema();
+        assert!(active.has_property(schema.property_by_name("prop1").unwrap()));
+        assert!(active.has_property(schema.property_by_name("year").unwrap()));
+        // The (empty) document yields nothing at query time.
+        assert_eq!(xb.populate().1, 0);
+    }
+
+    #[test]
+    fn missing_sources_are_skipped() {
+        let schema = schema();
+        let doc = Element::new("library")
+            .child(Element::new("book")) // no id, no author
+            .child(Element::new("book").attr("id", "b9")); // no author
+        let xb = XmlBase::new(Arc::clone(&schema), doc, mappings(&schema));
+        assert_eq!(xb.populate().1, 0);
+    }
+}

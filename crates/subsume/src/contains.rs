@@ -1,0 +1,234 @@
+//! Conjunctive query containment with RDF/S subsumption.
+//!
+//! `contains(general, specific)` decides whether every answer of `specific`
+//! is an answer of `general` on every description base — the classical
+//! containment-mapping criterion (sound and complete for conjunctive
+//! queries) extended with class/property subsumption: a pattern of the
+//! *general* query may map onto a *specific* pattern whose property and
+//! end-point classes are subsumed by its own.
+//!
+//! SQPeer uses this for view-equivalence checks (is a peer's RVL view
+//! answer-preserving for a query?) and the test suite uses it as the
+//! oracle for the pattern-level routing matches.
+
+use sqpeer_rql::{QueryPattern, Term, VarId};
+use std::collections::HashMap;
+
+/// Does `general` contain `specific` (every answer of `specific` is an
+/// answer of `general`)?
+pub fn contains(general: &QueryPattern, specific: &QueryPattern) -> bool {
+    // Projections must align by variable name and arity.
+    if general.projection().len() != specific.projection().len() {
+        return false;
+    }
+    let schema = general.schema();
+    // Pre-compute candidate targets for each general pattern.
+    let candidates: Vec<Vec<usize>> = general
+        .patterns()
+        .iter()
+        .map(|gp| {
+            specific
+                .patterns()
+                .iter()
+                .enumerate()
+                .filter(|(_, sp)| {
+                    schema.is_subproperty(sp.property, gp.property)
+                        && class_le(schema, sp.subject.class, gp.subject.class)
+                        && class_le(schema, sp.object.class, gp.object.class)
+                })
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    if candidates.iter().any(|c| c.is_empty()) {
+        return false;
+    }
+
+    // Backtracking search for a consistent containment mapping.
+    let mut var_map: HashMap<VarId, Term> = HashMap::new();
+    search(general, specific, &candidates, 0, &mut var_map)
+}
+
+/// Are the two patterns equivalent (mutual containment)?
+pub fn equivalent(a: &QueryPattern, b: &QueryPattern) -> bool {
+    contains(a, b) && contains(b, a)
+}
+
+fn class_le(
+    schema: &sqpeer_rdfs::Schema,
+    sub: Option<sqpeer_rdfs::ClassId>,
+    sup: Option<sqpeer_rdfs::ClassId>,
+) -> bool {
+    match (sub, sup) {
+        (Some(s), Some(g)) => schema.is_subclass(s, g),
+        (None, None) => true,
+        // A literal end-point can never be subsumed by a class end-point or
+        // vice versa.
+        _ => false,
+    }
+}
+
+fn search(
+    general: &QueryPattern,
+    specific: &QueryPattern,
+    candidates: &[Vec<usize>],
+    idx: usize,
+    var_map: &mut HashMap<VarId, Term>,
+) -> bool {
+    if idx == general.patterns().len() {
+        return projection_preserved(general, specific, var_map);
+    }
+    let gp = &general.patterns()[idx];
+    for &si in &candidates[idx] {
+        let sp = &specific.patterns()[si];
+        let mut touched = Vec::new();
+        if unify(&gp.subject.term, &sp.subject.term, var_map, &mut touched)
+            && unify(&gp.object.term, &sp.object.term, var_map, &mut touched)
+            && search(general, specific, candidates, idx + 1, var_map)
+        {
+            return true;
+        }
+        for v in touched {
+            var_map.remove(&v);
+        }
+    }
+    false
+}
+
+/// Maps a general term onto a specific term, extending `var_map`.
+fn unify(
+    g: &Term,
+    s: &Term,
+    var_map: &mut HashMap<VarId, Term>,
+    touched: &mut Vec<VarId>,
+) -> bool {
+    match g {
+        Term::Var(v) => match var_map.get(v) {
+            Some(bound) => bound == s,
+            None => {
+                var_map.insert(*v, s.clone());
+                touched.push(*v);
+                true
+            }
+        },
+        // Constants must map to the identical constant.
+        _ => g == s,
+    }
+}
+
+/// The mapping must send the i-th projected variable of `general` to the
+/// i-th projected variable of `specific`.
+fn projection_preserved(
+    general: &QueryPattern,
+    specific: &QueryPattern,
+    var_map: &HashMap<VarId, Term>,
+) -> bool {
+    general.projection().iter().zip(specific.projection().iter()).all(|(gv, sv)| {
+        matches!(var_map.get(gv), Some(Term::Var(mapped)) if mapped == sv)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqpeer_rdfs::{Range, Schema, SchemaBuilder};
+    use sqpeer_rql::compile;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        let mut b = SchemaBuilder::new("n1", "http://example.org/n1#");
+        let c1 = b.class("C1").unwrap();
+        let c2 = b.class("C2").unwrap();
+        let c3 = b.class("C3").unwrap();
+        let c5 = b.subclass("C5", c1).unwrap();
+        let c6 = b.subclass("C6", c2).unwrap();
+        let p1 = b.property("prop1", c1, Range::Class(c2)).unwrap();
+        let _p2 = b.property("prop2", c2, Range::Class(c3)).unwrap();
+        let _p4 = b.subproperty("prop4", p1, c5, Range::Class(c6)).unwrap();
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn reflexive_containment() {
+        let s = schema();
+        let q = compile("SELECT X, Y FROM {X}prop1{Y}, {Y}prop2{Z}", &s).unwrap();
+        assert!(contains(&q, &q));
+        assert!(equivalent(&q, &q));
+    }
+
+    #[test]
+    fn subproperty_query_contained_in_superproperty_query() {
+        let s = schema();
+        let general = compile("SELECT X, Y FROM {X}prop1{Y}", &s).unwrap();
+        let specific = compile("SELECT X, Y FROM {X}prop4{Y}", &s).unwrap();
+        assert!(contains(&general, &specific));
+        assert!(!contains(&specific, &general));
+        assert!(!equivalent(&general, &specific));
+    }
+
+    #[test]
+    fn class_narrowing_contained() {
+        let s = schema();
+        let general = compile("SELECT X FROM {X}prop1{Y}", &s).unwrap();
+        let specific = compile("SELECT X FROM {X;C5}prop1{Y}", &s).unwrap();
+        assert!(contains(&general, &specific));
+        assert!(!contains(&specific, &general));
+    }
+
+    #[test]
+    fn longer_query_contained_in_prefix() {
+        let s = schema();
+        let general = compile("SELECT X FROM {X}prop1{Y}", &s).unwrap();
+        let specific = compile("SELECT X FROM {X}prop1{Y}, {Y}prop2{Z}", &s).unwrap();
+        // The two-pattern query is more constrained, hence contained.
+        assert!(contains(&general, &specific));
+        assert!(!contains(&specific, &general));
+    }
+
+    #[test]
+    fn join_structure_matters() {
+        let s = schema();
+        let chained = compile("SELECT X FROM {X}prop1{Y}, {Y}prop2{Z}", &s).unwrap();
+        // A fork that re-joins through prop1 twice still admits a
+        // containment mapping (X}prop1{W then {W}prop2{Z}).
+        let forked = compile("SELECT X FROM {X}prop1{Y}, {W}prop2{Z}, {X}prop1{W}", &s).unwrap();
+        assert!(contains(&chained, &forked));
+        // But a query with no prop2 edge at all is not contained.
+        let no_prop2 = compile("SELECT X FROM {X}prop1{Y}, {X}prop1{W}", &s).unwrap();
+        assert!(!contains(&chained, &no_prop2));
+    }
+
+    #[test]
+    fn projection_mismatch_blocks_containment() {
+        let s = schema();
+        let on_x = compile("SELECT X FROM {X}prop1{Y}", &s).unwrap();
+        let on_y = compile("SELECT Y FROM {X}prop1{Y}", &s).unwrap();
+        assert!(!contains(&on_x, &on_y));
+        let xy = compile("SELECT X, Y FROM {X}prop1{Y}", &s).unwrap();
+        assert!(!contains(&on_x, &xy), "arity mismatch");
+    }
+
+    #[test]
+    fn constants_must_match() {
+        let s = schema();
+        let general = compile("SELECT Y FROM {X}prop1{Y}", &s).unwrap();
+        let with_const = compile("SELECT Y FROM {&http://r}prop1{Y}", &s).unwrap();
+        // A variable in the general query maps onto the constant: contained.
+        assert!(contains(&general, &with_const));
+        // But not the other way round.
+        assert!(!contains(&with_const, &general));
+        let other_const = compile("SELECT Y FROM {&http://other}prop1{Y}", &s).unwrap();
+        assert!(!contains(&with_const, &other_const));
+    }
+
+    #[test]
+    fn variable_must_map_consistently() {
+        let s = schema();
+        // {X}prop1{X} is more specific than {X}prop1{Y}.
+        let general = compile("SELECT X FROM {X}prop1{Y}", &s).unwrap();
+        let selfloop = compile("SELECT X FROM {X}prop1{X}", &s).unwrap();
+        assert!(contains(&general, &selfloop));
+        assert!(!contains(&selfloop, &general));
+    }
+
+}

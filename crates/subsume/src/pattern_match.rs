@@ -1,0 +1,299 @@
+//! Path-pattern level subsumption: the `isSubsumed` test of §2.3.
+
+use sqpeer_rdfs::{ClassId, PropertyId, Schema};
+use sqpeer_rql::{Endpoint, PathPattern};
+use sqpeer_rvl::ActiveProperty;
+
+/// The relationship between an advertised active-schema arc `AS` and a
+/// query path pattern `AQ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternMatch {
+    /// `AS ≡ AQ` — the peer's advertisement matches the pattern exactly
+    /// (P1, P2, P3 in Figure 2).
+    Equivalent,
+    /// `AS ⊑ AQ` — everything the peer holds is an answer to the pattern
+    /// (P4 in Figure 2: `prop4 ⊑ prop1`). The query sent to the peer is
+    /// rewritten to the narrower advertisement.
+    SpecializesQuery,
+    /// `AQ ⊑ AS` — the advertisement is broader than the pattern; the peer
+    /// may hold answers and must evaluate the *original* (narrower)
+    /// pattern locally.
+    GeneralizesQuery,
+    /// Neither subsumes the other but their extents can intersect (e.g.
+    /// incomparable classes with a common subclass).
+    Overlaps,
+}
+
+impl PatternMatch {
+    /// Does the paper's strict `isSubsumed(AS, AQ)` test hold (equivalence
+    /// or specialisation)?
+    pub fn is_subsumed(self) -> bool {
+        matches!(self, PatternMatch::Equivalent | PatternMatch::SpecializesQuery)
+    }
+}
+
+/// Classifies advertisement `ap` against query path pattern `q`, or `None`
+/// when the two can share no instances at all.
+pub fn match_pattern(schema: &Schema, ap: &ActiveProperty, q: &PathPattern) -> Option<PatternMatch> {
+    let qd = q.subject.class?; // subjects always carry a class
+    let prop = relate_props(schema, ap.property, q.property)?;
+    let dom = relate_classes(schema, ap.domain, qd)?;
+    let rng = match (ap.range, q.object.class) {
+        (Some(ar), Some(qr)) => relate_classes(schema, ar, qr)?,
+        // Literal-ranged on both sides: ranges compatible whenever the
+        // properties are related (schema validation enforces equal literal
+        // types along subproperty edges).
+        (None, None) => Rel::Equal,
+        _ => return None,
+    };
+    Some(combine(prop, combine_rel(dom, rng)?))
+}
+
+/// Rewrites query path pattern `q` into the specialised pattern actually
+/// sent to a peer advertising `ap` — "rewrite accordingly the query sent to
+/// a peer" (§2.3).
+///
+/// The property and end-point classes each become the more specific of the
+/// query's and the advertisement's; variables and constants are preserved.
+/// For [`PatternMatch::GeneralizesQuery`] and [`PatternMatch::Overlaps`]
+/// the query side is already the more specific one, so the pattern is
+/// largely unchanged.
+pub fn rewrite_for(schema: &Schema, ap: &ActiveProperty, q: &PathPattern) -> PathPattern {
+    let property =
+        if schema.is_subproperty(ap.property, q.property) { ap.property } else { q.property };
+    let narrow = |advertised: Option<ClassId>, queried: Option<ClassId>| match (advertised, queried)
+    {
+        (Some(a), Some(qc)) => {
+            if schema.is_subclass(a, qc) {
+                Some(a)
+            } else {
+                Some(qc)
+            }
+        }
+        (_, q) => q,
+    };
+    PathPattern {
+        subject: Endpoint {
+            term: q.subject.term.clone(),
+            class: narrow(Some(ap.domain), q.subject.class),
+        },
+        property,
+        object: Endpoint { term: q.object.term.clone(), class: narrow(ap.range, q.object.class) },
+    }
+}
+
+/// Pairwise relationship used while combining property and class tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rel {
+    Equal,
+    /// advertisement ⊑ query
+    Narrower,
+    /// query ⊑ advertisement
+    Wider,
+    Overlapping,
+}
+
+fn relate_props(schema: &Schema, a: PropertyId, q: PropertyId) -> Option<Rel> {
+    if a == q {
+        Some(Rel::Equal)
+    } else if schema.is_subproperty(a, q) {
+        Some(Rel::Narrower)
+    } else if schema.is_subproperty(q, a) {
+        Some(Rel::Wider)
+    } else if schema
+        .property_descendant_set(a)
+        .intersects(schema.property_descendant_set(q))
+    {
+        Some(Rel::Overlapping)
+    } else {
+        None
+    }
+}
+
+fn relate_classes(schema: &Schema, a: ClassId, q: ClassId) -> Option<Rel> {
+    if a == q {
+        Some(Rel::Equal)
+    } else if schema.is_subclass(a, q) {
+        Some(Rel::Narrower)
+    } else if schema.is_subclass(q, a) {
+        Some(Rel::Wider)
+    } else if schema.classes_overlap(a, q) {
+        Some(Rel::Overlapping)
+    } else {
+        None
+    }
+}
+
+/// Combines two component relationships into the joint one; `None` is never
+/// produced here (disjointness was already filtered), but mixed directions
+/// degrade to overlap.
+fn combine_rel(a: Rel, b: Rel) -> Option<Rel> {
+    use Rel::*;
+    Some(match (a, b) {
+        (Equal, x) | (x, Equal) => x,
+        (Narrower, Narrower) => Narrower,
+        (Wider, Wider) => Wider,
+        _ => Overlapping,
+    })
+}
+
+fn combine(prop: Rel, classes: Rel) -> PatternMatch {
+    use Rel::*;
+    match combine_rel(prop, classes).unwrap_or(Overlapping) {
+        Equal => PatternMatch::Equivalent,
+        Narrower => PatternMatch::SpecializesQuery,
+        Wider => PatternMatch::GeneralizesQuery,
+        Overlapping => PatternMatch::Overlaps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqpeer_rdfs::{Range, SchemaBuilder};
+    use sqpeer_rql::{compile, QueryPattern};
+    use std::sync::Arc;
+
+    fn fig1_schema() -> Arc<Schema> {
+        let mut b = SchemaBuilder::new("n1", "http://example.org/n1#");
+        let c1 = b.class("C1").unwrap();
+        let c2 = b.class("C2").unwrap();
+        let c3 = b.class("C3").unwrap();
+        let _ = b.class("C4").unwrap();
+        let c5 = b.subclass("C5", c1).unwrap();
+        let c6 = b.subclass("C6", c2).unwrap();
+        let p1 = b.property("prop1", c1, Range::Class(c2)).unwrap();
+        let _ = b.property("prop2", c2, Range::Class(c3)).unwrap();
+        let _ = b.subproperty("prop4", p1, c5, Range::Class(c6)).unwrap();
+        Arc::new(b.finish().unwrap())
+    }
+
+    fn q(schema: &Arc<Schema>, src: &str) -> QueryPattern {
+        compile(src, schema).unwrap()
+    }
+
+    fn ap(schema: &Schema, prop: &str, dom: &str, rng: &str) -> ActiveProperty {
+        ActiveProperty {
+            property: schema.property_by_name(prop).unwrap(),
+            domain: schema.class_by_name(dom).unwrap(),
+            range: Some(schema.class_by_name(rng).unwrap()),
+        }
+    }
+
+    #[test]
+    fn figure2_matches() {
+        let s = fig1_schema();
+        let query = q(&s, "SELECT X, Y FROM {X}prop1{Y}, {Y}prop2{Z}");
+        let q1 = &query.patterns()[0];
+        let q2 = &query.patterns()[1];
+
+        // P2 advertises prop1 exactly: equal to Q1, disjoint from Q2.
+        let p2 = ap(&s, "prop1", "C1", "C2");
+        assert_eq!(match_pattern(&s, &p2, q1), Some(PatternMatch::Equivalent));
+        assert_eq!(match_pattern(&s, &p2, q2), None);
+
+        // P3 advertises prop2: equal to Q2.
+        let p3 = ap(&s, "prop2", "C2", "C3");
+        assert_eq!(match_pattern(&s, &p3, q2), Some(PatternMatch::Equivalent));
+        assert_eq!(match_pattern(&s, &p3, q1), None);
+
+        // P4 advertises prop4 ⊑ prop1: subsumed by Q1 (annotated), not Q2.
+        let p4 = ap(&s, "prop4", "C5", "C6");
+        assert_eq!(match_pattern(&s, &p4, q1), Some(PatternMatch::SpecializesQuery));
+        assert!(match_pattern(&s, &p4, q1).unwrap().is_subsumed());
+        assert_eq!(match_pattern(&s, &p4, q2), None);
+    }
+
+    #[test]
+    fn broader_advertisement_generalizes() {
+        let s = fig1_schema();
+        // Query over the narrow prop4; a peer advertising prop1 *may* hold
+        // matching triples (its prop1 extent includes prop4 facts).
+        let query = q(&s, "SELECT X FROM {X}prop4{Y}");
+        let p = ap(&s, "prop1", "C1", "C2");
+        assert_eq!(
+            match_pattern(&s, &p, &query.patterns()[0]),
+            Some(PatternMatch::GeneralizesQuery)
+        );
+        assert!(!match_pattern(&s, &p, &query.patterns()[0]).unwrap().is_subsumed());
+    }
+
+    #[test]
+    fn domain_narrowing_only() {
+        let s = fig1_schema();
+        // Advertisement: prop1 restricted to C5 subjects; query asks plain
+        // prop1. Specialisation through the domain.
+        let query = q(&s, "SELECT X FROM {X}prop1{Y}");
+        let p = ap(&s, "prop1", "C5", "C2");
+        assert_eq!(
+            match_pattern(&s, &p, &query.patterns()[0]),
+            Some(PatternMatch::SpecializesQuery)
+        );
+    }
+
+    #[test]
+    fn mixed_directions_overlap() {
+        let s = fig1_schema();
+        // Advertisement has narrower property but wider domain than the
+        // query: neither subsumes the other.
+        let query = q(&s, "SELECT X FROM {X;C5}prop1{Y}");
+        let p = ap(&s, "prop4", "C5", "C2");
+        // prop4 ⊑ prop1 (narrower), domain equal (C5), range C2 ⊒ C2 equal…
+        // make range wider: query object defaults to C2, advertisement C2.
+        // Use domain wider instead:
+        let p_wide_dom = ActiveProperty { domain: s.class_by_name("C1").unwrap(), ..p };
+        assert_eq!(
+            match_pattern(&s, &p_wide_dom, &query.patterns()[0]),
+            Some(PatternMatch::Overlaps)
+        );
+    }
+
+    #[test]
+    fn disjoint_is_none() {
+        let s = fig1_schema();
+        let query = q(&s, "SELECT X FROM {X}prop2{Y}");
+        let p = ap(&s, "prop1", "C1", "C2");
+        assert_eq!(match_pattern(&s, &p, &query.patterns()[0]), None);
+    }
+
+    #[test]
+    fn rewrite_specializes_to_advertisement() {
+        let s = fig1_schema();
+        let query = q(&s, "SELECT X, Y FROM {X}prop1{Y}");
+        let p4 = ap(&s, "prop4", "C5", "C6");
+        let rewritten = rewrite_for(&s, &p4, &query.patterns()[0]);
+        assert_eq!(rewritten.property, s.property_by_name("prop4").unwrap());
+        assert_eq!(rewritten.subject.class, s.class_by_name("C5"));
+        assert_eq!(rewritten.object.class, s.class_by_name("C6"));
+        // Terms preserved.
+        assert_eq!(rewritten.subject.term, query.patterns()[0].subject.term);
+    }
+
+    #[test]
+    fn rewrite_keeps_narrower_query() {
+        let s = fig1_schema();
+        let query = q(&s, "SELECT X FROM {X}prop4{Y}");
+        let p = ap(&s, "prop1", "C1", "C2");
+        let rewritten = rewrite_for(&s, &p, &query.patterns()[0]);
+        // The query is already narrower than the ad: unchanged.
+        assert_eq!(&rewritten, &query.patterns()[0]);
+    }
+
+    #[test]
+    fn literal_ranged_properties_match() {
+        let mut b = SchemaBuilder::new("n1", "u");
+        let c1 = b.class("C1").unwrap();
+        let title =
+            b.property("title", c1, Range::Literal(sqpeer_rdfs::LiteralType::String)).unwrap();
+        let sub = b
+            .subproperty("shortTitle", title, c1, Range::Literal(sqpeer_rdfs::LiteralType::String))
+            .unwrap();
+        let s = Arc::new(b.finish().unwrap());
+        let query = q(&s, "SELECT X FROM {X}title{T}");
+        let adv = ActiveProperty { property: sub, domain: c1, range: None };
+        assert_eq!(
+            match_pattern(&s, &adv, &query.patterns()[0]),
+            Some(PatternMatch::SpecializesQuery)
+        );
+    }
+}

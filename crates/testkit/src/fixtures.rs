@@ -1,0 +1,151 @@
+//! The paper's running example as reusable fixtures.
+
+use sqpeer::overlay::{AdhocBuilder, AdhocNetwork, HybridBuilder, HybridNetwork};
+use sqpeer::prelude::*;
+use std::sync::Arc;
+
+/// The Figure 1 community schema: classes `C1..C6` (with `C5 ⊑ C1`,
+/// `C6 ⊑ C2`), properties `prop1(C1→C2)`, `prop2(C2→C3)`, `prop3(C3→C4)`
+/// and `prop4(C5→C6) ⊑ prop1`, in namespace `n1`.
+pub fn fig1_schema() -> Arc<Schema> {
+    let mut b = SchemaBuilder::new("n1", "http://example.org/n1#");
+    let c1 = b.class("C1").expect("fresh builder");
+    let c2 = b.class("C2").expect("fresh builder");
+    let c3 = b.class("C3").expect("fresh builder");
+    let c4 = b.class("C4").expect("fresh builder");
+    let c5 = b.subclass("C5", c1).expect("fresh builder");
+    let c6 = b.subclass("C6", c2).expect("fresh builder");
+    let p1 = b.property("prop1", c1, Range::Class(c2)).expect("fresh builder");
+    let _p2 = b.property("prop2", c2, Range::Class(c3)).expect("fresh builder");
+    let _p3 = b.property("prop3", c3, Range::Class(c4)).expect("fresh builder");
+    let _p4 = b.subproperty("prop4", p1, c5, Range::Class(c6)).expect("valid refinement");
+    Arc::new(b.finish().expect("acyclic"))
+}
+
+/// Builds a base over the Figure 1 schema from `(subject, property,
+/// object)` URI triples.
+pub fn base_with(schema: &Arc<Schema>, triples: &[(&str, &str, &str)]) -> DescriptionBase {
+    let mut db = DescriptionBase::new(Arc::clone(schema));
+    for (s, p, o) in triples {
+        let prop = schema.property_by_name(p).unwrap_or_else(|| panic!("unknown {p}"));
+        db.insert_described(Triple::new(
+            Resource::new(*s),
+            prop,
+            Node::Resource(Resource::new(*o)),
+        ));
+    }
+    db
+}
+
+/// The four peer bases of Figure 2, populated so the Figure 3 query has
+/// answers from every peer:
+///
+/// * **P1**: `prop1` and `prop2` triples (chained),
+/// * **P2**: `prop1` triples,
+/// * **P3**: `prop2` triples,
+/// * **P4**: `prop4` and `prop2` triples (chained).
+///
+/// Returned in order `[P1, P2, P3, P4]`.
+pub fn fig2_bases(schema: &Arc<Schema>) -> Vec<DescriptionBase> {
+    vec![
+        base_with(
+            schema,
+            &[("http://p1/a", "prop1", "http://p1/b"), ("http://p1/b", "prop2", "http://p1/c")],
+        ),
+        base_with(schema, &[("http://p2/a", "prop1", "http://shared/b")]),
+        base_with(schema, &[("http://shared/b", "prop2", "http://p3/c")]),
+        base_with(
+            schema,
+            &[("http://p4/a", "prop4", "http://p4/b"), ("http://p4/b", "prop2", "http://p4/c")],
+        ),
+    ]
+}
+
+/// The Figure 6 hybrid network: three super-peers (SP1–SP3, a full
+/// backbone) and five simple-peers all clustered under SP1. P2 and P3 can
+/// answer `Q1` (prop1), P5 can answer `Q2` (prop2); P1 and P4 hold nothing
+/// relevant. Returns the network and the simple-peer ids `[P1..P5]`.
+pub fn fig6_network(config: PeerConfig) -> (HybridNetwork, Vec<PeerId>) {
+    let schema = fig1_schema();
+    let mut b = HybridBuilder::new(Arc::clone(&schema), 3).config(config);
+    let p1 = b.add_peer(base_with(&schema, &[]), 0);
+    let p2 = b.add_peer(base_with(&schema, &[("http://p2/a", "prop1", "http://shared/b")]), 0);
+    let p3 = b.add_peer(base_with(&schema, &[("http://p3/c", "prop1", "http://shared/b")]), 0);
+    let p4 = b.add_peer(base_with(&schema, &[]), 0);
+    let p5 = b.add_peer(base_with(&schema, &[("http://shared/b", "prop2", "http://p5/d")]), 0);
+    (b.build(), vec![p1, p2, p3, p4, p5])
+}
+
+/// The Figure 7 ad-hoc network: P1 physically linked to P2, P3 and P4;
+/// P5 linked only to P2. P2/P3 answer `Q1`, P5 answers `Q2`. With 1-hop
+/// discovery, P1's plan has a `Q2@?` hole that only P2 can fill. Returns
+/// the network and `[P1..P5]`.
+pub fn fig7_network(config: PeerConfig) -> (AdhocNetwork, Vec<PeerId>) {
+    let schema = fig1_schema();
+    let mut b = AdhocBuilder::new(Arc::clone(&schema), 1).config(config);
+    let p1 = b.add_peer(base_with(&schema, &[]));
+    let p2 = b.add_peer(base_with(&schema, &[("http://p2/a", "prop1", "http://shared/b")]));
+    let p3 = b.add_peer(base_with(&schema, &[("http://p3/c", "prop1", "http://shared/b")]));
+    let p4 = b.add_peer(base_with(&schema, &[]));
+    let p5 = b.add_peer(base_with(&schema, &[("http://shared/b", "prop2", "http://p5/d")]));
+    b.link(p1, p2);
+    b.link(p1, p3);
+    b.link(p1, p4);
+    b.link(p2, p5);
+    (b.build(), vec![p1, p2, p3, p4, p5])
+}
+
+/// The Figure 1/3 query `Q`: `SELECT X, Y FROM {X}prop1{Y}, {Y}prop2{Z}`.
+pub fn fig1_query_text() -> &'static str {
+    "SELECT X, Y FROM {X}n1:prop1{Y}, {Y}n1:prop2{Z} \
+     USING NAMESPACE n1 = &http://example.org/n1#"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_schema_shape() {
+        let s = fig1_schema();
+        assert_eq!(s.class_count(), 6);
+        assert_eq!(s.property_count(), 4);
+        assert!(s.is_subproperty(
+            s.property_by_name("prop4").unwrap(),
+            s.property_by_name("prop1").unwrap()
+        ));
+    }
+
+    #[test]
+    fn fig2_bases_population() {
+        let s = fig1_schema();
+        let bases = fig2_bases(&s);
+        let p1 = s.property_by_name("prop1").unwrap();
+        let p2 = s.property_by_name("prop2").unwrap();
+        let p4 = s.property_by_name("prop4").unwrap();
+        assert_eq!(bases[0].triples_direct(p1).count(), 1);
+        assert_eq!(bases[0].triples_direct(p2).count(), 1);
+        assert_eq!(bases[1].triples_direct(p1).count(), 1);
+        assert_eq!(bases[2].triples_direct(p2).count(), 1);
+        assert_eq!(bases[3].triples_direct(p4).count(), 1);
+        assert_eq!(bases[3].triples_direct(p2).count(), 1);
+    }
+
+    #[test]
+    fn fig1_query_compiles() {
+        let s = fig1_schema();
+        let q = compile(fig1_query_text(), &s).unwrap();
+        assert_eq!(q.patterns().len(), 2);
+    }
+
+    #[test]
+    fn fig6_and_fig7_networks_build() {
+        let (net6, peers6) = fig6_network(PeerConfig::default());
+        assert_eq!(peers6.len(), 5);
+        assert_eq!(net6.super_peers().len(), 3);
+        let (net7, peers7) =
+            fig7_network(PeerConfig { mode: PeerMode::Adhoc, ..PeerConfig::default() });
+        assert_eq!(peers7.len(), 5);
+        assert_eq!(net7.topology().neighbours(peers7[0]).len(), 3);
+    }
+}

@@ -1,0 +1,101 @@
+//! Seeded community-schema generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqpeer::prelude::*;
+use std::sync::Arc;
+
+/// Shape of a generated community schema.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemaSpec {
+    /// Number of classes along the main chain (`K0 → K1 → …`).
+    pub chain_classes: usize,
+    /// Number of subclasses hung off each chain class.
+    pub subclasses_per_class: usize,
+    /// Fraction (0..=1) of chain properties that get a refining
+    /// subproperty between the corresponding subclasses.
+    pub subproperty_fraction: f64,
+}
+
+impl Default for SchemaSpec {
+    fn default() -> Self {
+        SchemaSpec { chain_classes: 6, subclasses_per_class: 1, subproperty_fraction: 0.5 }
+    }
+}
+
+/// Generates a community schema: a chain of classes `K0 —p0→ K1 —p1→ …`
+/// (the shape conjunctive path queries traverse), each class optionally
+/// refined by subclasses, each chain property optionally refined by a
+/// subproperty between first subclasses — mirroring the Figure 1 pattern
+/// at scale.
+pub fn community_schema(spec: SchemaSpec, seed: u64) -> Arc<Schema> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = SchemaBuilder::new("gen", "http://example.org/gen#");
+    let n = spec.chain_classes.max(2);
+
+    let chain: Vec<ClassId> =
+        (0..n).map(|i| b.class(&format!("K{i}")).expect("unique names")).collect();
+    let mut subclasses: Vec<Vec<ClassId>> = Vec::with_capacity(n);
+    for (i, &c) in chain.iter().enumerate() {
+        let subs = (0..spec.subclasses_per_class)
+            .map(|j| b.subclass(&format!("K{i}S{j}"), c).expect("unique names"))
+            .collect();
+        subclasses.push(subs);
+    }
+
+    for i in 0..n - 1 {
+        let p = b
+            .property(&format!("p{i}"), chain[i], Range::Class(chain[i + 1]))
+            .expect("unique names");
+        let refine = !subclasses[i].is_empty()
+            && !subclasses[i + 1].is_empty()
+            && rng.gen_bool(spec.subproperty_fraction.clamp(0.0, 1.0));
+        if refine {
+            b.subproperty(
+                &format!("p{i}sub"),
+                p,
+                subclasses[i][0],
+                Range::Class(subclasses[i + 1][0]),
+            )
+            .expect("valid refinement");
+        }
+    }
+    Arc::new(b.finish().expect("generated schema is acyclic"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = community_schema(SchemaSpec::default(), 7);
+        let b = community_schema(SchemaSpec::default(), 7);
+        assert_eq!(a.class_count(), b.class_count());
+        assert_eq!(a.property_count(), b.property_count());
+        assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn spec_controls_shape() {
+        let spec = SchemaSpec { chain_classes: 10, subclasses_per_class: 2, subproperty_fraction: 0.0 };
+        let s = community_schema(spec, 1);
+        assert_eq!(s.class_count(), 10 + 20);
+        assert_eq!(s.property_count(), 9); // no subproperties
+        let spec = SchemaSpec { subproperty_fraction: 1.0, ..spec };
+        let s = community_schema(spec, 1);
+        assert_eq!(s.property_count(), 18); // every property refined
+    }
+
+    #[test]
+    fn chain_properties_connect() {
+        let s = community_schema(SchemaSpec::default(), 3);
+        let p0 = s.property_by_name("gen:p0").unwrap();
+        let p1 = s.property_by_name("gen:p1").unwrap();
+        let r0 = match s.property(p0).range {
+            Range::Class(c) => c,
+            _ => panic!("chain properties are object properties"),
+        };
+        assert_eq!(r0, s.property(p1).domain);
+    }
+}

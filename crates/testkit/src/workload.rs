@@ -1,0 +1,108 @@
+//! Chain-query workload generation.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sqpeer::prelude::*;
+use sqpeer::rdfs::Range;
+use std::sync::Arc;
+
+/// All chains of `len` properties that type-check in `schema` (each
+/// property's range class overlaps the next one's domain).
+pub fn chain_properties(schema: &Schema, len: usize) -> Vec<Vec<PropertyId>> {
+    let mut chains: Vec<Vec<PropertyId>> = schema.properties().map(|p| vec![p]).collect();
+    for _ in 1..len.max(1) {
+        let mut next = Vec::new();
+        for chain in &chains {
+            let last = *chain.last().expect("chains are non-empty");
+            let Range::Class(range) = schema.property(last).range else { continue };
+            for p in schema.properties() {
+                if schema.classes_overlap(range, schema.property(p).domain) {
+                    let mut ext = chain.clone();
+                    ext.push(p);
+                    next.push(ext);
+                }
+            }
+        }
+        chains = next;
+        if chains.is_empty() {
+            break;
+        }
+    }
+    chains.retain(|c| c.len() == len.max(1));
+    chains
+}
+
+/// Renders a chain of properties as RQL text:
+/// `SELECT V0, Vn FROM {V0}p0{V1}, {V1}p1{V2}, …`.
+pub fn chain_query_text(schema: &Schema, chain: &[PropertyId]) -> String {
+    let paths: Vec<String> = chain
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| format!("{{V{i}}}{}{{V{}}}", schema.property_qname(p), i + 1))
+        .collect();
+    format!("SELECT V0, V{} FROM {}", chain.len(), paths.join(", "))
+}
+
+/// Picks a random type-correct chain query of `len` patterns, or `None`
+/// when the schema has no such chain.
+pub fn random_chain_query(
+    schema: &Arc<Schema>,
+    len: usize,
+    rng: &mut StdRng,
+) -> Option<QueryPattern> {
+    let chains = chain_properties(schema, len);
+    if chains.is_empty() {
+        return None;
+    }
+    let chain = &chains[rng.gen_range(0..chains.len())];
+    let text = chain_query_text(schema, chain);
+    Some(compile(&text, schema).expect("generated queries type-check"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig1_schema;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fig1_chains() {
+        let s = fig1_schema();
+        let len1 = chain_properties(&s, 1);
+        assert_eq!(len1.len(), 4);
+        let len2 = chain_properties(&s, 2);
+        // prop1.prop2, prop1.prop3? no — prop1 range C2, prop3 domain C3:
+        // chains are prop1.prop2, prop2.prop3, prop4.prop2.
+        assert_eq!(len2.len(), 3);
+        let len3 = chain_properties(&s, 3);
+        // prop1.prop2.prop3 and prop4.prop2.prop3.
+        assert_eq!(len3.len(), 2);
+    }
+
+    #[test]
+    fn rendered_queries_compile() {
+        let s = fig1_schema();
+        for chain in chain_properties(&s, 2) {
+            let text = chain_query_text(&s, &chain);
+            let q = compile(&text, &s).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(q.patterns().len(), 2);
+            assert_eq!(q.projection().len(), 2);
+        }
+    }
+
+    #[test]
+    fn random_chain_is_seed_stable() {
+        let s = fig1_schema();
+        let q1 = random_chain_query(&s, 2, &mut StdRng::seed_from_u64(5)).unwrap();
+        let q2 = random_chain_query(&s, 2, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(q1.to_string(), q2.to_string());
+    }
+
+    #[test]
+    fn impossible_length_returns_none() {
+        let s = fig1_schema();
+        let mut rng = StdRng::seed_from_u64(1);
+        // The longest chain in Figure 1 is 3 (prop1.prop2.prop3).
+        assert!(random_chain_query(&s, 9, &mut rng).is_none());
+    }
+}

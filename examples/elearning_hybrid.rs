@@ -1,0 +1,102 @@
+//! An e-learning community SON — the application domain that motivated
+//! SQPeer (the Se-LeNe project on self e-learning networks): universities
+//! share RDF/S descriptions of learning objects; a hybrid super-peer
+//! network routes course-discovery queries to the right peers.
+//!
+//! Run with `cargo run --example elearning_hybrid`.
+
+use sqpeer::overlay::{oracle_answer, oracle_base, HybridBuilder};
+use sqpeer::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The community schema: learning objects, courses, authors, topics.
+    let mut b = SchemaBuilder::new("el", "http://selene.example.org/elearning#");
+    let lo = b.class("LearningObject")?;
+    let course = b.class("Course")?;
+    let person = b.class("Person")?;
+    let topic = b.class("Topic")?;
+    let lecture = b.subclass("Lecture", lo)?;
+    let _quiz = b.subclass("Quiz", lo)?;
+    let professor = b.subclass("Professor", person)?;
+    let part_of = b.property("partOf", lo, Range::Class(course))?;
+    let created_by = b.property("createdBy", lo, Range::Class(person))?;
+    let covers = b.property("covers", lo, Range::Class(topic))?;
+    let lectured_by = b.subproperty("lecturedBy", created_by, lecture, Range::Class(professor))?;
+    let _title = b.property("title", lo, Range::Literal(LiteralType::String))?;
+    let schema = Arc::new(b.finish()?);
+
+    // Three university peers with different populations.
+    let mk = |triples: &[(&str, PropertyId, &str)]| {
+        let mut db = DescriptionBase::new(Arc::clone(&schema));
+        for (s, p, o) in triples {
+            db.insert_described(Triple::new(
+                Resource::new(*s),
+                *p,
+                Node::Resource(Resource::new(*o)),
+            ));
+        }
+        db
+    };
+    // Crete publishes lectures with professors (the *narrow* lecturedBy —
+    // subsumption routing must find these for createdBy queries).
+    let crete = mk(&[
+        ("http://uoc.gr/lo/db-intro", lectured_by, "http://uoc.gr/staff/vassilis"),
+        ("http://uoc.gr/lo/db-intro", part_of, "http://uoc.gr/courses/cs460"),
+        ("http://uoc.gr/lo/rdf-tutorial", lectured_by, "http://uoc.gr/staff/grigoris"),
+        ("http://uoc.gr/lo/rdf-tutorial", part_of, "http://uoc.gr/courses/cs566"),
+    ]);
+    // Athens publishes generic learning objects with createdBy.
+    let athens = mk(&[
+        ("http://ntua.gr/lo/sql-lab", created_by, "http://ntua.gr/staff/timos"),
+        ("http://ntua.gr/lo/sql-lab", part_of, "http://ntua.gr/courses/db1"),
+    ]);
+    // Heraklion indexes topics.
+    let forth = mk(&[
+        ("http://uoc.gr/lo/db-intro", covers, "http://topics/databases"),
+        ("http://ntua.gr/lo/sql-lab", covers, "http://topics/databases"),
+        ("http://uoc.gr/lo/rdf-tutorial", covers, "http://topics/semantic-web"),
+    ]);
+
+    // One SON, one responsible super-peer (§3.1: peers describing the
+    // same community schema cluster under the same super-peer); the second
+    // super-peer exists to exercise the backbone.
+    let mut builder = HybridBuilder::new(Arc::clone(&schema), 2);
+    let p_crete = builder.add_peer(crete, 0);
+    let p_athens = builder.add_peer(athens, 0);
+    let p_forth = builder.add_peer(forth, 0);
+    let mut net = builder.build();
+    println!(
+        "e-learning SON: 2 super-peers, 3 university peers ({p_crete}, {p_athens}, {p_forth})"
+    );
+
+    // "Who authored learning material on databases, and in which course?"
+    // createdBy must reach Crete's lecturedBy triples via subsumption.
+    let query = net.compile(
+        "SELECT LO, AUTHOR, C FROM {LO}el:createdBy{AUTHOR}, {LO}el:partOf{C}, \
+         {LO}el:covers{&http://topics/databases}",
+    )?;
+    let qid = net.query(p_athens, query.clone());
+    net.run();
+
+    let outcome = net.outcome(p_athens, qid).expect("completed");
+    println!("\nquery: authors of database learning material + course");
+    for row in &outcome.result.rows {
+        println!("  {} by {} in {}", row[0], row[1], row[2]);
+    }
+
+    let oracle = oracle_base(&schema, net.bases());
+    assert_eq!(
+        outcome.result.clone().sorted(),
+        oracle_answer(&oracle, &query),
+        "distributed answer must match the oracle"
+    );
+    assert_eq!(outcome.result.len(), 2, "db-intro (Crete) and sql-lab (Athens)");
+    println!(
+        "\n{} rows, {} messages, {:.1} virtual ms — matches centralised oracle ✓",
+        outcome.result.len(),
+        net.sim().metrics().total_messages(),
+        outcome.latency_us as f64 / 1000.0
+    );
+    Ok(())
+}

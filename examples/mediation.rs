@@ -1,0 +1,84 @@
+//! Schema mediation (§3.1): a client queries in a *global* bibliographic
+//! schema; the data lives in peers using a *local* library schema; the
+//! super-peer mediates through an articulation (class/property mapping),
+//! reformulating the query before routing it.
+//!
+//! Run with `cargo run --example mediation`.
+
+use sqpeer::exec::node_of;
+use sqpeer::overlay::HybridBuilder;
+use sqpeer::prelude::*;
+use sqpeer::subsume::Articulation;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The global schema the query community speaks.
+    let mut gb = SchemaBuilder::new("g", "http://global.example.org#");
+    let doc = gb.class("Document")?;
+    let person = gb.class("Person")?;
+    let author = gb.property("author", doc, Range::Class(person))?;
+    let cites = gb.property("cites", doc, Range::Class(doc))?;
+    let global = Arc::new(gb.finish()?);
+
+    // The local schema a library consortium actually populates.
+    let mut lb = SchemaBuilder::new("lib", "http://library.example.org#");
+    let book = lb.class("Book")?;
+    let writer = lb.class("Writer")?;
+    let written_by = lb.property("writtenBy", book, Range::Class(writer))?;
+    let references = lb.property("references", book, Range::Class(book))?;
+    let local = Arc::new(lb.finish()?);
+
+    // Two library peers with local-schema data.
+    let mk = |triples: &[(&str, PropertyId, &str)]| {
+        let mut db = DescriptionBase::new(Arc::clone(&local));
+        for (s, p, o) in triples {
+            db.insert_described(Triple::new(
+                Resource::new(*s),
+                *p,
+                Node::Resource(Resource::new(*o)),
+            ));
+        }
+        db
+    };
+    let heraklion = mk(&[
+        ("http://lib/sqpeer-paper", written_by, "http://people/kokkinidis"),
+        ("http://lib/sqpeer-paper", references, "http://lib/rql-paper"),
+    ]);
+    let athens = mk(&[("http://lib/rql-paper", written_by, "http://people/karvounarakis")]);
+
+    let mut b = HybridBuilder::new(Arc::clone(&global), 1);
+    let origin = b.add_peer(DescriptionBase::new(Arc::clone(&global)), 0);
+    let _p1 = b.add_peer(heraklion, 0);
+    let _p2 = b.add_peer(athens, 0);
+    let mut net = b.build();
+
+    // The articulation the super-peer mediates with.
+    let articulation = Articulation::builder(Arc::clone(&global), Arc::clone(&local))
+        .map_class(doc, book)
+        .map_class(person, writer)
+        .map_property(author, written_by)
+        .map_property(cites, references)
+        .finish()?;
+    let sp = net.super_peers()[0];
+    net.sim_mut().node_mut(node_of(sp)).expect("super-peer").articulations.push(articulation);
+
+    // A global-schema query: "who wrote documents that cite other
+    // documents, and what do they cite?"
+    let query = net.compile("SELECT D, A, E FROM {D}g:author{A}, {D}g:cites{E}")?;
+    println!("global query : SELECT D, A, E FROM {{D}}g:author{{A}}, {{D}}g:cites{{E}}");
+    let qid = net.query(origin, query);
+    net.run();
+
+    let outcome = net.outcome(origin, qid).expect("completed");
+    println!("\nmediated answer ({} row):", outcome.result.len());
+    for row in &outcome.result.rows {
+        println!("  {} by {} cites {}", row[0], row[1], row[2]);
+    }
+    assert_eq!(outcome.result.len(), 1);
+    assert!(!outcome.partial);
+    println!(
+        "\nthe super-peer reformulated g:author→lib:writtenBy and\n\
+         g:cites→lib:references before routing — §3.1 mediation ✓"
+    );
+    Ok(())
+}

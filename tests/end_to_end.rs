@@ -1,0 +1,186 @@
+//! Whole-system integration tests over generated networks: distributed
+//! answers must match the centralised oracle across seeds, architectures,
+//! topologies and churn.
+
+use sqpeer::exec::{node_of, PeerConfig, PeerMode};
+use sqpeer::overlay::{oracle_answer, oracle_base};
+use sqpeer::routing::RoutingPolicy;
+use sqpeer_testkit::{
+    adhoc_network, community_schema, hybrid_network, random_chain_query, DataSpec, NetworkSpec,
+    SchemaSpec, TopologyKind,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_spec(seed: u64) -> NetworkSpec {
+    NetworkSpec {
+        peers: 8,
+        properties_per_peer: 2,
+        data: DataSpec { triples_per_property: 20, class_pool: 10 },
+        seed,
+    }
+}
+
+/// The completeness-favouring policy: generated peer fragments advertise
+/// exactly what they hold, so strict subsumption routing is enough here,
+/// but overlap inclusion exercises the wider path.
+fn configs() -> Vec<PeerConfig> {
+    vec![
+        PeerConfig::default(),
+        PeerConfig { optimize: false, ..PeerConfig::default() },
+        PeerConfig { routing_policy: RoutingPolicy::IncludeOverlapping, ..PeerConfig::default() },
+    ]
+}
+
+#[test]
+fn hybrid_matches_oracle_across_seeds() {
+    let schema = community_schema(SchemaSpec::default(), 1);
+    for seed in [1u64, 7, 42] {
+        for config in configs() {
+            let (mut net, ids) = hybrid_network(&schema, small_spec(seed), 2, config);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for len in 1..=3 {
+                let Some(query) = random_chain_query(&schema, len, &mut rng) else { continue };
+                let origin = ids[(seed as usize + len) % ids.len()];
+                let qid = net.query(origin, query.clone());
+                net.run();
+                let outcome = net.outcome(origin, qid).expect("completed").clone();
+                let oracle = oracle_base(&schema, net.bases());
+                let expected = oracle_answer(&oracle, &query);
+                assert_eq!(
+                    outcome.result.clone().sorted(),
+                    expected,
+                    "seed {seed} len {len}: {query}"
+                );
+                // A plan is only partial when no peer at all advertises
+                // some pattern — in which case the oracle is empty too.
+                if !expected.is_empty() {
+                    assert!(!outcome.partial);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn adhoc_matches_oracle_with_deep_discovery() {
+    // With discovery depth covering the whole ring, every peer knows every
+    // advertisement, so ad-hoc must achieve oracle completeness.
+    let schema = community_schema(SchemaSpec::default(), 2);
+    let config = PeerConfig { mode: PeerMode::Adhoc, ..PeerConfig::default() };
+    let (mut net, ids) = adhoc_network(
+        &schema,
+        small_spec(3),
+        TopologyKind::Ring { extra: 2 },
+        8, // ≥ network diameter
+        config,
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    for len in 1..=2 {
+        let Some(query) = random_chain_query(&schema, len, &mut rng) else { continue };
+        let origin = ids[len % ids.len()];
+        let qid = net.query(origin, query.clone());
+        net.run();
+        let outcome = net.outcome(origin, qid).expect("completed").clone();
+        let oracle = oracle_base(&schema, net.bases());
+        assert_eq!(outcome.result.clone().sorted(), oracle_answer(&oracle, &query));
+    }
+}
+
+#[test]
+fn adhoc_shallow_discovery_is_correct_but_possibly_incomplete() {
+    // With 1-hop discovery the answer may be partial — but never wrong:
+    // every returned row must be an oracle row (§2.4 correctness).
+    let schema = community_schema(SchemaSpec::default(), 2);
+    let config = PeerConfig { mode: PeerMode::Adhoc, ..PeerConfig::default() };
+    let (mut net, ids) = adhoc_network(
+        &schema,
+        small_spec(9),
+        TopologyKind::Ring { extra: 0 },
+        1,
+        config,
+    );
+    let mut rng = StdRng::seed_from_u64(9);
+    let query = random_chain_query(&schema, 2, &mut rng).expect("chain exists");
+    let origin = ids[0];
+    let qid = net.query(origin, query.clone());
+    net.run();
+    let outcome = net.outcome(origin, qid).expect("completed").clone();
+    let oracle = oracle_base(&schema, net.bases());
+    let expected = oracle_answer(&oracle, &query);
+    for row in &outcome.result.rows {
+        assert!(expected.rows.contains(row), "spurious row {row:?}");
+    }
+}
+
+#[test]
+fn churn_leaves_are_handled() {
+    // Crash a third of the peers, then query: answers must still be
+    // correct (subset of the oracle over the *surviving* bases is not
+    // required — crashed peers' data is simply unavailable — but no wrong
+    // rows may appear vs the full oracle).
+    let schema = community_schema(SchemaSpec::default(), 4);
+    let (mut net, ids) = hybrid_network(&schema, small_spec(11), 2, PeerConfig::default());
+    let full_oracle = oracle_base(&schema, net.bases());
+    for &p in ids.iter().step_by(3) {
+        let now = net.sim().now_us();
+        net.sim_mut().schedule_node_down(now, node_of(p));
+    }
+    let mut rng = StdRng::seed_from_u64(11);
+    let query = random_chain_query(&schema, 2, &mut rng).expect("chain exists");
+    let origin = ids[1];
+    assert!(ids.iter().step_by(3).all(|&p| p != origin), "origin survives");
+    let qid = net.query(origin, query.clone());
+    net.run();
+    let outcome = net.outcome(origin, qid).expect("completed").clone();
+    let expected = oracle_answer(&full_oracle, &query);
+    for row in &outcome.result.rows {
+        assert!(expected.rows.contains(row), "spurious row {row:?}");
+    }
+}
+
+#[test]
+fn repeated_queries_reuse_channels() {
+    let schema = community_schema(SchemaSpec::default(), 1);
+    let (mut net, ids) = hybrid_network(&schema, small_spec(2), 1, PeerConfig::default());
+    let mut rng = StdRng::seed_from_u64(2);
+    let query = random_chain_query(&schema, 1, &mut rng).expect("chain exists");
+    let origin = ids[0];
+    let q1 = net.query(origin, query.clone());
+    net.run();
+    let q2 = net.query(origin, query.clone());
+    net.run();
+    let a = net.outcome(origin, q1).unwrap().result.clone().sorted();
+    let b = net.outcome(origin, q2).unwrap().result.clone().sorted();
+    assert_eq!(a, b, "same query, same answer");
+    // One channel per contacted peer across both queries (§2.4).
+    let channels = net.sim().node(node_of(origin)).unwrap().rooted_channels();
+    let contacted: usize = ids
+        .iter()
+        .filter(|&&p| p != origin && net.sim().node(node_of(p)).unwrap().queries_processed > 0)
+        .count();
+    assert!(
+        channels <= contacted.max(1),
+        "channels {channels} must not exceed contacted peers {contacted}"
+    );
+}
+
+#[test]
+fn determinism_same_seed_same_everything() {
+    let run = || {
+        let schema = community_schema(SchemaSpec::default(), 6);
+        let (mut net, ids) = hybrid_network(&schema, small_spec(6), 2, PeerConfig::default());
+        let mut rng = StdRng::seed_from_u64(6);
+        let query = random_chain_query(&schema, 2, &mut rng).expect("chain exists");
+        let qid = net.query(ids[0], query);
+        net.run();
+        let o = net.outcome(ids[0], qid).unwrap();
+        (
+            o.result.clone().sorted().rows.len(),
+            o.completed_at_us,
+            net.sim().metrics().total_messages(),
+            net.sim().metrics().total_bytes(),
+        )
+    };
+    assert_eq!(run(), run());
+}

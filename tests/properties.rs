@@ -1,0 +1,434 @@
+//! Property-based tests on the core invariants:
+//!
+//! * result-set algebra laws (union/join/projection),
+//! * containment soundness — `contains(G, S)` implies `answers(S) ⊆
+//!   answers(G)` on arbitrary bases,
+//! * routing monotonicity — stricter policies annotate fewer peers; more
+//!   advertisements never remove annotations,
+//! * plan-rewrite semantics preservation — distribution and same-peer
+//!   merging never change the computed answer,
+//! * subsumption-closure coherence on generated schemas.
+
+use proptest::prelude::*;
+use sqpeer::plan::{distribute_joins, flatten_joins, generate_plan, merge_same_peer, PlanNode};
+use sqpeer::prelude::*;
+use sqpeer::routing::RoutingPolicy;
+use sqpeer::rvl::ActiveSchema;
+use sqpeer::subsume::contains;
+use sqpeer_testkit::fixtures::fig1_schema;
+use std::sync::Arc;
+
+// ----------------------------------------------------------------------
+// Generators
+// ----------------------------------------------------------------------
+
+/// A triple pool over the Figure 1 schema: subjects/objects from a small
+/// URI pool so joins and duplicates happen often.
+fn arb_base() -> impl Strategy<Value = DescriptionBase> {
+    let triple = (0..4u32, 0..8u32, 0..8u32);
+    prop::collection::vec(triple, 0..60).prop_map(|triples| {
+        let schema = fig1_schema();
+        let props = ["prop1", "prop2", "prop3", "prop4"];
+        let mut base = DescriptionBase::new(Arc::clone(&schema));
+        for (p, s, o) in triples {
+            let prop = schema.property_by_name(props[p as usize]).unwrap();
+            base.insert_described(Triple::new(
+                Resource::new(format!("http://r/{s}")),
+                prop,
+                Node::Resource(Resource::new(format!("http://r/{o}"))),
+            ));
+        }
+        base
+    })
+}
+
+/// A random query from a fixed pool of mutually related conjunctive
+/// queries over the Figure 1 schema.
+fn arb_query_pair() -> impl Strategy<Value = (QueryPattern, QueryPattern)> {
+    let texts = [
+        "SELECT X, Y FROM {X}prop1{Y}",
+        "SELECT X, Y FROM {X}prop4{Y}",
+        "SELECT X, Y FROM {X;C5}prop1{Y}",
+        "SELECT X, Y FROM {X}prop1{Y}, {Y}prop2{Z}",
+        "SELECT X, Y FROM {X}prop4{Y}, {Y}prop2{Z}",
+        "SELECT X, Y FROM {X}prop1{Y}, {Y}prop2{Z}, {Z}prop3{W}",
+    ];
+    (0..texts.len(), 0..texts.len()).prop_map(move |(i, j)| {
+        let schema = fig1_schema();
+        (compile(texts[i], &schema).unwrap(), compile(texts[j], &schema).unwrap())
+    })
+}
+
+fn arb_result_set() -> impl Strategy<Value = ResultSet> {
+    prop::collection::vec((0..6u32, 0..6u32), 0..12).prop_map(|pairs| {
+        let mut rs = ResultSet::empty(vec!["X".into(), "Y".into()]);
+        for (x, y) in pairs {
+            rs.push_distinct(vec![
+                Node::Resource(Resource::new(format!("http://r/{x}"))),
+                Node::Resource(Resource::new(format!("http://r/{y}"))),
+            ]);
+        }
+        rs
+    })
+}
+
+fn row_set(rs: &ResultSet) -> std::collections::HashSet<Vec<String>> {
+    rs.rows.iter().map(|r| r.iter().map(|n| n.to_string()).collect()).collect()
+}
+
+// ----------------------------------------------------------------------
+// Result-set algebra
+// ----------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn union_is_commutative_and_idempotent(a in arb_result_set(), b in arb_result_set()) {
+        let mut ab = a.clone();
+        ab.union(&b);
+        let mut ba = b.clone();
+        ba.union(&a);
+        prop_assert_eq!(row_set(&ab), row_set(&ba));
+        let mut aa = a.clone();
+        aa.union(&a);
+        prop_assert_eq!(row_set(&aa), row_set(&a));
+        // No duplicates ever.
+        let mut seen = std::collections::HashSet::new();
+        for row in &ab.rows {
+            prop_assert!(seen.insert(row.clone()), "duplicate row {:?}", row);
+        }
+    }
+
+    #[test]
+    fn join_is_commutative_on_shared_columns(a in arb_result_set(), b in arb_result_set()) {
+        let ab = a.join(&b);
+        let ba = b.join(&a);
+        prop_assert_eq!(ab.len(), ba.len());
+        // Same rows modulo column order.
+        let norm = |rs: &ResultSet| {
+            let mut perm: Vec<usize> = (0..rs.columns.len()).collect();
+            perm.sort_by_key(|&i| rs.columns[i].clone());
+            rs.rows
+                .iter()
+                .map(|r| perm.iter().map(|&i| r[i].to_string()).collect::<Vec<_>>())
+                .collect::<std::collections::HashSet<_>>()
+        };
+        prop_assert_eq!(norm(&ab), norm(&ba));
+    }
+
+    #[test]
+    fn projection_never_grows(a in arb_result_set()) {
+        let p = a.project(&["X".to_string()]);
+        prop_assert!(p.len() <= a.len());
+        // Projecting onto all columns is identity up to dedup (inputs are
+        // already distinct).
+        let q = a.project(&["X".to_string(), "Y".to_string()]);
+        prop_assert_eq!(row_set(&q), row_set(&a));
+    }
+}
+
+// ----------------------------------------------------------------------
+// Containment soundness
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn containment_implies_answer_inclusion(
+        base in arb_base(),
+        (general, specific) in arb_query_pair(),
+    ) {
+        if contains(&general, &specific) {
+            let ga = evaluate(&general, &base);
+            let sa = evaluate(&specific, &base);
+            let g_rows = row_set(&ga);
+            for row in row_set(&sa) {
+                prop_assert!(
+                    g_rows.contains(&row),
+                    "containment violated: {:?} answered by specific but not general",
+                    row
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic(base in arb_base(), (q, _) in arb_query_pair()) {
+        let a = evaluate(&q, &base).sorted();
+        let b = evaluate(&q, &base).sorted();
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Routing monotonicity
+// ----------------------------------------------------------------------
+
+fn ads_from_bases(bases: &[DescriptionBase]) -> Vec<Advertisement> {
+    bases
+        .iter()
+        .enumerate()
+        .map(|(i, b)| Advertisement::new(PeerId(i as u32 + 1), ActiveSchema::of_base(b)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn stricter_policy_annotates_subset(
+        bases in prop::collection::vec(arb_base(), 1..5),
+        (q, _) in arb_query_pair(),
+    ) {
+        let ads = ads_from_bases(&bases);
+        let strict = route(&q, &ads, RoutingPolicy::SubsumedOnly);
+        let loose = route(&q, &ads, RoutingPolicy::IncludeOverlapping);
+        for i in 0..q.patterns().len() {
+            let strict_peers: std::collections::HashSet<_> =
+                strict.peers_for(i).iter().map(|a| a.peer).collect();
+            let loose_peers: std::collections::HashSet<_> =
+                loose.peers_for(i).iter().map(|a| a.peer).collect();
+            prop_assert!(strict_peers.is_subset(&loose_peers));
+        }
+    }
+
+    #[test]
+    fn more_ads_never_remove_annotations(
+        bases in prop::collection::vec(arb_base(), 2..5),
+        (q, _) in arb_query_pair(),
+    ) {
+        let all = ads_from_bases(&bases);
+        let fewer = &all[..all.len() - 1];
+        let small = route(&q, fewer, RoutingPolicy::SubsumedOnly);
+        let big = route(&q, &all, RoutingPolicy::SubsumedOnly);
+        for i in 0..q.patterns().len() {
+            let small_peers: std::collections::HashSet<_> =
+                small.peers_for(i).iter().map(|a| a.peer).collect();
+            let big_peers: std::collections::HashSet<_> =
+                big.peers_for(i).iter().map(|a| a.peer).collect();
+            prop_assert!(small_peers.is_subset(&big_peers));
+        }
+    }
+
+    #[test]
+    fn routed_peers_answers_are_sound(
+        bases in prop::collection::vec(arb_base(), 1..4),
+        (q, _) in arb_query_pair(),
+    ) {
+        // Every row a routed peer produces for its rewritten pattern is an
+        // answer of the original pattern over that peer's base.
+        let schema = fig1_schema();
+        let ads = ads_from_bases(&bases);
+        let annotated = route(&q, &ads, RoutingPolicy::IncludeOverlapping);
+        for i in 0..q.patterns().len() {
+            for ann in annotated.peers_for(i) {
+                let base = &bases[(ann.peer.0 - 1) as usize];
+                let rewritten = sqpeer::plan::single_pattern_subquery(&q, i, &ann.pattern);
+                let original = sqpeer::plan::single_pattern_subquery(&q, i, &q.patterns()[i]);
+                let rw_rows = row_set(&evaluate(&rewritten, base));
+                let orig_rows = row_set(&evaluate(&original, base));
+                for row in &rw_rows {
+                    prop_assert!(
+                        orig_rows.contains(row),
+                        "peer {} produced spurious row {:?} (schema {})",
+                        ann.peer, row, schema.class_count()
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Plan-rewrite semantics preservation
+// ----------------------------------------------------------------------
+
+/// Reference interpreter over in-process bases (peer i+1 ↔ bases[i]).
+fn interpret(plan: &PlanNode, bases: &[DescriptionBase]) -> ResultSet {
+    match plan {
+        PlanNode::Fetch { subquery, site } => match site {
+            Site::Peer(p) => evaluate(&subquery.query, &bases[(p.0 - 1) as usize]),
+            Site::Hole => ResultSet::default(),
+        },
+        PlanNode::Union(inputs) => {
+            let mut acc = interpret(&inputs[0], bases);
+            for i in &inputs[1..] {
+                acc.union(&interpret(i, bases));
+            }
+            acc
+        }
+        PlanNode::Join { inputs, .. } => {
+            let mut acc = interpret(&inputs[0], bases);
+            for i in &inputs[1..] {
+                acc = acc.join(&interpret(i, bases));
+            }
+            acc
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn plan_rewrites_preserve_semantics(
+        bases in prop::collection::vec(arb_base(), 1..5),
+        (q, _) in arb_query_pair(),
+    ) {
+        let ads = ads_from_bases(&bases);
+        let annotated = route(&q, &ads, RoutingPolicy::SubsumedOnly);
+        let plan1 = generate_plan(&annotated);
+        let plan2 = distribute_joins(flatten_joins(plan1.clone()));
+        let plan3 = merge_same_peer(flatten_joins(plan2.clone()));
+        let projection: Vec<String> =
+            q.projection().iter().map(|&v| q.var_name(v).to_string()).collect();
+        let norm = |p: &PlanNode| row_set(&interpret(p, &bases).project(&projection));
+        let r1 = norm(&plan1);
+        prop_assert_eq!(r1.clone(), norm(&plan2), "distribution changed semantics");
+        prop_assert_eq!(r1, norm(&plan3), "same-peer merge changed semantics");
+    }
+
+    #[test]
+    fn distributed_answers_are_sound_and_complete_vs_oracle(
+        bases in prop::collection::vec(arb_base(), 1..5),
+        (q, _) in arb_query_pair(),
+    ) {
+        let schema = fig1_schema();
+        let ads = ads_from_bases(&bases);
+        let annotated = route(&q, &ads, RoutingPolicy::SubsumedOnly);
+        let plan = generate_plan(&annotated);
+        let projection: Vec<String> =
+            q.projection().iter().map(|&v| q.var_name(v).to_string()).collect();
+        let distributed = row_set(&interpret(&plan, &bases).project(&projection));
+
+        let mut oracle = DescriptionBase::new(Arc::clone(&schema));
+        for b in &bases {
+            oracle.absorb(b);
+        }
+        let expected = row_set(&evaluate(&q, &oracle));
+        // Soundness always: no spurious rows.
+        for row in &distributed {
+            prop_assert!(expected.contains(row), "spurious {:?}", row);
+        }
+        // Completeness needs each pattern's class constraints to equal the
+        // property's declared end-points: a narrower constraint (e.g.
+        // {X;C5}prop1{Y}) can lose rows whose typing evidence lives on a
+        // different peer than the triple (cross-peer type inference — see
+        // DESIGN.md "known deviations").
+        let narrowed = q.patterns().iter().any(|pat| {
+            let def = schema.property(pat.property);
+            pat.subject.class != Some(def.domain)
+                || match def.range {
+                    sqpeer::rdfs::Range::Class(c) => pat.object.class != Some(c),
+                    sqpeer::rdfs::Range::Literal(_) => pat.object.class.is_some(),
+                }
+        });
+        if !narrowed {
+            prop_assert_eq!(distributed, expected);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Schema closures
+// ----------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn closure_coherence(seed in 0u64..500) {
+        let spec = sqpeer_testkit::SchemaSpec {
+            chain_classes: 5,
+            subclasses_per_class: 2,
+            subproperty_fraction: 0.7,
+        };
+        let schema = sqpeer_testkit::community_schema(spec, seed);
+        for c in schema.classes() {
+            // Reflexivity.
+            prop_assert!(schema.is_subclass(c, c));
+            // descendants/ancestors are inverse relations.
+            for d in schema.subclasses(c) {
+                prop_assert!(schema.is_subclass(d, c));
+                prop_assert!(schema.superclasses(d).any(|a| a == c));
+            }
+        }
+        for p in schema.properties() {
+            prop_assert!(schema.is_subproperty(p, p));
+            for q in schema.subproperties(p) {
+                // Domain/range refinement holds transitively.
+                let dp = schema.property(p).domain;
+                let dq = schema.property(q).domain;
+                prop_assert!(schema.is_subclass(dq, dp));
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// DHT ring invariants
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn chord_lookup_owner_is_successor_from_any_start(
+        peers in prop::collection::hash_set(0u32..500, 2..40),
+        key in any::<u64>(),
+    ) {
+        let mut ring = sqpeer::dht::ChordRing::new();
+        for &p in &peers {
+            ring.join(PeerId(p));
+        }
+        let owner = ring.successor(key).expect("non-empty ring");
+        for &p in &peers {
+            let l = ring.lookup_from(PeerId(p), key).expect("on ring");
+            prop_assert_eq!(l.owner.id, owner.id);
+            prop_assert!(l.hops <= ring.len(), "hops bounded by ring size");
+        }
+    }
+
+    #[test]
+    fn chord_leave_preserves_lookup_consistency(
+        peers in prop::collection::hash_set(0u32..500, 3..30),
+        key in any::<u64>(),
+    ) {
+        let mut ring = sqpeer::dht::ChordRing::new();
+        let mut list: Vec<u32> = peers.iter().copied().collect();
+        list.sort_unstable();
+        for &p in &list {
+            ring.join(PeerId(p));
+        }
+        let victim = PeerId(list[0]);
+        ring.leave(victim);
+        let owner = ring.successor(key).expect("still non-empty");
+        prop_assert_ne!(owner.peer, victim);
+        for &p in &list[1..] {
+            let l = ring.lookup_from(PeerId(p), key).expect("on ring");
+            prop_assert_eq!(l.owner.id, owner.id);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Base text-format round trip
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn base_dump_load_round_trips(base in arb_base()) {
+        let schema = fig1_schema();
+        let text = sqpeer::store::dump(&base);
+        let loaded = sqpeer::store::load(&schema, &text).expect("own dumps parse");
+        prop_assert_eq!(loaded.triple_count(), base.triple_count());
+        prop_assert_eq!(loaded.typing_count(), base.typing_count());
+        prop_assert_eq!(sqpeer::store::dump(&loaded), text);
+        // Queries over the round-tripped base agree with the original.
+        let q = compile("SELECT X, Y FROM {X}prop1{Y}, {Y}prop2{Z}", &schema).unwrap();
+        prop_assert_eq!(
+            row_set(&evaluate(&q, &loaded)),
+            row_set(&evaluate(&q, &base))
+        );
+    }
+}
