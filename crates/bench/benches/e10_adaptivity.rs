@@ -14,22 +14,42 @@ use std::sync::Arc;
 
 fn run(adaptive: bool) -> usize {
     let schema = fig1_schema();
-    let config = PeerConfig { adaptive, optimize: false, ..PeerConfig::default() };
+    let config = PeerConfig {
+        adaptive,
+        optimize: false,
+        ..PeerConfig::default()
+    };
     let mut b = HybridBuilder::new(Arc::clone(&schema), 1).config(config);
     let mut rng = StdRng::seed_from_u64(10);
-    let spec = DataSpec { triples_per_property: 50, class_pool: 25 };
+    let spec = DataSpec {
+        triples_per_property: 50,
+        class_pool: 25,
+    };
     let mut replica = DescriptionBase::new(Arc::clone(&schema));
-    populate(&mut replica, &[schema.property_by_name("prop1").unwrap()], spec, &mut rng);
+    populate(
+        &mut replica,
+        &[schema.property_by_name("prop1").unwrap()],
+        spec,
+        &mut rng,
+    );
     let mut tail = DescriptionBase::new(Arc::clone(&schema));
-    populate(&mut tail, &[schema.property_by_name("prop2").unwrap()], spec, &mut rng);
+    populate(
+        &mut tail,
+        &[schema.property_by_name("prop2").unwrap()],
+        spec,
+        &mut rng,
+    );
     let origin = b.add_peer(DescriptionBase::new(Arc::clone(&schema)), 0);
     let fragile = b.add_peer(replica.clone(), 0);
     let _backup = b.add_peer(replica, 0);
     let _tail = b.add_peer(tail, 0);
     let mut net = b.build();
     let now = net.sim().now_us();
-    net.sim_mut().schedule_node_down(now + 60_000, node_of(fragile));
-    let query = net.compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}").unwrap();
+    net.sim_mut()
+        .schedule_node_down(now + 60_000, node_of(fragile));
+    let query = net
+        .compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}")
+        .unwrap();
     let qid = net.query(origin, query);
     net.run();
     net.outcome(origin, qid).unwrap().result.len()

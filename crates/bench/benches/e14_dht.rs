@@ -27,10 +27,16 @@ fn bench(c: &mut Criterion) {
     let schema = fig1_schema();
     let query = compile(fig1_query_text(), &schema).unwrap();
     let profiles: [&[(&str, &str, &str)]; 4] = [
-        &[("http://a", "prop1", "http://b"), ("http://b", "prop2", "http://c")],
+        &[
+            ("http://a", "prop1", "http://b"),
+            ("http://b", "prop2", "http://c"),
+        ],
         &[("http://a", "prop1", "http://b")],
         &[("http://b", "prop2", "http://c")],
-        &[("http://a", "prop4", "http://b"), ("http://b", "prop2", "http://c")],
+        &[
+            ("http://a", "prop4", "http://b"),
+            ("http://b", "prop2", "http://c"),
+        ],
     ];
     let ads: Vec<Advertisement> = profiles
         .iter()

@@ -1,0 +1,88 @@
+//! E15: routing with and without the semantic cache on Zipf-skewed
+//! repeated-query workloads.
+//!
+//! Cold = every query routed by a full advertisement scan (the seed
+//! behaviour). Warm = the same workload through a [`SemanticCache`].
+//! The gap grows with both advertisement count and workload skew, since
+//! skew concentrates lookups on few patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqpeer::cache::SemanticCache;
+use sqpeer::prelude::*;
+use sqpeer::routing::{route_limited, RoutingLimits, RoutingPolicy};
+use sqpeer::rvl::ActiveSchema;
+use sqpeer_testkit::fixtures::{base_with, fig1_schema};
+use sqpeer_testkit::zipf_workload;
+use std::hint::black_box;
+
+fn registry(n: usize) -> AdRegistry {
+    let schema = fig1_schema();
+    let profiles: [&[(&str, &str, &str)]; 4] = [
+        &[
+            ("http://a", "prop1", "http://b"),
+            ("http://b", "prop2", "http://c"),
+        ],
+        &[("http://a", "prop1", "http://b")],
+        &[
+            ("http://b", "prop2", "http://c"),
+            ("http://c", "prop3", "http://d"),
+        ],
+        &[
+            ("http://a", "prop4", "http://b"),
+            ("http://b", "prop2", "http://c"),
+        ],
+    ];
+    let mut reg = AdRegistry::new();
+    for i in 0..n {
+        let base = base_with(&schema, profiles[i % 4]);
+        reg.register(Advertisement::new(
+            PeerId(i as u32 + 1),
+            ActiveSchema::of_base(&base),
+        ));
+    }
+    reg
+}
+
+fn bench(c: &mut Criterion) {
+    let schema = fig1_schema();
+    let policy = RoutingPolicy::SubsumedOnly;
+    let limits = RoutingLimits::unlimited();
+
+    let mut group = c.benchmark_group("e15/zipf_workload");
+    for ads in [64usize, 512] {
+        for exponent in [0.0f64, 1.0] {
+            let reg = registry(ads);
+            let mut rng = StdRng::seed_from_u64(15);
+            let workload = zipf_workload(&schema, 6, &[1, 2], exponent, 200, &mut rng);
+            assert!(!workload.is_empty());
+            group.throughput(Throughput::Elements(workload.len() as u64));
+            let label = format!("ads{ads}/s{exponent}");
+
+            group.bench_with_input(BenchmarkId::new("cold", &label), &reg, |b, reg| {
+                b.iter(|| {
+                    for q in &workload {
+                        let live: Vec<Advertisement> =
+                            reg.advertisements().into_iter().cloned().collect();
+                        black_box(route_limited(q, &live, policy, limits));
+                    }
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("warm", &label), &reg, |b, reg| {
+                b.iter(|| {
+                    // One cache per measured pass: the first occurrence of
+                    // each query pays the scan, repeats hit.
+                    let mut cache = SemanticCache::default();
+                    for q in &workload {
+                        black_box(cache.route(reg, q, policy, limits));
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

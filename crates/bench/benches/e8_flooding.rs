@@ -13,7 +13,10 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let schema = community_schema(SchemaSpec::default(), 8);
-    let chain = chain_properties(&schema, 2).into_iter().next().expect("chain exists");
+    let chain = chain_properties(&schema, 2)
+        .into_iter()
+        .next()
+        .expect("chain exists");
     let query_text = chain_query_text(&schema, &chain);
 
     let mut group = c.benchmark_group("e8");
@@ -25,7 +28,10 @@ fn bench(c: &mut Criterion) {
                     let spec = NetworkSpec {
                         peers: n,
                         properties_per_peer: 2,
-                        data: DataSpec { triples_per_property: 10, class_pool: 8 },
+                        data: DataSpec {
+                            triples_per_property: 10,
+                            class_pool: 8,
+                        },
                         seed: n as u64,
                     };
                     hybrid_network(&schema, spec, 2, PeerConfig::default())

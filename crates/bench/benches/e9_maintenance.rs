@@ -18,7 +18,10 @@ fn bench(c: &mut Criterion) {
     populate(
         &mut base,
         &props,
-        DataSpec { triples_per_property: 100, class_pool: 50 },
+        DataSpec {
+            triples_per_property: 100,
+            class_pool: 50,
+        },
         &mut rng,
     );
     let active = ActiveSchema::of_base(&base);

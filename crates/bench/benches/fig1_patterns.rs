@@ -28,7 +28,11 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig1/build_schema_60_classes", |b| {
         b.iter(|| {
             black_box(community_schema(
-                SchemaSpec { chain_classes: 20, subclasses_per_class: 2, subproperty_fraction: 0.5 },
+                SchemaSpec {
+                    chain_classes: 20,
+                    subclasses_per_class: 2,
+                    subproperty_fraction: 0.5,
+                },
                 7,
             ))
         })

@@ -11,10 +11,16 @@ use std::hint::black_box;
 fn ads(n: usize) -> Vec<Advertisement> {
     let schema = fig1_schema();
     let profiles: [&[(&str, &str, &str)]; 4] = [
-        &[("http://a", "prop1", "http://b"), ("http://b", "prop2", "http://c")],
+        &[
+            ("http://a", "prop1", "http://b"),
+            ("http://b", "prop2", "http://c"),
+        ],
         &[("http://a", "prop1", "http://b")],
         &[("http://b", "prop2", "http://c")],
-        &[("http://a", "prop4", "http://b"), ("http://b", "prop2", "http://c")],
+        &[
+            ("http://a", "prop4", "http://b"),
+            ("http://b", "prop2", "http://c"),
+        ],
     ];
     (0..n)
         .map(|i| {
@@ -36,7 +42,11 @@ fn bench(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("include_overlapping", n), &n, |b, _| {
             b.iter(|| {
-                black_box(route(&query, &advertisements, RoutingPolicy::IncludeOverlapping))
+                black_box(route(
+                    &query,
+                    &advertisements,
+                    RoutingPolicy::IncludeOverlapping,
+                ))
             })
         });
     }

@@ -38,7 +38,11 @@ fn full_ads(schema: &Arc<Schema>, peers: usize) -> Vec<Advertisement> {
 
 fn bench(c: &mut Criterion) {
     let schema = community_schema(
-        SchemaSpec { chain_classes: 9, subclasses_per_class: 0, subproperty_fraction: 0.0 },
+        SchemaSpec {
+            chain_classes: 9,
+            subclasses_per_class: 0,
+            subproperty_fraction: 0.0,
+        },
         3,
     );
 
@@ -50,7 +54,11 @@ fn bench(c: &mut Criterion) {
                 .next()
                 .expect("chain exists");
             let query = compile(&chain_query_text(&schema, &chain), &schema).unwrap();
-            let annotated = route(&query, &full_ads(&schema, peers), RoutingPolicy::SubsumedOnly);
+            let annotated = route(
+                &query,
+                &full_ads(&schema, peers),
+                RoutingPolicy::SubsumedOnly,
+            );
             group.bench_with_input(
                 BenchmarkId::new(format!("patterns{patterns}"), peers),
                 &peers,

@@ -6,9 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sqpeer::exec::PeerConfig;
 use sqpeer::overlay::HybridBuilder;
-use sqpeer::plan::{
-    assign_sites, CostParams, Estimator, PlanNode, Site, Subquery, UniformCost,
-};
+use sqpeer::plan::{assign_sites, CostParams, Estimator, PlanNode, Site, Subquery, UniformCost};
 use sqpeer::prelude::*;
 use sqpeer_testkit::fixtures::{fig1_query_text, fig1_schema};
 use sqpeer_testkit::{populate, DataSpec};
@@ -37,15 +35,30 @@ fn bench(c: &mut Criterion) {
 
     // Full simulated execution of both plan shapes.
     let run = |ship_query: bool| {
-        let mut b = HybridBuilder::new(Arc::clone(&schema), 1)
-            .config(PeerConfig { optimize: false, ..PeerConfig::default() });
+        let mut b = HybridBuilder::new(Arc::clone(&schema), 1).config(PeerConfig {
+            optimize: false,
+            ..PeerConfig::default()
+        });
         let mut rng = StdRng::seed_from_u64(7);
-        let spec = DataSpec { triples_per_property: 100, class_pool: 50 };
+        let spec = DataSpec {
+            triples_per_property: 100,
+            class_pool: 50,
+        };
         let empty = DescriptionBase::new(Arc::clone(&schema));
         let mut b2 = DescriptionBase::new(Arc::clone(&schema));
-        populate(&mut b2, &[schema.property_by_name("prop1").unwrap()], spec, &mut rng);
+        populate(
+            &mut b2,
+            &[schema.property_by_name("prop1").unwrap()],
+            spec,
+            &mut rng,
+        );
         let mut b3 = DescriptionBase::new(Arc::clone(&schema));
-        populate(&mut b3, &[schema.property_by_name("prop2").unwrap()], spec, &mut rng);
+        populate(
+            &mut b3,
+            &[schema.property_by_name("prop2").unwrap()],
+            spec,
+            &mut rng,
+        );
         let p1 = b.add_peer(empty, 0);
         let p2 = b.add_peer(b2, 0);
         let p3 = b.add_peer(b3, 0);
@@ -58,7 +71,10 @@ fn bench(c: &mut Criterion) {
             site: Site::Peer(peer),
         };
         let plan = if ship_query {
-            PlanNode::Join { inputs: vec![mk(0, p2), mk(1, p3)], site: Some(p2) }
+            PlanNode::Join {
+                inputs: vec![mk(0, p2), mk(1, p3)],
+                site: Some(p2),
+            }
         } else {
             PlanNode::join(vec![mk(0, p2), mk(1, p3)])
         };
@@ -67,8 +83,12 @@ fn bench(c: &mut Criterion) {
         net.outcome(p1, qid).unwrap().result.len()
     };
 
-    c.bench_function("fig5/simulate_data_shipping", |b| b.iter(|| black_box(run(false))));
-    c.bench_function("fig5/simulate_query_shipping", |b| b.iter(|| black_box(run(true))));
+    c.bench_function("fig5/simulate_data_shipping", |b| {
+        b.iter(|| black_box(run(false)))
+    });
+    c.bench_function("fig5/simulate_query_shipping", |b| {
+        b.iter(|| black_box(run(true)))
+    });
 }
 
 criterion_group!(benches, bench);

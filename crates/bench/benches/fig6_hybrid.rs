@@ -15,8 +15,9 @@ fn bench(c: &mut Criterion) {
         b.iter_batched(
             || fig6_network(PeerConfig::default()),
             |(mut net, peers)| {
-                let query =
-                    net.compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}").unwrap();
+                let query = net
+                    .compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}")
+                    .unwrap();
                 let qid = net.query(peers[0], query);
                 net.run();
                 black_box(net.outcome(peers[0], qid).unwrap().result.len())

@@ -7,7 +7,10 @@ use sqpeer_testkit::fig7_network;
 use std::hint::black_box;
 
 fn config() -> PeerConfig {
-    PeerConfig { mode: PeerMode::Adhoc, ..PeerConfig::default() }
+    PeerConfig {
+        mode: PeerMode::Adhoc,
+        ..PeerConfig::default()
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -19,8 +22,9 @@ fn bench(c: &mut Criterion) {
         b.iter_batched(
             || fig7_network(config()),
             |(mut net, peers)| {
-                let query =
-                    net.compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}").unwrap();
+                let query = net
+                    .compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}")
+                    .unwrap();
                 let qid = net.query(peers[0], query);
                 net.run();
                 black_box(net.outcome(peers[0], qid).unwrap().result.len())

@@ -12,14 +12,19 @@ use std::sync::Arc;
 
 fn sized_base(triples: usize) -> DescriptionBase {
     let schema = fig1_schema();
-    let props: Vec<PropertyId> =
-        ["prop1", "prop2", "prop4"].iter().map(|p| schema.property_by_name(p).unwrap()).collect();
+    let props: Vec<PropertyId> = ["prop1", "prop2", "prop4"]
+        .iter()
+        .map(|p| schema.property_by_name(p).unwrap())
+        .collect();
     let mut base = DescriptionBase::new(Arc::clone(&schema));
     let mut rng = StdRng::seed_from_u64(1);
     populate(
         &mut base,
         &props,
-        DataSpec { triples_per_property: triples / 3, class_pool: (triples / 6).max(4) },
+        DataSpec {
+            triples_per_property: triples / 3,
+            class_pool: (triples / 6).max(4),
+        },
         &mut rng,
     );
     base

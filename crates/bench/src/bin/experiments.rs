@@ -18,7 +18,10 @@ fn main() {
         return;
     }
     let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        all_experiments().iter().map(|(id, _)| id.to_string()).collect()
+        all_experiments()
+            .iter()
+            .map(|(id, _)| id.to_string())
+            .collect()
     } else {
         args
     };

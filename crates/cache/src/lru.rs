@@ -1,0 +1,203 @@
+//! A cost-bounded LRU map.
+//!
+//! Entries carry an explicit cost (an estimate of their heap footprint);
+//! the map evicts least-recently-used entries whenever the total cost
+//! exceeds the budget. Recency is tracked with a monotonic tick per
+//! access; eviction scans for the minimum tick, which is O(n) but cheap at
+//! the cache sizes a peer maintains (budget / mean entry cost, typically
+//! well under a few thousand entries).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    value: V,
+    cost: usize,
+    last_used: u64,
+}
+
+/// LRU map bounded by total entry cost rather than entry count.
+#[derive(Debug, Clone)]
+pub struct CostLru<K, V> {
+    map: HashMap<K, Slot<V>>,
+    budget: usize,
+    total_cost: usize,
+    tick: u64,
+}
+
+impl<K: Hash + Eq + Clone, V> CostLru<K, V> {
+    /// An empty map allowed to hold up to `budget` total cost.
+    pub fn new(budget: usize) -> Self {
+        CostLru {
+            map: HashMap::new(),
+            budget,
+            total_cost: 0,
+            tick: 0,
+        }
+    }
+
+    /// Looks `key` up and marks it most-recently-used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.last_used = tick;
+            &slot.value
+        })
+    }
+
+    /// Looks `key` up without touching recency (for scans that should not
+    /// promote entries).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|s| &s.value)
+    }
+
+    /// Inserts `key`, evicting LRU entries as needed to stay within
+    /// budget. Returns the number of entries evicted. Entries costlier
+    /// than the whole budget are not inserted (they would evict everything
+    /// for a single-use value) — that also counts as one eviction.
+    pub fn insert(&mut self, key: K, value: V, cost: usize) -> u64 {
+        if cost > self.budget {
+            return 1;
+        }
+        self.tick += 1;
+        if let Some(old) = self.map.insert(
+            key,
+            Slot {
+                value,
+                cost,
+                last_used: self.tick,
+            },
+        ) {
+            self.total_cost -= old.cost;
+        }
+        self.total_cost += cost;
+        let mut evicted = 0;
+        while self.total_cost > self.budget {
+            let Some(lru_key) = self
+                .map
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.remove(&lru_key);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.map.remove(key).map(|slot| {
+            self.total_cost -= slot.cost;
+            slot.value
+        })
+    }
+
+    /// Drops every entry failing the predicate; returns how many were
+    /// dropped.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K, &V) -> bool) -> u64 {
+        let before = self.map.len();
+        let mut freed = 0;
+        self.map.retain(|k, s| {
+            let keep_it = keep(k, &s.value);
+            if !keep_it {
+                freed += s.cost;
+            }
+            keep_it
+        });
+        self.total_cost -= freed;
+        (before - self.map.len()) as u64
+    }
+
+    /// Iterates over (key, value) pairs without touching recency.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, s)| (k, &s.value))
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total cost of live entries.
+    pub fn cost(&self) -> usize {
+        self.total_cost
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.total_cost = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_promotes_against_eviction() {
+        let mut lru = CostLru::new(30);
+        lru.insert("a", 1, 10);
+        lru.insert("b", 2, 10);
+        lru.insert("c", 3, 10);
+        assert_eq!(lru.get(&"a"), Some(&1)); // promote a
+        let evicted = lru.insert("d", 4, 10);
+        assert_eq!(evicted, 1);
+        assert!(lru.peek(&"b").is_none(), "b was LRU and must go");
+        assert_eq!(lru.peek(&"a"), Some(&1));
+        assert_eq!(lru.cost(), 30);
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected() {
+        let mut lru = CostLru::new(10);
+        lru.insert("small", 1, 5);
+        assert_eq!(lru.insert("huge", 2, 11), 1);
+        assert!(lru.peek(&"huge").is_none());
+        assert_eq!(lru.peek(&"small"), Some(&1));
+    }
+
+    #[test]
+    fn replace_updates_cost() {
+        let mut lru = CostLru::new(20);
+        lru.insert("a", 1, 8);
+        lru.insert("a", 2, 12);
+        assert_eq!(lru.cost(), 12);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.peek(&"a"), Some(&2));
+    }
+
+    #[test]
+    fn retain_frees_cost() {
+        let mut lru = CostLru::new(100);
+        for i in 0..10 {
+            lru.insert(i, i, 5);
+        }
+        let dropped = lru.retain(|&k, _| k % 2 == 0);
+        assert_eq!(dropped, 5);
+        assert_eq!(lru.len(), 5);
+        assert_eq!(lru.cost(), 25);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut lru = CostLru::new(100);
+        lru.insert("x", 7, 10);
+        assert_eq!(lru.remove(&"x"), Some(7));
+        assert_eq!(lru.cost(), 0);
+        lru.insert("y", 8, 10);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.cost(), 0);
+    }
+}

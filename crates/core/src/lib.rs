@@ -44,6 +44,7 @@
 //! For multi-peer (simulated network) use, see
 //! [`overlay::HybridNetwork`] and [`overlay::AdhocNetwork`].
 
+pub use sqpeer_cache as cache;
 pub use sqpeer_dht as dht;
 pub use sqpeer_exec as exec;
 pub use sqpeer_net as net;
@@ -99,7 +100,11 @@ impl LocalPeer {
 
     /// A fresh peer with an explicit id.
     pub fn with_id(id: PeerId, schema: Arc<Schema>) -> Self {
-        LocalPeer { id, base: store::DescriptionBase::new(Arc::clone(&schema)), schema }
+        LocalPeer {
+            id,
+            base: store::DescriptionBase::new(Arc::clone(&schema)),
+            schema,
+        }
     }
 
     /// The community schema.
@@ -133,7 +138,8 @@ impl LocalPeer {
         property: PropertyId,
         literal: rdfs::Literal,
     ) -> bool {
-        self.base.insert_described(Triple::new(Resource::new(subject), property, literal))
+        self.base
+            .insert_described(Triple::new(Resource::new(subject), property, literal))
     }
 
     /// Compiles an RQL text against the community schema.
@@ -191,7 +197,9 @@ mod tests {
         let c3 = b.class("C3").unwrap();
         let _ = b.property("prop1", c1, Range::Class(c2)).unwrap();
         let _ = b.property("prop2", c2, Range::Class(c3)).unwrap();
-        let _ = b.property("age", c1, Range::Literal(rdfs::LiteralType::Integer)).unwrap();
+        let _ = b
+            .property("age", c1, Range::Literal(rdfs::LiteralType::Integer))
+            .unwrap();
         Arc::new(b.finish().unwrap())
     }
 
@@ -204,10 +212,15 @@ mod tests {
         assert!(peer.insert("http://a", p1, "http://b"));
         assert!(!peer.insert("http://a", p1, "http://b"));
         peer.insert("http://b", p2, "http://c");
-        peer.insert_literal("http://a", schema.property_by_name("age").unwrap(),
-            rdfs::Literal::Integer(30));
+        peer.insert_literal(
+            "http://a",
+            schema.property_by_name("age").unwrap(),
+            rdfs::Literal::Integer(30),
+        );
 
-        let rs = peer.query("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}").unwrap();
+        let rs = peer
+            .query("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}")
+            .unwrap();
         assert_eq!(rs.len(), 1);
         let rs = peer.query("SELECT X FROM {X}age{A} WHERE A > 18").unwrap();
         assert_eq!(rs.len(), 1);
@@ -244,7 +257,9 @@ mod tests {
         peer.insert("http://a", p1, "http://b");
         // A view re-populating C1 from prop1 subjects adds no *new* facts
         // (typing already inferred), so add a fresh target class scenario:
-        let added = peer.apply_view("VIEW n1:C1(X) FROM {X}n1:prop1{Y}").unwrap();
+        let added = peer
+            .apply_view("VIEW n1:C1(X) FROM {X}n1:prop1{Y}")
+            .unwrap();
         assert_eq!(added, 0, "C1 typing already inferred on insert");
     }
 }

@@ -51,6 +51,9 @@ mod tests {
             let k = key_of(&format!("n1:prop{i}"));
             quadrants[(k >> 62) as usize] += 1;
         }
-        assert!(quadrants.iter().all(|&q| q > 5), "bad spread: {quadrants:?}");
+        assert!(
+            quadrants.iter().all(|&q| q > 5),
+            "bad spread: {quadrants:?}"
+        );
     }
 }

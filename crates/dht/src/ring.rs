@@ -79,7 +79,10 @@ impl ChordRing {
 
     /// The node handle of `peer`, if on the ring.
     pub fn handle_of(&self, peer: PeerId) -> Option<NodeHandle> {
-        self.nodes.iter().find(|(_, &p)| p == peer).map(|(&id, &peer)| NodeHandle { id, peer })
+        self.nodes
+            .iter()
+            .find(|(_, &p)| p == peer)
+            .map(|(&id, &peer)| NodeHandle { id, peer })
     }
 
     /// The successor node of ring position `key` (wrapping).
@@ -107,7 +110,9 @@ impl ChordRing {
         while current.id != owner.id {
             let mut next = None;
             for i in (0..64).rev() {
-                let Some(f) = self.finger(current.id, i) else { continue };
+                let Some(f) = self.finger(current.id, i) else {
+                    continue;
+                };
                 if f.id == current.id {
                     continue;
                 }
@@ -136,7 +141,10 @@ impl ChordRing {
 
     /// All node handles, in ring order.
     pub fn handles(&self) -> Vec<NodeHandle> {
-        self.nodes.iter().map(|(&id, &peer)| NodeHandle { id, peer }).collect()
+        self.nodes
+            .iter()
+            .map(|(&id, &peer)| NodeHandle { id, peer })
+            .collect()
     }
 }
 

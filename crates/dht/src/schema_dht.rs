@@ -46,7 +46,12 @@ pub struct SchemaDht {
 impl SchemaDht {
     /// An empty DHT in the given subsumption mode.
     pub fn new(mode: SubsumptionMode) -> Self {
-        SchemaDht { ring: ChordRing::new(), mode, store: HashMap::new(), stats: DhtStats::default() }
+        SchemaDht {
+            ring: ChordRing::new(),
+            mode,
+            store: HashMap::new(),
+            stats: DhtStats::default(),
+        }
     }
 
     /// The underlying ring.
@@ -73,9 +78,10 @@ impl SchemaDht {
     /// The keys a property is posted under in the current mode.
     fn publish_keys(&self, schema: &Schema, p: PropertyId) -> Vec<u64> {
         match self.mode {
-            SubsumptionMode::PublishClosure => {
-                schema.superproperties(p).map(|q| key_of(&schema.property_qname(q))).collect()
-            }
+            SubsumptionMode::PublishClosure => schema
+                .superproperties(p)
+                .map(|q| key_of(&schema.property_qname(q)))
+                .collect(),
             SubsumptionMode::QueryExpansion => vec![key_of(&schema.property_qname(p))],
         }
     }
@@ -84,9 +90,10 @@ impl SchemaDht {
     fn lookup_keys(&self, schema: &Schema, p: PropertyId) -> Vec<u64> {
         match self.mode {
             SubsumptionMode::PublishClosure => vec![key_of(&schema.property_qname(p))],
-            SubsumptionMode::QueryExpansion => {
-                schema.subproperties(p).map(|q| key_of(&schema.property_qname(q))).collect()
-            }
+            SubsumptionMode::QueryExpansion => schema
+                .subproperties(p)
+                .map(|q| key_of(&schema.property_qname(q)))
+                .collect(),
         }
     }
 
@@ -218,7 +225,11 @@ mod tests {
         let p1 = schema.property_by_name("prop1").unwrap();
         let ads = dht.ads_for_property(&schema, PeerId(0), p1);
         let peers: Vec<PeerId> = ads.iter().map(|a| a.peer).collect();
-        assert_eq!(peers, vec![PeerId(1), PeerId(4)], "prop4 holder found via closure");
+        assert_eq!(
+            peers,
+            vec![PeerId(1), PeerId(4)],
+            "prop4 holder found via closure"
+        );
         assert_eq!(dht.stats().lookups, 1, "single lookup suffices");
     }
 
@@ -248,10 +259,16 @@ mod tests {
     fn dht_route_matches_registry_route() {
         let schema = fig1_schema();
         let query = compile("SELECT X, Y FROM {X}prop1{Y}, {Y}prop2{Z}", &schema).unwrap();
-        let all_ads =
-            vec![ad(&schema, 1, "prop1"), ad(&schema, 4, "prop4"), ad(&schema, 3, "prop2")];
+        let all_ads = vec![
+            ad(&schema, 1, "prop1"),
+            ad(&schema, 4, "prop4"),
+            ad(&schema, 3, "prop2"),
+        ];
         let reference = route(&query, &all_ads, RoutingPolicy::SubsumedOnly);
-        for mode in [SubsumptionMode::PublishClosure, SubsumptionMode::QueryExpansion] {
+        for mode in [
+            SubsumptionMode::PublishClosure,
+            SubsumptionMode::QueryExpansion,
+        ] {
             let mut dht = dht_with(mode, &schema);
             let got = dht.route(PeerId(0), &query, RoutingPolicy::SubsumedOnly);
             for i in 0..query.patterns().len() {

@@ -24,6 +24,7 @@ pub mod peer;
 pub use local::eval_local;
 pub use msg::{Msg, QueryId, QueryOutcome};
 pub use peer::{BaseKind, PeerConfig, PeerMode, PeerNode, Role};
+pub use sqpeer_cache::{CacheConfig, CacheStats};
 
 /// Maps a routing-level [`PeerId`](sqpeer_routing::PeerId) onto its
 /// simulator node (the two id spaces coincide by construction).

@@ -80,7 +80,10 @@ mod tests {
 
     fn fetch(s: &Arc<Schema>, src: &str, peer: u32) -> PlanNode {
         PlanNode::Fetch {
-            subquery: Subquery { covers: vec![0], query: compile(src, s).unwrap() },
+            subquery: Subquery {
+                covers: vec![0],
+                query: compile(src, s).unwrap(),
+            },
             site: Site::Peer(PeerId(peer)),
         }
     }

@@ -155,15 +155,14 @@ impl Msg {
         match self {
             Msg::Advertise(ad) => ad.active.wire_size() + 16,
             Msg::RequestAds { .. } => 24,
-            Msg::AdsResponse(ads) => {
-                24 + ads.iter().map(|a| a.active.wire_size()).sum::<usize>()
-            }
+            Msg::AdsResponse(ads) => 24 + ads.iter().map(|a| a.active.wire_size()).sum::<usize>(),
             Msg::Withdraw => 16,
             Msg::WithdrawPeer(_) => 24,
             Msg::RouteRequest { query, .. } => 48 + query.to_string().len(),
             Msg::RouteResponse { annotated, .. } => {
-                let anns: usize =
-                    (0..annotated.query().patterns().len()).map(|i| annotated.peers_for(i).len()).sum();
+                let anns: usize = (0..annotated.query().patterns().len())
+                    .map(|i| annotated.peers_for(i).len())
+                    .sum();
                 64 + 32 * anns
             }
             Msg::Subplan { plan, .. } => 96 + 80 * plan.fetch_count(),
@@ -196,15 +195,18 @@ mod tests {
         let schema = Arc::new(b.finish().unwrap());
         let q = compile("SELECT X, Y FROM {X}p{Y}", &schema).unwrap();
 
-        let small = Msg::ClientQuery { qid: QueryId(1), query: q.clone() };
+        let small = Msg::ClientQuery {
+            qid: QueryId(1),
+            query: q.clone(),
+        };
         assert!(small.wire_size() > 32);
 
         let empty = ResultSet::empty(vec!["X".into()]);
         let mut big = ResultSet::empty(vec!["X".into()]);
         for i in 0..100 {
-            big.push_distinct(vec![sqpeer_rdfs::Node::Resource(sqpeer_rdfs::Resource::new(
-                format!("r{i}"),
-            ))]);
+            big.push_distinct(vec![sqpeer_rdfs::Node::Resource(
+                sqpeer_rdfs::Resource::new(format!("r{i}")),
+            )]);
         }
         let d_small = Msg::Data {
             channel: sqpeer_net::Channel {

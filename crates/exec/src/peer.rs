@@ -17,6 +17,7 @@
 use crate::local::{eval_local, fully_local};
 use crate::msg::{Msg, QueryId, QueryOutcome};
 use crate::{node_of, peer_of};
+use sqpeer_cache::{CacheConfig, CacheStats, SemanticCache};
 use sqpeer_net::{Channel, ChannelTable, Ctx, NodeId, NodeLogic};
 use sqpeer_plan::{
     generate_plan, optimize, CostParams, Estimator, PlanNode, Site, Subquery, UniformCost,
@@ -27,7 +28,7 @@ use sqpeer_routing::{
 use sqpeer_rql::{QueryPattern, ResultSet, Row};
 use sqpeer_rvl::{ActiveSchema, VirtualBase};
 use sqpeer_store::DescriptionBase;
-use std::cell::OnceCell;
+use std::cell::{OnceCell, RefCell};
 use std::collections::{HashMap, HashSet};
 
 /// The role a peer plays in the system (§3).
@@ -104,6 +105,10 @@ pub struct PeerConfig {
     /// link table here so compile-time shipping choices (§2.5, Figure 5)
     /// see the same network the execution will.
     pub cost_model: Option<UniformCost>,
+    /// Memoise routing annotations and generated plans across queries
+    /// (epoch-invalidated, so advertisement churn is always observed).
+    /// `None` disables caching entirely.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for PeerConfig {
@@ -122,6 +127,7 @@ impl Default for PeerConfig {
             phased: false,
             processing_us_per_row: 0,
             cost_model: None,
+            cache: Some(CacheConfig::default()),
         }
     }
 }
@@ -157,12 +163,18 @@ pub enum BaseKind {
 impl BaseKind {
     /// Wraps a relational virtual base.
     pub fn virtual_base(source: VirtualBase) -> Self {
-        BaseKind::Virtual { source, cache: OnceCell::new() }
+        BaseKind::Virtual {
+            source,
+            cache: OnceCell::new(),
+        }
     }
 
     /// Wraps an XML virtual base.
     pub fn virtual_xml(source: sqpeer_rvl::XmlBase) -> Self {
-        BaseKind::VirtualXml { source, cache: OnceCell::new() }
+        BaseKind::VirtualXml {
+            source,
+            cache: OnceCell::new(),
+        }
     }
 
     /// Runs `f` over the materialized view of this base (populating the
@@ -170,12 +182,8 @@ impl BaseKind {
     pub fn with_materialized<R>(&self, f: impl FnOnce(&DescriptionBase) -> R) -> R {
         match self {
             BaseKind::Materialized(db) => f(db),
-            BaseKind::Virtual { source, cache } => {
-                f(cache.get_or_init(|| source.populate().0))
-            }
-            BaseKind::VirtualXml { source, cache } => {
-                f(cache.get_or_init(|| source.populate().0))
-            }
+            BaseKind::Virtual { source, cache } => f(cache.get_or_init(|| source.populate().0)),
+            BaseKind::VirtualXml { source, cache } => f(cache.get_or_init(|| source.populate().0)),
             BaseKind::None => {
                 // Client-peers are never asked to evaluate; defensive empty.
                 unreachable!("with_materialized on a base-less peer")
@@ -219,7 +227,11 @@ enum Completion {
     /// Fill `slot` of `frame`.
     Parent { frame: u64, slot: usize },
     /// Stream a `Data` packet to the channel root.
-    Channel { channel: Channel, qid: QueryId, tag: u64 },
+    Channel {
+        channel: Channel,
+        qid: QueryId,
+        tag: u64,
+    },
     /// Finalise a rooted query.
     Root { qid: QueryId },
 }
@@ -269,7 +281,10 @@ impl StreamBuffer {
         for (_, mut batch) in self.batches {
             rows.append(&mut batch);
         }
-        ResultSet { columns: self.columns, rows }
+        ResultSet {
+            columns: self.columns,
+            rows,
+        }
     }
 }
 
@@ -339,11 +354,15 @@ pub struct PeerNode {
     /// sequence once known.
     streams: HashMap<u64, StreamBuffer>,
     next_timer: u64,
+    /// Routing/plan memoisation (None when disabled by config). RefCell
+    /// because routing entry points take `&self`.
+    cache: Option<RefCell<SemanticCache>>,
 }
 
 impl PeerNode {
     /// Creates a peer with the given role and base.
     pub fn new(id: PeerId, role: Role, base: BaseKind, config: PeerConfig) -> Self {
+        let cache = config.cache.map(|c| RefCell::new(SemanticCache::new(c)));
         PeerNode {
             id,
             role,
@@ -368,6 +387,7 @@ impl PeerNode {
             slot_queue: std::collections::VecDeque::new(),
             streams: HashMap::new(),
             next_timer: 0,
+            cache,
         }
     }
 
@@ -409,7 +429,13 @@ impl PeerNode {
     // Planning at the root
     // ------------------------------------------------------------------
 
-    fn begin_query(&mut self, ctx: &mut Ctx<Msg>, qid: QueryId, query: QueryPattern, client: Option<NodeId>) {
+    fn begin_query(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        qid: QueryId,
+        query: QueryPattern,
+        client: Option<NodeId>,
+    ) {
         // Class-membership patterns are outside the routable fragment
         // (§2.1: routing operates on path patterns); such queries are
         // answered against this peer's own base only and flagged partial
@@ -428,7 +454,8 @@ impl PeerNode {
                 },
             );
             let result = if self.base.is_some() {
-                self.base.with_materialized(|db| sqpeer_rql::evaluate(&query, db))
+                self.base
+                    .with_materialized(|db| sqpeer_rql::evaluate(&query, db))
             } else {
                 ResultSet::default()
             };
@@ -451,13 +478,19 @@ impl PeerNode {
     }
 
     fn plan_and_execute(&mut self, ctx: &mut Ctx<Msg>, qid: QueryId) {
-        let Some(root) = self.rooted.get(&qid) else { return };
+        let Some(root) = self.rooted.get(&qid) else {
+            return;
+        };
         let query = root.query.clone();
         match self.config.mode {
             PeerMode::Hybrid => {
                 // Delegate routing to a super-peer (§3.1). Pick the first
                 // non-excluded one.
-                let sp = self.super_peers.iter().find(|p| !root.excluded.contains(p)).copied();
+                let sp = self
+                    .super_peers
+                    .iter()
+                    .find(|p| !root.excluded.contains(p))
+                    .copied();
                 match sp {
                     Some(sp) => {
                         let msg = Msg::RouteRequest {
@@ -481,10 +514,26 @@ impl PeerNode {
     }
 
     fn excluded_of(&self, qid: QueryId) -> HashSet<PeerId> {
-        self.rooted.get(&qid).map(|r| r.excluded.clone()).unwrap_or_default()
+        self.rooted
+            .get(&qid)
+            .map(|r| r.excluded.clone())
+            .unwrap_or_default()
     }
 
     fn local_route(&self, query: &QueryPattern, excluded: &HashSet<PeerId>) -> AnnotatedQuery {
+        // The memoised path serves the common case (no per-query
+        // exclusions); adaptation re-routes with exclusions bypass it, as
+        // excluded sets are query-local and would pollute shared entries.
+        if excluded.is_empty() {
+            if let Some(cache) = &self.cache {
+                return cache.borrow_mut().route(
+                    &self.registry,
+                    query,
+                    self.config.routing_policy,
+                    self.config.limits,
+                );
+            }
+        }
         let ads: Vec<Advertisement> = self
             .registry
             .advertisements()
@@ -493,6 +542,12 @@ impl PeerNode {
             .cloned()
             .collect();
         route_limited(query, &ads, self.config.routing_policy, self.config.limits)
+    }
+
+    /// A snapshot of this peer's routing/plan cache counters, if caching
+    /// is enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.borrow().stats())
     }
 
     fn continue_with_annotation(
@@ -508,18 +563,24 @@ impl PeerNode {
         for peer in self.excluded_of(qid) {
             annotated.remove_peer(peer);
         }
-        let plan = generate_plan(&annotated);
-        let plan = if self.config.optimize {
-            let mut estimator = Estimator::new(CostParams::default());
-            for ad in self.registry.advertisements() {
-                if let Some(stats) = &ad.stats {
-                    estimator.set_stats(ad.peer, stats.clone());
+        // Plan memoisation: keyed by the annotated query (so adaptation
+        // re-plans with peers removed key differently) and validated
+        // against both registry epochs, since ranking and optimiser costs
+        // follow advertised statistics.
+        let epochs = self.registry.epochs();
+        let cached = self
+            .cache
+            .as_ref()
+            .and_then(|c| c.borrow_mut().plan_for(epochs, &annotated));
+        let plan = match cached {
+            Some(plan) => plan,
+            None => {
+                let plan = self.build_plan(&annotated);
+                if let Some(cache) = &self.cache {
+                    cache.borrow_mut().store_plan(epochs, &annotated, &plan);
                 }
+                plan
             }
-            let net_cost = self.config.cost_model.clone().unwrap_or_default();
-            optimize(plan, self.id, &estimator, &net_cost).0
-        } else {
-            plan
         };
 
         if plan.is_complete() {
@@ -542,6 +603,23 @@ impl PeerNode {
             for (slot, peer) in candidates.into_iter().enumerate() {
                 self.dispatch_remote(ctx, qid, peer, plan.clone(), frame, slot, vec![self.id]);
             }
+        }
+    }
+
+    /// Plan generation + compile-time optimisation (§2.5), uncached.
+    fn build_plan(&self, annotated: &AnnotatedQuery) -> PlanNode {
+        let plan = generate_plan(annotated);
+        if self.config.optimize {
+            let mut estimator = Estimator::new(CostParams::default());
+            for ad in self.registry.advertisements() {
+                if let Some(stats) = &ad.stats {
+                    estimator.set_stats(ad.peer, stats.clone());
+                }
+            }
+            let net_cost = self.config.cost_model.clone().unwrap_or_default();
+            optimize(plan, self.id, &estimator, &net_cost).0
+        } else {
+            plan
         }
     }
 
@@ -573,7 +651,13 @@ impl PeerNode {
         id
     }
 
-    fn execute(&mut self, ctx: &mut Ctx<Msg>, qid: QueryId, plan: PlanNode, completion: Completion) {
+    fn execute(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        qid: QueryId,
+        plan: PlanNode,
+        completion: Completion,
+    ) {
         if fully_local(&plan, self.id) {
             self.queries_processed += 1;
             let result = eval_local(&plan, self.id, &self.base);
@@ -618,7 +702,10 @@ impl PeerNode {
                         // Query shipping: the whole join subtree executes
                         // at `p` (§2.5, Figure 5 right).
                         let frame = self.new_frame(qid, FrameOp::Union, completion, 1);
-                        let plan = PlanNode::Join { inputs, site: Some(p) };
+                        let plan = PlanNode::Join {
+                            inputs,
+                            site: Some(p),
+                        };
                         self.dispatch_remote(ctx, qid, p, plan, frame, 0, vec![self.id]);
                     }
                     _ => {
@@ -667,7 +754,15 @@ impl PeerNode {
         let columns = plan_columns(&plan);
         self.outstanding.insert(
             tag,
-            PendingRemote { qid, frame, slot, dest, columns, plan_key, plan: plan.clone() },
+            PendingRemote {
+                qid,
+                frame,
+                slot,
+                dest,
+                columns,
+                plan_key,
+                plan: plan.clone(),
+            },
         );
         if let Some(timeout) = self.config.subplan_timeout_us {
             let timer = self.next_timer;
@@ -675,7 +770,13 @@ impl PeerNode {
             self.timeouts.insert(timer, tag);
             ctx.set_timer(timeout, timer);
         }
-        let msg = Msg::Subplan { channel, qid, tag, plan, visited };
+        let msg = Msg::Subplan {
+            channel,
+            qid,
+            tag,
+            plan,
+            visited,
+        };
         let bytes = msg.wire_size();
         ctx.send(node_of(dest), msg, bytes);
     }
@@ -698,8 +799,16 @@ impl PeerNode {
                 };
                 let batch = self.config.stream_batch_rows.unwrap_or(usize::MAX).max(1);
                 if result.rows.len() <= batch {
-                    let msg =
-                        Msg::Data { channel, qid, tag, result, partial, stats, seq: 0, last: true };
+                    let msg = Msg::Data {
+                        channel,
+                        qid,
+                        tag,
+                        result,
+                        partial,
+                        stats,
+                        seq: 0,
+                        last: true,
+                    };
                     let bytes = msg.wire_size();
                     ctx.send(channel.root, msg, bytes);
                 } else {
@@ -709,7 +818,10 @@ impl PeerNode {
                         result.rows.chunks(batch).map(<[Row]>::to_vec).collect();
                     let n = chunks.len();
                     for (i, rows) in chunks.into_iter().enumerate() {
-                        let part = ResultSet { columns: columns.clone(), rows };
+                        let part = ResultSet {
+                            columns: columns.clone(),
+                            rows,
+                        };
                         let last = i + 1 == n;
                         let msg = Msg::Data {
                             channel,
@@ -752,7 +864,9 @@ impl PeerNode {
         result: ResultSet,
         partial: bool,
     ) {
-        let Some(frame) = self.frames.get_mut(&frame_id) else { return };
+        let Some(frame) = self.frames.get_mut(&frame_id) else {
+            return;
+        };
         if frame.done {
             return;
         }
@@ -795,7 +909,10 @@ impl PeerNode {
             let delay = per_row * (combined.len() as u64 + 1);
             let timer = self.next_timer;
             self.next_timer += 1;
-            self.delayed.insert(timer, (frame.completion.clone(), combined, combined_partial));
+            self.delayed.insert(
+                timer,
+                (frame.completion.clone(), combined, combined_partial),
+            );
             ctx.set_timer(delay, timer);
         } else {
             self.complete(ctx, frame.completion.clone(), combined, combined_partial);
@@ -804,7 +921,9 @@ impl PeerNode {
 
     fn finalize(&mut self, ctx: &mut Ctx<Msg>, qid: QueryId, result: ResultSet, partial: bool) {
         let (names, client, replans, started) = {
-            let Some(root) = self.rooted.get_mut(&qid) else { return };
+            let Some(root) = self.rooted.get_mut(&qid) else {
+                return;
+            };
             if root.answered {
                 return;
             }
@@ -848,7 +967,10 @@ impl PeerNode {
             },
         );
         if let Some(client) = client {
-            let msg = Msg::ClientAnswer { qid, result: projected };
+            let msg = Msg::ClientAnswer {
+                qid,
+                result: projected,
+            };
             let bytes = msg.wire_size();
             ctx.send(client, msg, bytes);
         }
@@ -859,7 +981,9 @@ impl PeerNode {
     // ------------------------------------------------------------------
 
     fn adapt_or_give_up(&mut self, ctx: &mut Ctx<Msg>, qid: QueryId, culprit: Option<PeerId>) {
-        let Some(root) = self.rooted.get_mut(&qid) else { return };
+        let Some(root) = self.rooted.get_mut(&qid) else {
+            return;
+        };
         if root.answered {
             return;
         }
@@ -924,7 +1048,9 @@ impl PeerNode {
         pending: PendingRemote,
     ) {
         let excluded: Vec<PeerId> = {
-            let Some(root) = self.rooted.get_mut(&qid) else { return };
+            let Some(root) = self.rooted.get_mut(&qid) else {
+                return;
+            };
             if root.answered {
                 return;
             }
@@ -940,7 +1066,10 @@ impl PeerNode {
                 ctx,
                 qid,
                 repaired,
-                Completion::Parent { frame: pending.frame, slot: pending.slot },
+                Completion::Parent {
+                    frame: pending.frame,
+                    slot: pending.slot,
+                },
             );
         } else {
             let empty = ResultSet::empty(pending.columns);
@@ -965,7 +1094,8 @@ impl PeerNode {
         // until a running local evaluation finishes.
         if let Some(slots) = self.config.slots {
             if self.delayed.len() >= slots.max(1) {
-                self.slot_queue.push_back((channel, qid, tag, plan, visited));
+                self.slot_queue
+                    .push_back((channel, qid, tag, plan, visited));
                 return;
             }
         }
@@ -1023,13 +1153,19 @@ impl PeerNode {
                         subquery.query.filters().to_vec(),
                     );
                     PlanNode::Fetch {
-                        subquery: Subquery { covers: subquery.covers.clone(), query },
+                        subquery: Subquery {
+                            covers: subquery.covers.clone(),
+                            query,
+                        },
                         site: Site::Peer(ann.peer),
                     }
                 })
                 .collect();
             match branches.len() {
-                0 => PlanNode::Fetch { subquery, site: Site::Hole },
+                0 => PlanNode::Fetch {
+                    subquery,
+                    site: Site::Hole,
+                },
                 1 => branches.into_iter().next().expect("non-empty"),
                 _ => PlanNode::Union(branches),
             }
@@ -1051,7 +1187,11 @@ fn strip_peer(plan: PlanNode, peer: PeerId) -> PlanNode {
         leaf => leaf,
     };
     plan.map_fetches(&mut |sq, site| {
-        let site = if site == Site::Peer(peer) { Site::Hole } else { site };
+        let site = if site == Site::Peer(peer) {
+            Site::Hole
+        } else {
+            site
+        };
         PlanNode::Fetch { subquery: sq, site }
     })
 }
@@ -1065,9 +1205,7 @@ pub(crate) fn plan_columns(plan: &PlanNode) -> Vec<String> {
             .iter()
             .map(|&v| subquery.query.var_name(v).to_string())
             .collect(),
-        PlanNode::Union(inputs) => {
-            inputs.first().map(plan_columns).unwrap_or_default()
-        }
+        PlanNode::Union(inputs) => inputs.first().map(plan_columns).unwrap_or_default(),
         PlanNode::Join { inputs, .. } => {
             let mut cols: Vec<String> = Vec::new();
             for input in inputs {
@@ -1087,7 +1225,9 @@ fn combine(frame: &Frame) -> (ResultSet, bool) {
     let combined = match frame.op {
         FrameOp::Union => {
             let mut iter = slots.into_iter();
-            let Some(first) = iter.next() else { return (ResultSet::default(), true) };
+            let Some(first) = iter.next() else {
+                return (ResultSet::default(), true);
+            };
             let mut acc = first.clone();
             for s in iter {
                 acc.union(s);
@@ -1096,7 +1236,9 @@ fn combine(frame: &Frame) -> (ResultSet, bool) {
         }
         FrameOp::Join => {
             let mut iter = slots.into_iter();
-            let Some(first) = iter.next() else { return (ResultSet::default(), true) };
+            let Some(first) = iter.next() else {
+                return (ResultSet::default(), true);
+            };
             let mut acc = first.clone();
             for s in iter {
                 acc = acc.join(s);
@@ -1160,7 +1302,12 @@ impl NodeLogic for PeerNode {
                     self.registry.register(ad);
                 }
             }
-            Msg::RouteRequest { qid, query, backbone_ttl, partial } => {
+            Msg::RouteRequest {
+                qid,
+                query,
+                backbone_ttl,
+                partial,
+            } => {
                 self.handle_route_request(ctx, from, qid, query, backbone_ttl, partial);
             }
             Msg::RouteResponse { qid, annotated } => {
@@ -1173,10 +1320,25 @@ impl NodeLogic for PeerNode {
                     self.continue_with_annotation(ctx, qid, annotated);
                 }
             }
-            Msg::Subplan { channel, qid, tag, plan, visited } => {
+            Msg::Subplan {
+                channel,
+                qid,
+                tag,
+                plan,
+                visited,
+            } => {
                 self.serve_subplan(ctx, channel, qid, tag, plan, visited);
             }
-            Msg::Data { qid, tag, result, partial, stats, seq, last, .. } => {
+            Msg::Data {
+                qid,
+                tag,
+                result,
+                partial,
+                stats,
+                seq,
+                last,
+                ..
+            } => {
                 if let Some(fresh) = stats {
                     // Refresh the sender's advertised statistics — channel
                     // packets keep the optimiser's estimates current (§2.4).
@@ -1275,7 +1437,9 @@ impl NodeLogic for PeerNode {
         self.channels.fail_towards(to);
         match msg {
             Msg::Subplan { tag, .. } => {
-                let Some(pending) = self.outstanding.remove(&tag) else { return };
+                let Some(pending) = self.outstanding.remove(&tag) else {
+                    return;
+                };
                 self.handle_lost_subplan(ctx, pending);
             }
             Msg::RouteRequest { qid, .. } if self.rooted.contains_key(&qid) => {
@@ -1384,7 +1548,11 @@ mod tests {
     }
 
     fn adhoc_config() -> PeerConfig {
-        PeerConfig { mode: PeerMode::Adhoc, optimize: false, ..PeerConfig::default() }
+        PeerConfig {
+            mode: PeerMode::Adhoc,
+            optimize: false,
+            ..PeerConfig::default()
+        }
     }
 
     /// Two peers in ad-hoc mode; P1 knows P2's advertisement and queries.
@@ -1409,7 +1577,10 @@ mod tests {
         sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
 
         let query = compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}", &schema).unwrap();
-        let msg = Msg::ClientQuery { qid: QueryId(1), query };
+        let msg = Msg::ClientQuery {
+            qid: QueryId(1),
+            query,
+        };
         let bytes = msg.wire_size();
         sim.inject(NodeId(99), NodeId(1), msg, bytes);
         sim.run_to_quiescence();
@@ -1448,13 +1619,21 @@ mod tests {
         sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
 
         let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
-        let msg = Msg::ClientQuery { qid: QueryId(7), query };
+        let msg = Msg::ClientQuery {
+            qid: QueryId(7),
+            query,
+        };
         let bytes = msg.wire_size();
         sim.inject(NodeId(99), NodeId(1), msg, bytes);
         sim.run_to_quiescence();
 
-        let outcome =
-            sim.node(NodeId(1)).unwrap().outcomes.get(&QueryId(7)).expect("completed").clone();
+        let outcome = sim
+            .node(NodeId(1))
+            .unwrap()
+            .outcomes
+            .get(&QueryId(7))
+            .expect("completed")
+            .clone();
         // Set semantics: the duplicate row across P1/P3 appears once.
         assert_eq!(outcome.result.len(), 2);
         assert!(!outcome.partial);
@@ -1475,10 +1654,18 @@ mod tests {
         let mut nodes = Vec::new();
         for (i, count) in [(2u32, 1usize), (3, 2), (4, 3)] {
             let triples: Vec<(String, String, String)> = (0..count)
-                .map(|j| (format!("http://p{i}/s{j}"), "prop1".to_string(), format!("http://p{i}/o{j}")))
+                .map(|j| {
+                    (
+                        format!("http://p{i}/s{j}"),
+                        "prop1".to_string(),
+                        format!("http://p{i}/o{j}"),
+                    )
+                })
                 .collect();
-            let refs: Vec<(&str, &str, &str)> =
-                triples.iter().map(|(a, b, c)| (a.as_str(), b.as_str(), c.as_str())).collect();
+            let refs: Vec<(&str, &str, &str)> = triples
+                .iter()
+                .map(|(a, b, c)| (a.as_str(), b.as_str(), c.as_str()))
+                .collect();
             let node = PeerNode::simple(PeerId(i), base_with(&schema, &refs), adhoc_config());
             p1.registry.register(node.own_advertisement().unwrap());
             nodes.push((i, node));
@@ -1489,11 +1676,19 @@ mod tests {
         }
         sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
         let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
-        let msg = Msg::ClientQuery { qid: QueryId(5), query };
+        let msg = Msg::ClientQuery {
+            qid: QueryId(5),
+            query,
+        };
         let bytes = msg.wire_size();
         sim.inject(NodeId(99), NodeId(1), msg, bytes);
         sim.run_to_quiescence();
-        let outcome = sim.node(NodeId(1)).unwrap().outcomes.get(&QueryId(5)).unwrap();
+        let outcome = sim
+            .node(NodeId(1))
+            .unwrap()
+            .outcomes
+            .get(&QueryId(5))
+            .unwrap();
         // Only P4's three rows (the largest extent) were fetched.
         assert_eq!(outcome.result.len(), 3);
     }
@@ -1506,7 +1701,10 @@ mod tests {
         let run = |batch: Option<usize>| -> (ResultSet, usize) {
             let mut sim: Simulator<PeerNode> = Simulator::default();
             let mut p1 = PeerNode::simple(PeerId(1), base_with(&schema, &[]), adhoc_config());
-            let config = PeerConfig { stream_batch_rows: batch, ..adhoc_config() };
+            let config = PeerConfig {
+                stream_batch_rows: batch,
+                ..adhoc_config()
+            };
             let mut holder_base = DescriptionBase::new(Arc::clone(&schema));
             let prop1 = schema.property_by_name("prop1").unwrap();
             for i in 0..25 {
@@ -1522,7 +1720,10 @@ mod tests {
             sim.add_node(NodeId(2), holder);
             sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
             let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
-            let msg = Msg::ClientQuery { qid: QueryId(8), query };
+            let msg = Msg::ClientQuery {
+                qid: QueryId(8),
+                query,
+            };
             let bytes = msg.wire_size();
             sim.inject(NodeId(99), NodeId(1), msg, bytes);
             sim.run_to_quiescence();
@@ -1570,13 +1771,22 @@ mod tests {
         sim.add_node(NodeId(2), holder);
         sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
         let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
-        let msg = Msg::ClientQuery { qid: QueryId(3), query };
+        let msg = Msg::ClientQuery {
+            qid: QueryId(3),
+            query,
+        };
         let bytes = msg.wire_size();
         sim.inject(NodeId(99), NodeId(1), msg, bytes);
         sim.run_to_quiescence();
         // After the answer streamed back, P1 holds fresh statistics.
         let p1 = sim.node(NodeId(1)).unwrap();
-        let stats = p1.registry.get(PeerId(2)).unwrap().stats.as_ref().expect("refreshed");
+        let stats = p1
+            .registry
+            .get(PeerId(2))
+            .unwrap()
+            .stats
+            .as_ref()
+            .expect("refreshed");
         let prop1 = schema.property_by_name("prop1").unwrap();
         assert_eq!(stats.property(prop1).triples, 1);
     }
@@ -1609,7 +1819,10 @@ mod tests {
             sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
             let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
             for (qid, origin) in [(QueryId(1), NodeId(1)), (QueryId(2), NodeId(2))] {
-                let msg = Msg::ClientQuery { qid, query: query.clone() };
+                let msg = Msg::ClientQuery {
+                    qid,
+                    query: query.clone(),
+                };
                 let bytes = msg.wire_size();
                 sim.inject(NodeId(99), origin, msg, bytes);
             }
@@ -1651,8 +1864,10 @@ mod tests {
             };
             let mut p1 = PeerNode::simple(PeerId(1), base_with(&schema, &[]), config);
             // The slow peer takes ~2 s of processing per row.
-            let slow_config =
-                PeerConfig { processing_us_per_row: 1_000_000, ..adhoc_config() };
+            let slow_config = PeerConfig {
+                processing_us_per_row: 1_000_000,
+                ..adhoc_config()
+            };
             let slow = PeerNode::simple(
                 PeerId(2),
                 base_with(&schema, &[("http://a", "prop1", "http://b")]),
@@ -1677,11 +1892,19 @@ mod tests {
             sim.add_node(NodeId(3), fast);
             sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
             let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
-            let msg = Msg::ClientQuery { qid: QueryId(4), query };
+            let msg = Msg::ClientQuery {
+                qid: QueryId(4),
+                query,
+            };
             let bytes = msg.wire_size();
             sim.inject(NodeId(99), NodeId(1), msg, bytes);
             sim.run_to_quiescence();
-            let o = sim.node(NodeId(1)).unwrap().outcomes.get(&QueryId(4)).unwrap();
+            let o = sim
+                .node(NodeId(1))
+                .unwrap()
+                .outcomes
+                .get(&QueryId(4))
+                .unwrap();
             (o.result.len(), o.latency_us)
         };
         let (rows_slow, t_slow) = run(None);
@@ -1702,7 +1925,10 @@ mod tests {
         let schema = fig1_schema();
         let run = |phased: bool| -> (usize, usize) {
             let mut sim: Simulator<PeerNode> = Simulator::default();
-            let config = PeerConfig { phased, ..adhoc_config() };
+            let config = PeerConfig {
+                phased,
+                ..adhoc_config()
+            };
             let mut p1 = PeerNode::simple(PeerId(1), base_with(&schema, &[]), config);
             let survivor = PeerNode::simple(
                 PeerId(2),
@@ -1733,14 +1959,22 @@ mod tests {
             sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
             // P3 dies while the subplans are in flight (before delivery).
             sim.schedule_node_down(30_000, NodeId(3));
-            let query =
-                compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}", &schema).unwrap();
-            let msg = Msg::ClientQuery { qid: QueryId(9), query };
+            let query = compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}", &schema).unwrap();
+            let msg = Msg::ClientQuery {
+                qid: QueryId(9),
+                query,
+            };
             let bytes = msg.wire_size();
             sim.inject(NodeId(99), NodeId(1), msg, bytes);
             sim.run_to_quiescence();
-            let rows =
-                sim.node(NodeId(1)).unwrap().outcomes.get(&QueryId(9)).unwrap().result.len();
+            let rows = sim
+                .node(NodeId(1))
+                .unwrap()
+                .outcomes
+                .get(&QueryId(9))
+                .unwrap()
+                .result
+                .len();
             // How many subqueries the survivor ended up answering: with
             // phased adaptation the second phase reuses its cached result.
             let survivor_load = sim.node(NodeId(2)).unwrap().queries_processed;
@@ -1771,13 +2005,21 @@ mod tests {
 
         // prop2 is not in anyone's base.
         let query = compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}", &schema).unwrap();
-        let msg = Msg::ClientQuery { qid: QueryId(2), query };
+        let msg = Msg::ClientQuery {
+            qid: QueryId(2),
+            query,
+        };
         let bytes = msg.wire_size();
         sim.inject(NodeId(99), NodeId(1), msg, bytes);
         sim.run_to_quiescence();
 
-        let outcome =
-            sim.node(NodeId(1)).unwrap().outcomes.get(&QueryId(2)).expect("completed").clone();
+        let outcome = sim
+            .node(NodeId(1))
+            .unwrap()
+            .outcomes
+            .get(&QueryId(2))
+            .expect("completed")
+            .clone();
         assert!(outcome.partial);
         assert!(outcome.result.is_empty());
     }

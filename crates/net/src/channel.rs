@@ -67,7 +67,12 @@ impl ChannelTable {
     pub fn open(&mut self, root: NodeId, dest: NodeId) -> Channel {
         let id = ChannelId(self.next_id);
         self.next_id += 1;
-        let ch = Channel { id, root, dest, state: ChannelState::Open };
+        let ch = Channel {
+            id,
+            root,
+            dest,
+            state: ChannelState::Open,
+        };
         self.rooted.insert(id, ch);
         ch
     }
@@ -89,8 +94,12 @@ impl ChannelTable {
 
     /// All open channels this node roots, ordered by id.
     pub fn open_rooted(&self) -> Vec<Channel> {
-        let mut out: Vec<Channel> =
-            self.rooted.values().filter(|c| c.state == ChannelState::Open).copied().collect();
+        let mut out: Vec<Channel> = self
+            .rooted
+            .values()
+            .filter(|c| c.state == ChannelState::Open)
+            .copied()
+            .collect();
         out.sort_by_key(|c| c.id);
         out
     }
@@ -181,7 +190,10 @@ mod tests {
     fn state_transitions_and_cleanup() {
         let mut t = ChannelTable::new();
         let ch = t.open(NodeId(1), NodeId(2));
-        assert_eq!(t.set_state(ch.id, ChannelState::Closed).unwrap().state, ChannelState::Closed);
+        assert_eq!(
+            t.set_state(ch.id, ChannelState::Closed).unwrap().state,
+            ChannelState::Closed
+        );
         assert!(t.open_rooted().is_empty());
         assert_eq!(t.set_state(ChannelId(99), ChannelState::Closed), None);
 

@@ -17,6 +17,9 @@ pub struct NodeMetrics {
     pub bytes_sent: usize,
     /// Bytes delivered to this node.
     pub bytes_received: usize,
+    /// Deliveries addressed to this node that were dropped (node or link
+    /// down) — locates *where* churn loses traffic, not just how much.
+    pub dropped: usize,
 }
 
 /// Global and per-node simulation metrics.
@@ -47,9 +50,10 @@ impl Metrics {
         m.bytes_sent += bytes;
     }
 
-    /// Records a dropped delivery (destination or link down).
-    pub(crate) fn record_drop(&mut self) {
+    /// Records a delivery to `to` dropped by a down destination or link.
+    pub(crate) fn record_drop(&mut self, to: NodeId) {
         self.dropped += 1;
+        self.per_node.entry(to).or_default().dropped += 1;
     }
 
     /// Counters of one node.
@@ -76,7 +80,11 @@ impl Metrics {
     /// behind "the load of queries processed by each peer is smaller"
     /// (§2.2).
     pub fn max_received(&self) -> usize {
-        self.per_node.values().map(|m| m.messages_received).max().unwrap_or(0)
+        self.per_node
+            .values()
+            .map(|m| m.messages_received)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Resets all counters (between experiment phases).
@@ -95,10 +103,14 @@ mod tests {
         m.record_send(NodeId(1), NodeId(2), 10);
         m.record_delivery(NodeId(1), NodeId(2), 10);
         m.record_delivery(NodeId(2), NodeId(1), 5);
-        m.record_drop();
+        m.record_drop(NodeId(2));
+        m.record_drop(NodeId(2));
+        m.record_drop(NodeId(1));
         assert_eq!(m.total_messages(), 2);
         assert_eq!(m.total_bytes(), 15);
-        assert_eq!(m.dropped(), 1);
+        assert_eq!(m.dropped(), 3);
+        assert_eq!(m.node(NodeId(2)).dropped, 2);
+        assert_eq!(m.node(NodeId(1)).dropped, 1);
         assert_eq!(m.node(NodeId(2)).messages_received, 1);
         assert_eq!(m.node(NodeId(2)).bytes_received, 10);
         assert_eq!(m.node(NodeId(1)).messages_sent, 1);

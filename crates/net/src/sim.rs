@@ -29,7 +29,11 @@ pub struct LinkSpec {
 impl Default for LinkSpec {
     fn default() -> Self {
         // 20 ms latency, ~1 MB/s: a 2004-era broadband WAN link.
-        LinkSpec { latency_us: 20_000, bytes_per_ms: 1_000, up: true }
+        LinkSpec {
+            latency_us: 20_000,
+            bytes_per_ms: 1_000,
+            up: true,
+        }
     }
 }
 
@@ -92,8 +96,16 @@ impl<M> Ctx<M> {
 /// One scheduled event.
 #[derive(Debug, Clone)]
 enum EventKind<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M, bytes: usize },
-    Timer { node: NodeId, timer: u64 },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        bytes: usize,
+    },
+    Timer {
+        node: NodeId,
+        timer: u64,
+    },
     NodeDown(NodeId),
     NodeUp(NodeId),
 }
@@ -202,7 +214,10 @@ impl<N: NodeLogic> Simulator<N> {
 
     /// The effective link spec between two nodes.
     pub fn link(&self, a: NodeId, b: NodeId) -> LinkSpec {
-        self.links.get(&(a, b)).copied().unwrap_or(self.default_link)
+        self.links
+            .get(&(a, b))
+            .copied()
+            .unwrap_or(self.default_link)
     }
 
     /// Current virtual time (µs).
@@ -251,7 +266,15 @@ impl<N: NodeLogic> Simulator<N> {
     /// issuing a query) delivered at the current time plus link delay.
     pub fn inject(&mut self, from: NodeId, to: NodeId, msg: N::Msg, bytes: usize) {
         let at = self.arrival_time(from, to, bytes);
-        self.push(at, EventKind::Deliver { from, to, msg, bytes });
+        self.push(
+            at,
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                bytes,
+            },
+        );
     }
 
     /// Schedules `node` to fail at absolute virtual time `at_us`.
@@ -269,14 +292,21 @@ impl<N: NodeLogic> Simulator<N> {
     pub fn run(&mut self, max_events: usize) -> usize {
         let mut processed = 0;
         while processed < max_events {
-            let Some(Reverse(event)) = self.queue.pop() else { break };
+            let Some(Reverse(event)) = self.queue.pop() else {
+                break;
+            };
             self.now_us = self.now_us.max(event.at_us);
             processed += 1;
             match event.kind {
-                EventKind::Deliver { from, to, msg, bytes } => {
+                EventKind::Deliver {
+                    from,
+                    to,
+                    msg,
+                    bytes,
+                } => {
                     let link = self.link(from, to);
                     if self.down.contains(&to) || !link.up {
-                        self.metrics.record_drop();
+                        self.metrics.record_drop(to);
                         // Failure notification travels back to the sender
                         // (unless the sender itself is down).
                         if !self.down.contains(&from) {
@@ -316,7 +346,12 @@ impl<N: NodeLogic> Simulator<N> {
     }
 
     fn dispatch_message(&mut self, to: NodeId, from: NodeId, msg: N::Msg) {
-        let mut ctx = Ctx { now_us: self.now_us, node: to, outbox: Vec::new(), timers: Vec::new() };
+        let mut ctx = Ctx {
+            now_us: self.now_us,
+            node: to,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        };
         if let Some(node) = self.nodes.get_mut(&to) {
             node.on_message(&mut ctx, from, msg);
         }
@@ -324,8 +359,12 @@ impl<N: NodeLogic> Simulator<N> {
     }
 
     fn dispatch_timer(&mut self, node_id: NodeId, timer: u64) {
-        let mut ctx =
-            Ctx { now_us: self.now_us, node: node_id, outbox: Vec::new(), timers: Vec::new() };
+        let mut ctx = Ctx {
+            now_us: self.now_us,
+            node: node_id,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        };
         if let Some(node) = self.nodes.get_mut(&node_id) {
             node.on_timer(&mut ctx, timer);
         }
@@ -333,8 +372,12 @@ impl<N: NodeLogic> Simulator<N> {
     }
 
     fn dispatch_failure(&mut self, sender: NodeId, dest: NodeId, msg: N::Msg) {
-        let mut ctx =
-            Ctx { now_us: self.now_us, node: sender, outbox: Vec::new(), timers: Vec::new() };
+        let mut ctx = Ctx {
+            now_us: self.now_us,
+            node: sender,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        };
         if let Some(node) = self.nodes.get_mut(&sender) {
             node.on_delivery_failure(&mut ctx, dest, msg);
         }
@@ -342,11 +385,24 @@ impl<N: NodeLogic> Simulator<N> {
     }
 
     fn flush(&mut self, ctx: Ctx<N::Msg>) {
-        let Ctx { node, outbox, timers, .. } = ctx;
+        let Ctx {
+            node,
+            outbox,
+            timers,
+            ..
+        } = ctx;
         for (to, msg, bytes) in outbox {
             self.metrics.record_send(node, to, bytes);
             let at = self.arrival_time(node, to, bytes);
-            self.push(at, EventKind::Deliver { from: node, to, msg, bytes });
+            self.push(
+                at,
+                EventKind::Deliver {
+                    from: node,
+                    to,
+                    msg,
+                    bytes,
+                },
+            );
         }
         for (delay, timer) in timers {
             self.push(self.now_us + delay, EventKind::Timer { node, timer });
@@ -366,7 +422,10 @@ mod tests {
 
     impl Echo {
         fn new() -> Self {
-            Echo { received: Vec::new(), failures: Vec::new() }
+            Echo {
+                received: Vec::new(),
+                failures: Vec::new(),
+            }
         }
     }
 
@@ -404,7 +463,11 @@ mod tests {
 
     #[test]
     fn transfer_time_includes_bandwidth() {
-        let spec = LinkSpec { latency_us: 1_000, bytes_per_ms: 100, up: true };
+        let spec = LinkSpec {
+            latency_us: 1_000,
+            bytes_per_ms: 100,
+            up: true,
+        };
         // 50 bytes at 100 B/ms = 500 µs + 1000 µs latency.
         assert_eq!(spec.transfer_us(50), 1_500);
         assert_eq!(spec.transfer_us(0), 1_000);
@@ -416,7 +479,11 @@ mod tests {
         sim.set_link(
             NodeId(0),
             NodeId(1),
-            LinkSpec { latency_us: 1_000_000, bytes_per_ms: 1, up: true },
+            LinkSpec {
+                latency_us: 1_000_000,
+                bytes_per_ms: 1,
+                up: true,
+            },
         );
         sim.inject(NodeId(0), NodeId(1), 0, 1_000);
         sim.run_to_quiescence();
@@ -497,7 +564,11 @@ mod tests {
             sim.set_link(
                 NodeId(0),
                 NodeId(1),
-                LinkSpec { latency_us: 10_000, bytes_per_ms: 1, up: true },
+                LinkSpec {
+                    latency_us: 10_000,
+                    bytes_per_ms: 1,
+                    up: true,
+                },
             );
             sim.inject(NodeId(0), NodeId(1), 0, 1_000);
             sim.inject(NodeId(0), NodeId(1), 0, 1_000);
@@ -534,7 +605,11 @@ mod tests {
             let mut sim = two_nodes();
             sim.inject(NodeId(0), NodeId(1), 20, 64);
             sim.run_to_quiescence();
-            (sim.now_us(), sim.metrics().total_messages(), sim.metrics().total_bytes())
+            (
+                sim.now_us(),
+                sim.metrics().total_messages(),
+                sim.metrics().total_bytes(),
+            )
         };
         assert_eq!(run(), run());
     }

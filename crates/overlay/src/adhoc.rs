@@ -7,11 +7,11 @@
 //! forwarded and filled downstream (interleaved routing and processing).
 
 use sqpeer_exec::{node_of, BaseKind, Msg, PeerConfig, PeerMode, PeerNode, QueryId, QueryOutcome};
-use sqpeer_rvl::VirtualBase;
 use sqpeer_net::{LinkSpec, Simulator};
 use sqpeer_rdfs::Schema;
 use sqpeer_routing::{PeerId, Topology};
 use sqpeer_rql::{compile, QueryPattern, RqlError};
+use sqpeer_rvl::VirtualBase;
 use sqpeer_store::DescriptionBase;
 use std::sync::Arc;
 
@@ -31,7 +31,10 @@ impl AdhocBuilder {
     pub fn new(schema: Arc<Schema>, discovery_depth: u32) -> Self {
         AdhocBuilder {
             schema,
-            config: PeerConfig { mode: PeerMode::Adhoc, ..PeerConfig::default() },
+            config: PeerConfig {
+                mode: PeerMode::Adhoc,
+                ..PeerConfig::default()
+            },
             default_link: LinkSpec::default(),
             bases: Vec::new(),
             links: Vec::new(),
@@ -41,7 +44,10 @@ impl AdhocBuilder {
 
     /// Overrides the peer configuration template.
     pub fn config(mut self, config: PeerConfig) -> Self {
-        self.config = PeerConfig { mode: PeerMode::Adhoc, ..config };
+        self.config = PeerConfig {
+            mode: PeerMode::Adhoc,
+            ..config
+        };
         self
     }
 
@@ -84,7 +90,14 @@ impl AdhocBuilder {
     /// runs the pull-based discovery protocol (one costed `RequestAds` /
     /// `AdsResponse` round trip per neighbourhood member) and quiesces.
     pub fn build(self) -> AdhocNetwork {
-        let AdhocBuilder { schema, config, default_link, bases, links, discovery_depth } = self;
+        let AdhocBuilder {
+            schema,
+            config,
+            default_link,
+            bases,
+            links,
+            discovery_depth,
+        } = self;
         let mut sim: Simulator<PeerNode> = Simulator::new(default_link);
         let mut topology = Topology::new();
 
@@ -115,7 +128,14 @@ impl AdhocBuilder {
         let client = PeerId(count);
         sim.add_node(node_of(client), PeerNode::client(client));
 
-        let mut net = AdhocNetwork { sim, schema, topology, peer_count: count, client, next_qid: 0 };
+        let mut net = AdhocNetwork {
+            sim,
+            schema,
+            topology,
+            peer_count: count,
+            client,
+            next_qid: 0,
+        };
         // Pull-based discovery.
         for i in 0..count {
             net.discover(PeerId(i), discovery_depth);
@@ -188,7 +208,8 @@ impl AdhocNetwork {
         self.next_qid += 1;
         let msg = Msg::ClientQuery { qid, query };
         let bytes = msg.wire_size();
-        self.sim.inject(node_of(self.client), node_of(at), msg, bytes);
+        self.sim
+            .inject(node_of(self.client), node_of(at), msg, bytes);
         qid
     }
 
@@ -204,7 +225,8 @@ impl AdhocNetwork {
         self.next_qid += 1;
         let msg = Msg::ExecutePlan { qid, query, plan };
         let bytes = msg.wire_size();
-        self.sim.inject(node_of(self.client), node_of(at), msg, bytes);
+        self.sim
+            .inject(node_of(self.client), node_of(at), msg, bytes);
         qid
     }
 
@@ -215,7 +237,15 @@ impl AdhocNetwork {
 
     /// The outcome of `qid` at its root peer `at`.
     pub fn outcome(&self, at: PeerId, qid: QueryId) -> Option<&QueryOutcome> {
-        self.sim.node(node_of(at)).and_then(|n| n.outcomes.get(&qid))
+        self.sim
+            .node(node_of(at))
+            .and_then(|n| n.outcomes.get(&qid))
+    }
+
+    /// The routing/plan cache counters of peer `at` (None if the peer is
+    /// down or caching is disabled).
+    pub fn cache_stats(&self, at: PeerId) -> Option<sqpeer_exec::CacheStats> {
+        self.sim.node(node_of(at)).and_then(|n| n.cache_stats())
     }
 
     /// All peer bases (for oracle construction).
@@ -265,6 +295,34 @@ mod tests {
         db
     }
 
+    /// Ad-hoc mode routes locally at the querying peer — its own cache
+    /// warms across repeated queries, with identical answers.
+    #[test]
+    fn adhoc_repeated_queries_warm_local_cache() {
+        let schema = fig1_schema();
+        let mut b = AdhocBuilder::new(Arc::clone(&schema), 1);
+        let p1 = b.add_peer(base_with(&schema, &[]));
+        let p2 = b.add_peer(base_with(&schema, &[("a", "prop1", "b")]));
+        b.link(p1, p2);
+        let mut net = b.build();
+
+        let query = net.compile("SELECT X, Y FROM {X}prop1{Y}").unwrap();
+        let qid0 = net.query(p1, query.clone());
+        net.run();
+        let cold = net.outcome(p1, qid0).expect("completed").result.clone();
+
+        let qid1 = net.query(p1, query);
+        net.run();
+        let warm = net.outcome(p1, qid1).expect("completed").result.clone();
+        assert_eq!(warm.sorted(), cold.sorted());
+
+        let stats = net.cache_stats(p1).expect("caching on by default");
+        assert!(
+            stats.hits >= 1,
+            "repeat must hit the routing cache: {stats:?}"
+        );
+    }
+
     /// The Figure 7 scenario: P1 knows P2, P3, P4; only P5 (known to P2)
     /// can answer Q2; the query completes through interleaved routing.
     #[test]
@@ -288,14 +346,20 @@ mod tests {
         assert!(p1_node.registry.get(p5).is_none());
         assert!(p1_node.registry.get(p2).is_some());
 
-        let query = net.compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}").unwrap();
+        let query = net
+            .compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}")
+            .unwrap();
         let qid = net.query(p1, query.clone());
         net.run();
 
         let outcome = net.outcome(p1, qid).expect("completed").clone();
         let oracle = oracle_base(&schema, net.bases());
         let expected = oracle_answer(&oracle, &query);
-        assert_eq!(outcome.result.clone().sorted(), expected, "hole filled through P2/P5");
+        assert_eq!(
+            outcome.result.clone().sorted(),
+            expected,
+            "hole filled through P2/P5"
+        );
         assert_eq!(outcome.result.len(), 2);
     }
 
@@ -313,10 +377,22 @@ mod tests {
         };
         // Depth 2: P1 knows P5 directly; no interleaving needed.
         let (net2, p1, p5) = build(2);
-        assert!(net2.sim().node(node_of(p1)).unwrap().registry.get(p5).is_some());
+        assert!(net2
+            .sim()
+            .node(node_of(p1))
+            .unwrap()
+            .registry
+            .get(p5)
+            .is_some());
         // Depth 1: P1 does not know P5.
         let (net1, p1, p5) = build(1);
-        assert!(net1.sim().node(node_of(p1)).unwrap().registry.get(p5).is_none());
+        assert!(net1
+            .sim()
+            .node(node_of(p1))
+            .unwrap()
+            .registry
+            .get(p5)
+            .is_none());
     }
 
     #[test]
@@ -328,7 +404,9 @@ mod tests {
         b.link(p1, p2);
         let mut net = b.build();
         // Nobody anywhere holds prop2.
-        let query = net.compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}").unwrap();
+        let query = net
+            .compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}")
+            .unwrap();
         let qid = net.query(p1, query);
         net.run();
         let outcome = net.outcome(p1, qid).expect("completed");
@@ -355,7 +433,9 @@ mod tests {
                 subject_column: "src".into(),
                 subject_prefix: "http://legacy/".into(),
                 object_column: "dst".into(),
-                object: ColumnMapping::Resource { prefix: "http://legacy/".into() },
+                object: ColumnMapping::Resource {
+                    prefix: "http://legacy/".into(),
+                },
                 property: p1_prop,
             }],
         );
@@ -397,7 +477,9 @@ mod tests {
                 subject: ValueSource::Attribute("id".into()),
                 subject_prefix: "http://xml/".into(),
                 object: ValueSource::ChildText("rel".into()),
-                object_kind: ColumnMapping::Resource { prefix: "http://xml/".into() },
+                object_kind: ColumnMapping::Resource {
+                    prefix: "http://xml/".into(),
+                },
                 property: prop1,
             }],
         );

@@ -7,11 +7,11 @@
 //! other."
 
 use sqpeer_exec::{node_of, BaseKind, Msg, PeerConfig, PeerMode, PeerNode, QueryId, QueryOutcome};
-use sqpeer_rvl::VirtualBase;
 use sqpeer_net::{LinkSpec, NodeId, Simulator};
 use sqpeer_rdfs::Schema;
 use sqpeer_routing::PeerId;
 use sqpeer_rql::{compile, QueryPattern, RqlError};
+use sqpeer_rvl::VirtualBase;
 use sqpeer_store::DescriptionBase;
 use std::sync::Arc;
 
@@ -30,7 +30,10 @@ impl HybridBuilder {
     pub fn new(schema: Arc<Schema>, super_count: u32) -> Self {
         HybridBuilder {
             schema,
-            config: PeerConfig { mode: PeerMode::Hybrid, ..PeerConfig::default() },
+            config: PeerConfig {
+                mode: PeerMode::Hybrid,
+                ..PeerConfig::default()
+            },
             default_link: LinkSpec::default(),
             super_count: super_count.max(1),
             bases: Vec::new(),
@@ -39,7 +42,10 @@ impl HybridBuilder {
 
     /// Overrides the peer configuration template.
     pub fn config(mut self, config: PeerConfig) -> Self {
-        self.config = PeerConfig { mode: PeerMode::Hybrid, ..config };
+        self.config = PeerConfig {
+            mode: PeerMode::Hybrid,
+            ..config
+        };
         self
     }
 
@@ -79,7 +85,13 @@ impl HybridBuilder {
     /// every peer's advertisement to its super-peer (as real, costed
     /// messages) and runs to quiescence.
     pub fn build(self) -> HybridNetwork {
-        let HybridBuilder { schema, config, default_link, super_count, bases } = self;
+        let HybridBuilder {
+            schema,
+            config,
+            default_link,
+            super_count,
+            bases,
+        } = self;
         let mut sim: Simulator<PeerNode> = Simulator::new(default_link);
 
         let super_ids: Vec<PeerId> = (0..super_count).map(PeerId).collect();
@@ -181,7 +193,8 @@ impl HybridNetwork {
         self.next_qid += 1;
         let msg = Msg::ClientQuery { qid, query };
         let bytes = msg.wire_size();
-        self.sim.inject(node_of(self.client), node_of(at), msg, bytes);
+        self.sim
+            .inject(node_of(self.client), node_of(at), msg, bytes);
         qid
     }
 
@@ -197,7 +210,8 @@ impl HybridNetwork {
         self.next_qid += 1;
         let msg = Msg::ExecutePlan { qid, query, plan };
         let bytes = msg.wire_size();
-        self.sim.inject(node_of(self.client), node_of(at), msg, bytes);
+        self.sim
+            .inject(node_of(self.client), node_of(at), msg, bytes);
         qid
     }
 
@@ -208,7 +222,15 @@ impl HybridNetwork {
 
     /// The outcome of `qid` at its root peer `at`.
     pub fn outcome(&self, at: PeerId, qid: QueryId) -> Option<&QueryOutcome> {
-        self.sim.node(node_of(at)).and_then(|n| n.outcomes.get(&qid))
+        self.sim
+            .node(node_of(at))
+            .and_then(|n| n.outcomes.get(&qid))
+    }
+
+    /// The routing/plan cache counters of peer `at` (None if the peer is
+    /// down or caching is disabled).
+    pub fn cache_stats(&self, at: PeerId) -> Option<sqpeer_exec::CacheStats> {
+        self.sim.node(node_of(at)).and_then(|n| n.cache_stats())
     }
 
     /// All peer bases (for oracle construction).
@@ -232,7 +254,9 @@ impl HybridNetwork {
     /// advertisement to its super-peer (the update protocol behind E9's
     /// churn accounting). No-op for virtual or absent bases.
     pub fn update_peer_base(&mut self, peer: PeerId, f: impl FnOnce(&mut DescriptionBase)) {
-        let Some(node) = self.sim.node_mut(peer_node(peer)) else { return };
+        let Some(node) = self.sim.node_mut(peer_node(peer)) else {
+            return;
+        };
         if let sqpeer_exec::BaseKind::Materialized(db) = &mut node.base {
             f(db);
         } else {
@@ -274,8 +298,8 @@ fn peer_node(p: PeerId) -> NodeId {
 mod tests {
     use super::*;
     use crate::oracle::{oracle_answer, oracle_base};
-    use sqpeer_rdfs::{Range, Resource, Triple};
     use sqpeer_rdfs::SchemaBuilder;
+    use sqpeer_rdfs::{Range, Resource, Triple};
 
     pub(crate) fn fig1_schema() -> Arc<Schema> {
         let mut b = SchemaBuilder::new("n1", "http://example.org/n1#");
@@ -319,11 +343,17 @@ mod tests {
 
         // Super-peer 0 holds every advertisement after the push phase.
         assert_eq!(
-            net.sim().node(node_of(net.super_peers()[0])).unwrap().registry.len(),
+            net.sim()
+                .node(node_of(net.super_peers()[0]))
+                .unwrap()
+                .registry
+                .len(),
             5
         );
 
-        let query = net.compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}").unwrap();
+        let query = net
+            .compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}")
+            .unwrap();
         let origin = net.peers()[0]; // P1 receives the client query
         let qid = net.query(origin, query.clone());
         net.run();
@@ -338,7 +368,10 @@ mod tests {
 
         // P2, P3 and P5 each processed a subquery.
         for p in [p2, p3, p5] {
-            assert!(net.sim().node(node_of(p)).unwrap().queries_processed >= 1, "{p}");
+            assert!(
+                net.sim().node(node_of(p)).unwrap().queries_processed >= 1,
+                "{p}"
+            );
         }
     }
 
@@ -391,10 +424,14 @@ mod tests {
     fn class_queries_answered_locally() {
         let schema = fig1_schema();
         let mut b = HybridBuilder::new(Arc::clone(&schema), 1);
-        let origin =
-            b.add_peer(base_with(&schema, &[("http://o/a", "prop4", "http://o/b")]), 0);
-        let _other =
-            b.add_peer(base_with(&schema, &[("http://x/c", "prop4", "http://x/d")]), 0);
+        let origin = b.add_peer(
+            base_with(&schema, &[("http://o/a", "prop4", "http://o/b")]),
+            0,
+        );
+        let _other = b.add_peer(
+            base_with(&schema, &[("http://x/c", "prop4", "http://x/d")]),
+            0,
+        );
         let mut net = b.build();
         let query = net.compile("SELECT X FROM {X;C5}").unwrap();
         let qid = net.query(origin, query);
@@ -420,7 +457,10 @@ mod tests {
         let _c = b.add_peer(
             base_with(
                 &schema,
-                &[("http://x/3", "prop1", "http://y/3"), ("http://x/2", "prop1", "http://y/2")],
+                &[
+                    ("http://x/3", "prop1", "http://y/3"),
+                    ("http://x/2", "prop1", "http://y/2"),
+                ],
             ),
             0,
         );
@@ -434,6 +474,80 @@ mod tests {
         assert_eq!(outcome.result.len(), 2);
         assert_eq!(outcome.result.rows[0][0].to_string(), "&http://x/3");
         assert_eq!(outcome.result.rows[1][0].to_string(), "&http://x/2");
+    }
+
+    /// Repeated identical queries hit the super-peer's routing cache; the
+    /// answers stay identical to the cold run.
+    #[test]
+    fn repeated_queries_hit_routing_cache() {
+        let schema = fig1_schema();
+        let mut b = HybridBuilder::new(Arc::clone(&schema), 1);
+        let origin = b.add_peer(base_with(&schema, &[]), 0);
+        let _p2 = b.add_peer(base_with(&schema, &[("a", "prop1", "b")]), 0);
+        let _p5 = b.add_peer(base_with(&schema, &[("b", "prop2", "d")]), 0);
+        let mut net = b.build();
+
+        let query = net
+            .compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}")
+            .unwrap();
+        let qid0 = net.query(origin, query.clone());
+        net.run();
+        let cold = net.outcome(origin, qid0).expect("completed").result.clone();
+
+        let qid1 = net.query(origin, query);
+        net.run();
+        let warm = net.outcome(origin, qid1).expect("completed").result.clone();
+        assert_eq!(warm.sorted(), cold.sorted());
+
+        // Routing is memoised at the super-peer (the routing service);
+        // plans at the query root, where generation runs.
+        let sp_stats = net
+            .cache_stats(net.super_peers()[0])
+            .expect("caching on by default");
+        assert!(
+            sp_stats.hits >= 2,
+            "second routing pass must hit: {sp_stats:?}"
+        );
+        let root_stats = net.cache_stats(origin).unwrap();
+        assert!(
+            root_stats.plan_hits >= 1,
+            "second plan must come cached: {root_stats:?}"
+        );
+    }
+
+    /// Advertisement churn between queries invalidates cached routing
+    /// state, and the post-churn answer reflects the new base content.
+    #[test]
+    fn churn_invalidates_routing_cache() {
+        let schema = fig1_schema();
+        let mut b = HybridBuilder::new(Arc::clone(&schema), 1);
+        let origin = b.add_peer(base_with(&schema, &[]), 0);
+        let holder = b.add_peer(base_with(&schema, &[("a", "prop1", "b")]), 0);
+        let joiner = b.add_peer(base_with(&schema, &[]), 0);
+        let mut net = b.build();
+
+        let query = net.compile("SELECT X, Y FROM {X}prop1{Y}").unwrap();
+        let qid0 = net.query(origin, query.clone());
+        net.run();
+        assert_eq!(net.outcome(origin, qid0).unwrap().result.len(), 1);
+
+        // A previously-empty peer starts holding prop1 data and
+        // re-advertises: its active-schema changes, so the cached
+        // annotation for prop1 is stale and must be recomputed.
+        net.update_peer_base(joiner, |db| {
+            let prop = db.schema().property_by_name("prop1").unwrap();
+            db.insert_described(Triple::new(Resource::new("c"), prop, Resource::new("d")));
+        });
+        net.run();
+
+        let qid1 = net.query(origin, query);
+        net.run();
+        let outcome = net.outcome(origin, qid1).expect("completed");
+        assert_eq!(outcome.result.len(), 2, "the joiner's row must appear");
+
+        let stats = net.cache_stats(net.super_peers()[0]).unwrap();
+        assert!(stats.invalidations >= 1, "churn must invalidate: {stats:?}");
+        let _ = holder;
     }
 
     /// §3.1 mediation: a query in a global schema answered by peers whose
@@ -452,7 +566,9 @@ mod tests {
         let mut lb = SchemaBuilder::new("l", "http://local#");
         let book = lb.class("Book").unwrap();
         let writer = lb.class("Writer").unwrap();
-        let written_by = lb.property("writtenBy", book, Range::Class(writer)).unwrap();
+        let written_by = lb
+            .property("writtenBy", book, Range::Class(writer))
+            .unwrap();
         let local = Arc::new(lb.finish().unwrap());
 
         // A peer holding *local*-schema data inside a network whose
@@ -475,13 +591,21 @@ mod tests {
             .finish()
             .unwrap();
         let sp = net.super_peers()[0];
-        net.sim_mut().node_mut(node_of(sp)).unwrap().articulations.push(art);
+        net.sim_mut()
+            .node_mut(node_of(sp))
+            .unwrap()
+            .articulations
+            .push(art);
 
         let query = net.compile("SELECT D, P FROM {D}g:author{P}").unwrap();
         let qid = net.query(origin, query);
         net.run();
         let outcome = net.outcome(origin, qid).expect("completed");
-        assert_eq!(outcome.result.len(), 1, "mediated answer from the local-schema peer");
+        assert_eq!(
+            outcome.result.len(),
+            1,
+            "mediated answer from the local-schema peer"
+        );
         assert_eq!(outcome.result.columns, vec!["D", "P"]);
         assert!(!outcome.partial);
         let _ = holder;
@@ -523,13 +647,24 @@ mod tests {
         let mut net = b.build();
         // Both super-peers know the leaver (backbone replication).
         for &sp in net.super_peers() {
-            assert!(net.sim().node(node_of(sp)).unwrap().registry.get(leaver).is_some());
+            assert!(net
+                .sim()
+                .node(node_of(sp))
+                .unwrap()
+                .registry
+                .get(leaver)
+                .is_some());
         }
         net.leave_peer(leaver);
         net.run();
         for &sp in net.super_peers() {
             assert!(
-                net.sim().node(node_of(sp)).unwrap().registry.get(leaver).is_none(),
+                net.sim()
+                    .node(node_of(sp))
+                    .unwrap()
+                    .registry
+                    .get(leaver)
+                    .is_none(),
                 "withdrawal must replicate to {sp}"
             );
         }

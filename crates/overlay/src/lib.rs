@@ -42,7 +42,11 @@ pub fn cost_model_of(sim: &Simulator<PeerNode>, peers: &[PeerId]) -> UniformCost
         for &b in peers.iter().skip(i + 1) {
             let spec = sim.link(NodeId(a.0), NodeId(b.0));
             if spec != default {
-                let per_byte = if spec.up { 1.0 / spec.bytes_per_ms.max(1) as f64 } else { 1e9 };
+                let per_byte = if spec.up {
+                    1.0 / spec.bytes_per_ms.max(1) as f64
+                } else {
+                    1e9
+                };
                 cost.set_link(a, b, per_byte);
             }
         }

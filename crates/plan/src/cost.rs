@@ -24,7 +24,10 @@ pub struct CostParams {
 
 impl Default for CostParams {
     fn default() -> Self {
-        CostParams { default_property_card: 100.0, tuple_bytes: 48.0 }
+        CostParams {
+            default_property_card: 100.0,
+            tuple_bytes: 48.0,
+        }
     }
 }
 
@@ -38,7 +41,10 @@ pub struct Estimator {
 impl Estimator {
     /// Creates an estimator with the given parameters.
     pub fn new(params: CostParams) -> Self {
-        Estimator { stats: HashMap::new(), params }
+        Estimator {
+            stats: HashMap::new(),
+            params,
+        }
     }
 
     /// Registers a peer's statistics snapshot (shipped with its
@@ -69,7 +75,10 @@ impl Estimator {
                     let ps = s.property_closed(pattern.property);
                     (ps.triples as f64, ps.distinct_subjects.max(1) as f64)
                 }
-                None => (self.params.default_property_card, self.params.default_property_card),
+                None => (
+                    self.params.default_property_card,
+                    self.params.default_property_card,
+                ),
             };
             card = Some(match card {
                 None => triples,
@@ -132,13 +141,22 @@ impl Estimator {
             }
             PlanNode::Union(inputs) => {
                 // The union is merged at the destination.
-                inputs.iter().map(|i| self.transfer_bytes_to(i, dest, seen)).sum()
+                inputs
+                    .iter()
+                    .map(|i| self.transfer_bytes_to(i, dest, seen))
+                    .sum()
             }
             PlanNode::Join { inputs, site } => {
                 let at = site.map(Site::Peer).unwrap_or(dest);
-                let inbound: f64 =
-                    inputs.iter().map(|i| self.transfer_bytes_to(i, at, seen)).sum();
-                let outbound = if at == dest { 0.0 } else { self.plan_bytes(plan) };
+                let inbound: f64 = inputs
+                    .iter()
+                    .map(|i| self.transfer_bytes_to(i, at, seen))
+                    .sum();
+                let outbound = if at == dest {
+                    0.0
+                } else {
+                    self.plan_bytes(plan)
+                };
                 inbound + outbound
             }
         }
@@ -178,7 +196,12 @@ impl Default for UniformCost {
 impl UniformCost {
     /// Creates a model with uniform per-byte and per-tuple costs.
     pub fn new(per_byte: f64, per_tuple: f64) -> Self {
-        UniformCost { per_byte, per_tuple, link_overrides: HashMap::new(), load: HashMap::new() }
+        UniformCost {
+            per_byte,
+            per_tuple,
+            link_overrides: HashMap::new(),
+            load: HashMap::new(),
+        }
     }
 
     /// Overrides the per-byte cost of one (undirected) link.
@@ -199,9 +222,11 @@ impl NetworkCost for UniformCost {
             return 0.0;
         }
         let per_byte = match (from, to) {
-            (Site::Peer(a), Site::Peer(b)) => {
-                self.link_overrides.get(&(a, b)).copied().unwrap_or(self.per_byte)
-            }
+            (Site::Peer(a), Site::Peer(b)) => self
+                .link_overrides
+                .get(&(a, b))
+                .copied()
+                .unwrap_or(self.per_byte),
             // Transfers involving holes are charged at the default rate.
             _ => self.per_byte,
         };
@@ -221,8 +246,8 @@ impl NetworkCost for UniformCost {
 mod tests {
     use super::*;
     use sqpeer_rdfs::{Range, Schema, SchemaBuilder};
-    use sqpeer_store::DescriptionBase;
     use sqpeer_rql::compile;
+    use sqpeer_store::DescriptionBase;
     use std::sync::Arc;
 
     fn schema() -> Arc<Schema> {
@@ -250,7 +275,10 @@ mod tests {
 
     fn fetch(schema: &Arc<Schema>, src: &str, site: Site) -> PlanNode {
         PlanNode::Fetch {
-            subquery: Subquery { covers: vec![0], query: compile(src, schema).unwrap() },
+            subquery: Subquery {
+                covers: vec![0],
+                query: compile(src, schema).unwrap(),
+            },
             site,
         }
     }
@@ -340,10 +368,22 @@ mod tests {
         let mut c = UniformCost::new(1.0, 1.0);
         c.set_link(PeerId(1), PeerId(2), 5.0);
         c.set_load(PeerId(3), 4.0);
-        assert_eq!(c.transfer(Site::Peer(PeerId(1)), Site::Peer(PeerId(2)), 2.0), 10.0);
-        assert_eq!(c.transfer(Site::Peer(PeerId(2)), Site::Peer(PeerId(1)), 2.0), 10.0);
-        assert_eq!(c.transfer(Site::Peer(PeerId(1)), Site::Peer(PeerId(3)), 2.0), 2.0);
-        assert_eq!(c.transfer(Site::Peer(PeerId(1)), Site::Peer(PeerId(1)), 99.0), 0.0);
+        assert_eq!(
+            c.transfer(Site::Peer(PeerId(1)), Site::Peer(PeerId(2)), 2.0),
+            10.0
+        );
+        assert_eq!(
+            c.transfer(Site::Peer(PeerId(2)), Site::Peer(PeerId(1)), 2.0),
+            10.0
+        );
+        assert_eq!(
+            c.transfer(Site::Peer(PeerId(1)), Site::Peer(PeerId(3)), 2.0),
+            2.0
+        );
+        assert_eq!(
+            c.transfer(Site::Peer(PeerId(1)), Site::Peer(PeerId(1)), 99.0),
+            0.0
+        );
         assert_eq!(c.processing(Site::Peer(PeerId(3)), 2.0), 8.0);
         assert_eq!(c.processing(Site::Peer(PeerId(1)), 2.0), 2.0);
     }

@@ -3,6 +3,27 @@
 use crate::node::{PlanNode, Site, Subquery};
 use sqpeer_routing::AnnotatedQuery;
 use sqpeer_rql::{PathPattern, QueryPattern};
+use std::hash::{Hash, Hasher};
+
+/// A 64-bit fingerprint of an annotated query, covering the query text and
+/// every (pattern, peer, kind, rewritten pattern) annotation. Two
+/// annotated queries that fingerprint differently always differ; the plan
+/// cache (`sqpeer-cache`) uses this as its key, confirming hits with a
+/// full [`AnnotatedQuery`] comparison so hash collisions can never
+/// resurrect a wrong plan.
+pub fn annotated_fingerprint(annotated: &AnnotatedQuery) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    annotated.query().to_string().hash(&mut h);
+    for i in 0..annotated.query().patterns().len() {
+        0xa5a5_a5a5u32.hash(&mut h); // pattern separator
+        for ann in annotated.peers_for(i) {
+            ann.peer.0.hash(&mut h);
+            (ann.kind as u8).hash(&mut h);
+            ann.pattern.hash(&mut h);
+        }
+    }
+    h.finish()
+}
 
 /// Builds the executable single-pattern subquery for path pattern `index`
 /// of `query`, substituting the (possibly peer-rewritten) `pattern`.
@@ -43,11 +64,7 @@ pub fn generate_plan(annotated: &AnnotatedQuery) -> PlanNode {
     build(annotated, &tree, tree.order[0])
 }
 
-fn build(
-    annotated: &AnnotatedQuery,
-    tree: &sqpeer_rql::JoinTree,
-    pattern_idx: usize,
-) -> PlanNode {
+fn build(annotated: &AnnotatedQuery, tree: &sqpeer_rql::JoinTree, pattern_idx: usize) -> PlanNode {
     let query = annotated.query();
     let annotations = annotated.peers_for(pattern_idx);
 
@@ -56,11 +73,7 @@ fn build(
         PlanNode::Fetch {
             subquery: Subquery {
                 covers: vec![pattern_idx],
-                query: single_pattern_subquery(
-                    query,
-                    pattern_idx,
-                    &query.patterns()[pattern_idx],
-                ),
+                query: single_pattern_subquery(query, pattern_idx, &query.patterns()[pattern_idx]),
             },
             site: Site::Hole,
         }
@@ -218,7 +231,11 @@ mod tests {
         let plan = generate_plan(&annotated);
         let mut found = false;
         plan.visit(&mut |n| {
-            if let PlanNode::Fetch { subquery, site: Site::Peer(PeerId(4)) } = n {
+            if let PlanNode::Fetch {
+                subquery,
+                site: Site::Peer(PeerId(4)),
+            } = n
+            {
                 if subquery.covers == vec![0] {
                     found = true;
                     assert_eq!(
@@ -238,8 +255,11 @@ mod tests {
         let sub = single_pattern_subquery(&q, 0, &q.patterns()[0]);
         // Even though the query projects only X, the shipped subquery keeps
         // Y so the join above can use it.
-        let names: Vec<_> =
-            sub.projection().iter().map(|&v| sub.var_name(v).to_string()).collect();
+        let names: Vec<_> = sub
+            .projection()
+            .iter()
+            .map(|&v| sub.var_name(v).to_string())
+            .collect();
         assert_eq!(names, vec!["X", "Y"]);
     }
 

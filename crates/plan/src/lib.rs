@@ -23,7 +23,7 @@ pub mod node;
 pub mod optimize;
 
 pub use cost::{CostParams, Estimator, NetworkCost, UniformCost};
-pub use generate::{generate_plan, single_pattern_subquery};
+pub use generate::{annotated_fingerprint, generate_plan, single_pattern_subquery};
 pub use node::{PlanNode, Site, Subquery};
 pub use optimize::{
     assign_sites, distribute_joins, flatten_joins, merge_same_peer, optimize, OptimizeReport,

@@ -88,7 +88,9 @@ impl PlanNode {
     /// Number of `Fetch` leaves with unknown site — the plan's holes.
     pub fn hole_count(&self) -> usize {
         match self {
-            PlanNode::Fetch { site: Site::Hole, .. } => 1,
+            PlanNode::Fetch {
+                site: Site::Hole, ..
+            } => 1,
             PlanNode::Fetch { .. } => 0,
             PlanNode::Union(inputs) | PlanNode::Join { inputs, .. } => {
                 inputs.iter().map(PlanNode::hole_count).sum()
@@ -113,7 +115,10 @@ impl PlanNode {
 
     fn collect_peers(&self, out: &mut Vec<PeerId>) {
         match self {
-            PlanNode::Fetch { site: Site::Peer(p), .. } => out.push(*p),
+            PlanNode::Fetch {
+                site: Site::Peer(p),
+                ..
+            } => out.push(*p),
             PlanNode::Fetch { .. } => {}
             PlanNode::Union(inputs) => {
                 for i in inputs {
@@ -222,11 +227,17 @@ mod tests {
         let c2 = b.class("C2").unwrap();
         let _ = b.property("p", c1, Range::Class(c2)).unwrap();
         let s = Arc::new(b.finish().unwrap());
-        Subquery { covers, query: compile("SELECT X, Y FROM {X}p{Y}", &s).unwrap() }
+        Subquery {
+            covers,
+            query: compile("SELECT X, Y FROM {X}p{Y}", &s).unwrap(),
+        }
     }
 
     fn fetch(covers: Vec<usize>, site: Site) -> PlanNode {
-        PlanNode::Fetch { subquery: sample_subquery(covers), site }
+        PlanNode::Fetch {
+            subquery: sample_subquery(covers),
+            site,
+        }
     }
 
     #[test]
@@ -271,7 +282,11 @@ mod tests {
             fetch(vec![1], Site::Hole),
         ]);
         let filled = plan.map_fetches(&mut |sq, site| {
-            let site = if site == Site::Hole { Site::Peer(PeerId(9)) } else { site };
+            let site = if site == Site::Hole {
+                Site::Peer(PeerId(9))
+            } else {
+                site
+            };
             PlanNode::Fetch { subquery: sq, site }
         });
         assert!(filled.is_complete());

@@ -15,7 +15,10 @@ pub fn flatten_joins(plan: PlanNode) -> PlanNode {
             let mut flat = Vec::new();
             for input in inputs {
                 match flatten_joins(input) {
-                    PlanNode::Join { inputs: nested, site: None } => flat.extend(nested),
+                    PlanNode::Join {
+                        inputs: nested,
+                        site: None,
+                    } => flat.extend(nested),
                     other => flat.push(other),
                 }
             }
@@ -25,12 +28,11 @@ pub fn flatten_joins(plan: PlanNode) -> PlanNode {
                 PlanNode::join(flat)
             }
         }
-        PlanNode::Join { inputs, site } => {
-            PlanNode::Join { inputs: inputs.into_iter().map(flatten_joins).collect(), site }
-        }
-        PlanNode::Union(inputs) => {
-            PlanNode::Union(inputs.into_iter().map(flatten_joins).collect())
-        }
+        PlanNode::Join { inputs, site } => PlanNode::Join {
+            inputs: inputs.into_iter().map(flatten_joins).collect(),
+            site,
+        },
+        PlanNode::Union(inputs) => PlanNode::Union(inputs.into_iter().map(flatten_joins).collect()),
         leaf => leaf,
     }
 }
@@ -59,7 +61,10 @@ pub fn distribute_joins(plan: PlanNode) -> PlanNode {
                 return PlanNode::Join { inputs: only, site };
             }
             PlanNode::Union(
-                combos.into_iter().map(|c| PlanNode::Join { inputs: c, site }).collect(),
+                combos
+                    .into_iter()
+                    .map(|c| PlanNode::Join { inputs: c, site })
+                    .collect(),
             )
         }
         PlanNode::Union(inputs) => {
@@ -96,7 +101,10 @@ pub fn merge_same_peer(plan: PlanNode) -> PlanNode {
             let mut merged: Vec<PlanNode> = Vec::new();
             for input in inputs {
                 let mergeable = match &input {
-                    PlanNode::Fetch { site: Site::Peer(p), .. } => Some(*p),
+                    PlanNode::Fetch {
+                        site: Site::Peer(p),
+                        ..
+                    } => Some(*p),
                     _ => None,
                 };
                 match mergeable {
@@ -118,7 +126,10 @@ pub fn merge_same_peer(plan: PlanNode) -> PlanNode {
             if merged.len() == 1 {
                 merged.into_iter().next().expect("non-empty")
             } else {
-                PlanNode::Join { inputs: merged, site }
+                PlanNode::Join {
+                    inputs: merged,
+                    site,
+                }
             }
         }
         PlanNode::Union(inputs) => {
@@ -289,10 +300,20 @@ pub fn optimize(
     let (sited_gen, gen_cost) = assign_sites(plan1, initiator, estimator, net);
     let (sited_dist, dist_cost) = assign_sites(plan3, initiator, estimator, net);
     let distributed_won = dist_cost <= gen_cost;
-    let (best, cost) =
-        if distributed_won { (sited_dist, dist_cost) } else { (sited_gen, gen_cost) };
+    let (best, cost) = if distributed_won {
+        (sited_dist, dist_cost)
+    } else {
+        (sited_gen, gen_cost)
+    };
     snap(&mut stages, "plan 4 (shipping sites)", &best);
-    (best, OptimizeReport { stages, final_cost: cost, distributed_won })
+    (
+        best,
+        OptimizeReport {
+            stages,
+            final_cost: cost,
+            distributed_won,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -435,15 +456,23 @@ mod tests {
 
         let uniform = UniformCost::new(1.0, 0.001);
         let (sited, _) = assign_sites(plan.clone(), PeerId(1), &est, &uniform);
-        let PlanNode::Join { site, .. } = &sited else { panic!() };
+        let PlanNode::Join { site, .. } = &sited else {
+            panic!()
+        };
         assert_eq!(*site, Some(PeerId(1)), "uniform links → data shipping");
 
         let mut skewed = UniformCost::new(1.0, 0.001);
         skewed.set_link(PeerId(1), PeerId(3), 10.0);
         skewed.set_link(PeerId(2), PeerId(3), 0.1);
         let (sited, _) = assign_sites(plan, PeerId(1), &est, &skewed);
-        let PlanNode::Join { site, .. } = &sited else { panic!() };
-        assert_eq!(*site, Some(PeerId(2)), "expensive P1–P3 link → query shipping at P2");
+        let PlanNode::Join { site, .. } = &sited else {
+            panic!()
+        };
+        assert_eq!(
+            *site,
+            Some(PeerId(2)),
+            "expensive P1–P3 link → query shipping at P2"
+        );
     }
 
     #[test]
@@ -468,8 +497,14 @@ mod tests {
         // …but P2 is overloaded badly enough to outweigh the link saving.
         net.set_load(PeerId(2), 10_000.0);
         let (sited, _) = assign_sites(plan, PeerId(1), &est, &net);
-        let PlanNode::Join { site, .. } = &sited else { panic!() };
-        assert_ne!(*site, Some(PeerId(2)), "overloaded peer must not host the join");
+        let PlanNode::Join { site, .. } = &sited else {
+            panic!()
+        };
+        assert_ne!(
+            *site,
+            Some(PeerId(2)),
+            "overloaded peer must not host the join"
+        );
     }
 
     #[test]

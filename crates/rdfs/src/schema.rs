@@ -148,13 +148,19 @@ impl Schema {
     /// The qualified `prefix:Local` name of class `c`.
     pub fn class_qname(&self, c: ClassId) -> String {
         let def = self.class(c);
-        format!("{}:{}", self.namespaces[def.namespace.0 as usize].prefix, def.name)
+        format!(
+            "{}:{}",
+            self.namespaces[def.namespace.0 as usize].prefix, def.name
+        )
     }
 
     /// The qualified `prefix:local` name of property `p`.
     pub fn property_qname(&self, p: PropertyId) -> String {
         let def = self.property(p);
-        format!("{}:{}", self.namespaces[def.namespace.0 as usize].prefix, def.name)
+        format!(
+            "{}:{}",
+            self.namespaces[def.namespace.0 as usize].prefix, def.name
+        )
     }
 
     /// Reflexive subsumption test: does class `sub` ⊑ class `sup`?
@@ -169,22 +175,30 @@ impl Schema {
 
     /// All (reflexive, transitive) superclasses of `c`.
     pub fn superclasses(&self, c: ClassId) -> impl Iterator<Item = ClassId> + '_ {
-        self.class_ancestors[c.0 as usize].iter().map(|i| ClassId(i as u32))
+        self.class_ancestors[c.0 as usize]
+            .iter()
+            .map(|i| ClassId(i as u32))
     }
 
     /// All (reflexive, transitive) subclasses of `c`.
     pub fn subclasses(&self, c: ClassId) -> impl Iterator<Item = ClassId> + '_ {
-        self.class_descendants[c.0 as usize].iter().map(|i| ClassId(i as u32))
+        self.class_descendants[c.0 as usize]
+            .iter()
+            .map(|i| ClassId(i as u32))
     }
 
     /// All (reflexive, transitive) superproperties of `p`.
     pub fn superproperties(&self, p: PropertyId) -> impl Iterator<Item = PropertyId> + '_ {
-        self.prop_ancestors[p.0 as usize].iter().map(|i| PropertyId(i as u32))
+        self.prop_ancestors[p.0 as usize]
+            .iter()
+            .map(|i| PropertyId(i as u32))
     }
 
     /// All (reflexive, transitive) subproperties of `p`.
     pub fn subproperties(&self, p: PropertyId) -> impl Iterator<Item = PropertyId> + '_ {
-        self.prop_descendants[p.0 as usize].iter().map(|i| PropertyId(i as u32))
+        self.prop_descendants[p.0 as usize]
+            .iter()
+            .map(|i| PropertyId(i as u32))
     }
 
     /// The reflexive descendant bit set of class `c` (indices are raw
@@ -232,8 +246,11 @@ impl fmt::Display for Schema {
                 range
             )?;
             if !def.parents.is_empty() {
-                let parents: Vec<_> =
-                    def.parents.iter().map(|&q| self.property_qname(q)).collect();
+                let parents: Vec<_> = def
+                    .parents
+                    .iter()
+                    .map(|&q| self.property_qname(q))
+                    .collect();
                 write!(f, " SUBPROPERTYOF {}", parents.join(", "))?;
             }
             writeln!(f)?;
@@ -262,7 +279,10 @@ impl SchemaBuilder {
     /// namespace for subsequent definitions.
     pub fn new(prefix: &str, uri: &str) -> Self {
         SchemaBuilder {
-            namespaces: vec![NamespaceDecl { prefix: prefix.to_string(), uri: uri.to_string() }],
+            namespaces: vec![NamespaceDecl {
+                prefix: prefix.to_string(),
+                uri: uri.to_string(),
+            }],
             current_ns: NamespaceId(0),
             classes: Vec::new(),
             properties: Vec::new(),
@@ -277,7 +297,10 @@ impl SchemaBuilder {
             return Err(SchemaError::DuplicateNamespace(prefix.to_string()));
         }
         let id = NamespaceId(self.namespaces.len() as u16);
-        self.namespaces.push(NamespaceDecl { prefix: prefix.to_string(), uri: uri.to_string() });
+        self.namespaces.push(NamespaceDecl {
+            prefix: prefix.to_string(),
+            uri: uri.to_string(),
+        });
         self.current_ns = id;
         Ok(id)
     }
@@ -411,10 +434,9 @@ impl SchemaBuilder {
             .map(|c| c.parents.iter().map(|p| p.0 as usize).collect())
             .collect();
         let (class_anc, class_desc) = closure(&class_parents).map_err(|i| {
-            SchemaError::CyclicHierarchy(self.qname(
-                self.classes[i].namespace,
-                &self.classes[i].name,
-            ))
+            SchemaError::CyclicHierarchy(
+                self.qname(self.classes[i].namespace, &self.classes[i].name),
+            )
         })?;
 
         let prop_parents: Vec<Vec<usize>> = self
@@ -423,10 +445,9 @@ impl SchemaBuilder {
             .map(|p| p.parents.iter().map(|q| q.0 as usize).collect())
             .collect();
         let (prop_anc, prop_desc) = closure(&prop_parents).map_err(|i| {
-            SchemaError::CyclicHierarchy(self.qname(
-                self.properties[i].namespace,
-                &self.properties[i].name,
-            ))
+            SchemaError::CyclicHierarchy(
+                self.qname(self.properties[i].namespace, &self.properties[i].name),
+            )
         })?;
 
         // RQL refinement constraint: a subproperty's domain/range must be
@@ -624,7 +645,10 @@ mod tests {
         let unrelated = b.class("X").unwrap();
         let p1 = b.property("p", c1, Range::Class(c2)).unwrap();
         b.subproperty("q", p1, unrelated, Range::Class(c2)).unwrap();
-        assert!(matches!(b.finish(), Err(SchemaError::IncompatibleDomain { .. })));
+        assert!(matches!(
+            b.finish(),
+            Err(SchemaError::IncompatibleDomain { .. })
+        ));
     }
 
     #[test]
@@ -635,14 +659,19 @@ mod tests {
         let unrelated = b.class("X").unwrap();
         let p1 = b.property("p", c1, Range::Class(c2)).unwrap();
         b.subproperty("q", p1, c1, Range::Class(unrelated)).unwrap();
-        assert!(matches!(b.finish(), Err(SchemaError::IncompatibleRange { .. })));
+        assert!(matches!(
+            b.finish(),
+            Err(SchemaError::IncompatibleRange { .. })
+        ));
     }
 
     #[test]
     fn literal_ranges() {
         let mut b = SchemaBuilder::new("n1", "u");
         let c1 = b.class("C1").unwrap();
-        let p = b.property("title", c1, Range::Literal(LiteralType::String)).unwrap();
+        let p = b
+            .property("title", c1, Range::Literal(LiteralType::String))
+            .unwrap();
         let q = b
             .subproperty("shortTitle", p, c1, Range::Literal(LiteralType::String))
             .unwrap();
@@ -657,8 +686,12 @@ mod tests {
         let c1 = b.class("C1").unwrap();
         let c2 = b.class("C2").unwrap();
         let p = b.property("p", c1, Range::Class(c2)).unwrap();
-        b.subproperty("q", p, c1, Range::Literal(LiteralType::String)).unwrap();
-        assert!(matches!(b.finish(), Err(SchemaError::IncompatibleRange { .. })));
+        b.subproperty("q", p, c1, Range::Literal(LiteralType::String))
+            .unwrap();
+        assert!(matches!(
+            b.finish(),
+            Err(SchemaError::IncompatibleRange { .. })
+        ));
     }
 
     #[test]

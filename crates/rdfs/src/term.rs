@@ -205,7 +205,11 @@ pub struct Triple {
 impl Triple {
     /// Creates a triple.
     pub fn new(subject: Resource, property: PropertyId, object: impl Into<Node>) -> Self {
-        Triple { subject, property, object: object.into() }
+        Triple {
+            subject,
+            property,
+            object: object.into(),
+        }
     }
 }
 
@@ -256,10 +260,7 @@ mod tests {
         assert_eq!(Literal::Integer(2).total_cmp(&Literal::Float(2.5)), Less);
         assert_eq!(Literal::Float(3.0).total_cmp(&Literal::Integer(2)), Greater);
         assert_eq!(Literal::Integer(2).total_cmp(&Literal::Integer(2)), Equal);
-        assert_eq!(
-            Literal::string("a").total_cmp(&Literal::string("b")),
-            Less
-        );
+        assert_eq!(Literal::string("a").total_cmp(&Literal::string("b")), Less);
     }
 
     #[test]

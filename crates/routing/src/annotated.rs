@@ -21,7 +21,7 @@ pub struct PeerAnnotation {
 
 /// A query pattern annotated, per path pattern, with the peers able to
 /// answer it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnnotatedQuery {
     query: QueryPattern,
     /// `annotations[i]` lists the peers for `query.patterns()[i]`.
@@ -40,7 +40,10 @@ impl AnnotatedQuery {
     /// routing algorithm).
     pub fn empty(query: QueryPattern) -> Self {
         let n = query.patterns().len();
-        AnnotatedQuery { query, annotations: vec![Vec::new(); n] }
+        AnnotatedQuery {
+            query,
+            annotations: vec![Vec::new(); n],
+        }
     }
 
     /// The underlying query pattern.
@@ -55,7 +58,10 @@ impl AnnotatedQuery {
 
     /// Adds an annotation to path pattern `i` (deduplicating by peer).
     pub fn annotate(&mut self, i: usize, annotation: PeerAnnotation) {
-        if !self.annotations[i].iter().any(|a| a.peer == annotation.peer) {
+        if !self.annotations[i]
+            .iter()
+            .any(|a| a.peer == annotation.peer)
+        {
             self.annotations[i].push(annotation);
         }
     }
@@ -79,8 +85,7 @@ impl AnnotatedQuery {
 
     /// All distinct peers appearing anywhere in the annotation.
     pub fn all_peers(&self) -> Vec<PeerId> {
-        let mut peers: Vec<PeerId> =
-            self.annotations.iter().flatten().map(|a| a.peer).collect();
+        let mut peers: Vec<PeerId> = self.annotations.iter().flatten().map(|a| a.peer).collect();
         peers.sort();
         peers.dedup();
         peers
@@ -110,8 +115,10 @@ impl AnnotatedQuery {
 impl fmt::Display for AnnotatedQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, anns) in self.annotations.iter().enumerate() {
-            let peers: Vec<String> =
-                anns.iter().map(|a| format!("{}({:?})", a.peer, a.kind)).collect();
+            let peers: Vec<String> = anns
+                .iter()
+                .map(|a| format!("{}({:?})", a.peer, a.kind))
+                .collect();
             writeln!(f, "Q{}: [{}]", i + 1, peers.join(", "))?;
         }
         Ok(())

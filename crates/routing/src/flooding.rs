@@ -131,7 +131,10 @@ pub fn flood(topology: &Topology, origin: PeerId, ttl: usize) -> FloodOutcome {
     processed.remove(&origin);
     let mut processed: Vec<PeerId> = processed.into_iter().collect();
     processed.sort();
-    FloodOutcome { processed, messages }
+    FloodOutcome {
+        processed,
+        messages,
+    }
 }
 
 #[cfg(test)]
@@ -173,7 +176,10 @@ mod tests {
         assert_eq!(out.processed, vec![p(1), p(2), p(3)]);
         // 0→1, 0→2 then 1→2, 2→1 (duplicates) then 2→3 (twice? no: only
         // the first receipt forwards) — count messages explicitly.
-        assert!(out.messages > out.processed.len(), "flooding sends duplicates");
+        assert!(
+            out.messages > out.processed.len(),
+            "flooding sends duplicates"
+        );
     }
 
     #[test]

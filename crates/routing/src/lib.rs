@@ -23,9 +23,12 @@ pub mod router;
 
 pub use annotated::{AnnotatedQuery, PeerAnnotation};
 pub use flooding::{flood, FloodOutcome, Topology};
-pub use limits::{route_limited, RoutingLimits};
+pub use limits::{apply_limits, route_limited, RoutingLimits};
 pub use path_index::{PathIndex, TripleIndexCost};
-pub use router::{route, same_schema, AdRegistry, Advertisement, RoutingPolicy};
+pub use router::{
+    pattern_matches, route, same_schema, AdRegistry, Advertisement, PatternCandidate,
+    RegistryEpochs, RoutingPolicy,
+};
 
 use std::fmt;
 

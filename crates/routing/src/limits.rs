@@ -33,7 +33,9 @@ impl RoutingLimits {
 
     /// At most `n` peers per pattern.
     pub fn top(n: usize) -> Self {
-        RoutingLimits { max_peers_per_pattern: Some(n.max(1)) }
+        RoutingLimits {
+            max_peers_per_pattern: Some(n.max(1)),
+        }
     }
 }
 
@@ -48,11 +50,28 @@ pub fn route_limited(
     policy: RoutingPolicy,
     limits: RoutingLimits,
 ) -> AnnotatedQuery {
-    let annotated = route(query, ads, policy);
-    let Some(k) = limits.max_peers_per_pattern else { return annotated };
+    apply_limits(route(query, ads, policy), ads, limits)
+}
 
-    let stats: HashMap<PeerId, &BaseStatistics> =
-        ads.iter().filter_map(|a| a.stats.as_ref().map(|s| (a.peer, s))).collect();
+/// Applies [`RoutingLimits`] to an already-annotated query (the trimming
+/// half of [`route_limited`]): per pattern, annotations are ranked by
+/// match strength and advertised extent, and only the top `k` survive.
+/// Exposed separately so cached routing (`sqpeer-cache`) can reuse the
+/// exact ranking on cache hits.
+pub fn apply_limits<'a>(
+    annotated: AnnotatedQuery,
+    ads: impl IntoIterator<Item = &'a Advertisement>,
+    limits: RoutingLimits,
+) -> AnnotatedQuery {
+    let Some(k) = limits.max_peers_per_pattern else {
+        return annotated;
+    };
+
+    let query = annotated.query().clone();
+    let stats: HashMap<PeerId, &BaseStatistics> = ads
+        .into_iter()
+        .filter_map(|a| a.stats.as_ref().map(|s| (a.peer, s)))
+        .collect();
     let mut trimmed = AnnotatedQuery::empty(query.clone());
     for i in 0..query.patterns().len() {
         let mut anns: Vec<PeerAnnotation> = annotated.peers_for(i).to_vec();
@@ -120,7 +139,12 @@ mod tests {
         let q = compile("SELECT X FROM {X}p{Y}", &s).unwrap();
         let ads = ads(&s);
         let full = route(&q, &ads, RoutingPolicy::SubsumedOnly);
-        let limited = route_limited(&q, &ads, RoutingPolicy::SubsumedOnly, RoutingLimits::unlimited());
+        let limited = route_limited(
+            &q,
+            &ads,
+            RoutingPolicy::SubsumedOnly,
+            RoutingLimits::unlimited(),
+        );
         assert_eq!(full.peers_for(0).len(), limited.peers_for(0).len());
     }
 
@@ -128,8 +152,12 @@ mod tests {
     fn top_k_keeps_largest_extents() {
         let s = schema();
         let q = compile("SELECT X FROM {X}p{Y}", &s).unwrap();
-        let limited =
-            route_limited(&q, &ads(&s), RoutingPolicy::SubsumedOnly, RoutingLimits::top(2));
+        let limited = route_limited(
+            &q,
+            &ads(&s),
+            RoutingPolicy::SubsumedOnly,
+            RoutingLimits::top(2),
+        );
         let peers: Vec<PeerId> = limited.peers_for(0).iter().map(|a| a.peer).collect();
         // Peers 4 (40 triples) and 3 (30) survive the cut.
         assert_eq!(peers, vec![PeerId(4), PeerId(3)]);
@@ -139,8 +167,12 @@ mod tests {
     fn top_one_is_the_biggest_holder() {
         let s = schema();
         let q = compile("SELECT X FROM {X}p{Y}", &s).unwrap();
-        let limited =
-            route_limited(&q, &ads(&s), RoutingPolicy::SubsumedOnly, RoutingLimits::top(1));
+        let limited = route_limited(
+            &q,
+            &ads(&s),
+            RoutingPolicy::SubsumedOnly,
+            RoutingLimits::top(1),
+        );
         assert_eq!(limited.peers_for(0).len(), 1);
         assert_eq!(limited.peers_for(0)[0].peer, PeerId(4));
     }
@@ -173,13 +205,20 @@ mod tests {
         let ads = vec![
             Advertisement::new(PeerId(1), ActiveSchema::of_base(&small))
                 .with_stats(small.statistics()),
-            Advertisement::new(PeerId(2), ActiveSchema::of_base(&big))
-                .with_stats(big.statistics()),
+            Advertisement::new(PeerId(2), ActiveSchema::of_base(&big)).with_stats(big.statistics()),
         ];
         let q = compile("SELECT X FROM {X}psub{Y}", &s).unwrap();
-        let limited =
-            route_limited(&q, &ads, RoutingPolicy::IncludeOverlapping, RoutingLimits::top(1));
-        assert_eq!(limited.peers_for(0)[0].peer, PeerId(1), "equivalent beats generalizing");
+        let limited = route_limited(
+            &q,
+            &ads,
+            RoutingPolicy::IncludeOverlapping,
+            RoutingLimits::top(1),
+        );
+        assert_eq!(
+            limited.peers_for(0)[0].peer,
+            PeerId(1),
+            "equivalent beats generalizing"
+        );
     }
 
     #[test]
@@ -190,18 +229,13 @@ mod tests {
         let ads: Vec<Advertisement> = (1..=2u32)
             .map(|i| {
                 let mut base = DescriptionBase::new(Arc::clone(&s));
-                base.insert_described(Triple::new(
-                    Resource::new("x"),
-                    p,
-                    Resource::new("y"),
-                ));
+                base.insert_described(Triple::new(Resource::new("x"), p, Resource::new("y")));
                 Advertisement::new(PeerId(i), ActiveSchema::of_base(&base))
                     .with_stats(base.statistics())
             })
             .collect();
         let q = compile("SELECT X FROM {X}p{Y}", &s).unwrap();
-        let limited =
-            route_limited(&q, &ads, RoutingPolicy::SubsumedOnly, RoutingLimits::top(1));
+        let limited = route_limited(&q, &ads, RoutingPolicy::SubsumedOnly, RoutingLimits::top(1));
         assert_eq!(limited.peers_for(0)[0].peer, PeerId(1));
     }
 }

@@ -29,7 +29,11 @@ pub struct PathIndex {
 impl PathIndex {
     /// Creates an index holding paths up to `max_len` properties.
     pub fn new(max_len: usize) -> Self {
-        PathIndex { max_len: max_len.max(1), entries: HashMap::new(), per_peer: HashMap::new() }
+        PathIndex {
+            max_len: max_len.max(1),
+            entries: HashMap::new(),
+            per_peer: HashMap::new(),
+        }
     }
 
     /// Indexes a peer from its active-schema: every chain of advertised
@@ -166,9 +170,12 @@ mod tests {
     fn chain_schema(n: usize) -> Arc<Schema> {
         // C0 --p0--> C1 --p1--> C2 ... a chain of n properties.
         let mut b = SchemaBuilder::new("n1", "u");
-        let classes: Vec<_> = (0..=n).map(|i| b.class(&format!("C{i}")).unwrap()).collect();
+        let classes: Vec<_> = (0..=n)
+            .map(|i| b.class(&format!("C{i}")).unwrap())
+            .collect();
         for i in 0..n {
-            b.property(&format!("p{i}"), classes[i], Range::Class(classes[i + 1])).unwrap();
+            b.property(&format!("p{i}"), classes[i], Range::Class(classes[i + 1]))
+                .unwrap();
         }
         Arc::new(b.finish().unwrap())
     }
@@ -211,8 +218,10 @@ mod tests {
         let schema = chain_schema(3);
         let mut idx = PathIndex::new(2);
         idx.index_peer(PeerId(1), &active_all(&schema), &schema);
-        let p: Vec<PropertyId> =
-            ["p0", "p1", "p2"].iter().map(|n| schema.property_by_name(n).unwrap()).collect();
+        let p: Vec<PropertyId> = ["p0", "p1", "p2"]
+            .iter()
+            .map(|n| schema.property_by_name(n).unwrap())
+            .collect();
         let cover = idx.cover(&p).unwrap();
         // Longest-prefix: [p0.p1] + [p2].
         assert_eq!(cover.len(), 2);

@@ -23,7 +23,11 @@ pub struct Advertisement {
 impl Advertisement {
     /// Creates an advertisement without statistics.
     pub fn new(peer: PeerId, active: ActiveSchema) -> Self {
-        Advertisement { peer, active, stats: None }
+        Advertisement {
+            peer,
+            active,
+            stats: None,
+        }
     }
 
     /// Attaches a statistics snapshot.
@@ -34,7 +38,7 @@ impl Advertisement {
 }
 
 /// Controls which advertisement/pattern relationships lead to annotation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RoutingPolicy {
     /// Only `isSubsumed(AS, AQ)` matches (equivalence or specialisation),
     /// exactly the paper's pseudocode.
@@ -49,12 +53,60 @@ pub enum RoutingPolicy {
 }
 
 impl RoutingPolicy {
-    fn admits(self, kind: PatternMatch) -> bool {
+    /// Does this policy annotate a peer whose advertisement matched with
+    /// `kind`?
+    pub fn admits(self, kind: PatternMatch) -> bool {
         match self {
             RoutingPolicy::SubsumedOnly => kind.is_subsumed(),
             RoutingPolicy::IncludeOverlapping => true,
         }
     }
+}
+
+/// One admitted (peer, advertised arc) pair for a path pattern, in scan
+/// order. The routing algorithm derives [`PeerAnnotation`]s from these;
+/// the semantic cache stores them so a cached pattern can answer narrower
+/// patterns by re-matching only these arcs instead of rescanning every
+/// advertisement (`sqpeer-cache`'s subsumption shortcut).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternCandidate {
+    /// The advertising peer.
+    pub peer: PeerId,
+    /// The advertised arc that matched.
+    pub arc: sqpeer_rvl::ActiveProperty,
+    /// How the arc matched the pattern.
+    pub kind: PatternMatch,
+}
+
+/// The inner loop of the Query-Routing Algorithm for a single path
+/// pattern: every advertised arc admitted by `policy`, in deterministic
+/// (advertisement order, arc order) scan order. Arcs of advertisements
+/// over a different community schema are skipped, as in [`route`].
+pub fn pattern_matches<'a>(
+    schema: &std::sync::Arc<sqpeer_rdfs::Schema>,
+    pattern: &sqpeer_rql::PathPattern,
+    ads: impl IntoIterator<Item = &'a Advertisement>,
+    policy: RoutingPolicy,
+) -> Vec<PatternCandidate> {
+    let mut out = Vec::new();
+    for ad in ads {
+        if !same_schema(ad.active.schema(), schema) {
+            continue;
+        }
+        for as_jk in ad.active.active_properties() {
+            let Some(kind) = match_pattern(schema, as_jk, pattern) else {
+                continue;
+            };
+            if policy.admits(kind) {
+                out.push(PatternCandidate {
+                    peer: ad.peer,
+                    arc: *as_jk,
+                    kind,
+                });
+            }
+        }
+    }
+    out
 }
 
 /// Runs the Query-Routing Algorithm: matches every query path pattern
@@ -69,35 +121,23 @@ impl RoutingPolicy {
 ///          if isSubsumed(ASjk, AQi) then annotate AQ'i with peer Pj
 /// 3. return AQ'
 /// ```
-pub fn route(
-    query: &QueryPattern,
-    ads: &[Advertisement],
-    policy: RoutingPolicy,
-) -> AnnotatedQuery {
+pub fn route(query: &QueryPattern, ads: &[Advertisement], policy: RoutingPolicy) -> AnnotatedQuery {
+    // Advertisements over a *different* community schema cannot be matched
+    // directly — their raw class/property ids belong to another id space.
+    // Cross-schema queries go through articulation-based reformulation
+    // first (§3.1 mediation); `pattern_matches` skips them.
     let schema = query.schema();
     let mut out = AnnotatedQuery::empty(query.clone());
     for (i, aq_i) in query.patterns().iter().enumerate() {
-        for ad in ads {
-            // Advertisements over a *different* community schema cannot be
-            // matched directly — their raw class/property ids belong to
-            // another id space. Cross-schema queries go through
-            // articulation-based reformulation first (§3.1 mediation).
-            if !same_schema(ad.active.schema(), schema) {
-                continue;
-            }
-            for as_jk in ad.active.active_properties() {
-                let Some(kind) = match_pattern(schema, as_jk, aq_i) else { continue };
-                if policy.admits(kind) {
-                    out.annotate(
-                        i,
-                        PeerAnnotation {
-                            peer: ad.peer,
-                            kind,
-                            pattern: rewrite_for(schema, as_jk, aq_i),
-                        },
-                    );
-                }
-            }
+        for c in pattern_matches(schema, aq_i, ads, policy) {
+            out.annotate(
+                i,
+                PeerAnnotation {
+                    peer: c.peer,
+                    kind: c.kind,
+                    pattern: rewrite_for(schema, &c.arc, aq_i),
+                },
+            );
         }
     }
     out
@@ -105,8 +145,28 @@ pub fn route(
 
 /// Two schemas are the same SON vocabulary when they share an identity
 /// (same allocation) or declare identical namespaces.
-pub fn same_schema(a: &std::sync::Arc<sqpeer_rdfs::Schema>, b: &std::sync::Arc<sqpeer_rdfs::Schema>) -> bool {
+pub fn same_schema(
+    a: &std::sync::Arc<sqpeer_rdfs::Schema>,
+    b: &std::sync::Arc<sqpeer_rdfs::Schema>,
+) -> bool {
     std::sync::Arc::ptr_eq(a, b) || a.namespaces() == b.namespaces()
+}
+
+/// Monotonically increasing generations of an [`AdRegistry`]'s contents,
+/// used by the semantic cache (`sqpeer-cache`) for lazy invalidation.
+///
+/// `schema` advances whenever the *active-schema* content changes (peer
+/// added, removed, or re-advertised with a different fragment) — anything
+/// cached about annotation results is stale past it. `stats` additionally
+/// advances on statistics-only refreshes, which leave annotations intact
+/// but can change cost-based decisions (routing limits ranking, optimiser
+/// choices), so plan-level caches key on both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegistryEpochs {
+    /// Generation of the advertised active-schema set.
+    pub schema: u64,
+    /// Generation of the advertisement set including statistics.
+    pub stats: u64,
 }
 
 /// The advertisement registry a super-peer maintains for its SON (§3.1),
@@ -114,6 +174,7 @@ pub fn same_schema(a: &std::sync::Arc<sqpeer_rdfs::Schema>, b: &std::sync::Arc<s
 #[derive(Debug, Clone, Default)]
 pub struct AdRegistry {
     ads: HashMap<PeerId, Advertisement>,
+    epochs: RegistryEpochs,
 }
 
 impl AdRegistry {
@@ -122,16 +183,36 @@ impl AdRegistry {
         AdRegistry::default()
     }
 
+    /// Current content generations (see [`RegistryEpochs`]).
+    pub fn epochs(&self) -> RegistryEpochs {
+        self.epochs
+    }
+
     /// Registers (or replaces) a peer's advertisement — the *push* step
     /// when a peer connects to its super-peer. Returns `true` if the peer
     /// was new.
     pub fn register(&mut self, ad: Advertisement) -> bool {
-        self.ads.insert(ad.peer, ad).is_none()
+        let peer = ad.peer;
+        let schema_changed = match self.ads.get(&peer) {
+            Some(old) => old.active != ad.active,
+            None => true,
+        };
+        let new = self.ads.insert(peer, ad).is_none();
+        if schema_changed {
+            self.epochs.schema += 1;
+        }
+        self.epochs.stats += 1;
+        new
     }
 
     /// Removes a peer (leave/failure). Returns `true` if it was present.
     pub fn unregister(&mut self, peer: PeerId) -> bool {
-        self.ads.remove(&peer).is_some()
+        let removed = self.ads.remove(&peer).is_some();
+        if removed {
+            self.epochs.schema += 1;
+            self.epochs.stats += 1;
+        }
+        removed
     }
 
     /// The registered advertisement of `peer`.
@@ -228,8 +309,15 @@ mod tests {
         assert_eq!(q2, vec![PeerId(1), PeerId(3), PeerId(4)]);
         assert!(annotated.is_complete());
         // P4's Q1 pattern is rewritten to prop4.
-        let p4_ann = annotated.peers_for(0).iter().find(|a| a.peer == PeerId(4)).unwrap();
-        assert_eq!(p4_ann.pattern.property, schema.property_by_name("prop4").unwrap());
+        let p4_ann = annotated
+            .peers_for(0)
+            .iter()
+            .find(|a| a.peer == PeerId(4))
+            .unwrap();
+        assert_eq!(
+            p4_ann.pattern.property,
+            schema.property_by_name("prop4").unwrap()
+        );
         assert_eq!(p4_ann.kind, PatternMatch::SpecializesQuery);
     }
 
@@ -257,8 +345,15 @@ mod tests {
         // P1 and P2 advertise prop1 ⊒ prop4 and may hold prop4 triples.
         assert_eq!(complete_peers, vec![PeerId(1), PeerId(2), PeerId(4)]);
         // The pattern sent to P2 keeps the narrow property.
-        let p2 = complete.peers_for(0).iter().find(|a| a.peer == PeerId(2)).unwrap();
-        assert_eq!(p2.pattern.property, schema.property_by_name("prop4").unwrap());
+        let p2 = complete
+            .peers_for(0)
+            .iter()
+            .find(|a| a.peer == PeerId(2))
+            .unwrap();
+        assert_eq!(
+            p2.pattern.property,
+            schema.property_by_name("prop4").unwrap()
+        );
     }
 
     #[test]

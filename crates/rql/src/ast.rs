@@ -141,7 +141,10 @@ impl fmt::Display for CmpOp {
 impl fmt::Display for NodeSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NodeSpec::Var { name, class: Some(c) } => write!(f, "{{{name};{c}}}"),
+            NodeSpec::Var {
+                name,
+                class: Some(c),
+            } => write!(f, "{{{name};{c}}}"),
             NodeSpec::Var { name, class: None } => write!(f, "{{{name}}}"),
             NodeSpec::Resource(uri) => write!(f, "{{&{uri}}}"),
             NodeSpec::Literal(LiteralSpec::String(s)) => write!(f, "{{\"{s}\"}}"),
@@ -171,12 +174,24 @@ impl fmt::Display for QueryAst {
             let conds: Vec<_> = self
                 .filters
                 .iter()
-                .map(|c| format!("{} {} {}", operand_str(&c.left), c.op, operand_str(&c.right)))
+                .map(|c| {
+                    format!(
+                        "{} {} {}",
+                        operand_str(&c.left),
+                        c.op,
+                        operand_str(&c.right)
+                    )
+                })
                 .collect();
             write!(f, " WHERE {}", conds.join(" AND "))?;
         }
         if let Some(ob) = &self.order_by {
-            write!(f, " ORDER BY {}{}", ob.var, if ob.ascending { "" } else { " DESC" })?;
+            write!(
+                f,
+                " ORDER BY {}{}",
+                ob.var,
+                if ob.ascending { "" } else { " DESC" }
+            )?;
         }
         if let Some(n) = self.limit {
             write!(f, " LIMIT {n}")?;

@@ -14,7 +14,10 @@ pub struct ParseError {
 impl ParseError {
     /// Creates a parse error at `offset`.
     pub fn new(offset: usize, message: impl Into<String>) -> Self {
-        ParseError { offset, message: message.into() }
+        ParseError {
+            offset,
+            message: message.into(),
+        }
     }
 }
 

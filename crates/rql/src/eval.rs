@@ -30,7 +30,10 @@ pub struct ResultSet {
 impl ResultSet {
     /// Creates an empty result set with the given columns.
     pub fn empty(columns: Vec<String>) -> Self {
-        ResultSet { columns, rows: Vec::new() }
+        ResultSet {
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Number of rows.
@@ -54,11 +57,7 @@ impl ResultSet {
     /// This is the ∪ of horizontal distribution (§2.4): partial results for
     /// the same pattern "obtained by these peers should be unioned".
     pub fn union(&mut self, other: &ResultSet) {
-        let perm: Option<Vec<usize>> = self
-            .columns
-            .iter()
-            .map(|c| other.column_index(c))
-            .collect();
+        let perm: Option<Vec<usize>> = self.columns.iter().map(|c| other.column_index(c)).collect();
         let Some(perm) = perm else { return };
         let seen: HashSet<&Row> = self.rows.iter().collect();
         let mut fresh = Vec::new();
@@ -168,7 +167,8 @@ impl ResultSet {
     /// Sorts rows lexicographically by display form — handy for
     /// deterministic assertions in tests and experiment output.
     pub fn sorted(mut self) -> ResultSet {
-        self.rows.sort_by_key(|r| r.iter().map(|n| n.to_string()).collect::<Vec<_>>());
+        self.rows
+            .sort_by_key(|r| r.iter().map(|n| n.to_string()).collect::<Vec<_>>());
         self
     }
 
@@ -176,7 +176,8 @@ impl ResultSet {
     /// network simulator to charge bandwidth for data packets).
     pub fn wire_size(&self) -> usize {
         let cell = 24; // average serialized URI/literal size
-        self.columns.iter().map(|c| c.len()).sum::<usize>() + self.rows.len() * self.columns.len() * cell
+        self.columns.iter().map(|c| c.len()).sum::<usize>()
+            + self.rows.len() * self.columns.len() * cell
     }
 }
 
@@ -247,23 +248,28 @@ pub fn evaluate(query: &QueryPattern, base: &DescriptionBase) -> ResultSet {
     partial.retain(|b| query.filters().iter().all(|f| eval_condition(f, b)));
 
     // Projection with set semantics.
-    let names: Vec<String> =
-        query.projection().iter().map(|&v| query.var_name(v).to_string()).collect();
+    let names: Vec<String> = query
+        .projection()
+        .iter()
+        .map(|&v| query.var_name(v).to_string())
+        .collect();
     let mut out = ResultSet::empty(names);
     let mut seen = HashSet::new();
     for b in &partial {
         let row: Row = query
             .projection()
             .iter()
-            .map(|&v| b[v.0 as usize].clone().expect("projected variable must be bound"))
+            .map(|&v| {
+                b[v.0 as usize]
+                    .clone()
+                    .expect("projected variable must be bound")
+            })
             .collect();
         if seen.insert(row.clone()) {
             out.rows.push(row);
         }
     }
-    let order = query
-        .order_by()
-        .map(|(v, asc)| (query.var_name(v), asc));
+    let order = query.order_by().map(|(v, asc)| (query.var_name(v), asc));
     if order.is_some() || query.limit().is_some() {
         out.apply_top(order, query.limit());
     }
@@ -314,7 +320,10 @@ fn extend_binding(
     match (&subj, &obj) {
         (Some(Node::Resource(s)), Some(o)) => {
             // Both ends fixed: membership test.
-            if base.triples_with_subject(pattern.property, s).any(|(_, oo)| oo == o) {
+            if base
+                .triples_with_subject(pattern.property, s)
+                .any(|(_, oo)| oo == o)
+            {
                 emit(s, o);
             }
         }
@@ -406,7 +415,9 @@ mod tests {
         let p1 = b.property("prop1", c1, Range::Class(c2)).unwrap();
         let _ = b.property("prop2", c2, Range::Class(c3)).unwrap();
         let _ = b.subproperty("prop4", p1, c5, Range::Class(c6)).unwrap();
-        let _ = b.property("age", c1, Range::Literal(LiteralType::Integer)).unwrap();
+        let _ = b
+            .property("age", c1, Range::Literal(LiteralType::Integer))
+            .unwrap();
         Arc::new(b.finish().unwrap())
     }
 
@@ -693,16 +704,10 @@ mod tests {
             &s,
         )
         .unwrap();
-        let q1 = QueryPattern::resolve(
-            &parse_query("SELECT X, Y FROM {X}prop1{Y}").unwrap(),
-            &s,
-        )
-        .unwrap();
-        let q2 = QueryPattern::resolve(
-            &parse_query("SELECT Y, Z FROM {Y}prop2{Z}").unwrap(),
-            &s,
-        )
-        .unwrap();
+        let q1 = QueryPattern::resolve(&parse_query("SELECT X, Y FROM {X}prop1{Y}").unwrap(), &s)
+            .unwrap();
+        let q2 = QueryPattern::resolve(&parse_query("SELECT Y, Z FROM {Y}prop2{Z}").unwrap(), &s)
+            .unwrap();
         let joined = evaluate(&q1, &b)
             .join(&evaluate(&q2, &b))
             .project(&["X".into(), "Y".into(), "Z".into()])

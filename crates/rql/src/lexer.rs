@@ -93,7 +93,11 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Creates a lexer over `src`.
     pub fn new(src: &'a str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     /// Lexes the whole input into a token vector ending with
@@ -134,7 +138,10 @@ impl<'a> Lexer<'a> {
         self.skip_ws();
         let offset = self.pos;
         let Some(b) = self.bump() else {
-            return Ok(Token { kind: TokenKind::Eof, offset });
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                offset,
+            });
         };
         let kind = match b {
             b'{' => TokenKind::LBrace,
@@ -172,18 +179,16 @@ impl<'a> Lexer<'a> {
             b'&' => {
                 let start = self.pos;
                 while let Some(c) = self.peek() {
-                    if c.is_ascii_whitespace()
-                        || c == b'}'
-                        || c == b','
-                        || c == b')'
-                        || c == b';'
-                    {
+                    if c.is_ascii_whitespace() || c == b'}' || c == b',' || c == b')' || c == b';' {
                         break;
                     }
                     self.pos += 1;
                 }
                 if self.pos == start {
-                    return Err(ParseError::new(offset, "empty resource reference after `&`"));
+                    return Err(ParseError::new(
+                        offset,
+                        "empty resource reference after `&`",
+                    ));
                 }
                 TokenKind::ResourceRef(self.src[start..self.pos].to_string())
             }
@@ -193,9 +198,7 @@ impl<'a> Lexer<'a> {
                     match self.bump() {
                         Some(b'"') => break,
                         Some(_) => {}
-                        None => {
-                            return Err(ParseError::new(offset, "unterminated string literal"))
-                        }
+                        None => return Err(ParseError::new(offset, "unterminated string literal")),
                     }
                 }
                 TokenKind::String(self.src[start..self.pos - 1].to_string())
@@ -248,8 +251,18 @@ impl<'a> Lexer<'a> {
                     "LIMIT" => TokenKind::Limit,
                     "ASC" => TokenKind::Asc,
                     "DESC" => TokenKind::Desc,
-                    "TRUE" => return Ok(Token { kind: TokenKind::Name("true".into()), offset }),
-                    "FALSE" => return Ok(Token { kind: TokenKind::Name("false".into()), offset }),
+                    "TRUE" => {
+                        return Ok(Token {
+                            kind: TokenKind::Name("true".into()),
+                            offset,
+                        })
+                    }
+                    "FALSE" => {
+                        return Ok(Token {
+                            kind: TokenKind::Name("false".into()),
+                            offset,
+                        })
+                    }
                     _ => TokenKind::Name(text.to_string()),
                 }
             }
@@ -269,7 +282,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -291,7 +309,10 @@ mod tests {
 
     #[test]
     fn literals() {
-        assert_eq!(kinds("\"hello world\"")[0], TokenKind::String("hello world".into()));
+        assert_eq!(
+            kinds("\"hello world\"")[0],
+            TokenKind::String("hello world".into())
+        );
         assert_eq!(kinds("42")[0], TokenKind::Integer(42));
         assert_eq!(kinds("-7")[0], TokenKind::Integer(-7));
         assert_eq!(kinds("3.5")[0], TokenKind::Float(3.5));

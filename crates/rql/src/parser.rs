@@ -93,11 +93,23 @@ impl Parser {
         let projection = self.projection()?;
         self.expect(&TokenKind::From, "FROM")?;
         let (paths, class_exprs) = self.from_items()?;
-        let filters = if self.eat(&TokenKind::Where) { self.conditions()? } else { Vec::new() };
+        let filters = if self.eat(&TokenKind::Where) {
+            self.conditions()?
+        } else {
+            Vec::new()
+        };
         let order_by = self.order_by()?;
         let limit = self.limit()?;
         let namespaces = self.using_namespaces()?;
-        Ok(QueryAst { projection, paths, class_exprs, filters, namespaces, order_by, limit })
+        Ok(QueryAst {
+            projection,
+            paths,
+            class_exprs,
+            filters,
+            namespaces,
+            order_by,
+            limit,
+        })
     }
 
     /// Parses FROM items: path expressions `{s}prop{o}` and standalone
@@ -112,7 +124,11 @@ impl Parser {
             if matches!(self.peek().kind, TokenKind::Name(_)) {
                 let property = self.name("property name")?;
                 let object = self.node_spec()?;
-                paths.push(PathExpr { subject: spec, property, object });
+                paths.push(PathExpr {
+                    subject: spec,
+                    property,
+                    object,
+                });
             } else {
                 classes.push(spec);
             }
@@ -180,7 +196,11 @@ impl Parser {
         let subject = self.node_spec()?;
         let property = self.name("property name")?;
         let object = self.node_spec()?;
-        Ok(PathExpr { subject, property, object })
+        Ok(PathExpr {
+            subject,
+            property,
+            object,
+        })
     }
 
     fn node_spec(&mut self) -> Result<NodeSpec, ParseError> {
@@ -299,9 +319,15 @@ mod tests {
         assert_eq!(q.paths[0].property, "n1:prop1");
         assert_eq!(
             q.paths[0].subject,
-            NodeSpec::Var { name: "X".into(), class: None }
+            NodeSpec::Var {
+                name: "X".into(),
+                class: None
+            }
         );
-        assert_eq!(q.namespaces, vec![("n1".into(), "http://example.org/n1#".into())]);
+        assert_eq!(
+            q.namespaces,
+            vec![("n1".into(), "http://example.org/n1#".into())]
+        );
     }
 
     #[test]
@@ -309,21 +335,29 @@ mod tests {
         let q = parse_query("SELECT X FROM {X;n1:C1}n1:prop1{Y;n1:C2}").unwrap();
         assert_eq!(
             q.paths[0].subject,
-            NodeSpec::Var { name: "X".into(), class: Some("n1:C1".into()) }
+            NodeSpec::Var {
+                name: "X".into(),
+                class: Some("n1:C1".into())
+            }
         );
         assert_eq!(
             q.paths[0].object,
-            NodeSpec::Var { name: "Y".into(), class: Some("n1:C2".into()) }
+            NodeSpec::Var {
+                name: "Y".into(),
+                class: Some("n1:C2".into())
+            }
         );
     }
 
     #[test]
     fn parses_where_clause() {
-        let q = parse_query("SELECT X FROM {X}p{Z} WHERE Z = \"v\" AND X != &http://r")
-            .unwrap();
+        let q = parse_query("SELECT X FROM {X}p{Z} WHERE Z = \"v\" AND X != &http://r").unwrap();
         assert_eq!(q.filters.len(), 2);
         assert_eq!(q.filters[0].op, CmpOp::Eq);
-        assert_eq!(q.filters[0].right, Operand::Literal(LiteralSpec::String("v".into())));
+        assert_eq!(
+            q.filters[0].right,
+            Operand::Literal(LiteralSpec::String("v".into()))
+        );
         assert_eq!(q.filters[1].right, Operand::Resource("http://r".into()));
     }
 
@@ -336,7 +370,10 @@ mod tests {
     #[test]
     fn parses_constant_nodes() {
         let q = parse_query("SELECT X FROM {X}p{\"lit\"}, {&http://r}q{X}").unwrap();
-        assert_eq!(q.paths[0].object, NodeSpec::Literal(LiteralSpec::String("lit".into())));
+        assert_eq!(
+            q.paths[0].object,
+            NodeSpec::Literal(LiteralSpec::String("lit".into()))
+        );
         assert_eq!(q.paths[1].subject, NodeSpec::Resource("http://r".into()));
     }
 
@@ -344,7 +381,10 @@ mod tests {
     fn parses_numeric_filters() {
         let q = parse_query("SELECT X FROM {X}p{Z} WHERE Z >= 10 AND Z < 3.5").unwrap();
         assert_eq!(q.filters[0].op, CmpOp::Ge);
-        assert_eq!(q.filters[1].right, Operand::Literal(LiteralSpec::Float(3.5)));
+        assert_eq!(
+            q.filters[1].right,
+            Operand::Literal(LiteralSpec::Float(3.5))
+        );
     }
 
     #[test]
@@ -364,10 +404,22 @@ mod tests {
     #[test]
     fn parses_order_by_and_limit() {
         let q = parse_query("SELECT X FROM {X}p{A} ORDER BY A DESC LIMIT 10").unwrap();
-        assert_eq!(q.order_by, Some(OrderBy { var: "A".into(), ascending: false }));
+        assert_eq!(
+            q.order_by,
+            Some(OrderBy {
+                var: "A".into(),
+                ascending: false
+            })
+        );
         assert_eq!(q.limit, Some(10));
         let q = parse_query("SELECT X FROM {X}p{A} ORDER BY A ASC").unwrap();
-        assert_eq!(q.order_by, Some(OrderBy { var: "A".into(), ascending: true }));
+        assert_eq!(
+            q.order_by,
+            Some(OrderBy {
+                var: "A".into(),
+                ascending: true
+            })
+        );
         assert_eq!(q.limit, None);
         let q = parse_query("SELECT X FROM {X}p{A} LIMIT 3").unwrap();
         assert_eq!(q.order_by, None);

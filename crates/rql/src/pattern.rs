@@ -65,7 +65,11 @@ pub struct PathPattern {
 impl PathPattern {
     /// The variables appearing in this pattern, subject first.
     pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
-        self.subject.term.var().into_iter().chain(self.object.term.var())
+        self.subject
+            .term
+            .var()
+            .into_iter()
+            .chain(self.object.term.var())
     }
 
     /// Do two patterns share a variable (i.e. join)?
@@ -315,7 +319,12 @@ impl QueryPattern {
     pub fn join_tree(&self) -> JoinTree {
         let n = self.patterns.len();
         let mut nodes: Vec<JoinTreeNode> = (0..n)
-            .map(|i| JoinTreeNode { pattern: i, parent: None, join_var: None, children: Vec::new() })
+            .map(|i| JoinTreeNode {
+                pattern: i,
+                parent: None,
+                join_var: None,
+                children: Vec::new(),
+            })
             .collect();
         let mut visited = vec![false; n];
         let mut order = Vec::with_capacity(n);
@@ -346,7 +355,11 @@ impl QueryPattern {
                 }
             }
         }
-        JoinTree { nodes, order, roots }
+        JoinTree {
+            nodes,
+            order,
+            roots,
+        }
     }
 
     fn check_connected(&self) -> Result<(), ResolveError> {
@@ -388,8 +401,20 @@ impl PartialEq for QueryPattern {
 
 impl fmt::Display for QueryPattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let proj: Vec<_> = self.projection.iter().map(|&v| self.var_name(v).to_string()).collect();
-        write!(f, "SELECT {}", if proj.is_empty() { "*".to_string() } else { proj.join(", ") })?;
+        let proj: Vec<_> = self
+            .projection
+            .iter()
+            .map(|&v| self.var_name(v).to_string())
+            .collect();
+        write!(
+            f,
+            "SELECT {}",
+            if proj.is_empty() {
+                "*".to_string()
+            } else {
+                proj.join(", ")
+            }
+        )?;
         let fmt_endpoint = |e: &Endpoint| -> String {
             let term = match &e.term {
                 Term::Var(v) => self.var_name(*v).to_string(),
@@ -414,7 +439,10 @@ impl fmt::Display for QueryPattern {
             })
             .collect();
         items.extend(self.class_patterns.iter().map(|cp| {
-            fmt_endpoint(&Endpoint { term: cp.term.clone(), class: Some(cp.class) })
+            fmt_endpoint(&Endpoint {
+                term: cp.term.clone(),
+                class: Some(cp.class),
+            })
         }));
         write!(f, " FROM {}", items.join(", "))?;
         if !self.filters.is_empty() {
@@ -430,7 +458,12 @@ impl fmt::Display for QueryPattern {
             write!(f, " WHERE {}", conds.join(" AND "))?;
         }
         if let Some((v, asc)) = self.order_by {
-            write!(f, " ORDER BY {}{}", self.var_name(v), if asc { "" } else { " DESC" })?;
+            write!(
+                f,
+                " ORDER BY {}{}",
+                self.var_name(v),
+                if asc { "" } else { " DESC" }
+            )?;
         }
         if let Some(n) = self.limit {
             write!(f, " LIMIT {n}")?;
@@ -474,7 +507,11 @@ struct PatternBuilder {
 
 impl PatternBuilder {
     fn new(schema: Arc<Schema>) -> Self {
-        PatternBuilder { schema, var_names: Vec::new(), patterns: Vec::new() }
+        PatternBuilder {
+            schema,
+            var_names: Vec::new(),
+            patterns: Vec::new(),
+        }
     }
 
     fn intern_var(&mut self, name: &str) -> VarId {
@@ -540,7 +577,10 @@ impl PatternBuilder {
 
         let subject = match &path.subject {
             NodeSpec::Var { name, class } => {
-                let user = class.as_deref().map(|c| self.resolve_class(c)).transpose()?;
+                let user = class
+                    .as_deref()
+                    .map(|c| self.resolve_class(c))
+                    .transpose()?;
                 Endpoint {
                     term: Term::Var(self.intern_var(name)),
                     class: Some(self.effective_class(domain, user, &path.property)?),
@@ -555,7 +595,10 @@ impl PatternBuilder {
 
         let object = match (&path.object, range) {
             (NodeSpec::Var { name, class }, Range::Class(rc)) => {
-                let user = class.as_deref().map(|c| self.resolve_class(c)).transpose()?;
+                let user = class
+                    .as_deref()
+                    .map(|c| self.resolve_class(c))
+                    .transpose()?;
                 Endpoint {
                     term: Term::Var(self.intern_var(name)),
                     class: Some(self.effective_class(rc, user, &path.property)?),
@@ -568,20 +611,25 @@ impl PatternBuilder {
                         property: path.property.clone(),
                     });
                 }
-                Endpoint { term: Term::Var(self.intern_var(name)), class: None }
+                Endpoint {
+                    term: Term::Var(self.intern_var(name)),
+                    class: None,
+                }
             }
-            (NodeSpec::Resource(uri), Range::Class(rc)) => {
-                Endpoint { term: Term::Resource(Resource::new(uri.as_str())), class: Some(rc) }
-            }
+            (NodeSpec::Resource(uri), Range::Class(rc)) => Endpoint {
+                term: Term::Resource(Resource::new(uri.as_str())),
+                class: Some(rc),
+            },
             (NodeSpec::Resource(_), Range::Literal(_)) => {
                 return Err(ResolveError::InvalidComparison(format!(
                     "property `{}` has a literal range but a resource object",
                     path.property
                 )))
             }
-            (NodeSpec::Literal(spec), Range::Literal(_)) => {
-                Endpoint { term: Term::Literal(lit_from_spec(spec)), class: None }
-            }
+            (NodeSpec::Literal(spec), Range::Literal(_)) => Endpoint {
+                term: Term::Literal(lit_from_spec(spec)),
+                class: None,
+            },
             (NodeSpec::Literal(_), Range::Class(_)) => {
                 return Err(ResolveError::InvalidComparison(format!(
                     "property `{}` has a class range but a literal object",
@@ -590,21 +638,30 @@ impl PatternBuilder {
             }
         };
 
-        self.patterns.push(PathPattern { subject, property, object });
+        self.patterns.push(PathPattern {
+            subject,
+            property,
+            object,
+        });
         Ok(())
     }
 
     /// Resolves a standalone `{X;C}` FROM item.
     fn add_class_expr(&mut self, spec: &NodeSpec) -> Result<ClassPattern, ResolveError> {
         match spec {
-            NodeSpec::Var { name, class: Some(class) } => Ok(ClassPattern {
+            NodeSpec::Var {
+                name,
+                class: Some(class),
+            } => Ok(ClassPattern {
                 term: Term::Var(self.intern_var(name)),
                 class: self.resolve_class(class)?,
             }),
             NodeSpec::Var { name, class: None } => {
                 // `{X}` alone constrains nothing — reject with a pointer
                 // at the missing class.
-                Err(ResolveError::UnknownClass(format!("(none; `{{{name};Class}}` expected)")))
+                Err(ResolveError::UnknownClass(format!(
+                    "(none; `{{{name};Class}}` expected)"
+                )))
             }
             NodeSpec::Resource(_) => Err(ResolveError::UnknownClass(
                 "(class required in a membership pattern)".into(),
@@ -651,7 +708,9 @@ mod tests {
         let _ = b.property("prop2", c2, Range::Class(c3)).unwrap();
         let _ = b.property("prop3", c3, Range::Class(c4)).unwrap();
         let _ = b.subproperty("prop4", p1, c5, Range::Class(c6)).unwrap();
-        let _ = b.property("title", c1, Range::Literal(LiteralType::String)).unwrap();
+        let _ = b
+            .property("title", c1, Range::Literal(LiteralType::String))
+            .unwrap();
         Arc::new(b.finish().unwrap())
     }
 
@@ -681,7 +740,10 @@ mod tests {
     #[test]
     fn user_class_narrows_endpoint() {
         let qp = compile("SELECT X FROM {X;C5}prop1{Y}").unwrap();
-        assert_eq!(qp.patterns()[0].subject.class, qp.schema().class_by_name("C5"));
+        assert_eq!(
+            qp.patterns()[0].subject.class,
+            qp.schema().class_by_name("C5")
+        );
     }
 
     #[test]
@@ -708,7 +770,10 @@ mod tests {
 
     #[test]
     fn literal_subject_rejected() {
-        assert_eq!(compile("SELECT X FROM {\"s\"}prop1{X}"), Err(ResolveError::LiteralSubject));
+        assert_eq!(
+            compile("SELECT X FROM {\"s\"}prop1{X}"),
+            Err(ResolveError::LiteralSubject)
+        );
     }
 
     #[test]
@@ -737,8 +802,14 @@ mod tests {
         assert_eq!(tree.nodes[2].parent, Some(1));
         assert_eq!(tree.nodes[0].children, vec![1]);
         // Join variables are Y then Z.
-        assert_eq!(tree.nodes[1].join_var.map(|v| qp.var_name(v).to_string()), Some("Y".into()));
-        assert_eq!(tree.nodes[2].join_var.map(|v| qp.var_name(v).to_string()), Some("Z".into()));
+        assert_eq!(
+            tree.nodes[1].join_var.map(|v| qp.var_name(v).to_string()),
+            Some("Y".into())
+        );
+        assert_eq!(
+            tree.nodes[2].join_var.map(|v| qp.var_name(v).to_string()),
+            Some("Z".into())
+        );
     }
 
     #[test]
@@ -749,8 +820,7 @@ mod tests {
 
     #[test]
     fn display_round_trips() {
-        let qp = compile("SELECT X, Y FROM {X}prop1{Y}, {Y}prop2{Z} WHERE Z != &http://r")
-            .unwrap();
+        let qp = compile("SELECT X, Y FROM {X}prop1{Y}, {Y}prop2{Z} WHERE Z != &http://r").unwrap();
         let text = qp.to_rql();
         assert!(text.contains("n1:prop1"), "{text}");
         let schema = fig1_schema();
@@ -761,10 +831,9 @@ mod tests {
 
     #[test]
     fn subpattern_keeps_relevant_filters() {
-        let qp = compile(
-            "SELECT X FROM {X}prop1{Y}, {Y}prop2{Z} WHERE Z = \"v\" AND X != &http://r",
-        )
-        .unwrap();
+        let qp =
+            compile("SELECT X FROM {X}prop1{Y}, {Y}prop2{Z} WHERE Z = \"v\" AND X != &http://r")
+                .unwrap();
         let y = qp.patterns()[0].object.term.var().unwrap();
         let sub = qp.subpattern(&[0], vec![y]);
         assert_eq!(sub.patterns().len(), 1);

@@ -45,7 +45,11 @@ impl ActiveSchema {
         for c in classes {
             set.insert(c.0 as usize);
         }
-        ActiveSchema { schema, classes: set, properties }
+        ActiveSchema {
+            schema,
+            classes: set,
+            properties,
+        }
     }
 
     /// Derives the active-schema of a **materialized** peer base: every
@@ -139,7 +143,12 @@ impl fmt::Display for ActiveSchema {
                 )
             })
             .collect();
-        write!(f, "classes: [{}] properties: [{}]", classes.join(", "), props.join(", "))
+        write!(
+            f,
+            "classes: [{}] properties: [{}]",
+            classes.join(", "),
+            props.join(", ")
+        )
     }
 }
 

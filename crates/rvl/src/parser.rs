@@ -68,10 +68,20 @@ pub fn parse_view(src: &str) -> Result<ViewAst, ParseError> {
 
     p.expect(&TokenKind::From, "FROM")?;
     let (paths, class_exprs) = p.from_items()?;
-    let filters = if p.eat(&TokenKind::Where) { conditions(&mut p)? } else { Vec::new() };
+    let filters = if p.eat(&TokenKind::Where) {
+        conditions(&mut p)?
+    } else {
+        Vec::new()
+    };
     let namespaces = p.using_namespaces()?;
     p.expect_eof()?;
-    Ok(ViewAst { clauses, paths, class_exprs, filters, namespaces })
+    Ok(ViewAst {
+        clauses,
+        paths,
+        class_exprs,
+        filters,
+        namespaces,
+    })
 }
 
 fn view_clause(p: &mut Parser) -> Result<ViewClauseAst, ParseError> {
@@ -86,7 +96,11 @@ fn view_clause(p: &mut Parser) -> Result<ViewClauseAst, ParseError> {
     let first = var_name(p)?;
     let clause = if p.eat(&TokenKind::Comma) {
         let second = var_name(p)?;
-        ViewClauseAst::Property { name, subject: first, object: second }
+        ViewClauseAst::Property {
+            name,
+            subject: first,
+            object: second,
+        }
     } else {
         ViewClauseAst::Class { name, var: first }
     };
@@ -161,11 +175,18 @@ mod tests {
         assert_eq!(v.clauses.len(), 3);
         assert_eq!(
             v.clauses[0],
-            ViewClauseAst::Class { name: "n1:C5".into(), var: "X".into() }
+            ViewClauseAst::Class {
+                name: "n1:C5".into(),
+                var: "X".into()
+            }
         );
         assert_eq!(
             v.clauses[1],
-            ViewClauseAst::Property { name: "n1:prop4".into(), subject: "X".into(), object: "Y".into() }
+            ViewClauseAst::Property {
+                name: "n1:prop4".into(),
+                subject: "X".into(),
+                object: "Y".into()
+            }
         );
         assert_eq!(v.paths.len(), 1);
         assert_eq!(v.namespaces.len(), 1);

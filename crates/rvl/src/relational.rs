@@ -38,7 +38,12 @@ impl Table {
 
     /// Appends a row (must match the column count).
     pub fn insert(&mut self, row: &[&str]) {
-        assert_eq!(row.len(), self.columns.len(), "row arity mismatch in `{}`", self.name);
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity mismatch in `{}`",
+            self.name
+        );
         self.rows.push(row.iter().map(|c| c.to_string()).collect());
     }
 
@@ -57,8 +62,14 @@ impl Table {
 
     /// Relational projection onto `columns` (duplicates preserved).
     pub fn project(&self, columns: &[&str]) -> Vec<Vec<String>> {
-        let idx: Vec<usize> = columns.iter().filter_map(|c| self.column_index(c)).collect();
-        self.rows.iter().map(|r| idx.iter().map(|&i| r[i].clone()).collect()).collect()
+        let idx: Vec<usize> = columns
+            .iter()
+            .filter_map(|c| self.column_index(c))
+            .collect();
+        self.rows
+            .iter()
+            .map(|r| idx.iter().map(|&i| r[i].clone()).collect())
+            .collect()
     }
 }
 
@@ -139,9 +150,10 @@ impl ColumnMapping {
                 Some(Node::Resource(Resource::new(format!("{prefix}{cell}"))))
             }
             ColumnMapping::StringLiteral => Some(Node::Literal(Literal::string(cell))),
-            ColumnMapping::IntegerLiteral => {
-                cell.parse::<i64>().ok().map(|i| Node::Literal(Literal::Integer(i)))
-            }
+            ColumnMapping::IntegerLiteral => cell
+                .parse::<i64>()
+                .ok()
+                .map(|i| Node::Literal(Literal::Integer(i))),
         }
     }
 }
@@ -174,7 +186,11 @@ pub struct VirtualBase {
 impl VirtualBase {
     /// Creates a virtual base from a database and mapping rules.
     pub fn new(schema: Arc<Schema>, database: Database, mappings: Vec<TableMapping>) -> Self {
-        VirtualBase { schema, database, mappings }
+        VirtualBase {
+            schema,
+            database,
+            mappings,
+        }
     }
 
     /// The community schema.
@@ -203,7 +219,11 @@ impl VirtualBase {
                 }
                 Range::Literal(_) => None,
             };
-            properties.push(ActiveProperty { property: m.property, domain: def.domain, range });
+            properties.push(ActiveProperty {
+                property: m.property,
+                domain: def.domain,
+                range,
+            });
         }
         classes.sort();
         classes.dedup();
@@ -234,17 +254,26 @@ impl VirtualBase {
     }
 
     fn populate_mapping(&self, m: &TableMapping, base: &mut DescriptionBase) -> usize {
-        let Some(table) = self.database.table(&m.table) else { return 0 };
-        let (Some(si), Some(oi)) =
-            (table.column_index(&m.subject_column), table.column_index(&m.object_column))
-        else {
+        let Some(table) = self.database.table(&m.table) else {
+            return 0;
+        };
+        let (Some(si), Some(oi)) = (
+            table.column_index(&m.subject_column),
+            table.column_index(&m.object_column),
+        ) else {
             return 0;
         };
         let mut produced = 0;
         for row in &table.rows {
             let subject = Resource::new(format!("{}{}", m.subject_prefix, row[si]));
-            let Some(object) = m.object.to_node(&row[oi]) else { continue };
-            let triple = Triple { subject, property: m.property, object };
+            let Some(object) = m.object.to_node(&row[oi]) else {
+                continue;
+            };
+            let triple = Triple {
+                subject,
+                property: m.property,
+                object,
+            };
             if base.insert_described(triple) {
                 produced += 1;
             }
@@ -263,7 +292,9 @@ mod tests {
         let c1 = b.class("C1").unwrap();
         let c2 = b.class("C2").unwrap();
         let _ = b.property("prop1", c1, Range::Class(c2)).unwrap();
-        let _ = b.property("age", c1, Range::Literal(LiteralType::Integer)).unwrap();
+        let _ = b
+            .property("age", c1, Range::Literal(LiteralType::Integer))
+            .unwrap();
         Arc::new(b.finish().unwrap())
     }
 
@@ -310,7 +341,9 @@ mod tests {
                 subject_column: "id".into(),
                 subject_prefix: "http://a/".into(),
                 object_column: "paper".into(),
-                object: ColumnMapping::Resource { prefix: "http://p/".into() },
+                object: ColumnMapping::Resource {
+                    prefix: "http://p/".into(),
+                },
                 property: p1,
             }],
         );
@@ -333,7 +366,9 @@ mod tests {
                     subject_column: "id".into(),
                     subject_prefix: "http://a/".into(),
                     object_column: "paper".into(),
-                    object: ColumnMapping::Resource { prefix: "http://p/".into() },
+                    object: ColumnMapping::Resource {
+                        prefix: "http://p/".into(),
+                    },
                     property: p1,
                 },
                 TableMapping {

@@ -118,9 +118,16 @@ impl ViewDefinition {
                     let class = schema
                         .class_by_name(name)
                         .ok_or_else(|| resolve_target_err(schema, name))?;
-                    clauses.push(ViewClause::Class { class, var: lookup_var(var)? });
+                    clauses.push(ViewClause::Class {
+                        class,
+                        var: lookup_var(var)?,
+                    });
                 }
-                ViewClauseAst::Property { name, subject, object } => {
+                ViewClauseAst::Property {
+                    name,
+                    subject,
+                    object,
+                } => {
                     let property = schema.property_by_name(name).ok_or_else(|| {
                         if schema.class_by_name(name).is_some() {
                             RvlError::ArityMismatch(name.clone())
@@ -136,7 +143,11 @@ impl ViewDefinition {
                 }
             }
         }
-        Ok(ViewDefinition { schema: Arc::clone(schema), clauses, body })
+        Ok(ViewDefinition {
+            schema: Arc::clone(schema),
+            clauses,
+            body,
+        })
     }
 
     /// The community schema.
@@ -169,7 +180,11 @@ impl ViewDefinition {
         for clause in &self.clauses {
             match *clause {
                 ViewClause::Class { class, .. } => classes.push(class),
-                ViewClause::Property { property, subject, object } => {
+                ViewClause::Property {
+                    property,
+                    subject,
+                    object,
+                } => {
                     let def = self.schema.property(property);
                     let domain = class_of_var(subject)
                         .filter(|&c| self.schema.is_subclass(c, def.domain))
@@ -182,7 +197,11 @@ impl ViewDefinition {
                         ),
                         Range::Literal(_) => None,
                     };
-                    properties.push(ActiveProperty { property, domain, range });
+                    properties.push(ActiveProperty {
+                        property,
+                        domain,
+                        range,
+                    });
                 }
             }
         }
@@ -210,8 +229,14 @@ impl ViewDefinition {
                             }
                         }
                     }
-                    ViewClause::Property { property, subject, object } => {
-                        let (Some(si), Some(oi)) = (col(subject), col(object)) else { continue };
+                    ViewClause::Property {
+                        property,
+                        subject,
+                        object,
+                    } => {
+                        let (Some(si), Some(oi)) = (col(subject), col(object)) else {
+                            continue;
+                        };
                         if let Node::Resource(s) = &row[si] {
                             let t = Triple::new(s.clone(), property, row[oi].clone());
                             if target.insert_triple(t) {
@@ -267,7 +292,11 @@ mod tests {
         assert!(active.has_class(c6));
         assert_eq!(
             active.active_properties(),
-            &[ActiveProperty { property: p4, domain: c5, range: Some(c6) }]
+            &[ActiveProperty {
+                property: p4,
+                domain: c5,
+                range: Some(c6)
+            }]
         );
     }
 
@@ -317,8 +346,8 @@ mod tests {
         let mut source = DescriptionBase::new(Arc::clone(&schema));
         source.insert_described(Triple::new(Resource::new("a"), p1, Resource::new("b")));
         source.insert_described(Triple::new(Resource::new("c"), p4, Resource::new("d")));
-        let view = ViewDefinition::parse("VIEW n1:prop1(X,Y) FROM {X}n1:prop1{Y}", &schema)
-            .unwrap();
+        let view =
+            ViewDefinition::parse("VIEW n1:prop1(X,Y) FROM {X}n1:prop1{Y}", &schema).unwrap();
         let mut target = DescriptionBase::new(Arc::clone(&schema));
         view.materialize(&source, &mut target);
         assert_eq!(target.triples_direct(p1).count(), 2);
@@ -384,11 +413,9 @@ mod tests {
             age,
             sqpeer_rdfs::Literal::Integer(10),
         ));
-        let view = ViewDefinition::parse(
-            "VIEW n1:Adult(X) FROM {X}n1:age{A} WHERE A >= 18",
-            &schema,
-        )
-        .unwrap();
+        let view =
+            ViewDefinition::parse("VIEW n1:Adult(X) FROM {X}n1:age{A} WHERE A >= 18", &schema)
+                .unwrap();
         let mut target = DescriptionBase::new(Arc::clone(&schema));
         view.materialize(&source, &mut target);
         let adults = target.class_extent_direct(adult).collect::<Vec<_>>();

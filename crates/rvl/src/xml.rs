@@ -27,7 +27,10 @@ pub struct Element {
 impl Element {
     /// Creates an element with the given tag.
     pub fn new(tag: &str) -> Self {
-        Element { tag: tag.to_string(), ..Element::default() }
+        Element {
+            tag: tag.to_string(),
+            ..Element::default()
+        }
     }
 
     /// Builder: sets an attribute.
@@ -50,7 +53,10 @@ impl Element {
 
     /// The value of attribute `name`, if present.
     pub fn attribute(&self, name: &str) -> Option<&str> {
-        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// All descendants (including self) matching a `/`-separated tag path
@@ -133,7 +139,11 @@ pub struct XmlBase {
 impl XmlBase {
     /// Creates an XML-backed virtual base.
     pub fn new(schema: Arc<Schema>, root: Element, mappings: Vec<PathMapping>) -> Self {
-        XmlBase { schema, root, mappings }
+        XmlBase {
+            schema,
+            root,
+            mappings,
+        }
     }
 
     /// The community schema.
@@ -160,7 +170,11 @@ impl XmlBase {
                 }
                 Range::Literal(_) => None,
             };
-            properties.push(ActiveProperty { property: m.property, domain: def.domain, range });
+            properties.push(ActiveProperty {
+                property: m.property,
+                domain: def.domain,
+                range,
+            });
         }
         classes.sort();
         classes.dedup();
@@ -175,11 +189,21 @@ impl XmlBase {
         let mut produced = 0;
         for m in &self.mappings {
             for element in self.root.select(&m.path) {
-                let Some(subject_value) = m.subject.extract(element) else { continue };
-                let Some(object_value) = m.object.extract(element) else { continue };
+                let Some(subject_value) = m.subject.extract(element) else {
+                    continue;
+                };
+                let Some(object_value) = m.object.extract(element) else {
+                    continue;
+                };
                 let subject = Resource::new(format!("{}{}", m.subject_prefix, subject_value));
-                let Some(object) = column_node(&m.object_kind, &object_value) else { continue };
-                if base.insert_described(Triple { subject, property: m.property, object }) {
+                let Some(object) = column_node(&m.object_kind, &object_value) else {
+                    continue;
+                };
+                if base.insert_described(Triple {
+                    subject,
+                    property: m.property,
+                    object,
+                }) {
                     produced += 1;
                 }
             }
@@ -195,9 +219,10 @@ fn column_node(kind: &super::relational::ColumnMapping, value: &str) -> Option<N
             Some(Node::Resource(Resource::new(format!("{prefix}{value}"))))
         }
         ColumnMapping::StringLiteral => Some(Node::Literal(Literal::string(value))),
-        ColumnMapping::IntegerLiteral => {
-            value.parse::<i64>().ok().map(|i| Node::Literal(Literal::Integer(i)))
-        }
+        ColumnMapping::IntegerLiteral => value
+            .parse::<i64>()
+            .ok()
+            .map(|i| Node::Literal(Literal::Integer(i))),
     }
 }
 
@@ -212,7 +237,9 @@ mod tests {
         let c1 = b.class("C1").unwrap();
         let c2 = b.class("C2").unwrap();
         let _ = b.property("prop1", c1, Range::Class(c2)).unwrap();
-        let _ = b.property("year", c1, Range::Literal(LiteralType::Integer)).unwrap();
+        let _ = b
+            .property("year", c1, Range::Literal(LiteralType::Integer))
+            .unwrap();
         Arc::new(b.finish().unwrap())
     }
 
@@ -242,7 +269,9 @@ mod tests {
                 subject: ValueSource::Attribute("id".into()),
                 subject_prefix: "http://lib/".into(),
                 object: ValueSource::ChildText("author".into()),
-                object_kind: ColumnMapping::Resource { prefix: "http://people/".into() },
+                object_kind: ColumnMapping::Resource {
+                    prefix: "http://people/".into(),
+                },
                 property: schema.property_by_name("prop1").unwrap(),
             },
             PathMapping {
@@ -285,7 +314,11 @@ mod tests {
     #[test]
     fn advertises_without_reading_the_document() {
         let schema = schema();
-        let xb = XmlBase::new(Arc::clone(&schema), Element::new("empty"), mappings(&schema));
+        let xb = XmlBase::new(
+            Arc::clone(&schema),
+            Element::new("empty"),
+            mappings(&schema),
+        );
         let active = xb.active_schema();
         assert!(active.has_property(schema.property_by_name("prop1").unwrap()));
         assert!(active.has_property(schema.property_by_name("year").unwrap()));

@@ -44,7 +44,10 @@ impl PropExtent {
             }
         }
         let idx = self.pairs.len() as u32;
-        self.by_subject.entry(subject.clone()).or_default().push(idx);
+        self.by_subject
+            .entry(subject.clone())
+            .or_default()
+            .push(idx);
         self.by_object.entry(object.clone()).or_default().push(idx);
         self.pairs.push((subject, object));
         true
@@ -83,7 +86,10 @@ impl DescriptionBase {
     pub fn insert_typing(&mut self, typing: Typing) -> bool {
         let newly = self.class_extents[typing.class.0 as usize].insert(typing.resource.clone());
         if newly {
-            self.types_of.entry(typing.resource).or_default().push(typing.class);
+            self.types_of
+                .entry(typing.resource)
+                .or_default()
+                .push(typing.class);
         }
         newly
     }
@@ -124,7 +130,10 @@ impl DescriptionBase {
 
     /// Direct extent of property `p` (no subproperty closure).
     pub fn triples_direct(&self, p: PropertyId) -> impl Iterator<Item = (&Resource, &Node)> {
-        self.prop_extents[p.0 as usize].pairs.iter().map(|(s, o)| (s, o))
+        self.prop_extents[p.0 as usize]
+            .pairs
+            .iter()
+            .map(|(s, o)| (s, o))
     }
 
     /// Closed extent of property `p`: triples of `p` and of every
@@ -142,17 +151,20 @@ impl DescriptionBase {
         p: PropertyId,
         subject: &'a Resource,
     ) -> impl Iterator<Item = (&'a Resource, &'a Node)> + 'a {
-        self.schema.property_descendant_set(p).iter().flat_map(move |sub| {
-            let ext = &self.prop_extents[sub];
-            ext.by_subject
-                .get(subject)
-                .into_iter()
-                .flatten()
-                .map(move |&i| {
-                    let (s, o) = &ext.pairs[i as usize];
-                    (s, o)
-                })
-        })
+        self.schema
+            .property_descendant_set(p)
+            .iter()
+            .flat_map(move |sub| {
+                let ext = &self.prop_extents[sub];
+                ext.by_subject
+                    .get(subject)
+                    .into_iter()
+                    .flatten()
+                    .map(move |&i| {
+                        let (s, o) = &ext.pairs[i as usize];
+                        (s, o)
+                    })
+            })
     }
 
     /// Closed triples of `p` with the given object.
@@ -161,17 +173,20 @@ impl DescriptionBase {
         p: PropertyId,
         object: &'a Node,
     ) -> impl Iterator<Item = (&'a Resource, &'a Node)> + 'a {
-        self.schema.property_descendant_set(p).iter().flat_map(move |sub| {
-            let ext = &self.prop_extents[sub];
-            ext.by_object
-                .get(object)
-                .into_iter()
-                .flatten()
-                .map(move |&i| {
-                    let (s, o) = &ext.pairs[i as usize];
-                    (s, o)
-                })
-        })
+        self.schema
+            .property_descendant_set(p)
+            .iter()
+            .flat_map(move |sub| {
+                let ext = &self.prop_extents[sub];
+                ext.by_object
+                    .get(object)
+                    .into_iter()
+                    .flatten()
+                    .map(move |&i| {
+                        let (s, o) = &ext.pairs[i as usize];
+                        (s, o)
+                    })
+            })
     }
 
     /// Direct extent of class `c`.
@@ -242,7 +257,9 @@ impl DescriptionBase {
         let classes = self
             .schema
             .classes()
-            .map(|c| ClassStats { instances: self.class_extents[c.0 as usize].len() })
+            .map(|c| ClassStats {
+                instances: self.class_extents[c.0 as usize].len(),
+            })
             .collect();
         BaseStatistics::new(props, classes, &self.schema)
     }
@@ -403,7 +420,9 @@ mod tests {
     fn literal_objects() {
         let mut b = SchemaBuilder::new("n1", "u");
         let c1 = b.class("C1").unwrap();
-        let title = b.property("title", c1, Range::Literal(LiteralType::String)).unwrap();
+        let title = b
+            .property("title", c1, Range::Literal(LiteralType::String))
+            .unwrap();
         let schema = Arc::new(b.finish().unwrap());
         let mut base = DescriptionBase::new(schema);
         base.insert_described(Triple::new(r(1), title, Literal::string("hello")));

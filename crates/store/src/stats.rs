@@ -68,7 +68,12 @@ impl BaseStatistics {
                 agg
             })
             .collect();
-        BaseStatistics { props, classes, props_closed, classes_closed }
+        BaseStatistics {
+            props,
+            classes,
+            props_closed,
+            classes_closed,
+        }
     }
 
     /// Direct statistics for property `p`.
@@ -79,7 +84,10 @@ impl BaseStatistics {
     /// Subsumption-closed statistics for property `p` (includes all
     /// subproperties).
     pub fn property_closed(&self, p: PropertyId) -> PropertyStats {
-        self.props_closed.get(p.0 as usize).copied().unwrap_or_default()
+        self.props_closed
+            .get(p.0 as usize)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Direct statistics for class `c`.
@@ -89,7 +97,10 @@ impl BaseStatistics {
 
     /// Subsumption-closed statistics for class `c`.
     pub fn class_closed(&self, c: ClassId) -> ClassStats {
-        self.classes_closed.get(c.0 as usize).copied().unwrap_or_default()
+        self.classes_closed
+            .get(c.0 as usize)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Total triples in the snapshot.
@@ -115,8 +126,16 @@ mod tests {
         let schema = b.finish().unwrap();
 
         let mut props = vec![PropertyStats::default(); schema.property_count()];
-        props[p1.0 as usize] = PropertyStats { triples: 10, distinct_subjects: 5, distinct_objects: 8 };
-        props[p4.0 as usize] = PropertyStats { triples: 4, distinct_subjects: 2, distinct_objects: 4 };
+        props[p1.0 as usize] = PropertyStats {
+            triples: 10,
+            distinct_subjects: 5,
+            distinct_objects: 8,
+        };
+        props[p4.0 as usize] = PropertyStats {
+            triples: 4,
+            distinct_subjects: 2,
+            distinct_objects: 4,
+        };
         let mut classes = vec![ClassStats::default(); schema.class_count()];
         classes[c1.0 as usize] = ClassStats { instances: 5 };
         classes[c5.0 as usize] = ClassStats { instances: 2 };

@@ -66,7 +66,13 @@ pub fn dump(base: &DescriptionBase) -> String {
                 }
                 Node::Literal(Literal::Boolean(b)) => b.to_string(),
             };
-            let _ = writeln!(out, "<{}> {} {} .", s.uri(), schema.property_qname(p), object);
+            let _ = writeln!(
+                out,
+                "<{}> {} {} .",
+                s.uri(),
+                schema.property_qname(p),
+                object
+            );
         }
     }
     out
@@ -83,14 +89,17 @@ pub fn load(schema: &Arc<Schema>, text: &str) -> Result<DescriptionBase, TextErr
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let err = |message: String| TextError { line: line_no, message };
+        let err = |message: String| TextError {
+            line: line_no,
+            message,
+        };
         let line = line
             .strip_suffix('.')
             .ok_or_else(|| err("missing terminating `.`".into()))?
             .trim_end();
 
-        let (subject, rest) = parse_uri_ref(line)
-            .ok_or_else(|| err("expected `<uri>` subject".into()))?;
+        let (subject, rest) =
+            parse_uri_ref(line).ok_or_else(|| err("expected `<uri>` subject".into()))?;
         let rest = rest.trim_start();
         let (predicate, rest) = rest
             .split_once(' ')
@@ -107,8 +116,8 @@ pub fn load(schema: &Arc<Schema>, text: &str) -> Result<DescriptionBase, TextErr
         let property = schema
             .property_by_name(predicate)
             .ok_or_else(|| err(format!("unknown property `{predicate}`")))?;
-        let object = parse_object(object_text)
-            .ok_or_else(|| err(format!("bad object `{object_text}`")))?;
+        let object =
+            parse_object(object_text).ok_or_else(|| err(format!("bad object `{object_text}`")))?;
         base.insert_triple(Triple::new(Resource::new(subject), property, object));
     }
     Ok(base)
@@ -144,7 +153,9 @@ fn parse_object(text: &str) -> Option<Node> {
             return Some(Node::Literal(Literal::Float(x)));
         }
     }
-    text.parse::<i64>().ok().map(|i| Node::Literal(Literal::Integer(i)))
+    text.parse::<i64>()
+        .ok()
+        .map(|i| Node::Literal(Literal::Integer(i)))
 }
 
 #[cfg(test)]
@@ -157,25 +168,49 @@ mod tests {
         let c1 = b.class("C1").unwrap();
         let c2 = b.class("C2").unwrap();
         let _ = b.property("prop1", c1, Range::Class(c2)).unwrap();
-        let _ = b.property("title", c1, Range::Literal(LiteralType::String)).unwrap();
-        let _ = b.property("age", c1, Range::Literal(LiteralType::Integer)).unwrap();
-        let _ = b.property("score", c1, Range::Literal(LiteralType::Float)).unwrap();
-        let _ = b.property("open", c1, Range::Literal(LiteralType::Boolean)).unwrap();
+        let _ = b
+            .property("title", c1, Range::Literal(LiteralType::String))
+            .unwrap();
+        let _ = b
+            .property("age", c1, Range::Literal(LiteralType::Integer))
+            .unwrap();
+        let _ = b
+            .property("score", c1, Range::Literal(LiteralType::Float))
+            .unwrap();
+        let _ = b
+            .property("open", c1, Range::Literal(LiteralType::Boolean))
+            .unwrap();
         Arc::new(b.finish().unwrap())
     }
 
     fn sample(schema: &Arc<Schema>) -> DescriptionBase {
         let mut base = DescriptionBase::new(Arc::clone(schema));
         let p = |n: &str| schema.property_by_name(n).unwrap();
-        base.insert_described(Triple::new(Resource::new("http://x/a"), p("prop1"), Resource::new("http://x/b")));
+        base.insert_described(Triple::new(
+            Resource::new("http://x/a"),
+            p("prop1"),
+            Resource::new("http://x/b"),
+        ));
         base.insert_described(Triple::new(
             Resource::new("http://x/a"),
             p("title"),
             Literal::string("with \"quotes\" and \\slash"),
         ));
-        base.insert_described(Triple::new(Resource::new("http://x/a"), p("age"), Literal::Integer(-7)));
-        base.insert_described(Triple::new(Resource::new("http://x/a"), p("score"), Literal::Float(2.0)));
-        base.insert_described(Triple::new(Resource::new("http://x/a"), p("open"), Literal::Boolean(true)));
+        base.insert_described(Triple::new(
+            Resource::new("http://x/a"),
+            p("age"),
+            Literal::Integer(-7),
+        ));
+        base.insert_described(Triple::new(
+            Resource::new("http://x/a"),
+            p("score"),
+            Literal::Float(2.0),
+        ));
+        base.insert_described(Triple::new(
+            Resource::new("http://x/a"),
+            p("open"),
+            Literal::Boolean(true),
+        ));
         base
     }
 
@@ -196,7 +231,10 @@ mod tests {
         let s = schema();
         let text = dump(&sample(&s));
         assert!(text.contains("<http://x/a> a n1:C1 ."), "{text}");
-        assert!(text.contains("<http://x/a> n1:prop1 <http://x/b> ."), "{text}");
+        assert!(
+            text.contains("<http://x/a> n1:prop1 <http://x/b> ."),
+            "{text}"
+        );
         assert!(text.contains("<http://x/a> n1:age -7 ."), "{text}");
         assert!(text.contains("<http://x/a> n1:score 2.0 ."), "{text}");
         assert!(text.contains("<http://x/a> n1:open true ."), "{text}");

@@ -153,11 +153,11 @@ impl Articulation {
             let property = self.property_image(p.property)?;
             let tdef = self.target.property(property);
             let map_endpoint = |e: &Endpoint, declared: Option<ClassId>| -> Endpoint {
-                let class = e
-                    .class
-                    .and_then(|c| self.class_image(c))
-                    .or(declared);
-                Endpoint { term: e.term.clone(), class }
+                let class = e.class.and_then(|c| self.class_image(c)).or(declared);
+                Endpoint {
+                    term: e.term.clone(),
+                    class,
+                }
             };
             let declared_range = match tdef.range {
                 Range::Class(c) => Some(c),
@@ -209,8 +209,14 @@ mod tests {
         let g = global();
         let l = local();
         Articulation::builder(Arc::clone(&g), Arc::clone(&l))
-            .map_class(g.class_by_name("Document").unwrap(), l.class_by_name("Book").unwrap())
-            .map_class(g.class_by_name("Person").unwrap(), l.class_by_name("Writer").unwrap())
+            .map_class(
+                g.class_by_name("Document").unwrap(),
+                l.class_by_name("Book").unwrap(),
+            )
+            .map_class(
+                g.class_by_name("Person").unwrap(),
+                l.class_by_name("Writer").unwrap(),
+            )
             .map_property(
                 g.property_by_name("author").unwrap(),
                 l.property_by_name("writtenBy").unwrap(),
@@ -231,12 +237,21 @@ mod tests {
         let r = a.reformulate(&q).expect("fully mapped");
         assert_eq!(r.patterns().len(), 2);
         let l = local();
-        assert_eq!(r.patterns()[0].property, l.property_by_name("writtenBy").unwrap());
-        assert_eq!(r.patterns()[1].property, l.property_by_name("references").unwrap());
+        assert_eq!(
+            r.patterns()[0].property,
+            l.property_by_name("writtenBy").unwrap()
+        );
+        assert_eq!(
+            r.patterns()[1].property,
+            l.property_by_name("references").unwrap()
+        );
         // Same variable names → same answer columns.
         assert_eq!(r.var_names(), q.var_names());
         assert_eq!(r.projection(), q.projection());
-        assert_eq!(r.to_string(), "SELECT D, P FROM {D;l:Book}l:writtenBy{P;l:Writer}, {D;l:Book}l:references{E;l:Book}");
+        assert_eq!(
+            r.to_string(),
+            "SELECT D, P FROM {D;l:Book}l:writtenBy{P;l:Writer}, {D;l:Book}l:references{E;l:Book}"
+        );
     }
 
     #[test]
@@ -261,7 +276,10 @@ mod tests {
         // Map author → references: range Person ↦ Writer but references'
         // range is Book — incoherent with the class mapping.
         let err = Articulation::builder(Arc::clone(&g), Arc::clone(&l))
-            .map_class(g.class_by_name("Person").unwrap(), l.class_by_name("Writer").unwrap())
+            .map_class(
+                g.class_by_name("Person").unwrap(),
+                l.class_by_name("Writer").unwrap(),
+            )
             .map_property(
                 g.property_by_name("author").unwrap(),
                 l.property_by_name("references").unwrap(),

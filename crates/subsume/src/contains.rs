@@ -96,12 +96,7 @@ fn search(
 }
 
 /// Maps a general term onto a specific term, extending `var_map`.
-fn unify(
-    g: &Term,
-    s: &Term,
-    var_map: &mut HashMap<VarId, Term>,
-    touched: &mut Vec<VarId>,
-) -> bool {
+fn unify(g: &Term, s: &Term, var_map: &mut HashMap<VarId, Term>, touched: &mut Vec<VarId>) -> bool {
     match g {
         Term::Var(v) => match var_map.get(v) {
             Some(bound) => bound == s,
@@ -123,9 +118,11 @@ fn projection_preserved(
     specific: &QueryPattern,
     var_map: &HashMap<VarId, Term>,
 ) -> bool {
-    general.projection().iter().zip(specific.projection().iter()).all(|(gv, sv)| {
-        matches!(var_map.get(gv), Some(Term::Var(mapped)) if mapped == sv)
-    })
+    general
+        .projection()
+        .iter()
+        .zip(specific.projection().iter())
+        .all(|(gv, sv)| matches!(var_map.get(gv), Some(Term::Var(mapped)) if mapped == sv))
 }
 
 #[cfg(test)]
@@ -230,5 +227,4 @@ mod tests {
         assert!(contains(&general, &selfloop));
         assert!(!contains(&selfloop, &general));
     }
-
 }

@@ -28,13 +28,20 @@ impl PatternMatch {
     /// Does the paper's strict `isSubsumed(AS, AQ)` test hold (equivalence
     /// or specialisation)?
     pub fn is_subsumed(self) -> bool {
-        matches!(self, PatternMatch::Equivalent | PatternMatch::SpecializesQuery)
+        matches!(
+            self,
+            PatternMatch::Equivalent | PatternMatch::SpecializesQuery
+        )
     }
 }
 
 /// Classifies advertisement `ap` against query path pattern `q`, or `None`
 /// when the two can share no instances at all.
-pub fn match_pattern(schema: &Schema, ap: &ActiveProperty, q: &PathPattern) -> Option<PatternMatch> {
+pub fn match_pattern(
+    schema: &Schema,
+    ap: &ActiveProperty,
+    q: &PathPattern,
+) -> Option<PatternMatch> {
     let qd = q.subject.class?; // subjects always carry a class
     let prop = relate_props(schema, ap.property, q.property)?;
     let dom = relate_classes(schema, ap.domain, qd)?;
@@ -59,8 +66,11 @@ pub fn match_pattern(schema: &Schema, ap: &ActiveProperty, q: &PathPattern) -> O
 /// the query side is already the more specific one, so the pattern is
 /// largely unchanged.
 pub fn rewrite_for(schema: &Schema, ap: &ActiveProperty, q: &PathPattern) -> PathPattern {
-    let property =
-        if schema.is_subproperty(ap.property, q.property) { ap.property } else { q.property };
+    let property = if schema.is_subproperty(ap.property, q.property) {
+        ap.property
+    } else {
+        q.property
+    };
     let narrow = |advertised: Option<ClassId>, queried: Option<ClassId>| match (advertised, queried)
     {
         (Some(a), Some(qc)) => {
@@ -78,7 +88,10 @@ pub fn rewrite_for(schema: &Schema, ap: &ActiveProperty, q: &PathPattern) -> Pat
             class: narrow(Some(ap.domain), q.subject.class),
         },
         property,
-        object: Endpoint { term: q.object.term.clone(), class: narrow(ap.range, q.object.class) },
+        object: Endpoint {
+            term: q.object.term.clone(),
+            class: narrow(ap.range, q.object.class),
+        },
     }
 }
 
@@ -199,7 +212,10 @@ mod tests {
 
         // P4 advertises prop4 ⊑ prop1: subsumed by Q1 (annotated), not Q2.
         let p4 = ap(&s, "prop4", "C5", "C6");
-        assert_eq!(match_pattern(&s, &p4, q1), Some(PatternMatch::SpecializesQuery));
+        assert_eq!(
+            match_pattern(&s, &p4, q1),
+            Some(PatternMatch::SpecializesQuery)
+        );
         assert!(match_pattern(&s, &p4, q1).unwrap().is_subsumed());
         assert_eq!(match_pattern(&s, &p4, q2), None);
     }
@@ -215,7 +231,9 @@ mod tests {
             match_pattern(&s, &p, &query.patterns()[0]),
             Some(PatternMatch::GeneralizesQuery)
         );
-        assert!(!match_pattern(&s, &p, &query.patterns()[0]).unwrap().is_subsumed());
+        assert!(!match_pattern(&s, &p, &query.patterns()[0])
+            .unwrap()
+            .is_subsumed());
     }
 
     #[test]
@@ -241,7 +259,10 @@ mod tests {
         // prop4 ⊑ prop1 (narrower), domain equal (C5), range C2 ⊒ C2 equal…
         // make range wider: query object defaults to C2, advertisement C2.
         // Use domain wider instead:
-        let p_wide_dom = ActiveProperty { domain: s.class_by_name("C1").unwrap(), ..p };
+        let p_wide_dom = ActiveProperty {
+            domain: s.class_by_name("C1").unwrap(),
+            ..p
+        };
         assert_eq!(
             match_pattern(&s, &p_wide_dom, &query.patterns()[0]),
             Some(PatternMatch::Overlaps)
@@ -283,14 +304,28 @@ mod tests {
     fn literal_ranged_properties_match() {
         let mut b = SchemaBuilder::new("n1", "u");
         let c1 = b.class("C1").unwrap();
-        let title =
-            b.property("title", c1, Range::Literal(sqpeer_rdfs::LiteralType::String)).unwrap();
+        let title = b
+            .property(
+                "title",
+                c1,
+                Range::Literal(sqpeer_rdfs::LiteralType::String),
+            )
+            .unwrap();
         let sub = b
-            .subproperty("shortTitle", title, c1, Range::Literal(sqpeer_rdfs::LiteralType::String))
+            .subproperty(
+                "shortTitle",
+                title,
+                c1,
+                Range::Literal(sqpeer_rdfs::LiteralType::String),
+            )
             .unwrap();
         let s = Arc::new(b.finish().unwrap());
         let query = q(&s, "SELECT X FROM {X}title{T}");
-        let adv = ActiveProperty { property: sub, domain: c1, range: None };
+        let adv = ActiveProperty {
+            property: sub,
+            domain: c1,
+            range: None,
+        };
         assert_eq!(
             match_pattern(&s, &adv, &query.patterns()[0]),
             Some(PatternMatch::SpecializesQuery)

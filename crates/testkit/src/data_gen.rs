@@ -16,7 +16,10 @@ pub struct DataSpec {
 
 impl Default for DataSpec {
     fn default() -> Self {
-        DataSpec { triples_per_property: 50, class_pool: 40 }
+        DataSpec {
+            triples_per_property: 50,
+            class_pool: 40,
+        }
     }
 }
 
@@ -101,9 +104,15 @@ mod tests {
         let mut base = DescriptionBase::new(schema.clone());
         let mut rng = StdRng::seed_from_u64(7);
         // A tiny pool forces collisions: inserted < requested.
-        let spec = DataSpec { triples_per_property: 500, class_pool: 4 };
+        let spec = DataSpec {
+            triples_per_property: 500,
+            class_pool: 4,
+        };
         let inserted = populate(&mut base, &props, spec, &mut rng);
-        assert!(inserted <= 16, "at most pool² distinct triples, got {inserted}");
+        assert!(
+            inserted <= 16,
+            "at most pool² distinct triples, got {inserted}"
+        );
         assert_eq!(base.triple_count(), inserted);
     }
 }

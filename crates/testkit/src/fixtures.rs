@@ -15,10 +15,18 @@ pub fn fig1_schema() -> Arc<Schema> {
     let c4 = b.class("C4").expect("fresh builder");
     let c5 = b.subclass("C5", c1).expect("fresh builder");
     let c6 = b.subclass("C6", c2).expect("fresh builder");
-    let p1 = b.property("prop1", c1, Range::Class(c2)).expect("fresh builder");
-    let _p2 = b.property("prop2", c2, Range::Class(c3)).expect("fresh builder");
-    let _p3 = b.property("prop3", c3, Range::Class(c4)).expect("fresh builder");
-    let _p4 = b.subproperty("prop4", p1, c5, Range::Class(c6)).expect("valid refinement");
+    let p1 = b
+        .property("prop1", c1, Range::Class(c2))
+        .expect("fresh builder");
+    let _p2 = b
+        .property("prop2", c2, Range::Class(c3))
+        .expect("fresh builder");
+    let _p3 = b
+        .property("prop3", c3, Range::Class(c4))
+        .expect("fresh builder");
+    let _p4 = b
+        .subproperty("prop4", p1, c5, Range::Class(c6))
+        .expect("valid refinement");
     Arc::new(b.finish().expect("acyclic"))
 }
 
@@ -27,7 +35,9 @@ pub fn fig1_schema() -> Arc<Schema> {
 pub fn base_with(schema: &Arc<Schema>, triples: &[(&str, &str, &str)]) -> DescriptionBase {
     let mut db = DescriptionBase::new(Arc::clone(schema));
     for (s, p, o) in triples {
-        let prop = schema.property_by_name(p).unwrap_or_else(|| panic!("unknown {p}"));
+        let prop = schema
+            .property_by_name(p)
+            .unwrap_or_else(|| panic!("unknown {p}"));
         db.insert_described(Triple::new(
             Resource::new(*s),
             prop,
@@ -50,13 +60,19 @@ pub fn fig2_bases(schema: &Arc<Schema>) -> Vec<DescriptionBase> {
     vec![
         base_with(
             schema,
-            &[("http://p1/a", "prop1", "http://p1/b"), ("http://p1/b", "prop2", "http://p1/c")],
+            &[
+                ("http://p1/a", "prop1", "http://p1/b"),
+                ("http://p1/b", "prop2", "http://p1/c"),
+            ],
         ),
         base_with(schema, &[("http://p2/a", "prop1", "http://shared/b")]),
         base_with(schema, &[("http://shared/b", "prop2", "http://p3/c")]),
         base_with(
             schema,
-            &[("http://p4/a", "prop4", "http://p4/b"), ("http://p4/b", "prop2", "http://p4/c")],
+            &[
+                ("http://p4/a", "prop4", "http://p4/b"),
+                ("http://p4/b", "prop2", "http://p4/c"),
+            ],
         ),
     ]
 }
@@ -69,10 +85,19 @@ pub fn fig6_network(config: PeerConfig) -> (HybridNetwork, Vec<PeerId>) {
     let schema = fig1_schema();
     let mut b = HybridBuilder::new(Arc::clone(&schema), 3).config(config);
     let p1 = b.add_peer(base_with(&schema, &[]), 0);
-    let p2 = b.add_peer(base_with(&schema, &[("http://p2/a", "prop1", "http://shared/b")]), 0);
-    let p3 = b.add_peer(base_with(&schema, &[("http://p3/c", "prop1", "http://shared/b")]), 0);
+    let p2 = b.add_peer(
+        base_with(&schema, &[("http://p2/a", "prop1", "http://shared/b")]),
+        0,
+    );
+    let p3 = b.add_peer(
+        base_with(&schema, &[("http://p3/c", "prop1", "http://shared/b")]),
+        0,
+    );
     let p4 = b.add_peer(base_with(&schema, &[]), 0);
-    let p5 = b.add_peer(base_with(&schema, &[("http://shared/b", "prop2", "http://p5/d")]), 0);
+    let p5 = b.add_peer(
+        base_with(&schema, &[("http://shared/b", "prop2", "http://p5/d")]),
+        0,
+    );
     (b.build(), vec![p1, p2, p3, p4, p5])
 }
 
@@ -84,10 +109,19 @@ pub fn fig7_network(config: PeerConfig) -> (AdhocNetwork, Vec<PeerId>) {
     let schema = fig1_schema();
     let mut b = AdhocBuilder::new(Arc::clone(&schema), 1).config(config);
     let p1 = b.add_peer(base_with(&schema, &[]));
-    let p2 = b.add_peer(base_with(&schema, &[("http://p2/a", "prop1", "http://shared/b")]));
-    let p3 = b.add_peer(base_with(&schema, &[("http://p3/c", "prop1", "http://shared/b")]));
+    let p2 = b.add_peer(base_with(
+        &schema,
+        &[("http://p2/a", "prop1", "http://shared/b")],
+    ));
+    let p3 = b.add_peer(base_with(
+        &schema,
+        &[("http://p3/c", "prop1", "http://shared/b")],
+    ));
     let p4 = b.add_peer(base_with(&schema, &[]));
-    let p5 = b.add_peer(base_with(&schema, &[("http://shared/b", "prop2", "http://p5/d")]));
+    let p5 = b.add_peer(base_with(
+        &schema,
+        &[("http://shared/b", "prop2", "http://p5/d")],
+    ));
     b.link(p1, p2);
     b.link(p1, p3);
     b.link(p1, p4);
@@ -143,8 +177,10 @@ mod tests {
         let (net6, peers6) = fig6_network(PeerConfig::default());
         assert_eq!(peers6.len(), 5);
         assert_eq!(net6.super_peers().len(), 3);
-        let (net7, peers7) =
-            fig7_network(PeerConfig { mode: PeerMode::Adhoc, ..PeerConfig::default() });
+        let (net7, peers7) = fig7_network(PeerConfig {
+            mode: PeerMode::Adhoc,
+            ..PeerConfig::default()
+        });
         assert_eq!(peers7.len(), 5);
         assert_eq!(net7.topology().neighbours(peers7[0]).len(), 3);
     }

@@ -133,7 +133,11 @@ mod tests {
     #[test]
     fn hybrid_generation_routes_queries() {
         let schema = community_schema(SchemaSpec::default(), 3);
-        let spec = NetworkSpec { peers: 8, seed: 11, ..NetworkSpec::default() };
+        let spec = NetworkSpec {
+            peers: 8,
+            seed: 11,
+            ..NetworkSpec::default()
+        };
         let (mut net, ids) = hybrid_network(&schema, spec, 2, PeerConfig::default());
         assert_eq!(ids.len(), 8);
         let query = net.compile("SELECT X, Y FROM {X}gen:p0{Y}").unwrap();
@@ -146,13 +150,20 @@ mod tests {
     #[test]
     fn adhoc_generation_is_connected() {
         let schema = community_schema(SchemaSpec::default(), 3);
-        let spec = NetworkSpec { peers: 10, seed: 11, ..NetworkSpec::default() };
+        let spec = NetworkSpec {
+            peers: 10,
+            seed: 11,
+            ..NetworkSpec::default()
+        };
         let (net, ids) = adhoc_network(
             &schema,
             spec,
             TopologyKind::Ring { extra: 3 },
             1,
-            PeerConfig { mode: PeerMode::Adhoc, ..PeerConfig::default() },
+            PeerConfig {
+                mode: PeerMode::Adhoc,
+                ..PeerConfig::default()
+            },
         );
         // Ring ⇒ everyone has ≥ 2 neighbours.
         for &id in &ids {
@@ -160,13 +171,20 @@ mod tests {
         }
         // Discovery populated registries beyond self.
         let some_registry = net.sim().node(node_of(ids[0])).unwrap().registry.len();
-        assert!(some_registry >= 3, "self + 2 ring neighbours, got {some_registry}");
+        assert!(
+            some_registry >= 3,
+            "self + 2 ring neighbours, got {some_registry}"
+        );
     }
 
     #[test]
     fn generation_is_deterministic() {
         let schema = community_schema(SchemaSpec::default(), 3);
-        let spec = NetworkSpec { peers: 6, seed: 5, ..NetworkSpec::default() };
+        let spec = NetworkSpec {
+            peers: 6,
+            seed: 5,
+            ..NetworkSpec::default()
+        };
         let total = |spec| {
             let (net, ids) = hybrid_network(&schema, spec, 1, PeerConfig::default());
             ids.iter()

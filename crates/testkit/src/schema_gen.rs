@@ -19,7 +19,11 @@ pub struct SchemaSpec {
 
 impl Default for SchemaSpec {
     fn default() -> Self {
-        SchemaSpec { chain_classes: 6, subclasses_per_class: 1, subproperty_fraction: 0.5 }
+        SchemaSpec {
+            chain_classes: 6,
+            subclasses_per_class: 1,
+            subproperty_fraction: 0.5,
+        }
     }
 }
 
@@ -33,8 +37,9 @@ pub fn community_schema(spec: SchemaSpec, seed: u64) -> Arc<Schema> {
     let mut b = SchemaBuilder::new("gen", "http://example.org/gen#");
     let n = spec.chain_classes.max(2);
 
-    let chain: Vec<ClassId> =
-        (0..n).map(|i| b.class(&format!("K{i}")).expect("unique names")).collect();
+    let chain: Vec<ClassId> = (0..n)
+        .map(|i| b.class(&format!("K{i}")).expect("unique names"))
+        .collect();
     let mut subclasses: Vec<Vec<ClassId>> = Vec::with_capacity(n);
     for (i, &c) in chain.iter().enumerate() {
         let subs = (0..spec.subclasses_per_class)
@@ -78,11 +83,18 @@ mod tests {
 
     #[test]
     fn spec_controls_shape() {
-        let spec = SchemaSpec { chain_classes: 10, subclasses_per_class: 2, subproperty_fraction: 0.0 };
+        let spec = SchemaSpec {
+            chain_classes: 10,
+            subclasses_per_class: 2,
+            subproperty_fraction: 0.0,
+        };
         let s = community_schema(spec, 1);
         assert_eq!(s.class_count(), 10 + 20);
         assert_eq!(s.property_count(), 9); // no subproperties
-        let spec = SchemaSpec { subproperty_fraction: 1.0, ..spec };
+        let spec = SchemaSpec {
+            subproperty_fraction: 1.0,
+            ..spec
+        };
         let s = community_schema(spec, 1);
         assert_eq!(s.property_count(), 18); // every property refined
     }

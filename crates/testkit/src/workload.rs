@@ -14,7 +14,9 @@ pub fn chain_properties(schema: &Schema, len: usize) -> Vec<Vec<PropertyId>> {
         let mut next = Vec::new();
         for chain in &chains {
             let last = *chain.last().expect("chains are non-empty");
-            let Range::Class(range) = schema.property(last).range else { continue };
+            let Range::Class(range) = schema.property(last).range else {
+                continue;
+            };
             for p in schema.properties() {
                 if schema.classes_overlap(range, schema.property(p).domain) {
                     let mut ext = chain.clone();
@@ -59,11 +61,77 @@ pub fn random_chain_query(
     Some(compile(&text, schema).expect("generated queries type-check"))
 }
 
+/// A Zipf-skewed repeated-query workload: a pool of `distinct` chain
+/// queries (lengths cycling over `lens`) drawn `total` times with
+/// popularity rank `k` weighted `1/k^exponent`. Rank 1 is the most
+/// popular query. This is the cache-friendliness knob for routing
+/// benchmarks: `exponent = 0` is a uniform workload, `~1` matches the
+/// classic web-request skew where a handful of queries dominate.
+pub fn zipf_workload(
+    schema: &Arc<Schema>,
+    distinct: usize,
+    lens: &[usize],
+    exponent: f64,
+    total: usize,
+    rng: &mut StdRng,
+) -> Vec<QueryPattern> {
+    // Build the distinct pool: cycle through requested lengths, cycling
+    // through each length's chains so the pool has no duplicates until a
+    // length's chain set is exhausted.
+    let mut pool: Vec<QueryPattern> = Vec::new();
+    let mut per_len: Vec<(usize, Vec<Vec<PropertyId>>)> = lens
+        .iter()
+        .map(|&l| (0usize, chain_properties(schema, l)))
+        .filter(|(_, c)| !c.is_empty())
+        .collect();
+    'fill: while pool.len() < distinct {
+        let mut advanced = false;
+        for (next, chains) in &mut per_len {
+            if pool.len() >= distinct {
+                break 'fill;
+            }
+            if *next < chains.len() {
+                let text = chain_query_text(schema, &chains[*next]);
+                pool.push(compile(&text, schema).expect("generated queries type-check"));
+                *next += 1;
+                advanced = true;
+            }
+        }
+        if !advanced {
+            break; // every length exhausted: pool stays smaller
+        }
+    }
+    if pool.is_empty() {
+        return Vec::new();
+    }
+
+    // Zipf CDF over ranks 1..=pool.len().
+    let weights: Vec<f64> = (1..=pool.len())
+        .map(|k| 1.0 / (k as f64).powf(exponent))
+        .collect();
+    let norm: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / norm;
+        cdf.push(acc);
+    }
+
+    (0..total)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let rank = cdf.iter().position(|&c| u <= c).unwrap_or(cdf.len() - 1);
+            pool[rank].clone()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fixtures::fig1_schema;
     use rand::SeedableRng;
+    use std::collections::HashMap;
 
     #[test]
     fn fig1_chains() {
@@ -104,5 +172,57 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         // The longest chain in Figure 1 is 3 (prop1.prop2.prop3).
         assert!(random_chain_query(&s, 9, &mut rng).is_none());
+    }
+
+    #[test]
+    fn zipf_workload_is_skewed_and_seed_stable() {
+        let s = fig1_schema();
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = zipf_workload(&s, 6, &[1, 2], 1.0, 400, &mut rng);
+        assert_eq!(w.len(), 400);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for q in &w {
+            *counts.entry(q.to_string()).or_default() += 1;
+        }
+        assert!(counts.len() <= 6);
+        assert!(counts.len() >= 3, "several distinct queries should appear");
+        let max = *counts.values().max().unwrap();
+        let min = *counts.values().min().unwrap();
+        assert!(
+            max >= 3 * min,
+            "rank-1 should dominate under exponent 1.0 (max {max}, min {min})"
+        );
+
+        let w2 = zipf_workload(&s, 6, &[1, 2], 1.0, 400, &mut StdRng::seed_from_u64(7));
+        let texts: Vec<String> = w.iter().map(|q| q.to_string()).collect();
+        let texts2: Vec<String> = w2.iter().map(|q| q.to_string()).collect();
+        assert_eq!(texts, texts2);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let s = fig1_schema();
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = zipf_workload(&s, 4, &[1], 0.0, 800, &mut rng);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for q in &w {
+            *counts.entry(q.to_string()).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 4);
+        for &c in counts.values() {
+            assert!((100..=300).contains(&c), "uniform-ish counts, got {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_pool_smaller_than_requested() {
+        // Figure 1 has 4 single-property chains; asking for 10 distinct
+        // queries of length 1 caps at 4.
+        let s = fig1_schema();
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = zipf_workload(&s, 10, &[1], 1.0, 50, &mut rng);
+        let distinct: std::collections::HashSet<String> = w.iter().map(|q| q.to_string()).collect();
+        assert!(distinct.len() <= 4);
+        assert_eq!(w.len(), 50);
     }
 }

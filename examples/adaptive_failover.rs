@@ -13,7 +13,11 @@ use std::sync::Arc;
 
 fn run_scenario(adaptive: bool) -> (usize, bool, u32) {
     let schema = fig1_schema();
-    let config = PeerConfig { mode: PeerMode::Adhoc, adaptive, ..PeerConfig::default() };
+    let config = PeerConfig {
+        mode: PeerMode::Adhoc,
+        adaptive,
+        ..PeerConfig::default()
+    };
     let mut b = AdhocBuilder::new(Arc::clone(&schema), 1).config(config);
     let origin = b.add_peer(base_with(&schema, &[]));
     let fragile = b.add_peer(base_with(&schema, &[("http://x/a", "prop1", "http://x/b")]));
@@ -26,7 +30,9 @@ fn run_scenario(adaptive: bool) -> (usize, bool, u32) {
 
     // The fragile replica dies before the query reaches it.
     net.crash_peer(fragile);
-    let query = net.compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}").unwrap();
+    let query = net
+        .compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}")
+        .unwrap();
     let qid = net.query(origin, query);
     net.run();
     let outcome = net.outcome(origin, qid).expect("completed");
@@ -38,7 +44,10 @@ fn main() {
 
     let (rows, partial, replans) = run_scenario(true);
     println!("adaptive  : rows={rows} partial={partial} replans={replans}");
-    assert_eq!(rows, 1, "adaptation recovers the answer through the replica");
+    assert_eq!(
+        rows, 1,
+        "adaptation recovers the answer through the replica"
+    );
     assert!(replans >= 1);
 
     let (rows, partial, replans) = run_scenario(false);

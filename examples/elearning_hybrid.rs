@@ -41,21 +41,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Crete publishes lectures with professors (the *narrow* lecturedBy —
     // subsumption routing must find these for createdBy queries).
     let crete = mk(&[
-        ("http://uoc.gr/lo/db-intro", lectured_by, "http://uoc.gr/staff/vassilis"),
-        ("http://uoc.gr/lo/db-intro", part_of, "http://uoc.gr/courses/cs460"),
-        ("http://uoc.gr/lo/rdf-tutorial", lectured_by, "http://uoc.gr/staff/grigoris"),
-        ("http://uoc.gr/lo/rdf-tutorial", part_of, "http://uoc.gr/courses/cs566"),
+        (
+            "http://uoc.gr/lo/db-intro",
+            lectured_by,
+            "http://uoc.gr/staff/vassilis",
+        ),
+        (
+            "http://uoc.gr/lo/db-intro",
+            part_of,
+            "http://uoc.gr/courses/cs460",
+        ),
+        (
+            "http://uoc.gr/lo/rdf-tutorial",
+            lectured_by,
+            "http://uoc.gr/staff/grigoris",
+        ),
+        (
+            "http://uoc.gr/lo/rdf-tutorial",
+            part_of,
+            "http://uoc.gr/courses/cs566",
+        ),
     ]);
     // Athens publishes generic learning objects with createdBy.
     let athens = mk(&[
-        ("http://ntua.gr/lo/sql-lab", created_by, "http://ntua.gr/staff/timos"),
-        ("http://ntua.gr/lo/sql-lab", part_of, "http://ntua.gr/courses/db1"),
+        (
+            "http://ntua.gr/lo/sql-lab",
+            created_by,
+            "http://ntua.gr/staff/timos",
+        ),
+        (
+            "http://ntua.gr/lo/sql-lab",
+            part_of,
+            "http://ntua.gr/courses/db1",
+        ),
     ]);
     // Heraklion indexes topics.
     let forth = mk(&[
-        ("http://uoc.gr/lo/db-intro", covers, "http://topics/databases"),
-        ("http://ntua.gr/lo/sql-lab", covers, "http://topics/databases"),
-        ("http://uoc.gr/lo/rdf-tutorial", covers, "http://topics/semantic-web"),
+        (
+            "http://uoc.gr/lo/db-intro",
+            covers,
+            "http://topics/databases",
+        ),
+        (
+            "http://ntua.gr/lo/sql-lab",
+            covers,
+            "http://topics/databases",
+        ),
+        (
+            "http://uoc.gr/lo/rdf-tutorial",
+            covers,
+            "http://topics/semantic-web",
+        ),
     ]);
 
     // One SON, one responsible super-peer (§3.1: peers describing the
@@ -91,7 +127,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         oracle_answer(&oracle, &query),
         "distributed answer must match the oracle"
     );
-    assert_eq!(outcome.result.len(), 2, "db-intro (Crete) and sql-lab (Athens)");
+    assert_eq!(
+        outcome.result.len(),
+        2,
+        "db-intro (Crete) and sql-lab (Athens)"
+    );
     println!(
         "\n{} rows, {} messages, {:.1} virtual ms — matches centralised oracle ✓",
         outcome.result.len(),

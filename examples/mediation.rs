@@ -41,10 +41,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         db
     };
     let heraklion = mk(&[
-        ("http://lib/sqpeer-paper", written_by, "http://people/kokkinidis"),
-        ("http://lib/sqpeer-paper", references, "http://lib/rql-paper"),
+        (
+            "http://lib/sqpeer-paper",
+            written_by,
+            "http://people/kokkinidis",
+        ),
+        (
+            "http://lib/sqpeer-paper",
+            references,
+            "http://lib/rql-paper",
+        ),
     ]);
-    let athens = mk(&[("http://lib/rql-paper", written_by, "http://people/karvounarakis")]);
+    let athens = mk(&[(
+        "http://lib/rql-paper",
+        written_by,
+        "http://people/karvounarakis",
+    )]);
 
     let mut b = HybridBuilder::new(Arc::clone(&global), 1);
     let origin = b.add_peer(DescriptionBase::new(Arc::clone(&global)), 0);
@@ -60,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map_property(cites, references)
         .finish()?;
     let sp = net.super_peers()[0];
-    net.sim_mut().node_mut(node_of(sp)).expect("super-peer").articulations.push(articulation);
+    net.sim_mut()
+        .node_mut(node_of(sp))
+        .expect("super-peer")
+        .articulations
+        .push(articulation);
 
     // A global-schema query: "who wrote documents that cite other
     // documents, and what do they cite?"

@@ -40,7 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             subject_column: "person".into(),
             subject_prefix: "http://people/".into(),
             object_column: "paper".into(),
-            object: ColumnMapping::Resource { prefix: "http://papers/".into() },
+            object: ColumnMapping::Resource {
+                prefix: "http://papers/".into(),
+            },
             property: author_of,
         },
         TableMapping {
@@ -48,7 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             subject_column: "citing".into(),
             subject_prefix: "http://papers/".into(),
             object_column: "cited".into(),
-            object: ColumnMapping::Resource { prefix: "http://papers/".into() },
+            object: ColumnMapping::Resource {
+                prefix: "http://papers/".into(),
+            },
             property: cites,
         },
         TableMapping {

