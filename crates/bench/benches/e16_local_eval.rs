@@ -1,0 +1,98 @@
+//! E16 wall-clock harness: interned statistics-ordered evaluation vs the
+//! retained row-at-a-time reference engine, plus parallel union execution
+//! at 1/2/4 workers. The experiment binary (`cargo run --release --bin
+//! experiments e16`) produces the recorded tables and `BENCH_e16.json`;
+//! this harness is the criterion view of the same comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqpeer::exec::{eval_local_threads, BaseKind};
+use sqpeer::plan::{PlanNode, Site, Subquery};
+use sqpeer::prelude::*;
+use sqpeer::rql::{evaluate_reference, evaluate_snapshot};
+use sqpeer_testkit::fixtures::fig1_schema;
+use sqpeer_testkit::{chain_properties, chain_query_text, populate, zipf_workload, DataSpec};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn sized_base(schema: &Arc<Schema>, triples_per_property: usize) -> DescriptionBase {
+    let properties: Vec<PropertyId> = schema.properties().collect();
+    let mut base = DescriptionBase::new(Arc::clone(schema));
+    populate(
+        &mut base,
+        &properties,
+        DataSpec {
+            triples_per_property,
+            class_pool: 170,
+        },
+        &mut StdRng::seed_from_u64(16),
+    );
+    base
+}
+
+fn bench(c: &mut Criterion) {
+    let schema = fig1_schema();
+    let base = sized_base(&schema, 2700); // ~10k triples after dedup
+    let workload = zipf_workload(&schema, 6, &[1, 2], 1.0, 40, &mut StdRng::seed_from_u64(61));
+
+    let mut group = c.benchmark_group("e16_engines");
+    group.throughput(Throughput::Elements(workload.len() as u64));
+    group.bench_function("reference_row_at_a_time", |b| {
+        b.iter(|| {
+            let rows: usize = workload
+                .iter()
+                .map(|q| evaluate_reference(q, &base).len())
+                .sum();
+            black_box(rows)
+        })
+    });
+    group.bench_function("interned_cold", |b| {
+        // Clone before any snapshot exists, so every iteration pays the
+        // interning build.
+        b.iter(|| {
+            let cold = base.clone();
+            let rows: usize = workload.iter().map(|q| evaluate(q, &cold).len()).sum();
+            black_box(rows)
+        })
+    });
+    let ib = base.interned();
+    group.bench_function("interned_warm", |b| {
+        b.iter(|| {
+            let rows: usize = workload
+                .iter()
+                .map(|q| evaluate_snapshot(q, &ib).len())
+                .sum();
+            black_box(rows)
+        })
+    });
+    group.finish();
+
+    // Parallel union execution: 9 chain-2 fetch branches at one peer.
+    let chains = chain_properties(&schema, 2);
+    let branches: Vec<PlanNode> = (0..9)
+        .map(|i| PlanNode::Fetch {
+            subquery: Subquery {
+                covers: vec![0],
+                query: compile(
+                    &chain_query_text(&schema, &chains[i % chains.len()]),
+                    &schema,
+                )
+                .expect("chain queries compile"),
+            },
+            site: Site::Peer(PeerId(1)),
+        })
+        .collect();
+    let plan = PlanNode::Union(branches);
+    let kind = BaseKind::Materialized(base);
+    let mut group = c.benchmark_group("e16_parallel_union");
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| black_box(eval_local_threads(&plan, PeerId(1), &kind, w).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

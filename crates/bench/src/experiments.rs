@@ -79,6 +79,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
             "e15",
             "semantic routing cache: hit rates and scans saved on Zipf workloads",
         ),
+        (
+            "e16",
+            "interned local evaluation: row-at-a-time vs interned, parallel unions",
+        ),
     ]
 }
 
@@ -100,6 +104,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e13" => e13(),
         "e14" => e14(),
         "e15" => e15(),
+        "e16" => e16(),
         _ => return None,
     })
 }
@@ -1620,5 +1625,163 @@ fn e15() -> String {
          few percent of the uncached baseline; wall-clock confirmation lives\n\
          in benches/e15_cache.rs (warm beats cold at every size).\n",
     );
+    out
+}
+
+fn e16() -> String {
+    use sqpeer::exec::{eval_local_threads, BaseKind};
+    use sqpeer::rql::{evaluate_reference, evaluate_snapshot};
+    use sqpeer_testkit::zipf_workload;
+    use std::time::Instant;
+
+    let schema = fig1_schema();
+    let properties: Vec<_> = schema.properties().collect();
+    let mut base = DescriptionBase::new(Arc::clone(&schema));
+    populate(
+        &mut base,
+        &properties,
+        DataSpec {
+            triples_per_property: 2700,
+            class_pool: 170,
+        },
+        &mut StdRng::seed_from_u64(16),
+    );
+    let triples = base.triple_count();
+    // A clone taken before any snapshot exists stays cold.
+    let cold_base = base.clone();
+
+    let mut rng = StdRng::seed_from_u64(61);
+    let workload = zipf_workload(&schema, 6, &[1, 2], 1.0, 40, &mut rng);
+
+    // Best-of-reps wall clock for one pass over the workload.
+    fn best(mut f: impl FnMut() -> usize) -> (f64, usize) {
+        let mut best = f64::INFINITY;
+        let mut rows = 0;
+        for _ in 0..3 {
+            let t = Instant::now();
+            rows = f();
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        (best, rows)
+    }
+
+    let (ref_ms, ref_rows) = best(|| {
+        workload
+            .iter()
+            .map(|q| evaluate_reference(q, &base).len())
+            .sum()
+    });
+    // Cold: the first query pays the snapshot build. One-shot by nature,
+    // so no best-of (a second rep would be warm).
+    let t = Instant::now();
+    let cold_rows: usize = workload.iter().map(|q| evaluate(q, &cold_base).len()).sum();
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    // Warm: snapshot prebuilt, shared across the workload.
+    let ib = base.interned();
+    let (warm_ms, warm_rows) = best(|| {
+        workload
+            .iter()
+            .map(|q| evaluate_snapshot(q, &ib).len())
+            .sum()
+    });
+    assert_eq!(ref_rows, warm_rows, "engines must agree");
+    assert_eq!(ref_rows, cold_rows, "engines must agree");
+
+    let mut out = format!(
+        "E16: interned, statistics-ordered local evaluation\n\n\
+         {} queries (Zipf s=1.0, chain lengths 1-2) over a {} -triple\n\
+         Figure 1 base; cold includes the snapshot build, warm reuses it.\n\n",
+        workload.len(),
+        triples
+    );
+    let mut t1 = Table::new(&["engine", "total ms", "rows", "speedup vs reference"]);
+    t1.row(vec![
+        "reference (row-at-a-time)".into(),
+        format!("{ref_ms:.2}"),
+        ref_rows.to_string(),
+        "1.0 x".into(),
+    ]);
+    t1.row(vec![
+        "interned (cold)".into(),
+        format!("{cold_ms:.2}"),
+        cold_rows.to_string(),
+        format!("{} x", f1(ref_ms / cold_ms)),
+    ]);
+    t1.row(vec![
+        "interned (warm)".into(),
+        format!("{warm_ms:.2}"),
+        warm_rows.to_string(),
+        format!("{} x", f1(ref_ms / warm_ms)),
+    ]);
+    out.push_str(&t1.render());
+
+    // Parallel union execution: a 9-branch union of chain-2 fetches (the
+    // shape horizontal distribution produces), at 1/2/4 workers.
+    let chains = chain_properties(&schema, 2);
+    let branches: Vec<PlanNode> = (0..9)
+        .map(|i| PlanNode::Fetch {
+            subquery: Subquery {
+                covers: vec![0],
+                query: compile(
+                    &chain_query_text(&schema, &chains[i % chains.len()]),
+                    &schema,
+                )
+                .expect("chain queries compile"),
+            },
+            site: Site::Peer(PeerId(1)),
+        })
+        .collect();
+    let plan = PlanNode::Union(branches);
+    let kind = BaseKind::Materialized(base.clone());
+    // Prime the snapshot so worker counts compare pure evaluation.
+    let expected = eval_local_threads(&plan, PeerId(1), &kind, 1).len();
+    let mut worker_ms: Vec<(usize, f64)> = Vec::new();
+    let mut t2 = Table::new(&["workers", "union ms", "rows", "speedup vs 1 worker"]);
+    for workers in [1usize, 2, 4] {
+        let (elapsed, rows) = best(|| eval_local_threads(&plan, PeerId(1), &kind, workers).len());
+        assert_eq!(rows, expected, "worker count must not change results");
+        worker_ms.push((workers, elapsed));
+        t2.row(vec![
+            workers.to_string(),
+            format!("{elapsed:.2}"),
+            rows.to_string(),
+            format!("{} x", f1(worker_ms[0].1 / elapsed)),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&t2.render());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    out.push_str(&format!(
+        "\nhost parallelism: {cores} core(s); eval_local defaults to {} worker(s).\n\
+         On a single-core host the multi-worker rows measure pure threading\n\
+         overhead; branch fan-out only pays off with real cores.\n",
+        sqpeer::exec::default_workers()
+    ));
+
+    // Machine-readable record so the perf trajectory is tracked per PR.
+    let unions: Vec<String> = worker_ms
+        .iter()
+        .map(|(w, t)| format!("\"{w}\": {t:.3}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"e16\",\n  \"host_cores\": {cores},\n  \"base_triples\": {triples},\n  \
+         \"queries\": {},\n  \"reference_ms\": {ref_ms:.3},\n  \
+         \"interned_cold_ms\": {cold_ms:.3},\n  \"interned_warm_ms\": {warm_ms:.3},\n  \
+         \"speedup_warm\": {:.2},\n  \"speedup_cold\": {:.2},\n  \
+         \"union_ms_by_workers\": {{ {} }}\n}}\n",
+        workload.len(),
+        ref_ms / warm_ms,
+        ref_ms / cold_ms,
+        unions.join(", ")
+    );
+    match std::fs::write("BENCH_e16.json", &json) {
+        Ok(()) => out.push_str("\nwrote BENCH_e16.json\n"),
+        Err(e) => out.push_str(&format!("\ncould not write BENCH_e16.json: {e}\n")),
+    }
+    out.push_str(&format!(
+        "\nacceptance: warm interned evaluation is {} x the reference engine\n\
+         (criterion harness: benches/e16_local_eval.rs).\n",
+        f1(ref_ms / warm_ms)
+    ));
     out
 }

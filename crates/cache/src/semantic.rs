@@ -210,6 +210,7 @@ impl SemanticCache {
 
     /// The annotation list for one path pattern: exact hit, subsumption
     /// shortcut, or full scan (in that order).
+    #[allow(clippy::too_many_arguments)]
     fn pattern_annotations<'r>(
         &mut self,
         epoch: u64,

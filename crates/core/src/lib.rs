@@ -68,7 +68,7 @@ pub mod prelude {
         Triple, Typing,
     };
     pub use sqpeer_routing::{route, AdRegistry, Advertisement, PeerId, RoutingPolicy};
-    pub use sqpeer_rql::{compile, evaluate, QueryPattern, ResultSet};
+    pub use sqpeer_rql::{compile, evaluate, evaluate_reference, QueryPattern, ResultSet};
     pub use sqpeer_rvl::{ActiveSchema, ViewDefinition, VirtualBase};
     pub use sqpeer_store::DescriptionBase;
 

@@ -21,7 +21,7 @@ pub mod local;
 pub mod msg;
 pub mod peer;
 
-pub use local::eval_local;
+pub use local::{default_workers, eval_local, eval_local_threads};
 pub use msg::{Msg, QueryId, QueryOutcome};
 pub use peer::{BaseKind, PeerConfig, PeerMode, PeerNode, Role};
 pub use sqpeer_cache::{CacheConfig, CacheStats};

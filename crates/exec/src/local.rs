@@ -1,42 +1,99 @@
 //! Synchronous local evaluation of the fully-local parts of a plan.
+//!
+//! Independent branches of `Union`/`Join` nodes carry no data dependencies
+//! on each other, so [`eval_local_threads`] fans them out over a small
+//! [`std::thread::scope`] worker pool. The fan-out happens strictly inside
+//! one simulator event — the discrete-event simulator's virtual-time
+//! semantics are untouched, only the wall-clock cost of processing the
+//! event shrinks. Results are collected in input order, so evaluation is
+//! deterministic regardless of worker count.
 
 use crate::peer::BaseKind;
 use sqpeer_plan::{PlanNode, Site};
 use sqpeer_routing::PeerId;
 use sqpeer_rql::{evaluate, ResultSet};
 
+/// Worker threads used by [`eval_local`]: the machine's parallelism,
+/// capped low — plan trees rarely have more than a handful of independent
+/// branches and the simulator runs many peers on one host.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
+}
+
 /// Evaluates a plan subtree entirely at `me`, assuming every fetch site is
 /// `me` (callers guarantee this; foreign sites evaluate to empty with a
 /// debug assertion, which keeps release behaviour total).
 pub fn eval_local(plan: &PlanNode, me: PeerId, base: &BaseKind) -> ResultSet {
+    eval_local_threads(plan, me, base, default_workers())
+}
+
+/// [`eval_local`] with an explicit worker count. `workers <= 1` evaluates
+/// sequentially; otherwise the direct children of each `Union`/`Join` node
+/// split over up to `workers` scoped threads (each branch then recursing
+/// sequentially — the fan-out at the root is where the width is).
+pub fn eval_local_threads(
+    plan: &PlanNode,
+    me: PeerId,
+    base: &BaseKind,
+    workers: usize,
+) -> ResultSet {
     match plan {
         PlanNode::Fetch { subquery, site } => {
             debug_assert_eq!(*site, Site::Peer(me), "eval_local on a non-local fetch");
             base.with_materialized(|db| evaluate(&subquery.query, db))
         }
         PlanNode::Union(inputs) => {
-            let mut iter = inputs.iter();
-            let Some(first) = iter.next() else {
+            let mut parts = eval_branches(inputs, me, base, workers).into_iter();
+            let Some(mut acc) = parts.next() else {
                 return ResultSet::default();
             };
-            let mut acc = eval_local(first, me, base);
-            for input in iter {
-                acc.union(&eval_local(input, me, base));
-            }
+            let rest: Vec<ResultSet> = parts.collect();
+            acc.union_all(&rest);
             acc
         }
         PlanNode::Join { inputs, .. } => {
-            let mut iter = inputs.iter();
-            let Some(first) = iter.next() else {
+            let mut parts = eval_branches(inputs, me, base, workers).into_iter();
+            let Some(mut acc) = parts.next() else {
                 return ResultSet::default();
             };
-            let mut acc = eval_local(first, me, base);
-            for input in iter {
-                acc = acc.join(&eval_local(input, me, base));
+            for part in parts {
+                acc = acc.join(&part);
             }
             acc
         }
     }
+}
+
+/// Evaluates sibling subtrees, in input order, across up to `workers`
+/// scoped threads (contiguous chunking: thread *t* owns branches
+/// `[t·⌈n/w⌉, …)`, writing results into its disjoint slice).
+fn eval_branches(
+    inputs: &[PlanNode],
+    me: PeerId,
+    base: &BaseKind,
+    workers: usize,
+) -> Vec<ResultSet> {
+    if workers <= 1 || inputs.len() <= 1 {
+        return inputs
+            .iter()
+            .map(|i| eval_local_threads(i, me, base, 1))
+            .collect();
+    }
+    let mut results: Vec<ResultSet> = vec![ResultSet::default(); inputs.len()];
+    let chunk = inputs.len().div_ceil(workers.min(inputs.len()));
+    std::thread::scope(|s| {
+        for (out, branches) in results.chunks_mut(chunk).zip(inputs.chunks(chunk)) {
+            s.spawn(move || {
+                for (slot, input) in out.iter_mut().zip(branches) {
+                    *slot = eval_local_threads(input, me, base, 1);
+                }
+            });
+        }
+    });
+    results
 }
 
 /// Is every fetch of this subtree evaluable at `me` (and free of holes)?
@@ -107,6 +164,25 @@ mod tests {
         ]);
         let rs = eval_local(&union, me, &b);
         assert_eq!(rs.len(), 1, "union dedups identical branches");
+    }
+
+    #[test]
+    fn threaded_union_matches_sequential() {
+        let s = schema();
+        let b = base(&s);
+        let me = PeerId(1);
+        // A wide union (more branches than workers) must produce the same
+        // result at every worker count, including join subtrees.
+        let wide = PlanNode::Union(
+            (0..7)
+                .map(|_| fetch(&s, "SELECT X, Y FROM {X}p{Y}", 1))
+                .collect(),
+        );
+        let seq = eval_local_threads(&wide, me, &b, 1);
+        for workers in [2, 4, 8] {
+            assert_eq!(eval_local_threads(&wide, me, &b, workers), seq);
+        }
+        assert_eq!(eval_local(&wide, me, &b), seq);
     }
 
     #[test]

@@ -203,11 +203,11 @@ mod tests {
 
         let empty = ResultSet::empty(vec!["X".into()]);
         let mut big = ResultSet::empty(vec!["X".into()]);
-        for i in 0..100 {
-            big.push_distinct(vec![sqpeer_rdfs::Node::Resource(
-                sqpeer_rdfs::Resource::new(format!("r{i}")),
-            )]);
-        }
+        big.extend_distinct((0..100).map(|i| {
+            vec![sqpeer_rdfs::Node::Resource(sqpeer_rdfs::Resource::new(
+                format!("r{i}"),
+            ))]
+        }));
         let d_small = Msg::Data {
             channel: sqpeer_net::Channel {
                 id: sqpeer_net::ChannelId(0),

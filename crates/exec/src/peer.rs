@@ -28,8 +28,9 @@ use sqpeer_routing::{
 use sqpeer_rql::{QueryPattern, ResultSet, Row};
 use sqpeer_rvl::{ActiveSchema, VirtualBase};
 use sqpeer_store::DescriptionBase;
-use std::cell::{OnceCell, RefCell};
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
 
 /// The role a peer plays in the system (§3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,7 +147,7 @@ pub enum BaseKind {
         /// The relational substrate plus mapping rules.
         source: VirtualBase,
         /// Cache filled on first access.
-        cache: OnceCell<DescriptionBase>,
+        cache: OnceLock<DescriptionBase>,
     },
     /// A virtual base over an XML document (the paper's other legacy
     /// substrate).
@@ -154,7 +155,7 @@ pub enum BaseKind {
         /// The document plus mapping rules.
         source: sqpeer_rvl::XmlBase,
         /// Cache filled on first access.
-        cache: OnceCell<DescriptionBase>,
+        cache: OnceLock<DescriptionBase>,
     },
     /// No base (client-peers, routing-only super-peers).
     None,
@@ -165,7 +166,7 @@ impl BaseKind {
     pub fn virtual_base(source: VirtualBase) -> Self {
         BaseKind::Virtual {
             source,
-            cache: OnceCell::new(),
+            cache: OnceLock::new(),
         }
     }
 
@@ -173,7 +174,7 @@ impl BaseKind {
     pub fn virtual_xml(source: sqpeer_rvl::XmlBase) -> Self {
         BaseKind::VirtualXml {
             source,
-            cache: OnceCell::new(),
+            cache: OnceLock::new(),
         }
     }
 

@@ -88,6 +88,68 @@ impl Estimator {
         card.unwrap_or(0.0)
     }
 
+    /// Estimated local evaluation *work* (index probes + matches scanned)
+    /// of running `subquery` at `site` — the "processing load" leg of the
+    /// §2.5 cost model, distinct from result cardinality.
+    ///
+    /// Walks the patterns in the same statistics-driven order the local
+    /// engine will actually use ([`sqpeer_rql::stats_join_order`]), so a
+    /// plan comparison sees the cost of the ordered evaluation, not of the
+    /// textual pattern order.
+    pub fn fetch_work(&self, site: Site, subquery: &Subquery) -> f64 {
+        use sqpeer_rql::Term;
+        let stats = match site {
+            Site::Peer(p) => self.stats.get(&p),
+            Site::Hole => None,
+        };
+        let query = &subquery.query;
+        let Some(stats) = stats else {
+            return self.params.default_property_card * query.patterns().len().max(1) as f64;
+        };
+        let mut bound = vec![false; query.var_count()];
+        let term_bound = |t: &Term, bound: &[bool]| match t {
+            Term::Var(v) => bound[v.0 as usize],
+            Term::Resource(_) | Term::Literal(_) => true,
+        };
+        let mut frontier = 1.0_f64;
+        let mut work = 0.0_f64;
+        for pi in sqpeer_rql::stats_join_order(query, stats) {
+            let pattern = &query.patterns()[pi];
+            let ps = stats.property_closed(pattern.property);
+            let triples = ps.triples as f64;
+            let ds = ps.distinct_subjects.max(1) as f64;
+            let dobj = ps.distinct_objects.max(1) as f64;
+            let per_probe = match (
+                term_bound(&pattern.subject.term, &bound),
+                term_bound(&pattern.object.term, &bound),
+            ) {
+                (true, true) => triples / (ds * dobj),
+                (true, false) => triples / ds,
+                (false, true) => triples / dobj,
+                (false, false) => triples,
+            };
+            // Each frontier row pays at least one index probe.
+            work += frontier * per_probe.max(1.0);
+            frontier *= per_probe;
+            for v in pattern.vars() {
+                bound[v.0 as usize] = true;
+            }
+        }
+        work
+    }
+
+    /// Estimated total evaluation work of a plan subtree: fetch work plus
+    /// per-operator merge cost (tuples flowing through each ∪/⋈).
+    pub fn plan_work(&self, plan: &PlanNode) -> f64 {
+        match plan {
+            PlanNode::Fetch { subquery, site } => self.fetch_work(*site, subquery),
+            PlanNode::Union(inputs) | PlanNode::Join { inputs, .. } => {
+                let children: f64 = inputs.iter().map(|i| self.plan_work(i)).sum();
+                children + self.plan_cardinality(plan)
+            }
+        }
+    }
+
     /// Estimated rows produced by a whole plan subtree.
     pub fn plan_cardinality(&self, plan: &PlanNode) -> f64 {
         match plan {
@@ -330,6 +392,37 @@ mod tests {
         // p has 20 triples / 20 distinct subjects, q has none recorded →
         // 20 * 0 / 20 = 0.
         assert_eq!(est.plan_cardinality(&composite), 0.0);
+    }
+
+    #[test]
+    fn fetch_work_reflects_stats_and_bound_endpoints() {
+        let s = schema();
+        let mut est = Estimator::new(CostParams::default());
+        est.set_stats(PeerId(1), stats_with(&s, 10));
+        est.set_stats(PeerId(2), stats_with(&s, 1000));
+        let at = |p: u32| Site::Peer(PeerId(p));
+        let sub = |src: &str| Subquery {
+            covers: vec![0],
+            query: compile(src, &s).unwrap(),
+        };
+        let open = sub("SELECT X, Y FROM {X}p{Y}");
+        // More triples, more scan work.
+        assert!(est.fetch_work(at(2), &open) > est.fetch_work(at(1), &open));
+        // A constant endpoint turns the scan into an index probe.
+        let probed = sub("SELECT Y FROM {&s0}p{Y}");
+        assert!(est.fetch_work(at(2), &probed) < est.fetch_work(at(2), &open));
+        // Unknown sites fall back to the default per-pattern cost.
+        assert_eq!(
+            est.fetch_work(Site::Hole, &open),
+            CostParams::default().default_property_card
+        );
+        // plan_work adds merge cost on top of the children.
+        let u = PlanNode::Union(vec![
+            fetch(&s, "SELECT X, Y FROM {X}p{Y}", at(1)),
+            fetch(&s, "SELECT X, Y FROM {X}p{Y}", at(2)),
+        ]);
+        let children = est.fetch_work(at(1), &open) + est.fetch_work(at(2), &open);
+        assert_eq!(est.plan_work(&u), children + est.plan_cardinality(&u));
     }
 
     #[test]

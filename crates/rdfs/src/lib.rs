@@ -40,11 +40,13 @@
 
 pub mod bitset;
 pub mod error;
+pub mod fxhash;
 pub mod schema;
 pub mod term;
 
 pub use bitset::BitSet;
 pub use error::SchemaError;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use schema::{
     ClassDef, ClassId, LiteralType, NamespaceDecl, NamespaceId, PropertyDef, PropertyId, Range,
     Schema, SchemaBuilder,

@@ -1,14 +1,26 @@
 //! Local evaluation of query patterns over a peer description base.
 //!
 //! This is the engine a simple-peer runs when it receives a (sub)query
-//! through a channel: index-nested-loop joins over the base's property
-//! extents, subsumption-aware class membership checks, filter application
-//! and set-semantics projection.
+//! through a channel. Two implementations live here:
+//!
+//! * [`evaluate`] — the production engine: runs over the base's
+//!   [`InternedBase`] snapshot, extending partial bindings of dense
+//!   interned ids (integer compares, no URI cloning) in a
+//!   statistics-driven join order ([`stats_join_order`]: cheapest extent
+//!   first, bound-variable patterns promoted), with scratch-space reuse
+//!   and `Node` materialisation deferred to projection.
+//! * [`evaluate_reference`] — the original row-at-a-time evaluator over
+//!   `Node` values, retained as the semantic oracle for the engine
+//!   equivalence property tests and the E16 benchmark baseline.
+//!
+//! Both implement index-nested-loop joins over property extents,
+//! subsumption-aware class membership, filters and set-semantics
+//! projection; they return identical row sets.
 
 use crate::ast::CmpOp;
 use crate::pattern::{CondOperand, Endpoint, QueryPattern, Term};
-use sqpeer_rdfs::{Node, Resource};
-use sqpeer_store::DescriptionBase;
+use sqpeer_rdfs::{FxHashMap, FxHashSet, Node, Resource};
+use sqpeer_store::{BaseStatistics, DescriptionBase, InternedBase, SymId};
 use std::collections::HashSet;
 
 /// One result row; columns follow [`ResultSet::columns`].
@@ -51,32 +63,50 @@ impl ResultSet {
         self.columns.iter().position(|c| c == name)
     }
 
+    /// Appends every row not already present (hash-based set insertion;
+    /// node clones are cheap `Arc` bumps).
+    pub fn extend_distinct(&mut self, rows: impl IntoIterator<Item = Row>) {
+        let mut seen: FxHashSet<Row> = self.rows.iter().cloned().collect();
+        for row in rows {
+            if seen.insert(row.clone()) {
+                self.rows.push(row);
+            }
+        }
+    }
+
+    /// Unions many result sets in one pass, building the dedup set once
+    /// instead of re-hashing the accumulator per input (the merge step of
+    /// wide horizontal-distribution unions).
+    pub fn union_all<'a>(&mut self, parts: impl IntoIterator<Item = &'a ResultSet>) {
+        let mut seen: FxHashSet<Row> = self.rows.iter().cloned().collect();
+        for part in parts {
+            let perm: Option<Vec<usize>> =
+                self.columns.iter().map(|c| part.column_index(c)).collect();
+            let Some(perm) = perm else { continue };
+            for row in &part.rows {
+                let row: Row = perm.iter().map(|&i| row[i].clone()).collect();
+                if seen.insert(row.clone()) {
+                    self.rows.push(row);
+                }
+            }
+        }
+    }
+
     /// Set-semantics union with `other` (columns must match by name;
     /// `other`'s columns are permuted if ordered differently).
     ///
     /// This is the ∪ of horizontal distribution (§2.4): partial results for
     /// the same pattern "obtained by these peers should be unioned".
     pub fn union(&mut self, other: &ResultSet) {
-        let perm: Option<Vec<usize>> = self.columns.iter().map(|c| other.column_index(c)).collect();
-        let Some(perm) = perm else { return };
-        let seen: HashSet<&Row> = self.rows.iter().collect();
-        let mut fresh = Vec::new();
-        for row in &other.rows {
-            let mapped: Row = perm.iter().map(|&i| row[i].clone()).collect();
-            if !seen.contains(&mapped) {
-                fresh.push(mapped);
-            }
-        }
-        drop(seen);
-        for row in fresh {
-            // Re-check: two distinct other-rows may map to the same row.
-            if !self.rows.contains(&row) {
-                self.rows.push(row);
-            }
-        }
+        self.union_all([other]);
     }
 
     /// Natural hash join with `other` on all shared column names.
+    ///
+    /// Join keys are interned to dense integers first (one hash of each
+    /// node value per occurrence), so multi-column key comparison, the
+    /// build-side index and output dedup all run over `u32`s instead of
+    /// re-hashing URI strings.
     ///
     /// This is the ⋈ of vertical distribution (§2.4), which "ensures
     /// correctness of query results".
@@ -94,31 +124,47 @@ impl ResultSet {
         columns.extend(other_extra.iter().map(|&j| other.columns[j].clone()));
 
         let mut out = ResultSet::empty(columns);
+        let mut seen: FxHashSet<Row> = FxHashSet::default();
         if shared.is_empty() {
             // Cartesian product (only reachable through hand-built plans).
             for a in &self.rows {
                 for b in &other.rows {
                     let mut row = a.clone();
                     row.extend(other_extra.iter().map(|&j| b[j].clone()));
-                    out.push_distinct(row);
+                    if seen.insert(row.clone()) {
+                        out.rows.push(row);
+                    }
                 }
             }
             return out;
         }
-        // Hash the smaller side on the shared columns.
-        use std::collections::HashMap;
-        let mut index: HashMap<Vec<&Node>, Vec<&Row>> = HashMap::new();
+        // Intern the build side's key columns; probe keys that miss the
+        // interner cannot match any build row.
+        let mut intern: FxHashMap<&Node, u32> = FxHashMap::default();
+        let mut index: FxHashMap<Vec<u32>, Vec<&Row>> = FxHashMap::default();
         for b in &other.rows {
-            let key: Vec<&Node> = shared.iter().map(|&(_, j)| &b[j]).collect();
+            let key: Vec<u32> = shared
+                .iter()
+                .map(|&(_, j)| {
+                    let next = intern.len() as u32;
+                    *intern.entry(&b[j]).or_insert(next)
+                })
+                .collect();
             index.entry(key).or_default().push(b);
         }
         for a in &self.rows {
-            let key: Vec<&Node> = shared.iter().map(|&(i, _)| &a[i]).collect();
+            let key: Option<Vec<u32>> = shared
+                .iter()
+                .map(|&(i, _)| intern.get(&a[i]).copied())
+                .collect();
+            let Some(key) = key else { continue };
             if let Some(matches) = index.get(&key) {
                 for b in matches {
                     let mut row = a.clone();
                     row.extend(other_extra.iter().map(|&j| b[j].clone()));
-                    out.push_distinct(row);
+                    if seen.insert(row.clone()) {
+                        out.rows.push(row);
+                    }
                 }
             }
         }
@@ -129,17 +175,12 @@ impl ResultSet {
     pub fn project(&self, names: &[String]) -> ResultSet {
         let idx: Vec<usize> = names.iter().filter_map(|n| self.column_index(n)).collect();
         let mut out = ResultSet::empty(idx.iter().map(|&i| self.columns[i].clone()).collect());
-        for row in &self.rows {
-            out.push_distinct(idx.iter().map(|&i| row[i].clone()).collect());
-        }
+        out.extend_distinct(
+            self.rows
+                .iter()
+                .map(|row| idx.iter().map(|&i| row[i].clone()).collect::<Row>()),
+        );
         out
-    }
-
-    /// Appends a row unless it is already present.
-    pub fn push_distinct(&mut self, row: Row) {
-        if !self.rows.contains(&row) {
-            self.rows.push(row);
-        }
     }
 
     /// Applies a Top-N clause: stable-sorts by the named column (resources
@@ -164,11 +205,11 @@ impl ResultSet {
         }
     }
 
-    /// Sorts rows lexicographically by display form — handy for
-    /// deterministic assertions in tests and experiment output.
+    /// Sorts rows by [`node_cmp`] column-wise — a deterministic total order
+    /// for assertions in tests and experiment output (no per-comparison
+    /// display-string allocation).
     pub fn sorted(mut self) -> ResultSet {
-        self.rows
-            .sort_by_key(|r| r.iter().map(|n| n.to_string()).collect::<Vec<_>>());
+        self.rows.sort_by(|a, b| row_cmp(a, b));
         self
     }
 
@@ -193,19 +234,115 @@ pub fn node_cmp(a: &Node, b: &Node) -> std::cmp::Ordering {
     }
 }
 
-/// Evaluates `query` against `base`, returning projected distinct rows.
-pub fn evaluate(query: &QueryPattern, base: &DescriptionBase) -> ResultSet {
-    let tree = query.join_tree();
-    // Partial bindings: one vector slot per variable.
-    let mut partial: Vec<Vec<Option<Node>>> = vec![vec![None; query.var_count()]];
-    for &pi in &tree.order {
-        let pattern = &query.patterns()[pi];
-        let mut next = Vec::new();
-        for binding in &partial {
-            extend_binding(query, base, pattern, binding, &mut next);
+/// Row-wise lexicographic extension of [`node_cmp`].
+pub fn row_cmp(a: &[Node], b: &[Node]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        match node_cmp(x, y) {
+            std::cmp::Ordering::Equal => continue,
+            ord => return ord,
         }
-        partial = next;
-        if partial.is_empty() {
+    }
+    a.len().cmp(&b.len())
+}
+
+// ----------------------------------------------------------------------
+// Statistics-driven join ordering
+// ----------------------------------------------------------------------
+
+/// Expected matches per probe of `pattern` given which endpoints are bound
+/// (closed-extent cardinalities; the §2.5 statistics put to work locally).
+fn est_matches(
+    stats: &BaseStatistics,
+    pattern: &crate::pattern::PathPattern,
+    subject_bound: bool,
+    object_bound: bool,
+) -> f64 {
+    let ps = stats.property_closed(pattern.property);
+    let t = ps.triples as f64;
+    let ds = ps.distinct_subjects.max(1) as f64;
+    let dobj = ps.distinct_objects.max(1) as f64;
+    match (subject_bound, object_bound) {
+        (true, true) => t / (ds * dobj),
+        (true, false) => t / ds,
+        (false, true) => t / dobj,
+        (false, false) => t,
+    }
+}
+
+/// Orders a query's path patterns for evaluation: greedily pick the
+/// pattern with the smallest estimated match count under the current
+/// bound-variable set, promoting patterns with a bound endpoint (their
+/// per-probe cost is an index bucket, not an extent scan). Constants
+/// count as bound from the start. Deterministic: ties break on
+/// bound-endpoint presence, then on pattern index.
+///
+/// Also exposed to the plan layer ([`sqpeer-plan`]'s `Estimator` cost
+/// hooks) so cost estimates of a `Fetch` agree with what the local engine
+/// will actually do.
+pub fn stats_join_order(query: &QueryPattern, stats: &BaseStatistics) -> Vec<usize> {
+    let patterns = query.patterns();
+    let n = patterns.len();
+    let mut bound = vec![false; query.var_count()];
+    let term_bound = |t: &Term, bound: &[bool]| match t {
+        Term::Var(v) => bound[v.0 as usize],
+        Term::Resource(_) | Term::Literal(_) => true,
+    };
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    while !remaining.is_empty() {
+        let mut best = 0usize;
+        let mut best_key = (f64::INFINITY, true, usize::MAX);
+        for (slot, &pi) in remaining.iter().enumerate() {
+            let p = &patterns[pi];
+            let sb = term_bound(&p.subject.term, &bound);
+            let ob = term_bound(&p.object.term, &bound);
+            let key = (est_matches(stats, p, sb, ob), !(sb || ob), pi);
+            let better = key.0 < best_key.0
+                || (key.0 == best_key.0
+                    && (!key.1 && best_key.1 || key.1 == best_key.1 && key.2 < best_key.2));
+            if better {
+                best = slot;
+                best_key = key;
+            }
+        }
+        let pi = remaining.swap_remove(best);
+        for v in patterns[pi].vars() {
+            bound[v.0 as usize] = true;
+        }
+        order.push(pi);
+    }
+    order
+}
+
+// ----------------------------------------------------------------------
+// The interned engine
+// ----------------------------------------------------------------------
+
+/// Sentinel for an unbound variable slot in an interned binding row.
+const UNBOUND: SymId = SymId::MAX;
+
+/// Evaluates `query` against `base`, returning projected distinct rows.
+///
+/// Runs the interned engine over the base's cached snapshot (built on
+/// first use — see [`DescriptionBase::interned`]).
+pub fn evaluate(query: &QueryPattern, base: &DescriptionBase) -> ResultSet {
+    evaluate_snapshot(query, &base.interned())
+}
+
+/// Evaluates `query` against a prebuilt interned snapshot.
+pub fn evaluate_snapshot(query: &QueryPattern, ib: &InternedBase) -> ResultSet {
+    let width = query.var_count().max(1);
+    // The binding frontier: `width`-sized rows of interned ids, flat,
+    // double-buffered so each pattern extension reuses scratch space.
+    let mut cur: Vec<SymId> = vec![UNBOUND; width];
+    let mut next: Vec<SymId> = Vec::new();
+
+    for &pi in &stats_join_order(query, ib.stats()) {
+        let pattern = &query.patterns()[pi];
+        next.clear();
+        extend_interned(ib, pattern, &cur, width, &mut next);
+        std::mem::swap(&mut cur, &mut next);
+        if cur.is_empty() {
             break;
         }
     }
@@ -214,12 +351,333 @@ pub fn evaluate(query: &QueryPattern, base: &DescriptionBase) -> ResultSet {
     // feature): bound variables/constants are membership-checked; unbound
     // variables enumerate the subsumption-closed class extent.
     for cp in query.class_patterns() {
+        if cur.is_empty() {
+            break;
+        }
+        next.clear();
+        let const_sym = match &cp.term {
+            Term::Var(_) => None,
+            Term::Resource(r) => Some(ib.resolve(&Node::Resource(r.clone()))),
+            Term::Literal(_) => Some(None), // literal member: never an instance
+        };
+        for row in cur.chunks_exact(width) {
+            match (&cp.term, const_sym) {
+                (Term::Var(v), _) => {
+                    let slot = v.0 as usize;
+                    if row[slot] != UNBOUND {
+                        if ib.is_instance(row[slot], cp.class) {
+                            next.extend_from_slice(row);
+                        }
+                    } else {
+                        for &id in ib.class_extent_closed(cp.class) {
+                            let at = next.len();
+                            next.extend_from_slice(row);
+                            next[at + slot] = id;
+                        }
+                    }
+                }
+                (_, Some(Some(id))) => {
+                    if ib.is_instance(id, cp.class) {
+                        next.extend_from_slice(row);
+                    }
+                }
+                // Constant absent from the base (or a literal): no match.
+                (_, Some(None)) => {}
+                (_, None) => unreachable!("const_sym is Some for non-var terms"),
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+
+    // Filters.
+    if !query.filters().is_empty() && !cur.is_empty() {
+        let filters: Vec<InternedCondition> = query
+            .filters()
+            .iter()
+            .map(|f| InternedCondition::prepare(ib, f))
+            .collect();
+        next.clear();
+        for row in cur.chunks_exact(width) {
+            if filters.iter().all(|f| f.eval(ib, row)) {
+                next.extend_from_slice(row);
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+
+    // Projection with set semantics; nodes materialise only here.
+    let proj: Vec<usize> = query.projection().iter().map(|v| v.0 as usize).collect();
+    let names: Vec<String> = query
+        .projection()
+        .iter()
+        .map(|&v| query.var_name(v).to_string())
+        .collect();
+    let mut out = ResultSet::empty(names);
+    if proj.len() <= 4 {
+        // Narrow projections (the common case) pack into one u128 key —
+        // no per-row allocation during dedup.
+        let mut seen: FxHashSet<u128> = FxHashSet::default();
+        for row in cur.chunks_exact(width) {
+            let mut key: u128 = 0;
+            for &i in &proj {
+                debug_assert_ne!(row[i], UNBOUND, "projected variable must be bound");
+                key = (key << 32) | row[i] as u128;
+            }
+            if seen.insert(key) {
+                out.rows
+                    .push(proj.iter().map(|&i| ib.node(row[i]).clone()).collect());
+            }
+        }
+    } else {
+        let mut seen: FxHashSet<Vec<SymId>> = FxHashSet::default();
+        for row in cur.chunks_exact(width) {
+            let key: Vec<SymId> = proj
+                .iter()
+                .map(|&i| {
+                    debug_assert_ne!(row[i], UNBOUND, "projected variable must be bound");
+                    row[i]
+                })
+                .collect();
+            if seen.insert(key) {
+                out.rows
+                    .push(proj.iter().map(|&i| ib.node(row[i]).clone()).collect());
+            }
+        }
+    }
+    let order = query.order_by().map(|(v, asc)| (query.var_name(v), asc));
+    if order.is_some() || query.limit().is_some() {
+        out.apply_top(order, query.limit());
+    }
+    out
+}
+
+/// Extends every binding row in `cur` with all matches of `pattern`,
+/// writing extended rows into `next`.
+fn extend_interned(
+    ib: &InternedBase,
+    pattern: &crate::pattern::PathPattern,
+    cur: &[SymId],
+    width: usize,
+    next: &mut Vec<SymId>,
+) {
+    // Constants resolve once per pattern; a constant absent from the
+    // interner can match nothing.
+    let const_sym = |t: &Term| -> Option<Option<SymId>> {
+        match t {
+            Term::Var(_) => None,
+            Term::Resource(r) => Some(ib.resolve(&Node::Resource(r.clone()))),
+            Term::Literal(l) => Some(ib.resolve(&Node::Literal(l.clone()))),
+        }
+    };
+    let subj_const = const_sym(&pattern.subject.term);
+    let obj_const = const_sym(&pattern.object.term);
+    if matches!(pattern.subject.term, Term::Literal(_)) {
+        return; // literal subject: no matches
+    }
+    if subj_const == Some(None) || obj_const == Some(None) {
+        return; // constant endpoint absent from this base
+    }
+
+    let class_ok = |endpoint: &Endpoint, id: SymId| -> bool {
+        endpoint.class.is_none_or(|c| ib.is_instance(id, c))
+    };
+
+    // The subsumption-closed extent list, resolved once per pattern
+    // instead of per binding row.
+    let extents: Vec<_> = ib.descendant_extents(pattern.property).collect();
+
+    for row in cur.chunks_exact(width) {
+        let subj: Option<SymId> = match &pattern.subject.term {
+            Term::Var(v) => match row[v.0 as usize] {
+                UNBOUND => None,
+                id => Some(id),
+            },
+            _ => subj_const.flatten(),
+        };
+        let obj: Option<SymId> = match &pattern.object.term {
+            Term::Var(v) => match row[v.0 as usize] {
+                UNBOUND => None,
+                id => Some(id),
+            },
+            _ => obj_const.flatten(),
+        };
+
+        let mut emit = |s: SymId, o: SymId| {
+            if !class_ok(&pattern.subject, s) || !class_ok(&pattern.object, o) {
+                return;
+            }
+            let at = next.len();
+            next.extend_from_slice(row);
+            if let Term::Var(v) = pattern.subject.term {
+                next[at + v.0 as usize] = s;
+            }
+            if let Term::Var(v) = pattern.object.term {
+                let slot = at + v.0 as usize;
+                // Self-join within one pattern ({X}p{X}): the second
+                // assignment must agree with the first.
+                if next[slot] != UNBOUND && next[slot] != o {
+                    next.truncate(at);
+                    return;
+                }
+                next[slot] = o;
+            }
+        };
+
+        match (subj, obj) {
+            (Some(s), Some(o)) => {
+                // Both ends fixed: membership test.
+                if extents
+                    .iter()
+                    .any(|e| e.with_subject(s).any(|(_, oo)| oo == o))
+                {
+                    emit(s, o);
+                }
+            }
+            (Some(s), None) => {
+                for e in &extents {
+                    for (ss, oo) in e.with_subject(s) {
+                        emit(ss, oo);
+                    }
+                }
+            }
+            (None, Some(o)) => {
+                for e in &extents {
+                    for (ss, oo) in e.with_object(o) {
+                        emit(ss, oo);
+                    }
+                }
+            }
+            (None, None) => {
+                for e in &extents {
+                    for (ss, oo) in e.pairs() {
+                        emit(ss, oo);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A WHERE-clause comparison with constants pre-resolved against the
+/// interner.
+struct InternedCondition {
+    left: InternedOperand,
+    op: CmpOp,
+    right: InternedOperand,
+}
+
+enum InternedOperand {
+    /// Variable slot index.
+    Var(usize),
+    /// Constant, with its interned id if it occurs in the base at all.
+    Const(Option<SymId>, Node),
+}
+
+impl InternedCondition {
+    fn prepare(ib: &InternedBase, cond: &crate::pattern::ResolvedCondition) -> Self {
+        let op = |o: &CondOperand| match o {
+            CondOperand::Var(v) => InternedOperand::Var(v.0 as usize),
+            CondOperand::Const(n) => InternedOperand::Const(ib.resolve(n), n.clone()),
+        };
+        InternedCondition {
+            left: op(&cond.left),
+            op: cond.op,
+            right: op(&cond.right),
+        }
+    }
+
+    fn eval(&self, ib: &InternedBase, row: &[SymId]) -> bool {
+        // `None` = unbound variable: the condition is unsatisfied, exactly
+        // like the reference engine.
+        let sym = |o: &InternedOperand| -> Option<Option<SymId>> {
+            match o {
+                InternedOperand::Var(i) => match row[*i] {
+                    UNBOUND => None,
+                    id => Some(Some(id)),
+                },
+                InternedOperand::Const(id, _) => Some(*id),
+            }
+        };
+        let (Some(l), Some(r)) = (sym(&self.left), sym(&self.right)) else {
+            return false;
+        };
+        match self.op {
+            // Interned ids are unique per node value, so equality is id
+            // equality; a constant absent from the base equals nothing.
+            CmpOp::Eq => match (l, r) {
+                (Some(a), Some(b)) => a == b,
+                _ => self.node(ib, &self.left, l) == self.node(ib, &self.right, r),
+            },
+            CmpOp::Ne => match (l, r) {
+                (Some(a), Some(b)) => a != b,
+                _ => self.node(ib, &self.left, l) != self.node(ib, &self.right, r),
+            },
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                let (Node::Literal(a), Node::Literal(b)) =
+                    (self.node(ib, &self.left, l), self.node(ib, &self.right, r))
+                else {
+                    return false;
+                };
+                let ord = a.total_cmp(b);
+                match self.op {
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// The node value behind an evaluated operand.
+    fn node<'a>(
+        &'a self,
+        ib: &'a InternedBase,
+        op: &'a InternedOperand,
+        id: Option<SymId>,
+    ) -> &'a Node {
+        match (id, op) {
+            (Some(id), _) => ib.node(id),
+            (None, InternedOperand::Const(_, n)) => n,
+            (None, InternedOperand::Var(_)) => unreachable!("bound vars always intern"),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The reference row-at-a-time engine
+// ----------------------------------------------------------------------
+
+/// Evaluates `query` against `base` with the original row-at-a-time
+/// engine over `Node` values.
+///
+/// Kept as the semantic oracle: the equivalence property test checks the
+/// interned engine returns identical row sets, and the E16 benchmark uses
+/// it as the seed baseline.
+pub fn evaluate_reference(query: &QueryPattern, base: &DescriptionBase) -> ResultSet {
+    let tree = query.join_tree();
+    // Partial bindings: one vector slot per variable.
+    let mut partial: Vec<Vec<Option<Node>>> = vec![vec![None; query.var_count()]];
+    for &pi in &tree.order {
+        let pattern = &query.patterns()[pi];
+        let mut next = Vec::new();
+        for binding in &partial {
+            extend_binding(base, pattern, binding, &mut next);
+        }
+        partial = next;
+        if partial.is_empty() {
+            break;
+        }
+    }
+
+    for cp in query.class_patterns() {
         let mut next = Vec::new();
         for binding in &partial {
             let value = match &cp.term {
-                crate::pattern::Term::Var(v) => binding[v.0 as usize].clone(),
-                crate::pattern::Term::Resource(r) => Some(Node::Resource(r.clone())),
-                crate::pattern::Term::Literal(_) => None,
+                Term::Var(v) => binding[v.0 as usize].clone(),
+                Term::Resource(r) => Some(Node::Resource(r.clone())),
+                Term::Literal(_) => None,
             };
             match value {
                 Some(Node::Resource(r)) => {
@@ -228,7 +686,7 @@ pub fn evaluate(query: &QueryPattern, base: &DescriptionBase) -> ResultSet {
                     }
                 }
                 Some(Node::Literal(_)) | None => {
-                    if let crate::pattern::Term::Var(v) = cp.term {
+                    if let Term::Var(v) = cp.term {
                         for r in base.class_extent_closed(cp.class) {
                             let mut b = binding.clone();
                             b[v.0 as usize] = Some(Node::Resource(r.clone()));
@@ -276,9 +734,9 @@ pub fn evaluate(query: &QueryPattern, base: &DescriptionBase) -> ResultSet {
     out
 }
 
-/// Extends one partial binding with all matches of `pattern` in `base`.
+/// Extends one partial binding with all matches of `pattern` in `base`,
+/// iterating the base's borrowed indexes directly (no extent cloning).
 fn extend_binding(
-    query: &QueryPattern,
     base: &DescriptionBase,
     pattern: &crate::pattern::PathPattern,
     binding: &[Option<Node>],
@@ -328,35 +786,22 @@ fn extend_binding(
             }
         }
         (Some(Node::Resource(s)), None) => {
-            let matches: Vec<(Resource, Node)> = base
-                .triples_with_subject(pattern.property, s)
-                .map(|(ss, oo)| (ss.clone(), oo.clone()))
-                .collect();
-            for (ss, oo) in matches {
-                emit(&ss, &oo);
+            for (ss, oo) in base.triples_with_subject(pattern.property, s) {
+                emit(ss, oo);
             }
         }
         (None, Some(o)) => {
-            let matches: Vec<(Resource, Node)> = base
-                .triples_with_object(pattern.property, o)
-                .map(|(ss, oo)| (ss.clone(), oo.clone()))
-                .collect();
-            for (ss, oo) in matches {
-                emit(&ss, &oo);
+            for (ss, oo) in base.triples_with_object(pattern.property, o) {
+                emit(ss, oo);
             }
         }
         (None, None) => {
-            let matches: Vec<(Resource, Node)> = base
-                .triples_closed(pattern.property)
-                .map(|(ss, oo)| (ss.clone(), oo.clone()))
-                .collect();
-            for (ss, oo) in matches {
-                emit(&ss, &oo);
+            for (ss, oo) in base.triples_closed(pattern.property) {
+                emit(ss, oo);
             }
         }
         (Some(Node::Literal(_)), _) => { /* literal subject: no matches */ }
     }
-    let _ = query;
 }
 
 /// Checks an endpoint's class/datatype constraint against a concrete node.
@@ -440,10 +885,18 @@ mod tests {
         b
     }
 
+    /// Evaluates with the interned engine, asserting it agrees with the
+    /// reference engine on the way out.
     fn run(src: &str) -> ResultSet {
         let s = schema();
         let qp = QueryPattern::resolve(&parse_query(src).unwrap(), &s).unwrap();
-        evaluate(&qp, &base(&s)).sorted()
+        let b = base(&s);
+        let interned = evaluate(&qp, &b).sorted();
+        let reference = evaluate_reference(&qp, &b).sorted();
+        if qp.order_by().is_none() && qp.limit().is_none() {
+            assert_eq!(interned, reference, "engines disagree on {src}");
+        }
+        interned
     }
 
     #[test]
@@ -494,6 +947,17 @@ mod tests {
         let rs = run("SELECT Y FROM {&http://data/r1}prop1{Y}");
         assert_eq!(rs.len(), 1);
         assert_eq!(rs.rows[0][0], Node::Resource(r(2)));
+    }
+
+    #[test]
+    fn absent_constants_match_nothing() {
+        // Constants that never occur in the base: empty, not a panic.
+        assert!(run("SELECT Y FROM {&http://nowhere}prop1{Y}").is_empty());
+        assert!(run("SELECT X FROM {X}age{12345}").is_empty());
+        // Filter against an absent constant: != holds for every binding.
+        let rs = run("SELECT X FROM {X}prop1{Y} WHERE X != &http://nowhere");
+        assert_eq!(rs.len(), 2);
+        assert!(run("SELECT X FROM {X}prop1{Y} WHERE X = &http://nowhere").is_empty());
     }
 
     #[test]
@@ -586,6 +1050,19 @@ mod tests {
         };
         let p = a.project(&["X".into()]);
         assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn extend_distinct_dedups() {
+        let mut rs = ResultSet::empty(vec!["X".into()]);
+        rs.extend_distinct(vec![
+            vec![Node::Resource(r(1))],
+            vec![Node::Resource(r(2))],
+            vec![Node::Resource(r(1))],
+        ]);
+        assert_eq!(rs.len(), 2);
+        rs.extend_distinct(vec![vec![Node::Resource(r(2))], vec![Node::Resource(r(3))]]);
+        assert_eq!(rs.len(), 3);
     }
 
     #[test]
@@ -693,6 +1170,50 @@ mod tests {
     }
 
     #[test]
+    fn stats_order_prefers_selective_patterns() {
+        let s = schema();
+        let b = base(&s);
+        // prop2 has 2 closed triples, prop1 has 3 (prop4 included): a
+        // chain query should start from... both small here, so check the
+        // invariants instead: the order is a permutation and every
+        // pattern after the first shares a variable with an earlier one
+        // (no accidental cartesian steps on connected queries).
+        let qp = QueryPattern::resolve(
+            &parse_query("SELECT X, Y, Z FROM {X}prop1{Y}, {Y}prop2{Z}").unwrap(),
+            &s,
+        )
+        .unwrap();
+        let order = stats_join_order(&qp, b.interned().stats());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+        // Bound-endpoint promotion: with a constant subject, that pattern
+        // goes first regardless of extent sizes.
+        let qc = QueryPattern::resolve(
+            &parse_query("SELECT Y, Z FROM {&http://data/r1}prop1{Y}, {Y}prop2{Z}").unwrap(),
+            &s,
+        )
+        .unwrap();
+        assert_eq!(stats_join_order(&qc, b.interned().stats())[0], 0);
+    }
+
+    #[test]
+    fn sorted_orders_rows_total() {
+        let rs = ResultSet {
+            columns: vec!["X".into(), "V".into()],
+            rows: vec![
+                vec![Node::Resource(r(2)), Node::Literal(Literal::Integer(1))],
+                vec![Node::Resource(r(1)), Node::Literal(Literal::Integer(9))],
+                vec![Node::Resource(r(1)), Node::Literal(Literal::Integer(2))],
+            ],
+        }
+        .sorted();
+        assert_eq!(rs.rows[0][0], Node::Resource(r(1)));
+        assert_eq!(rs.rows[0][1], Node::Literal(Literal::Integer(2)));
+        assert_eq!(rs.rows[2][0], Node::Resource(r(2)));
+    }
+
+    #[test]
     fn distributed_equals_local_composition() {
         // ∪/⋈ on ResultSets must agree with direct evaluation: evaluate the
         // two Figure 1 path patterns separately, join them, compare with the
@@ -714,5 +1235,17 @@ mod tests {
             .sorted();
         let direct = evaluate(&full, &b).sorted();
         assert_eq!(joined, direct);
+    }
+
+    #[test]
+    fn snapshot_evaluation_reusable_across_queries() {
+        let s = schema();
+        let b = base(&s);
+        let ib = b.interned();
+        let q1 = QueryPattern::resolve(&parse_query("SELECT X, Y FROM {X}prop1{Y}").unwrap(), &s)
+            .unwrap();
+        let q2 = QueryPattern::resolve(&parse_query("SELECT X FROM {X;C1}").unwrap(), &s).unwrap();
+        assert_eq!(evaluate_snapshot(&q1, &ib).len(), 2);
+        assert_eq!(evaluate_snapshot(&q2, &ib).len(), 2);
     }
 }

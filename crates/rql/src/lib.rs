@@ -31,7 +31,10 @@ pub mod pattern;
 
 pub use ast::{CmpOp, Condition, NodeSpec, Operand, PathExpr, Projection, QueryAst};
 pub use error::{ParseError, ResolveError, RqlError};
-pub use eval::{evaluate, ResultSet, Row};
+pub use eval::{
+    evaluate, evaluate_reference, evaluate_snapshot, node_cmp, row_cmp, stats_join_order,
+    ResultSet, Row,
+};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::parse_query;
 pub use pattern::{

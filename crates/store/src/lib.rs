@@ -15,15 +15,17 @@
 //! * [`BaseStatistics`] snapshots (cardinalities, distinct counts) feeding
 //!   the cost-based optimiser of §2.5.
 
+pub mod interned;
 pub mod stats;
 pub mod text;
 
+pub use interned::{InternedBase, InternedExtent, SymId};
 pub use stats::{BaseStatistics, ClassStats, PropertyStats};
 pub use text::{dump, load, TextError};
 
 use sqpeer_rdfs::{ClassId, Node, PropertyId, Range, Resource, Schema, Triple, Typing};
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The extent of one property: its triples plus subject/object indexes.
 #[derive(Debug, Default, Clone)]
@@ -64,6 +66,8 @@ pub struct DescriptionBase {
     prop_extents: Vec<PropExtent>,
     /// Resource → set of classes it is directly typed with.
     types_of: HashMap<Resource, Vec<ClassId>>,
+    /// Lazily-built interned snapshot; invalidated by every mutation.
+    interned: OnceLock<Arc<InternedBase>>,
 }
 
 impl DescriptionBase {
@@ -73,6 +77,7 @@ impl DescriptionBase {
             class_extents: vec![HashSet::new(); schema.class_count()],
             prop_extents: vec![PropExtent::default(); schema.property_count()],
             types_of: HashMap::new(),
+            interned: OnceLock::new(),
             schema,
         }
     }
@@ -82,8 +87,19 @@ impl DescriptionBase {
         &self.schema
     }
 
+    /// The interned columnar snapshot of this base, built on first use and
+    /// rebuilt after mutations. The `Arc` keeps snapshots usable (and
+    /// shareable across evaluation threads) even if the base mutates later.
+    pub fn interned(&self) -> Arc<InternedBase> {
+        Arc::clone(
+            self.interned
+                .get_or_init(|| Arc::new(InternedBase::build(self))),
+        )
+    }
+
     /// Adds a typing fact. Returns `true` if it was new.
     pub fn insert_typing(&mut self, typing: Typing) -> bool {
+        self.interned.take();
         let newly = self.class_extents[typing.class.0 as usize].insert(typing.resource.clone());
         if newly {
             self.types_of
@@ -97,6 +113,7 @@ impl DescriptionBase {
     /// Adds a description triple without any type inference. Returns `true`
     /// if it was new.
     pub fn insert_triple(&mut self, triple: Triple) -> bool {
+        self.interned.take();
         self.prop_extents[triple.property.0 as usize].insert(triple.subject, triple.object)
     }
 

@@ -65,12 +65,12 @@ fn arb_query_pair() -> impl Strategy<Value = (QueryPattern, QueryPattern)> {
 fn arb_result_set() -> impl Strategy<Value = ResultSet> {
     prop::collection::vec((0..6u32, 0..6u32), 0..12).prop_map(|pairs| {
         let mut rs = ResultSet::empty(vec!["X".into(), "Y".into()]);
-        for (x, y) in pairs {
-            rs.push_distinct(vec![
+        rs.extend_distinct(pairs.into_iter().map(|(x, y)| {
+            vec![
                 Node::Resource(Resource::new(format!("http://r/{x}"))),
                 Node::Resource(Resource::new(format!("http://r/{y}"))),
-            ]);
-        }
+            ]
+        }));
         rs
     })
 }
@@ -521,4 +521,90 @@ proptest! {
 /// empty registry still count lookups.)
 fn events_had_query(_registry: &sqpeer::routing::AdRegistry) -> bool {
     true
+}
+
+// ----------------------------------------------------------------------
+// Interned engine ≡ reference row-at-a-time engine
+// ----------------------------------------------------------------------
+
+/// Randomized community schema + populated base + chain query, all from
+/// `sqpeer-testkit`, so the equivalence check ranges over schemas (with
+/// sub-classes and sub-properties), data distributions and query shapes —
+/// not just the Figure 1 fixture.
+fn arb_generated_case() -> impl Strategy<Value = (DescriptionBase, QueryPattern)> {
+    (0u64..200, 1usize..120, 1usize..4, any::<u64>()).prop_map(
+        |(seed, triples_per_property, len, qseed)| {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let spec = sqpeer_testkit::SchemaSpec {
+                chain_classes: 4,
+                subclasses_per_class: (seed % 3) as usize,
+                subproperty_fraction: 0.6,
+            };
+            let schema = sqpeer_testkit::community_schema(spec, seed);
+            let properties: Vec<_> = schema.properties().collect();
+            let mut base = DescriptionBase::new(Arc::clone(&schema));
+            sqpeer_testkit::populate(
+                &mut base,
+                &properties,
+                sqpeer_testkit::DataSpec {
+                    triples_per_property,
+                    class_pool: 12,
+                },
+                &mut StdRng::seed_from_u64(seed ^ 0x5eed),
+            );
+            let query =
+                sqpeer_testkit::random_chain_query(&schema, len, &mut StdRng::seed_from_u64(qseed))
+                    .expect("chain schemas always admit chain queries");
+            (base, query)
+        },
+    )
+}
+
+/// Figure 1 query pool exercising the features chain queries miss:
+/// class-constrained endpoints, constants, filters, ORDER BY (no LIMIT —
+/// with ties the two engines may legitimately keep different rows).
+fn arb_feature_query() -> impl Strategy<Value = QueryPattern> {
+    let texts = [
+        "SELECT X, Y FROM {X}prop1{Y}",
+        "SELECT X FROM {X;C5}prop1{Y}",
+        "SELECT X, Y FROM {X}prop1{Y}, {Y}prop2{Z}",
+        "SELECT X, Z FROM {X}prop4{Y}, {Y}prop2{Z}",
+        "SELECT Y FROM {&http://r/1}prop1{Y}",
+        "SELECT X FROM {X}prop1{&http://r/2}",
+        "SELECT X, Y FROM {X}prop1{Y} WHERE X != &http://r/3",
+        "SELECT X, Y FROM {X}prop1{Y} WHERE Y = &http://r/4",
+        "SELECT X, Y FROM {X}prop1{Y}, {Y}prop2{Z} WHERE X != Z",
+        "SELECT X, Y FROM {X}prop1{Y} ORDER BY X DESC",
+        "SELECT X FROM {X;C1}",
+    ];
+    (0..texts.len()).prop_map(move |i| compile(texts[i], &fig1_schema()).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole invariant: the interned statistics-ordered engine and
+    /// the retained reference evaluator return identical row sets on
+    /// randomized schemas, bases and queries.
+    #[test]
+    fn interned_engine_matches_reference_on_generated_cases(
+        (base, query) in arb_generated_case(),
+    ) {
+        let interned = evaluate(&query, &base).sorted();
+        let reference = evaluate_reference(&query, &base).sorted();
+        prop_assert_eq!(interned, reference);
+    }
+
+    /// Same invariant over the Figure 1 feature pool (filters, constants,
+    /// class membership, ORDER BY).
+    #[test]
+    fn interned_engine_matches_reference_on_feature_queries(
+        base in arb_base(),
+        query in arb_feature_query(),
+    ) {
+        let interned = evaluate(&query, &base).sorted();
+        let reference = evaluate_reference(&query, &base).sorted();
+        prop_assert_eq!(interned, reference);
+    }
 }
