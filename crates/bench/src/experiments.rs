@@ -83,6 +83,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
             "e16",
             "interned local evaluation: row-at-a-time vs interned, parallel unions",
         ),
+        (
+            "e17",
+            "chaos: completeness, retries and traffic vs silent-fault rate and churn",
+        ),
     ]
 }
 
@@ -105,6 +109,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e14" => e14(),
         "e15" => e15(),
         "e16" => e16(),
+        "e17" => e17(),
         _ => return None,
     })
 }
@@ -1117,9 +1122,13 @@ fn e10() -> String {
     out.push_str(&t.render());
     out.push_str(
         "\nshape check: adaptive execution re-plans around the failed peer and\n\
-         returns the complete, certain answer at a latency cost; static\n\
-         execution stays fast but flags the answer partial (ubQL discard\n\
-         semantics, §2.5).\n",
+         recovers the full row count via the replica at a latency cost;\n\
+         static execution stays fast but loses the crashed branch (ubQL\n\
+         discard semantics, §2.5). Both modes now flag such answers\n\
+         partial and name the failed peer as possibly-missing: the\n\
+         middleware cannot know the replica mirrors the crashed peer's\n\
+         data exactly, so completeness is only claimed when no\n\
+         contributor was given up on (the honesty invariant of E17).\n",
     );
     out
 }
@@ -1783,5 +1792,147 @@ fn e16() -> String {
          (criterion harness: benches/e16_local_eval.rs).\n",
         f1(ref_ms / warm_ms)
     ));
+    out
+}
+
+fn e17() -> String {
+    use sqpeer_testkit::{run_chaos, ChaosSpec};
+
+    // Each cell of the sweep: a silent-loss rate (permille, duplication at
+    // half that rate) crossed with churn on/off, averaged over seeds. The
+    // 200‰-with-churn cell is the acceptance bar from the chaos test
+    // matrix (tests/chaos.rs).
+    const SEEDS: [u64; 3] = [11, 23, 47];
+    const LOSS_PERMILLE: [u32; 4] = [0, 50, 100, 200];
+    const CHURN: [usize; 2] = [0, 2];
+
+    #[derive(Default)]
+    struct Cell {
+        answered: usize,
+        complete: usize,
+        partial: usize,
+        unanswered: usize,
+        retries: usize,
+        timeouts: usize,
+        replans: usize,
+        silent_drops: usize,
+        duplicates: usize,
+        messages: usize,
+        violations: usize,
+    }
+
+    let mut out = String::from(
+        "E17: completeness, retries and traffic vs fault rate and churn\n\n\
+         Seeded chaos runs (10 peers, 2 super-peers, 12 queries each) under\n\
+         silent message loss, duplication at half the loss rate, 20 ms\n\
+         jitter and optional crash/restart churn under 2 s ad leases.\n\
+         Every run is also checked for soundness and completeness honesty\n\
+         against the fault-free oracle; counts are sums over 3 seeds.\n\n",
+    );
+    let mut table = Table::new(&[
+        "loss \u{2030}",
+        "churn",
+        "complete",
+        "partial",
+        "unanswered",
+        "retries",
+        "timeouts",
+        "replans",
+        "silent drops",
+        "dups delivered",
+        "messages",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for &loss in &LOSS_PERMILLE {
+        for &churn in &CHURN {
+            let mut cell = Cell::default();
+            for &seed in &SEEDS {
+                let report = run_chaos(&ChaosSpec {
+                    seed,
+                    silent_loss_permille: loss,
+                    duplicate_permille: loss / 2,
+                    jitter_us: 20_000,
+                    churn_crashes: churn,
+                    ..ChaosSpec::default()
+                });
+                assert!(
+                    report.holds(),
+                    "invariant violation at loss={loss} churn={churn}: {:?}",
+                    report.violations
+                );
+                cell.answered += report.answered;
+                cell.complete += report.complete;
+                cell.partial += report.partial;
+                cell.unanswered += report.unanswered;
+                cell.retries += report.metrics.retries_sent();
+                cell.timeouts += report.metrics.timeouts_fired();
+                cell.replans += report.metrics.replans();
+                cell.silent_drops += report.metrics.silent_drops();
+                cell.duplicates += report.metrics.duplicates_delivered();
+                cell.messages += report.metrics.total_messages();
+                cell.violations += report.violations.len();
+            }
+            table.row(vec![
+                loss.to_string(),
+                if churn > 0 {
+                    format!("{churn} crashes")
+                } else {
+                    "none".into()
+                },
+                cell.complete.to_string(),
+                cell.partial.to_string(),
+                cell.unanswered.to_string(),
+                cell.retries.to_string(),
+                cell.timeouts.to_string(),
+                cell.replans.to_string(),
+                cell.silent_drops.to_string(),
+                cell.duplicates.to_string(),
+                cell.messages.to_string(),
+            ]);
+            json_rows.push(format!(
+                "    {{ \"loss_permille\": {loss}, \"churn_crashes\": {churn}, \
+                 \"complete\": {}, \"partial\": {}, \"unanswered\": {}, \
+                 \"retries\": {}, \"timeouts\": {}, \"replans\": {}, \
+                 \"silent_drops\": {}, \"duplicates_delivered\": {}, \
+                 \"messages\": {}, \"violations\": {} }}",
+                cell.complete,
+                cell.partial,
+                cell.unanswered,
+                cell.retries,
+                cell.timeouts,
+                cell.replans,
+                cell.silent_drops,
+                cell.duplicates,
+                cell.messages,
+                cell.violations,
+            ));
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nReading the table: the handful of partials at 0 \u{2030} are not faults\n\
+         but routing dead-ends in the generated topology \u{2014} a \u{00a7}3.2\n\
+         interleaved subplan that cannot be completed triggers \u{00a7}2.5\n\
+         adaptation, and a re-planned answer is conservatively flagged\n\
+         partial because the excluded peer's contribution is no longer\n\
+         promised. As loss rises, answers either degrade to honestly\n\
+         flagged partials (after the retry ladder and a re-plan) or stay\n\
+         complete because retries recovered the lost subplans; past the\n\
+         retry ladder whole queries go unanswered. Churn converts the\n\
+         crashed peers' contributions into named missing-peer entries once\n\
+         their leases lapse. No run at any cell violated soundness or\n\
+         completeness honesty.\n",
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e17\",\n  \"seeds\": {},\n  \
+         \"queries_per_run\": 12,\n  \"rows\": [\n{}\n  ]\n}}\n",
+        SEEDS.len(),
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_e17.json", &json) {
+        Ok(()) => out.push_str("\nwrote BENCH_e17.json\n"),
+        Err(e) => out.push_str(&format!("\ncould not write BENCH_e17.json: {e}\n")),
+    }
     out
 }

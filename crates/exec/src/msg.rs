@@ -28,6 +28,11 @@ pub struct QueryOutcome {
     pub replans: u32,
     /// Whether the answer may be partial (execution gave up on a subplan).
     pub partial: bool,
+    /// Completeness accounting: peers whose contributions are (or may be)
+    /// missing from a partial answer — everyone this root excluded,
+    /// abandoned after retries, or learned had departed. Sorted; empty
+    /// for answers the root believes complete.
+    pub missing: Vec<sqpeer_routing::PeerId>,
 }
 
 /// Messages exchanged between peers (and injected by client-peers).
@@ -48,6 +53,16 @@ pub enum Msg {
     /// Backbone replication of a withdrawal: drop the named peer's
     /// advertisement.
     WithdrawPeer(sqpeer_routing::PeerId),
+    /// Lease renewal: "my advertisement is still alive" (peer →
+    /// super-peer, or peer → neighbour in ad-hoc mode).
+    Heartbeat,
+    /// Backbone replication of a member heartbeat, so remote super-peers
+    /// renew the replicated advertisement's lease too.
+    HeartbeatPeer(sqpeer_routing::PeerId),
+    /// Backbone replication of a lease expiry: the named peer's
+    /// advertisement expired unrenewed; purge it from routing and keep
+    /// the advertisement as a tombstone for completeness accounting.
+    ExpirePeer(Advertisement),
 
     /// Hybrid mode: ask a super-peer to route `query` (§3.1).
     RouteRequest {
@@ -68,6 +83,9 @@ pub enum Msg {
         qid: QueryId,
         /// The annotated query pattern (may contain holes).
         annotated: AnnotatedQuery,
+        /// Departed peers whose (expired) active-schemas matched the
+        /// query: contributors the answer is known to be missing.
+        missing: Vec<sqpeer_routing::PeerId>,
     },
 
     /// Ship a (sub)plan through a channel for remote execution. The
@@ -86,6 +104,11 @@ pub enum Msg {
         /// Peers that already saw this (partial) plan — loop guard for
         /// hole-filling forwards.
         visited: Vec<sqpeer_routing::PeerId>,
+        /// At-least-once dispatch attempt (0 = first send). The
+        /// destination deduplicates by `(root, qid, tag, attempt)` so
+        /// network duplicates are served once while genuine retries
+        /// re-evaluate.
+        attempt: u32,
     },
     /// A data packet streaming a subplan result dest → root (§2.4).
     Data {
@@ -158,12 +181,17 @@ impl Msg {
             Msg::AdsResponse(ads) => 24 + ads.iter().map(|a| a.active.wire_size()).sum::<usize>(),
             Msg::Withdraw => 16,
             Msg::WithdrawPeer(_) => 24,
+            Msg::Heartbeat => 16,
+            Msg::HeartbeatPeer(_) => 24,
+            Msg::ExpirePeer(ad) => ad.active.wire_size() + 24,
             Msg::RouteRequest { query, .. } => 48 + query.to_string().len(),
-            Msg::RouteResponse { annotated, .. } => {
+            Msg::RouteResponse {
+                annotated, missing, ..
+            } => {
                 let anns: usize = (0..annotated.query().patterns().len())
                     .map(|i| annotated.peers_for(i).len())
                     .sum();
-                64 + 32 * anns
+                64 + 32 * anns + 8 * missing.len()
             }
             Msg::Subplan { plan, .. } => 96 + 80 * plan.fetch_count(),
             Msg::Data { result, stats, .. } => {

@@ -87,10 +87,25 @@ pub struct PeerConfig {
     /// Re-route a dispatched subplan whose result has not arrived within
     /// this many virtual µs — the §2.5 run-time reaction to low channel
     /// throughput ("the optimizer may alter a running query plan by
-    /// observing the throughput of a certain channel"). `None` disables
-    /// timeout-based adaptation (failures still adapt via delivery
-    /// notifications).
+    /// observing the throughput of a certain channel"), and the *only*
+    /// way a root ever learns about silently lost subplans. Defaults to
+    /// [`PeerConfig::DEFAULT_SUBPLAN_TIMEOUT_US`] (latency-derived);
+    /// `None` disables timeout-based adaptation (failures still adapt
+    /// via delivery notifications).
     pub subplan_timeout_us: Option<u64>,
+    /// At-least-once dispatch: a timed-out subplan is re-sent to the
+    /// same destination up to this many times (exponential backoff:
+    /// attempt `n` waits `timeout × 2ⁿ`) before the root gives up on the
+    /// peer and adapts. Zero disables retries.
+    pub subplan_retries: u32,
+    /// Advertisement lease duration. When set, advertisements are
+    /// heartbeat-renewed (period `lease / 4`): registries sweep unrenewed
+    /// entries out of routing and remember them as departed for
+    /// completeness accounting. `None` (the default) keeps the original
+    /// immortal advertisements — and keeps runs quiescent, since
+    /// heartbeats reschedule forever (use [`sqpeer_net::Simulator::run_until`]
+    /// with leases on).
+    pub ad_lease_us: Option<u64>,
     /// Phased re-execution (\[15\] in the paper): instead of discarding all
     /// intermediate results on adaptation (the ubQL default), the root
     /// caches completed subplan results per (peer, subplan) and reuses
@@ -112,6 +127,15 @@ pub struct PeerConfig {
     pub cache: Option<CacheConfig>,
 }
 
+impl PeerConfig {
+    /// The default subplan timeout: 250 round-trips on the default WAN
+    /// link (20 ms one-way ⇒ 10 virtual seconds). Generous enough that
+    /// slow-but-alive peers (processing delays, slot queues) finish long
+    /// before it fires, yet bounded, so a silently lost subplan is
+    /// always eventually detected and re-planned.
+    pub const DEFAULT_SUBPLAN_TIMEOUT_US: u64 = 250 * 2 * 20_000;
+}
+
 impl Default for PeerConfig {
     fn default() -> Self {
         PeerConfig {
@@ -124,7 +148,9 @@ impl Default for PeerConfig {
             limits: sqpeer_routing::RoutingLimits::unlimited(),
             stream_batch_rows: None,
             slots: None,
-            subplan_timeout_us: None,
+            subplan_timeout_us: Some(PeerConfig::DEFAULT_SUBPLAN_TIMEOUT_US),
+            subplan_retries: 2,
+            ad_lease_us: None,
             phased: false,
             processing_us_per_row: 0,
             cost_model: None,
@@ -217,9 +243,30 @@ struct RootQuery {
     replans: u32,
     started_at_us: u64,
     answered: bool,
+    /// Completeness accounting: peers whose contributions this root gave
+    /// up on (excluded after failures/timeouts) or learned had departed
+    /// (lease-expiry tombstones matching the query). Any entry forces
+    /// the final answer partial — the root cannot know whether surviving
+    /// replicas held the same rows.
+    missing: HashSet<PeerId>,
     /// Completed subplan results kept across phases (phased adaptation):
     /// `(destination peer, rendered subplan) → result`.
     phase_cache: HashMap<(PeerId, String), ResultSet>,
+}
+
+impl RootQuery {
+    fn new(query: QueryPattern, client: Option<NodeId>, started_at_us: u64) -> Self {
+        RootQuery {
+            query,
+            client,
+            excluded: HashSet::new(),
+            replans: 0,
+            started_at_us,
+            answered: false,
+            missing: HashSet::new(),
+            phase_cache: HashMap::new(),
+        }
+    }
 }
 
 /// How a finished subtree result is consumed.
@@ -303,6 +350,10 @@ struct PendingRemote {
     /// The shipped plan itself (needed to repair around a slow or failed
     /// destination).
     plan: PlanNode,
+    /// Visited-set shipped with the subplan (re-sent verbatim on retry).
+    visited: Vec<PeerId>,
+    /// At-least-once attempts sent so far (0 = original dispatch only).
+    attempt: u32,
 }
 
 /// The peer node: state machine over the simulated network.
@@ -355,6 +406,21 @@ pub struct PeerNode {
     /// sequence once known.
     streams: HashMap<u64, StreamBuffer>,
     next_timer: u64,
+    /// Idempotent receive: highest attempt served per subplan identity
+    /// `(root node, query, tag)`. Network duplicates (attempt ≤ served)
+    /// are dropped; genuine retries (attempt > served) re-evaluate.
+    served: HashMap<(NodeId, QueryId, u64), u32>,
+    /// Lease bookkeeping (only populated with `config.ad_lease_us` set):
+    /// advertisement expiry deadlines per peer.
+    lease_expiry: HashMap<PeerId, u64>,
+    /// Tombstones of lease-expired peers: their last advertisement, kept
+    /// so routing can name known-missing contributors. Cleared when the
+    /// peer re-advertises or heartbeats again.
+    departed: HashMap<PeerId, Advertisement>,
+    /// Timer ids driving periodic heartbeats.
+    heartbeat_timers: HashSet<u64>,
+    /// Timer ids driving periodic lease sweeps.
+    sweep_timers: HashSet<u64>,
     /// Routing/plan memoisation (None when disabled by config). RefCell
     /// because routing entry points take `&self`.
     cache: Option<RefCell<SemanticCache>>,
@@ -388,6 +454,11 @@ impl PeerNode {
             slot_queue: std::collections::VecDeque::new(),
             streams: HashMap::new(),
             next_timer: 0,
+            served: HashMap::new(),
+            lease_expiry: HashMap::new(),
+            departed: HashMap::new(),
+            heartbeat_timers: HashSet::new(),
+            sweep_timers: HashSet::new(),
             cache,
         }
     }
@@ -442,18 +513,8 @@ impl PeerNode {
         // answered against this peer's own base only and flagged partial
         // so callers know the network was not consulted.
         if !query.class_patterns().is_empty() {
-            self.rooted.insert(
-                qid,
-                RootQuery {
-                    query: query.clone(),
-                    client,
-                    excluded: HashSet::new(),
-                    replans: 0,
-                    started_at_us: ctx.now_us(),
-                    answered: false,
-                    phase_cache: HashMap::new(),
-                },
-            );
+            self.rooted
+                .insert(qid, RootQuery::new(query.clone(), client, ctx.now_us()));
             let result = if self.base.is_some() {
                 self.base
                     .with_materialized(|db| sqpeer_rql::evaluate(&query, db))
@@ -463,18 +524,8 @@ impl PeerNode {
             self.finalize(ctx, qid, result, true);
             return;
         }
-        self.rooted.insert(
-            qid,
-            RootQuery {
-                query,
-                client,
-                excluded: HashSet::new(),
-                replans: 0,
-                started_at_us: ctx.now_us(),
-                answered: false,
-                phase_cache: HashMap::new(),
-            },
-        );
+        self.rooted
+            .insert(qid, RootQuery::new(query, client, ctx.now_us()));
         self.plan_and_execute(ctx, qid);
     }
 
@@ -509,6 +560,12 @@ impl PeerNode {
             PeerMode::Adhoc => {
                 // Route locally over the semantic neighbourhood (§3.2).
                 let annotated = self.local_route(&query, &self.excluded_of(qid));
+                // Staleness-bound neighbourhood: lease-expired neighbours
+                // that would have matched are known-missing contributors.
+                let departed = self.departed_matching(&query);
+                if let Some(root) = self.rooted.get_mut(&qid) {
+                    root.missing.extend(departed);
+                }
                 self.continue_with_annotation(ctx, qid, annotated);
             }
         }
@@ -551,12 +608,167 @@ impl PeerNode {
         self.cache.as_ref().map(|c| c.borrow().stats())
     }
 
+    /// Departed (lease-expired) peers whose tombstoned active-schema
+    /// matches `query` — contributors any answer is known to be missing.
+    /// Sorted for determinism.
+    fn departed_matching(&self, query: &QueryPattern) -> Vec<PeerId> {
+        if self.departed.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<PeerId> = self
+            .departed
+            .iter()
+            .filter(|(_, ad)| {
+                let annotated = route_limited(
+                    query,
+                    std::slice::from_ref(*ad),
+                    self.config.routing_policy,
+                    sqpeer_routing::RoutingLimits::unlimited(),
+                );
+                !annotated.all_peers().is_empty()
+            })
+            .map(|(&peer, _)| peer)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Peers in the departed set (inspection for tests/experiments).
+    pub fn departed_peers(&self) -> Vec<PeerId> {
+        let mut out: Vec<PeerId> = self.departed.keys().copied().collect();
+        out.sort();
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Advertisement leases (opt-in via `config.ad_lease_us`)
+    // ------------------------------------------------------------------
+
+    /// Heartbeat/sweep period: a quarter of the lease, so a peer can lose
+    /// three consecutive heartbeats before its advertisement expires.
+    fn lease_period(&self) -> Option<u64> {
+        self.config.ad_lease_us.map(|l| (l / 4).max(1))
+    }
+
+    /// Records a lease renewal for `peer`'s advertisement.
+    fn renew_lease(&mut self, now: u64, peer: PeerId) {
+        if let Some(lease) = self.config.ad_lease_us {
+            self.lease_expiry.insert(peer, now + lease);
+        }
+    }
+
+    /// A heartbeat (direct or backbone-replicated) arrived from `peer`.
+    /// Renews the lease; if the peer had already been tombstoned, the
+    /// expiry was premature — restore the advertisement (and replicate
+    /// the restoration over the backbone like a fresh Advertise).
+    fn heartbeat_from(&mut self, ctx: &mut Ctx<Msg>, peer: PeerId) {
+        self.renew_lease(ctx.now_us(), peer);
+        if let Some(ad) = self.departed.remove(&peer) {
+            self.registry.register(ad.clone());
+            if self.role == Role::Super && !self.super_peers.contains(&peer) {
+                for &sp in &self.super_peers {
+                    let msg = Msg::Advertise(ad.clone());
+                    let bytes = msg.wire_size();
+                    ctx.send(node_of(sp), msg, bytes);
+                }
+            }
+        }
+    }
+
+    /// Sends this peer's lease renewal to everyone holding its ad:
+    /// super-peers in hybrid mode, semantic neighbours in ad-hoc mode.
+    fn send_heartbeats(&mut self, ctx: &mut Ctx<Msg>) {
+        let targets: Vec<PeerId> = match self.config.mode {
+            PeerMode::Hybrid => self.super_peers.clone(),
+            PeerMode::Adhoc => self.neighbours.clone(),
+        };
+        for &p in &targets {
+            let msg = Msg::Heartbeat;
+            let bytes = msg.wire_size();
+            ctx.send(node_of(p), msg, bytes);
+        }
+    }
+
+    /// Purges advertisements whose lease expired unrenewed: the peer is
+    /// tombstoned (kept for completeness accounting) and, at a super-peer,
+    /// the expiry replicates over the backbone like a withdrawal.
+    fn sweep_leases(&mut self, ctx: &mut Ctx<Msg>) {
+        let Some(lease) = self.config.ad_lease_us else {
+            return;
+        };
+        let now = ctx.now_us();
+        let peers: Vec<PeerId> = self
+            .registry
+            .advertisements()
+            .iter()
+            .map(|a| a.peer)
+            .collect();
+        for peer in peers {
+            if peer == self.id {
+                continue;
+            }
+            match self.lease_expiry.get(&peer).copied() {
+                Some(deadline) if deadline <= now => {
+                    let Some(ad) = self.registry.get(peer).cloned() else {
+                        continue;
+                    };
+                    self.registry.unregister(peer);
+                    self.lease_expiry.remove(&peer);
+                    self.departed.insert(peer, ad.clone());
+                    if self.role == Role::Super && !self.super_peers.contains(&peer) {
+                        for &sp in &self.super_peers {
+                            let msg = Msg::ExpirePeer(ad.clone());
+                            let bytes = msg.wire_size();
+                            ctx.send(node_of(sp), msg, bytes);
+                        }
+                    }
+                }
+                Some(_) => {}
+                None => {
+                    // Registered before leases were armed (bootstrap) or
+                    // after a restart wiped the deadlines: grant a full
+                    // lease from now instead of expiring instantly.
+                    self.lease_expiry.insert(peer, now + lease);
+                }
+            }
+        }
+    }
+
+    /// Arms the periodic heartbeat/sweep timers (no-op with leases off).
+    fn arm_lease_timers(&mut self, ctx: &mut Ctx<Msg>) {
+        let Some(period) = self.lease_period() else {
+            return;
+        };
+        if self.own_advertisement().is_some() {
+            let timer = self.next_timer;
+            self.next_timer += 1;
+            self.heartbeat_timers.insert(timer);
+            ctx.set_timer(period, timer);
+        }
+        // Lease sweeps run wherever advertisements are held: super-peers
+        // in hybrid mode, every data peer in ad-hoc mode.
+        if self.role == Role::Super
+            || (self.config.mode == PeerMode::Adhoc && self.role == Role::Simple)
+        {
+            let timer = self.next_timer;
+            self.next_timer += 1;
+            self.sweep_timers.insert(timer);
+            ctx.set_timer(period, timer);
+        }
+    }
+
     fn continue_with_annotation(
         &mut self,
         ctx: &mut Ctx<Msg>,
         qid: QueryId,
         mut annotated: AnnotatedQuery,
     ) {
+        // Duplicate-tolerant: a replayed RouteResponse (or any other
+        // duplicate trigger) must not start a second execution for an
+        // answered query.
+        if self.rooted.get(&qid).is_none_or(|r| r.answered) {
+            return;
+        }
         // Run-time adaptation: peers this root already saw fail must not
         // reappear, even when the (stale) super-peer registry still lists
         // them (§2.5: "not taking into consideration those peers that
@@ -763,6 +975,8 @@ impl PeerNode {
                 columns,
                 plan_key,
                 plan: plan.clone(),
+                visited: visited.clone(),
+                attempt: 0,
             },
         );
         if let Some(timeout) = self.config.subplan_timeout_us {
@@ -777,6 +991,40 @@ impl PeerNode {
             tag,
             plan,
             visited,
+            attempt: 0,
+        };
+        let bytes = msg.wire_size();
+        ctx.send(node_of(dest), msg, bytes);
+    }
+
+    /// Re-sends a timed-out subplan to the same destination (at-least-once
+    /// dispatch), arming the next timeout with exponential backoff. The
+    /// tag stays the same — whichever attempt's answer arrives first fills
+    /// the slot; the bumped attempt lets the destination separate genuine
+    /// retries from network duplicates.
+    fn retry_subplan(&mut self, ctx: &mut Ctx<Msg>, tag: u64, base_timeout: u64) {
+        let Some(pending) = self.outstanding.get_mut(&tag) else {
+            return;
+        };
+        pending.attempt += 1;
+        let (qid, dest, attempt) = (pending.qid, pending.dest, pending.attempt);
+        let (plan, visited) = (pending.plan.clone(), pending.visited.clone());
+        let channel = match self.channels.open_towards(node_of(dest)) {
+            Some(ch) => ch,
+            None => self.channels.open(node_of(self.id), node_of(dest)),
+        };
+        ctx.note_retry();
+        let timer = self.next_timer;
+        self.next_timer += 1;
+        self.timeouts.insert(timer, tag);
+        ctx.set_timer(base_timeout << attempt.min(16), timer);
+        let msg = Msg::Subplan {
+            channel,
+            qid,
+            tag,
+            plan,
+            visited,
+            attempt,
         };
         let bytes = msg.wire_size();
         ctx.send(node_of(dest), msg, bytes);
@@ -921,7 +1169,7 @@ impl PeerNode {
     }
 
     fn finalize(&mut self, ctx: &mut Ctx<Msg>, qid: QueryId, result: ResultSet, partial: bool) {
-        let (names, client, replans, started) = {
+        let (names, client, replans, started, missing) = {
             let Some(root) = self.rooted.get_mut(&qid) else {
                 return;
             };
@@ -935,8 +1183,20 @@ impl PeerNode {
                 .iter()
                 .map(|&v| root.query.var_name(v).to_string())
                 .collect();
-            (names, root.client, root.replans, root.started_at_us)
+            let mut missing: Vec<PeerId> = root.missing.iter().copied().collect();
+            missing.sort();
+            (
+                names,
+                root.client,
+                root.replans,
+                root.started_at_us,
+                missing,
+            )
         };
+        // Honest completeness: once any contributor was given up on, the
+        // root cannot claim the full answer — a surviving replica may
+        // hold different rows than the lost peer did.
+        let partial = partial || !missing.is_empty();
         // Apply the query's final projection (§2.1 projections). An empty
         // result coming out of a hole has no columns; give it the query's
         // projection schema so consumers see a well-formed (empty) table.
@@ -965,6 +1225,7 @@ impl PeerNode {
                 latency_us: ctx.now_us().saturating_sub(started),
                 replans,
                 partial,
+                missing,
             },
         );
         if let Some(client) = client {
@@ -990,12 +1251,14 @@ impl PeerNode {
         }
         if let Some(p) = culprit {
             root.excluded.insert(p);
+            root.missing.insert(p);
         }
         if root.replans >= self.config.max_replans {
             self.finalize(ctx, qid, ResultSet::default(), true);
             return;
         }
         root.replans += 1;
+        ctx.note_replan();
         // ubQL semantics: discard all intermediate results and on-going
         // computations, then re-run routing + processing.
         let stale_frames: Vec<u64> = self
@@ -1031,6 +1294,9 @@ impl PeerNode {
             // Static execution (or an intermediate peer): the lost branch
             // becomes an empty partial slot and the rest of the plan
             // continues.
+            if let Some(root) = self.rooted.get_mut(&qid) {
+                root.missing.insert(failed_peer);
+            }
             let empty = ResultSet::empty(pending.columns);
             self.fill_slot(ctx, pending.frame, pending.slot, empty, true);
         }
@@ -1056,9 +1322,11 @@ impl PeerNode {
                 return;
             }
             root.excluded.insert(failed);
+            root.missing.insert(failed);
             root.replans += 1;
             root.excluded.iter().copied().collect()
         };
+        ctx.note_replan();
         // Every trace of the failed peer becomes a hole / unsited join.
         let holed = strip_peer(plan, failed);
         let repaired = self.fill_holes(holed, &excluded);
@@ -1267,6 +1535,8 @@ impl NodeLogic for PeerNode {
                 // Advertisements relayed by another super-peer are stored
                 // but not re-forwarded (loop guard).
                 let from_backbone = self.super_peers.contains(&peer_of(from));
+                self.renew_lease(ctx.now_us(), ad.peer);
+                self.departed.remove(&ad.peer);
                 self.registry.register(ad.clone());
                 if self.role == Role::Super && !from_backbone {
                     for &sp in &self.super_peers {
@@ -1278,6 +1548,8 @@ impl NodeLogic for PeerNode {
             }
             Msg::Withdraw => {
                 self.registry.unregister(peer_of(from));
+                self.lease_expiry.remove(&peer_of(from));
+                self.departed.remove(&peer_of(from));
                 // Withdrawals replicate like advertisements. A withdrawal
                 // relayed over the backbone names the leaving peer in the
                 // dedicated variant below, so only direct leaves fan out.
@@ -1291,6 +1563,34 @@ impl NodeLogic for PeerNode {
             }
             Msg::WithdrawPeer(peer) => {
                 self.registry.unregister(peer);
+                self.lease_expiry.remove(&peer);
+                self.departed.remove(&peer);
+            }
+            Msg::Heartbeat => {
+                let peer = peer_of(from);
+                self.heartbeat_from(ctx, peer);
+                // Replicate member heartbeats over the backbone so remote
+                // super-peers renew the replicated advertisement too.
+                if self.role == Role::Super && !self.super_peers.contains(&peer) {
+                    for &sp in &self.super_peers {
+                        let msg = Msg::HeartbeatPeer(peer);
+                        let bytes = msg.wire_size();
+                        ctx.send(node_of(sp), msg, bytes);
+                    }
+                }
+            }
+            Msg::HeartbeatPeer(peer) => {
+                self.heartbeat_from(ctx, peer);
+            }
+            Msg::ExpirePeer(ad) => {
+                // A backbone super-peer saw this lease expire; purge the
+                // peer here too and keep the tombstone. A concurrent
+                // renewal here loses — the next heartbeat restores.
+                if self.registry.get(ad.peer).is_some() {
+                    self.registry.unregister(ad.peer);
+                }
+                self.lease_expiry.remove(&ad.peer);
+                self.departed.insert(ad.peer, ad);
             }
             Msg::RequestAds { .. } => {
                 let ads: Vec<Advertisement> = self.own_advertisement().into_iter().collect();
@@ -1311,13 +1611,26 @@ impl NodeLogic for PeerNode {
             } => {
                 self.handle_route_request(ctx, from, qid, query, backbone_ttl, partial);
             }
-            Msg::RouteResponse { qid, annotated } => {
+            Msg::RouteResponse {
+                qid,
+                annotated,
+                missing,
+            } => {
                 if let Some(requester) = self.route_relays.remove(&qid) {
                     // This node was a backbone relay: pass the answer back.
-                    let msg = Msg::RouteResponse { qid, annotated };
+                    let msg = Msg::RouteResponse {
+                        qid,
+                        annotated,
+                        missing,
+                    };
                     let bytes = msg.wire_size();
                     ctx.send(requester, msg, bytes);
                 } else {
+                    if let Some(root) = self.rooted.get_mut(&qid) {
+                        // The super-peer named departed contributors: the
+                        // answer is known to be missing their rows.
+                        root.missing.extend(missing);
+                    }
                     self.continue_with_annotation(ctx, qid, annotated);
                 }
             }
@@ -1327,7 +1640,17 @@ impl NodeLogic for PeerNode {
                 tag,
                 plan,
                 visited,
+                attempt,
             } => {
+                // Idempotent receive: duplicates of an attempt already
+                // seen are dropped (their answer is already on the wire
+                // or queued); a higher attempt is a genuine retry and is
+                // served afresh.
+                let key = (channel.root, qid, tag);
+                if self.served.get(&key).is_some_and(|&seen| attempt <= seen) {
+                    return;
+                }
+                self.served.insert(key, attempt);
                 self.serve_subplan(ctx, channel, qid, tag, plan, visited);
             }
             Msg::Data {
@@ -1390,18 +1713,8 @@ impl NodeLogic for PeerNode {
                 }
             }
             Msg::ExecutePlan { qid, query, plan } => {
-                self.rooted.insert(
-                    qid,
-                    RootQuery {
-                        query,
-                        client: Some(from),
-                        excluded: HashSet::new(),
-                        replans: 0,
-                        started_at_us: ctx.now_us(),
-                        answered: false,
-                        phase_cache: HashMap::new(),
-                    },
-                );
+                self.rooted
+                    .insert(qid, RootQuery::new(query, Some(from), ctx.now_us()));
                 self.execute(ctx, qid, plan, Completion::Root { qid });
             }
             Msg::ClientQuery { qid, query } => {
@@ -1413,7 +1726,66 @@ impl NodeLogic for PeerNode {
         }
     }
 
+    fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+        self.arm_lease_timers(ctx);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<Msg>) {
+        // An ungraceful restart loses all in-flight execution state: open
+        // channels, frames, streams, the served-attempt log, and every
+        // pending timer (the simulator already discarded those). Durable
+        // state — the base, the ad registry, recorded outcomes — survives.
+        self.channels = ChannelTable::new();
+        self.rooted.clear();
+        self.frames.clear();
+        self.outstanding.clear();
+        self.route_relays.clear();
+        self.delayed.clear();
+        self.timeouts.clear();
+        self.slot_queue.clear();
+        self.streams.clear();
+        self.served.clear();
+        self.heartbeat_timers.clear();
+        self.sweep_timers.clear();
+        // Lease deadlines were computed from pre-crash heartbeats that may
+        // have been silently eaten while this node was down; drop them so
+        // the first sweep grants every held ad a fresh grace period.
+        self.lease_expiry.clear();
+        // Recovery protocol: re-advertise so holders whose sweep
+        // tombstoned this peer restore its active-schema to routing.
+        if let Some(ad) = self.own_advertisement() {
+            let targets: Vec<PeerId> = match self.config.mode {
+                PeerMode::Hybrid => self.super_peers.clone(),
+                PeerMode::Adhoc => self.neighbours.clone(),
+            };
+            for &p in &targets {
+                let msg = Msg::Advertise(ad.clone());
+                let bytes = msg.wire_size();
+                ctx.send(node_of(p), msg, bytes);
+            }
+        }
+        self.arm_lease_timers(ctx);
+    }
+
     fn on_timer(&mut self, ctx: &mut Ctx<Msg>, timer: u64) {
+        if self.heartbeat_timers.remove(&timer) {
+            self.send_heartbeats(ctx);
+            let period = self.lease_period().expect("armed only with leases on");
+            let next = self.next_timer;
+            self.next_timer += 1;
+            self.heartbeat_timers.insert(next);
+            ctx.set_timer(period, next);
+            return;
+        }
+        if self.sweep_timers.remove(&timer) {
+            self.sweep_leases(ctx);
+            let period = self.lease_period().expect("armed only with leases on");
+            let next = self.next_timer;
+            self.next_timer += 1;
+            self.sweep_timers.insert(next);
+            ctx.set_timer(period, next);
+            return;
+        }
         if let Some((completion, result, partial)) = self.delayed.remove(&timer) {
             self.complete(ctx, completion, result, partial);
             // A slot freed: admit the next queued subplan, if any.
@@ -1423,11 +1795,28 @@ impl NodeLogic for PeerNode {
             return;
         }
         if let Some(tag) = self.timeouts.remove(&timer) {
-            // The subplan is still outstanding: the channel is too slow —
-            // treat it like a failure and adapt (§2.5 throughput
-            // adaptation). A result that already arrived cleared the
-            // outstanding entry, making this a no-op.
-            if let Some(pending) = self.outstanding.remove(&tag) {
+            // The subplan is still outstanding: the channel is too slow
+            // or the message was silently lost — the timer is the only
+            // signal the root ever gets. A result that already arrived
+            // cleared the outstanding entry, making this a no-op.
+            if !self.outstanding.contains_key(&tag) {
+                return;
+            }
+            ctx.note_timeout();
+            let attempt = self.outstanding[&tag].attempt;
+            if attempt < self.config.subplan_retries {
+                // At-least-once dispatch: retry the same destination with
+                // exponential backoff before giving up on it.
+                let base = self
+                    .config
+                    .subplan_timeout_us
+                    .unwrap_or(PeerConfig::DEFAULT_SUBPLAN_TIMEOUT_US);
+                self.retry_subplan(ctx, tag, base);
+            } else if let Some(pending) = self.outstanding.remove(&tag) {
+                // Retries exhausted: treat the destination as gone, adapt
+                // (§2.5), and garbage-collect the dead channel entries.
+                self.channels.fail_towards(node_of(pending.dest));
+                self.channels.sweep();
                 self.handle_lost_subplan(ctx, pending);
             }
         }
@@ -1436,6 +1825,9 @@ impl NodeLogic for PeerNode {
     fn on_delivery_failure(&mut self, ctx: &mut Ctx<Msg>, to: NodeId, msg: Msg) {
         let failed_peer = peer_of(to);
         self.channels.fail_towards(to);
+        // GC: failed channels never come back (adaptation opens fresh
+        // ones), so drop them now to keep the table bounded.
+        self.channels.sweep();
         match msg {
             Msg::Subplan { tag, .. } => {
                 let Some(pending) = self.outstanding.remove(&tag) else {
@@ -1499,7 +1891,15 @@ impl PeerNode {
             .find(|p| node_of(**p) != from && !self.route_relays.contains_key(&qid))
             .copied();
         if annotated.is_complete() || backbone_ttl == 0 || next.is_none() {
-            let msg = Msg::RouteResponse { qid, annotated };
+            // Completeness accounting: name lease-expired peers whose
+            // tombstoned active-schema matched, so the root knows whose
+            // contributions its answer is missing.
+            let missing = self.departed_matching(&query);
+            let msg = Msg::RouteResponse {
+                qid,
+                annotated,
+                missing,
+            };
             let bytes = msg.wire_size();
             ctx.send(from, msg, bytes);
             return;
@@ -2023,5 +2423,146 @@ mod tests {
             .clone();
         assert!(outcome.partial);
         assert!(outcome.result.is_empty());
+    }
+
+    /// The latency-derived default subplan timeout is armed out of the
+    /// box; when a subplan is silently lost (no failure notification at
+    /// all), the timer path fires, retries with backoff, and finally
+    /// re-plans, naming the unreachable peer in the outcome.
+    #[test]
+    fn default_timeout_retries_then_replans_on_silent_loss() {
+        assert!(PeerConfig::default().subplan_timeout_us.is_some());
+        let schema = fig1_schema();
+        let mut sim: Simulator<PeerNode> = Simulator::default();
+        // Eat every message on the root → holder link, silently.
+        sim.set_fault_plan(sqpeer_net::FaultPlan::new(7).with_link_loss(
+            NodeId(1),
+            NodeId(2),
+            1000,
+        ));
+
+        let mut p1 = PeerNode::simple(PeerId(1), base_with(&schema, &[]), adhoc_config());
+        let p2 = PeerNode::simple(
+            PeerId(2),
+            base_with(&schema, &[("a", "prop1", "b")]),
+            adhoc_config(),
+        );
+        p1.registry.register(p2.own_advertisement().unwrap());
+        sim.add_node(NodeId(1), p1);
+        sim.add_node(NodeId(2), p2);
+        sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+
+        let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
+        let msg = Msg::ClientQuery {
+            qid: QueryId(1),
+            query,
+        };
+        let bytes = msg.wire_size();
+        sim.inject(NodeId(99), NodeId(1), msg, bytes);
+        sim.run_to_quiescence();
+
+        let outcome = sim
+            .node(NodeId(1))
+            .unwrap()
+            .outcomes
+            .get(&QueryId(1))
+            .expect("root gave up with an honest answer")
+            .clone();
+        assert!(outcome.partial);
+        assert_eq!(outcome.missing, vec![PeerId(2)]);
+        let m = sim.metrics();
+        assert!(m.silent_drops() >= 3, "all attempts eaten: {m:?}");
+        assert_eq!(m.retries_sent(), 2);
+        assert_eq!(m.timeouts_fired(), 3);
+        assert!(m.replans() >= 1);
+    }
+
+    /// Idempotent receive: with every message duplicated in flight, each
+    /// subplan attempt is evaluated exactly once and the answer is
+    /// unchanged.
+    #[test]
+    fn duplicated_subplans_served_once() {
+        let schema = fig1_schema();
+        let mut sim: Simulator<PeerNode> = Simulator::default();
+        sim.set_fault_plan(sqpeer_net::FaultPlan::new(11).with_duplication(1000));
+
+        let mut p1 = PeerNode::simple(PeerId(1), base_with(&schema, &[]), adhoc_config());
+        let p2 = PeerNode::simple(
+            PeerId(2),
+            base_with(&schema, &[("a", "prop1", "b")]),
+            adhoc_config(),
+        );
+        p1.registry.register(p2.own_advertisement().unwrap());
+        sim.add_node(NodeId(1), p1);
+        sim.add_node(NodeId(2), p2);
+        sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+
+        let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
+        let msg = Msg::ClientQuery {
+            qid: QueryId(3),
+            query,
+        };
+        let bytes = msg.wire_size();
+        sim.inject(NodeId(99), NodeId(1), msg, bytes);
+        sim.run_to_quiescence();
+
+        let outcome = sim
+            .node(NodeId(1))
+            .unwrap()
+            .outcomes
+            .get(&QueryId(3))
+            .expect("completed")
+            .clone();
+        assert!(!outcome.partial);
+        assert_eq!(outcome.result.len(), 1);
+        assert!(outcome.missing.is_empty());
+        // The duplicated Subplan was deduplicated at the destination.
+        assert_eq!(sim.node(NodeId(2)).unwrap().queries_processed, 1);
+        assert!(sim.metrics().duplicates_delivered() >= 1);
+    }
+
+    /// Adaptation rounds fail channels and open fresh ones; the sweep
+    /// keeps the root's channel table bounded instead of accumulating one
+    /// dead entry per round.
+    #[test]
+    fn channel_table_stays_bounded_across_adaptation_rounds() {
+        let schema = fig1_schema();
+        let mut sim: Simulator<PeerNode> = Simulator::default();
+        let mut p1 = PeerNode::simple(PeerId(1), base_with(&schema, &[]), adhoc_config());
+        // Three holders of prop1, all down before the query arrives.
+        let mut holders = Vec::new();
+        for i in 2..=4u32 {
+            let node = PeerNode::simple(
+                PeerId(i),
+                base_with(&schema, &[("a", "prop1", "b")]),
+                adhoc_config(),
+            );
+            p1.registry.register(node.own_advertisement().unwrap());
+            holders.push((i, node));
+        }
+        sim.add_node(NodeId(1), p1);
+        for (i, node) in holders {
+            sim.add_node(NodeId(i), node);
+        }
+        sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+        for i in 2..=4u32 {
+            sim.schedule_node_down(0, NodeId(i));
+        }
+
+        let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
+        let msg = Msg::ClientQuery {
+            qid: QueryId(9),
+            query,
+        };
+        let bytes = msg.wire_size();
+        sim.inject(NodeId(99), NodeId(1), msg, bytes);
+        sim.run_to_quiescence();
+
+        let p1 = sim.node(NodeId(1)).unwrap();
+        let outcome = p1.outcomes.get(&QueryId(9)).expect("gave up").clone();
+        assert!(outcome.partial);
+        assert_eq!(outcome.missing, vec![PeerId(2), PeerId(3), PeerId(4)]);
+        // Every round's failed channels were garbage-collected.
+        assert_eq!(p1.rooted_channels(), 0);
     }
 }

@@ -141,6 +141,16 @@ impl ChannelTable {
     pub fn rooted_count(&self) -> usize {
         self.rooted.len()
     }
+
+    /// Garbage-collects rooted channels that are `Failed` or `Closed`,
+    /// returning how many entries were removed. Roots call this after
+    /// adaptation so the table stays bounded across re-plan rounds
+    /// instead of accumulating one dead entry per failure.
+    pub fn sweep(&mut self) -> usize {
+        let before = self.rooted.len();
+        self.rooted.retain(|_, ch| ch.state == ChannelState::Open);
+        before - self.rooted.len()
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +211,26 @@ mod tests {
         dest.accept(ch);
         assert!(dest.finish_serving(NodeId(1), ch.id).is_some());
         assert!(dest.finish_serving(NodeId(1), ch.id).is_none());
+    }
+
+    #[test]
+    fn sweep_collects_dead_channels_only() {
+        let mut t = ChannelTable::new();
+        let a = t.open(NodeId(1), NodeId(2));
+        let b = t.open(NodeId(1), NodeId(3));
+        let c = t.open(NodeId(1), NodeId(4));
+        t.fail_towards(NodeId(2));
+        t.set_state(b.id, ChannelState::Closed);
+        assert_eq!(t.rooted_count(), 3);
+        assert_eq!(t.sweep(), 2);
+        assert_eq!(t.rooted_count(), 1);
+        assert!(t.rooted(a.id).is_none());
+        assert!(t.rooted(b.id).is_none());
+        assert_eq!(t.rooted(c.id).unwrap().state, ChannelState::Open);
+        // Idempotent, and fresh ids still mint past swept ones.
+        assert_eq!(t.sweep(), 0);
+        let d = t.open(NodeId(1), NodeId(5));
+        assert!(d.id > c.id);
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! Seeded, replayable fault injection ("chaos layer").
+//!
+//! The baseline simulator is polite about failures: every undeliverable
+//! message fires [`crate::sim::NodeLogic::on_delivery_failure`], so §2.5
+//! run-time adaptation only ever reacts to failures it is *told* about.
+//! Real P2P deployments lose messages silently, deliver duplicates,
+//! reorder under jitter, and crash peers without a withdrawal. A
+//! [`FaultPlan`] attached to a [`crate::Simulator`] injects exactly those
+//! behaviours, deterministically: every coin flip comes from a
+//! [`SplitMix64`] stream seeded by the plan, so a failing schedule
+//! replays bit-for-bit from `(seed, rates)`.
+//!
+//! Faults apply to messages *sent by nodes* (the protocol traffic under
+//! test). Harness-injected messages ([`crate::Simulator::inject`]) stay
+//! reliable so test drivers can still talk to the network.
+
+use crate::sim::NodeId;
+use std::collections::HashMap;
+
+/// A deterministic 64-bit PRNG (splitmix64). Small, fast, and
+/// self-contained — the net crate deliberately has no dependencies.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// A permille-weighted coin. Draws no randomness when the rate is 0
+    /// or ≥ 1000, so an all-zero plan consumes no RNG state and is
+    /// byte-identical to no plan at all (harness transparency).
+    pub fn permille(&mut self, rate: u32) -> bool {
+        if rate == 0 {
+            return false;
+        }
+        if rate >= 1000 {
+            return true;
+        }
+        self.below(1000) < rate as u64
+    }
+}
+
+/// One scheduled ungraceful churn event: the node crashes (silently — no
+/// delivery-failure notifications fire for messages addressed to it) and
+/// optionally restarts later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// The node that crashes.
+    pub node: NodeId,
+    /// Absolute virtual time of the crash (µs).
+    pub crash_at_us: u64,
+    /// Absolute virtual time of the restart, if any.
+    pub restart_at_us: Option<u64>,
+}
+
+/// A seeded fault schedule for a simulation run.
+///
+/// Rates are in permille (‰) so integer arithmetic stays exact across
+/// platforms. The plan is inert when every rate is zero and no churn is
+/// scheduled ([`FaultPlan::is_inert`]).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// RNG seed; the whole schedule replays from this plus the rates.
+    pub seed: u64,
+    /// Probability (‰) a node-sent message is dropped with *no*
+    /// failure notification to the sender.
+    pub silent_loss_permille: u32,
+    /// Probability (‰) a delivered message is delivered twice.
+    pub duplicate_permille: u32,
+    /// Extra uniformly-drawn latency in `[0, jitter_us]` added per
+    /// message — enough to reorder same-link messages.
+    pub jitter_us: u64,
+    /// Per-directed-link overrides of the silent-loss rate (‰).
+    pub link_loss_permille: HashMap<(NodeId, NodeId), u32>,
+    /// Scheduled ungraceful crash/restart churn.
+    pub churn: Vec<ChurnEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and all fault rates zero.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            silent_loss_permille: 0,
+            duplicate_permille: 0,
+            jitter_us: 0,
+            link_loss_permille: HashMap::new(),
+            churn: Vec::new(),
+        }
+    }
+
+    /// Sets the global silent-loss rate (builder style).
+    pub fn with_silent_loss(mut self, permille: u32) -> Self {
+        self.silent_loss_permille = permille;
+        self
+    }
+
+    /// Sets the duplication rate (builder style).
+    pub fn with_duplication(mut self, permille: u32) -> Self {
+        self.duplicate_permille = permille;
+        self
+    }
+
+    /// Sets the latency jitter bound (builder style).
+    pub fn with_jitter(mut self, jitter_us: u64) -> Self {
+        self.jitter_us = jitter_us;
+        self
+    }
+
+    /// Overrides the silent-loss rate on the directed link `from → to`.
+    pub fn with_link_loss(mut self, from: NodeId, to: NodeId, permille: u32) -> Self {
+        self.link_loss_permille.insert((from, to), permille);
+        self
+    }
+
+    /// Adds an ungraceful crash at `crash_at_us`, restarting at
+    /// `restart_at_us` if given.
+    pub fn with_churn(
+        mut self,
+        node: NodeId,
+        crash_at_us: u64,
+        restart_at_us: Option<u64>,
+    ) -> Self {
+        self.churn.push(ChurnEvent {
+            node,
+            crash_at_us,
+            restart_at_us,
+        });
+        self
+    }
+
+    /// The effective silent-loss rate for a directed link.
+    pub fn loss_rate(&self, from: NodeId, to: NodeId) -> u32 {
+        self.link_loss_permille
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.silent_loss_permille)
+    }
+
+    /// True when the plan can never alter a run: all rates zero, no
+    /// jitter, no churn. An inert plan consumes no randomness, so a run
+    /// under it is identical to a run with no plan installed.
+    pub fn is_inert(&self) -> bool {
+        self.silent_loss_permille == 0
+            && self.duplicate_permille == 0
+            && self.jitter_us == 0
+            && self.link_loss_permille.values().all(|&r| r == 0)
+            && self.churn.is_empty()
+    }
+
+    /// A one-line replay recipe: everything needed to reproduce the
+    /// schedule (printed by the chaos harness on invariant violations).
+    pub fn replay_string(&self) -> String {
+        let mut links: Vec<_> = self.link_loss_permille.iter().collect();
+        links.sort();
+        let links = links
+            .iter()
+            .map(|((f, t), r)| format!("{f}->{t}:{r}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let churn = self
+            .churn
+            .iter()
+            .map(|c| match c.restart_at_us {
+                Some(up) => format!("{}@{}..{}", c.node, c.crash_at_us, up),
+                None => format!("{}@{}..", c.node, c.crash_at_us),
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "FaultPlan{{seed={} loss={}‰ dup={}‰ jitter={}µs links=[{}] churn=[{}]}}",
+            self.seed,
+            self.silent_loss_permille,
+            self.duplicate_permille,
+            self.jitter_us,
+            links,
+            churn
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn permille_extremes_consume_no_state() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        assert!(!a.permille(0));
+        assert!(a.permille(1000));
+        assert!(a.permille(1500));
+        // `a` drew nothing; streams still aligned.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn permille_rates_are_roughly_honoured() {
+        let mut rng = SplitMix64::new(1);
+        let hits = (0..10_000).filter(|_| rng.permille(200)).count();
+        // 20% ± generous tolerance.
+        assert!((1_500..=2_500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn inertness_and_link_overrides() {
+        let plan = FaultPlan::new(9);
+        assert!(plan.is_inert());
+        let plan = plan.with_link_loss(NodeId(1), NodeId(2), 500);
+        assert!(!plan.is_inert());
+        assert_eq!(plan.loss_rate(NodeId(1), NodeId(2)), 500);
+        assert_eq!(plan.loss_rate(NodeId(2), NodeId(1)), 0);
+        let plan = FaultPlan::new(9).with_silent_loss(100);
+        assert_eq!(plan.loss_rate(NodeId(3), NodeId(4)), 100);
+        assert!(!FaultPlan::new(0).with_churn(NodeId(1), 5, None).is_inert());
+    }
+
+    #[test]
+    fn replay_string_mentions_everything() {
+        let plan = FaultPlan::new(77)
+            .with_silent_loss(150)
+            .with_duplication(20)
+            .with_jitter(5_000)
+            .with_churn(NodeId(3), 1_000_000, Some(2_000_000));
+        let s = plan.replay_string();
+        assert!(s.contains("seed=77"));
+        assert!(s.contains("loss=150"));
+        assert!(s.contains("dup=20"));
+        assert!(s.contains("jitter=5000"));
+        assert!(s.contains("N3@1000000..2000000"));
+    }
+}

@@ -10,6 +10,9 @@
 //!   is `latency + bytes / bandwidth`,
 //! * node and link **failure injection** plus sender-side delivery-failure
 //!   notifications (how channel roots learn that a destination vanished),
+//! * a seeded, replayable **chaos layer** ([`fault::FaultPlan`]): silent
+//!   message loss, duplication, latency jitter and ungraceful
+//!   crash/restart churn, none of which produce failure notifications,
 //! * per-node and global [`Metrics`] (messages, bytes, virtual completion
 //!   time),
 //! * the ubQL-style [`channel`] construct (§2.4): root/destination pairs
@@ -21,9 +24,11 @@
 //! state machines without this crate knowing anything about RDF.
 
 pub mod channel;
+pub mod fault;
 pub mod metrics;
 pub mod sim;
 
 pub use channel::{Channel, ChannelId, ChannelState, ChannelTable};
+pub use fault::{ChurnEvent, FaultPlan, SplitMix64};
 pub use metrics::{Metrics, NodeMetrics};
 pub use sim::{Ctx, LinkSpec, NodeId, NodeLogic, Simulator};

@@ -20,15 +20,26 @@ pub struct NodeMetrics {
     /// Deliveries addressed to this node that were dropped (node or link
     /// down) — locates *where* churn loses traffic, not just how much.
     pub dropped: usize,
+    /// Deliveries addressed to this node dropped *silently* by the fault
+    /// plan — no delivery-failure notification fired for these.
+    pub silent_dropped: usize,
+    /// Fault-plan duplicates delivered to this node (beyond the
+    /// original).
+    pub duplicates_received: usize,
 }
 
 /// Global and per-node simulation metrics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
     per_node: HashMap<NodeId, NodeMetrics>,
     deliveries: usize,
     delivered_bytes: usize,
     dropped: usize,
+    silent_drops: usize,
+    duplicates_delivered: usize,
+    retries_sent: usize,
+    timeouts_fired: usize,
+    replans: usize,
 }
 
 impl Metrics {
@@ -56,6 +67,35 @@ impl Metrics {
         self.per_node.entry(to).or_default().dropped += 1;
     }
 
+    /// Records a fault-plan silent drop of a message addressed to `to` —
+    /// no failure notification fired.
+    pub(crate) fn record_silent_drop(&mut self, to: NodeId) {
+        self.silent_drops += 1;
+        self.per_node.entry(to).or_default().silent_dropped += 1;
+    }
+
+    /// Records delivery of a fault-plan duplicate to `to`.
+    pub(crate) fn record_duplicate(&mut self, to: NodeId) {
+        self.duplicates_delivered += 1;
+        self.per_node.entry(to).or_default().duplicates_received += 1;
+    }
+
+    /// Records a protocol-level subplan retry (reported by nodes via
+    /// [`crate::Ctx::note_retry`]).
+    pub(crate) fn record_retry(&mut self) {
+        self.retries_sent += 1;
+    }
+
+    /// Records a subplan-timeout firing ([`crate::Ctx::note_timeout`]).
+    pub(crate) fn record_timeout(&mut self) {
+        self.timeouts_fired += 1;
+    }
+
+    /// Records a query re-plan ([`crate::Ctx::note_replan`]).
+    pub(crate) fn record_replan(&mut self) {
+        self.replans += 1;
+    }
+
     /// Counters of one node.
     pub fn node(&self, id: NodeId) -> NodeMetrics {
         self.per_node.get(&id).copied().unwrap_or_default()
@@ -74,6 +114,31 @@ impl Metrics {
     /// Deliveries dropped by failures.
     pub fn dropped(&self) -> usize {
         self.dropped
+    }
+
+    /// Messages the fault plan dropped silently (no notification).
+    pub fn silent_drops(&self) -> usize {
+        self.silent_drops
+    }
+
+    /// Fault-plan duplicates actually delivered.
+    pub fn duplicates_delivered(&self) -> usize {
+        self.duplicates_delivered
+    }
+
+    /// Subplan retries nodes reported sending.
+    pub fn retries_sent(&self) -> usize {
+        self.retries_sent
+    }
+
+    /// Subplan timeouts nodes reported firing.
+    pub fn timeouts_fired(&self) -> usize {
+        self.timeouts_fired
+    }
+
+    /// Query re-plans nodes reported.
+    pub fn replans(&self) -> usize {
+        self.replans
     }
 
     /// Maximum messages received by any single node — the hot-spot measure
@@ -118,5 +183,28 @@ mod tests {
         assert_eq!(m.max_received(), 1);
         m.reset();
         assert_eq!(m.total_messages(), 0);
+    }
+
+    #[test]
+    fn chaos_counters_accumulate() {
+        let mut m = Metrics::default();
+        m.record_silent_drop(NodeId(4));
+        m.record_silent_drop(NodeId(4));
+        m.record_duplicate(NodeId(5));
+        m.record_retry();
+        m.record_timeout();
+        m.record_timeout();
+        m.record_replan();
+        assert_eq!(m.silent_drops(), 2);
+        assert_eq!(m.node(NodeId(4)).silent_dropped, 2);
+        // Silent drops are accounted separately from notified drops.
+        assert_eq!(m.dropped(), 0);
+        assert_eq!(m.duplicates_delivered(), 1);
+        assert_eq!(m.node(NodeId(5)).duplicates_received, 1);
+        assert_eq!(m.retries_sent(), 1);
+        assert_eq!(m.timeouts_fired(), 2);
+        assert_eq!(m.replans(), 1);
+        m.reset();
+        assert_eq!(m, Metrics::default());
     }
 }

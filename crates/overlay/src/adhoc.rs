@@ -135,6 +135,7 @@ impl AdhocBuilder {
             peer_count: count,
             client,
             next_qid: 0,
+            lease_us: config.ad_lease_us,
         };
         // Pull-based discovery.
         for i in 0..count {
@@ -153,6 +154,10 @@ pub struct AdhocNetwork {
     peer_count: u32,
     client: PeerId,
     next_qid: u64,
+    /// The configured advertisement lease (None = immortal neighbour
+    /// entries). With leases on the network never quiesces, so
+    /// [`AdhocNetwork::run`] advances bounded windows instead.
+    lease_us: Option<u64>,
 }
 
 impl AdhocNetwork {
@@ -230,9 +235,25 @@ impl AdhocNetwork {
         qid
     }
 
-    /// Runs the network to quiescence.
+    /// Runs the network: to quiescence with immortal neighbour entries,
+    /// or a bounded two-lease window when leases are on (periodic
+    /// heartbeat timers never quiesce).
     pub fn run(&mut self) {
-        self.sim.run_to_quiescence();
+        match self.lease_us {
+            None => {
+                self.sim.run_to_quiescence();
+            }
+            Some(lease) => {
+                self.run_for(2 * lease);
+            }
+        }
+    }
+
+    /// Advances the network by `us` of virtual time, processing every
+    /// event in the window (later events stay queued).
+    pub fn run_for(&mut self, us: u64) {
+        let until = self.sim.now_us() + us;
+        self.sim.run_until(until);
     }
 
     /// The outcome of `qid` at its root peer `at`.
@@ -263,6 +284,21 @@ impl AdhocNetwork {
         let now = self.sim.now_us();
         self.sim.schedule_node_down(now, node_of(peer));
         self.topology.remove_peer(peer);
+    }
+
+    /// Ungraceful crash: the peer vanishes with **no** failure
+    /// notifications. The physical topology keeps the entry — nobody
+    /// knows the peer is gone until its neighbour-entry lease lapses.
+    pub fn crash_peer_silent(&mut self, peer: PeerId) {
+        let now = self.sim.now_us();
+        self.sim.schedule_silent_crash(now, node_of(peer));
+    }
+
+    /// Restarts a silently-crashed peer; the recovering node
+    /// re-advertises to its physical neighbours.
+    pub fn restart_peer(&mut self, peer: PeerId) {
+        let now = self.sim.now_us();
+        self.sim.schedule_silent_restart(now, node_of(peer));
     }
 }
 
@@ -513,5 +549,53 @@ mod tests {
         let outcome = net.outcome(p1, qid).expect("completed");
         assert_eq!(outcome.result.len(), 1);
         let _ = backup;
+    }
+
+    /// Ad-hoc discovery gets the same staleness bound as hybrid leases: a
+    /// silently-crashed neighbour's entry expires, queries degrade to
+    /// honest partial answers naming the ghost, and a restarted peer
+    /// re-advertises its way back in.
+    #[test]
+    fn adhoc_neighbour_entries_have_staleness_bound() {
+        const LEASE: u64 = 2_000_000; // 2 virtual seconds
+        let schema = fig1_schema();
+        let mut b = AdhocBuilder::new(Arc::clone(&schema), 1).config(PeerConfig {
+            ad_lease_us: Some(LEASE),
+            ..PeerConfig::default()
+        });
+        let origin = b.add_peer(base_with(&schema, &[]));
+        let holder = b.add_peer(base_with(&schema, &[("x", "prop1", "y")]));
+        b.link(origin, holder);
+        let mut net = b.build();
+
+        let query = net.compile("SELECT X, Y FROM {X}prop1{Y}").unwrap();
+        let q0 = net.query(origin, query.clone());
+        net.run_for(LEASE);
+        let full = net.outcome(origin, q0).expect("completed").clone();
+        assert!(!full.partial);
+        assert_eq!(full.result.len(), 1);
+
+        net.crash_peer_silent(holder);
+        net.run_for(3 * LEASE);
+        let node_a = net.sim().node(node_of(origin)).unwrap();
+        assert!(
+            node_a.registry.get(holder).is_none(),
+            "the stale neighbour entry must expire"
+        );
+        assert_eq!(node_a.departed_peers(), vec![holder]);
+
+        let q1 = net.query(origin, query.clone());
+        net.run_for(2 * LEASE);
+        let degraded = net.outcome(origin, q1).expect("completed").clone();
+        assert!(degraded.partial);
+        assert_eq!(degraded.missing, vec![holder]);
+
+        net.restart_peer(holder);
+        net.run_for(LEASE);
+        let q2 = net.query(origin, query);
+        net.run_for(2 * LEASE);
+        let healed = net.outcome(origin, q2).expect("completed").clone();
+        assert!(!healed.partial, "{healed:?}");
+        assert_eq!(healed.result.len(), 1);
     }
 }

@@ -127,6 +127,7 @@ impl HybridBuilder {
             let bytes = msg.wire_size();
             sim.inject(node_of(peer), node_of(sp), msg, bytes);
         }
+        let lease_us = config.ad_lease_us;
         let mut net = HybridNetwork {
             sim,
             schema,
@@ -134,6 +135,7 @@ impl HybridBuilder {
             peer_ids,
             client,
             next_qid: 0,
+            lease_us,
         };
         net.run();
         net
@@ -148,6 +150,10 @@ pub struct HybridNetwork {
     peer_ids: Vec<PeerId>,
     client: PeerId,
     next_qid: u64,
+    /// The configured advertisement lease (None = immortal ads). With
+    /// leases on the network never quiesces (heartbeats re-arm forever),
+    /// so [`HybridNetwork::run`] advances bounded windows instead.
+    lease_us: Option<u64>,
 }
 
 impl HybridNetwork {
@@ -215,9 +221,25 @@ impl HybridNetwork {
         qid
     }
 
-    /// Runs the network to quiescence.
+    /// Runs the network: to quiescence with immortal ads, or a bounded
+    /// two-lease window when leases are on (periodic heartbeat timers
+    /// never quiesce).
     pub fn run(&mut self) {
-        self.sim.run_to_quiescence();
+        match self.lease_us {
+            None => {
+                self.sim.run_to_quiescence();
+            }
+            Some(lease) => {
+                self.run_for(2 * lease);
+            }
+        }
+    }
+
+    /// Advances the network by `us` of virtual time, processing every
+    /// event in the window (later events stay queued).
+    pub fn run_for(&mut self, us: u64) {
+        let until = self.sim.now_us() + us;
+        self.sim.run_until(until);
     }
 
     /// The outcome of `qid` at its root peer `at`.
@@ -248,6 +270,22 @@ impl HybridNetwork {
     pub fn crash_peer(&mut self, peer: PeerId) {
         let now = self.sim.now_us();
         self.sim.schedule_node_down(now, peer_node(peer));
+    }
+
+    /// Ungraceful crash: the peer vanishes at the current virtual time
+    /// with **no** failure notifications — senders only learn through
+    /// timeouts and lease expiry.
+    pub fn crash_peer_silent(&mut self, peer: PeerId) {
+        let now = self.sim.now_us();
+        self.sim.schedule_silent_crash(now, peer_node(peer));
+    }
+
+    /// Restarts a silently-crashed peer at the current virtual time. The
+    /// recovering node loses its in-flight state and re-advertises its
+    /// active-schema (recovery protocol).
+    pub fn restart_peer(&mut self, peer: PeerId) {
+        let now = self.sim.now_us();
+        self.sim.schedule_silent_restart(now, peer_node(peer));
     }
 
     /// Mutates a peer's materialized base in place and re-pushes its
@@ -674,6 +712,78 @@ mod tests {
         net.run();
         let outcome = net.outcome(origin, qid).expect("completed");
         assert!(outcome.result.is_empty());
+    }
+
+    /// The acceptance scenario for lease-based churn handling: a member
+    /// crashes ungracefully; once its lease expires queries still
+    /// complete — partial, with the ghost *named* — and the full answer
+    /// returns after restart + re-advertisement.
+    #[test]
+    fn lease_expiry_names_ghost_and_recovery_restores() {
+        const LEASE: u64 = 2_000_000; // 2 virtual seconds
+        let schema = fig1_schema();
+        let mut b = HybridBuilder::new(Arc::clone(&schema), 2).config(PeerConfig {
+            ad_lease_us: Some(LEASE),
+            ..PeerConfig::default()
+        });
+        let origin = b.add_peer(base_with(&schema, &[]), 0);
+        let victim = b.add_peer(base_with(&schema, &[("a", "prop1", "b")]), 0);
+        let survivor = b.add_peer(base_with(&schema, &[("c", "prop1", "d")]), 1);
+        let mut net = b.build();
+
+        let query = net.compile("SELECT X, Y FROM {X}prop1{Y}").unwrap();
+
+        // Fault-free baseline: both holders answer.
+        let q0 = net.query(origin, query.clone());
+        net.run_for(LEASE);
+        let full = net.outcome(origin, q0).expect("completed").clone();
+        assert!(!full.partial);
+        assert_eq!(full.result.len(), 2);
+
+        // The victim crashes ungracefully — nobody is notified; its
+        // heartbeats simply stop.
+        net.crash_peer_silent(victim);
+        net.run_for(3 * LEASE);
+        for &sp in net.super_peers() {
+            let node = net.sim().node(node_of(sp)).unwrap();
+            assert!(
+                node.registry.get(victim).is_none(),
+                "lease sweep must purge the ghost at {sp}"
+            );
+            assert_eq!(
+                node.departed_peers(),
+                vec![victim],
+                "the expiry tombstone must reach {sp}"
+            );
+        }
+
+        // Queries now complete promptly as honest partial answers naming
+        // the missing contributor.
+        let q1 = net.query(origin, query.clone());
+        net.run_for(2 * LEASE);
+        let degraded = net.outcome(origin, q1).expect("completed").clone();
+        assert!(degraded.partial);
+        assert_eq!(degraded.missing, vec![victim]);
+        assert_eq!(degraded.result.len(), 1, "the survivor's row still arrives");
+
+        // Restart: the recovering peer re-advertises, tombstones clear,
+        // and the full answer comes back.
+        net.restart_peer(victim);
+        net.run_for(LEASE);
+        let q2 = net.query(origin, query);
+        net.run_for(2 * LEASE);
+        let healed = net.outcome(origin, q2).expect("completed").clone();
+        assert!(!healed.partial, "{healed:?}");
+        assert_eq!(healed.result.len(), 2);
+        for &sp in net.super_peers() {
+            assert!(net
+                .sim()
+                .node(node_of(sp))
+                .unwrap()
+                .departed_peers()
+                .is_empty());
+        }
+        let _ = survivor;
     }
 
     #[test]

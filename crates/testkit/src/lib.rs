@@ -11,16 +11,20 @@
 //! * [`workload`] — chain-query generation over a schema's property graph.
 //! * [`network_gen`] — whole simulated SONs (hybrid or ad-hoc) of N peers
 //!   with randomly assigned schema fragments.
+//! * [`chaos`] — seeded fault-injection harness checking soundness and
+//!   completeness honesty against a fault-free oracle.
 //!
 //! Everything is driven by explicit `u64` seeds through `StdRng`, so every
 //! generated artefact is reproducible.
 
+pub mod chaos;
 pub mod data_gen;
 pub mod fixtures;
 pub mod network_gen;
 pub mod schema_gen;
 pub mod workload;
 
+pub use chaos::{run_chaos, ChaosReport, ChaosSpec};
 pub use data_gen::{populate, DataSpec};
 pub use fixtures::{fig1_schema, fig2_bases, fig6_network, fig7_network};
 pub use network_gen::{adhoc_network, hybrid_network, NetworkSpec, TopologyKind};

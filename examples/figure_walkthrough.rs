@@ -1,0 +1,61 @@
+//! Figures 1–4 of the paper, every artefact printed: the query pattern,
+//! the semantically annotated pattern, the generated plan and the
+//! optimised (distributed) plan.
+//!
+//! ```text
+//! cargo run --example figure_walkthrough
+//! ```
+
+use sqpeer::plan::{distribute_joins, flatten_joins, merge_same_peer};
+use sqpeer::prelude::*;
+use sqpeer::rvl::ActiveSchema;
+use sqpeer_testkit::fixtures::{fig1_query_text, fig1_schema, fig2_bases};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Figure 1: the community schema and the chain query Q.
+    let schema = fig1_schema();
+    println!("Figure 1 — query pattern");
+    println!("  RQL: {}", fig1_query_text());
+    let query = compile(fig1_query_text(), &schema)?;
+    println!("  compiled to {} triple pattern(s)", query.patterns().len());
+
+    // Figure 1's RVL view: a virtual fragment induced without data.
+    let view = ViewDefinition::parse(
+        "VIEW n1:C5(X), n1:prop4(X,Y), n1:C6(Y) FROM {X}n1:prop4{Y}",
+        &schema,
+    )?;
+    println!(
+        "  RVL view active-schema: {} propert(ies)\n",
+        view.active_schema().active_properties().len()
+    );
+
+    // Figure 2: the four peer advertisements and the annotated pattern.
+    let ads: Vec<Advertisement> = fig2_bases(&schema)
+        .iter()
+        .enumerate()
+        .map(|(i, base)| {
+            Advertisement::new(PeerId(i as u32 + 1), ActiveSchema::of_base(base))
+                .with_stats(base.statistics())
+        })
+        .collect();
+    println!("Figure 2 — semantic routing");
+    let annotated = route(&query, &ads, RoutingPolicy::default());
+    println!("{annotated}");
+
+    // Figure 3: the naive plan generated from the annotation.
+    println!("Figure 3 — generated plan");
+    let plan = generate_plan(&annotated);
+    println!("{plan}\n");
+
+    // Figure 4: optimisation — flatten, distribute joins over unions
+    // (TR1/TR2), merge same-peer fragments.
+    println!("Figure 4 — optimised plan");
+    let optimised = merge_same_peer(distribute_joins(flatten_joins(plan)));
+    println!("{optimised}");
+    println!(
+        "fragments for {} peer(s): {:?}",
+        optimised.peers().len(),
+        optimised.peers()
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: a single-process peer, then a 3-peer hybrid SON.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sqpeer::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A community RDF/S schema (the running example's shape).
+    let mut b = SchemaBuilder::new("n1", "http://example.org/n1#");
+    let c1 = b.class("C1")?;
+    let c2 = b.class("C2")?;
+    let c3 = b.class("C3")?;
+    let prop1 = b.property("prop1", c1, Range::Class(c2))?;
+    let prop2 = b.property("prop2", c2, Range::Class(c3))?;
+    let schema = Arc::new(b.finish()?);
+
+    // 2. A single-process peer: insert, query, advertise.
+    let mut solo = LocalPeer::new(Arc::clone(&schema));
+    solo.insert("http://a", prop1, "http://b");
+    solo.insert("http://b", prop2, "http://c");
+    let answer = solo.query("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}")?;
+    println!("single peer: {} row(s) for the chain query", answer.len());
+    let ad = solo.advertisement();
+    println!(
+        "it would advertise an active-schema with {} propert(ies)\n",
+        ad.active.active_properties().len()
+    );
+
+    // 3. The same data split across a 3-peer hybrid SON: one peer holds
+    //    the prop1 fragment, one the prop2 fragment, one asks the query.
+    let mut head = LocalPeer::new(Arc::clone(&schema));
+    head.insert("http://a", prop1, "http://b");
+    let mut tail = LocalPeer::new(Arc::clone(&schema));
+    tail.insert("http://b", prop2, "http://c");
+
+    let mut builder = HybridBuilder::new(Arc::clone(&schema), 1);
+    let origin = builder.add_peer(DescriptionBase::new(Arc::clone(&schema)), 0);
+    let p_head = builder.add_peer(head.base().clone(), 0);
+    let p_tail = builder.add_peer(tail.base().clone(), 0);
+    let mut net = builder.build();
+
+    let query = net.compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}")?;
+    let qid = net.query(origin, query);
+    net.run();
+    let outcome = net.outcome(origin, qid).expect("query completes");
+    println!(
+        "3-peer SON: {} row(s), partial={}, answered from {:?} and {:?}",
+        outcome.result.len(),
+        outcome.partial,
+        p_head,
+        p_tail
+    );
+    println!(
+        "network traffic: {} message(s), {} byte(s)",
+        net.sim().metrics().total_messages(),
+        net.sim().metrics().total_bytes()
+    );
+    Ok(())
+}

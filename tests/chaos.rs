@@ -1,0 +1,87 @@
+//! The chaos invariant matrix: seeded fault schedules over generated
+//! networks and workloads, checked for soundness (no invented rows) and
+//! completeness honesty (non-partial answers equal the fault-free
+//! oracle).
+//!
+//! Eight seeds × two fault profiles. The *heavy* profile runs at the
+//! acceptance bar — 20 % silent message loss with crash/restart churn.
+//! On violation the failing `(seed, fault plan)` is written to an
+//! artifact file (CI uploads it) and printed in the panic, so the exact
+//! schedule replays from the report alone.
+
+use sqpeer_testkit::{run_chaos, ChaosSpec};
+use std::fs;
+use std::path::PathBuf;
+
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+
+fn light(seed: u64) -> ChaosSpec {
+    ChaosSpec {
+        seed,
+        silent_loss_permille: 50,
+        duplicate_permille: 25,
+        jitter_us: 10_000,
+        churn_crashes: 1,
+        ..ChaosSpec::default()
+    }
+}
+
+fn heavy(seed: u64) -> ChaosSpec {
+    ChaosSpec {
+        seed,
+        silent_loss_permille: 200,
+        duplicate_permille: 100,
+        jitter_us: 50_000,
+        churn_crashes: 2,
+        ..ChaosSpec::default()
+    }
+}
+
+fn artifact_dir() -> PathBuf {
+    std::env::var_os("CHAOS_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/chaos-artifacts"))
+}
+
+fn run_profile(name: &str, spec: ChaosSpec) {
+    let report = run_chaos(&spec);
+    if !report.holds() {
+        let body = format!(
+            "profile: {name}\nseed: {}\nfault plan: {}\nanswered: {} (partial {}, complete {}), unanswered: {}\nviolations:\n{}\n",
+            report.seed,
+            report.replay,
+            report.answered,
+            report.partial,
+            report.complete,
+            report.unanswered,
+            report.violations.join("\n"),
+        );
+        let dir = artifact_dir();
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join(format!("chaos-{name}-seed{}.txt", spec.seed));
+        let _ = fs::write(&path, &body);
+        panic!(
+            "chaos invariants violated (artifact: {}):\n{body}",
+            path.display()
+        );
+    }
+    assert!(
+        report.answered > 0,
+        "{name} seed {}: vacuous run (every query unanswered)",
+        spec.seed
+    );
+}
+
+#[test]
+fn light_profile_holds_across_seed_matrix() {
+    for seed in SEEDS {
+        run_profile("light", light(seed));
+    }
+}
+
+#[test]
+fn heavy_profile_holds_across_seed_matrix() {
+    for seed in SEEDS {
+        run_profile("heavy", heavy(seed));
+    }
+}

@@ -608,3 +608,40 @@ proptest! {
         prop_assert_eq!(interned, reference);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Chaos-layer transparency: a zero-rate fault plan must be a perfect
+    /// no-op — identical query outcomes *and* identical network metrics
+    /// to a run with no plan installed at all. (An inert plan draws no
+    /// randomness, so the event schedule cannot shift.)
+    #[test]
+    fn inert_fault_plan_is_transparent(
+        seed in any::<u64>(),
+        b1 in arb_base(),
+        b2 in arb_base(),
+        (query, _) in arb_query_pair(),
+    ) {
+        use sqpeer::net::FaultPlan;
+        let run = |plan: Option<FaultPlan>| {
+            let schema = fig1_schema();
+            let mut b = HybridBuilder::new(Arc::clone(&schema), 1);
+            let origin = b.add_peer(b1.clone(), 0);
+            let _holder = b.add_peer(b2.clone(), 0);
+            let mut net = b.build();
+            if let Some(plan) = plan {
+                net.sim_mut().set_fault_plan(plan);
+            }
+            let qid = net.query(origin, query.clone());
+            net.run();
+            let outcome = net
+                .outcome(origin, qid)
+                .map(|o| (o.result.clone().sorted(), o.partial, o.missing.clone()));
+            (outcome, net.sim().metrics().clone())
+        };
+        let plain = run(None);
+        let inert = run(Some(FaultPlan::new(seed)));
+        prop_assert_eq!(plain, inert);
+    }
+}
