@@ -95,6 +95,28 @@ impl CacheStats {
             (self.hits + self.subsumption_hits) as f64 / total as f64
         }
     }
+
+    /// Component-wise delta against an earlier snapshot. Counters subtract
+    /// (saturating, in case the cache was replaced between snapshots);
+    /// the live-entry gauges report the current values. Used by the
+    /// observability layer to attribute cache activity to one query.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            subsumption_hits: self
+                .subsumption_hits
+                .saturating_sub(earlier.subsumption_hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            plan_hits: self.plan_hits.saturating_sub(earlier.plan_hits),
+            plan_misses: self.plan_misses.saturating_sub(earlier.plan_misses),
+            annotation_entries: self.annotation_entries,
+            annotation_cost: self.annotation_cost,
+            plan_entries: self.plan_entries,
+            plan_cost: self.plan_cost,
+        }
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]

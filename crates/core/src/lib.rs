@@ -56,13 +56,14 @@ pub use sqpeer_rql as rql;
 pub use sqpeer_rvl as rvl;
 pub use sqpeer_store as store;
 pub use sqpeer_subsume as subsume;
+pub use sqpeer_trace as trace;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use sqpeer_exec::{PeerConfig, PeerMode, PeerNode, QueryId};
     pub use sqpeer_net::{LinkSpec, NodeId, Simulator};
     pub use sqpeer_overlay::{AdhocBuilder, AdhocNetwork, HybridBuilder, HybridNetwork};
-    pub use sqpeer_plan::{generate_plan, optimize, PlanNode, Site};
+    pub use sqpeer_plan::{generate_plan, optimize, Explain, PlanNode, Site};
     pub use sqpeer_rdfs::{
         ClassId, Literal, LiteralType, Node, PropertyId, Range, Resource, Schema, SchemaBuilder,
         Triple, Typing,
@@ -71,6 +72,7 @@ pub mod prelude {
     pub use sqpeer_rql::{compile, evaluate, evaluate_reference, QueryPattern, ResultSet};
     pub use sqpeer_rvl::{ActiveSchema, ViewDefinition, VirtualBase};
     pub use sqpeer_store::DescriptionBase;
+    pub use sqpeer_trace::{spans_well_nested, QueryProfile, TraceEvent, Tracer};
 
     pub use crate::LocalPeer;
 }

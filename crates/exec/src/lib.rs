@@ -25,6 +25,8 @@ pub use local::{default_workers, eval_local, eval_local_threads};
 pub use msg::{Msg, QueryId, QueryOutcome};
 pub use peer::{BaseKind, PeerConfig, PeerMode, PeerNode, Role};
 pub use sqpeer_cache::{CacheConfig, CacheStats};
+pub use sqpeer_plan::Explain;
+pub use sqpeer_trace::{spans_well_nested, QueryProfile, TraceEvent, Tracer};
 
 /// Maps a routing-level [`PeerId`](sqpeer_routing::PeerId) onto its
 /// simulator node (the two id spaces coincide by construction).

@@ -20,14 +20,17 @@ use crate::{node_of, peer_of};
 use sqpeer_cache::{CacheConfig, CacheStats, SemanticCache};
 use sqpeer_net::{Channel, ChannelTable, Ctx, NodeId, NodeLogic};
 use sqpeer_plan::{
-    generate_plan, optimize, CostParams, Estimator, PlanNode, Site, Subquery, UniformCost,
+    generate_plan, optimize_traced, CostParams, Estimator, Explain, OptimizeReport, PlanNode, Site,
+    Subquery, UniformCost,
 };
 use sqpeer_routing::{
-    route_limited, AdRegistry, Advertisement, AnnotatedQuery, PeerId, RoutingPolicy,
+    route_limited, route_limited_traced, AdRegistry, Advertisement, AnnotatedQuery, PeerId,
+    RoutingPolicy,
 };
 use sqpeer_rql::{QueryPattern, ResultSet, Row};
 use sqpeer_rvl::{ActiveSchema, VirtualBase};
 use sqpeer_store::DescriptionBase;
+use sqpeer_trace::{QueryProfile, TraceEvent, Tracer};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::sync::OnceLock;
@@ -125,6 +128,11 @@ pub struct PeerConfig {
     /// (epoch-invalidated, so advertisement churn is always observed).
     /// `None` disables caching entirely.
     pub cache: Option<CacheConfig>,
+    /// Record query-lifecycle spans/events, per-query [`QueryProfile`]s
+    /// and [`Explain`] plans. Off by default; when off the recorder is a
+    /// branch-and-return (zero allocation — bench E18 pins the overhead
+    /// at ≤3 %) and query answers are bit-identical to a trace-on run.
+    pub trace: bool,
 }
 
 impl PeerConfig {
@@ -155,6 +163,7 @@ impl Default for PeerConfig {
             processing_us_per_row: 0,
             cost_model: None,
             cache: Some(CacheConfig::default()),
+            trace: false,
         }
     }
 }
@@ -252,6 +261,25 @@ struct RootQuery {
     /// Completed subplan results kept across phases (phased adaptation):
     /// `(destination peer, rendered subplan) → result`.
     phase_cache: HashMap<(PeerId, String), ResultSet>,
+    /// Profile counters (plain integer bumps on the hot path; aggregated
+    /// into a [`QueryProfile`] at finalisation when tracing is on).
+    dispatched: u64,
+    answered_subplans: u64,
+    failed_subplans: u64,
+    retries: u64,
+    timeouts: u64,
+    messages_sent: u64,
+    bytes_sent: u64,
+    bytes_received: u64,
+    peers_contacted: HashSet<PeerId>,
+    cache_hits: u64,
+    cache_misses: u64,
+    plan_cache_hits: u64,
+    plan_cache_misses: u64,
+    /// Phase timestamps: when the routing annotation became available and
+    /// when the executable plan was ready.
+    annotated_at_us: Option<u64>,
+    plan_ready_at_us: Option<u64>,
 }
 
 impl RootQuery {
@@ -265,6 +293,21 @@ impl RootQuery {
             answered: false,
             missing: HashSet::new(),
             phase_cache: HashMap::new(),
+            dispatched: 0,
+            answered_subplans: 0,
+            failed_subplans: 0,
+            retries: 0,
+            timeouts: 0,
+            messages_sent: 0,
+            bytes_sent: 0,
+            bytes_received: 0,
+            peers_contacted: HashSet::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+            annotated_at_us: None,
+            plan_ready_at_us: None,
         }
     }
 }
@@ -424,12 +467,26 @@ pub struct PeerNode {
     /// Routing/plan memoisation (None when disabled by config). RefCell
     /// because routing entry points take `&self`.
     cache: Option<RefCell<SemanticCache>>,
+    /// The span/event recorder (disabled unless `config.trace`). RefCell
+    /// because routing/planning entry points take `&self`.
+    tracer: RefCell<Tracer>,
+    /// Per-query post-run profiles (populated at finalisation with
+    /// tracing on).
+    profiles: HashMap<QueryId, QueryProfile>,
+    /// Per-query EXPLAIN captures (populated at planning with tracing
+    /// on).
+    explains: HashMap<QueryId, Explain>,
 }
 
 impl PeerNode {
     /// Creates a peer with the given role and base.
     pub fn new(id: PeerId, role: Role, base: BaseKind, config: PeerConfig) -> Self {
         let cache = config.cache.map(|c| RefCell::new(SemanticCache::new(c)));
+        let tracer = RefCell::new(if config.trace {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        });
         PeerNode {
             id,
             role,
@@ -460,6 +517,9 @@ impl PeerNode {
             heartbeat_timers: HashSet::new(),
             sweep_timers: HashSet::new(),
             cache,
+            tracer,
+            profiles: HashMap::new(),
+            explains: HashMap::new(),
         }
     }
 
@@ -498,6 +558,30 @@ impl PeerNode {
     }
 
     // ------------------------------------------------------------------
+    // Observability surface (populated with `config.trace` on)
+    // ------------------------------------------------------------------
+
+    /// All span/trace events this peer recorded, in record order.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.tracer.borrow().events().to_vec()
+    }
+
+    /// Recorded events attributed to `qid`.
+    pub fn trace_events_for(&self, qid: QueryId) -> Vec<TraceEvent> {
+        self.tracer.borrow().events_for(qid.0)
+    }
+
+    /// The post-run profile of a query this peer rooted (tracing on).
+    pub fn profile(&self, qid: QueryId) -> Option<QueryProfile> {
+        self.profiles.get(&qid).cloned()
+    }
+
+    /// The EXPLAIN capture of a query this peer rooted (tracing on).
+    pub fn explain(&self, qid: QueryId) -> Option<Explain> {
+        self.explains.get(&qid).cloned()
+    }
+
+    // ------------------------------------------------------------------
     // Planning at the root
     // ------------------------------------------------------------------
 
@@ -512,6 +596,9 @@ impl PeerNode {
         // (§2.1: routing operates on path patterns); such queries are
         // answered against this peer's own base only and flagged partial
         // so callers know the network was not consulted.
+        self.tracer
+            .get_mut()
+            .event_with(ctx.now_us(), qid.0, "query:begin", || query.to_string());
         if !query.class_patterns().is_empty() {
             self.rooted
                 .insert(qid, RootQuery::new(query.clone(), client, ctx.now_us()));
@@ -545,6 +632,12 @@ impl PeerNode {
                     .copied();
                 match sp {
                     Some(sp) => {
+                        self.tracer.get_mut().event_with(
+                            ctx.now_us(),
+                            qid.0,
+                            "route:delegate",
+                            || format!("route request to super-peer {sp}"),
+                        );
                         let msg = Msg::RouteRequest {
                             qid,
                             query,
@@ -552,6 +645,10 @@ impl PeerNode {
                             partial: None,
                         };
                         let bytes = msg.wire_size();
+                        if let Some(root) = self.rooted.get_mut(&qid) {
+                            root.messages_sent += 1;
+                            root.bytes_sent += bytes as u64;
+                        }
                         ctx.send(node_of(sp), msg, bytes);
                     }
                     None => self.finalize(ctx, qid, ResultSet::default(), true),
@@ -559,7 +656,23 @@ impl PeerNode {
             }
             PeerMode::Adhoc => {
                 // Route locally over the semantic neighbourhood (§3.2).
-                let annotated = self.local_route(&query, &self.excluded_of(qid));
+                let cache_before = if self.config.trace {
+                    self.cache_stats()
+                } else {
+                    None
+                };
+                let annotated =
+                    self.local_route(&query, &self.excluded_of(qid), ctx.now_us(), qid.0);
+                if let Some(before) = cache_before {
+                    // Attribute routing-cache activity to this query.
+                    if let Some(after) = self.cache_stats() {
+                        let d = after.since(&before);
+                        if let Some(root) = self.rooted.get_mut(&qid) {
+                            root.cache_hits += d.hits + d.subsumption_hits;
+                            root.cache_misses += d.misses;
+                        }
+                    }
+                }
                 // Staleness-bound neighbourhood: lease-expired neighbours
                 // that would have matched are known-missing contributors.
                 let departed = self.departed_matching(&query);
@@ -578,18 +691,41 @@ impl PeerNode {
             .unwrap_or_default()
     }
 
-    fn local_route(&self, query: &QueryPattern, excluded: &HashSet<PeerId>) -> AnnotatedQuery {
+    fn local_route(
+        &self,
+        query: &QueryPattern,
+        excluded: &HashSet<PeerId>,
+        now_us: u64,
+        qid: u64,
+    ) -> AnnotatedQuery {
         // The memoised path serves the common case (no per-query
         // exclusions); adaptation re-routes with exclusions bypass it, as
         // excluded sets are query-local and would pollute shared entries.
         if excluded.is_empty() {
             if let Some(cache) = &self.cache {
-                return cache.borrow_mut().route(
+                let before = if self.config.trace {
+                    Some(cache.borrow().stats())
+                } else {
+                    None
+                };
+                let annotated = cache.borrow_mut().route(
                     &self.registry,
                     query,
                     self.config.routing_policy,
                     self.config.limits,
                 );
+                if let Some(before) = before {
+                    let d = cache.borrow().stats().since(&before);
+                    self.tracer
+                        .borrow_mut()
+                        .event_with(now_us, qid, "cache:lookup", || {
+                            format!(
+                                "{} exact, {} subsumption, {} miss",
+                                d.hits, d.subsumption_hits, d.misses
+                            )
+                        });
+                }
+                return annotated;
             }
         }
         let ads: Vec<Advertisement> = self
@@ -599,7 +735,16 @@ impl PeerNode {
             .filter(|a| !excluded.contains(&a.peer))
             .cloned()
             .collect();
-        route_limited(query, &ads, self.config.routing_policy, self.config.limits)
+        let mut tracer = self.tracer.borrow_mut();
+        route_limited_traced(
+            query,
+            &ads,
+            self.config.routing_policy,
+            self.config.limits,
+            &mut tracer,
+            now_us,
+            qid,
+        )
     }
 
     /// A snapshot of this peer's routing/plan cache counters, if caching
@@ -776,25 +921,67 @@ impl PeerNode {
         for peer in self.excluded_of(qid) {
             annotated.remove_peer(peer);
         }
+        let now = ctx.now_us();
+        if let Some(root) = self.rooted.get_mut(&qid) {
+            root.annotated_at_us.get_or_insert(now);
+        }
+        self.tracer
+            .get_mut()
+            .event_with(now, qid.0, "annotate", || annotated.to_string());
         // Plan memoisation: keyed by the annotated query (so adaptation
         // re-plans with peers removed key differently) and validated
         // against both registry epochs, since ranking and optimiser costs
         // follow advertised statistics.
+        let plan_span = self.tracer.get_mut().begin(now, qid.0, "plan");
         let epochs = self.registry.epochs();
         let cached = self
             .cache
             .as_ref()
             .and_then(|c| c.borrow_mut().plan_for(epochs, &annotated));
+        let cache_hit = cached.is_some();
+        if self.cache.is_some() {
+            if let Some(root) = self.rooted.get_mut(&qid) {
+                if cache_hit {
+                    root.plan_cache_hits += 1;
+                } else {
+                    root.plan_cache_misses += 1;
+                }
+            }
+            self.tracer
+                .get_mut()
+                .event_with(now, qid.0, "cache:plan", || {
+                    if cache_hit { "hit" } else { "miss" }.to_string()
+                });
+        }
         let plan = match cached {
-            Some(plan) => plan,
+            Some(plan) => {
+                // A memoised plan skips plan generation, but EXPLAIN still
+                // needs the optimisation pipeline: re-derive it (planning
+                // is deterministic, so the plan is identical).
+                if self.config.trace && !self.explains.contains_key(&qid) {
+                    let (_, explain) = self.build_plan(&annotated, qid, now);
+                    if let Some(explain) = explain {
+                        self.explains.insert(qid, explain);
+                    }
+                }
+                plan
+            }
             None => {
-                let plan = self.build_plan(&annotated);
+                let (plan, explain) = self.build_plan(&annotated, qid, now);
+                if let Some(explain) = explain {
+                    self.explains.insert(qid, explain);
+                }
                 if let Some(cache) = &self.cache {
                     cache.borrow_mut().store_plan(epochs, &annotated, &plan);
                 }
                 plan
             }
         };
+        let now = ctx.now_us();
+        self.tracer.get_mut().end(now, plan_span);
+        if let Some(root) = self.rooted.get_mut(&qid) {
+            root.plan_ready_at_us.get_or_insert(now);
+        }
 
         if plan.is_complete() {
             self.execute(ctx, qid, plan, Completion::Root { qid });
@@ -820,19 +1007,56 @@ impl PeerNode {
     }
 
     /// Plan generation + compile-time optimisation (§2.5), uncached.
-    fn build_plan(&self, annotated: &AnnotatedQuery) -> PlanNode {
+    /// With tracing on, also produces the [`Explain`] rendering of the
+    /// annotation and the optimisation pipeline.
+    fn build_plan(
+        &self,
+        annotated: &AnnotatedQuery,
+        qid: QueryId,
+        now_us: u64,
+    ) -> (PlanNode, Option<Explain>) {
         let plan = generate_plan(annotated);
-        if self.config.optimize {
-            let mut estimator = Estimator::new(CostParams::default());
-            for ad in self.registry.advertisements() {
-                if let Some(stats) = &ad.stats {
-                    estimator.set_stats(ad.peer, stats.clone());
-                }
+        let mut estimator = Estimator::new(CostParams::default());
+        for ad in self.registry.advertisements() {
+            if let Some(stats) = &ad.stats {
+                estimator.set_stats(ad.peer, stats.clone());
             }
+        }
+        if self.config.optimize {
             let net_cost = self.config.cost_model.clone().unwrap_or_default();
-            optimize(plan, self.id, &estimator, &net_cost).0
+            let (optimized, report) = {
+                let mut tracer = self.tracer.borrow_mut();
+                optimize_traced(
+                    plan,
+                    self.id,
+                    &estimator,
+                    &net_cost,
+                    &mut tracer,
+                    now_us,
+                    qid.0,
+                )
+            };
+            let explain = self
+                .config
+                .trace
+                .then(|| Explain::new(annotated, &report, &optimized, &estimator));
+            (optimized, explain)
         } else {
-            plan
+            let explain = self.config.trace.then(|| {
+                // Optimiser off: a one-stage report (the generated shape).
+                let report = OptimizeReport {
+                    stages: vec![(
+                        "plan 1 (generated)".to_string(),
+                        plan.to_string(),
+                        plan.fetch_count(),
+                        estimator.transfer_bytes(&plan, self.id),
+                    )],
+                    final_cost: estimator.plan_work(&plan),
+                    distributed_won: false,
+                };
+                Explain::new(annotated, &report, &plan, &estimator)
+            });
+            (plan, explain)
         }
     }
 
@@ -994,6 +1218,17 @@ impl PeerNode {
             attempt: 0,
         };
         let bytes = msg.wire_size();
+        if let Some(root) = self.rooted.get_mut(&qid) {
+            root.dispatched += 1;
+            root.peers_contacted.insert(dest);
+            root.messages_sent += 1;
+            root.bytes_sent += bytes as u64;
+        }
+        self.tracer
+            .get_mut()
+            .event_with(ctx.now_us(), qid.0, "exec:dispatch", || {
+                format!("subplan tag {tag} → {dest} over channel {}", channel.id.0)
+            });
         ctx.send(node_of(dest), msg, bytes);
     }
 
@@ -1027,6 +1262,16 @@ impl PeerNode {
             attempt,
         };
         let bytes = msg.wire_size();
+        if let Some(root) = self.rooted.get_mut(&qid) {
+            root.retries += 1;
+            root.messages_sent += 1;
+            root.bytes_sent += bytes as u64;
+        }
+        self.tracer
+            .get_mut()
+            .event_with(ctx.now_us(), qid.0, "exec:retry", || {
+                format!("subplan tag {tag} → {dest}, attempt {attempt}")
+            });
         ctx.send(node_of(dest), msg, bytes);
     }
 
@@ -1217,6 +1462,7 @@ impl PeerNode {
         if order.is_some() || limit.is_some() {
             projected.apply_top(order.as_ref().map(|(n, a)| (n.as_str(), *a)), limit);
         }
+        let rows = projected.rows.len();
         self.outcomes.insert(
             qid,
             QueryOutcome {
@@ -1225,9 +1471,50 @@ impl PeerNode {
                 latency_us: ctx.now_us().saturating_sub(started),
                 replans,
                 partial,
-                missing,
+                missing: missing.clone(),
             },
         );
+        self.tracer
+            .get_mut()
+            .event_with(ctx.now_us(), qid.0, "query:done", || {
+                format!(
+                    "{rows} rows, {}",
+                    if partial { "partial" } else { "complete" }
+                )
+            });
+        if self.config.trace {
+            let now = ctx.now_us();
+            if let Some(root) = self.rooted.get(&qid) {
+                let annotated_at = root.annotated_at_us.unwrap_or(started);
+                let plan_ready = root.plan_ready_at_us.unwrap_or(annotated_at);
+                let profile = QueryProfile {
+                    qid: qid.0,
+                    query: root.query.to_string(),
+                    routing_us: annotated_at.saturating_sub(started),
+                    planning_us: plan_ready.saturating_sub(annotated_at),
+                    execution_us: now.saturating_sub(plan_ready),
+                    total_us: now.saturating_sub(started),
+                    messages_sent: root.messages_sent,
+                    bytes_sent: root.bytes_sent,
+                    bytes_received: root.bytes_received,
+                    peers_contacted: root.peers_contacted.len(),
+                    subplans_dispatched: root.dispatched,
+                    subplans_answered: root.answered_subplans,
+                    subplans_failed: root.failed_subplans,
+                    retries: root.retries,
+                    timeouts: root.timeouts,
+                    replans,
+                    cache_hits: root.cache_hits,
+                    cache_misses: root.cache_misses,
+                    plan_cache_hits: root.plan_cache_hits,
+                    plan_cache_misses: root.plan_cache_misses,
+                    partial,
+                    missing: missing.len(),
+                    rows,
+                };
+                self.profiles.insert(qid, profile);
+            }
+        }
         if let Some(client) = client {
             let msg = Msg::ClientAnswer {
                 qid,
@@ -1280,6 +1567,14 @@ impl PeerNode {
     fn handle_lost_subplan(&mut self, ctx: &mut Ctx<Msg>, pending: PendingRemote) {
         let qid = pending.qid;
         let failed_peer = pending.dest;
+        if let Some(root) = self.rooted.get_mut(&qid) {
+            root.failed_subplans += 1;
+        }
+        self.tracer
+            .get_mut()
+            .event_with(ctx.now_us(), qid.0, "exec:failed", || {
+                format!("subplan {} lost at {failed_peer}", pending.plan_key)
+            });
         let is_root = self.rooted.contains_key(&qid);
         if is_root && self.config.adaptive && self.config.phased {
             // Phased, subplan-level repair (§2.5: "the alteration is done
@@ -1329,7 +1624,7 @@ impl PeerNode {
         ctx.note_replan();
         // Every trace of the failed peer becomes a hole / unsited join.
         let holed = strip_peer(plan, failed);
-        let repaired = self.fill_holes(holed, &excluded);
+        let repaired = self.fill_holes(holed, &excluded, ctx.now_us(), qid.0);
         if repaired.is_complete() {
             self.execute(
                 ctx,
@@ -1378,7 +1673,7 @@ impl PeerNode {
 
         // Interleaved routing and processing (§3.2): fill holes from local
         // knowledge, then execute or forward.
-        let filled = self.fill_holes(plan, &visited);
+        let filled = self.fill_holes(plan, &visited, ctx.now_us(), qid.0);
         if filled.is_complete() {
             self.execute(ctx, qid, filled, completion);
             return;
@@ -1403,13 +1698,13 @@ impl PeerNode {
     ///
     /// Only single-pattern holes are fillable (composite fetches are never
     /// minted with a hole site); a hole nobody matches stays a hole.
-    fn fill_holes(&self, plan: PlanNode, visited: &[PeerId]) -> PlanNode {
+    fn fill_holes(&self, plan: PlanNode, visited: &[PeerId], now_us: u64, qid: u64) -> PlanNode {
         let excluded: HashSet<PeerId> = visited.iter().copied().collect();
         plan.map_fetches(&mut |subquery: Subquery, site: Site| {
             if site != Site::Hole || subquery.query.patterns().len() != 1 {
                 return PlanNode::Fetch { subquery, site };
             }
-            let annotated = self.local_route(&subquery.query, &excluded);
+            let annotated = self.local_route(&subquery.query, &excluded, now_us, qid);
             let branches: Vec<PlanNode> = annotated
                 .peers_for(0)
                 .iter()
@@ -1693,6 +1988,19 @@ impl NodeLogic for PeerNode {
                 let result = buffer.assemble();
                 if let Some(pending) = self.outstanding.remove(&tag) {
                     debug_assert_eq!(pending.qid, qid);
+                    let rows = result.rows.len();
+                    if let Some(root) = self.rooted.get_mut(&qid) {
+                        root.answered_subplans += 1;
+                        root.bytes_received += result.wire_size() as u64;
+                    }
+                    self.tracer
+                        .get_mut()
+                        .event_with(ctx.now_us(), qid.0, "exec:answer", || {
+                            format!(
+                                "subplan tag {tag} answered by {}: {rows} rows",
+                                pending.dest
+                            )
+                        });
                     if self.config.phased && !partial {
                         if let Some(root) = self.rooted.get_mut(&qid) {
                             root.phase_cache
@@ -1704,6 +2012,14 @@ impl NodeLogic for PeerNode {
             }
             Msg::SubplanFailed { qid, tag, .. } => {
                 if let Some(pending) = self.outstanding.remove(&tag) {
+                    if let Some(root) = self.rooted.get_mut(&qid) {
+                        root.failed_subplans += 1;
+                    }
+                    self.tracer
+                        .get_mut()
+                        .event_with(ctx.now_us(), qid.0, "exec:failed", || {
+                            format!("subplan tag {tag} failed at {}", pending.dest)
+                        });
                     if self.rooted.contains_key(&qid) && self.config.adaptive {
                         self.adapt_or_give_up(ctx, qid, Some(pending.dest));
                     } else {
@@ -1803,6 +2119,15 @@ impl NodeLogic for PeerNode {
                 return;
             }
             ctx.note_timeout();
+            let timed_out_qid = self.outstanding[&tag].qid;
+            if let Some(root) = self.rooted.get_mut(&timed_out_qid) {
+                root.timeouts += 1;
+            }
+            self.tracer
+                .get_mut()
+                .event_with(ctx.now_us(), timed_out_qid.0, "exec:timeout", || {
+                    format!("subplan tag {tag} timed out")
+                });
             let attempt = self.outstanding[&tag].attempt;
             if attempt < self.config.subplan_retries {
                 // At-least-once dispatch: retry the same destination with
@@ -1860,7 +2185,7 @@ impl PeerNode {
         backbone_ttl: u32,
         partial: Option<AnnotatedQuery>,
     ) {
-        let mut annotated = self.local_route(&query, &HashSet::new());
+        let mut annotated = self.local_route(&query, &HashSet::new(), ctx.now_us(), qid.0);
         if annotated.all_peers().is_empty() {
             // Mediation (§3.1): a query over a foreign schema is
             // reformulated onto this SON's schema through an articulation
@@ -1871,7 +2196,8 @@ impl PeerNode {
                     continue;
                 }
                 if let Some(reformulated) = articulation.reformulate(&query) {
-                    let mediated = self.local_route(&reformulated, &HashSet::new());
+                    let mediated =
+                        self.local_route(&reformulated, &HashSet::new(), ctx.now_us(), qid.0);
                     if !mediated.all_peers().is_empty() {
                         annotated = mediated;
                         break;
@@ -1994,6 +2320,137 @@ mod tests {
         // The client got the same answer.
         let client = sim.node(NodeId(99)).unwrap();
         assert_eq!(client.client_answers.get(&QueryId(1)).unwrap().len(), 1);
+    }
+
+    /// With tracing on, a completed root query exposes well-nested spans,
+    /// a per-phase profile, and an EXPLAIN of its optimisation pipeline.
+    #[test]
+    fn traced_query_exposes_spans_profile_and_explain() {
+        let schema = fig1_schema();
+        let mut sim: Simulator<PeerNode> = Simulator::default();
+        let config = PeerConfig {
+            trace: true,
+            optimize: true,
+            ..adhoc_config()
+        };
+        let b1 = base_with(&schema, &[("a", "prop1", "b")]);
+        let b2 = base_with(&schema, &[("b", "prop2", "c")]);
+        let mut p1 = PeerNode::simple(PeerId(1), b1, config.clone());
+        let p2 = PeerNode::simple(PeerId(2), b2, config);
+        let ad1 = p1.own_advertisement().unwrap();
+        let ad2 = p2.own_advertisement().unwrap();
+        p1.registry.register(ad1);
+        p1.registry.register(ad2);
+        sim.add_node(NodeId(1), p1);
+        sim.add_node(NodeId(2), p2);
+        sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+
+        let query = compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}", &schema).unwrap();
+        let msg = Msg::ClientQuery {
+            qid: QueryId(1),
+            query,
+        };
+        let bytes = msg.wire_size();
+        sim.inject(NodeId(99), NodeId(1), msg, bytes);
+        sim.run_to_quiescence();
+
+        let p1 = sim.node(NodeId(1)).unwrap();
+        let events = p1.trace_events_for(QueryId(1));
+        assert!(!events.is_empty());
+        sqpeer_trace::spans_well_nested(&events).expect("spans well nested");
+        let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+        for required in [
+            "query:begin",
+            "cache:lookup", // default config routes through the semantic cache
+            "annotate",
+            "plan",
+            "cache:plan",
+            "exec:dispatch",
+            "exec:answer",
+            "query:done",
+        ] {
+            assert!(names.contains(&required), "missing event {required}");
+        }
+
+        let profile = p1.profile(QueryId(1)).expect("profile recorded");
+        assert_eq!(profile.rows, 1);
+        assert!(!profile.partial);
+        assert!(profile.subplans_dispatched >= 1);
+        assert_eq!(profile.subplans_answered, profile.subplans_dispatched);
+        assert!(profile.peers_contacted >= 1);
+        assert_eq!(
+            profile.total_us,
+            profile.routing_us + profile.planning_us + profile.execution_us
+        );
+
+        let explain = p1.explain(QueryId(1)).expect("explain recorded");
+        let rendered = explain.render();
+        assert!(rendered.contains("annotated query pattern"));
+        assert!(rendered.contains("plan 1 (generated)"));
+        assert!(rendered.contains("final plan"));
+        // Rendering is pure: two calls agree (diffable snapshots).
+        assert_eq!(rendered, explain.render());
+    }
+
+    /// Without the semantic cache, routing runs uncached and the `route`
+    /// span plus per-peer subsumption events are recorded instead.
+    #[test]
+    fn traced_uncached_routing_records_route_span() {
+        let schema = fig1_schema();
+        let mut sim: Simulator<PeerNode> = Simulator::default();
+        let config = PeerConfig {
+            trace: true,
+            cache: None,
+            ..adhoc_config()
+        };
+        let b1 = base_with(&schema, &[("a", "prop1", "b")]);
+        let mut p1 = PeerNode::simple(PeerId(1), b1, config);
+        let ad1 = p1.own_advertisement().unwrap();
+        p1.registry.register(ad1);
+        sim.add_node(NodeId(1), p1);
+        sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+        let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
+        let msg = Msg::ClientQuery {
+            qid: QueryId(1),
+            query,
+        };
+        let bytes = msg.wire_size();
+        sim.inject(NodeId(99), NodeId(1), msg, bytes);
+        sim.run_to_quiescence();
+        let p1 = sim.node(NodeId(1)).unwrap();
+        let events = p1.trace_events_for(QueryId(1));
+        sqpeer_trace::spans_well_nested(&events).expect("spans well nested");
+        let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+        assert!(names.contains(&"route"));
+        assert!(names.contains(&"route:subsume"));
+        assert!(names.contains(&"route:annotate"));
+        assert!(!names.contains(&"cache:lookup"));
+    }
+
+    /// Tracing off (the default) records nothing and stores no profiles.
+    #[test]
+    fn untraced_query_records_nothing() {
+        let schema = fig1_schema();
+        let mut sim: Simulator<PeerNode> = Simulator::default();
+        let b1 = base_with(&schema, &[("a", "prop1", "b")]);
+        let mut p1 = PeerNode::simple(PeerId(1), b1, adhoc_config());
+        let ad1 = p1.own_advertisement().unwrap();
+        p1.registry.register(ad1);
+        sim.add_node(NodeId(1), p1);
+        sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+        let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
+        let msg = Msg::ClientQuery {
+            qid: QueryId(1),
+            query,
+        };
+        let bytes = msg.wire_size();
+        sim.inject(NodeId(99), NodeId(1), msg, bytes);
+        sim.run_to_quiescence();
+        let p1 = sim.node(NodeId(1)).unwrap();
+        assert!(p1.outcomes.contains_key(&QueryId(1)));
+        assert!(p1.trace_events().is_empty());
+        assert!(p1.profile(QueryId(1)).is_none());
+        assert!(p1.explain(QueryId(1)).is_none());
     }
 
     /// Horizontal distribution: two peers both answering the same pattern.

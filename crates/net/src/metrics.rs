@@ -156,6 +156,21 @@ impl Metrics {
     pub fn reset(&mut self) {
         *self = Metrics::default();
     }
+
+    /// Global-counter deltas against an earlier snapshot, as
+    /// `(messages, bytes, drops, retries, timeouts, replans)`. Used by
+    /// profiling and the E18 overhead report to attribute traffic to one
+    /// measurement window without resetting shared counters.
+    pub fn delta_since(&self, earlier: &Metrics) -> (usize, usize, usize, usize, usize, usize) {
+        (
+            self.deliveries.saturating_sub(earlier.deliveries),
+            self.delivered_bytes.saturating_sub(earlier.delivered_bytes),
+            self.dropped.saturating_sub(earlier.dropped),
+            self.retries_sent.saturating_sub(earlier.retries_sent),
+            self.timeouts_fired.saturating_sub(earlier.timeouts_fired),
+            self.replans.saturating_sub(earlier.replans),
+        )
+    }
 }
 
 #[cfg(test)]

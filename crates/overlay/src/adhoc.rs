@@ -269,6 +269,24 @@ impl AdhocNetwork {
         self.sim.node(node_of(at)).and_then(|n| n.cache_stats())
     }
 
+    /// The post-run profile of `qid` at its root peer `at` (tracing on).
+    pub fn profile(&self, at: PeerId, qid: QueryId) -> Option<sqpeer_exec::QueryProfile> {
+        self.sim.node(node_of(at)).and_then(|n| n.profile(qid))
+    }
+
+    /// The EXPLAIN rendering of `qid` at its root peer `at` (tracing on).
+    pub fn explain(&self, at: PeerId, qid: QueryId) -> Option<sqpeer_exec::Explain> {
+        self.sim.node(node_of(at)).and_then(|n| n.explain(qid))
+    }
+
+    /// All span/trace events peer `at` recorded (empty when tracing off).
+    pub fn trace_events(&self, at: PeerId) -> Vec<sqpeer_exec::TraceEvent> {
+        self.sim
+            .node(node_of(at))
+            .map(|n| n.trace_events())
+            .unwrap_or_default()
+    }
+
     /// All peer bases (for oracle construction).
     pub fn bases(&self) -> Vec<&DescriptionBase> {
         (0..self.peer_count)

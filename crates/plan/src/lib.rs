@@ -18,13 +18,16 @@
 //!    module's cardinality estimator and a pluggable network-cost model.
 
 pub mod cost;
+pub mod explain;
 pub mod generate;
 pub mod node;
 pub mod optimize;
 
 pub use cost::{CostParams, Estimator, NetworkCost, UniformCost};
+pub use explain::Explain;
 pub use generate::{annotated_fingerprint, generate_plan, single_pattern_subquery};
 pub use node::{PlanNode, Site, Subquery};
 pub use optimize::{
-    assign_sites, distribute_joins, flatten_joins, merge_same_peer, optimize, OptimizeReport,
+    assign_sites, distribute_joins, flatten_joins, merge_same_peer, optimize, optimize_traced,
+    OptimizeReport,
 };

@@ -4,6 +4,7 @@ use crate::cost::{Estimator, NetworkCost};
 use crate::node::{PlanNode, Site, Subquery};
 use sqpeer_routing::PeerId;
 use sqpeer_rql::QueryPattern;
+use sqpeer_trace::Tracer;
 
 /// Flattens nested (unsited) joins: `⋈(⋈(a,b),c)` → `⋈(a,b,c)`.
 ///
@@ -282,6 +283,35 @@ pub fn optimize(
     estimator: &Estimator,
     net: &dyn NetworkCost,
 ) -> (PlanNode, OptimizeReport) {
+    let mut off = Tracer::disabled();
+    optimize_traced(
+        plan,
+        initiator,
+        estimator,
+        net,
+        &mut off,
+        0,
+        sqpeer_trace::NO_QUERY,
+    )
+}
+
+/// [`optimize`] with every applied rewrite recorded as a trace event.
+///
+/// Events fire only when a rewrite actually changed the plan:
+/// `rewrite:distribute` when joins were pushed below unions,
+/// `rewrite:merge-same-peer` when TR1/TR2 collapsed same-peer fetches
+/// (detail reports how many), and `rewrite:site` with the winning shape
+/// and its estimated cost. On a disabled tracer the comparisons are
+/// skipped entirely, so this is exactly [`optimize`].
+pub fn optimize_traced(
+    plan: PlanNode,
+    initiator: PeerId,
+    estimator: &Estimator,
+    net: &dyn NetworkCost,
+    tracer: &mut Tracer,
+    now_us: u64,
+    qid: u64,
+) -> (PlanNode, OptimizeReport) {
     let mut stages = Vec::new();
     let snap = |stages: &mut Vec<(String, String, usize, f64)>, name: &str, p: &PlanNode| {
         stages.push((
@@ -294,8 +324,22 @@ pub fn optimize(
     let plan1 = flatten_joins(plan);
     snap(&mut stages, "plan 1 (generated)", &plan1);
     let plan2 = distribute_joins(plan1.clone());
+    if tracer.is_enabled() && plan2 != plan1 {
+        tracer.event_with(now_us, qid, "rewrite:distribute", || {
+            format!("joins pushed below unions: {}", plan2)
+        });
+    }
     snap(&mut stages, "plan 2 (joins below unions)", &plan2);
-    let plan3 = merge_same_peer(flatten_joins(plan2));
+    let flat2 = flatten_joins(plan2);
+    let plan3 = merge_same_peer(flat2.clone());
+    if tracer.is_enabled() {
+        let merged = flat2.fetch_count().saturating_sub(plan3.fetch_count());
+        if merged > 0 {
+            tracer.event_with(now_us, qid, "rewrite:merge-same-peer", || {
+                format!("TR1+TR2 merged {merged} same-peer fetches: {plan3}")
+            });
+        }
+    }
     snap(&mut stages, "plan 3 (same-peer merge, TR1+TR2)", &plan3);
     let (sited_gen, gen_cost) = assign_sites(plan1, initiator, estimator, net);
     let (sited_dist, dist_cost) = assign_sites(plan3, initiator, estimator, net);
@@ -305,6 +349,17 @@ pub fn optimize(
     } else {
         (sited_gen, gen_cost)
     };
+    tracer.event_with(now_us, qid, "rewrite:site", || {
+        format!(
+            "{} shape won, cost {:.1}",
+            if distributed_won {
+                "distributed"
+            } else {
+                "generated"
+            },
+            cost
+        )
+    });
     snap(&mut stages, "plan 4 (shipping sites)", &best);
     (
         best,
@@ -504,6 +559,67 @@ mod tests {
             *site,
             Some(PeerId(2)),
             "overloaded peer must not host the join"
+        );
+    }
+
+    #[test]
+    fn transformation_rules_fire_and_are_recorded_as_trace_events() {
+        let schema = fig1_schema();
+        let plan = figure_plan(&schema);
+        let est = Estimator::new(CostParams::default());
+        let net = UniformCost::default();
+        let mut tracer = Tracer::enabled();
+        let (_, report) = optimize_traced(plan, PeerId(1), &est, &net, &mut tracer, 42, 7);
+        let names: Vec<&str> = tracer.events().iter().map(|e| e.name).collect();
+        assert!(
+            names.contains(&"rewrite:distribute"),
+            "distribution must be recorded: {names:?}"
+        );
+        assert!(
+            names.contains(&"rewrite:merge-same-peer"),
+            "TR1+TR2 must be recorded: {names:?}"
+        );
+        assert!(names.contains(&"rewrite:site"), "{names:?}");
+        // The Fig 4 scenario merges the P1⋈P1 and P4⋈P4 branches: 18 → 16.
+        let merge = tracer
+            .events()
+            .iter()
+            .find(|e| e.name == "rewrite:merge-same-peer")
+            .unwrap();
+        assert!(merge.detail.contains("merged 2"), "{}", merge.detail);
+        assert!(tracer.events().iter().all(|e| e.qid == 7));
+        assert!(report.distributed_won || !report.stages.is_empty());
+    }
+
+    #[test]
+    fn merge_skips_unsound_shapes_and_records_no_event() {
+        let schema = fig1_schema();
+        let q = compile("SELECT X FROM {X}prop1{Y}, {Y}prop2{Z}", &schema).unwrap();
+        let fetch = |i: usize, peer: u32| PlanNode::Fetch {
+            subquery: Subquery {
+                covers: vec![i],
+                query: crate::generate::single_pattern_subquery(&q, i, &q.patterns()[i]),
+            },
+            site: Site::Peer(PeerId(peer)),
+        };
+        // Same peer under a *union*: merging Q1@P1 with Q2@P1 would turn
+        // the union into a conjunction — unsound, must stay untouched.
+        let union = PlanNode::Union(vec![fetch(0, 1), fetch(1, 1)]);
+        assert_eq!(merge_same_peer(union.clone()), union);
+        // Different peers under a join: nothing to merge either.
+        let join = PlanNode::join(vec![fetch(0, 2), fetch(1, 3)]);
+        assert_eq!(merge_same_peer(join.clone()), join);
+        // And the traced pipeline records no merge event for such a plan.
+        let est = Estimator::new(CostParams::default());
+        let net = UniformCost::default();
+        let mut tracer = Tracer::enabled();
+        let _ = optimize_traced(join, PeerId(1), &est, &net, &mut tracer, 0, 1);
+        assert!(
+            tracer
+                .events()
+                .iter()
+                .all(|e| e.name != "rewrite:merge-same-peer"),
+            "no-op merge must not be recorded as fired"
         );
     }
 

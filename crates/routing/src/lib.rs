@@ -23,10 +23,10 @@ pub mod router;
 
 pub use annotated::{AnnotatedQuery, PeerAnnotation};
 pub use flooding::{flood, FloodOutcome, Topology};
-pub use limits::{apply_limits, route_limited, RoutingLimits};
+pub use limits::{apply_limits, route_limited, route_limited_traced, RoutingLimits};
 pub use path_index::{PathIndex, TripleIndexCost};
 pub use router::{
-    pattern_matches, route, same_schema, AdRegistry, Advertisement, PatternCandidate,
+    pattern_matches, route, route_traced, same_schema, AdRegistry, Advertisement, PatternCandidate,
     RegistryEpochs, RoutingPolicy,
 };
 

@@ -53,6 +53,24 @@ pub fn route_limited(
     apply_limits(route(query, ads, policy), ads, limits)
 }
 
+/// [`route_limited`] recording into a tracer (see
+/// [`route_traced`](crate::router::route_traced)).
+pub fn route_limited_traced(
+    query: &QueryPattern,
+    ads: &[Advertisement],
+    policy: RoutingPolicy,
+    limits: RoutingLimits,
+    tracer: &mut sqpeer_trace::Tracer,
+    now_us: u64,
+    qid: u64,
+) -> AnnotatedQuery {
+    apply_limits(
+        crate::router::route_traced(query, ads, policy, tracer, now_us, qid),
+        ads,
+        limits,
+    )
+}
+
 /// Applies [`RoutingLimits`] to an already-annotated query (the trimming
 /// half of [`route_limited`]): per pattern, annotations are ranked by
 /// match strength and advertised extent, and only the top `k` survive.

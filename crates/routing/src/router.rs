@@ -122,14 +122,43 @@ pub fn pattern_matches<'a>(
 /// 3. return AQ'
 /// ```
 pub fn route(query: &QueryPattern, ads: &[Advertisement], policy: RoutingPolicy) -> AnnotatedQuery {
+    let mut off = sqpeer_trace::Tracer::disabled();
+    route_traced(query, ads, policy, &mut off, 0, sqpeer_trace::NO_QUERY)
+}
+
+/// [`route`] with the annotation work recorded into a tracer: a `route`
+/// span wrapping the scan, one `route:subsume` event per admitted
+/// (peer, arc) match and a `route:annotate` summary per path pattern.
+/// With a disabled tracer this is exactly [`route`] — the detail closures
+/// never run.
+pub fn route_traced(
+    query: &QueryPattern,
+    ads: &[Advertisement],
+    policy: RoutingPolicy,
+    tracer: &mut sqpeer_trace::Tracer,
+    now_us: u64,
+    qid: u64,
+) -> AnnotatedQuery {
     // Advertisements over a *different* community schema cannot be matched
     // directly — their raw class/property ids belong to another id space.
     // Cross-schema queries go through articulation-based reformulation
     // first (§3.1 mediation); `pattern_matches` skips them.
     let schema = query.schema();
     let mut out = AnnotatedQuery::empty(query.clone());
+    let span = tracer.begin(now_us, qid, "route");
     for (i, aq_i) in query.patterns().iter().enumerate() {
-        for c in pattern_matches(schema, aq_i, ads, policy) {
+        let candidates = pattern_matches(schema, aq_i, ads, policy);
+        if tracer.is_enabled() {
+            for c in &candidates {
+                tracer.event_with(now_us, qid, "route:subsume", || {
+                    format!("Q{}: {}({:?})", i + 1, c.peer, c.kind)
+                });
+            }
+            tracer.event_with(now_us, qid, "route:annotate", || {
+                format!("Q{}: {} candidate peers", i + 1, candidates.len())
+            });
+        }
+        for c in candidates {
             out.annotate(
                 i,
                 PeerAnnotation {
@@ -140,6 +169,7 @@ pub fn route(query: &QueryPattern, ads: &[Advertisement], policy: RoutingPolicy)
             );
         }
     }
+    tracer.end(now_us, span);
     out
 }
 

@@ -87,6 +87,9 @@ pub struct ChaosReport {
     pub complete: usize,
     /// Invariant violations (empty = the run is sound and honest).
     pub violations: Vec<String>,
+    /// One replay artifact per violation: the failing query's EXPLAIN
+    /// rendering plus its profile JSON (tracing is on in chaos runs).
+    pub artifacts: Vec<String>,
     /// Network-wide counters (messages, silent drops, retries, …).
     pub metrics: Metrics,
 }
@@ -108,9 +111,12 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
     };
     // Tight subplan timeout so lost-message recovery converges well
     // within the drain window; leases on so churn heals.
+    // Tracing on: a violation's artifact carries the failing query's
+    // EXPLAIN and profile, so a red run replays with full context.
     let config = PeerConfig {
         subplan_timeout_us: Some(1_000_000),
         ad_lease_us: Some(spec.lease_us),
+        trace: true,
         ..PeerConfig::default()
     };
     let (mut net, ids) = hybrid_network(&schema, net_spec, spec.super_count, config);
@@ -177,6 +183,7 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
             report.complete += 1;
         }
         let truth = &truths[i];
+        let before = report.violations.len();
         // Soundness: no invented rows, ever.
         for row in &outcome.result.rows {
             if !truth.rows.contains(row) {
@@ -201,6 +208,21 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
                     report.replay
                 ));
             }
+        }
+        // Every fresh violation gets a replay artifact: the query's
+        // EXPLAIN plus its profile JSON, as recorded at the root.
+        for _ in before..report.violations.len() {
+            let explain = net
+                .explain(*origin, *qid)
+                .map(|e| e.render())
+                .unwrap_or_else(|| "(no explain recorded)".to_string());
+            let profile = net
+                .profile(*origin, *qid)
+                .map(|p| p.to_json())
+                .unwrap_or_else(|| "null".to_string());
+            report.artifacts.push(format!(
+                "query {i} at {origin}\n{explain}\nprofile: {profile}"
+            ));
         }
     }
     report.metrics = net.sim().metrics().clone();
@@ -241,6 +263,7 @@ mod tests {
         assert_eq!(a.partial, b.partial);
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.violations, b.violations);
+        assert_eq!(a.artifacts, b.artifacts);
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! Eight seeds × two fault profiles. The *heavy* profile runs at the
 //! acceptance bar — 20 % silent message loss with crash/restart churn.
 //! On violation the failing `(seed, fault plan)` is written to an
-//! artifact file (CI uploads it) and printed in the panic, so the exact
-//! schedule replays from the report alone.
+//! artifact file (CI uploads it) and printed in the panic, together with
+//! each failing query's EXPLAIN rendering and profile JSON (chaos runs
+//! trace), so the exact schedule replays from the report alone.
 
 use sqpeer_testkit::{run_chaos, ChaosSpec};
 use std::fs;
@@ -47,7 +48,7 @@ fn run_profile(name: &str, spec: ChaosSpec) {
     let report = run_chaos(&spec);
     if !report.holds() {
         let body = format!(
-            "profile: {name}\nseed: {}\nfault plan: {}\nanswered: {} (partial {}, complete {}), unanswered: {}\nviolations:\n{}\n",
+            "profile: {name}\nseed: {}\nfault plan: {}\nanswered: {} (partial {}, complete {}), unanswered: {}\nviolations:\n{}\n\nper-violation EXPLAIN + profile:\n{}\n",
             report.seed,
             report.replay,
             report.answered,
@@ -55,6 +56,7 @@ fn run_profile(name: &str, spec: ChaosSpec) {
             report.complete,
             report.unanswered,
             report.violations.join("\n"),
+            report.artifacts.join("\n---\n"),
         );
         let dir = artifact_dir();
         let _ = fs::create_dir_all(&dir);

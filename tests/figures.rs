@@ -259,3 +259,117 @@ fn correctness_and_completeness_claims() {
     // Completeness: every oracle row was found.
     assert_eq!(outcome.result.len(), expected.len());
 }
+
+// ======================================================================
+// Golden EXPLAIN snapshots (query-lifecycle observability)
+//
+// These pin the rendered annotated pattern (Figure 2) and the pre/post
+// optimisation plan pipeline (Figures 3–5) to byte-exact text under
+// `tests/golden/`. When an intentional change alters the output,
+// regenerate the snapshots with
+//
+//     BLESS=1 cargo test -p sqpeer --test figures golden_
+//
+// then review the diff and commit the updated files. A missing snapshot
+// fails with the same instruction.
+// ======================================================================
+
+use sqpeer::plan::{CostParams, Estimator, Explain, UniformCost};
+
+fn golden_check(name: &str, actual: &str) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");
+    let path = dir.join(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(&dir).expect("create tests/golden");
+        std::fs::write(&path, actual).expect("write snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with \
+             `BLESS=1 cargo test -p sqpeer --test figures golden_`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "golden snapshot {name} diverged; if intentional, regenerate with \
+         `BLESS=1 cargo test -p sqpeer --test figures golden_` and review the diff"
+    );
+}
+
+/// The Figure 2–5 running example compiled into an [`Explain`]: Fig 2
+/// annotation, Fig 3 generated plan, Fig 4 rewrites, Fig 5 sited plan.
+fn figure_explain(net_cost: &UniformCost) -> Explain {
+    let schema = fig1_schema();
+    let query = compile(fig1_query_text(), &schema).unwrap();
+    let ads = fig2_ads(&schema);
+    let annotated = route(&query, &ads, RoutingPolicy::SubsumedOnly);
+    let plan = generate_plan(&annotated);
+    let mut estimator = Estimator::new(CostParams::default());
+    for ad in &ads {
+        if let Some(stats) = &ad.stats {
+            estimator.set_stats(ad.peer, stats.clone());
+        }
+    }
+    let (best, report) = optimize(plan, PeerId(0), &estimator, net_cost);
+    Explain::new(&annotated, &report, &best, &estimator)
+}
+
+/// Figure 2 + Figures 3–4: annotated pattern and optimisation pipeline.
+#[test]
+fn golden_explain_figures_2_to_4() {
+    let explain = figure_explain(&UniformCost::default());
+    golden_check("explain_fig2_fig4.txt", &explain.render());
+}
+
+/// The JSON export, with per-node cost-model estimates (machine-readable
+/// twin of the text snapshot).
+#[test]
+fn golden_explain_json_export() {
+    let explain = figure_explain(&UniformCost::default());
+    golden_check("explain_fig2_fig4.json", &explain.to_json());
+}
+
+/// Figure 5: under congested links to the initiator, shipping whole join
+/// subplans (query shipping) beats data shipping; the EXPLAIN shows the
+/// changed siting decision.
+#[test]
+fn golden_explain_figure5_loaded_links() {
+    let mut cost = UniformCost::new(0.5, 0.1);
+    // Congested last mile: every link towards the initiator P0 is dear,
+    // so moving raw fetches there loses to joining near the data.
+    for p in 1..=4 {
+        cost.set_link(PeerId(0), PeerId(p), 25.0);
+    }
+    let explain = figure_explain(&cost);
+    golden_check("explain_fig5_loaded.txt", &explain.render());
+}
+
+/// End-to-end: the EXPLAIN a traced root records on the Figure 6 hybrid
+/// network matches the snapshot, and two consecutive runs agree exactly
+/// (the determinism bar for diffable snapshots).
+#[test]
+fn golden_explain_fig6_end_to_end_deterministic() {
+    let run = || {
+        let config = PeerConfig {
+            trace: true,
+            ..PeerConfig::default()
+        };
+        let (mut net, peers) = fig6_network(config);
+        let query = net
+            .compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}")
+            .unwrap();
+        let qid = net.query(peers[3], query);
+        net.run();
+        net.outcome(peers[3], qid).expect("completed");
+        let explain = net.explain(peers[3], qid).expect("explain recorded");
+        let profile = net.profile(peers[3], qid).expect("profile recorded");
+        (explain.render(), profile.render())
+    };
+    let (explain_a, profile_a) = run();
+    let (explain_b, profile_b) = run();
+    assert_eq!(explain_a, explain_b, "EXPLAIN must be run-deterministic");
+    assert_eq!(profile_a, profile_b, "profile must be run-deterministic");
+    golden_check("explain_fig6_end_to_end.txt", &explain_a);
+}

@@ -645,3 +645,198 @@ proptest! {
         prop_assert_eq!(plain, inert);
     }
 }
+
+// ----------------------------------------------------------------------
+// Trace invariants
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Tracing invariants on fault-free runs: every span closes, spans
+    /// nest properly with non-negative durations, and the recorded
+    /// `exec:answer` events agree with the profile's completeness
+    /// accounting — every dispatched subplan answered, nothing failed,
+    /// nothing missing, and the phase times partition the total.
+    #[test]
+    fn traced_run_has_nested_spans_and_consistent_answer_accounting(
+        b1 in arb_base(),
+        b2 in arb_base(),
+        (query, _) in arb_query_pair(),
+    ) {
+        use sqpeer::exec::PeerConfig;
+        let schema = fig1_schema();
+        let mut b = HybridBuilder::new(Arc::clone(&schema), 1)
+            .config(PeerConfig { trace: true, ..PeerConfig::default() });
+        let origin = b.add_peer(b1, 0);
+        let _holder = b.add_peer(b2, 0);
+        let mut net = b.build();
+        let qid = net.query(origin, query);
+        net.run();
+
+        let events = net.trace_events(origin);
+        prop_assert!(!events.is_empty(), "traced run recorded no events");
+        let nesting = spans_well_nested(&events);
+        prop_assert!(nesting.is_ok(), "span nesting violated: {:?}", nesting);
+        for ev in &events {
+            prop_assert!(
+                ev.end_us >= ev.start_us,
+                "negative duration in span {}", ev.name
+            );
+        }
+
+        let outcome = net.outcome(origin, qid);
+        prop_assert!(outcome.is_some(), "fault-free run must complete");
+        let outcome = outcome.unwrap();
+        let profile = net.profile(origin, qid).expect("tracing on records a profile");
+        let answer_events = events
+            .iter()
+            .filter(|e| e.qid == qid.0 && e.name == "exec:answer")
+            .count() as u64;
+        prop_assert_eq!(answer_events, profile.subplans_answered);
+        prop_assert_eq!(profile.subplans_answered, profile.subplans_dispatched);
+        prop_assert_eq!(profile.subplans_failed, 0);
+        prop_assert!(!outcome.partial, "fault-free run must not be partial");
+        prop_assert_eq!(profile.missing, 0);
+        prop_assert_eq!(profile.rows, outcome.result.rows.len());
+        prop_assert_eq!(
+            profile.total_us,
+            profile.routing_us + profile.planning_us + profile.execution_us
+        );
+    }
+
+    /// Transparency: with tracing disabled the recorder must be a perfect
+    /// no-op — identical outcomes and identical network metrics to a
+    /// traced run (the tracer never touches the event schedule), zero
+    /// events recorded, and no profile retained.
+    #[test]
+    fn disabled_tracing_is_transparent(
+        b1 in arb_base(),
+        b2 in arb_base(),
+        (query, _) in arb_query_pair(),
+    ) {
+        use sqpeer::exec::PeerConfig;
+        let run = |trace: bool| {
+            let schema = fig1_schema();
+            let mut b = HybridBuilder::new(Arc::clone(&schema), 1)
+                .config(PeerConfig { trace, ..PeerConfig::default() });
+            let origin = b.add_peer(b1.clone(), 0);
+            let _holder = b.add_peer(b2.clone(), 0);
+            let mut net = b.build();
+            let qid = net.query(origin, query.clone());
+            net.run();
+            let outcome = net
+                .outcome(origin, qid)
+                .map(|o| (o.result.clone().sorted(), o.partial, o.missing.clone()));
+            let events = net.trace_events(origin).len();
+            let profiled = net.profile(origin, qid).is_some();
+            (outcome, net.sim().metrics().clone(), events, profiled)
+        };
+        let (out_off, metrics_off, events_off, profiled_off) = run(false);
+        let (out_on, metrics_on, events_on, profiled_on) = run(true);
+        prop_assert_eq!(out_off, out_on, "tracing changed the answer");
+        prop_assert_eq!(metrics_off, metrics_on, "tracing changed the event schedule");
+        prop_assert_eq!(events_off, 0, "disabled tracer recorded events");
+        prop_assert!(events_on > 0, "enabled tracer recorded nothing");
+        prop_assert!(!profiled_off, "disabled tracer retained a profile");
+        prop_assert!(profiled_on, "enabled tracer retained no profile");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Replayed regressions
+// ----------------------------------------------------------------------
+//
+// The vendored `proptest` stand-in does not replay
+// `properties.proptest-regressions`, so the shrunk cases recorded there
+// are reconstructed here as plain tests (CI runs the `regression_`
+// filter before the generative suite). Each replays the full pipeline
+// check from `plan_rewrites_preserve_semantics` and
+// `distributed_answers_are_sound_and_complete_vs_oracle`.
+
+/// A Figure 1 base from `(property, subject, object)` triples, with
+/// typing derived from the property signature exactly as `arb_base` does.
+fn base_of(triples: &[(&str, u32, u32)]) -> DescriptionBase {
+    let schema = fig1_schema();
+    let mut base = DescriptionBase::new(Arc::clone(&schema));
+    for &(p, s, o) in triples {
+        let prop = schema.property_by_name(p).unwrap();
+        base.insert_described(Triple::new(
+            Resource::new(format!("http://r/{s}")),
+            prop,
+            Node::Resource(Resource::new(format!("http://r/{o}"))),
+        ));
+    }
+    base
+}
+
+/// Replays one shrunk case: the three pipeline stages agree, every
+/// distributed row appears in the oracle answer, and (unless the query
+/// narrows a pattern below its property signature — the documented
+/// cross-peer type-inference deviation) the answer is complete.
+fn check_regression_case(bases: &[DescriptionBase], text: &str) {
+    let schema = fig1_schema();
+    let q = compile(text, &schema).unwrap();
+    let ads = ads_from_bases(bases);
+    let annotated = route(&q, &ads, RoutingPolicy::SubsumedOnly);
+    let plan1 = generate_plan(&annotated);
+    let plan2 = distribute_joins(flatten_joins(plan1.clone()));
+    let plan3 = merge_same_peer(flatten_joins(plan2.clone()));
+    let projection: Vec<String> = q
+        .projection()
+        .iter()
+        .map(|&v| q.var_name(v).to_string())
+        .collect();
+    let norm = |p: &PlanNode| row_set(&interpret(p, bases).project(&projection));
+    let distributed = norm(&plan1);
+    assert_eq!(distributed, norm(&plan2), "distribution changed semantics");
+    assert_eq!(
+        distributed,
+        norm(&plan3),
+        "same-peer merge changed semantics"
+    );
+
+    let mut oracle = DescriptionBase::new(Arc::clone(&schema));
+    for b in bases {
+        oracle.absorb(b);
+    }
+    let expected = row_set(&evaluate(&q, &oracle));
+    for row in &distributed {
+        assert!(expected.contains(row), "spurious row {row:?}");
+    }
+    let narrowed = q.patterns().iter().any(|pat| {
+        let def = schema.property(pat.property);
+        pat.subject.class != Some(def.domain)
+            || match def.range {
+                sqpeer::rdfs::Range::Class(c) => pat.object.class != Some(c),
+                sqpeer::rdfs::Range::Literal(_) => pat.object.class.is_some(),
+            }
+    });
+    if !narrowed {
+        assert_eq!(distributed, expected, "distributed answer incomplete");
+    }
+}
+
+/// Shrunk case 1 (cc a1a7336a…): a single base where the only `C5`
+/// typing evidence for `r/1` comes from a `prop4` triple, queried with
+/// the narrowed pattern `{X;C5}prop1{Y}`. Historically exposed a
+/// narrowed-pattern completeness miscount in the pipeline check.
+#[test]
+fn regression_narrowed_subject_with_subproperty_typing_evidence() {
+    let base = base_of(&[("prop4", 1, 2), ("prop1", 1, 0)]);
+    check_regression_case(&[base], "SELECT X, Y FROM {X;C5}prop1{Y}");
+}
+
+/// Shrunk case 2 (cc ced87359…): a three-pattern chain whose middle hop
+/// lives only on peer 1 while the outer hops live only on peer 2, all
+/// over the single resource `r/0`. Historically exposed a same-peer
+/// merge bug on chains split across peers.
+#[test]
+fn regression_three_pattern_chain_split_across_two_peers() {
+    let b1 = base_of(&[("prop2", 0, 0)]);
+    let b2 = base_of(&[("prop1", 0, 0), ("prop3", 0, 0)]);
+    check_regression_case(
+        &[b1, b2],
+        "SELECT X, Y FROM {X}prop1{Y}, {Y}prop2{Z}, {Z}prop3{W}",
+    );
+}
