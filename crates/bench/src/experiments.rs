@@ -91,6 +91,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
             "e18",
             "tracing overhead: span recorder disabled vs enabled on a full workload",
         ),
+        (
+            "e19",
+            "telemetry: slow-channel detection latency vs timeout, and registry overhead",
+        ),
     ]
 }
 
@@ -115,6 +119,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e16" => e16(),
         "e17" => e17(),
         "e18" => e18(),
+        "e19" => e19(),
         _ => return None,
     })
 }
@@ -2080,6 +2085,280 @@ fn e18() -> String {
     }
     out.push_str(&format!(
         "\nacceptance: disabled-tracing overhead {:+.2} % \u{2264} 3 % budget.\n",
+        overhead_disabled * 100.0
+    ));
+    out
+}
+
+/// E19 — overlay telemetry (§2.5): how much earlier the windowed
+/// throughput probe catches a degraded-but-alive channel than the
+/// timeout does, and what the per-link registry costs when it is off.
+fn e19() -> String {
+    use sqpeer::exec::{Msg, QueryId, SlowChannelPolicy};
+    use sqpeer_testkit::fixtures::{base_with, fig1_schema as fixture_schema};
+    use sqpeer_testkit::{hybrid_network, random_chain_query};
+    use std::time::Instant;
+
+    // ------------------------------------------------------------------
+    // Part 1 — detection latency, in virtual time. P1 routes its single
+    // subplan to a live-but-starved holder (seconds of processing before
+    // the first byte flows) and must fall back to a fast replica. The
+    // telemetry probe observes the dead channel window and replans;
+    // without a policy, only the subplan timeout fires.
+    // ------------------------------------------------------------------
+    const TIMEOUT_US: u64 = 2_000_000;
+
+    // Returns (detection virtual µs from dispatch, query latency µs,
+    // slow-channel replans, timeout replans).
+    fn detect(policy: Option<SlowChannelPolicy>) -> (u64, u64, usize, usize) {
+        let schema = fixture_schema();
+        let mut sim: Simulator<PeerNode> = Simulator::default();
+        let adhoc = PeerConfig {
+            mode: PeerMode::Adhoc,
+            optimize: false,
+            ..PeerConfig::default()
+        };
+        let root_config = PeerConfig {
+            subplan_timeout_us: Some(TIMEOUT_US),
+            slow_channel: policy,
+            trace: true,
+            phased: true,
+            limits: sqpeer::routing::RoutingLimits::top(1),
+            ..adhoc.clone()
+        };
+        let mut root = PeerNode::simple(PeerId(1), base_with(&schema, &[]), root_config);
+        // Starved enough that even the full retry ladder (2 s, then 4 s
+        // and 8 s backoffs) exhausts before the first byte flows.
+        let starved_config = PeerConfig {
+            processing_us_per_row: 30_000_000,
+            ..adhoc.clone()
+        };
+        let starved = PeerNode::simple(
+            PeerId(2),
+            base_with(&schema, &[("http://a", "prop1", "http://b")]),
+            starved_config,
+        );
+        let replica = PeerNode::simple(
+            PeerId(3),
+            base_with(&schema, &[("http://a", "prop1", "http://b")]),
+            adhoc,
+        );
+        root.registry.register(starved.own_advertisement().unwrap());
+        root.registry.register(replica.own_advertisement().unwrap());
+        sim.add_node(NodeId(1), root);
+        sim.add_node(NodeId(2), starved);
+        sim.add_node(NodeId(3), replica);
+        sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+        let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
+        let qid = QueryId(19);
+        let msg = Msg::ClientQuery { qid, query };
+        let bytes = msg.wire_size();
+        sim.inject(NodeId(99), NodeId(1), msg, bytes);
+        sim.run_to_quiescence();
+
+        let root = sim.node(NodeId(1)).unwrap();
+        let outcome = root.outcomes.get(&qid).expect("query completed");
+        assert_eq!(outcome.result.len(), 1, "the replica must answer");
+        let events = root.trace_events_for(qid);
+        let dispatched = events
+            .iter()
+            .filter(|e| e.name == "exec:dispatch")
+            .map(|e| e.start_us)
+            .min()
+            .expect("dispatch span recorded");
+        // Both triggers log their observation as a `t=<N>us …` line in
+        // the EXPLAIN adaptation record — the triggering window itself.
+        let adaptation = root.explain(qid).expect("explain recorded").adaptation;
+        let trigger_at = adaptation
+            .first()
+            .and_then(|l| l.strip_prefix("t="))
+            .and_then(|l| l.split("us").next())
+            .and_then(|n| n.parse::<u64>().ok())
+            .expect("adaptation line with trigger time");
+        let m = sim.metrics();
+        (
+            trigger_at - dispatched,
+            outcome.latency_us,
+            m.slow_channel_replans(),
+            m.timeout_replans(),
+        )
+    }
+
+    let (telemetry_detect, telemetry_latency, slow_replans, t_timeouts) =
+        detect(Some(SlowChannelPolicy::default()));
+    let (timeout_detect, timeout_latency, no_slow, timeout_replans) = detect(None);
+    assert_eq!(slow_replans, 1, "the probe must fire exactly once");
+    assert_eq!(t_timeouts, 0, "the probe must pre-empt the timeout");
+    assert_eq!(no_slow, 0, "no policy, no probe");
+    assert_eq!(timeout_replans, 1, "the timeout must fire instead");
+    // Acceptance: telemetry catches the degraded channel strictly earlier
+    // (virtual time) than the timeout.
+    assert!(
+        telemetry_detect < timeout_detect,
+        "telemetry must detect before the timeout \
+         ({telemetry_detect} vs {timeout_detect} µs)"
+    );
+
+    // ------------------------------------------------------------------
+    // Part 2 — registry overhead, modeled on E18: telemetry-off twice
+    // (baseline + measured "disabled" — the acceptance bar) and
+    // telemetry-on once, over a full hybrid workload.
+    // ------------------------------------------------------------------
+    const PEERS: usize = 14;
+    const QUERIES: usize = 36;
+    const REPS: usize = 5;
+
+    fn pass(telemetry: bool) -> (Vec<(usize, bool)>, f64) {
+        let schema = community_schema(SchemaSpec::default(), 0x19);
+        let spec = NetworkSpec {
+            peers: PEERS,
+            seed: 19,
+            ..NetworkSpec::default()
+        };
+        let (mut net, ids) = hybrid_network(&schema, spec, 2, PeerConfig::default());
+        if telemetry {
+            net.enable_telemetry(sqpeer::net::DEFAULT_WINDOW_US);
+        }
+        let mut rng = StdRng::seed_from_u64(0x19C0_FFEE);
+        let mut queries = Vec::new();
+        while queries.len() < QUERIES {
+            match random_chain_query(&schema, 1 + queries.len() % 2, &mut rng) {
+                Some(q) => queries.push(q),
+                None => break,
+            }
+        }
+        let t = Instant::now();
+        let mut injected: Vec<(PeerId, QueryId)> = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let origin = ids[i % ids.len()];
+            let qid = net.query(origin, q.clone());
+            injected.push((origin, qid));
+        }
+        net.run();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        if telemetry {
+            let snapshot = net.telemetry_snapshot().expect("telemetry enabled");
+            assert!(
+                snapshot.render().contains("sqpeer_link_messages_total"),
+                "exposition must carry link counters"
+            );
+        } else {
+            assert!(net.telemetry_snapshot().is_none(), "off means off");
+        }
+        let digest = injected
+            .iter()
+            .map(|(o, qid)| {
+                net.outcome(*o, *qid)
+                    .map(|oc| (oc.result.len(), oc.partial))
+                    .unwrap_or((usize::MAX, true))
+            })
+            .collect();
+        (digest, ms)
+    }
+
+    fn best_of(telemetry: bool, reps: usize) -> (Vec<(usize, bool)>, f64) {
+        let mut best = f64::INFINITY;
+        let mut digest = Vec::new();
+        for _ in 0..reps {
+            let (d, ms) = pass(telemetry);
+            if !digest.is_empty() {
+                assert_eq!(d, digest, "runs of one setting must agree");
+            }
+            digest = d;
+            best = best.min(ms);
+        }
+        (digest, best)
+    }
+
+    let (base_digest, baseline_ms) = best_of(false, REPS);
+    let (off_digest, disabled_ms) = best_of(false, REPS);
+    let (on_digest, enabled_ms) = best_of(true, REPS);
+    assert_eq!(base_digest, off_digest, "telemetry-off runs must agree");
+    assert_eq!(base_digest, on_digest, "telemetry changed query answers");
+
+    let overhead_disabled = (disabled_ms - baseline_ms) / baseline_ms;
+    let overhead_enabled = (enabled_ms - baseline_ms) / baseline_ms;
+    assert!(
+        overhead_disabled <= 0.03,
+        "disabled-telemetry overhead {:.2}% exceeds the 3% budget \
+         (baseline {baseline_ms:.2} ms, disabled {disabled_ms:.2} ms)",
+        overhead_disabled * 100.0
+    );
+
+    let mut out = format!(
+        "E19: overlay telemetry \u{2014} detection latency and registry cost\n\n\
+         Part 1: a live-but-starved subplan holder (30 s/row processing)\n\
+         with a fast replica behind it; subplan timeout {} ms. Virtual-time\n\
+         from dispatch to the replan trigger:\n\n",
+        TIMEOUT_US / 1_000
+    );
+    let mut table = Table::new(&["trigger", "detected after", "query latency", "replans"]);
+    table.row(vec![
+        "telemetry probe (windowed throughput)".into(),
+        ms(telemetry_detect),
+        ms(telemetry_latency),
+        format!("{slow_replans} slow-channel"),
+    ]);
+    table.row(vec![
+        "subplan timeout".into(),
+        ms(timeout_detect),
+        ms(timeout_latency),
+        format!("{timeout_replans} timeout"),
+    ]);
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nthe probe cut detection from {} to {} of virtual time \u{2014} \
+         {:.1}\u{00d7} earlier.\n",
+        ms(timeout_detect),
+        ms(telemetry_detect),
+        timeout_detect as f64 / telemetry_detect as f64
+    ));
+
+    out.push_str(&format!(
+        "\nPart 2: per-link registry cost on {QUERIES} chain queries over a\n\
+         {PEERS}-peer hybrid SON, best-of-{REPS} wall-clock (as E18):\n\n"
+    ));
+    let mut table = Table::new(&["configuration", "wall ms", "vs baseline"]);
+    table.row(vec![
+        "telemetry off (baseline)".into(),
+        format!("{baseline_ms:.2}"),
+        "\u{2014}".into(),
+    ]);
+    table.row(vec![
+        "telemetry off (disabled, measured)".into(),
+        format!("{disabled_ms:.2}"),
+        format!("{:+.2} %", overhead_disabled * 100.0),
+    ]);
+    table.row(vec![
+        "telemetry on (histograms + windows)".into(),
+        format!("{enabled_ms:.2}"),
+        format!("{:+.2} %", overhead_enabled * 100.0),
+    ]);
+    out.push_str(&table.render());
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e19\",\n  \
+         \"telemetry_detect_us\": {telemetry_detect},\n  \
+         \"timeout_detect_us\": {timeout_detect},\n  \
+         \"telemetry_latency_us\": {telemetry_latency},\n  \
+         \"timeout_latency_us\": {timeout_latency},\n  \
+         \"peers\": {PEERS},\n  \"queries\": {QUERIES},\n  \"reps\": {REPS},\n  \
+         \"baseline_ms\": {baseline_ms:.3},\n  \"disabled_ms\": {disabled_ms:.3},\n  \
+         \"enabled_ms\": {enabled_ms:.3},\n  \
+         \"overhead_disabled_pct\": {:.3},\n  \"overhead_enabled_pct\": {:.3},\n  \
+         \"answers_identical\": true,\n  \"budget_pct\": 3.0\n}}\n",
+        overhead_disabled * 100.0,
+        overhead_enabled * 100.0,
+    );
+    match std::fs::write("BENCH_e19.json", &json) {
+        Ok(()) => out.push_str("\nwrote BENCH_e19.json\n"),
+        Err(e) => out.push_str(&format!("\ncould not write BENCH_e19.json: {e}\n")),
+    }
+    out.push_str(&format!(
+        "\nacceptance: telemetry detection strictly earlier than timeout \
+         ({} < {}); disabled-telemetry overhead {:+.2} % \u{2264} 3 % budget.\n",
+        ms(telemetry_detect),
+        ms(timeout_detect),
         overhead_disabled * 100.0
     ));
     out

@@ -60,8 +60,8 @@ pub use sqpeer_trace as trace;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use sqpeer_exec::{PeerConfig, PeerMode, PeerNode, QueryId};
-    pub use sqpeer_net::{LinkSpec, NodeId, Simulator};
+    pub use sqpeer_exec::{PeerConfig, PeerMode, PeerNode, QueryId, SlowChannelPolicy};
+    pub use sqpeer_net::{LinkSpec, NodeId, Simulator, TelemetryRegistry};
     pub use sqpeer_overlay::{AdhocBuilder, AdhocNetwork, HybridBuilder, HybridNetwork};
     pub use sqpeer_plan::{generate_plan, optimize, Explain, PlanNode, Site};
     pub use sqpeer_rdfs::{
@@ -72,7 +72,9 @@ pub mod prelude {
     pub use sqpeer_rql::{compile, evaluate, evaluate_reference, QueryPattern, ResultSet};
     pub use sqpeer_rvl::{ActiveSchema, ViewDefinition, VirtualBase};
     pub use sqpeer_store::DescriptionBase;
-    pub use sqpeer_trace::{spans_well_nested, QueryProfile, TraceEvent, Tracer};
+    pub use sqpeer_trace::{
+        spans_well_nested, stitched_well_nested, QueryProfile, TraceEvent, Tracer,
+    };
 
     pub use crate::LocalPeer;
 }

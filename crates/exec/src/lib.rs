@@ -22,11 +22,11 @@ pub mod msg;
 pub mod peer;
 
 pub use local::{default_workers, eval_local, eval_local_threads};
-pub use msg::{Msg, QueryId, QueryOutcome};
-pub use peer::{BaseKind, PeerConfig, PeerMode, PeerNode, Role};
+pub use msg::{Msg, QueryId, QueryOutcome, TraceCtx};
+pub use peer::{BaseKind, PeerConfig, PeerMode, PeerNode, Role, SlowChannelPolicy};
 pub use sqpeer_cache::{CacheConfig, CacheStats};
 pub use sqpeer_plan::Explain;
-pub use sqpeer_trace::{spans_well_nested, QueryProfile, TraceEvent, Tracer};
+pub use sqpeer_trace::{spans_well_nested, stitched_well_nested, QueryProfile, TraceEvent, Tracer};
 
 /// Maps a routing-level [`PeerId`](sqpeer_routing::PeerId) onto its
 /// simulator node (the two id spaces coincide by construction).

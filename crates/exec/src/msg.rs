@@ -35,6 +35,21 @@ pub struct QueryOutcome {
     pub missing: Vec<sqpeer_routing::PeerId>,
 }
 
+/// Compact cross-peer trace context piggybacked on subplan envelopes
+/// when the dispatching root traces (the query id travels in the message
+/// itself). Remote peers use it to record serve spans that stitch into
+/// the root's trace: `origin` names the trace owner and
+/// `parent_start_us` is the open time of the dispatching span — the
+/// causal lower bound `sqpeer_trace::stitched_well_nested` validates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The root peer whose trace owns the stitched tree.
+    pub origin: sqpeer_routing::PeerId,
+    /// Virtual µs at which the dispatching (parent) span opened at the
+    /// origin.
+    pub parent_start_us: u64,
+}
+
 /// Messages exchanged between peers (and injected by client-peers).
 #[derive(Debug, Clone)]
 pub enum Msg {
@@ -109,6 +124,10 @@ pub enum Msg {
         /// network duplicates are served once while genuine retries
         /// re-evaluate.
         attempt: u32,
+        /// Cross-peer trace propagation: present iff the dispatching
+        /// root traces, so untraced runs stay byte-identical on the
+        /// wire.
+        trace: Option<TraceCtx>,
     },
     /// A data packet streaming a subplan result dest → root (§2.4).
     Data {
@@ -193,7 +212,9 @@ impl Msg {
                     .sum();
                 64 + 32 * anns + 8 * missing.len()
             }
-            Msg::Subplan { plan, .. } => 96 + 80 * plan.fetch_count(),
+            Msg::Subplan { plan, trace, .. } => {
+                96 + 80 * plan.fetch_count() + if trace.is_some() { 16 } else { 0 }
+            }
             Msg::Data { result, stats, .. } => {
                 48 + result.wire_size() + if stats.is_some() { 64 } else { 0 }
             }

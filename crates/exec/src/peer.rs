@@ -133,6 +133,49 @@ pub struct PeerConfig {
     /// branch-and-return (zero allocation — bench E18 pins the overhead
     /// at ≤3 %) and query answers are bit-identical to a trace-on run.
     pub trace: bool,
+    /// Telemetry-driven adaptation (§2.5: "the optimizer may alter a
+    /// running query plan by observing the throughput of a certain
+    /// channel"): the root probes each outstanding subplan's windowed
+    /// throughput and replans a channel whose observed rate falls below
+    /// the policy floor — **before** the subplan timeout would fire.
+    /// `None` (the default) keeps adaptation purely timeout-driven.
+    pub slow_channel: Option<SlowChannelPolicy>,
+}
+
+/// Throughput floor for the telemetry-driven slow-channel trigger.
+///
+/// A probe observes the bytes a channel delivered to the root inside its
+/// lifetime window and compares the windowed rate against
+/// `expected_bytes_per_ms × min_fraction_permille / 1000`, where the
+/// expected rate is scaled down by the [`UniformCost`] per-byte link
+/// override towards the destination (a link the cost model prices at 3×
+/// the default per-byte cost is expected to deliver a third of the
+/// bytes per millisecond).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlowChannelPolicy {
+    /// Virtual µs between throughput probes of one outstanding subplan.
+    pub probe_interval_us: u64,
+    /// Grace period after dispatch before the first probe: one network
+    /// round-trip plus service must plausibly fit, or every dispatch
+    /// would look silent.
+    pub grace_us: u64,
+    /// Expected healthy channel rate in bytes per virtual millisecond
+    /// (the default matches [`sqpeer_net::LinkSpec::default`]'s
+    /// bandwidth).
+    pub expected_bytes_per_ms: u64,
+    /// Trigger floor as a fraction of the expected rate, in permille.
+    pub min_fraction_permille: u64,
+}
+
+impl Default for SlowChannelPolicy {
+    fn default() -> Self {
+        SlowChannelPolicy {
+            probe_interval_us: 500_000,
+            grace_us: 100_000,
+            expected_bytes_per_ms: 1_000,
+            min_fraction_permille: 10,
+        }
+    }
 }
 
 impl PeerConfig {
@@ -164,6 +207,7 @@ impl Default for PeerConfig {
             cost_model: None,
             cache: Some(CacheConfig::default()),
             trace: false,
+            slow_channel: None,
         }
     }
 }
@@ -397,6 +441,23 @@ struct PendingRemote {
     visited: Vec<PeerId>,
     /// At-least-once attempts sent so far (0 = original dispatch only).
     attempt: u32,
+    /// Virtual µs the subplan was first dispatched — the start of the
+    /// throughput window the slow-channel probes observe.
+    dispatched_at_us: u64,
+    /// Result bytes received on this channel so far (streamed batches
+    /// included) — the numerator of the windowed throughput.
+    bytes_observed: u64,
+}
+
+/// Why a re-plan fired, for cause-attributed adaptation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReplanCause {
+    /// A sender-side delivery-failure notification (destination down).
+    Delivery,
+    /// A subplan timeout with retries exhausted.
+    Timeout,
+    /// The telemetry windowed-throughput floor (slow-but-alive channel).
+    SlowChannel,
 }
 
 /// The peer node: state machine over the simulated network.
@@ -442,6 +503,9 @@ pub struct PeerNode {
     delayed: HashMap<u64, (Completion, ResultSet, bool)>,
     /// Subplan-timeout timers: timer id → outstanding tag.
     timeouts: HashMap<u64, u64>,
+    /// Slow-channel probe timers (armed only with `config.slow_channel`
+    /// set): timer id → outstanding tag.
+    probes: HashMap<u64, u64>,
     /// Subplans waiting for a processing slot (FIFO).
     slot_queue: std::collections::VecDeque<(Channel, QueryId, u64, PlanNode, Vec<PeerId>)>,
     /// Partially received streamed results, keyed by outstanding tag:
@@ -508,6 +572,7 @@ impl PeerNode {
             route_relays: HashMap::new(),
             delayed: HashMap::new(),
             timeouts: HashMap::new(),
+            probes: HashMap::new(),
             slot_queue: std::collections::VecDeque::new(),
             streams: HashMap::new(),
             next_timer: 0,
@@ -968,7 +1033,12 @@ impl PeerNode {
             }
             None => {
                 let (plan, explain) = self.build_plan(&annotated, qid, now);
-                if let Some(explain) = explain {
+                if let Some(mut explain) = explain {
+                    // Re-plans produce a fresh Explain for the new plan;
+                    // the adaptation log survives across phases.
+                    if let Some(prev) = self.explains.remove(&qid) {
+                        explain.adaptation = prev.adaptation;
+                    }
                     self.explains.insert(qid, explain);
                 }
                 if let Some(cache) = &self.cache {
@@ -1201,6 +1271,8 @@ impl PeerNode {
                 plan: plan.clone(),
                 visited: visited.clone(),
                 attempt: 0,
+                dispatched_at_us: ctx.now_us(),
+                bytes_observed: 0,
             },
         );
         if let Some(timeout) = self.config.subplan_timeout_us {
@@ -1209,6 +1281,17 @@ impl PeerNode {
             self.timeouts.insert(timer, tag);
             ctx.set_timer(timeout, timer);
         }
+        // Telemetry-driven adaptation probes the channel's throughput
+        // window well before the timeout would fire (root side only —
+        // forwarding peers leave slow channels to their own roots).
+        if let Some(policy) = self.config.slow_channel {
+            if self.rooted.contains_key(&qid) {
+                let timer = self.next_timer;
+                self.next_timer += 1;
+                self.probes.insert(timer, tag);
+                ctx.set_timer(policy.grace_us + policy.probe_interval_us, timer);
+            }
+        }
         let msg = Msg::Subplan {
             channel,
             qid,
@@ -1216,6 +1299,10 @@ impl PeerNode {
             plan,
             visited,
             attempt: 0,
+            trace: self.config.trace.then_some(crate::msg::TraceCtx {
+                origin: self.id,
+                parent_start_us: ctx.now_us(),
+            }),
         };
         let bytes = msg.wire_size();
         if let Some(root) = self.rooted.get_mut(&qid) {
@@ -1257,6 +1344,10 @@ impl PeerNode {
             channel,
             qid,
             tag,
+            trace: self.config.trace.then_some(crate::msg::TraceCtx {
+                origin: self.id,
+                parent_start_us: ctx.now_us(),
+            }),
             plan,
             visited,
             attempt,
@@ -1529,7 +1620,92 @@ impl PeerNode {
     // Run-time adaptation (§2.5)
     // ------------------------------------------------------------------
 
-    fn adapt_or_give_up(&mut self, ctx: &mut Ctx<Msg>, qid: QueryId, culprit: Option<PeerId>) {
+    /// Bumps the cause-attributed replan counter (alongside the total
+    /// counted by `note_replan`), so chaos/experiment reports can say
+    /// *why* adaptation fired.
+    fn note_replan_cause(ctx: &mut Ctx<Msg>, cause: ReplanCause) {
+        match cause {
+            ReplanCause::Timeout => ctx.note_timeout_replan(),
+            ReplanCause::SlowChannel => ctx.note_slow_replan(),
+            ReplanCause::Delivery => {}
+        }
+    }
+
+    /// Appends one observation line to the query's EXPLAIN adaptation
+    /// log (§2.5) — no-op unless tracing captured an Explain.
+    fn note_adaptation(&mut self, qid: QueryId, line: impl FnOnce() -> String) {
+        if let Some(explain) = self.explains.get_mut(&qid) {
+            explain.adaptation.push(line());
+        }
+    }
+
+    /// One telemetry probe of an outstanding subplan's channel: compares
+    /// the throughput observed over the channel's lifetime window against
+    /// the policy floor, and abandons a degraded-but-alive channel
+    /// **before** its timeout would fire (§2.5: "the optimizer may alter
+    /// a running query plan by observing the throughput of a certain
+    /// channel"). A healthy (or not yet conclusive) channel re-arms the
+    /// probe; an answered subplan retires it silently.
+    fn probe_channel(&mut self, ctx: &mut Ctx<Msg>, tag: u64) {
+        let Some(policy) = self.config.slow_channel else {
+            return;
+        };
+        let Some(pending) = self.outstanding.get(&tag) else {
+            return;
+        };
+        let (qid, dest) = (pending.qid, pending.dest);
+        let bytes = pending.bytes_observed;
+        let window_us = ctx.now_us().saturating_sub(pending.dispatched_at_us).max(1);
+        // Expected rate, scaled by the cost model's pricing of this link:
+        // a link the model prices at n× the default per-byte cost is
+        // expected to deliver 1/n of the bytes per millisecond.
+        let expected = match &self.config.cost_model {
+            Some(cost) if cost.per_byte > 0.0 => {
+                use sqpeer_plan::NetworkCost as _;
+                let relative =
+                    cost.transfer(Site::Peer(self.id), Site::Peer(dest), 1.0) / cost.per_byte;
+                (policy.expected_bytes_per_ms as f64 / relative.max(f64::MIN_POSITIVE)) as u64
+            }
+            _ => policy.expected_bytes_per_ms,
+        };
+        let floor_bpms = (expected * policy.min_fraction_permille / 1_000).max(1);
+        let observed_bpms = bytes * 1_000 / window_us;
+        if observed_bpms >= floor_bpms {
+            let timer = self.next_timer;
+            self.next_timer += 1;
+            self.probes.insert(timer, tag);
+            ctx.set_timer(policy.probe_interval_us, timer);
+            return;
+        }
+        let now = ctx.now_us();
+        self.tracer
+            .get_mut()
+            .event_with(now, qid.0, "exec:slow-channel", || {
+                format!(
+                    "subplan tag {tag} → {dest}: window {bytes}B/{window_us}us = \
+                     {observed_bpms} B/ms below floor {floor_bpms} B/ms — replanning \
+                     before timeout"
+                )
+            });
+        self.note_adaptation(qid, || {
+            format!(
+                "t={now}us slow channel to {dest}: window {bytes}B/{window_us}us = \
+                 {observed_bpms} B/ms < floor {floor_bpms} B/ms — replanned before timeout"
+            )
+        });
+        let pending = self.outstanding.remove(&tag).expect("checked above");
+        self.channels.fail_towards(node_of(dest));
+        self.channels.sweep();
+        self.handle_lost_subplan(ctx, pending, ReplanCause::SlowChannel);
+    }
+
+    fn adapt_or_give_up(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        qid: QueryId,
+        culprit: Option<PeerId>,
+        cause: ReplanCause,
+    ) {
         let Some(root) = self.rooted.get_mut(&qid) else {
             return;
         };
@@ -1546,6 +1722,7 @@ impl PeerNode {
         }
         root.replans += 1;
         ctx.note_replan();
+        Self::note_replan_cause(ctx, cause);
         // ubQL semantics: discard all intermediate results and on-going
         // computations, then re-run routing + processing.
         let stale_frames: Vec<u64> = self
@@ -1564,7 +1741,12 @@ impl PeerNode {
     /// Common handling for a subplan lost to a failed destination or a
     /// too-slow channel: phased repair, full re-plan, or graceful partial
     /// degradation, per configuration.
-    fn handle_lost_subplan(&mut self, ctx: &mut Ctx<Msg>, pending: PendingRemote) {
+    fn handle_lost_subplan(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        pending: PendingRemote,
+        cause: ReplanCause,
+    ) {
         let qid = pending.qid;
         let failed_peer = pending.dest;
         if let Some(root) = self.rooted.get_mut(&qid) {
@@ -1581,10 +1763,10 @@ impl PeerNode {
             // on a subplan and not on the whole query plan"): everything
             // else keeps running; only the lost fragment is re-routed.
             let plan = pending.plan.clone();
-            self.repair_subplan(ctx, qid, failed_peer, plan, pending);
+            self.repair_subplan(ctx, qid, failed_peer, plan, pending, cause);
         } else if is_root && self.config.adaptive {
             // ubQL semantics: discard everything and re-plan.
-            self.adapt_or_give_up(ctx, qid, Some(failed_peer));
+            self.adapt_or_give_up(ctx, qid, Some(failed_peer), cause);
         } else {
             // Static execution (or an intermediate peer): the lost branch
             // becomes an empty partial slot and the rest of the plan
@@ -1608,6 +1790,7 @@ impl PeerNode {
         failed: PeerId,
         plan: PlanNode,
         pending: PendingRemote,
+        cause: ReplanCause,
     ) {
         let excluded: Vec<PeerId> = {
             let Some(root) = self.rooted.get_mut(&qid) else {
@@ -1622,6 +1805,7 @@ impl PeerNode {
             root.excluded.iter().copied().collect()
         };
         ctx.note_replan();
+        Self::note_replan_cause(ctx, cause);
         // Every trace of the failed peer becomes a hole / unsited join.
         let holed = strip_peer(plan, failed);
         let repaired = self.fill_holes(holed, &excluded, ctx.now_us(), qid.0);
@@ -1645,6 +1829,7 @@ impl PeerNode {
     // Serving subplans (destination side)
     // ------------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn serve_subplan(
         &mut self,
         ctx: &mut Ctx<Msg>,
@@ -1653,7 +1838,23 @@ impl PeerNode {
         tag: u64,
         plan: PlanNode,
         mut visited: Vec<PeerId>,
+        trace_ctx: Option<crate::msg::TraceCtx>,
     ) {
+        // Cross-peer trace stitching: the shipped context names the trace
+        // owner, so this peer's serve events (recorded under the root's
+        // qid) splice into the root's tree — `stitched_well_nested`
+        // checks them against the origin's dispatch time. Queue re-entries
+        // pass `None` so admission retries don't double-record.
+        if let Some(tc) = trace_ctx {
+            self.tracer
+                .get_mut()
+                .event_with(ctx.now_us(), qid.0, "exec:serve", || {
+                    format!(
+                        "subplan tag {tag} for root {} (dispatched t={}us)",
+                        tc.origin, tc.parent_start_us
+                    )
+                });
+        }
         // Slot admission (§2.5): with every slot busy the subplan queues
         // until a running local evaluation finishes.
         if let Some(slots) = self.config.slots {
@@ -1936,6 +2137,7 @@ impl NodeLogic for PeerNode {
                 plan,
                 visited,
                 attempt,
+                trace,
             } => {
                 // Idempotent receive: duplicates of an attempt already
                 // seen are dropped (their answer is already on the wire
@@ -1946,7 +2148,7 @@ impl NodeLogic for PeerNode {
                     return;
                 }
                 self.served.insert(key, attempt);
-                self.serve_subplan(ctx, channel, qid, tag, plan, visited);
+                self.serve_subplan(ctx, channel, qid, tag, plan, visited, trace);
             }
             Msg::Data {
                 qid,
@@ -1968,6 +2170,12 @@ impl NodeLogic for PeerNode {
                 if !self.outstanding.contains_key(&tag) {
                     self.streams.remove(&tag);
                     return;
+                }
+                if let Some(pending) = self.outstanding.get_mut(&tag) {
+                    // Throughput accounting for the slow-channel probes:
+                    // every packet (streamed batches included) counts as
+                    // progress on this channel's window.
+                    pending.bytes_observed += result.wire_size() as u64 + 48;
                 }
                 // Reassemble streamed batches; they may arrive out of
                 // order (smaller packets travel faster).
@@ -2021,7 +2229,7 @@ impl NodeLogic for PeerNode {
                             format!("subplan tag {tag} failed at {}", pending.dest)
                         });
                     if self.rooted.contains_key(&qid) && self.config.adaptive {
-                        self.adapt_or_give_up(ctx, qid, Some(pending.dest));
+                        self.adapt_or_give_up(ctx, qid, Some(pending.dest), ReplanCause::Delivery);
                     } else {
                         let empty = ResultSet::empty(pending.columns);
                         self.fill_slot(ctx, pending.frame, pending.slot, empty, true);
@@ -2058,6 +2266,7 @@ impl NodeLogic for PeerNode {
         self.route_relays.clear();
         self.delayed.clear();
         self.timeouts.clear();
+        self.probes.clear();
         self.slot_queue.clear();
         self.streams.clear();
         self.served.clear();
@@ -2106,8 +2315,12 @@ impl NodeLogic for PeerNode {
             self.complete(ctx, completion, result, partial);
             // A slot freed: admit the next queued subplan, if any.
             if let Some((channel, qid, tag, plan, visited)) = self.slot_queue.pop_front() {
-                self.serve_subplan(ctx, channel, qid, tag, plan, visited);
+                self.serve_subplan(ctx, channel, qid, tag, plan, visited, None);
             }
+            return;
+        }
+        if let Some(tag) = self.probes.remove(&timer) {
+            self.probe_channel(ctx, tag);
             return;
         }
         if let Some(tag) = self.timeouts.remove(&timer) {
@@ -2140,9 +2353,17 @@ impl NodeLogic for PeerNode {
             } else if let Some(pending) = self.outstanding.remove(&tag) {
                 // Retries exhausted: treat the destination as gone, adapt
                 // (§2.5), and garbage-collect the dead channel entries.
+                let now = ctx.now_us();
+                self.note_adaptation(timed_out_qid, || {
+                    format!(
+                        "t={now}us timeout: subplan tag {tag} at {} abandoned after {} attempts — replanned",
+                        pending.dest,
+                        pending.attempt + 1
+                    )
+                });
                 self.channels.fail_towards(node_of(pending.dest));
                 self.channels.sweep();
-                self.handle_lost_subplan(ctx, pending);
+                self.handle_lost_subplan(ctx, pending, ReplanCause::Timeout);
             }
         }
     }
@@ -2158,10 +2379,10 @@ impl NodeLogic for PeerNode {
                 let Some(pending) = self.outstanding.remove(&tag) else {
                     return;
                 };
-                self.handle_lost_subplan(ctx, pending);
+                self.handle_lost_subplan(ctx, pending, ReplanCause::Delivery);
             }
             Msg::RouteRequest { qid, .. } if self.rooted.contains_key(&qid) => {
-                self.adapt_or_give_up(ctx, qid, Some(failed_peer));
+                self.adapt_or_give_up(ctx, qid, Some(failed_peer), ReplanCause::Delivery);
             }
             // Lost answers/acknowledgements are not recoverable.
             _ => {}
@@ -2774,6 +2995,139 @@ mod tests {
             "timeout adaptation must beat waiting for the slow channel \
              ({t_fast} vs {t_slow})"
         );
+    }
+
+    /// §2.5 telemetry trigger: with a [`SlowChannelPolicy`] armed, the
+    /// root observes the starved channel's throughput and replans
+    /// strictly before the timeout would have fired — and the triggering
+    /// window is visible in both the trace and the EXPLAIN.
+    #[test]
+    fn slow_channel_probe_replans_before_timeout() {
+        let schema = fig1_schema();
+        let run = |policy: Option<SlowChannelPolicy>| -> (usize, u64, Vec<String>, Vec<String>) {
+            let mut sim: Simulator<PeerNode> = Simulator::default();
+            let config = PeerConfig {
+                subplan_timeout_us: Some(2_000_000),
+                slow_channel: policy,
+                trace: true,
+                phased: true,
+                ..adhoc_config()
+            };
+            let mut p1 = PeerNode::simple(PeerId(1), base_with(&schema, &[]), config);
+            // The slow peer is alive but starves the channel so badly the
+            // whole timeout retry ladder (2 s + 4 s + 8 s backoffs)
+            // exhausts before the first byte flows.
+            let slow_config = PeerConfig {
+                processing_us_per_row: 30_000_000,
+                ..adhoc_config()
+            };
+            let slow = PeerNode::simple(
+                PeerId(2),
+                base_with(&schema, &[("http://a", "prop1", "http://b")]),
+                slow_config,
+            );
+            let fast = PeerNode::simple(
+                PeerId(3),
+                base_with(&schema, &[("http://a", "prop1", "http://b")]),
+                adhoc_config(),
+            );
+            let slow_ad = slow.own_advertisement().unwrap();
+            let fast_ad = fast.own_advertisement().unwrap();
+            p1.registry.register(slow_ad);
+            p1.registry.register(fast_ad);
+            p1.config.limits = sqpeer_routing::RoutingLimits::top(1);
+            sim.add_node(NodeId(1), p1);
+            sim.add_node(NodeId(2), slow);
+            sim.add_node(NodeId(3), fast);
+            sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+            let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
+            let msg = Msg::ClientQuery {
+                qid: QueryId(4),
+                query,
+            };
+            let bytes = msg.wire_size();
+            sim.inject(NodeId(99), NodeId(1), msg, bytes);
+            sim.run_to_quiescence();
+            let p1 = sim.node(NodeId(1)).unwrap();
+            let o = p1.outcomes.get(&QueryId(4)).unwrap();
+            let events: Vec<String> = p1
+                .trace_events_for(QueryId(4))
+                .iter()
+                .map(|e| e.name.to_string())
+                .collect();
+            let adaptation = p1
+                .explain(QueryId(4))
+                .map(|e| e.adaptation.clone())
+                .unwrap_or_default();
+            (o.result.len(), o.latency_us, events, adaptation)
+        };
+        let (rows_probe, t_probe, events, adaptation) = run(Some(SlowChannelPolicy::default()));
+        let (rows_timeout, t_timeout, timeout_events, _) = run(None);
+        assert_eq!(rows_probe, 1);
+        assert_eq!(rows_timeout, 1);
+        assert!(
+            t_probe < t_timeout,
+            "telemetry trigger must beat the timeout ({t_probe} vs {t_timeout})"
+        );
+        assert!(
+            events.iter().any(|n| n == "exec:slow-channel"),
+            "triggering observation missing from trace: {events:?}"
+        );
+        assert!(
+            !timeout_events.iter().any(|n| n == "exec:slow-channel"),
+            "no probe configured, yet a slow-channel event fired"
+        );
+        assert!(
+            adaptation
+                .iter()
+                .any(|l| l.contains("slow channel") && l.contains("B/ms")),
+            "triggering window missing from EXPLAIN adaptation log: {adaptation:?}"
+        );
+    }
+
+    /// Cross-peer trace propagation: the dispatched subplan carries the
+    /// root's trace context, the remote records a serve event under the
+    /// root's query id, and the stitched tree validates.
+    #[test]
+    fn remote_serve_events_stitch_into_root_trace() {
+        let schema = fig1_schema();
+        let mut sim: Simulator<PeerNode> = Simulator::default();
+        let config = PeerConfig {
+            trace: true,
+            ..adhoc_config()
+        };
+        let b1 = base_with(&schema, &[("a", "prop1", "b")]);
+        let b2 = base_with(&schema, &[("b", "prop2", "c")]);
+        let mut p1 = PeerNode::simple(PeerId(1), b1, config.clone());
+        let p2 = PeerNode::simple(PeerId(2), b2, config);
+        let ad1 = p1.own_advertisement().unwrap();
+        let ad2 = p2.own_advertisement().unwrap();
+        p1.registry.register(ad1);
+        p1.registry.register(ad2);
+        sim.add_node(NodeId(1), p1);
+        sim.add_node(NodeId(2), p2);
+        sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+        let query = compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}", &schema).unwrap();
+        let msg = Msg::ClientQuery {
+            qid: QueryId(1),
+            query,
+        };
+        let bytes = msg.wire_size();
+        sim.inject(NodeId(99), NodeId(1), msg, bytes);
+        sim.run_to_quiescence();
+
+        let root = sim.node(NodeId(1)).unwrap().trace_events_for(QueryId(1));
+        let remote = sim.node(NodeId(2)).unwrap().trace_events_for(QueryId(1));
+        assert!(
+            remote.iter().any(|e| e.name == "exec:serve"),
+            "remote serve event missing: {:?}",
+            remote.iter().map(|e| e.name).collect::<Vec<_>>()
+        );
+        // The serve detail names the dispatching root and its span open
+        // time, so tooling can re-parent the stitched node.
+        let serve = remote.iter().find(|e| e.name == "exec:serve").unwrap();
+        assert!(serve.detail.contains("root P1"), "{}", serve.detail);
+        sqpeer_trace::stitched_well_nested(&root, &[remote]).expect("stitched trace well nested");
     }
 
     /// Phased adaptation reuses completed subplan results instead of

@@ -27,8 +27,10 @@ pub mod channel;
 pub mod fault;
 pub mod metrics;
 pub mod sim;
+pub mod telemetry;
 
 pub use channel::{Channel, ChannelId, ChannelState, ChannelTable};
 pub use fault::{ChurnEvent, FaultPlan, SplitMix64};
-pub use metrics::{Metrics, NodeMetrics};
+pub use metrics::{Metrics, MetricsDelta, NodeMetrics};
 pub use sim::{Ctx, LinkSpec, NodeId, NodeLogic, Simulator};
+pub use telemetry::{Histogram, LinkTelemetry, TelemetryRegistry, DEFAULT_WINDOW_US};

@@ -40,6 +40,33 @@ pub struct Metrics {
     retries_sent: usize,
     timeouts_fired: usize,
     replans: usize,
+    slow_channel_replans: usize,
+    timeout_replans: usize,
+}
+
+/// Named global-counter deltas between two [`Metrics`] snapshots — what
+/// happened inside one measurement window. Produced by
+/// [`Metrics::delta_since`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsDelta {
+    /// Messages delivered.
+    pub messages: usize,
+    /// Bytes delivered.
+    pub bytes: usize,
+    /// Deliveries dropped by down nodes/links.
+    pub drops: usize,
+    /// Subplan retries sent.
+    pub retries: usize,
+    /// Subplan timeouts fired.
+    pub timeouts: usize,
+    /// Query re-plans (all causes).
+    pub replans: usize,
+    /// Re-plans triggered by the telemetry slow-channel detector — a
+    /// degraded-but-alive link caught by windowed throughput before its
+    /// timeout fired (§2.5).
+    pub slow_channel_replans: usize,
+    /// Re-plans triggered by a subplan timeout.
+    pub timeout_replans: usize,
 }
 
 impl Metrics {
@@ -96,6 +123,20 @@ impl Metrics {
         self.replans += 1;
     }
 
+    /// Records a re-plan triggered by the telemetry slow-channel detector
+    /// ([`crate::Ctx::note_slow_replan`]) — counted *in addition to* the
+    /// total in [`Metrics::replans`].
+    pub(crate) fn record_slow_replan(&mut self) {
+        self.slow_channel_replans += 1;
+    }
+
+    /// Records a re-plan triggered by a subplan timeout
+    /// ([`crate::Ctx::note_timeout_replan`]) — counted *in addition to*
+    /// the total in [`Metrics::replans`].
+    pub(crate) fn record_timeout_replan(&mut self) {
+        self.timeout_replans += 1;
+    }
+
     /// Counters of one node.
     pub fn node(&self, id: NodeId) -> NodeMetrics {
         self.per_node.get(&id).copied().unwrap_or_default()
@@ -141,6 +182,16 @@ impl Metrics {
         self.replans
     }
 
+    /// Re-plans attributed to the telemetry slow-channel detector.
+    pub fn slow_channel_replans(&self) -> usize {
+        self.slow_channel_replans
+    }
+
+    /// Re-plans attributed to a subplan timeout.
+    pub fn timeout_replans(&self) -> usize {
+        self.timeout_replans
+    }
+
     /// Maximum messages received by any single node — the hot-spot measure
     /// behind "the load of queries processed by each peer is smaller"
     /// (§2.2).
@@ -157,19 +208,23 @@ impl Metrics {
         *self = Metrics::default();
     }
 
-    /// Global-counter deltas against an earlier snapshot, as
-    /// `(messages, bytes, drops, retries, timeouts, replans)`. Used by
-    /// profiling and the E18 overhead report to attribute traffic to one
-    /// measurement window without resetting shared counters.
-    pub fn delta_since(&self, earlier: &Metrics) -> (usize, usize, usize, usize, usize, usize) {
-        (
-            self.deliveries.saturating_sub(earlier.deliveries),
-            self.delivered_bytes.saturating_sub(earlier.delivered_bytes),
-            self.dropped.saturating_sub(earlier.dropped),
-            self.retries_sent.saturating_sub(earlier.retries_sent),
-            self.timeouts_fired.saturating_sub(earlier.timeouts_fired),
-            self.replans.saturating_sub(earlier.replans),
-        )
+    /// Global-counter deltas against an earlier snapshot. Used by
+    /// profiling and the overhead reports to attribute traffic to one
+    /// measurement window without resetting shared counters; the replan
+    /// deltas say *why* adaptation fired (slow channel vs timeout).
+    pub fn delta_since(&self, earlier: &Metrics) -> MetricsDelta {
+        MetricsDelta {
+            messages: self.deliveries.saturating_sub(earlier.deliveries),
+            bytes: self.delivered_bytes.saturating_sub(earlier.delivered_bytes),
+            drops: self.dropped.saturating_sub(earlier.dropped),
+            retries: self.retries_sent.saturating_sub(earlier.retries_sent),
+            timeouts: self.timeouts_fired.saturating_sub(earlier.timeouts_fired),
+            replans: self.replans.saturating_sub(earlier.replans),
+            slow_channel_replans: self
+                .slow_channel_replans
+                .saturating_sub(earlier.slow_channel_replans),
+            timeout_replans: self.timeout_replans.saturating_sub(earlier.timeout_replans),
+        }
     }
 }
 
@@ -221,5 +276,33 @@ mod tests {
         assert_eq!(m.replans(), 1);
         m.reset();
         assert_eq!(m, Metrics::default());
+    }
+
+    #[test]
+    fn replan_causes_and_delta_attribution() {
+        let mut m = Metrics::default();
+        m.record_delivery(NodeId(0), NodeId(1), 100);
+        let before = m.clone();
+        // Two replans: one caught by telemetry, one by its timeout.
+        m.record_replan();
+        m.record_slow_replan();
+        m.record_replan();
+        m.record_timeout_replan();
+        m.record_delivery(NodeId(0), NodeId(1), 50);
+        assert_eq!(m.replans(), 2);
+        assert_eq!(m.slow_channel_replans(), 1);
+        assert_eq!(m.timeout_replans(), 1);
+        let delta = m.delta_since(&before);
+        assert_eq!(
+            delta,
+            MetricsDelta {
+                messages: 1,
+                bytes: 50,
+                replans: 2,
+                slow_channel_replans: 1,
+                timeout_replans: 1,
+                ..MetricsDelta::default()
+            }
+        );
     }
 }

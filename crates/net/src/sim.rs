@@ -2,6 +2,7 @@
 
 use crate::fault::{FaultPlan, SplitMix64};
 use crate::metrics::Metrics;
+use crate::telemetry::TelemetryRegistry;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
@@ -85,6 +86,8 @@ pub struct Ctx<M> {
     retries: usize,
     timeouts: usize,
     replans: usize,
+    slow_replans: usize,
+    timeout_replans: usize,
 }
 
 impl<M> Ctx<M> {
@@ -97,6 +100,8 @@ impl<M> Ctx<M> {
             retries: 0,
             timeouts: 0,
             replans: 0,
+            slow_replans: 0,
+            timeout_replans: 0,
         }
     }
 
@@ -134,6 +139,20 @@ impl<M> Ctx<M> {
     pub fn note_replan(&mut self) {
         self.replans += 1;
     }
+
+    /// Attributes a re-plan to the telemetry slow-channel detector
+    /// ([`Metrics::slow_channel_replans`]); call alongside
+    /// [`Ctx::note_replan`].
+    pub fn note_slow_replan(&mut self) {
+        self.slow_replans += 1;
+    }
+
+    /// Attributes a re-plan to a subplan timeout
+    /// ([`Metrics::timeout_replans`]); call alongside
+    /// [`Ctx::note_replan`].
+    pub fn note_timeout_replan(&mut self) {
+        self.timeout_replans += 1;
+    }
 }
 
 /// One scheduled event.
@@ -144,6 +163,10 @@ enum EventKind<M> {
         to: NodeId,
         msg: M,
         bytes: usize,
+        /// Virtual time the message left the sender — telemetry measures
+        /// delivery latency (including jitter and contention queueing)
+        /// against this.
+        sent_at_us: u64,
         /// True for the fault-plan duplicate of an already-scheduled
         /// delivery (counted separately in metrics).
         dup: bool,
@@ -209,6 +232,10 @@ pub struct Simulator<N: NodeLogic> {
     /// non-zero fault rate is in effect, so an inert plan leaves the run
     /// untouched.
     chaos_rng: SplitMix64,
+    /// Per-link telemetry (latency/size/throughput histograms). `None`
+    /// (the default) costs nothing — the disabled-telemetry transparency
+    /// property and the E19 overhead budget depend on it.
+    telemetry: Option<TelemetryRegistry>,
     /// Whether the one-time `on_start` boot pass ran.
     booted: bool,
 }
@@ -236,8 +263,21 @@ impl<N: NodeLogic> Simulator<N> {
             link_busy_until: HashMap::new(),
             fault: None,
             chaos_rng: SplitMix64::new(0),
+            telemetry: None,
             booted: false,
         }
+    }
+
+    /// Turns telemetry collection on: every subsequent successful
+    /// delivery is recorded into a [`TelemetryRegistry`] with
+    /// `window_us`-long throughput windows.
+    pub fn enable_telemetry(&mut self, window_us: u64) {
+        self.telemetry = Some(TelemetryRegistry::new(window_us));
+    }
+
+    /// The telemetry registry, when enabled.
+    pub fn telemetry(&self) -> Option<&TelemetryRegistry> {
+        self.telemetry.as_ref()
     }
 
     /// Installs a seeded fault plan: silent loss, duplication, jitter on
@@ -379,6 +419,7 @@ impl<N: NodeLogic> Simulator<N> {
                 to,
                 msg,
                 bytes,
+                sent_at_us: self.now_us,
                 dup: false,
             },
         );
@@ -420,6 +461,7 @@ impl<N: NodeLogic> Simulator<N> {
                 to,
                 msg,
                 bytes,
+                sent_at_us,
                 dup,
             } => {
                 // An ungracefully-crashed destination eats the message:
@@ -442,6 +484,10 @@ impl<N: NodeLogic> Simulator<N> {
                     self.metrics.record_duplicate(to);
                 }
                 self.metrics.record_delivery(from, to, bytes);
+                if let Some(telemetry) = &mut self.telemetry {
+                    let latency = self.now_us.saturating_sub(sent_at_us);
+                    telemetry.record_delivery(from, to, bytes, latency, self.now_us);
+                }
                 self.dispatch_message(to, from, msg);
             }
             EventKind::Timer { node, timer } => {
@@ -590,6 +636,7 @@ impl<N: NodeLogic> Simulator<N> {
                         to,
                         msg: msg.clone(),
                         bytes,
+                        sent_at_us: self.now_us,
                         dup: true,
                     },
                 );
@@ -602,6 +649,7 @@ impl<N: NodeLogic> Simulator<N> {
                 to,
                 msg,
                 bytes,
+                sent_at_us: self.now_us,
                 dup: false,
             },
         );
@@ -615,6 +663,8 @@ impl<N: NodeLogic> Simulator<N> {
             retries,
             timeouts,
             replans,
+            slow_replans,
+            timeout_replans,
             ..
         } = ctx;
         for (to, msg, bytes) in outbox {
@@ -632,6 +682,12 @@ impl<N: NodeLogic> Simulator<N> {
         }
         for _ in 0..replans {
             self.metrics.record_replan();
+        }
+        for _ in 0..slow_replans {
+            self.metrics.record_slow_replan();
+        }
+        for _ in 0..timeout_replans {
+            self.metrics.record_timeout_replan();
         }
     }
 }
@@ -1001,6 +1057,31 @@ mod tests {
         // Different seeds explore different schedules (with these rates a
         // 30-message exchange virtually never replays identically).
         assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn telemetry_observes_latency_size_and_windows() {
+        let mut sim = two_nodes();
+        sim.enable_telemetry(1_000_000);
+        sim.inject(NodeId(0), NodeId(1), 3, 100);
+        sim.run_to_quiescence();
+        let telemetry = sim.telemetry().expect("enabled");
+        // 3→2→1→0: two deliveries each way after the injected one.
+        let forward = telemetry.link(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(forward.messages, 2);
+        assert_eq!(forward.bytes, 200);
+        // Default link: 20 ms latency + 100 µs serialisation.
+        assert_eq!(forward.latency_us.mean(), 20_100);
+        assert_eq!(forward.size_bytes.sum(), 200);
+        let back = telemetry.link(NodeId(1), NodeId(0)).unwrap();
+        assert_eq!(back.messages, 2);
+        // Telemetry is off by default and costs nothing.
+        let mut plain = two_nodes();
+        plain.inject(NodeId(0), NodeId(1), 3, 100);
+        plain.run_to_quiescence();
+        assert!(plain.telemetry().is_none());
+        assert_eq!(plain.metrics(), sim.metrics());
+        assert_eq!(plain.now_us(), sim.now_us());
     }
 
     #[test]

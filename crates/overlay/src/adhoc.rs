@@ -287,6 +287,23 @@ impl AdhocNetwork {
             .unwrap_or_default()
     }
 
+    /// Turns on per-link telemetry (latency/size histograms, windowed
+    /// throughput) with the given observation window. Off by default —
+    /// disabled networks pay nothing.
+    pub fn enable_telemetry(&mut self, window_us: u64) {
+        self.sim.enable_telemetry(window_us);
+    }
+
+    /// A point-in-time copy of the overlay's telemetry registry, ready
+    /// for [`render`](sqpeer_net::TelemetryRegistry::render) /
+    /// [`to_json`](sqpeer_net::TelemetryRegistry::to_json) or off-line
+    /// merging. `None` unless [`enable_telemetry`] was called.
+    ///
+    /// [`enable_telemetry`]: AdhocNetwork::enable_telemetry
+    pub fn telemetry_snapshot(&self) -> Option<sqpeer_net::TelemetryRegistry> {
+        self.sim.telemetry().cloned()
+    }
+
     /// All peer bases (for oracle construction).
     pub fn bases(&self) -> Vec<&DescriptionBase> {
         (0..self.peer_count)

@@ -35,6 +35,13 @@ pub struct Explain {
     pub distributed_won: bool,
     /// Nested JSON tree of per-node cardinality/byte estimates.
     pub cost_tree: String,
+    /// Run-time adaptation log (§2.5): one line per observation that made
+    /// the root alter the running plan — the telemetry window that
+    /// flagged a slow channel, the timeout that fired, the delivery
+    /// failure that was notified. Empty for queries that ran to plan;
+    /// rendered (and exported) only when non-empty, so explanations of
+    /// unadapted queries are unchanged.
+    pub adaptation: Vec<String>,
 }
 
 impl Explain {
@@ -54,6 +61,7 @@ impl Explain {
             final_cost: report.final_cost,
             distributed_won: report.distributed_won,
             cost_tree: node_json(final_plan, estimator),
+            adaptation: Vec::new(),
         }
     }
 
@@ -84,6 +92,13 @@ impl Explain {
                 "generated"
             }
         );
+        if !self.adaptation.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "run-time adaptation (§2.5):");
+            for line in &self.adaptation {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
         out
     }
 
@@ -102,17 +117,28 @@ impl Explain {
                 )
             })
             .collect();
+        let adaptation = if self.adaptation.is_empty() {
+            String::new()
+        } else {
+            let lines: Vec<String> = self
+                .adaptation
+                .iter()
+                .map(|l| format!("\"{}\"", json_escape(l)))
+                .collect();
+            format!(", \"adaptation\": [{}]", lines.join(", "))
+        };
         format!(
             "{{\"query\": \"{}\", \"annotated\": \"{}\", \"stages\": [{}], \
              \"final_plan\": \"{}\", \"final_cost\": {:.1}, \"distributed_won\": {}, \
-             \"cost_tree\": {}}}",
+             \"cost_tree\": {}{}}}",
             json_escape(&self.query),
             json_escape(&self.annotated),
             stages.join(", "),
             json_escape(&self.final_plan),
             self.final_cost,
             self.distributed_won,
-            self.cost_tree
+            self.cost_tree,
+            adaptation
         )
     }
 }
@@ -226,5 +252,16 @@ mod tests {
         assert!(json.contains("\"cost_tree\": {"), "{json}");
         assert!(json.contains("\"est_tuples\":"), "{json}");
         assert!(json.contains("\"distributed_won\":"), "{json}");
+
+        // Adaptation lines appear only once adaptation happened — an
+        // unadapted query's EXPLAIN is byte-identical to before.
+        assert!(!text.contains("run-time adaptation"), "{text}");
+        assert!(!json.contains("\"adaptation\""), "{json}");
+        let mut adapted = explain.clone();
+        adapted
+            .adaptation
+            .push("t=1000us slow channel to P2: replanned".into());
+        assert!(adapted.render().contains("run-time adaptation (§2.5):"));
+        assert!(adapted.to_json().contains("\"adaptation\": [\"t=1000us"));
     }
 }

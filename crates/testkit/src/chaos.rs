@@ -210,7 +210,9 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
             }
         }
         // Every fresh violation gets a replay artifact: the query's
-        // EXPLAIN plus its profile JSON, as recorded at the root.
+        // EXPLAIN plus its profile JSON, as recorded at the root, and the
+        // network-wide adaptation tally so the replayer sees which §2.5
+        // trigger (telemetry vs timeout) was driving re-plans.
         for _ in before..report.violations.len() {
             let explain = net
                 .explain(*origin, *qid)
@@ -220,8 +222,13 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
                 .profile(*origin, *qid)
                 .map(|p| p.to_json())
                 .unwrap_or_else(|| "null".to_string());
+            let m = net.sim().metrics();
             report.artifacts.push(format!(
-                "query {i} at {origin}\n{explain}\nprofile: {profile}"
+                "query {i} at {origin}\n{explain}\nprofile: {profile}\n\
+                 replans: {} total ({} slow-channel, {} timeout)",
+                m.replans(),
+                m.slow_channel_replans(),
+                m.timeout_replans()
             ));
         }
     }

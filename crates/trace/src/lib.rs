@@ -241,6 +241,65 @@ pub fn spans_well_nested(events: &[TraceEvent]) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a **stitched cross-peer trace**: the root peer's events for
+/// one query plus the event slices remote peers recorded for the same
+/// query (attributable because `Subplan` envelopes carry the root's trace
+/// context). The stitched tree is well nested when
+///
+/// * every per-peer slice satisfies [`spans_well_nested`] on its own
+///   (peers record independently; stitching cannot repair a locally
+///   broken tree),
+/// * every event — root or remote — carries the same query id (the
+///   stitch key), and
+/// * no remote event *precedes* the root's first event: remote work on a
+///   query is caused by the root dispatching it, so it cannot start
+///   before the root opened the query.
+///
+/// There is deliberately **no upper bound**: a remote peer may serve a
+/// subplan *after* the root finalised the query (a straggler answer to a
+/// channel the root already re-planned around, or a duplicate delivery
+/// under chaos) — late echoes are legitimate, time travel is not.
+/// Returns the first violation found.
+pub fn stitched_well_nested(
+    root: &[TraceEvent],
+    remotes: &[Vec<TraceEvent>],
+) -> Result<(), String> {
+    spans_well_nested(root).map_err(|e| format!("root trace: {e}"))?;
+    let Some(first) = root.iter().map(|e| e.start_us).min() else {
+        return if remotes.iter().all(|r| r.is_empty()) {
+            Ok(())
+        } else {
+            Err("remote events recorded for a query the root never traced".into())
+        };
+    };
+    let qid = root[0].qid;
+    if let Some(stray) = root.iter().find(|e| e.qid != qid) {
+        return Err(format!(
+            "root trace mixes queries: expected q{qid}, found q{} ({})",
+            stray.qid, stray.name
+        ));
+    }
+    for (i, remote) in remotes.iter().enumerate() {
+        spans_well_nested(remote).map_err(|e| format!("remote trace #{i}: {e}"))?;
+        for ev in remote {
+            if ev.qid != qid {
+                return Err(format!(
+                    "remote trace #{i} mixes queries: expected q{qid}, found q{} ({})",
+                    ev.qid, ev.name
+                ));
+            }
+            if ev.start_us < first {
+                return Err(format!(
+                    "remote event {:?} at {} precedes the root's query start at {} \
+                     (effect before cause)",
+                    ev.name, ev.start_us, first
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Post-run aggregate for one query: where its virtual time went, what it
 /// cost the network, and how the caches and the retry ladder behaved.
 /// Built by the root peer at finalisation; rendered by [`Self::render`]
@@ -445,6 +504,43 @@ mod tests {
             },
         ];
         assert!(spans_well_nested(&bad).is_err());
+    }
+
+    #[test]
+    fn stitched_checker_accepts_causal_and_rejects_time_travel() {
+        let ev = |name: &'static str, qid: u64, start: u64, end: u64| TraceEvent {
+            qid,
+            name,
+            detail: String::new(),
+            start_us: start,
+            end_us: end,
+            depth: 0,
+            instant: start == end,
+            open: false,
+        };
+        let root = vec![
+            ev("query:begin", 1, 100, 100),
+            ev("query:done", 1, 900, 900),
+        ];
+        // A remote serving within the query window stitches cleanly, and
+        // a straggler *after* query:done is legitimate (late echo).
+        let ok_remote = vec![ev("exec:serve", 1, 400, 450)];
+        let straggler = vec![ev("exec:serve", 1, 950, 980)];
+        stitched_well_nested(&root, std::slice::from_ref(&ok_remote)).unwrap();
+        stitched_well_nested(&root, &[ok_remote.clone(), straggler]).unwrap();
+        // Effect before cause: remote work predating the root's start.
+        let too_early = vec![ev("exec:serve", 1, 50, 60)];
+        assert!(stitched_well_nested(&root, &[too_early]).is_err());
+        // Cross-query contamination is a stitching bug.
+        let wrong_query = vec![ev("exec:serve", 2, 400, 450)];
+        assert!(stitched_well_nested(&root, &[wrong_query]).is_err());
+        // A locally broken remote tree fails even when causal.
+        let mut open_span = ev("exec:serve", 1, 400, 450);
+        open_span.open = true;
+        assert!(stitched_well_nested(&root, &[vec![open_span]]).is_err());
+        // No root trace: remotes for that query cannot exist.
+        assert!(stitched_well_nested(&[], &[ok_remote]).is_err());
+        stitched_well_nested(&[], &[Vec::new()]).unwrap();
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! §2.5 run-time adaptation, both flavours of failure:
+//! §2.5 run-time adaptation, three flavours of trouble:
 //!
 //! 1. A **notified** crash mid-query — the root re-plans around the
 //!    failed peer and recovers the rows from a replica.
@@ -6,6 +6,9 @@
 //!    advertisement lease lapses unrenewed, routing purges it, and later
 //!    answers honestly name it as a possibly-missing contributor until it
 //!    restarts and re-advertises.
+//! 3. A **degraded-but-alive** channel — the holder never fails, it just
+//!    starves the channel; the telemetry probe sees the dead throughput
+//!    window and re-plans long before the timeout ladder would.
 //!
 //! ```text
 //! cargo run --example adaptive_failover
@@ -92,5 +95,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.result.len(),
         outcome.partial
     );
+
+    // --- 3. Slow channel: telemetry replans a live-but-starved holder --
+    let mut builder = HybridBuilder::new(Arc::clone(&schema), 1).config(PeerConfig {
+        trace: true,
+        slow_channel: Some(SlowChannelPolicy::default()),
+        subplan_timeout_us: Some(2_000_000),
+        ..PeerConfig::default()
+    });
+    let origin = builder.add_peer(DescriptionBase::new(Arc::clone(&schema)), 0);
+    let starved = builder.add_peer(fragment.base().clone(), 0);
+    let _replica = builder.add_peer(fragment.base().clone(), 0);
+    let mut net = builder.build();
+    net.enable_telemetry(sqpeer::net::DEFAULT_WINDOW_US);
+    // The holder stays up — it just takes half a minute per row, so its
+    // channel moves no bytes. Routing prefers it (lowest peer id wins the
+    // tiebreak under a fan-out cap of one).
+    net.sim_mut()
+        .node_mut(node_of(starved))
+        .expect("peer exists")
+        .config
+        .processing_us_per_row = 30_000_000;
+    net.sim_mut()
+        .node_mut(node_of(origin))
+        .expect("peer exists")
+        .config
+        .limits = sqpeer::routing::RoutingLimits::top(1);
+    let query = net.compile("SELECT X, Y FROM {X}prop1{Y}")?;
+    let qid = net.query(origin, query);
+    net.run();
+    let outcome = net.outcome(origin, qid).expect("query completes");
+    println!(
+        "\nslow channel: {} row(s) after {} re-plan(s) \u{2014} \
+         {} slow-channel, {} timeout",
+        outcome.result.len(),
+        outcome.replans,
+        net.sim().metrics().slow_channel_replans(),
+        net.sim().metrics().timeout_replans()
+    );
+    let explain = net.explain(origin, qid).expect("tracing on");
+    for line in &explain.adaptation {
+        println!("  EXPLAIN adaptation: {line}");
+    }
+    // The telemetry snapshot at the moment of the replan: the starved
+    // link's counters show the dead window the probe adapted on.
+    let snapshot = net.telemetry_snapshot().expect("telemetry enabled");
+    println!("  telemetry at replan (delivery counters per link):");
+    for line in snapshot.render().lines() {
+        if line.contains("_total{") {
+            println!("    {line}");
+        }
+    }
     Ok(())
 }

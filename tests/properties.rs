@@ -706,9 +706,11 @@ proptest! {
     }
 
     /// Transparency: with tracing disabled the recorder must be a perfect
-    /// no-op — identical outcomes and identical network metrics to a
-    /// traced run (the tracer never touches the event schedule), zero
-    /// events recorded, and no profile retained.
+    /// no-op — identical outcomes, zero events recorded, and no profile
+    /// retained. A *traced* run now deliberately carries a 16-byte trace
+    /// context on each subplan envelope (cross-peer stitching), so byte
+    /// totals may differ; message counts and the §2.5 adaptation counters
+    /// must not.
     #[test]
     fn disabled_tracing_is_transparent(
         b1 in arb_base(),
@@ -735,11 +737,165 @@ proptest! {
         let (out_off, metrics_off, events_off, profiled_off) = run(false);
         let (out_on, metrics_on, events_on, profiled_on) = run(true);
         prop_assert_eq!(out_off, out_on, "tracing changed the answer");
-        prop_assert_eq!(metrics_off, metrics_on, "tracing changed the event schedule");
+        prop_assert_eq!(
+            metrics_off.total_messages(), metrics_on.total_messages(),
+            "tracing changed how many messages flowed"
+        );
+        prop_assert_eq!(metrics_off.retries_sent(), metrics_on.retries_sent());
+        prop_assert_eq!(metrics_off.timeouts_fired(), metrics_on.timeouts_fired());
+        prop_assert_eq!(metrics_off.replans(), metrics_on.replans());
         prop_assert_eq!(events_off, 0, "disabled tracer recorded events");
         prop_assert!(events_on > 0, "enabled tracer recorded nothing");
         prop_assert!(!profiled_off, "disabled tracer retained a profile");
         prop_assert!(profiled_on, "enabled tracer retained no profile");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Telemetry invariants
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Histogram merging is associative, commutative and
+    /// count/sum-preserving — the algebra that makes per-link telemetry
+    /// roll up into per-node and overlay-wide aggregates by pure
+    /// bucket-wise addition.
+    #[test]
+    fn histogram_merge_is_a_commutative_monoid(
+        xs in prop::collection::vec(any::<u64>(), 0..40),
+        ys in prop::collection::vec(any::<u64>(), 0..40),
+        zs in prop::collection::vec(any::<u64>(), 0..40),
+    ) {
+        use sqpeer::net::Histogram;
+        let of = |vals: &[u64]| {
+            let mut h = Histogram::default();
+            for &v in vals {
+                // Avoid u64 sum overflow across merged histograms.
+                h.record(v >> 8);
+            }
+            h
+        };
+        let (a, b, c) = (of(&xs), of(&ys), of(&zs));
+
+        // Commutativity: a ⊕ b == b ⊕ a.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Count/sum preservation, and the identity element.
+        prop_assert_eq!(ab_c.count(), a.count() + b.count() + c.count());
+        prop_assert_eq!(ab_c.sum(), a.sum() + b.sum() + c.sum());
+        let mut with_empty = a.clone();
+        with_empty.merge(&Histogram::default());
+        prop_assert_eq!(&with_empty, &a);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Disabled telemetry is *perfectly* transparent: the registry only
+    /// observes deliveries (it never touches the wire or the schedule),
+    /// so enabling it must change neither outcomes nor network metrics —
+    /// and with it off there is no snapshot at all.
+    #[test]
+    fn disabled_telemetry_is_transparent(
+        b1 in arb_base(),
+        b2 in arb_base(),
+        (query, _) in arb_query_pair(),
+    ) {
+        use sqpeer::net::DEFAULT_WINDOW_US;
+        let run = |telemetry: bool| {
+            let schema = fig1_schema();
+            let mut b = HybridBuilder::new(Arc::clone(&schema), 1);
+            let origin = b.add_peer(b1.clone(), 0);
+            let _holder = b.add_peer(b2.clone(), 0);
+            let mut net = b.build();
+            if telemetry {
+                net.enable_telemetry(DEFAULT_WINDOW_US);
+            }
+            let qid = net.query(origin, query.clone());
+            net.run();
+            let outcome = net
+                .outcome(origin, qid)
+                .map(|o| (o.result.clone().sorted(), o.partial, o.missing.clone()));
+            let snapshot = net.telemetry_snapshot();
+            (outcome, net.sim().metrics().clone(), snapshot)
+        };
+        let (out_off, metrics_off, snap_off) = run(false);
+        let (out_on, metrics_on, snap_on) = run(true);
+        prop_assert_eq!(out_off, out_on, "telemetry changed the answer");
+        prop_assert_eq!(metrics_off, metrics_on, "telemetry changed the event schedule");
+        prop_assert!(snap_off.is_none(), "off means no registry");
+        let snap_on = snap_on.expect("enabled run must expose a snapshot");
+        // The snapshot saw the query traffic the metrics counted.
+        let seen: u64 = snap_on.node_rollup().iter().map(|(_, l)| l.messages).sum();
+        prop_assert!(seen > 0, "enabled registry observed nothing");
+    }
+
+    /// Cross-peer stitching survives chaos: under seeded faults
+    /// (duplication + jitter, which reorder and re-deliver subplan
+    /// envelopes), every root's trace plus the matching remote serve
+    /// events still forms a well-nested stitched tree.
+    #[test]
+    fn stitched_traces_well_nested_under_chaos(seed in 0u64..8) {
+        use sqpeer::exec::PeerConfig;
+        use sqpeer::net::FaultPlan;
+        use sqpeer_testkit::fixtures::{base_with, fig1_schema as fixture};
+        let schema = fixture();
+        let mut b = HybridBuilder::new(Arc::clone(&schema), 2)
+            .config(PeerConfig { trace: true, ..PeerConfig::default() });
+        let origin = b.add_peer(
+            base_with(&schema, &[("http://a", "prop1", "http://b")]), 0);
+        let p1 = b.add_peer(
+            base_with(&schema, &[("http://b", "prop2", "http://c")]), 0);
+        let p2 = b.add_peer(
+            base_with(&schema, &[("http://a", "prop1", "http://b")]), 1);
+        let p3 = b.add_peer(
+            base_with(&schema, &[("http://b", "prop2", "http://c")]), 1);
+        let mut net = b.build();
+        net.sim_mut().set_fault_plan(
+            FaultPlan::new(seed).with_duplication(150).with_jitter(30_000),
+        );
+        let q1 = net.compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}").unwrap();
+        let q2 = net.compile("SELECT X, Y FROM {X}prop1{Y}").unwrap();
+        let qid1 = net.query(origin, q1);
+        let qid2 = net.query(origin, q2);
+        net.run();
+        for qid in [qid1, qid2] {
+            prop_assert!(net.outcome(origin, qid).is_some(), "query must complete");
+            let root: Vec<_> = net
+                .trace_events(origin)
+                .into_iter()
+                .filter(|e| e.qid == qid.0)
+                .collect();
+            prop_assert!(!root.is_empty());
+            let remotes: Vec<Vec<_>> = [p1, p2, p3]
+                .iter()
+                .map(|&p| {
+                    net.trace_events(p)
+                        .into_iter()
+                        .filter(|e| e.qid == qid.0)
+                        .collect::<Vec<_>>()
+                })
+                .filter(|evs: &Vec<_>| !evs.is_empty())
+                .collect();
+            let stitched = stitched_well_nested(&root, &remotes);
+            prop_assert!(stitched.is_ok(), "stitching violated: {:?}", stitched);
+        }
     }
 }
 

@@ -1,0 +1,144 @@
+//! Integration tests for the overlay telemetry registry: golden
+//! snapshots of the Prometheus-style text exposition and its JSON twin
+//! over a fixed 3-peer run, plus end-to-end checks of the
+//! `telemetry_snapshot()` surface.
+//!
+//! When an intentional change alters the exposition, regenerate with
+//!
+//!     BLESS=1 cargo test -p sqpeer --test telemetry golden_
+//!
+//! then review the diff and commit the updated files.
+
+use sqpeer::net::DEFAULT_WINDOW_US;
+use sqpeer::overlay::AdhocNetwork;
+use sqpeer::prelude::*;
+use sqpeer_testkit::fixtures::{base_with, fig1_schema};
+
+fn golden_check(name: &str, actual: &str) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");
+    let path = dir.join(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(&dir).expect("create tests/golden");
+        std::fs::write(&path, actual).expect("write snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with \
+             `BLESS=1 cargo test -p sqpeer --test telemetry golden_`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "golden snapshot {name} diverged; if intentional, regenerate with \
+         `BLESS=1 cargo test -p sqpeer --test telemetry golden_` and review the diff"
+    );
+}
+
+/// The fixed 3-peer run both snapshots pin: a triangle of peers over the
+/// Figure 1 schema, telemetry enabled for the query phase only (the ad
+/// exchange at build time is discovery noise), one chain query from P0.
+fn fixed_three_peer_run() -> AdhocNetwork {
+    let schema = fig1_schema();
+    let mut b = AdhocBuilder::new(std::sync::Arc::clone(&schema), 2);
+    let p0 = b.add_peer(base_with(&schema, &[("http://a", "prop1", "http://b")]));
+    let p1 = b.add_peer(base_with(&schema, &[("http://b", "prop2", "http://c")]));
+    let p2 = b.add_peer(base_with(&schema, &[("http://a", "prop1", "http://b")]));
+    b.link(p0, p1);
+    b.link(p1, p2);
+    b.link(p0, p2);
+    let mut net = b.build();
+    net.enable_telemetry(DEFAULT_WINDOW_US);
+    let query = net
+        .compile("SELECT X, Z FROM {X}prop1{Y}, {Y}prop2{Z}")
+        .unwrap();
+    let qid = net.query(p0, query);
+    net.run();
+    let outcome = net.outcome(p0, qid).expect("query completed");
+    assert_eq!(outcome.result.len(), 1);
+    assert!(!outcome.partial);
+    net
+}
+
+/// The text exposition of the fixed run, pinned byte-exact — and
+/// run-deterministic, the bar for a diffable snapshot.
+#[test]
+fn golden_telemetry_exposition_text() {
+    let a = fixed_three_peer_run()
+        .telemetry_snapshot()
+        .expect("telemetry enabled")
+        .render();
+    let b = fixed_three_peer_run()
+        .telemetry_snapshot()
+        .expect("telemetry enabled")
+        .render();
+    assert_eq!(a, b, "exposition must be run-deterministic");
+    assert!(a.contains("sqpeer_link_messages_total"), "{a}");
+    golden_check("telemetry_three_peer.txt", &a);
+}
+
+/// The JSON export of the same run (machine-readable twin).
+#[test]
+fn golden_telemetry_exposition_json() {
+    let json = fixed_three_peer_run()
+        .telemetry_snapshot()
+        .expect("telemetry enabled")
+        .to_json();
+    golden_check("telemetry_three_peer.json", &json);
+}
+
+/// `telemetry_snapshot()` is a copy: mutating the network afterwards
+/// (more traffic) does not retroactively change an earlier snapshot.
+#[test]
+fn snapshot_is_point_in_time() {
+    let mut net = fixed_three_peer_run();
+    let before = net.telemetry_snapshot().expect("telemetry enabled");
+    let query = net.compile("SELECT X, Y FROM {X}prop1{Y}").unwrap();
+    net.query(PeerId(0), query);
+    net.run();
+    let after = net.telemetry_snapshot().expect("telemetry enabled");
+    assert_eq!(before.render(), before.render(), "snapshot render is pure");
+    assert_ne!(
+        before.render(),
+        after.render(),
+        "new traffic must show up in a fresh snapshot only"
+    );
+}
+
+/// Without `enable_telemetry` the snapshot is absent on both overlay
+/// flavours — the disabled configuration has no registry at all.
+#[test]
+fn disabled_networks_expose_no_snapshot() {
+    let schema = fig1_schema();
+    let mut b = AdhocBuilder::new(std::sync::Arc::clone(&schema), 1);
+    b.add_peer(base_with(&schema, &[("http://a", "prop1", "http://b")]));
+    let adhoc = b.build();
+    assert!(adhoc.telemetry_snapshot().is_none());
+
+    let mut hb = HybridBuilder::new(std::sync::Arc::clone(&schema), 1);
+    hb.add_peer(base_with(&schema, &[("http://a", "prop1", "http://b")]), 0);
+    let hybrid = hb.build();
+    assert!(hybrid.telemetry_snapshot().is_none());
+}
+
+/// Merging the per-run registries of two independent runs preserves
+/// totals — the cheap cross-snapshot aggregation path.
+#[test]
+fn merged_snapshots_add_up() {
+    let a = fixed_three_peer_run()
+        .telemetry_snapshot()
+        .expect("telemetry enabled");
+    let b = fixed_three_peer_run()
+        .telemetry_snapshot()
+        .expect("telemetry enabled");
+    let mut merged = a.clone();
+    merged.merge(&b);
+    let total = |reg: &TelemetryRegistry| -> u64 {
+        reg.node_rollup()
+            .iter()
+            .map(|(_, link)| link.messages)
+            .sum()
+    };
+    assert_eq!(total(&merged), total(&a) + total(&b));
+}
