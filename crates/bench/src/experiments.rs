@@ -95,6 +95,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
             "e19",
             "telemetry: slow-channel detection latency vs timeout, and registry overhead",
         ),
+        (
+            "e20",
+            "deployment: simulator vs real-clock loopback vs TCP host on one workload",
+        ),
     ]
 }
 
@@ -120,6 +124,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e17" => e17(),
         "e18" => e18(),
         "e19" => e19(),
+        "e20" => e20(),
         _ => return None,
     })
 }
@@ -2361,5 +2366,191 @@ fn e19() -> String {
         ms(timeout_detect),
         overhead_disabled * 100.0
     ));
+    out
+}
+
+// ----------------------------------------------------------------------
+// E20 — deployment: virtual time vs real clock vs real sockets
+// ----------------------------------------------------------------------
+
+/// One workload, three substrates: the virtual-time simulator, the
+/// real-clock loopback transport (wire codec on every hop), and the
+/// `sqpeerd` TCP host queried over an actual socket. The answers must be
+/// identical everywhere; the latencies show what each layer costs.
+fn e20() -> String {
+    use sqpeer_daemon::{
+        assemble, await_outcome, outcome, pose, spawn_host, GroupSpec, HostConfig, LoopbackNet,
+    };
+    use sqpeer_exec::{Msg, PeerNode, QueryId};
+    use sqpeer_net::Simulator;
+    use sqpeer_testkit::fixtures::fig2_bases;
+    use sqpeer_wire::{read_frame, write_frame, Envelope, SchemaRegistry};
+    use std::net::TcpStream;
+    use std::time::Instant;
+
+    const QUERIES: usize = 12;
+
+    let schema = fig1_schema();
+    let spec = || GroupSpec {
+        schema: fig1_schema(),
+        bases: fig2_bases(&schema),
+        config: PeerConfig::default(),
+    };
+    let target = PeerId(0);
+
+    let render = |result: &sqpeer::rql::ResultSet| -> Vec<Vec<String>> {
+        let mut rows: Vec<Vec<String>> = result
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|n| n.to_string()).collect())
+            .collect();
+        rows.sort();
+        rows
+    };
+
+    // Leg 1: virtual-time simulator. `latency_us` is virtual; the wall
+    // clock measures how fast simulation burns through it.
+    let mut sim: Simulator<PeerNode> = Simulator::default();
+    let mut group = assemble(&mut sim, spec(), 2_000_000);
+    let query = group.compile(fig1_query_text()).expect("fixture compiles");
+    let sim_wall = Instant::now();
+    let mut sim_latencies = Vec::new();
+    let mut sim_rows = Vec::new();
+    for _ in 0..QUERIES {
+        let qid = pose(&mut sim, &mut group, target, query.clone());
+        assert!(await_outcome(&mut sim, target, qid, 100_000, 60_000_000));
+        let o = outcome(&sim, target, qid).expect("awaited");
+        sim_latencies.push(o.latency_us);
+        sim_rows.push(render(&o.result));
+    }
+    let sim_wall_ms = sim_wall.elapsed().as_secs_f64() * 1_000.0;
+
+    // Leg 2: real-clock loopback, wire codec on every hop.
+    let mut schemas = SchemaRegistry::new();
+    schemas.register(fig1_schema());
+    let mut net: LoopbackNet<PeerNode> = LoopbackNet::new(schemas.clone());
+    let mut group = assemble(&mut net, spec(), 150_000);
+    let loop_wall = Instant::now();
+    let mut loop_latencies = Vec::new();
+    let mut loop_rows = Vec::new();
+    for _ in 0..QUERIES {
+        let qid = pose(&mut net, &mut group, target, query.clone());
+        assert!(await_outcome(&mut net, target, qid, 5_000, 20_000_000));
+        let o = outcome(&net, target, qid).expect("awaited");
+        loop_latencies.push(o.latency_us);
+        loop_rows.push(render(&o.result));
+    }
+    let loop_wall_ms = loop_wall.elapsed().as_secs_f64() * 1_000.0;
+    assert_eq!(
+        net.decode_failures(),
+        0,
+        "codec failed on the loopback path"
+    );
+
+    // Leg 3: the TCP host, queried one round trip at a time over a real
+    // socket — client-observed latency includes framing, the kernel and
+    // the pump's scheduling slice.
+    let host = spawn_host(HostConfig {
+        listen: "127.0.0.1:0".into(),
+        status: None,
+        spec: spec(),
+        telemetry_window_us: Some(1_000_000),
+        settle_us: 150_000,
+    })
+    .expect("host starts");
+    let mut stream = TcpStream::connect(host.addr).expect("host reachable");
+    let client = PeerId(9_999);
+    let mut tcp_latencies = Vec::new();
+    let mut tcp_rows = Vec::new();
+    for i in 0..QUERIES {
+        let sent = Instant::now();
+        write_frame(
+            &mut stream,
+            &Envelope {
+                from: client,
+                to: target,
+                sent_at_us: 0,
+                msg: Msg::ClientQuery {
+                    qid: QueryId(i as u64),
+                    query: query.clone(),
+                },
+            },
+        )
+        .expect("query sent");
+        let reply: Envelope = read_frame(&mut stream, &schemas)
+            .expect("reply readable")
+            .expect("host answered");
+        tcp_latencies.push(sent.elapsed().as_micros() as u64);
+        let Msg::Data {
+            result, partial, ..
+        } = reply.msg
+        else {
+            panic!("expected Data");
+        };
+        assert!(!partial);
+        tcp_rows.push(render(&result));
+    }
+    drop(stream);
+    host.shutdown();
+
+    let identical = sim_rows == loop_rows && loop_rows == tcp_rows;
+    assert!(identical, "answer sets diverged across substrates");
+    assert!(!sim_rows[0].is_empty(), "workload produced no rows");
+
+    let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+    let p50 = |v: &[u64]| {
+        let mut s = v.to_vec();
+        s.sort_unstable();
+        s[s.len() / 2]
+    };
+
+    let mut out = String::from(
+        "E20 — deployment: one workload, three substrates\n\
+         workload: figure-2 bases, figure-1 query, posed 12x at peer 0\n\n",
+    );
+    let mut table = Table::new(&["substrate", "latency mean", "latency p50", "wall ms (leg)"]);
+    table.row(vec![
+        "simulator (virtual µs)".into(),
+        f1(mean(&sim_latencies)),
+        format!("{}", p50(&sim_latencies)),
+        format!("{sim_wall_ms:.2}"),
+    ]);
+    table.row(vec![
+        "loopback (real µs, codec on path)".into(),
+        f1(mean(&loop_latencies)),
+        format!("{}", p50(&loop_latencies)),
+        format!("{loop_wall_ms:.2}"),
+    ]);
+    table.row(vec![
+        "tcp host (client round trip µs)".into(),
+        f1(mean(&tcp_latencies)),
+        format!("{}", p50(&tcp_latencies)),
+        "-".into(),
+    ]);
+    out.push_str(&table.render());
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e20\",\n  \"queries\": {QUERIES},\n  \
+         \"sim_latency_us_mean\": {:.1},\n  \"sim_latency_us_p50\": {},\n  \
+         \"sim_wall_ms\": {sim_wall_ms:.3},\n  \
+         \"loopback_latency_us_mean\": {:.1},\n  \"loopback_latency_us_p50\": {},\n  \
+         \"loopback_wall_ms\": {loop_wall_ms:.3},\n  \
+         \"tcp_rtt_us_mean\": {:.1},\n  \"tcp_rtt_us_p50\": {},\n  \
+         \"decode_failures\": 0,\n  \"answers_identical\": true\n}}\n",
+        mean(&sim_latencies),
+        p50(&sim_latencies),
+        mean(&loop_latencies),
+        p50(&loop_latencies),
+        mean(&tcp_latencies),
+        p50(&tcp_latencies),
+    );
+    match std::fs::write("BENCH_e20.json", &json) {
+        Ok(()) => out.push_str("\nwrote BENCH_e20.json\n"),
+        Err(e) => out.push_str(&format!("\ncould not write BENCH_e20.json: {e}\n")),
+    }
+    out.push_str(
+        "\nacceptance: identical answer sets on all three substrates; \
+         0 decode failures with the codec on every loopback hop.\n",
+    );
     out
 }

@@ -1,0 +1,158 @@
+//! Peer-group assembly and driving over *any* transport.
+//!
+//! Everything here is written against the [`Transport`] trait, never a
+//! concrete substrate — this is the mechanical proof of ROADMAP item 3's
+//! "one code path" claim: the daemon's TCP host, the E20 bench and the
+//! simulator≡loopback equivalence test all assemble and drive groups
+//! through these functions, swapping only the transport value.
+//!
+//! A group mirrors the ad-hoc SON construction of `sqpeer-overlay`: one
+//! [`PeerNode`] per description base, fully meshed neighbours, pull-based
+//! advertisement discovery, plus a client node that poses queries.
+
+use sqpeer_exec::{
+    node_of, BaseKind, Msg, PeerConfig, PeerMode, PeerNode, QueryId, QueryOutcome, Role,
+};
+use sqpeer_net::Transport;
+use sqpeer_rdfs::Schema;
+use sqpeer_routing::PeerId;
+use sqpeer_rql::{compile, QueryPattern, RqlError};
+use sqpeer_store::DescriptionBase;
+use std::sync::Arc;
+
+/// What a tenant group looks like before it runs.
+pub struct GroupSpec {
+    /// The community schema all members share.
+    pub schema: Arc<Schema>,
+    /// One description base per member peer.
+    pub bases: Vec<DescriptionBase>,
+    /// Peer configuration (timeouts, leases, caches).
+    pub config: PeerConfig,
+}
+
+/// A group assembled onto some transport.
+pub struct Group {
+    /// Member peers, in base order: `PeerId(0..n)`.
+    pub peers: Vec<PeerId>,
+    /// The client-peer that poses queries (`PeerId(n)`).
+    pub client: PeerId,
+    /// The community schema.
+    pub schema: Arc<Schema>,
+    next_qid: u64,
+}
+
+impl Group {
+    /// Compiles an RQL text against the group's community schema.
+    pub fn compile(&self, rql: &str) -> Result<QueryPattern, RqlError> {
+        compile(rql, &self.schema)
+    }
+}
+
+/// Assembles `spec` onto `transport`: adds one fully-meshed peer node per
+/// base plus a client node, then runs pull-based advertisement discovery
+/// for `settle_us` of transport time.
+pub fn assemble<T: Transport<PeerNode>>(
+    transport: &mut T,
+    spec: GroupSpec,
+    settle_us: u64,
+) -> Group {
+    let GroupSpec {
+        schema,
+        bases,
+        config,
+    } = spec;
+    // A group is an ad-hoc SON (full mesh, no super-peer backbone):
+    // peers route over their own registries, whatever mode the caller's
+    // config template carried.
+    let config = PeerConfig {
+        mode: PeerMode::Adhoc,
+        ..config
+    };
+    let count = bases.len() as u32;
+    let peers: Vec<PeerId> = (0..count).map(PeerId).collect();
+    for (i, base) in bases.into_iter().enumerate() {
+        let id = PeerId(i as u32);
+        let mut node = PeerNode::new(
+            id,
+            Role::Simple,
+            BaseKind::Materialized(base),
+            config.clone(),
+        );
+        if let Some(ad) = node.own_advertisement() {
+            node.registry.register(ad);
+        }
+        node.neighbours = peers.iter().copied().filter(|&p| p != id).collect();
+        transport.add_node(node_of(id), node);
+    }
+    let client = PeerId(count);
+    transport.add_node(node_of(client), PeerNode::client(client));
+
+    // Pull-based discovery: every peer asks every neighbour for its
+    // 1-hop neighbourhood's advertisements (§3.2).
+    for &peer in &peers {
+        for &other in &peers {
+            if other == peer {
+                continue;
+            }
+            let msg = Msg::RequestAds { depth: 1 };
+            let bytes = msg.wire_size();
+            transport.inject(node_of(peer), node_of(other), msg, bytes);
+        }
+    }
+    transport.step_for(settle_us);
+
+    Group {
+        peers,
+        client,
+        schema,
+        next_qid: 0,
+    }
+}
+
+/// Poses `query` at member `at` from the group's client. Returns the
+/// query id to poll with [`outcome`].
+pub fn pose<T: Transport<PeerNode>>(
+    transport: &mut T,
+    group: &mut Group,
+    at: PeerId,
+    query: QueryPattern,
+) -> QueryId {
+    let qid = QueryId(group.next_qid);
+    group.next_qid += 1;
+    let msg = Msg::ClientQuery { qid, query };
+    let bytes = msg.wire_size();
+    transport.inject(node_of(group.client), node_of(at), msg, bytes);
+    qid
+}
+
+/// The recorded outcome of `qid` at member `at`, if it has completed.
+pub fn outcome<T: Transport<PeerNode>>(
+    transport: &T,
+    at: PeerId,
+    qid: QueryId,
+) -> Option<&QueryOutcome> {
+    transport
+        .node(node_of(at))
+        .and_then(|n| n.outcomes.get(&qid))
+}
+
+/// Steps `transport` in `slice_us` increments until `qid` completes at
+/// `at` or `budget_us` of transport time elapses. Returns whether the
+/// outcome arrived.
+pub fn await_outcome<T: Transport<PeerNode>>(
+    transport: &mut T,
+    at: PeerId,
+    qid: QueryId,
+    slice_us: u64,
+    budget_us: u64,
+) -> bool {
+    let mut spent = 0;
+    while spent < budget_us {
+        if outcome(transport, at, qid).is_some() {
+            return true;
+        }
+        transport.step_for(slice_us);
+        spent += slice_us;
+    }
+    outcome(transport, at, qid).is_some()
+}

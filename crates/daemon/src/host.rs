@@ -1,0 +1,319 @@
+//! The `sqpeerd` peer host: a tenant group behind real TCP.
+//!
+//! A host owns one [`LoopbackNet`] of [`PeerNode`]s (a tenant's peer
+//! group) and exposes two sockets:
+//!
+//! * the **peer port** speaks the wire protocol: clients (the gateway)
+//!   send [`Envelope`]d `ClientQuery` frames and receive the answer as a
+//!   `Data` frame — the §2.4 result packet, which carries both the rows
+//!   and the completeness flag;
+//! * the **status port** serves the PR 5 telemetry snapshot as plain
+//!   text: connect, read to EOF, done — `curl`-able without any HTTP
+//!   machinery.
+//!
+//! Threading: an accept thread per listener, a reader thread per peer
+//! connection, and one pump thread that owns the transport. Connection
+//! threads talk to the pump over an mpsc channel and block on a
+//! per-query reply channel, so several queries can be in flight at once.
+
+use crate::{assemble, group, Group, GroupSpec, LoopbackNet};
+use sqpeer_exec::{Msg, PeerNode, QueryId};
+use sqpeer_net::{Channel, ChannelId, ChannelState, Transport};
+use sqpeer_routing::PeerId;
+use sqpeer_rql::ResultSet;
+use sqpeer_wire::{read_frame, write_frame, Envelope, SchemaRegistry};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How a host is set up.
+pub struct HostConfig {
+    /// Peer-port bind address (use port 0 to let the OS pick).
+    pub listen: String,
+    /// Optional status-port bind address.
+    pub status: Option<String>,
+    /// The tenant group to assemble.
+    pub spec: GroupSpec,
+    /// Telemetry window (µs); `None` disables collection.
+    pub telemetry_window_us: Option<u64>,
+    /// Transport time given to advertisement discovery at boot.
+    pub settle_us: u64,
+}
+
+/// One in-flight query inside the pump.
+struct InFlight {
+    at: PeerId,
+    reply: Sender<(ResultSet, bool)>,
+}
+
+/// A query command from a connection thread to the pump.
+struct Command {
+    at: PeerId,
+    query: sqpeer_rql::QueryPattern,
+    reply: Sender<(ResultSet, bool)>,
+}
+
+/// A running host.
+pub struct HostHandle {
+    /// The bound peer-port address.
+    pub addr: SocketAddr,
+    /// The bound status-port address, when configured.
+    pub status_addr: Option<SocketAddr>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl HostHandle {
+    /// Signals every thread to stop and joins them.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Boots a host: assembles the group on a fresh loopback transport,
+/// binds the sockets, spawns the pump and accept threads.
+pub fn spawn_host(config: HostConfig) -> io::Result<HostHandle> {
+    let HostConfig {
+        listen,
+        status,
+        spec,
+        telemetry_window_us,
+        settle_us,
+    } = config;
+
+    let mut schemas = SchemaRegistry::new();
+    schemas.register(Arc::clone(&spec.schema));
+    let mut net: LoopbackNet<PeerNode> = LoopbackNet::new(schemas.clone());
+    if let Some(window) = telemetry_window_us {
+        net.enable_telemetry(window);
+    }
+    let group = assemble(&mut net, spec, settle_us);
+
+    let listener = TcpListener::bind(&listen)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let status_listener = match &status {
+        Some(s) => {
+            let l = TcpListener::bind(s)?;
+            l.set_nonblocking(true)?;
+            Some(l)
+        }
+        None => None,
+    };
+    let status_addr = status_listener.as_ref().and_then(|l| l.local_addr().ok());
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (cmd_tx, cmd_rx) = channel::<Command>();
+    // The pump publishes status text through a shared cell the status
+    // thread reads — the transport itself never leaves the pump thread.
+    let status_text: Arc<std::sync::Mutex<String>> = Arc::new(std::sync::Mutex::new(String::new()));
+
+    let mut threads = Vec::new();
+
+    // Pump thread: owns the transport, injects queries, collects
+    // outcomes, refreshes the status text.
+    {
+        let shutdown = Arc::clone(&shutdown);
+        let status_text = Arc::clone(&status_text);
+        threads.push(std::thread::spawn(move || {
+            pump(net, group, cmd_rx, shutdown, status_text);
+        }));
+    }
+
+    // Peer-port accept thread.
+    {
+        let shutdown = Arc::clone(&shutdown);
+        let schemas = schemas.clone();
+        threads.push(std::thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let cmd_tx = cmd_tx.clone();
+                        let schemas = schemas.clone();
+                        let shutdown = Arc::clone(&shutdown);
+                        std::thread::spawn(move || {
+                            serve_connection(stream, cmd_tx, schemas, shutdown)
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        }));
+    }
+
+    // Status accept thread.
+    if let Some(listener) = status_listener {
+        let shutdown = Arc::clone(&shutdown);
+        let status_text = Arc::clone(&status_text);
+        threads.push(std::thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        let text = status_text.lock().map(|t| t.clone()).unwrap_or_default();
+                        let _ = io::Write::write_all(&mut stream, text.as_bytes());
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        }));
+    }
+
+    Ok(HostHandle {
+        addr,
+        status_addr,
+        shutdown,
+        threads,
+    })
+}
+
+/// The transport-owning loop: drain commands, step real time, complete
+/// queries, refresh status.
+fn pump(
+    mut net: LoopbackNet<PeerNode>,
+    mut group: Group,
+    cmd_rx: Receiver<Command>,
+    shutdown: Arc<AtomicBool>,
+    status_text: Arc<std::sync::Mutex<String>>,
+) {
+    let mut in_flight: HashMap<QueryId, InFlight> = HashMap::new();
+    let mut status_refresh = 0u32;
+    while !shutdown.load(Ordering::SeqCst) {
+        // Admit every waiting command, then give the transport a slice.
+        while let Ok(cmd) = cmd_rx.try_recv() {
+            let qid = group::pose(&mut net, &mut group, cmd.at, cmd.query);
+            in_flight.insert(
+                qid,
+                InFlight {
+                    at: cmd.at,
+                    reply: cmd.reply,
+                },
+            );
+        }
+        net.step_for(1_000);
+        in_flight.retain(|&qid, flight| match group::outcome(&net, flight.at, qid) {
+            Some(outcome) => {
+                let _ = flight.reply.send((outcome.result.clone(), outcome.partial));
+                false
+            }
+            None => true,
+        });
+        status_refresh += 1;
+        if status_refresh.is_multiple_of(100) {
+            if let Ok(mut t) = status_text.lock() {
+                *t = render_status(&net);
+            }
+        }
+    }
+}
+
+/// Renders the plain-text status page: counters plus the telemetry
+/// snapshot's own rendering.
+fn render_status(net: &LoopbackNet<PeerNode>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let m = net.metrics();
+    let _ = writeln!(out, "sqpeerd status");
+    let _ = writeln!(out, "now_us {}", net.now_us());
+    let _ = writeln!(out, "messages {}", m.total_messages());
+    let _ = writeln!(out, "bytes {}", m.total_bytes());
+    let _ = writeln!(out, "dropped {}", m.dropped());
+    let _ = writeln!(out, "retries {}", m.retries_sent());
+    let _ = writeln!(out, "replans {}", m.replans());
+    let _ = writeln!(out, "decode_failures {}", net.decode_failures());
+    match net.telemetry_snapshot() {
+        Some(t) => {
+            let _ = writeln!(out, "telemetry_links {}", t.len());
+            out.push_str(&t.render());
+        }
+        None => {
+            let _ = writeln!(out, "telemetry off");
+        }
+    }
+    out
+}
+
+/// One peer-port connection: `Envelope(ClientQuery)` in, `Envelope(Data)`
+/// out, until the peer closes or shutdown.
+fn serve_connection(
+    mut stream: TcpStream,
+    cmd_tx: Sender<Command>,
+    schemas: SchemaRegistry,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let envelope: Envelope = match read_frame(&mut stream, &schemas) {
+            Ok(Some(e)) => e,
+            Ok(None) => return, // clean EOF
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return,
+        };
+        let Msg::ClientQuery { qid, query } = envelope.msg else {
+            // Anything but a client query on the front door is refused by
+            // closing: the peer protocol proper runs inside the group.
+            return;
+        };
+        let (reply_tx, reply_rx) = channel();
+        // `envelope.to` names the member peer the client wants to pose
+        // the query at; the pump re-mints a host-local qid and the reply
+        // echoes the client's own.
+        if cmd_tx
+            .send(Command {
+                at: envelope.to,
+                query,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            return;
+        }
+        let Ok((result, partial)) = reply_rx.recv() else {
+            return;
+        };
+        let answer = Envelope {
+            from: envelope.to,
+            to: envelope.from,
+            sent_at_us: 0,
+            msg: Msg::Data {
+                channel: Channel {
+                    id: ChannelId(qid.0),
+                    root: envelope.from,
+                    dest: envelope.to,
+                    state: ChannelState::Closed,
+                },
+                qid,
+                tag: 0,
+                result,
+                partial,
+                stats: None,
+                seq: 0,
+                last: true,
+            },
+        };
+        if write_frame(&mut stream, &answer).is_err() {
+            return;
+        }
+    }
+}

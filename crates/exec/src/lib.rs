@@ -22,7 +22,7 @@ pub mod msg;
 pub mod peer;
 
 pub use local::{default_workers, eval_local, eval_local_threads};
-pub use msg::{Msg, QueryId, QueryOutcome, TraceCtx};
+pub use msg::{Msg, PeerChannel, QueryId, QueryOutcome, TraceCtx};
 pub use peer::{BaseKind, PeerConfig, PeerMode, PeerNode, Role, SlowChannelPolicy};
 pub use sqpeer_cache::{CacheConfig, CacheStats};
 pub use sqpeer_plan::Explain;

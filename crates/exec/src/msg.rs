@@ -2,8 +2,14 @@
 
 use sqpeer_net::Channel;
 use sqpeer_plan::PlanNode;
-use sqpeer_routing::{Advertisement, AnnotatedQuery};
+use sqpeer_routing::{Advertisement, AnnotatedQuery, PeerId};
 use sqpeer_rql::{QueryPattern, ResultSet};
+
+/// The channel bookkeeping type as it travels between peers: endpoints
+/// are the transport-agnostic routing-level [`PeerId`]s, *not* simulator
+/// node indices — the same message bytes are valid under the virtual-time
+/// simulator and the real-clock transports of `sqpeer-daemon`.
+pub type PeerChannel = Channel<PeerId>;
 
 /// Globally unique query identifier (assigned at injection).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -108,7 +114,7 @@ pub enum Msg {
     /// executing.
     Subplan {
         /// The channel this subplan belongs to (root manages it).
-        channel: Channel,
+        channel: PeerChannel,
         /// The query it serves.
         qid: QueryId,
         /// Echoed verbatim in the `Data` reply so the root can slot the
@@ -132,7 +138,7 @@ pub enum Msg {
     /// A data packet streaming a subplan result dest → root (§2.4).
     Data {
         /// The channel it flows on.
-        channel: Channel,
+        channel: PeerChannel,
         /// The query it serves.
         qid: QueryId,
         /// Echo of the request tag.
@@ -156,7 +162,7 @@ pub enum Msg {
     /// subplan (no peer found for a hole, downstream failure, …).
     SubplanFailed {
         /// The channel it flows on.
-        channel: Channel,
+        channel: PeerChannel,
         /// The query it serves.
         qid: QueryId,
         /// Echo of the request tag.
@@ -260,8 +266,8 @@ mod tests {
         let d_small = Msg::Data {
             channel: sqpeer_net::Channel {
                 id: sqpeer_net::ChannelId(0),
-                root: sqpeer_net::NodeId(0),
-                dest: sqpeer_net::NodeId(1),
+                root: PeerId(0),
+                dest: PeerId(1),
                 state: sqpeer_net::ChannelState::Open,
             },
             qid: QueryId(1),
@@ -275,8 +281,8 @@ mod tests {
         let d_big = Msg::Data {
             channel: sqpeer_net::Channel {
                 id: sqpeer_net::ChannelId(0),
-                root: sqpeer_net::NodeId(0),
-                dest: sqpeer_net::NodeId(1),
+                root: PeerId(0),
+                dest: PeerId(1),
                 state: sqpeer_net::ChannelState::Open,
             },
             qid: QueryId(1),

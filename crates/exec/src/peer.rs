@@ -15,7 +15,7 @@
 //! reaction to a delivered message or a failure notification.
 
 use crate::local::{eval_local, fully_local};
-use crate::msg::{Msg, QueryId, QueryOutcome};
+use crate::msg::{Msg, PeerChannel, QueryId, QueryOutcome};
 use crate::{node_of, peer_of};
 use sqpeer_cache::{CacheConfig, CacheStats, SemanticCache};
 use sqpeer_net::{Channel, ChannelTable, Ctx, NodeId, NodeLogic};
@@ -291,7 +291,7 @@ impl BaseKind {
 #[derive(Debug)]
 struct RootQuery {
     query: QueryPattern,
-    client: Option<NodeId>,
+    client: Option<PeerId>,
     excluded: HashSet<PeerId>,
     replans: u32,
     started_at_us: u64,
@@ -327,7 +327,7 @@ struct RootQuery {
 }
 
 impl RootQuery {
-    fn new(query: QueryPattern, client: Option<NodeId>, started_at_us: u64) -> Self {
+    fn new(query: QueryPattern, client: Option<PeerId>, started_at_us: u64) -> Self {
         RootQuery {
             query,
             client,
@@ -363,7 +363,7 @@ enum Completion {
     Parent { frame: u64, slot: usize },
     /// Stream a `Data` packet to the channel root.
     Channel {
-        channel: Channel,
+        channel: Channel<PeerId>,
         qid: QueryId,
         tag: u64,
     },
@@ -490,7 +490,7 @@ pub struct PeerNode {
     /// of §2.2 / E8).
     pub queries_processed: usize,
 
-    channels: ChannelTable,
+    channels: ChannelTable<PeerId>,
     rooted: HashMap<QueryId, RootQuery>,
     frames: HashMap<u64, Frame>,
     next_frame: u64,
@@ -498,7 +498,7 @@ pub struct PeerNode {
     next_tag: u64,
     /// Route requests this super-peer relayed on the backbone:
     /// query id → the node the eventual response must be forwarded to.
-    route_relays: HashMap<QueryId, NodeId>,
+    route_relays: HashMap<QueryId, PeerId>,
     /// Completions deferred by the processing-delay model, keyed by timer.
     delayed: HashMap<u64, (Completion, ResultSet, bool)>,
     /// Subplan-timeout timers: timer id → outstanding tag.
@@ -507,16 +507,18 @@ pub struct PeerNode {
     /// set): timer id → outstanding tag.
     probes: HashMap<u64, u64>,
     /// Subplans waiting for a processing slot (FIFO).
-    slot_queue: std::collections::VecDeque<(Channel, QueryId, u64, PlanNode, Vec<PeerId>)>,
+    slot_queue: std::collections::VecDeque<(PeerChannel, QueryId, u64, PlanNode, Vec<PeerId>)>,
     /// Partially received streamed results, keyed by outstanding tag:
     /// out-of-order batches indexed by sequence number plus the final
     /// sequence once known.
     streams: HashMap<u64, StreamBuffer>,
     next_timer: u64,
     /// Idempotent receive: highest attempt served per subplan identity
-    /// `(root node, query, tag)`. Network duplicates (attempt ≤ served)
+    /// `(root peer, query, tag)` — keyed on the transport-agnostic
+    /// [`PeerId`], not a simulator node index, so the dedup log survives
+    /// a change of substrate. Network duplicates (attempt ≤ served)
     /// are dropped; genuine retries (attempt > served) re-evaluate.
-    served: HashMap<(NodeId, QueryId, u64), u32>,
+    served: HashMap<(PeerId, QueryId, u64), u32>,
     /// Lease bookkeeping (only populated with `config.ad_lease_us` set):
     /// advertisement expiry deadlines per peer.
     lease_expiry: HashMap<PeerId, u64>,
@@ -655,7 +657,7 @@ impl PeerNode {
         ctx: &mut Ctx<Msg>,
         qid: QueryId,
         query: QueryPattern,
-        client: Option<NodeId>,
+        client: Option<PeerId>,
     ) {
         // Class-membership patterns are outside the routable fragment
         // (§2.1: routing operates on path patterns); such queries are
@@ -1239,9 +1241,9 @@ impl PeerNode {
     ) {
         // Reuse the open channel towards `dest` if one exists (§2.4: one
         // channel per contacted peer).
-        let channel = match self.channels.open_towards(node_of(dest)) {
+        let channel = match self.channels.open_towards(dest) {
             Some(ch) => ch,
-            None => self.channels.open(node_of(self.id), node_of(dest)),
+            None => self.channels.open(self.id, dest),
         };
         let plan_key = plan.to_string();
         if self.config.phased {
@@ -1331,9 +1333,9 @@ impl PeerNode {
         pending.attempt += 1;
         let (qid, dest, attempt) = (pending.qid, pending.dest, pending.attempt);
         let (plan, visited) = (pending.plan.clone(), pending.visited.clone());
-        let channel = match self.channels.open_towards(node_of(dest)) {
+        let channel = match self.channels.open_towards(dest) {
             Some(ch) => ch,
-            None => self.channels.open(node_of(self.id), node_of(dest)),
+            None => self.channels.open(self.id, dest),
         };
         ctx.note_retry();
         let timer = self.next_timer;
@@ -1395,7 +1397,7 @@ impl PeerNode {
                         last: true,
                     };
                     let bytes = msg.wire_size();
-                    ctx.send(channel.root, msg, bytes);
+                    ctx.send(node_of(channel.root), msg, bytes);
                 } else {
                     // Stream the result as a pipeline of data packets.
                     let columns = result.columns.clone();
@@ -1419,7 +1421,7 @@ impl PeerNode {
                             last,
                         };
                         let bytes = msg.wire_size();
-                        ctx.send(channel.root, msg, bytes);
+                        ctx.send(node_of(channel.root), msg, bytes);
                     }
                 }
             }
@@ -1435,7 +1437,7 @@ impl PeerNode {
             Completion::Channel { channel, qid, tag } => {
                 let msg = Msg::SubplanFailed { channel, qid, tag };
                 let bytes = msg.wire_size();
-                ctx.send(channel.root, msg, bytes);
+                ctx.send(node_of(channel.root), msg, bytes);
             }
             Completion::Root { qid } => self.finalize(ctx, qid, ResultSet::default(), true),
         }
@@ -1612,7 +1614,7 @@ impl PeerNode {
                 result: projected,
             };
             let bytes = msg.wire_size();
-            ctx.send(client, msg, bytes);
+            ctx.send(node_of(client), msg, bytes);
         }
     }
 
@@ -1694,7 +1696,7 @@ impl PeerNode {
             )
         });
         let pending = self.outstanding.remove(&tag).expect("checked above");
-        self.channels.fail_towards(node_of(dest));
+        self.channels.fail_towards(dest);
         self.channels.sweep();
         self.handle_lost_subplan(ctx, pending, ReplanCause::SlowChannel);
     }
@@ -1833,7 +1835,7 @@ impl PeerNode {
     fn serve_subplan(
         &mut self,
         ctx: &mut Ctx<Msg>,
-        channel: Channel,
+        channel: Channel<PeerId>,
         qid: QueryId,
         tag: u64,
         plan: PlanNode,
@@ -2120,7 +2122,7 @@ impl NodeLogic for PeerNode {
                         missing,
                     };
                     let bytes = msg.wire_size();
-                    ctx.send(requester, msg, bytes);
+                    ctx.send(node_of(requester), msg, bytes);
                 } else {
                     if let Some(root) = self.rooted.get_mut(&qid) {
                         // The super-peer named departed contributors: the
@@ -2237,12 +2239,14 @@ impl NodeLogic for PeerNode {
                 }
             }
             Msg::ExecutePlan { qid, query, plan } => {
-                self.rooted
-                    .insert(qid, RootQuery::new(query, Some(from), ctx.now_us()));
+                self.rooted.insert(
+                    qid,
+                    RootQuery::new(query, Some(peer_of(from)), ctx.now_us()),
+                );
                 self.execute(ctx, qid, plan, Completion::Root { qid });
             }
             Msg::ClientQuery { qid, query } => {
-                self.begin_query(ctx, qid, query, Some(from));
+                self.begin_query(ctx, qid, query, Some(peer_of(from)));
             }
             Msg::ClientAnswer { qid, result } => {
                 self.client_answers.insert(qid, result);
@@ -2361,7 +2365,7 @@ impl NodeLogic for PeerNode {
                         pending.attempt + 1
                     )
                 });
-                self.channels.fail_towards(node_of(pending.dest));
+                self.channels.fail_towards(pending.dest);
                 self.channels.sweep();
                 self.handle_lost_subplan(ctx, pending, ReplanCause::Timeout);
             }
@@ -2370,7 +2374,7 @@ impl NodeLogic for PeerNode {
 
     fn on_delivery_failure(&mut self, ctx: &mut Ctx<Msg>, to: NodeId, msg: Msg) {
         let failed_peer = peer_of(to);
-        self.channels.fail_towards(to);
+        self.channels.fail_towards(failed_peer);
         // GC: failed channels never come back (adaptation opens fresh
         // ones), so drop them now to keep the table bounded.
         self.channels.sweep();
@@ -2452,7 +2456,7 @@ impl PeerNode {
             return;
         }
         let sp = next.expect("checked above");
-        self.route_relays.insert(qid, from);
+        self.route_relays.insert(qid, peer_of(from));
         let msg = Msg::RouteRequest {
             qid,
             query,

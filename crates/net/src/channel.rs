@@ -15,6 +15,7 @@
 
 use crate::sim::NodeId;
 use std::collections::HashMap;
+use std::hash::Hash;
 
 /// A channel id, unique *per root node* ("its local unique id").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -32,31 +33,47 @@ pub enum ChannelState {
 }
 
 /// One channel endpoint's view.
+///
+/// Generic over the endpoint identifier `I` so the *same* bookkeeping
+/// serves both the simulator (keyed by [`NodeId`]) and the execution
+/// engine, which keys channels on the transport-agnostic routing-level
+/// peer identity — real deployments address peers, not simulator node
+/// indices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Channel {
+pub struct Channel<I = NodeId> {
     /// The root-minted id.
     pub id: ChannelId,
     /// The root node (receives data packets, manages the channel).
-    pub root: NodeId,
+    pub root: I,
     /// The destination node (evaluates the subplan, streams data back).
-    pub dest: NodeId,
+    pub dest: I,
     /// Current state.
     pub state: ChannelState,
 }
 
 /// The channel table a node keeps: channels it roots plus channels rooted
 /// elsewhere that target it.
-#[derive(Debug, Clone, Default)]
-pub struct ChannelTable {
+#[derive(Debug, Clone)]
+pub struct ChannelTable<I = NodeId> {
     next_id: u64,
     /// Channels this node manages (it is the root).
-    rooted: HashMap<ChannelId, Channel>,
+    rooted: HashMap<ChannelId, Channel<I>>,
     /// Channels this node serves (it is the destination), keyed by
     /// (root, id) because ids are only unique per root.
-    serving: HashMap<(NodeId, ChannelId), Channel>,
+    serving: HashMap<(I, ChannelId), Channel<I>>,
 }
 
-impl ChannelTable {
+impl<I> Default for ChannelTable<I> {
+    fn default() -> Self {
+        ChannelTable {
+            next_id: 0,
+            rooted: HashMap::new(),
+            serving: HashMap::new(),
+        }
+    }
+}
+
+impl<I: Copy + Eq + Hash + Ord> ChannelTable<I> {
     /// Creates an empty table.
     pub fn new() -> Self {
         ChannelTable::default()
@@ -64,7 +81,7 @@ impl ChannelTable {
 
     /// Opens a channel rooted at `root` (this node) towards `dest`,
     /// minting a fresh local id.
-    pub fn open(&mut self, root: NodeId, dest: NodeId) -> Channel {
+    pub fn open(&mut self, root: I, dest: I) -> Channel<I> {
         let id = ChannelId(self.next_id);
         self.next_id += 1;
         let ch = Channel {
@@ -78,23 +95,23 @@ impl ChannelTable {
     }
 
     /// Records, at the destination side, a channel another node rooted.
-    pub fn accept(&mut self, ch: Channel) {
+    pub fn accept(&mut self, ch: Channel<I>) {
         self.serving.insert((ch.root, ch.id), ch);
     }
 
     /// A channel this node roots.
-    pub fn rooted(&self, id: ChannelId) -> Option<&Channel> {
+    pub fn rooted(&self, id: ChannelId) -> Option<&Channel<I>> {
         self.rooted.get(&id)
     }
 
     /// A channel this node serves for `root`.
-    pub fn serving(&self, root: NodeId, id: ChannelId) -> Option<&Channel> {
+    pub fn serving(&self, root: I, id: ChannelId) -> Option<&Channel<I>> {
         self.serving.get(&(root, id))
     }
 
     /// All open channels this node roots, ordered by id.
-    pub fn open_rooted(&self) -> Vec<Channel> {
-        let mut out: Vec<Channel> = self
+    pub fn open_rooted(&self) -> Vec<Channel<I>> {
+        let mut out: Vec<Channel<I>> = self
             .rooted
             .values()
             .filter(|c| c.state == ChannelState::Open)
@@ -107,12 +124,12 @@ impl ChannelTable {
     /// The open channel (if any) this node roots towards `dest` —
     /// "although each of these peers may contribute … only one channel is
     /// of course created" (§2.4).
-    pub fn open_towards(&self, dest: NodeId) -> Option<Channel> {
+    pub fn open_towards(&self, dest: I) -> Option<Channel<I>> {
         self.open_rooted().into_iter().find(|c| c.dest == dest)
     }
 
     /// Marks a rooted channel's state; returns the updated channel.
-    pub fn set_state(&mut self, id: ChannelId, state: ChannelState) -> Option<Channel> {
+    pub fn set_state(&mut self, id: ChannelId, state: ChannelState) -> Option<Channel<I>> {
         let ch = self.rooted.get_mut(&id)?;
         ch.state = state;
         Some(*ch)
@@ -120,7 +137,7 @@ impl ChannelTable {
 
     /// Marks every open channel towards `dest` failed, returning them —
     /// what a root does on a delivery-failure signal.
-    pub fn fail_towards(&mut self, dest: NodeId) -> Vec<Channel> {
+    pub fn fail_towards(&mut self, dest: I) -> Vec<Channel<I>> {
         let mut failed = Vec::new();
         for ch in self.rooted.values_mut() {
             if ch.dest == dest && ch.state == ChannelState::Open {
@@ -133,7 +150,7 @@ impl ChannelTable {
     }
 
     /// Closes and forgets a served channel.
-    pub fn finish_serving(&mut self, root: NodeId, id: ChannelId) -> Option<Channel> {
+    pub fn finish_serving(&mut self, root: I, id: ChannelId) -> Option<Channel<I>> {
         self.serving.remove(&(root, id))
     }
 

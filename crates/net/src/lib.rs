@@ -28,9 +28,11 @@ pub mod fault;
 pub mod metrics;
 pub mod sim;
 pub mod telemetry;
+pub mod transport;
 
 pub use channel::{Channel, ChannelId, ChannelState, ChannelTable};
 pub use fault::{ChurnEvent, FaultPlan, SplitMix64};
 pub use metrics::{Metrics, MetricsDelta, NodeMetrics};
-pub use sim::{Ctx, LinkSpec, NodeId, NodeLogic, Simulator};
+pub use sim::{Ctx, CtxEffects, LinkSpec, NodeId, NodeLogic, Simulator};
 pub use telemetry::{Histogram, LinkTelemetry, TelemetryRegistry, DEFAULT_WINDOW_US};
+pub use transport::{Clock, ManualClock, Transport};

@@ -71,7 +71,7 @@ pub struct MetricsDelta {
 
 impl Metrics {
     /// Records a successful delivery of `bytes` from `from` to `to`.
-    pub(crate) fn record_delivery(&mut self, from: NodeId, to: NodeId, bytes: usize) {
+    pub fn record_delivery(&mut self, from: NodeId, to: NodeId, bytes: usize) {
         let _ = from;
         self.deliveries += 1;
         self.delivered_bytes += bytes;
@@ -81,7 +81,7 @@ impl Metrics {
     }
 
     /// Records a send by `from` (whether or not it is later delivered).
-    pub(crate) fn record_send(&mut self, from: NodeId, to: NodeId, bytes: usize) {
+    pub fn record_send(&mut self, from: NodeId, to: NodeId, bytes: usize) {
         let _ = to;
         let m = self.per_node.entry(from).or_default();
         m.messages_sent += 1;
@@ -89,51 +89,51 @@ impl Metrics {
     }
 
     /// Records a delivery to `to` dropped by a down destination or link.
-    pub(crate) fn record_drop(&mut self, to: NodeId) {
+    pub fn record_drop(&mut self, to: NodeId) {
         self.dropped += 1;
         self.per_node.entry(to).or_default().dropped += 1;
     }
 
     /// Records a fault-plan silent drop of a message addressed to `to` —
     /// no failure notification fired.
-    pub(crate) fn record_silent_drop(&mut self, to: NodeId) {
+    pub fn record_silent_drop(&mut self, to: NodeId) {
         self.silent_drops += 1;
         self.per_node.entry(to).or_default().silent_dropped += 1;
     }
 
     /// Records delivery of a fault-plan duplicate to `to`.
-    pub(crate) fn record_duplicate(&mut self, to: NodeId) {
+    pub fn record_duplicate(&mut self, to: NodeId) {
         self.duplicates_delivered += 1;
         self.per_node.entry(to).or_default().duplicates_received += 1;
     }
 
     /// Records a protocol-level subplan retry (reported by nodes via
     /// [`crate::Ctx::note_retry`]).
-    pub(crate) fn record_retry(&mut self) {
+    pub fn record_retry(&mut self) {
         self.retries_sent += 1;
     }
 
     /// Records a subplan-timeout firing ([`crate::Ctx::note_timeout`]).
-    pub(crate) fn record_timeout(&mut self) {
+    pub fn record_timeout(&mut self) {
         self.timeouts_fired += 1;
     }
 
     /// Records a query re-plan ([`crate::Ctx::note_replan`]).
-    pub(crate) fn record_replan(&mut self) {
+    pub fn record_replan(&mut self) {
         self.replans += 1;
     }
 
     /// Records a re-plan triggered by the telemetry slow-channel detector
     /// ([`crate::Ctx::note_slow_replan`]) — counted *in addition to* the
     /// total in [`Metrics::replans`].
-    pub(crate) fn record_slow_replan(&mut self) {
+    pub fn record_slow_replan(&mut self) {
         self.slow_channel_replans += 1;
     }
 
     /// Records a re-plan triggered by a subplan timeout
     /// ([`crate::Ctx::note_timeout_replan`]) — counted *in addition to*
     /// the total in [`Metrics::replans`].
-    pub(crate) fn record_timeout_replan(&mut self) {
+    pub fn record_timeout_replan(&mut self) {
         self.timeout_replans += 1;
     }
 

@@ -153,6 +153,51 @@ impl<M> Ctx<M> {
     pub fn note_timeout_replan(&mut self) {
         self.timeout_replans += 1;
     }
+
+    /// A context for driving a [`NodeLogic`] *outside* the simulator —
+    /// the seam real-clock transports (`sqpeer-daemon`) use to dispatch
+    /// callbacks. The transport constructs one per callback, passes it to
+    /// the node, then consumes it with [`Ctx::into_effects`] and applies
+    /// the effects to its own queue and metrics exactly as
+    /// `Simulator::flush` does.
+    pub fn detached(now_us: u64, node: NodeId) -> Self {
+        Ctx::new(now_us, node)
+    }
+
+    /// Consumes the context, yielding everything the node asked for.
+    pub fn into_effects(self) -> CtxEffects<M> {
+        CtxEffects {
+            outbox: self.outbox,
+            timers: self.timers,
+            retries: self.retries,
+            timeouts: self.timeouts,
+            replans: self.replans,
+            slow_replans: self.slow_replans,
+            timeout_replans: self.timeout_replans,
+        }
+    }
+}
+
+/// The effects a [`NodeLogic`] callback accumulated in its [`Ctx`]:
+/// messages to send, timers to arm, counters to fold into [`Metrics`].
+/// Produced by [`Ctx::into_effects`] for transports that dispatch
+/// callbacks outside the simulator.
+#[derive(Debug)]
+pub struct CtxEffects<M> {
+    /// `(to, msg, bytes)` sends, in call order.
+    pub outbox: Vec<(NodeId, M, usize)>,
+    /// `(delay_us, timer)` timer arms, in call order.
+    pub timers: Vec<(u64, u64)>,
+    /// [`Ctx::note_retry`] count.
+    pub retries: usize,
+    /// [`Ctx::note_timeout`] count.
+    pub timeouts: usize,
+    /// [`Ctx::note_replan`] count.
+    pub replans: usize,
+    /// [`Ctx::note_slow_replan`] count.
+    pub slow_replans: usize,
+    /// [`Ctx::note_timeout_replan`] count.
+    pub timeout_replans: usize,
 }
 
 /// One scheduled event.

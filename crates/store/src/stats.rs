@@ -107,6 +107,42 @@ impl BaseStatistics {
     pub fn total_triples(&self) -> usize {
         self.props.iter().map(|p| p.triples).sum()
     }
+
+    /// Reassembles a snapshot from vectors produced by
+    /// [`BaseStatistics::raw_parts`] — the wire-decoding path, where no
+    /// schema is available to recompute the closed aggregates, so both the
+    /// direct and the precomputed closed vectors travel verbatim.
+    pub fn from_raw_parts(
+        props: Vec<PropertyStats>,
+        classes: Vec<ClassStats>,
+        props_closed: Vec<PropertyStats>,
+        classes_closed: Vec<ClassStats>,
+    ) -> Self {
+        BaseStatistics {
+            props,
+            classes,
+            props_closed,
+            classes_closed,
+        }
+    }
+
+    /// The four statistics vectors (direct properties, direct classes,
+    /// closed properties, closed classes) — the wire-encoding path.
+    pub fn raw_parts(
+        &self,
+    ) -> (
+        &[PropertyStats],
+        &[ClassStats],
+        &[PropertyStats],
+        &[ClassStats],
+    ) {
+        (
+            &self.props,
+            &self.classes,
+            &self.props_closed,
+            &self.classes_closed,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,171 @@
+//! Schema fingerprints and the decoder-side schema registry.
+//!
+//! Queries, plans, advertisements and active-schemas are all resolved
+//! against a community RDF/S schema (`Arc<Schema>`); shipping the whole
+//! schema in every message would dwarf the payloads. SQPeer's model (paper
+//! §2.2) is that community schemas are shared out-of-band — every peer in a
+//! community already holds them — so the wire carries only a structural
+//! **fingerprint**: a 64-bit FNV-1a hash over the schema's namespaces,
+//! classes and properties (names, parents, domains, ranges). The decoder
+//! resolves fingerprints through a [`SchemaRegistry`] populated with the
+//! schemas its community shares; an unknown fingerprint is a decode error
+//! ([`WireError::UnknownSchema`](crate::WireError::UnknownSchema)), not a
+//! guess.
+
+use sqpeer_rdfs::{ClassId, PropertyId, Range, Schema};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+    fn str(&mut self, s: &str) {
+        self.bytes(&(s.len() as u64).to_le_bytes());
+        self.bytes(s.as_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+/// The structural fingerprint of a schema: FNV-1a over namespaces, class
+/// definitions and property definitions in declaration order. Two schemas
+/// built identically fingerprint identically, whatever `Arc` they live in.
+pub fn schema_fingerprint(schema: &Schema) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(schema.namespaces().len() as u64);
+    for ns in schema.namespaces() {
+        h.str(&ns.prefix);
+        h.str(&ns.uri);
+    }
+    h.u64(schema.class_count() as u64);
+    for c in 0..schema.class_count() as u32 {
+        let def = schema.class(ClassId(c));
+        h.str(&def.name);
+        h.u64(def.namespace.0 as u64);
+        h.u64(def.parents.len() as u64);
+        for p in &def.parents {
+            h.u64(p.0 as u64);
+        }
+    }
+    h.u64(schema.property_count() as u64);
+    for p in 0..schema.property_count() as u32 {
+        let def = schema.property(PropertyId(p));
+        h.str(&def.name);
+        h.u64(def.namespace.0 as u64);
+        h.u64(def.domain.0 as u64);
+        match def.range {
+            Range::Class(c) => {
+                h.u64(0);
+                h.u64(c.0 as u64);
+            }
+            Range::Literal(lt) => {
+                h.u64(1);
+                h.u64(lt as u64);
+            }
+        }
+        h.u64(def.parents.len() as u64);
+        for q in &def.parents {
+            h.u64(q.0 as u64);
+        }
+    }
+    h.0
+}
+
+/// The schemas a decoder can resolve fingerprints against.
+///
+/// Community schemas are shared out-of-band in SQPeer; a daemon registers
+/// the schemas of the communities it serves at startup and every inbound
+/// frame resolves against them.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaRegistry {
+    by_fp: HashMap<u64, Arc<Schema>>,
+}
+
+impl SchemaRegistry {
+    /// An empty registry (only schema-free messages decode).
+    pub fn new() -> Self {
+        SchemaRegistry::default()
+    }
+
+    /// Registers `schema`, returning its fingerprint.
+    pub fn register(&mut self, schema: Arc<Schema>) -> u64 {
+        let fp = schema_fingerprint(&schema);
+        self.by_fp.insert(fp, schema);
+        fp
+    }
+
+    /// Resolves a fingerprint to its schema.
+    pub fn resolve(&self, fp: u64) -> Result<&Arc<Schema>, crate::WireError> {
+        self.by_fp
+            .get(&fp)
+            .ok_or(crate::WireError::UnknownSchema(fp))
+    }
+
+    /// Number of registered schemas.
+    pub fn len(&self) -> usize {
+        self.by_fp.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.by_fp.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqpeer_rdfs::SchemaBuilder;
+
+    fn small_schema() -> Arc<Schema> {
+        let mut b = SchemaBuilder::new("n1", "http://example.org/n1#");
+        let c1 = b.class("C1").unwrap();
+        let c2 = b.class("C2").unwrap();
+        b.property("p1", c1, Range::Class(c2)).unwrap();
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn fingerprint_is_structural_not_pointer_identity() {
+        let a = small_schema();
+        let b = small_schema();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(schema_fingerprint(&a), schema_fingerprint(&b));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_schemas() {
+        let a = small_schema();
+        let mut b = SchemaBuilder::new("n1", "http://example.org/n1#");
+        let c1 = b.class("C1").unwrap();
+        let c2 = b.class("C2x").unwrap();
+        b.property("p1", c1, Range::Class(c2)).unwrap();
+        let b = Arc::new(b.finish().unwrap());
+        assert_ne!(schema_fingerprint(&a), schema_fingerprint(&b));
+    }
+
+    #[test]
+    fn registry_resolves_registered_and_rejects_unknown() {
+        let mut reg = SchemaRegistry::new();
+        let s = small_schema();
+        let fp = reg.register(Arc::clone(&s));
+        assert!(Arc::ptr_eq(reg.resolve(fp).unwrap(), &s));
+        assert_eq!(
+            reg.resolve(fp ^ 1).unwrap_err(),
+            crate::WireError::UnknownSchema(fp ^ 1)
+        );
+    }
+}

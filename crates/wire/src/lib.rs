@@ -1,0 +1,33 @@
+//! `sqpeer-wire`: the SQPeer binary wire protocol.
+//!
+//! A hand-rolled, dependency-free, length-prefixed binary codec for
+//! everything peers exchange: the full exec message vocabulary
+//! ([`sqpeer_exec::Msg`] — advertisements, lease heartbeats, withdrawal
+//! tombstones, routing requests, subplans, data packets) plus the gateway
+//! front-door protocol. This is ROADMAP item 3's first layer: the same
+//! messages the virtual-time simulator passes by value become bytes a
+//! real socket can carry, with two guarantees pinned by the test suite:
+//!
+//! * **Exact roundtrip** — `encode ∘ decode ∘ encode ≡ encode` for every
+//!   encodable message (byte-exact canonical form),
+//! * **Total decoding** — malformed input (truncated, overlong length
+//!   prefixes, unknown tags, wrong version, trailing bytes, absurd
+//!   nesting) yields a [`WireError`], never a panic and never an
+//!   attacker-sized allocation.
+//!
+//! See `DESIGN.md` §Deployment for the wire grammar and versioning rules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod fingerprint;
+pub mod msg;
+mod types;
+
+pub use codec::{Reader, Wire, WireError, Writer, MAX_DEPTH};
+pub use fingerprint::{schema_fingerprint, SchemaRegistry};
+pub use msg::{
+    decode_frame, decode_payload, decode_value, encode_frame, encode_value, read_frame, scoped_qid,
+    write_frame, Envelope, GatewayRequest, GatewayResponse, MAX_FRAME_BYTES, WIRE_VERSION,
+};

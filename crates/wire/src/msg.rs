@@ -1,0 +1,450 @@
+//! Message encoding, envelopes and frame I/O.
+//!
+//! A frame on a SQPeer connection is:
+//!
+//! ```text
+//! u32-LE payload length | version byte | envelope bytes
+//! ```
+//!
+//! The length covers the version byte and the envelope; a frame longer
+//! than [`MAX_FRAME_BYTES`] is rejected before any read. The envelope is
+//!
+//! ```text
+//! from: PeerId | to: PeerId | sent_at_us: varint | msg: Msg
+//! ```
+//!
+//! and a [`Msg`](sqpeer_exec::Msg) encodes as a varint tag in declaration
+//! order followed by the variant payload. Versioning rule: a decoder
+//! speaks exactly [`WIRE_VERSION`]; any other version byte is
+//! [`WireError::BadVersion`] — peers of different versions do not
+//! negotiate, they refuse (the gateway routes tenants to same-version
+//! groups).
+
+use crate::codec::{Reader, Wire, WireError, Writer};
+use crate::SchemaRegistry;
+use sqpeer_exec::{Msg, QueryId, TraceCtx};
+use sqpeer_routing::PeerId;
+use std::io::{Read, Write};
+
+/// The one wire version this build speaks.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Sanity cap on a frame's claimed payload length (16 MiB): a crafted
+/// length prefix must not make a reader allocate unboundedly.
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+impl Wire for Msg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Msg::Advertise(ad) => {
+                w.u64v(0);
+                ad.encode(w);
+            }
+            Msg::RequestAds { depth } => {
+                w.u64v(1);
+                w.u32v(*depth);
+            }
+            Msg::AdsResponse(ads) => {
+                w.u64v(2);
+                ads.encode(w);
+            }
+            Msg::Withdraw => w.u64v(3),
+            Msg::WithdrawPeer(p) => {
+                w.u64v(4);
+                p.encode(w);
+            }
+            Msg::Heartbeat => w.u64v(5),
+            Msg::HeartbeatPeer(p) => {
+                w.u64v(6);
+                p.encode(w);
+            }
+            Msg::ExpirePeer(ad) => {
+                w.u64v(7);
+                ad.encode(w);
+            }
+            Msg::RouteRequest {
+                qid,
+                query,
+                backbone_ttl,
+                partial,
+            } => {
+                w.u64v(8);
+                qid.encode(w);
+                query.encode(w);
+                w.u32v(*backbone_ttl);
+                partial.encode(w);
+            }
+            Msg::RouteResponse {
+                qid,
+                annotated,
+                missing,
+            } => {
+                w.u64v(9);
+                qid.encode(w);
+                annotated.encode(w);
+                missing.encode(w);
+            }
+            Msg::Subplan {
+                channel,
+                qid,
+                tag,
+                plan,
+                visited,
+                attempt,
+                trace,
+            } => {
+                w.u64v(10);
+                channel.encode(w);
+                qid.encode(w);
+                w.u64v(*tag);
+                plan.encode(w);
+                visited.encode(w);
+                w.u32v(*attempt);
+                trace.encode(w);
+            }
+            Msg::Data {
+                channel,
+                qid,
+                tag,
+                result,
+                partial,
+                stats,
+                seq,
+                last,
+            } => {
+                w.u64v(11);
+                channel.encode(w);
+                qid.encode(w);
+                w.u64v(*tag);
+                result.encode(w);
+                w.boolean(*partial);
+                stats.encode(w);
+                w.u32v(*seq);
+                w.boolean(*last);
+            }
+            Msg::SubplanFailed { channel, qid, tag } => {
+                w.u64v(12);
+                channel.encode(w);
+                qid.encode(w);
+                w.u64v(*tag);
+            }
+            Msg::ExecutePlan { qid, query, plan } => {
+                w.u64v(13);
+                qid.encode(w);
+                query.encode(w);
+                plan.encode(w);
+            }
+            Msg::ClientQuery { qid, query } => {
+                w.u64v(14);
+                qid.encode(w);
+                query.encode(w);
+            }
+            Msg::ClientAnswer { qid, result } => {
+                w.u64v(15);
+                qid.encode(w);
+                result.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u64v()? {
+            0 => Ok(Msg::Advertise(Wire::decode(r)?)),
+            1 => Ok(Msg::RequestAds { depth: r.u32v()? }),
+            2 => Ok(Msg::AdsResponse(Wire::decode(r)?)),
+            3 => Ok(Msg::Withdraw),
+            4 => Ok(Msg::WithdrawPeer(Wire::decode(r)?)),
+            5 => Ok(Msg::Heartbeat),
+            6 => Ok(Msg::HeartbeatPeer(Wire::decode(r)?)),
+            7 => Ok(Msg::ExpirePeer(Wire::decode(r)?)),
+            8 => Ok(Msg::RouteRequest {
+                qid: Wire::decode(r)?,
+                query: Wire::decode(r)?,
+                backbone_ttl: r.u32v()?,
+                partial: Wire::decode(r)?,
+            }),
+            9 => Ok(Msg::RouteResponse {
+                qid: Wire::decode(r)?,
+                annotated: Wire::decode(r)?,
+                missing: Wire::decode(r)?,
+            }),
+            10 => Ok(Msg::Subplan {
+                channel: Wire::decode(r)?,
+                qid: Wire::decode(r)?,
+                tag: r.u64v()?,
+                plan: Wire::decode(r)?,
+                visited: Wire::decode(r)?,
+                attempt: r.u32v()?,
+                trace: Option::<TraceCtx>::decode(r)?,
+            }),
+            11 => Ok(Msg::Data {
+                channel: Wire::decode(r)?,
+                qid: Wire::decode(r)?,
+                tag: r.u64v()?,
+                result: Wire::decode(r)?,
+                partial: r.boolean()?,
+                stats: Wire::decode(r)?,
+                seq: r.u32v()?,
+                last: r.boolean()?,
+            }),
+            12 => Ok(Msg::SubplanFailed {
+                channel: Wire::decode(r)?,
+                qid: Wire::decode(r)?,
+                tag: r.u64v()?,
+            }),
+            13 => Ok(Msg::ExecutePlan {
+                qid: Wire::decode(r)?,
+                query: Wire::decode(r)?,
+                plan: Wire::decode(r)?,
+            }),
+            14 => Ok(Msg::ClientQuery {
+                qid: Wire::decode(r)?,
+                query: Wire::decode(r)?,
+            }),
+            15 => Ok(Msg::ClientAnswer {
+                qid: Wire::decode(r)?,
+                result: Wire::decode(r)?,
+            }),
+            tag => Err(WireError::BadTag { what: "Msg", tag }),
+        }
+    }
+}
+
+/// An addressed, timestamped message: what actually travels in a frame.
+///
+/// `sent_at_us` is the sender's transport-epoch-relative clock at send
+/// time — receivers treat it as advisory (clocks are per-process), but the
+/// equivalence harness uses it to line simulator and loopback runs up.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// The sending peer.
+    pub from: PeerId,
+    /// The destination peer.
+    pub to: PeerId,
+    /// Sender's clock at send time, µs since its transport epoch.
+    pub sent_at_us: u64,
+    /// The payload.
+    pub msg: Msg,
+}
+
+impl Wire for Envelope {
+    fn encode(&self, w: &mut Writer) {
+        self.from.encode(w);
+        self.to.encode(w);
+        w.u64v(self.sent_at_us);
+        self.msg.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Envelope {
+            from: PeerId::decode(r)?,
+            to: PeerId::decode(r)?,
+            sent_at_us: r.u64v()?,
+            msg: Msg::decode(r)?,
+        })
+    }
+}
+
+/// Encodes a value into a complete frame: length prefix, version byte,
+/// payload.
+pub fn encode_frame<T: Wire>(value: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.byte(WIRE_VERSION);
+    value.encode(&mut w);
+    let payload = w.into_bytes();
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Decodes one complete frame (length prefix included), requiring the
+/// exact version byte and that the payload consumes every byte.
+pub fn decode_frame<T: Wire>(bytes: &[u8], schemas: &SchemaRegistry) -> Result<T, WireError> {
+    if bytes.len() < 4 {
+        return Err(WireError::Eof);
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge(len as u64));
+    }
+    let body = &bytes[4..];
+    if (body.len() as u64) < len as u64 {
+        return Err(WireError::Eof);
+    }
+    if body.len() as u64 > len as u64 {
+        return Err(WireError::TrailingBytes(body.len() - len as usize));
+    }
+    decode_payload(body, schemas)
+}
+
+/// Decodes a frame payload (version byte + value, no length prefix).
+pub fn decode_payload<T: Wire>(payload: &[u8], schemas: &SchemaRegistry) -> Result<T, WireError> {
+    let mut r = Reader::new(payload, schemas);
+    let version = r.byte()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion {
+            got: version,
+            want: WIRE_VERSION,
+        });
+    }
+    let value = T::decode(&mut r)?;
+    r.expect_end()?;
+    Ok(value)
+}
+
+/// Writes one frame to a byte sink (a TCP stream, in practice).
+pub fn write_frame<T: Wire>(sink: &mut impl Write, value: &T) -> std::io::Result<()> {
+    sink.write_all(&encode_frame(value))
+}
+
+/// Reads one frame from a byte source. Returns `Ok(None)` on clean EOF
+/// (connection closed between frames); a close mid-frame, an oversized
+/// length or a malformed payload is an error.
+pub fn read_frame<T: Wire>(
+    source: &mut impl Read,
+    schemas: &SchemaRegistry,
+) -> std::io::Result<Option<T>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match source.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            WireError::FrameTooLarge(len as u64).to_string(),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    source.read_exact(&mut payload)?;
+    decode_payload(&payload, schemas)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// A gateway-front-door request: what a tenant client sends the gateway.
+///
+/// The token plays the role of an `Authorization` header; the gateway maps
+/// it to a tenant peer group and refuses tokens it does not know.
+#[derive(Debug, Clone)]
+pub struct GatewayRequest {
+    /// The tenant's bearer token.
+    pub token: String,
+    /// The RQL query text (compiled inside the tenant's group, against
+    /// the tenant's community schema).
+    pub query: String,
+}
+
+impl Wire for GatewayRequest {
+    fn encode(&self, w: &mut Writer) {
+        w.string(&self.token);
+        w.string(&self.query);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(GatewayRequest {
+            token: r.string()?,
+            query: r.string()?,
+        })
+    }
+}
+
+/// The gateway's verdict on a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GatewayResponse {
+    /// The query ran inside the tenant's group; projected answer rows,
+    /// rendered as strings, plus the completeness flag.
+    Answer {
+        /// Result column names.
+        columns: Vec<String>,
+        /// Rows, each value display-rendered.
+        rows: Vec<Vec<String>>,
+        /// Whether the answer may be partial.
+        partial: bool,
+    },
+    /// Unknown token: the request never reached any peer group.
+    Unauthorized,
+    /// A known tenant over one of its admission quotas.
+    OverQuota {
+        /// Which quota tripped (human-readable).
+        quota: String,
+    },
+    /// The query failed inside the group (parse error, no coverage, …).
+    Error(String),
+}
+
+impl Wire for GatewayResponse {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            GatewayResponse::Answer {
+                columns,
+                rows,
+                partial,
+            } => {
+                w.byte(0);
+                columns.encode(w);
+                rows.encode(w);
+                w.boolean(*partial);
+            }
+            GatewayResponse::Unauthorized => w.byte(1),
+            GatewayResponse::OverQuota { quota } => {
+                w.byte(2);
+                w.string(quota);
+            }
+            GatewayResponse::Error(e) => {
+                w.byte(3);
+                w.string(e);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.byte()? {
+            0 => Ok(GatewayResponse::Answer {
+                columns: Wire::decode(r)?,
+                rows: Wire::decode(r)?,
+                partial: r.boolean()?,
+            }),
+            1 => Ok(GatewayResponse::Unauthorized),
+            2 => Ok(GatewayResponse::OverQuota { quota: r.string()? }),
+            3 => Ok(GatewayResponse::Error(r.string()?)),
+            tag => Err(WireError::BadTag {
+                what: "GatewayResponse",
+                tag: tag as u64,
+            }),
+        }
+    }
+}
+
+/// Byte-exact canonical encoding of a value (no framing), for tests and
+/// size accounting.
+pub fn encode_value<T: Wire>(value: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    value.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes a bare value (no framing, no version byte), requiring full
+/// consumption.
+pub fn decode_value<T: Wire>(bytes: &[u8], schemas: &SchemaRegistry) -> Result<T, WireError> {
+    let mut r = Reader::new(bytes, schemas);
+    let value = T::decode(&mut r)?;
+    r.expect_end()?;
+    Ok(value)
+}
+
+/// A `QueryId` that is globally unique across peers without coordination:
+/// the upper 32 bits name the minting peer, the lower 32 count locally.
+pub fn scoped_qid(peer: PeerId, local: u32) -> QueryId {
+    QueryId(((peer.0 as u64) << 32) | local as u64)
+}

@@ -1,0 +1,235 @@
+//! Total-decoding guarantee: malformed input errors, never panics.
+//!
+//! A corpus of hostile frames — truncations at every byte boundary,
+//! overlong length prefixes, unknown tags, wrong versions, trailing
+//! garbage, deep plan nesting, unknown schema fingerprints — each of
+//! which must produce a `WireError` (or, fed through the io path, an
+//! `InvalidData` error), and a fuzz-ish sweep of random byte strings
+//! that must simply never panic or over-allocate.
+
+use proptest::prelude::*;
+use sqpeer_exec::{Msg, QueryId};
+use sqpeer_rql::compile;
+use sqpeer_testkit::fixtures::{fig1_query_text, fig1_schema};
+use sqpeer_wire::{
+    decode_frame, decode_payload, decode_value, encode_frame, encode_value, Envelope,
+    SchemaRegistry, WireError, Writer, MAX_DEPTH, WIRE_VERSION,
+};
+
+fn registry() -> SchemaRegistry {
+    let mut reg = SchemaRegistry::new();
+    reg.register(fig1_schema());
+    reg
+}
+
+fn sample_msg() -> Msg {
+    let schema = fig1_schema();
+    Msg::ClientQuery {
+        qid: QueryId(42),
+        query: compile(fig1_query_text(), &schema).unwrap(),
+    }
+}
+
+/// Every proper prefix of a valid encoding must fail cleanly — never
+/// panic, never succeed (a shorter valid value would be caught by the
+/// frame length check, exercised separately).
+#[test]
+fn every_truncation_errors() {
+    let reg = registry();
+    let bytes = encode_value(&sample_msg());
+    for cut in 0..bytes.len() {
+        let r: Result<Msg, WireError> = decode_value(&bytes[..cut], &reg);
+        assert!(r.is_err(), "truncation at {cut}/{} decoded", bytes.len());
+    }
+}
+
+#[test]
+fn truncated_frames_error() {
+    let reg = registry();
+    let frame = encode_frame(&sample_msg());
+    for cut in [0, 1, 3, 4, 5, frame.len() - 1] {
+        let r: Result<Msg, WireError> = decode_frame(&frame[..cut], &reg);
+        assert!(r.is_err(), "frame truncated at {cut} decoded");
+    }
+}
+
+#[test]
+fn wrong_version_is_refused() {
+    let reg = registry();
+    let mut frame = encode_frame(&sample_msg());
+    frame[4] = WIRE_VERSION + 1; // the version byte follows the u32 length
+    assert_eq!(
+        decode_frame::<Msg>(&frame, &reg).unwrap_err(),
+        WireError::BadVersion {
+            got: WIRE_VERSION + 1,
+            want: WIRE_VERSION
+        }
+    );
+}
+
+#[test]
+fn unknown_msg_tag_is_refused() {
+    let reg = registry();
+    let mut w = Writer::new();
+    w.u64v(99); // no such Msg variant
+    let bytes = w.into_bytes();
+    assert_eq!(
+        decode_value::<Msg>(&bytes, &reg).unwrap_err(),
+        WireError::BadTag {
+            what: "Msg",
+            tag: 99
+        }
+    );
+}
+
+#[test]
+fn trailing_garbage_is_refused() {
+    let reg = registry();
+    let mut bytes = encode_value(&sample_msg());
+    bytes.push(0xAA);
+    assert_eq!(
+        decode_value::<Msg>(&bytes, &reg).unwrap_err(),
+        WireError::TrailingBytes(1)
+    );
+}
+
+#[test]
+fn overlong_length_prefix_is_refused_without_allocating() {
+    let reg = registry();
+    // An AdsResponse claiming 2^40 advertisements in a 12-byte body.
+    let mut w = Writer::new();
+    w.u64v(2); // Msg::AdsResponse
+    w.u64v(1 << 40);
+    let bytes = w.into_bytes();
+    assert!(matches!(
+        decode_value::<Msg>(&bytes, &reg).unwrap_err(),
+        WireError::Overlong { claimed, .. } if claimed == 1 << 40
+    ));
+}
+
+#[test]
+fn oversized_frame_length_is_refused() {
+    let reg = registry();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&u32::MAX.to_le_bytes());
+    frame.push(WIRE_VERSION);
+    assert!(matches!(
+        decode_frame::<Msg>(&frame, &reg).unwrap_err(),
+        WireError::FrameTooLarge(_)
+    ));
+}
+
+#[test]
+fn unknown_schema_fingerprint_is_refused() {
+    let empty = SchemaRegistry::new();
+    let bytes = encode_value(&sample_msg());
+    assert!(matches!(
+        decode_value::<Msg>(&bytes, &empty).unwrap_err(),
+        WireError::UnknownSchema(_)
+    ));
+}
+
+#[test]
+fn absurd_plan_nesting_is_refused() {
+    let reg = registry();
+    // A Subplan whose plan is Union(Union(Union(... to depth 2*MAX_DEPTH.
+    let mut w = Writer::new();
+    w.u64v(13); // Msg::ExecutePlan
+    w.u64v(1); // qid
+               // query: fingerprint + text
+    let schema = fig1_schema();
+    w.u64v(sqpeer_wire::schema_fingerprint(&schema));
+    w.string("SELECT X, Y FROM {X}prop1{Y}");
+    for _ in 0..2 * MAX_DEPTH {
+        w.byte(1); // PlanNode::Union
+        w.u64v(1); // of one input
+    }
+    let bytes = w.into_bytes();
+    assert_eq!(
+        decode_value::<Msg>(&bytes, &reg).unwrap_err(),
+        WireError::DepthExceeded
+    );
+}
+
+#[test]
+fn bad_option_tag_is_refused() {
+    let reg = registry();
+    let schema = fig1_schema();
+    let mut w = Writer::new();
+    w.u64v(8); // Msg::RouteRequest
+    w.u64v(1); // qid
+    w.u64v(sqpeer_wire::schema_fingerprint(&schema));
+    w.string("SELECT X, Y FROM {X}prop1{Y}");
+    w.u64v(0); // backbone_ttl
+    w.byte(7); // Option tag that is neither 0 nor 1
+    let bytes = w.into_bytes();
+    assert!(matches!(
+        decode_value::<Msg>(&bytes, &reg).unwrap_err(),
+        WireError::BadTag {
+            what: "Option",
+            tag: 7
+        }
+    ));
+}
+
+#[test]
+fn embedded_query_that_fails_to_compile_is_an_error() {
+    let reg = registry();
+    let schema = fig1_schema();
+    let mut w = Writer::new();
+    w.u64v(14); // Msg::ClientQuery
+    w.u64v(1); // qid
+    w.u64v(sqpeer_wire::schema_fingerprint(&schema));
+    w.string("SELECT gibberish");
+    let bytes = w.into_bytes();
+    assert!(matches!(
+        decode_value::<Msg>(&bytes, &reg).unwrap_err(),
+        WireError::Query(_)
+    ));
+}
+
+#[test]
+fn io_read_frame_reports_clean_eof_and_rejects_mid_frame_close() {
+    let reg = registry();
+    // Clean EOF between frames → Ok(None).
+    let empty: &[u8] = &[];
+    let mut cur = empty;
+    assert!(sqpeer_wire::read_frame::<Msg>(&mut cur, &reg)
+        .unwrap()
+        .is_none());
+    // Close mid-frame → UnexpectedEof error.
+    let frame = encode_frame(&sample_msg());
+    let mut cur = &frame[..frame.len() / 2];
+    assert!(sqpeer_wire::read_frame::<Msg>(&mut cur, &reg).is_err());
+    // A full frame round-trips through the io path.
+    let mut cur = &frame[..];
+    assert!(sqpeer_wire::read_frame::<Msg>(&mut cur, &reg)
+        .unwrap()
+        .is_some());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random byte strings never panic the payload decoder (and never
+    /// allocate beyond their own length).
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let reg = registry();
+        let _ = decode_payload::<Msg>(&bytes, &reg);
+        let _ = decode_value::<Envelope>(&bytes, &reg);
+    }
+
+    /// Single-byte corruption of a valid frame either still decodes to
+    /// *something* (bytes happened to stay well-formed) or errors — it
+    /// never panics.
+    #[test]
+    fn bitflips_never_panic(pos in 0usize..512, flip in 1u8..255) {
+        let reg = registry();
+        let mut frame = encode_frame(&sample_msg());
+        if pos < frame.len() {
+            frame[pos] ^= flip;
+        }
+        let _ = decode_frame::<Msg>(&frame, &reg);
+    }
+}

@@ -1,0 +1,326 @@
+//! Exact-roundtrip guarantee: `encode ∘ decode ∘ encode ≡ encode`.
+//!
+//! `Msg` has no `PartialEq` (result sets, plans and queries compare
+//! structurally at different layers), so roundtrips are asserted on the
+//! **canonical bytes**: decoding an encoding and re-encoding must
+//! reproduce the original bytes exactly. That is a stronger statement
+//! than value equality — it pins the canonical form itself.
+
+use proptest::prelude::*;
+use sqpeer_exec::{Msg, PeerChannel, QueryId, TraceCtx};
+use sqpeer_net::{Channel, ChannelId, ChannelState};
+use sqpeer_plan::{PlanNode, Site, Subquery};
+use sqpeer_rdfs::{Literal, Node, Resource};
+use sqpeer_routing::{route, Advertisement, PeerId, RoutingPolicy};
+use sqpeer_rql::{compile, ResultSet};
+use sqpeer_rvl::ActiveSchema;
+use sqpeer_testkit::fixtures::{fig1_schema, fig2_bases};
+use sqpeer_wire::{decode_value, encode_value, SchemaRegistry, Wire};
+
+fn registry() -> SchemaRegistry {
+    let mut reg = SchemaRegistry::new();
+    reg.register(fig1_schema());
+    reg
+}
+
+/// Byte-exact roundtrip through the bare-value codec.
+fn assert_roundtrip<T: Wire>(value: &T, reg: &SchemaRegistry) {
+    let bytes = encode_value(value);
+    let decoded: T = decode_value(&bytes, reg).expect("decode of own encoding");
+    let re = encode_value(&decoded);
+    assert_eq!(bytes, re, "re-encoding differs from original encoding");
+}
+
+const QUERY_TEXTS: [&str; 6] = [
+    "SELECT X, Y FROM {X}prop1{Y}",
+    "SELECT X, Y FROM {X}prop4{Y}",
+    "SELECT X, Y FROM {X;C5}prop1{Y}",
+    "SELECT X, Y FROM {X}prop1{Y}, {Y}prop2{Z}",
+    "SELECT X, Z FROM {X}prop4{Y}, {Y}prop2{Z}",
+    "SELECT X, W FROM {X}prop1{Y}, {Y}prop2{Z}, {Z}prop3{W}",
+];
+
+fn channel(id: u64, root: u32, dest: u32, state: ChannelState) -> PeerChannel {
+    Channel {
+        id: ChannelId(id),
+        root: PeerId(root),
+        dest: PeerId(dest),
+        state,
+    }
+}
+
+fn node(kind: u8, v: u32) -> Node {
+    match kind % 4 {
+        0 => Node::Resource(Resource::new(format!("http://r/{v}"))),
+        1 => Node::Literal(Literal::Integer(v as i64 - 40)),
+        2 => Node::Literal(Literal::Float(v as f64 / 7.0)),
+        _ => Node::Literal(Literal::String(format!("s{v}").into())),
+    }
+}
+
+fn arb_result_set() -> impl Strategy<Value = ResultSet> {
+    prop::collection::vec((0..4u8, 0..80u32), 0..24).prop_map(|cells| {
+        let columns = vec!["X".to_string(), "Y".to_string()];
+        let rows = cells
+            .chunks(2)
+            .filter(|c| c.len() == 2)
+            .map(|c| c.iter().map(|&(k, v)| node(k, v)).collect())
+            .collect();
+        ResultSet { columns, rows }
+    })
+}
+
+fn arb_plan() -> impl Strategy<Value = PlanNode> {
+    // Shape: join-of-unions-of-fetches, sized by the generated indices;
+    // exercises every PlanNode/Site constructor without unbounded depth.
+    (
+        prop::collection::vec((0..QUERY_TEXTS.len(), 0..5u32, any::<bool>()), 1..6),
+        any::<bool>(),
+    )
+        .prop_map(|(leaves, sited)| {
+            let schema = fig1_schema();
+            let fetches: Vec<PlanNode> = leaves
+                .iter()
+                .map(|&(qi, peer, hole)| PlanNode::Fetch {
+                    subquery: Subquery {
+                        covers: vec![qi % 3],
+                        query: compile(QUERY_TEXTS[qi], &schema).unwrap(),
+                    },
+                    site: if hole {
+                        Site::Hole
+                    } else {
+                        Site::Peer(PeerId(peer))
+                    },
+                })
+                .collect();
+            let union = PlanNode::Union(fetches.clone());
+            PlanNode::Join {
+                inputs: vec![union, fetches[0].clone()],
+                site: if sited { Some(PeerId(1)) } else { None },
+            }
+        })
+}
+
+fn advertisement(peer: u32, with_stats: bool) -> Advertisement {
+    let schema = fig1_schema();
+    let bases = fig2_bases(&schema);
+    let base = &bases[peer as usize % bases.len()];
+    let ad = Advertisement::new(PeerId(peer), ActiveSchema::of_base(base));
+    if with_stats {
+        ad.with_stats(base.statistics())
+    } else {
+        ad
+    }
+}
+
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    (
+        0..16u8,
+        0..QUERY_TEXTS.len(),
+        (0..64u64, 0..8u32, 0..8u32, any::<bool>()),
+        arb_result_set(),
+        arb_plan(),
+    )
+        .prop_map(|(variant, qi, (tag, a, b, flag), result, plan)| {
+            let schema = fig1_schema();
+            let query = compile(QUERY_TEXTS[qi], &schema).unwrap();
+            let qid = QueryId(tag * 31 + a as u64);
+            let ch = channel(
+                tag,
+                a,
+                b,
+                if flag {
+                    ChannelState::Open
+                } else {
+                    ChannelState::Failed
+                },
+            );
+            match variant {
+                0 => Msg::Advertise(advertisement(a, flag)),
+                1 => Msg::RequestAds { depth: a },
+                2 => Msg::AdsResponse(vec![advertisement(a, flag), advertisement(b, !flag)]),
+                3 => Msg::Withdraw,
+                4 => Msg::WithdrawPeer(PeerId(a)),
+                5 => Msg::Heartbeat,
+                6 => Msg::HeartbeatPeer(PeerId(b)),
+                7 => Msg::ExpirePeer(advertisement(a, flag)),
+                8 => {
+                    // A real routed annotation when `flag`, else a hole-y
+                    // empty one.
+                    let partial = if flag {
+                        let ads: Vec<Advertisement> =
+                            (0..3).map(|p| advertisement(p, false)).collect();
+                        Some(route(&query, &ads, RoutingPolicy::default()))
+                    } else {
+                        None
+                    };
+                    Msg::RouteRequest {
+                        qid,
+                        query,
+                        backbone_ttl: b,
+                        partial,
+                    }
+                }
+                9 => {
+                    let ads: Vec<Advertisement> = (0..4).map(|p| advertisement(p, false)).collect();
+                    Msg::RouteResponse {
+                        qid,
+                        annotated: route(&query, &ads, RoutingPolicy::default()),
+                        missing: vec![PeerId(a), PeerId(b)],
+                    }
+                }
+                10 => Msg::Subplan {
+                    channel: ch,
+                    qid,
+                    tag,
+                    plan,
+                    visited: vec![PeerId(a), PeerId(b)],
+                    attempt: a,
+                    trace: flag.then_some(TraceCtx {
+                        origin: PeerId(a),
+                        parent_start_us: tag * 1000,
+                    }),
+                },
+                11 => Msg::Data {
+                    channel: ch,
+                    qid,
+                    tag,
+                    result,
+                    partial: flag,
+                    stats: flag.then(|| {
+                        let bases = fig2_bases(&fig1_schema());
+                        bases[a as usize % bases.len()].statistics()
+                    }),
+                    seq: b,
+                    last: !flag,
+                },
+                12 => Msg::SubplanFailed {
+                    channel: ch,
+                    qid,
+                    tag,
+                },
+                13 => Msg::ExecutePlan { qid, query, plan },
+                14 => Msg::ClientQuery { qid, query },
+                _ => Msg::ClientAnswer { qid, result },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode∘decode ≡ id (byte-exact) over generated exec/overlay
+    /// messages spanning every `Msg` variant.
+    #[test]
+    fn msg_roundtrips_byte_exact(msg in arb_msg()) {
+        let reg = registry();
+        let bytes = encode_value(&msg);
+        let decoded: Msg = decode_value(&bytes, &reg).expect("decode");
+        prop_assert_eq!(bytes, encode_value(&decoded));
+    }
+
+    /// Frames (length prefix + version byte) roundtrip too.
+    #[test]
+    fn framed_msg_roundtrips(msg in arb_msg()) {
+        let reg = registry();
+        let frame = sqpeer_wire::encode_frame(&msg);
+        let decoded: Msg = sqpeer_wire::decode_frame(&frame, &reg).expect("decode frame");
+        prop_assert_eq!(frame, sqpeer_wire::encode_frame(&decoded));
+    }
+
+    /// Result sets with every node kind roundtrip bit-exactly (floats
+    /// travel as IEEE bits, not text).
+    #[test]
+    fn result_set_roundtrips(rs in arb_result_set()) {
+        let reg = registry();
+        let bytes = encode_value(&rs);
+        let decoded: ResultSet = decode_value(&bytes, &reg).expect("decode");
+        prop_assert_eq!(&decoded, &rs);
+        prop_assert_eq!(bytes, encode_value(&decoded));
+    }
+
+    /// Plans (recursive) roundtrip to structurally equal trees.
+    #[test]
+    fn plan_roundtrips(plan in arb_plan()) {
+        let reg = registry();
+        let bytes = encode_value(&plan);
+        let decoded: PlanNode = decode_value(&bytes, &reg).expect("decode");
+        prop_assert_eq!(&decoded, &plan);
+    }
+}
+
+#[test]
+fn envelope_roundtrips() {
+    let reg = registry();
+    let schema = fig1_schema();
+    let env = sqpeer_wire::Envelope {
+        from: PeerId(3),
+        to: PeerId(7),
+        sent_at_us: 1_234_567,
+        msg: Msg::ClientQuery {
+            qid: sqpeer_wire::scoped_qid(PeerId(3), 9),
+            query: compile(QUERY_TEXTS[0], &schema).unwrap(),
+        },
+    };
+    let frame = sqpeer_wire::encode_frame(&env);
+    let decoded: sqpeer_wire::Envelope = sqpeer_wire::decode_frame(&frame, &reg).unwrap();
+    assert_eq!(decoded.from, PeerId(3));
+    assert_eq!(decoded.to, PeerId(7));
+    assert_eq!(decoded.sent_at_us, 1_234_567);
+    assert_eq!(frame, sqpeer_wire::encode_frame(&decoded));
+}
+
+#[test]
+fn gateway_messages_roundtrip() {
+    let reg = SchemaRegistry::new(); // gateway messages are schema-free
+    let req = sqpeer_wire::GatewayRequest {
+        token: "tenant-a-secret".into(),
+        query: QUERY_TEXTS[3].into(),
+    };
+    let bytes = encode_value(&req);
+    let back: sqpeer_wire::GatewayRequest = decode_value(&bytes, &reg).unwrap();
+    assert_eq!(back.token, req.token);
+    assert_eq!(back.query, req.query);
+
+    for resp in [
+        sqpeer_wire::GatewayResponse::Answer {
+            columns: vec!["X".into()],
+            rows: vec![vec!["http://r/1".into()]],
+            partial: false,
+        },
+        sqpeer_wire::GatewayResponse::Unauthorized,
+        sqpeer_wire::GatewayResponse::OverQuota {
+            quota: "concurrent-queries".into(),
+        },
+        sqpeer_wire::GatewayResponse::Error("no coverage".into()),
+    ] {
+        let bytes = encode_value(&resp);
+        let back: sqpeer_wire::GatewayResponse = decode_value(&bytes, &reg).unwrap();
+        assert_eq!(back, resp);
+    }
+}
+
+#[test]
+fn scoped_qids_are_disjoint_across_peers() {
+    assert_ne!(
+        sqpeer_wire::scoped_qid(PeerId(1), 5),
+        sqpeer_wire::scoped_qid(PeerId(2), 5)
+    );
+    assert_eq!(sqpeer_wire::scoped_qid(PeerId(1), 5).0 >> 32, 1);
+}
+
+#[test]
+fn statistics_roundtrip_preserves_closed_lookups() {
+    let reg = registry();
+    let schema = fig1_schema();
+    let bases = fig2_bases(&schema);
+    let stats = bases[0].statistics();
+    assert_roundtrip(&stats, &reg);
+    let decoded: sqpeer_store::BaseStatistics = decode_value(&encode_value(&stats), &reg).unwrap();
+    for p in 0..schema.property_count() as u32 {
+        let p = sqpeer_rdfs::PropertyId(p);
+        assert_eq!(decoded.property(p), stats.property(p));
+        assert_eq!(decoded.property_closed(p), stats.property_closed(p));
+    }
+    assert_eq!(decoded.total_triples(), stats.total_triples());
+}
