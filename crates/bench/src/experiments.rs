@@ -99,6 +99,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
             "e20",
             "deployment: simulator vs real-clock loopback vs TCP host on one workload",
         ),
+        (
+            "e21",
+            "streaming: time-to-first-row and credit bounds, streamed vs monolithic",
+        ),
     ]
 }
 
@@ -125,6 +129,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e18" => e18(),
         "e19" => e19(),
         "e20" => e20(),
+        "e21" => e21(),
         _ => return None,
     })
 }
@@ -1775,10 +1780,24 @@ fn e16() -> String {
     out.push('\n');
     out.push_str(&t2.render());
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Scheduler pin: more workers must never make the union slower. The
+    // worker count clamps to the host's cores (beyond that the rows do
+    // identical work), so the whole series must be monotone non-increasing
+    // up to wall-clock noise (25 % + 1 ms slack).
+    for pair in worker_ms.windows(2) {
+        let (w_prev, t_prev) = pair[0];
+        let (w_next, t_next) = pair[1];
+        assert!(
+            t_next <= t_prev * 1.25 + 1.0,
+            "{w_next} workers slower than {w_prev} ({t_next:.2} vs {t_prev:.2} ms): \
+             spawning overhead leaked back into eval_local_threads"
+        );
+    }
     out.push_str(&format!(
         "\nhost parallelism: {cores} core(s); eval_local defaults to {} worker(s).\n\
-         On a single-core host the multi-worker rows measure pure threading\n\
-         overhead; branch fan-out only pays off with real cores.\n",
+         The work queue is clamped to the host's cores (inline fallback), so\n\
+         extra requested workers cost nothing — the series above is asserted\n\
+         monotone non-increasing; fan-out only pays off with real cores.\n",
         sqpeer::exec::default_workers()
     ));
 
@@ -2456,6 +2475,7 @@ fn e20() -> String {
         spec: spec(),
         telemetry_window_us: Some(1_000_000),
         settle_us: 150_000,
+        answer_batch_rows: None,
     })
     .expect("host starts");
     let mut stream = TcpStream::connect(host.addr).expect("host reachable");
@@ -2551,6 +2571,363 @@ fn e20() -> String {
     out.push_str(
         "\nacceptance: identical answer sets on all three substrates; \
          0 decode failures with the codec on every loopback hop.\n",
+    );
+    out
+}
+
+/// E21 — streaming packetized execution (PR 7 tentpole): time-to-first-row
+/// and credit-window bounds, streamed vs monolithic, under a concurrent
+/// multi-query workload. Peers charge 1 ms of processing per produced row,
+/// so a monolithic answer only ships once the whole result is evaluated;
+/// streamed production ships the first batch as soon as it exists. The
+/// acceptance gate is TTFR(streamed) < 0.5 × total latency(monolithic) on
+/// both the simulator and the loopback, with identical answer sets,
+/// completeness accounting pinned, and per-channel in-flight packets never
+/// exceeding the credit window. A third leg streams the answer over a real
+/// TCP socket and checks the client-observed first-row clock.
+fn e21() -> String {
+    use sqpeer_daemon::{
+        assemble, await_outcome, outcome, pose, spawn_host, GroupSpec, HostConfig, LoopbackNet,
+    };
+    use sqpeer_exec::{Msg, PeerNode, QueryId};
+    use sqpeer_net::{Simulator, Transport};
+    use sqpeer_wire::{read_frame, write_frame, Envelope, SchemaRegistry};
+    use std::net::TcpStream;
+    use std::time::Instant;
+
+    const QUERIES: usize = 6;
+    const TCP_QUERIES: usize = 4;
+    const BATCH: usize = 8;
+    const PER_ROW_US: u64 = 1_000;
+    const TRIPLES: usize = 120;
+    const WINDOW: u32 = 4; // PeerConfig::default().stream_credit_window
+
+    let schema = fig1_schema();
+    // Single-pattern prop1 query: held by peers 0 and 1 (plus peer 3 via
+    // prop4 ⊑ prop1), so the root unions several large remote streams.
+    let query_text = "SELECT X, Y FROM {X}n1:prop1{Y} \
+                      USING NAMESPACE n1 = &http://example.org/n1#";
+    let spec = |batch: Option<usize>| GroupSpec {
+        schema: fig1_schema(),
+        bases: scaled_fig2_bases(&schema, TRIPLES, 21),
+        config: PeerConfig {
+            stream_batch_rows: batch,
+            processing_us_per_row: PER_ROW_US,
+            ..PeerConfig::default()
+        },
+    };
+    // Peer 3 holds no prop1 proper — the bulk of the answer streams in
+    // over the network from peers 0 and 1.
+    let target = PeerId(3);
+
+    let render = |result: &sqpeer::rql::ResultSet| -> Vec<Vec<String>> {
+        let mut rows: Vec<Vec<String>> = result
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|n| n.to_string()).collect())
+            .collect();
+        rows.sort();
+        rows
+    };
+
+    struct Leg {
+        ttfr_us: Vec<u64>,
+        latency_us: Vec<u64>,
+        rows: Vec<Vec<Vec<String>>>,
+        max_inflight: u32,
+        ttfr_samples: u64,
+    }
+    let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+
+    // Leg 1: virtual-time simulator, monolithic then streamed. All
+    // QUERIES are posed before any is awaited, so the streams genuinely
+    // run concurrently and contend for credits on the same links.
+    let run_sim = |batch: Option<usize>| -> Leg {
+        let mut sim: Simulator<PeerNode> = Simulator::default();
+        sim.enable_telemetry(10_000_000);
+        let mut group = assemble(&mut sim, spec(batch), 2_000_000);
+        let query = group.compile(query_text).expect("prop1 query compiles");
+        let qids: Vec<QueryId> = (0..QUERIES)
+            .map(|_| pose(&mut sim, &mut group, target, query.clone()))
+            .collect();
+        let (mut ttfr_us, mut latency_us, mut rows) = (Vec::new(), Vec::new(), Vec::new());
+        for &qid in &qids {
+            assert!(await_outcome(&mut sim, target, qid, 100_000, 120_000_000));
+            let o = outcome(&sim, target, qid).expect("awaited");
+            assert!(!o.partial, "streamed run lost completeness");
+            assert!(o.missing.is_empty(), "missing peers: {:?}", o.missing);
+            ttfr_us.push(o.ttfr_us.expect("rows arrived"));
+            latency_us.push(o.latency_us);
+            rows.push(render(&o.result));
+        }
+        let max_inflight = group
+            .peers
+            .iter()
+            .filter_map(|&p| sim.node(node_of(p)))
+            .map(|n| n.max_stream_inflight)
+            .max()
+            .unwrap_or(0);
+        let snapshot = sim.telemetry_snapshot().expect("telemetry on");
+        let ttfr_samples: u64 = group
+            .peers
+            .iter()
+            .filter_map(|&p| snapshot.link(node_of(p), node_of(target)))
+            .map(|l| l.ttfr_us.count())
+            .sum();
+        Leg {
+            ttfr_us,
+            latency_us,
+            rows,
+            max_inflight,
+            ttfr_samples,
+        }
+    };
+    let sim_mono = run_sim(None);
+    let sim_stream = run_sim(Some(BATCH));
+
+    // Leg 2: real-clock loopback with the wire codec on every hop —
+    // Credit packets included.
+    let run_loop = |batch: Option<usize>| -> (Leg, u64) {
+        let mut schemas = SchemaRegistry::new();
+        schemas.register(fig1_schema());
+        let mut net: LoopbackNet<PeerNode> = LoopbackNet::new(schemas);
+        net.enable_telemetry(10_000_000);
+        let mut group = assemble(&mut net, spec(batch), 150_000);
+        let query = group.compile(query_text).expect("prop1 query compiles");
+        let qids: Vec<QueryId> = (0..QUERIES)
+            .map(|_| pose(&mut net, &mut group, target, query.clone()))
+            .collect();
+        let (mut ttfr_us, mut latency_us, mut rows) = (Vec::new(), Vec::new(), Vec::new());
+        for &qid in &qids {
+            assert!(await_outcome(&mut net, target, qid, 5_000, 60_000_000));
+            let o = outcome(&net, target, qid).expect("awaited");
+            assert!(!o.partial, "streamed run lost completeness");
+            assert!(o.missing.is_empty(), "missing peers: {:?}", o.missing);
+            ttfr_us.push(o.ttfr_us.expect("rows arrived"));
+            latency_us.push(o.latency_us);
+            rows.push(render(&o.result));
+        }
+        let max_inflight = group
+            .peers
+            .iter()
+            .filter_map(|&p| net.node(node_of(p)))
+            .map(|n| n.max_stream_inflight)
+            .max()
+            .unwrap_or(0);
+        let snapshot = net.telemetry_snapshot().expect("telemetry on");
+        let ttfr_samples: u64 = group
+            .peers
+            .iter()
+            .filter_map(|&p| snapshot.link(node_of(p), node_of(target)))
+            .map(|l| l.ttfr_us.count())
+            .sum();
+        (
+            Leg {
+                ttfr_us,
+                latency_us,
+                rows,
+                max_inflight,
+                ttfr_samples,
+            },
+            net.decode_failures(),
+        )
+    };
+    let (loop_mono, mono_decode_failures) = run_loop(None);
+    let (loop_stream, stream_decode_failures) = run_loop(Some(BATCH));
+    assert_eq!(mono_decode_failures, 0, "codec failed on the loopback path");
+    assert_eq!(
+        stream_decode_failures, 0,
+        "codec failed on streamed loopback packets"
+    );
+
+    // Answers must be identical: streamed vs monolithic, and across
+    // substrates (the bases are seeded, so every leg sees the same data).
+    assert!(!sim_mono.rows[0].is_empty(), "workload produced no rows");
+    assert_eq!(
+        sim_mono.rows, sim_stream.rows,
+        "sim streaming changed the answer"
+    );
+    assert_eq!(
+        loop_mono.rows, loop_stream.rows,
+        "loopback streaming changed the answer"
+    );
+    assert_eq!(
+        sim_mono.rows, loop_mono.rows,
+        "answers diverged across substrates"
+    );
+
+    // Credit windows: monolithic never streams; streamed legs stay within
+    // the configured window on every channel even with all queries in
+    // flight at once.
+    assert_eq!(sim_mono.max_inflight, 0, "monolithic run streamed");
+    assert!(
+        sim_stream.max_inflight > 0 && sim_stream.max_inflight <= WINDOW,
+        "sim in-flight {} outside (0, {WINDOW}]",
+        sim_stream.max_inflight
+    );
+    assert!(
+        loop_stream.max_inflight > 0 && loop_stream.max_inflight <= WINDOW,
+        "loopback in-flight {} outside (0, {WINDOW}]",
+        loop_stream.max_inflight
+    );
+    assert!(sim_stream.ttfr_samples > 0, "per-link TTFR histogram empty");
+    assert!(
+        loop_stream.ttfr_samples > 0,
+        "per-link TTFR histogram empty"
+    );
+
+    // The acceptance gate: streamed first rows land in under half the
+    // monolithic total latency.
+    let sim_ratio = mean(&sim_stream.ttfr_us) / mean(&sim_mono.latency_us);
+    let loop_ratio = mean(&loop_stream.ttfr_us) / mean(&loop_mono.latency_us);
+    assert!(
+        sim_ratio < 0.5,
+        "sim streamed TTFR not < 0.5x monolithic latency (ratio {sim_ratio:.3})"
+    );
+    assert!(
+        loop_ratio < 0.5,
+        "loopback streamed TTFR not < 0.5x monolithic latency (ratio {loop_ratio:.3})"
+    );
+
+    // Leg 3: the TCP host streams the answer in batches over a real
+    // socket; the client clocks first frame vs last frame.
+    let host = spawn_host(HostConfig {
+        listen: "127.0.0.1:0".into(),
+        status: None,
+        spec: spec(Some(BATCH)),
+        telemetry_window_us: Some(1_000_000),
+        settle_us: 150_000,
+        answer_batch_rows: Some(BATCH),
+    })
+    .expect("host starts");
+    let mut schemas = SchemaRegistry::new();
+    schemas.register(fig1_schema());
+    let query = sqpeer::rql::compile(query_text, &schema).expect("prop1 query compiles");
+    let mut stream = TcpStream::connect(host.addr).expect("host reachable");
+    let client = PeerId(9_999);
+    let (mut tcp_ttfr, mut tcp_total) = (Vec::new(), Vec::new());
+    let mut tcp_rows = Vec::new();
+    for i in 0..TCP_QUERIES {
+        let sent = Instant::now();
+        write_frame(
+            &mut stream,
+            &Envelope {
+                from: client,
+                to: target,
+                sent_at_us: 0,
+                msg: Msg::ClientQuery {
+                    qid: QueryId(i as u64),
+                    query: query.clone(),
+                },
+            },
+        )
+        .expect("query sent");
+        let mut first_us = None;
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        loop {
+            let reply: Envelope = read_frame(&mut stream, &schemas)
+                .expect("reply readable")
+                .expect("host answered");
+            let Msg::Data {
+                result,
+                partial,
+                last,
+                ..
+            } = reply.msg
+            else {
+                panic!("expected Data");
+            };
+            assert!(result.rows.len() <= BATCH, "frame exceeds batch size");
+            if first_us.is_none() && !result.rows.is_empty() {
+                first_us = Some(sent.elapsed().as_micros() as u64);
+            }
+            rows.extend(render(&result));
+            if last {
+                assert!(!partial);
+                break;
+            }
+        }
+        tcp_ttfr.push(first_us.expect("at least one frame carried rows"));
+        tcp_total.push(sent.elapsed().as_micros() as u64);
+        rows.sort();
+        tcp_rows.push(rows);
+    }
+    drop(stream);
+    host.shutdown();
+    for (ttfr, total) in tcp_ttfr.iter().zip(&tcp_total) {
+        assert!(
+            ttfr < total,
+            "TCP first-row clock ({ttfr} us) not strictly before total ({total} us)"
+        );
+    }
+    assert_eq!(tcp_rows[0], sim_mono.rows[0], "TCP answer diverged");
+
+    let mut out = String::from(
+        "E21 — streaming packetized execution: TTFR and credit bounds\n\
+         workload: scaled figure-2 bases (120 triples/property), prop1 union \
+         query posed 6x concurrently at peer 3, 1 ms/row processing\n\n",
+    );
+    let mut table = Table::new(&["leg", "ttfr mean", "latency mean", "max in-flight"]);
+    let leg_row = |name: &str, leg: &Leg| {
+        vec![
+            name.into(),
+            f1(mean(&leg.ttfr_us)),
+            f1(mean(&leg.latency_us)),
+            format!("{}", leg.max_inflight),
+        ]
+    };
+    table.row(leg_row("sim monolithic (virtual µs)", &sim_mono));
+    table.row(leg_row("sim streamed (virtual µs)", &sim_stream));
+    table.row(leg_row("loopback monolithic (real µs)", &loop_mono));
+    table.row(leg_row("loopback streamed (real µs)", &loop_stream));
+    table.row(vec![
+        "tcp streamed (client µs)".into(),
+        f1(mean(&tcp_ttfr)),
+        f1(mean(&tcp_total)),
+        "-".into(),
+    ]);
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nsim TTFR/monolithic-latency ratio: {sim_ratio:.3}; \
+         loopback ratio: {loop_ratio:.3} (gate: < 0.5)\n"
+    ));
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e21\",\n  \"queries\": {QUERIES},\n  \
+         \"batch_rows\": {BATCH},\n  \"per_row_us\": {PER_ROW_US},\n  \
+         \"credit_window\": {WINDOW},\n  \
+         \"sim_mono_latency_us_mean\": {:.1},\n  \
+         \"sim_stream_ttfr_us_mean\": {:.1},\n  \
+         \"sim_stream_latency_us_mean\": {:.1},\n  \
+         \"sim_ttfr_ratio\": {sim_ratio:.4},\n  \
+         \"sim_max_inflight\": {},\n  \
+         \"loopback_mono_latency_us_mean\": {:.1},\n  \
+         \"loopback_stream_ttfr_us_mean\": {:.1},\n  \
+         \"loopback_stream_latency_us_mean\": {:.1},\n  \
+         \"loopback_ttfr_ratio\": {loop_ratio:.4},\n  \
+         \"loopback_max_inflight\": {},\n  \
+         \"tcp_ttfr_us_mean\": {:.1},\n  \"tcp_total_us_mean\": {:.1},\n  \
+         \"decode_failures\": 0,\n  \"answers_identical\": true\n}}\n",
+        mean(&sim_mono.latency_us),
+        mean(&sim_stream.ttfr_us),
+        mean(&sim_stream.latency_us),
+        sim_stream.max_inflight,
+        mean(&loop_mono.latency_us),
+        mean(&loop_stream.ttfr_us),
+        mean(&loop_stream.latency_us),
+        loop_stream.max_inflight,
+        mean(&tcp_ttfr),
+        mean(&tcp_total),
+    );
+    match std::fs::write("BENCH_e21.json", &json) {
+        Ok(()) => out.push_str("\nwrote BENCH_e21.json\n"),
+        Err(e) => out.push_str(&format!("\ncould not write BENCH_e21.json: {e}\n")),
+    }
+    out.push_str(
+        "\nacceptance: identical answers streamed vs monolithic on every \
+         substrate; streamed TTFR < 0.5x monolithic total latency on \
+         simulator and loopback; per-channel in-flight packets bounded by \
+         the credit window under the concurrent workload.\n",
     );
     out
 }

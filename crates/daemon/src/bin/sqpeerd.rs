@@ -14,6 +14,8 @@
 //! listen 127.0.0.1:7400
 //! status 127.0.0.1:7401
 //! schema fig1
+//! stream_batch_rows 8      # stream subplan results in 8-row packets
+//! answer_batch_rows 8      # stream client answers in 8-row frames
 //! peer
 //! triple http://p1/a prop1 http://p1/b
 //! peer
@@ -93,6 +95,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut bases: Vec<Vec<(String, String, String)>> = Vec::new();
     let mut settle_ms = 200u64;
     let mut telemetry_window_ms = Some(1_000u64);
+    let mut answer_batch_rows = None;
+    let mut stream_batch_rows = None;
     for line in config_lines(path)? {
         let mut words = line.split_whitespace();
         let key = words.next().unwrap_or("");
@@ -111,6 +115,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
             ("telemetry_window_ms", [ms]) => {
                 telemetry_window_ms = Some(ms.parse().map_err(|_| format!("bad window '{ms}'"))?)
+            }
+            ("answer_batch_rows", [n]) => {
+                answer_batch_rows = Some(
+                    n.parse()
+                        .map_err(|_| format!("bad answer_batch_rows '{n}'"))?,
+                )
+            }
+            ("stream_batch_rows", [n]) => {
+                stream_batch_rows = Some(
+                    n.parse()
+                        .map_err(|_| format!("bad stream_batch_rows '{n}'"))?,
+                )
             }
             _ => return Err(format!("bad config line: '{line}'")),
         }
@@ -137,10 +153,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         spec: GroupSpec {
             schema,
             bases,
-            config: PeerConfig::default(),
+            config: PeerConfig {
+                stream_batch_rows,
+                ..PeerConfig::default()
+            },
         },
         telemetry_window_us: telemetry_window_ms.map(|ms| ms * 1_000),
         settle_us: settle_ms * 1_000,
+        answer_batch_rows,
     })
     .map_err(|e| format!("cannot start host: {e}"))?;
 
@@ -238,6 +258,8 @@ fn cmd_query(args: &[String]) -> ExitCode {
             columns,
             rows,
             partial,
+            ttfr_us,
+            latency_us,
         } => {
             println!("{}", columns.join("\t"));
             for row in &rows {
@@ -248,6 +270,7 @@ fn cmd_query(args: &[String]) -> ExitCode {
                 rows.len(),
                 if partial { "PARTIAL" } else { "complete" }
             );
+            println!("# ttfr {ttfr_us} us, total {latency_us} us");
             ExitCode::SUCCESS
         }
         GatewayResponse::Unauthorized => {

@@ -294,8 +294,12 @@ fn answer(
 }
 
 /// Ships an admitted, already-encoded query frame to the tenant's host
-/// and renders the `Data` reply.
+/// and renders the `Data` reply — a single packet, or a streamed
+/// sequence of packets ending in one flagged `last`. The gateway
+/// wall-clocks the stream: `ttfr_us` is when the first answer rows
+/// arrived, `latency_us` when the final packet did.
 fn forward(tenant: &Tenant, frame: &[u8]) -> GatewayResponse {
+    let started = std::time::Instant::now();
     let mut host = match TcpStream::connect(&tenant.host) {
         Ok(s) => s,
         Err(e) => return GatewayResponse::Error(format!("host unreachable: {e}")),
@@ -303,24 +307,52 @@ fn forward(tenant: &Tenant, frame: &[u8]) -> GatewayResponse {
     if let Err(e) = io::Write::write_all(&mut host, frame) {
         return GatewayResponse::Error(format!("host write failed: {e}"));
     }
-    let reply: Envelope = match read_frame(&mut host, &tenant.schemas) {
-        Ok(Some(e)) => e,
-        Ok(None) => return GatewayResponse::Error("host closed without answering".into()),
-        Err(e) => return GatewayResponse::Error(format!("host reply unreadable: {e}")),
-    };
-    match reply.msg {
-        sqpeer_exec::Msg::Data {
-            result, partial, ..
-        } => GatewayResponse::Answer {
-            columns: result.columns.clone(),
-            rows: result
-                .rows
-                .iter()
-                .map(|row| row.iter().map(|node| node.to_string()).collect())
-                .collect(),
-            partial,
-        },
-        other => GatewayResponse::Error(format!("host sent an unexpected message: {other:?}")),
+    let mut columns: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut partial = false;
+    let mut ttfr_us = 0u64;
+    loop {
+        let reply: Envelope = match read_frame(&mut host, &tenant.schemas) {
+            Ok(Some(e)) => e,
+            Ok(None) => return GatewayResponse::Error("host closed without answering".into()),
+            Err(e) => return GatewayResponse::Error(format!("host reply unreadable: {e}")),
+        };
+        match reply.msg {
+            sqpeer_exec::Msg::Data {
+                result,
+                partial: batch_partial,
+                last,
+                ..
+            } => {
+                if columns.is_empty() {
+                    columns = result.columns.clone();
+                }
+                if ttfr_us == 0 && !result.rows.is_empty() {
+                    ttfr_us = started.elapsed().as_micros() as u64;
+                }
+                partial |= batch_partial;
+                rows.extend(
+                    result
+                        .rows
+                        .iter()
+                        .map(|row| row.iter().map(|node| node.to_string()).collect::<Vec<_>>()),
+                );
+                if last {
+                    return GatewayResponse::Answer {
+                        columns,
+                        rows,
+                        partial,
+                        ttfr_us,
+                        latency_us: started.elapsed().as_micros() as u64,
+                    };
+                }
+            }
+            other => {
+                return GatewayResponse::Error(format!(
+                    "host sent an unexpected message: {other:?}"
+                ))
+            }
+        }
     }
 }
 

@@ -43,7 +43,18 @@ pub struct HostConfig {
     pub telemetry_window_us: Option<u64>,
     /// Transport time given to advertisement discovery at boot.
     pub settle_us: u64,
+    /// Stream answers back to peer-port clients in batches of this many
+    /// rows — each batch its own `Data` frame (`seq` ascending, `last`
+    /// on the final one), paced [`ANSWER_PACE_US`] apart so downstream
+    /// consumers observe a genuine first-batch-early arrival. `None`
+    /// (the default) keeps the single-frame answer.
+    pub answer_batch_rows: Option<usize>,
 }
+
+/// Real-time pacing between streamed answer frames on the peer port:
+/// long enough that a client's first-row and total-latency clocks are
+/// measurably apart, short enough to be negligible against query time.
+pub const ANSWER_PACE_US: u64 = 1_000;
 
 /// One in-flight query inside the pump.
 struct InFlight {
@@ -87,6 +98,7 @@ pub fn spawn_host(config: HostConfig) -> io::Result<HostHandle> {
         spec,
         telemetry_window_us,
         settle_us,
+        answer_batch_rows,
     } = config;
 
     let mut schemas = SchemaRegistry::new();
@@ -141,7 +153,7 @@ pub fn spawn_host(config: HostConfig) -> io::Result<HostHandle> {
                         let schemas = schemas.clone();
                         let shutdown = Arc::clone(&shutdown);
                         std::thread::spawn(move || {
-                            serve_connection(stream, cmd_tx, schemas, shutdown)
+                            serve_connection(stream, cmd_tx, schemas, shutdown, answer_batch_rows)
                         });
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -192,6 +204,7 @@ fn pump(
 ) {
     let mut in_flight: HashMap<QueryId, InFlight> = HashMap::new();
     let mut status_refresh = 0u32;
+    let mut ttfr = QueryTtfr::default();
     while !shutdown.load(Ordering::SeqCst) {
         // Admit every waiting command, then give the transport a slice.
         while let Ok(cmd) = cmd_rx.try_recv() {
@@ -207,6 +220,11 @@ fn pump(
         net.step_for(1_000);
         in_flight.retain(|&qid, flight| match group::outcome(&net, flight.at, qid) {
             Some(outcome) => {
+                if let Some(t) = outcome.ttfr_us {
+                    ttfr.count += 1;
+                    ttfr.sum_us += t;
+                    ttfr.last_us = Some(t);
+                }
                 let _ = flight.reply.send((outcome.result.clone(), outcome.partial));
                 false
             }
@@ -215,15 +233,23 @@ fn pump(
         status_refresh += 1;
         if status_refresh.is_multiple_of(100) {
             if let Ok(mut t) = status_text.lock() {
-                *t = render_status(&net);
+                *t = render_status(&net, &ttfr);
             }
         }
     }
 }
 
+/// Aggregate per-query time-to-first-row, as seen by this host's roots.
+#[derive(Debug, Default)]
+struct QueryTtfr {
+    count: u64,
+    sum_us: u64,
+    last_us: Option<u64>,
+}
+
 /// Renders the plain-text status page: counters plus the telemetry
 /// snapshot's own rendering.
-fn render_status(net: &LoopbackNet<PeerNode>) -> String {
+fn render_status(net: &LoopbackNet<PeerNode>, ttfr: &QueryTtfr) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let m = net.metrics();
@@ -235,6 +261,13 @@ fn render_status(net: &LoopbackNet<PeerNode>) -> String {
     let _ = writeln!(out, "retries {}", m.retries_sent());
     let _ = writeln!(out, "replans {}", m.replans());
     let _ = writeln!(out, "decode_failures {}", net.decode_failures());
+    let _ = writeln!(out, "query_ttfr_count {}", ttfr.count);
+    if let Some(mean) = ttfr.sum_us.checked_div(ttfr.count) {
+        let _ = writeln!(out, "query_ttfr_mean_us {mean}");
+    }
+    if let Some(last) = ttfr.last_us {
+        let _ = writeln!(out, "query_ttfr_last_us {last}");
+    }
     match net.telemetry_snapshot() {
         Some(t) => {
             let _ = writeln!(out, "telemetry_links {}", t.len());
@@ -247,13 +280,15 @@ fn render_status(net: &LoopbackNet<PeerNode>) -> String {
     out
 }
 
-/// One peer-port connection: `Envelope(ClientQuery)` in, `Envelope(Data)`
-/// out, until the peer closes or shutdown.
+/// One peer-port connection: `Envelope(ClientQuery)` in, one or more
+/// `Envelope(Data)` frames out (several when `answer_batch_rows` streams
+/// the answer), until the peer closes or shutdown.
 fn serve_connection(
     mut stream: TcpStream,
     cmd_tx: Sender<Command>,
     schemas: SchemaRegistry,
     shutdown: Arc<AtomicBool>,
+    answer_batch_rows: Option<usize>,
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     loop {
@@ -292,28 +327,54 @@ fn serve_connection(
         let Ok((result, partial)) = reply_rx.recv() else {
             return;
         };
-        let answer = Envelope {
+        let channel = Channel {
+            id: ChannelId(qid.0),
+            root: envelope.from,
+            dest: envelope.to,
+            state: ChannelState::Closed,
+        };
+        let data = |result: ResultSet, partial: bool, seq: u32, last: bool| Envelope {
             from: envelope.to,
             to: envelope.from,
             sent_at_us: 0,
             msg: Msg::Data {
-                channel: Channel {
-                    id: ChannelId(qid.0),
-                    root: envelope.from,
-                    dest: envelope.to,
-                    state: ChannelState::Closed,
-                },
+                channel,
                 qid,
                 tag: 0,
                 result,
                 partial,
                 stats: None,
-                seq: 0,
-                last: true,
+                seq,
+                last,
             },
         };
-        if write_frame(&mut stream, &answer).is_err() {
-            return;
+        match answer_batch_rows {
+            Some(batch) if batch > 0 && result.rows.len() > batch => {
+                let columns = result.columns.clone();
+                let chunks = result.rows;
+                let total = chunks.chunks(batch).count();
+                for (i, rows) in chunks.chunks(batch).enumerate() {
+                    if i > 0 {
+                        // Pace the stream so the client's first-row and
+                        // total-latency clocks are measurably apart.
+                        std::thread::sleep(Duration::from_micros(ANSWER_PACE_US));
+                    }
+                    let last = i + 1 == total;
+                    let piece = ResultSet {
+                        columns: columns.clone(),
+                        rows: rows.to_vec(),
+                    };
+                    let frame = data(piece, if last { partial } else { false }, i as u32, last);
+                    if write_frame(&mut stream, &frame).is_err() {
+                        return;
+                    }
+                }
+            }
+            _ => {
+                if write_frame(&mut stream, &data(result, partial, 0, true)).is_err() {
+                    return;
+                }
+            }
         }
     }
 }

@@ -151,6 +151,11 @@ where
     fn flush(&mut self, node: NodeId, ctx: Ctx<N::Msg>) {
         let now = self.clock.now_us();
         let effects = ctx.into_effects();
+        if let Some(telemetry) = &mut self.telemetry {
+            for (from, elapsed) in effects.stream_ttfr {
+                telemetry.record_ttfr(from, node, elapsed);
+            }
+        }
         for (to, msg, bytes) in effects.outbox {
             self.metrics.record_send(node, to, bytes);
             let frame = encode_envelope(node, to, now, &msg);

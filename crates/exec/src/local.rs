@@ -7,11 +7,22 @@
 //! semantics are untouched, only the wall-clock cost of processing the
 //! event shrinks. Results are collected in input order, so evaluation is
 //! deterministic regardless of worker count.
+//!
+//! Branches are claimed from a shared work-queue (an atomic cursor), not
+//! chunked contiguously: with skewed branch costs a contiguous chunking
+//! leaves whole workers idle while one grinds through the expensive
+//! chunk, which is exactly the E16 `union_ms_by_workers` regression.
+//! Fan-out is also skipped entirely when the host has a single core or
+//! the statistics-estimated workload is below [`SPAWN_COST_FLOOR`] —
+//! thread spawn plus cache-cold evaluation costs more than it saves on
+//! small extents.
 
 use crate::peer::BaseKind;
 use sqpeer_plan::{PlanNode, Site};
 use sqpeer_routing::PeerId;
 use sqpeer_rql::{evaluate, ResultSet};
+use sqpeer_store::BaseStatistics;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Worker threads used by [`eval_local`]: the machine's parallelism,
 /// capped low — plan trees rarely have more than a handful of independent
@@ -67,33 +78,86 @@ pub fn eval_local_threads(
     }
 }
 
+/// Estimated triples the branches must touch before a thread fan-out can
+/// pay for itself: below this, spawn latency and cache-cold workers lose
+/// to just evaluating inline.
+const SPAWN_COST_FLOOR: usize = 4_096;
+
+/// Statistics-estimated evaluation cost of one branch: the sum of the
+/// (subsumption-closed) extent sizes its fetches scan. Crude but cheap —
+/// it only has to separate "toy extent" from "worth a thread".
+fn branch_cost(plan: &PlanNode, stats: &BaseStatistics) -> usize {
+    match plan {
+        PlanNode::Fetch { subquery, .. } => subquery
+            .query
+            .patterns()
+            .iter()
+            .map(|p| stats.property_closed(p.property).triples)
+            .sum(),
+        PlanNode::Union(inputs) | PlanNode::Join { inputs, .. } => {
+            inputs.iter().map(|i| branch_cost(i, stats)).sum()
+        }
+    }
+}
+
 /// Evaluates sibling subtrees, in input order, across up to `workers`
-/// scoped threads (contiguous chunking: thread *t* owns branches
-/// `[t·⌈n/w⌉, …)`, writing results into its disjoint slice).
+/// scoped threads pulling branch indices from a shared atomic cursor
+/// (self-balancing under skewed branch costs). Falls back to inline,
+/// sequential evaluation on single-core hosts and for workloads under
+/// [`SPAWN_COST_FLOOR`].
 fn eval_branches(
     inputs: &[PlanNode],
     me: PeerId,
     base: &BaseKind,
     workers: usize,
 ) -> Vec<ResultSet> {
-    if workers <= 1 || inputs.len() <= 1 {
-        return inputs
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Never spawn more workers than the host can actually run: extra
+    // threads only add scheduling churn (the E16 1-core regression).
+    let workers = workers.min(host_cores).min(inputs.len());
+    let inline = || {
+        inputs
             .iter()
             .map(|i| eval_local_threads(i, me, base, 1))
-            .collect();
+            .collect()
+    };
+    if workers <= 1 || inputs.len() <= 1 {
+        return inline();
     }
-    let mut results: Vec<ResultSet> = vec![ResultSet::default(); inputs.len()];
-    let chunk = inputs.len().div_ceil(workers.min(inputs.len()));
+    let stats = base.with_materialized(|db| db.statistics());
+    let total: usize = inputs.iter().map(|i| branch_cost(i, &stats)).sum();
+    if total < SPAWN_COST_FLOOR {
+        return inline();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut results: Vec<Option<ResultSet>> = (0..inputs.len()).map(|_| None).collect();
     std::thread::scope(|s| {
-        for (out, branches) in results.chunks_mut(chunk).zip(inputs.chunks(chunk)) {
-            s.spawn(move || {
-                for (slot, input) in out.iter_mut().zip(branches) {
-                    *slot = eval_local_threads(input, me, base, 1);
-                }
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= inputs.len() {
+                            break;
+                        }
+                        mine.push((i, eval_local_threads(&inputs[i], me, base, 1)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, rs) in handle.join().expect("branch worker panicked") {
+                results[i] = Some(rs);
+            }
         }
     });
-    results
+    // Scatter by index keeps input order regardless of claim order.
+    results.into_iter().map(|r| r.unwrap_or_default()).collect()
 }
 
 /// Is every fetch of this subtree evaluable at `me` (and free of holes)?

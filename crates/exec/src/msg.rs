@@ -30,6 +30,10 @@ pub struct QueryOutcome {
     pub completed_at_us: u64,
     /// Virtual time the query took from intake to answer.
     pub latency_us: u64,
+    /// Time-to-first-row: µs from intake until the first answer rows
+    /// reached the root (a streamed batch or a complete result packet).
+    /// `None` when the answer is empty — no row ever arrived.
+    pub ttfr_us: Option<u64>,
     /// Number of re-planning rounds run-time adaptation performed.
     pub replans: u32,
     /// Whether the answer may be partial (execution gave up on a subplan).
@@ -168,6 +172,24 @@ pub enum Msg {
         /// Echo of the request tag.
         tag: u64,
     },
+    /// Flow-control packet root → dest: grant the sender permission to
+    /// put `credits` more data packets of the tagged stream in flight.
+    /// The receiver issues one credit per data packet it consumes while
+    /// the stream is incomplete — duplicates included, so a retrying
+    /// sender that resends already-drained sequence numbers still makes
+    /// progress; the sender-side window keeps in-flight packets bounded
+    /// at the configured size — backpressure for many concurrent streams
+    /// sharing a link.
+    Credit {
+        /// The channel the stream flows on.
+        channel: PeerChannel,
+        /// The query it serves.
+        qid: QueryId,
+        /// The stream's request tag.
+        tag: u64,
+        /// Additional packets the sender may now put in flight.
+        credits: u32,
+    },
 
     /// Drive an explicit, pre-built plan from this peer (experiment
     /// harness entry point — bypasses routing and optimisation so plan
@@ -222,9 +244,13 @@ impl Msg {
                 96 + 80 * plan.fetch_count() + if trace.is_some() { 16 } else { 0 }
             }
             Msg::Data { result, stats, .. } => {
-                48 + result.wire_size() + if stats.is_some() { 64 } else { 0 }
+                // Statistics are charged at their exact codec framing, not
+                // a flat guess — a snapshot over a wide schema is much
+                // bigger than one over a toy schema.
+                48 + result.wire_size() + stats.as_ref().map_or(0, |s| s.wire_size())
             }
             Msg::SubplanFailed { .. } => 48,
+            Msg::Credit { .. } => 48,
             Msg::ExecutePlan { query, plan, .. } => {
                 32 + query.to_string().len() + 80 * plan.fetch_count()
             }

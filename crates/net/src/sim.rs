@@ -88,6 +88,7 @@ pub struct Ctx<M> {
     replans: usize,
     slow_replans: usize,
     timeout_replans: usize,
+    stream_ttfr: Vec<(NodeId, u64)>,
 }
 
 impl<M> Ctx<M> {
@@ -102,6 +103,7 @@ impl<M> Ctx<M> {
             replans: 0,
             slow_replans: 0,
             timeout_replans: 0,
+            stream_ttfr: Vec::new(),
         }
     }
 
@@ -154,6 +156,14 @@ impl<M> Ctx<M> {
         self.timeout_replans += 1;
     }
 
+    /// Reports per-link time-to-first-row: `elapsed_us` between a subplan
+    /// dispatch at this node and the first result packet arriving back
+    /// from `from`. Recorded into the telemetry registry's `ttfr_us`
+    /// histogram on the `from → me` link (the direction the data flows).
+    pub fn note_stream_ttfr(&mut self, from: NodeId, elapsed_us: u64) {
+        self.stream_ttfr.push((from, elapsed_us));
+    }
+
     /// A context for driving a [`NodeLogic`] *outside* the simulator —
     /// the seam real-clock transports (`sqpeer-daemon`) use to dispatch
     /// callbacks. The transport constructs one per callback, passes it to
@@ -174,6 +184,7 @@ impl<M> Ctx<M> {
             replans: self.replans,
             slow_replans: self.slow_replans,
             timeout_replans: self.timeout_replans,
+            stream_ttfr: self.stream_ttfr,
         }
     }
 }
@@ -198,6 +209,9 @@ pub struct CtxEffects<M> {
     pub slow_replans: usize,
     /// [`Ctx::note_timeout_replan`] count.
     pub timeout_replans: usize,
+    /// [`Ctx::note_stream_ttfr`] observations: `(from, elapsed_us)` per
+    /// first result packet, for the telemetry registry.
+    pub stream_ttfr: Vec<(NodeId, u64)>,
 }
 
 /// One scheduled event.
@@ -710,8 +724,14 @@ impl<N: NodeLogic> Simulator<N> {
             replans,
             slow_replans,
             timeout_replans,
+            stream_ttfr,
             ..
         } = ctx;
+        if let Some(telemetry) = &mut self.telemetry {
+            for (from, elapsed) in stream_ttfr {
+                telemetry.record_ttfr(from, node, elapsed);
+            }
+        }
         for (to, msg, bytes) in outbox {
             self.metrics.record_send(node, to, bytes);
             self.schedule_send(node, to, msg, bytes);

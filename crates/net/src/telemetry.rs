@@ -140,6 +140,11 @@ pub struct LinkTelemetry {
     /// Bytes moved per closed virtual-time window (the windowed
     /// throughput §2.5 adapts on); idle windows count as 0.
     pub window_bytes: Histogram,
+    /// Per-link time-to-first-row: µs from a subplan dispatch at the
+    /// receiving end of this link until the first result packet arrived
+    /// back over it. Streaming execution exists to shrink this number —
+    /// the E21 experiment and the status page read it here.
+    pub ttfr_us: Histogram,
     /// Start of the currently open window (virtual µs).
     window_start_us: u64,
     /// Bytes accumulated in the currently open window.
@@ -175,6 +180,7 @@ impl LinkTelemetry {
         self.latency_us.merge(&other.latency_us);
         self.size_bytes.merge(&other.size_bytes);
         self.window_bytes.merge(&other.window_bytes);
+        self.ttfr_us.merge(&other.ttfr_us);
         self.window_start_us = self.window_start_us.max(other.window_start_us);
         self.open_window_bytes += other.open_window_bytes;
     }
@@ -264,6 +270,21 @@ impl TelemetryRegistry {
         link.open_window_bytes += bytes as u64;
     }
 
+    /// Records one time-to-first-row observation on `from → to`: the µs
+    /// between a subplan dispatch at `to` and the first result packet
+    /// arriving back from `from` (data flows `from → to`).
+    pub fn record_ttfr(&mut self, from: NodeId, to: NodeId, elapsed_us: u64) {
+        let epoch = self.epoch_us;
+        let link = self
+            .links
+            .entry((from, to))
+            .or_insert_with(|| LinkTelemetry {
+                window_start_us: epoch,
+                ..LinkTelemetry::default()
+            });
+        link.ttfr_us.record(elapsed_us);
+    }
+
     /// Telemetry of one directed link, if any traffic was seen.
     pub fn link(&self, from: NodeId, to: NodeId) -> Option<&LinkTelemetry> {
         self.links.get(&(from, to))
@@ -338,6 +359,7 @@ impl TelemetryRegistry {
             ("sqpeer_link_window_bytes", |l: &LinkTelemetry| {
                 &l.window_bytes
             }),
+            ("sqpeer_link_ttfr_us", |l: &LinkTelemetry| &l.ttfr_us),
         ] {
             let _ = writeln!(out, "# TYPE {name} histogram");
             for ((from, to), l) in &links {
@@ -405,12 +427,13 @@ impl TelemetryRegistry {
                 format!(
                     "{{\"from\": \"{from}\", \"to\": \"{to}\", \"messages\": {}, \
                      \"bytes\": {}, \"latency_us\": {}, \"size_bytes\": {}, \
-                     \"window_bytes\": {}}}",
+                     \"window_bytes\": {}, \"ttfr_us\": {}}}",
                     l.messages,
                     l.bytes,
                     hist_json(&l.latency_us),
                     hist_json(&l.size_bytes),
-                    hist_json(&l.window_bytes)
+                    hist_json(&l.window_bytes),
+                    hist_json(&l.ttfr_us)
                 )
             })
             .collect();

@@ -101,6 +101,26 @@ impl ResultSet {
         self.union_all([other]);
     }
 
+    /// [`union`](Self::union) that also returns the rows that were *new*
+    /// to the accumulator (permuted into `self`'s column order). This is
+    /// the streaming-union primitive: a pipelined merge point forwards
+    /// exactly the delta downstream, preserving set semantics without
+    /// re-sending rows an earlier batch already contributed.
+    pub fn union_delta(&mut self, other: &ResultSet) -> Vec<Row> {
+        let mut seen: FxHashSet<Row> = self.rows.iter().cloned().collect();
+        let mut delta = Vec::new();
+        let perm: Option<Vec<usize>> = self.columns.iter().map(|c| other.column_index(c)).collect();
+        let Some(perm) = perm else { return delta };
+        for row in &other.rows {
+            let row: Row = perm.iter().map(|&i| row[i].clone()).collect();
+            if seen.insert(row.clone()) {
+                self.rows.push(row.clone());
+                delta.push(row);
+            }
+        }
+        delta
+    }
+
     /// Natural hash join with `other` on all shared column names.
     ///
     /// Join keys are interned to dense integers first (one hash of each

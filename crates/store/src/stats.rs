@@ -126,6 +126,42 @@ impl BaseStatistics {
         }
     }
 
+    /// The exact encoded size of this snapshot under the wire codec
+    /// (four length-prefixed vectors of varints), computed without
+    /// encoding. Message-size accounting uses this so the simulator
+    /// charges bandwidth for the bytes the codec actually frames,
+    /// instead of a flat per-snapshot guess.
+    pub fn wire_size(&self) -> usize {
+        fn varint_len(mut v: u64) -> usize {
+            let mut n = 1;
+            while v >= 0x80 {
+                v >>= 7;
+                n += 1;
+            }
+            n
+        }
+        fn props_len(ps: &[PropertyStats]) -> usize {
+            varint_len(ps.len() as u64)
+                + ps.iter()
+                    .map(|p| {
+                        varint_len(p.triples as u64)
+                            + varint_len(p.distinct_subjects as u64)
+                            + varint_len(p.distinct_objects as u64)
+                    })
+                    .sum::<usize>()
+        }
+        fn classes_len(cs: &[ClassStats]) -> usize {
+            varint_len(cs.len() as u64)
+                + cs.iter()
+                    .map(|c| varint_len(c.instances as u64))
+                    .sum::<usize>()
+        }
+        props_len(&self.props)
+            + classes_len(&self.classes)
+            + props_len(&self.props_closed)
+            + classes_len(&self.classes_closed)
+    }
+
     /// The four statistics vectors (direct properties, direct classes,
     /// closed properties, closed classes) — the wire-encoding path.
     pub fn raw_parts(

@@ -52,6 +52,11 @@ pub struct ChaosSpec {
     /// Advertisement lease; crashed peers are purged from routing once it
     /// lapses unrenewed.
     pub lease_us: u64,
+    /// Stream subplan results in batches of at most this many rows, so
+    /// answers cross the network as multi-packet streams whose sequence
+    /// numbers the faults reorder and duplicate. `None` keeps
+    /// single-packet results (the pre-streaming behaviour).
+    pub stream_batch_rows: Option<usize>,
 }
 
 impl Default for ChaosSpec {
@@ -66,6 +71,7 @@ impl Default for ChaosSpec {
             jitter_us: 20_000,
             churn_crashes: 1,
             lease_us: 2_000_000,
+            stream_batch_rows: None,
         }
     }
 }
@@ -92,6 +98,10 @@ pub struct ChaosReport {
     pub artifacts: Vec<String>,
     /// Network-wide counters (messages, silent drops, retries, …).
     pub metrics: Metrics,
+    /// Highest per-channel in-flight data-packet count any sender
+    /// recorded — 0 unless the spec streamed, and never above the credit
+    /// window when it did.
+    pub max_stream_inflight: u32,
 }
 
 impl ChaosReport {
@@ -117,6 +127,7 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
         subplan_timeout_us: Some(1_000_000),
         ad_lease_us: Some(spec.lease_us),
         trace: true,
+        stream_batch_rows: spec.stream_batch_rows,
         ..PeerConfig::default()
     };
     let (mut net, ids) = hybrid_network(&schema, net_spec, spec.super_count, config);
@@ -233,6 +244,14 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
         }
     }
     report.metrics = net.sim().metrics().clone();
+    report.max_stream_inflight = net
+        .peers()
+        .iter()
+        .chain(net.super_peers())
+        .filter_map(|&p| net.sim().node(node_of(p)))
+        .map(|n| n.max_stream_inflight)
+        .max()
+        .unwrap_or(0);
     report
 }
 

@@ -318,6 +318,11 @@ pub struct QueryProfile {
     pub execution_us: u64,
     /// Virtual µs from intake to answer (= the outcome's latency).
     pub total_us: u64,
+    /// Time-to-first-row: virtual µs from intake until the first answer
+    /// rows reached the root (`None` for an empty answer). Streamed
+    /// executions pull this well below `total_us`; monolithic ones get
+    /// their first row with the whole answer.
+    pub ttfr_us: Option<u64>,
     /// Query-attributed messages this root sent (route + subplans).
     pub messages_sent: u64,
     /// Bytes of those messages.
@@ -366,6 +371,14 @@ impl QueryProfile {
         );
         let _ = writeln!(
             out,
+            "  ttfr     {}",
+            match self.ttfr_us {
+                Some(t) => format!("{t} us"),
+                None => "- (empty answer)".to_string(),
+            }
+        );
+        let _ = writeln!(
+            out,
             "  network  {} msgs out ({} B), {} B results in, {} peers contacted",
             self.messages_sent, self.bytes_sent, self.bytes_received, self.peers_contacted
         );
@@ -399,7 +412,7 @@ impl QueryProfile {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"qid\": {}, \"query\": \"{}\", \"routing_us\": {}, \"planning_us\": {}, \
-             \"execution_us\": {}, \"total_us\": {}, \"messages_sent\": {}, \"bytes_sent\": {}, \
+             \"execution_us\": {}, \"total_us\": {}, \"ttfr_us\": {}, \"messages_sent\": {}, \"bytes_sent\": {}, \
              \"bytes_received\": {}, \"peers_contacted\": {}, \"subplans_dispatched\": {}, \
              \"subplans_answered\": {}, \"subplans_failed\": {}, \"retries\": {}, \
              \"timeouts\": {}, \"replans\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
@@ -411,6 +424,8 @@ impl QueryProfile {
             self.planning_us,
             self.execution_us,
             self.total_us,
+            self.ttfr_us
+                .map_or("null".to_string(), |t| t.to_string()),
             self.messages_sent,
             self.bytes_sent,
             self.bytes_received,

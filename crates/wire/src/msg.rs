@@ -144,6 +144,18 @@ impl Wire for Msg {
                 qid.encode(w);
                 result.encode(w);
             }
+            Msg::Credit {
+                channel,
+                qid,
+                tag,
+                credits,
+            } => {
+                w.u64v(16);
+                channel.encode(w);
+                qid.encode(w);
+                w.u64v(*tag);
+                w.u32v(*credits);
+            }
         }
     }
 
@@ -204,6 +216,12 @@ impl Wire for Msg {
             15 => Ok(Msg::ClientAnswer {
                 qid: Wire::decode(r)?,
                 result: Wire::decode(r)?,
+            }),
+            16 => Ok(Msg::Credit {
+                channel: Wire::decode(r)?,
+                qid: Wire::decode(r)?,
+                tag: r.u64v()?,
+                credits: r.u32v()?,
             }),
             tag => Err(WireError::BadTag { what: "Msg", tag }),
         }
@@ -372,6 +390,15 @@ pub enum GatewayResponse {
         rows: Vec<Vec<String>>,
         /// Whether the answer may be partial.
         partial: bool,
+        /// Time-to-first-row the gateway observed: µs from forwarding
+        /// the query until the first reply frame carrying rows arrived
+        /// from the host. Zero when the host answered in one frame
+        /// faster than the clock resolution; meaningful for streamed
+        /// multi-batch answers.
+        ttfr_us: u64,
+        /// Total µs from forwarding the query until the final reply
+        /// frame (`last: true`) arrived.
+        latency_us: u64,
     },
     /// Unknown token: the request never reached any peer group.
     Unauthorized,
@@ -391,11 +418,15 @@ impl Wire for GatewayResponse {
                 columns,
                 rows,
                 partial,
+                ttfr_us,
+                latency_us,
             } => {
                 w.byte(0);
                 columns.encode(w);
                 rows.encode(w);
                 w.boolean(*partial);
+                w.u64v(*ttfr_us);
+                w.u64v(*latency_us);
             }
             GatewayResponse::Unauthorized => w.byte(1),
             GatewayResponse::OverQuota { quota } => {
@@ -414,6 +445,8 @@ impl Wire for GatewayResponse {
                 columns: Wire::decode(r)?,
                 rows: Wire::decode(r)?,
                 partial: r.boolean()?,
+                ttfr_us: r.u64v()?,
+                latency_us: r.u64v()?,
             }),
             1 => Ok(GatewayResponse::Unauthorized),
             2 => Ok(GatewayResponse::OverQuota { quota: r.string()? }),

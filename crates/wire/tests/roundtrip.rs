@@ -115,7 +115,7 @@ fn advertisement(peer: u32, with_stats: bool) -> Advertisement {
 
 fn arb_msg() -> impl Strategy<Value = Msg> {
     (
-        0..16u8,
+        0..17u8,
         0..QUERY_TEXTS.len(),
         (0..64u64, 0..8u32, 0..8u32, any::<bool>()),
         arb_result_set(),
@@ -201,7 +201,13 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                 },
                 13 => Msg::ExecutePlan { qid, query, plan },
                 14 => Msg::ClientQuery { qid, query },
-                _ => Msg::ClientAnswer { qid, result },
+                15 => Msg::ClientAnswer { qid, result },
+                _ => Msg::Credit {
+                    channel: ch,
+                    qid,
+                    tag,
+                    credits: a + 1,
+                },
             }
         })
 }
@@ -226,6 +232,35 @@ proptest! {
         let frame = sqpeer_wire::encode_frame(&msg);
         let decoded: Msg = sqpeer_wire::decode_frame(&frame, &reg).expect("decode frame");
         prop_assert_eq!(frame, sqpeer_wire::encode_frame(&decoded));
+    }
+
+    /// `Msg::wire_size` is the bandwidth-accounting estimate every
+    /// transport charges per send (the simulator prices link transfer
+    /// time with it; credit windows meter streams framed by it). It must
+    /// track the actual codec framing within a fixed envelope on every
+    /// variant — Credit included — or simulated byte counts drift away
+    /// from what a TCP deployment ships:
+    ///
+    /// * never undercount by more than 2× (+64 bytes framing slack), so
+    ///   transfer-time simulation cannot be wildly optimistic, and
+    /// * never overcount by more than 6× (+64 bytes for the fixed-cost
+    ///   floor on tiny control packets like Heartbeat).
+    #[test]
+    fn wire_size_tracks_encoded_length(msg in arb_msg()) {
+        let encoded = encode_value(&msg).len();
+        let estimate = msg.wire_size();
+        prop_assert!(
+            encoded <= 2 * estimate + 64,
+            "wire_size undercounts: encoded {} vs estimate {}",
+            encoded,
+            estimate
+        );
+        prop_assert!(
+            estimate <= 6 * encoded + 64,
+            "wire_size overcounts: estimate {} vs encoded {}",
+            estimate,
+            encoded
+        );
     }
 
     /// Result sets with every node kind roundtrip bit-exactly (floats
@@ -287,6 +322,8 @@ fn gateway_messages_roundtrip() {
             columns: vec!["X".into()],
             rows: vec![vec!["http://r/1".into()]],
             partial: false,
+            ttfr_us: 1_250,
+            latency_us: 9_800,
         },
         sqpeer_wire::GatewayResponse::Unauthorized,
         sqpeer_wire::GatewayResponse::OverQuota {

@@ -26,11 +26,15 @@ cat > "$OUT/acme.conf" <<'EOF'
 listen 127.0.0.1:7411
 status 127.0.0.1:7412
 schema fig1
+stream_batch_rows 2      # subplan results cross the group as 2-row packets
+answer_batch_rows 2      # client answers stream back in 2-row frames
 peer
 triple http://acme/a prop1 http://acme/b
 triple http://acme/b prop2 http://acme/c
 peer
 triple http://acme/x prop1 http://acme/b
+triple http://acme/y prop1 http://acme/b
+triple http://acme/z prop1 http://acme/b
 EOF
 
 cat > "$OUT/globex.conf" <<'EOF'
@@ -70,6 +74,16 @@ echo "== tenant A (acme) =="
 grep -q "acme"    "$OUT/acme_answer.txt" || { echo "FAIL: tenant A got no acme rows"; exit 1; }
 grep -q "globex"  "$OUT/acme_answer.txt" && { echo "FAIL: cross-tenant leak into tenant A"; exit 1; }
 grep -q "complete" "$OUT/acme_answer.txt" || { echo "FAIL: tenant A answer not complete"; exit 1; }
+
+echo "== streamed answer: first row strictly precedes the total =="
+# The acme host streams 4 joined rows as 2-row frames with inter-frame
+# pacing, so the gateway's ttfr must be positive and strictly below the
+# total query latency.
+ttfr=$(sed -n 's/^# ttfr \([0-9]*\) us, total [0-9]* us$/\1/p' "$OUT/acme_answer.txt")
+total=$(sed -n 's/^# ttfr [0-9]* us, total \([0-9]*\) us$/\1/p' "$OUT/acme_answer.txt")
+[ -n "$ttfr" ] && [ -n "$total" ] || { echo "FAIL: ttfr trailer missing from tenant A answer"; exit 1; }
+[ "$ttfr" -gt 0 ] || { echo "FAIL: streamed ttfr is zero"; exit 1; }
+[ "$ttfr" -lt "$total" ] || { echo "FAIL: ttfr ($ttfr us) not strictly below total ($total us)"; exit 1; }
 
 echo "== tenant B (globex) =="
 "$BIN" query 127.0.0.1:7431 globex-token "$QUERY" | tee "$OUT/globex_answer.txt"

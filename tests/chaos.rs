@@ -44,7 +44,7 @@ fn artifact_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("target/chaos-artifacts"))
 }
 
-fn run_profile(name: &str, spec: ChaosSpec) {
+fn run_profile(name: &str, spec: ChaosSpec) -> sqpeer_testkit::ChaosReport {
     let report = run_chaos(&spec);
     if !report.holds() {
         let body = format!(
@@ -72,6 +72,25 @@ fn run_profile(name: &str, spec: ChaosSpec) {
         "{name} seed {}: vacuous run (every query unanswered)",
         spec.seed
     );
+    report
+}
+
+/// Streaming under reordering and duplication, no loss: every answer
+/// crosses the network as a multi-packet stream (2-row batches), the
+/// jitter reorders packets and the duplicator resends them, yet nothing
+/// is ever actually lost — so beyond the standard soundness/honesty
+/// oracle, every answered query must be *complete* (StreamState's
+/// in-order drain and seq-dedup must reconstruct each stream exactly).
+fn streamed(seed: u64) -> ChaosSpec {
+    ChaosSpec {
+        seed,
+        silent_loss_permille: 0,
+        duplicate_permille: 150,
+        jitter_us: 50_000,
+        churn_crashes: 0,
+        stream_batch_rows: Some(2),
+        ..ChaosSpec::default()
+    }
 }
 
 #[test]
@@ -86,4 +105,91 @@ fn heavy_profile_holds_across_seed_matrix() {
     for seed in SEEDS {
         run_profile("heavy", heavy(seed));
     }
+}
+
+#[test]
+fn streamed_profile_survives_reorder_and_duplication() {
+    for seed in SEEDS {
+        // The oracle is the identical schedule run without streaming:
+        // reordered, duplicated multi-packet streams must reassemble to
+        // the same per-run accounting — same answered/partial/complete
+        // split — because nothing was actually lost.
+        let mono = run_profile(
+            "streamed-baseline",
+            ChaosSpec {
+                stream_batch_rows: None,
+                ..streamed(seed)
+            },
+        );
+        let report = run_profile("streamed", streamed(seed));
+        assert_eq!(
+            report.unanswered, 0,
+            "seed {seed}: nothing was lost, every query must answer"
+        );
+        assert_eq!(
+            (report.answered, report.partial, report.complete),
+            (mono.answered, mono.partial, mono.complete),
+            "seed {seed}: streaming changed the outcome accounting"
+        );
+        assert_eq!(mono.max_stream_inflight, 0, "baseline streamed packets");
+        assert!(
+            report.max_stream_inflight > 0,
+            "seed {seed}: streaming never engaged — workload too small?"
+        );
+        assert!(
+            report.max_stream_inflight <= 4,
+            "seed {seed}: credit window breached ({} in flight)",
+            report.max_stream_inflight
+        );
+    }
+}
+
+/// Heavy chaos over streamed answers: loss, churn, reordering and
+/// duplication together. A single lost packet or credit stalls its
+/// stream until the subplan timeout re-sends the whole subplan, so at
+/// 20 % loss per packet some seeds never converge inside the drain
+/// window — liveness is therefore asserted across the matrix, not per
+/// seed. Soundness and completeness honesty must hold on every seed.
+#[test]
+fn streamed_heavy_profile_holds_across_seed_matrix() {
+    let mut answered = 0;
+    for seed in SEEDS {
+        let report = run_chaos(&ChaosSpec {
+            stream_batch_rows: Some(2),
+            ..heavy(seed)
+        });
+        assert!(
+            report.holds(),
+            "streamed-heavy seed {seed}:\n{}",
+            report.violations.join("\n")
+        );
+        assert!(
+            report.max_stream_inflight <= 4,
+            "seed {seed}: credit window breached ({} in flight)",
+            report.max_stream_inflight
+        );
+        answered += report.answered;
+    }
+    assert!(answered > 0, "every heavy streamed seed was vacuous");
+}
+
+/// Shrunk regression from the streamed matrix: seed 2 is the schedule
+/// where reordering + duplication coincide with data-coverage partials
+/// (3 of 12 queries are honestly partial even unstreamed). Pinned
+/// exactly — streaming must reproduce the baseline accounting to the
+/// query, and the duplicated final packets must not double-complete any
+/// stream.
+#[test]
+fn regression_streamed_dup_reorder_seed2() {
+    let report = run_chaos(&streamed(2));
+    assert!(report.holds(), "{:?}", report.violations);
+    assert_eq!(report.answered, 12);
+    assert_eq!(report.unanswered, 0);
+    assert_eq!(
+        report.partial, 3,
+        "seed 2's three data-coverage partials must survive streaming \
+         unchanged — more means streams lost rows, fewer means the \
+         accounting went dishonest"
+    );
+    assert!(report.max_stream_inflight > 0 && report.max_stream_inflight <= 4);
 }

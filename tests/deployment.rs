@@ -13,7 +13,7 @@ use sqpeer_daemon::{
     assemble, await_outcome, outcome, pose, spawn_gateway, spawn_host, GatewayConfig, GroupSpec,
     HostConfig, LoopbackNet, Quotas, TenantConfig,
 };
-use sqpeer_exec::{Msg, PeerConfig, PeerNode, QueryId};
+use sqpeer_exec::{node_of, Msg, PeerConfig, PeerNode, QueryId};
 use sqpeer_net::{Simulator, Transport};
 use sqpeer_routing::PeerId;
 use sqpeer_testkit::fixtures::{base_with, fig1_query_text, fig1_schema, fig2_bases};
@@ -139,6 +139,7 @@ fn tcp_host_answers_wire_protocol_clients() {
         spec: spec(),
         telemetry_window_us: Some(1_000_000),
         settle_us: 200_000,
+        answer_batch_rows: None,
     })
     .expect("host starts");
 
@@ -196,6 +197,170 @@ fn tcp_host_answers_wire_protocol_clients() {
     handle.shutdown();
 }
 
+/// Streamed results must be an execution strategy, not a semantics
+/// change: the query posed at several members *concurrently*, with a
+/// prop1 union big enough to split into many data packets.
+const PROP1_QUERY: &str = "SELECT X, Y FROM {X}n1:prop1{Y} \
+                           USING NAMESPACE n1 = &http://example.org/n1#";
+
+/// Assembles `spec`, poses [`PROP1_QUERY`] at every member concurrently,
+/// and returns each member's observation plus the highest per-channel
+/// in-flight data-packet count any sender recorded.
+fn run_streaming_workload<T: Transport<PeerNode>>(
+    transport: &mut T,
+    spec: GroupSpec,
+    settle_us: u64,
+    slice_us: u64,
+    budget_us: u64,
+) -> (Vec<Observation>, u32) {
+    let mut group = assemble(transport, spec, settle_us);
+    let query = group.compile(PROP1_QUERY).expect("prop1 query compiles");
+    let posed: Vec<(PeerId, QueryId)> = group
+        .peers
+        .clone()
+        .into_iter()
+        .map(|at| (at, pose(transport, &mut group, at, query.clone())))
+        .collect();
+    let observations = posed
+        .into_iter()
+        .map(|(at, qid)| {
+            assert!(
+                await_outcome(transport, at, qid, slice_us, budget_us),
+                "query {qid} at {at:?} did not complete in budget"
+            );
+            let o = outcome(transport, at, qid).expect("just awaited");
+            assert!(
+                o.ttfr_us.is_some_and(|t| t <= o.latency_us),
+                "first rows must arrive no later than completion"
+            );
+            let mut rows: Vec<Vec<String>> = o
+                .result
+                .rows
+                .iter()
+                .map(|row| row.iter().map(|n| n.to_string()).collect())
+                .collect();
+            rows.sort();
+            Observation {
+                columns: o.result.columns.clone(),
+                rows,
+                partial: o.partial,
+                missing: o.missing.clone(),
+            }
+        })
+        .collect();
+    let max_inflight = group
+        .peers
+        .iter()
+        .filter_map(|&p| transport.node(node_of(p)))
+        .map(|n| n.max_stream_inflight)
+        .max()
+        .unwrap_or(0);
+    (observations, max_inflight)
+}
+
+/// Streaming-vs-monolithic pin: the same seeded workload run with
+/// single-packet results and with batched streaming must produce
+/// identical answer sets and identical completeness accounting at every
+/// member — on the simulator and on the loopback (credits crossing the
+/// wire codec) — while the credit window bounds every channel's
+/// in-flight data packets.
+#[test]
+fn streaming_matches_monolithic_and_respects_credit_window() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sqpeer_testkit::{populate, DataSpec};
+
+    const BATCH: usize = 4;
+    const WINDOW: u32 = 3;
+
+    let schema = fig1_schema();
+    // Seeded scaled bases: enough prop1 rows on peers 0 and 1 that every
+    // remote result splits into several packets at `BATCH` rows each.
+    let scaled_spec = |batch: Option<usize>| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = DataSpec {
+            triples_per_property: 40,
+            class_pool: 20,
+        };
+        let profiles: [&[&str]; 3] = [&["prop1", "prop2"], &["prop1"], &["prop2"]];
+        let bases = profiles
+            .iter()
+            .map(|props| {
+                let ids: Vec<_> = props
+                    .iter()
+                    .map(|p| schema.property_by_name(p).expect("fig1 property"))
+                    .collect();
+                let mut base = sqpeer_store::DescriptionBase::new(Arc::clone(&schema));
+                populate(&mut base, &ids, data, &mut rng);
+                base
+            })
+            .collect();
+        GroupSpec {
+            schema: Arc::clone(&schema),
+            bases,
+            config: PeerConfig {
+                stream_batch_rows: batch,
+                stream_credit_window: WINDOW,
+                ..PeerConfig::default()
+            },
+        }
+    };
+
+    let mut sim: Simulator<PeerNode> = Simulator::default();
+    let (mono_obs, mono_inflight) =
+        run_streaming_workload(&mut sim, scaled_spec(None), 2_000_000, 100_000, 60_000_000);
+
+    let mut sim: Simulator<PeerNode> = Simulator::default();
+    let (stream_obs, stream_inflight) = run_streaming_workload(
+        &mut sim,
+        scaled_spec(Some(BATCH)),
+        2_000_000,
+        100_000,
+        60_000_000,
+    );
+
+    let mut schemas = SchemaRegistry::new();
+    schemas.register(fig1_schema());
+    let mut net: LoopbackNet<PeerNode> = LoopbackNet::new(schemas);
+    let (loop_obs, loop_inflight) = run_streaming_workload(
+        &mut net,
+        scaled_spec(Some(BATCH)),
+        200_000,
+        10_000,
+        20_000_000,
+    );
+    assert_eq!(
+        net.decode_failures(),
+        0,
+        "streamed packets or credits failed the codec"
+    );
+
+    // Identical answers AND identical completeness accounting,
+    // streamed vs monolithic, across both substrates.
+    assert_eq!(mono_obs, stream_obs, "streaming changed the answer");
+    assert_eq!(mono_obs, loop_obs, "substrates diverged under streaming");
+    assert!(
+        mono_obs.iter().any(|o| o.rows.len() > BATCH),
+        "workload too small to force multi-packet streams"
+    );
+    assert!(
+        mono_obs.iter().all(|o| !o.partial && o.missing.is_empty()),
+        "healthy run reported partial answers"
+    );
+
+    // Monolithic results never stream; streamed channels stay within the
+    // credit window even with every member querying at once.
+    assert_eq!(mono_inflight, 0, "monolithic run streamed packets");
+    assert!(
+        stream_inflight > 0 && stream_inflight <= WINDOW,
+        "sim in-flight {stream_inflight} outside (0, {WINDOW}]"
+    );
+    assert!(
+        loop_inflight > 0 && loop_inflight <= WINDOW,
+        "loopback in-flight {loop_inflight} outside (0, {WINDOW}]"
+    );
+}
+
 /// Gateway isolation: two tenants, two hosts, and the token alone
 /// decides whose data a query can see. Tenant A's token can never reach
 /// tenant B's triples, an unknown token reaches nothing, and a
@@ -222,6 +387,7 @@ fn gateway_isolates_tenants_and_enforces_quotas() {
         },
         telemetry_window_us: None,
         settle_us: 150_000,
+        answer_batch_rows: None,
     })
     .expect("acme host starts");
     let globex_host = spawn_host(HostConfig {
@@ -240,6 +406,7 @@ fn gateway_isolates_tenants_and_enforces_quotas() {
         },
         telemetry_window_us: None,
         settle_us: 150_000,
+        answer_batch_rows: None,
     })
     .expect("globex host starts");
 
