@@ -1,5 +1,5 @@
 //! Executable experiments: one per paper figure (E1–E7) plus the measured
-//! qualitative claims (E8–E11). See DESIGN.md §5 for the index and
+//! qualitative claims (E8–E11). See DESIGN.md §6 for the index and
 //! EXPERIMENTS.md for recorded outputs.
 
 use crate::table::{f1, ms, Table};

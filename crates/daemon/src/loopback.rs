@@ -179,6 +179,9 @@ where
         for _ in 0..effects.timeout_replans {
             self.metrics.record_timeout_replan();
         }
+        for _ in 0..effects.stream_dedups {
+            self.metrics.record_stream_dedup();
+        }
     }
 
     fn dispatch_frame(&mut self, frame: Vec<u8>, bytes: usize) {

@@ -452,13 +452,25 @@ struct StreamState {
     pending: std::collections::BTreeMap<u32, Vec<Row>>,
     last_seq: Option<u32>,
     partial: bool,
+    /// Packets ingested, duplicates included — the denominator of the
+    /// credit-accounting assert (≤ 1 credit may go back per packet).
+    packets_received: u32,
+    /// Credits granted back for this stream so far.
+    credits_back: u32,
 }
 
 impl StreamState {
+    /// Would `seq` be discarded by seq-dedup — already drained, or
+    /// already buffered ahead of a gap?
+    fn is_dup(&self, seq: u32) -> bool {
+        seq < self.next_seq || self.pending.contains_key(&seq)
+    }
+
     /// Ingests one packet and returns the rows that became drainable, in
     /// sequence order (empty when the packet was a duplicate or arrived
     /// ahead of a gap).
     fn ingest(&mut self, seq: u32, rows: Vec<Row>, last: bool) -> Vec<Row> {
+        self.packets_received += 1;
         if last {
             self.last_seq = Some(seq);
         }
@@ -968,6 +980,29 @@ impl PeerNode {
         out
     }
 
+    /// Classifies an armed timer id by the machine it belongs to, so
+    /// external drivers (the conformance replayer in `sqpeer-model`) can
+    /// select "the retry timeout" or "the completion tick" without
+    /// depending on arm order. Timer ids are opaque sequence numbers;
+    /// this resolves them against the same internal maps `on_timer` uses.
+    pub fn timer_kind(&self, timer: u64) -> &'static str {
+        if self.heartbeat_timers.contains(&timer) {
+            "heartbeat"
+        } else if self.sweep_timers.contains(&timer) {
+            "sweep"
+        } else if self.delayed.contains_key(&timer) {
+            "completion"
+        } else if self.productions.contains_key(&timer) {
+            "production"
+        } else if self.probes.contains_key(&timer) {
+            "probe"
+        } else if self.timeouts.contains_key(&timer) {
+            "timeout"
+        } else {
+            "unknown"
+        }
+    }
+
     // ------------------------------------------------------------------
     // Advertisement leases (opt-in via `config.ad_lease_us`)
     // ------------------------------------------------------------------
@@ -1053,9 +1088,12 @@ impl PeerNode {
                 }
                 Some(_) => {}
                 None => {
-                    // Registered before leases were armed (bootstrap) or
-                    // after a restart wiped the deadlines: grant a full
-                    // lease from now instead of expiring instantly.
+                    // Fallback for ads that slipped into the registry after
+                    // the timers were armed (direct registry seeding in
+                    // tests/experiments): grant a full lease from now
+                    // instead of expiring instantly. The bootstrap and
+                    // restart cases are pinned earlier, at arm time, by
+                    // `arm_lease_timers`.
                     self.lease_expiry.insert(peer, now + lease);
                 }
             }
@@ -1067,6 +1105,25 @@ impl PeerNode {
         let Some(period) = self.lease_period() else {
             return;
         };
+        // Pin the bootstrap grace at arm time: advertisements already held
+        // (seeded before boot, or surviving a restart that wiped the
+        // deadlines) get a full lease from *now*. Previously the deadline
+        // was seeded lazily by the first sweep to notice it was missing,
+        // which silently extended the grace by one sweep period — and by
+        // however long the first sweep was delayed.
+        let lease = self.config.ad_lease_us.expect("period implies lease");
+        let now = ctx.now_us();
+        let peers: Vec<PeerId> = self
+            .registry
+            .advertisements()
+            .iter()
+            .map(|a| a.peer)
+            .collect();
+        for peer in peers {
+            if peer != self.id {
+                self.lease_expiry.entry(peer).or_insert(now + lease);
+            }
+        }
         if self.own_advertisement().is_some() {
             let timer = self.next_timer;
             self.next_timer += 1;
@@ -1635,6 +1692,12 @@ impl PeerNode {
             };
             stream.next_seq += 1;
             stream.inflight += 1;
+            debug_assert!(
+                stream.inflight <= stream.window,
+                "stream {key:?}: {} packets in flight exceeds credit window {}",
+                stream.inflight,
+                stream.window
+            );
             high_water = high_water.max(stream.inflight);
             let bytes = msg.wire_size();
             ctx.send(node_of(stream.channel.root), msg, bytes);
@@ -2616,6 +2679,13 @@ impl NodeLogic for PeerNode {
                         state.columns = result.columns.clone();
                     }
                     state.partial |= partial;
+                    if state.is_dup(seq) {
+                        // At-least-once dispatch and fault-plan duplication
+                        // both make repeated sequence numbers normal; each
+                        // one must land in the dedup counter, never in the
+                        // answer.
+                        ctx.note_stream_dedup();
+                    }
                     let mut drained = state.ingest(seq, result.rows, last);
                     if needs_backfill && !drained.is_empty() {
                         drained = state.acc.clone();
@@ -2636,6 +2706,15 @@ impl NodeLogic for PeerNode {
                     };
                     let bytes = msg.wire_size();
                     self.credits_granted += 1;
+                    if let Some(state) = self.streams.get_mut(&tag) {
+                        state.credits_back += 1;
+                        debug_assert!(
+                            state.credits_back <= state.packets_received,
+                            "stream tag {tag}: granted {} credits for only {} packets",
+                            state.credits_back,
+                            state.packets_received
+                        );
+                    }
                     if let Some(root) = self.rooted.get_mut(&qid) {
                         root.messages_sent += 1;
                         root.bytes_sent += bytes as u64;
@@ -2730,6 +2809,11 @@ impl NodeLogic for PeerNode {
                 // in-flight count and push what the window now allows.
                 let key: StreamKey = (channel.root, qid, tag);
                 if let Some(stream) = self.outgoing.get_mut(&key) {
+                    debug_assert!(
+                        credits <= stream.window,
+                        "credit grant of {credits} exceeds window {}",
+                        stream.window
+                    );
                     stream.inflight = stream.inflight.saturating_sub(credits);
                     self.flush_stream(ctx, key);
                 }
@@ -2762,8 +2846,10 @@ impl NodeLogic for PeerNode {
         self.heartbeat_timers.clear();
         self.sweep_timers.clear();
         // Lease deadlines were computed from pre-crash heartbeats that may
-        // have been silently eaten while this node was down; drop them so
-        // the first sweep grants every held ad a fresh grace period.
+        // have been silently eaten while this node was down; drop them.
+        // `arm_lease_timers` below re-seeds every held ad with a full
+        // lease from the restart instant, so the grace period is pinned
+        // to recovery time rather than to whenever the first sweep runs.
         self.lease_expiry.clear();
         // Recovery protocol: re-advertise so holders whose sweep
         // tombstoned this peer restore its active-schema to routing.
@@ -4056,5 +4142,120 @@ mod tests {
         assert_eq!(outcome.missing, vec![PeerId(2), PeerId(3), PeerId(4)]);
         // Every round's failed channels were garbage-collected.
         assert_eq!(p1.rooted_channels(), 0);
+    }
+
+    /// Seq-dedup classification behind the dedup-drop counter: packets
+    /// already drained or already buffered are dups; every ingest counts
+    /// toward the credit-accounting denominator.
+    #[test]
+    fn stream_state_dedup_classification() {
+        let row = |i: i64| vec![sqpeer_rdfs::Node::Literal(sqpeer_rdfs::Literal::Integer(i))];
+        let mut st = StreamState::default();
+        assert!(!st.is_dup(0));
+        st.ingest(1, vec![row(1)], false);
+        assert!(st.is_dup(1), "buffered ahead of the gap");
+        assert!(!st.is_dup(0));
+        st.ingest(0, vec![row(0)], false);
+        assert!(st.is_dup(0), "already drained");
+        assert!(st.is_dup(1), "already drained");
+        assert!(!st.is_dup(2));
+        assert_eq!(st.packets_received, 2);
+    }
+
+    /// Lease-bootstrap regression (arm-after-register): an advertisement
+    /// seeded into the registry *before* boot gets its full-lease grace
+    /// measured from the moment the lease timers are armed — the holder
+    /// tombstones a silent peer at exactly arm + lease, not one sweep
+    /// period later (the old lazy seeding let the first sweep restart the
+    /// clock).
+    #[test]
+    fn lease_bootstrap_grace_pinned_at_arm() {
+        let schema = fig1_schema();
+        let lease = 4_000_000u64; // period = lease / 4 = 1s
+        let config = PeerConfig {
+            ad_lease_us: Some(lease),
+            ..adhoc_config()
+        };
+        let mut sim: Simulator<PeerNode> = Simulator::default();
+        let mut p1 = PeerNode::simple(
+            PeerId(1),
+            base_with(&schema, &[("a", "prop1", "b")]),
+            config.clone(),
+        );
+        // P2's ad is registered before P1 boots; P2 itself is never added
+        // to the simulation, so no heartbeat will ever renew it.
+        let p2 = PeerNode::simple(
+            PeerId(2),
+            base_with(&schema, &[("b", "prop2", "c")]),
+            config,
+        );
+        p1.registry.register(p2.own_advertisement().unwrap());
+        sim.add_node(NodeId(1), p1);
+
+        // The grace holds for the full lease despite zero heartbeats...
+        sim.run_until(lease - 100_000);
+        let holder = sim.node(NodeId(1)).unwrap();
+        assert!(
+            holder.registry.get(PeerId(2)).is_some(),
+            "bootstrap grace must span a full lease"
+        );
+        assert!(holder.departed_peers().is_empty());
+
+        // ...and expires at the first sweep at/after arm + lease.
+        sim.run_until(lease + 100_000);
+        let holder = sim.node(NodeId(1)).unwrap();
+        assert!(
+            holder.registry.get(PeerId(2)).is_none(),
+            "unrenewed bootstrap ad must expire at arm + lease, not a sweep later"
+        );
+        assert_eq!(holder.departed_peers(), vec![PeerId(2)]);
+    }
+
+    /// Lease-bootstrap regression (restart-during-grace): a holder that
+    /// crashes and restarts while a held ad is still in its grace window
+    /// re-seeds the deadline from the restart instant — the surviving ad
+    /// gets a full lease from recovery, and is swept at exactly
+    /// restart + lease when no heartbeat arrives.
+    #[test]
+    fn lease_restart_during_grace_rearms_full_lease() {
+        let schema = fig1_schema();
+        let lease = 4_000_000u64;
+        let config = PeerConfig {
+            ad_lease_us: Some(lease),
+            ..adhoc_config()
+        };
+        let mut sim: Simulator<PeerNode> = Simulator::default();
+        let mut p1 = PeerNode::simple(
+            PeerId(1),
+            base_with(&schema, &[("a", "prop1", "b")]),
+            config.clone(),
+        );
+        let p2 = PeerNode::simple(
+            PeerId(2),
+            base_with(&schema, &[("b", "prop2", "c")]),
+            config,
+        );
+        p1.registry.register(p2.own_advertisement().unwrap());
+        sim.add_node(NodeId(1), p1);
+        // Crash mid-grace (the registry is durable, the deadlines are
+        // volatile) and restart half a second later.
+        let restart_at = 2_500_000u64;
+        sim.schedule_silent_crash(2_000_000, NodeId(1));
+        sim.schedule_silent_restart(restart_at, NodeId(1));
+
+        sim.run_until(restart_at + lease - 100_000);
+        let holder = sim.node(NodeId(1)).unwrap();
+        assert!(
+            holder.registry.get(PeerId(2)).is_some(),
+            "restart must re-grant a full grace from the restart instant"
+        );
+
+        sim.run_until(restart_at + lease + 100_000);
+        let holder = sim.node(NodeId(1)).unwrap();
+        assert!(
+            holder.registry.get(PeerId(2)).is_none(),
+            "post-restart grace must end at restart + lease, not a sweep later"
+        );
+        assert_eq!(holder.departed_peers(), vec![PeerId(2)]);
     }
 }

@@ -1,0 +1,350 @@
+//! Small-state model of the advertisement-lease machine
+//! (`crates/exec/src/peer.rs`: `arm_lease_timers`, `renew_lease`,
+//! `sweep_leases`, tombstoning and heartbeat-driven re-advertisement).
+//!
+//! A member M holds an advertisement at up to two lease holders
+//! (super-peers). Time is abstracted to ticks: each `Tick` ages every
+//! in-flight heartbeat, decays every granted lease by one tick, applies
+//! the configured churn schedule (member crash/restart, holder restart),
+//! and — while M is up — emits a fresh heartbeat to every holder.
+//!
+//! Heartbeats carry their age so that unbounded reordering stays sound:
+//! delivering a heartbeat of age `a` grants `lease - a` remaining ticks
+//! (never less than the holder already has), and a heartbeat that
+//! reaches age `lease` is pruned as a dead letter. Without the stamp an
+//! arbitrarily stale heartbeat could resurrect a long-dead member's
+//! advertisement forever, and no convergence invariant would hold.
+//!
+//! The initial state and the holder-restart transition both seed a
+//! *full* lease for already-known advertisements — the arm-time grace
+//! semantics pinned by the `lease_bootstrap_grace_pinned_at_arm` and
+//! `lease_restart_during_grace_rearms_full_lease` regression tests.
+//!
+//! ## Invariants
+//! - A granted lease never exceeds the configured period.
+//! - Down-convergence: once M has been down for `lease + 1` ticks past
+//!   the last event that could grant it time (its crash, or a holder
+//!   restart re-seeding the grace window), every holder has tombstoned
+//!   the advertisement — under drops, duplication and reordering.
+//! - Up-convergence: in drop-free configs, when the horizon is reached
+//!   with the network drained and M up, every holder has the
+//!   advertisement registered (re-advertisement heals earlier churn).
+//!
+//! ## Liveness
+//! Ticks strictly advance time and deliveries strictly drain the
+//! network, so under fairness every run reaches the horizon with an
+//! empty network: lease state converges after churn.
+
+use crate::explore::Machine;
+
+/// One bounded lease-machine configuration. Churn is part of the
+/// configuration (applied deterministically at the scheduled tick), so
+/// the member's up/down status is derivable from the tick alone.
+#[derive(Debug, Clone)]
+pub struct LeaseCfg {
+    /// Lease holders (super-peers), 1 or 2.
+    pub holders: u8,
+    /// Lease period in ticks.
+    pub lease: u8,
+    /// Last tick of the run.
+    pub horizon: u8,
+    /// First tick the member is down, if it crashes.
+    pub crash_at: Option<u8>,
+    /// First tick the member is back up, if it restarts.
+    pub restart_at: Option<u8>,
+    /// `(holder, tick)`: this holder restarts (and re-arms, seeding a
+    /// full lease for the known advertisement) at that tick.
+    pub holder_restart: Option<(u8, u8)>,
+    /// May the adversary drop heartbeats?
+    pub drops: bool,
+    /// Heartbeats the adversary may duplicate (total).
+    pub dup_budget: u8,
+    pub name: &'static str,
+}
+
+impl LeaseCfg {
+    fn member_up(&self, tick: u8) -> bool {
+        match self.crash_at {
+            Some(c) if tick >= c => self.restart_at.is_some_and(|r| tick >= r),
+            _ => true,
+        }
+    }
+}
+
+/// A heartbeat from the member to `holder`, `age` ticks old.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Heartbeat {
+    pub holder: u8,
+    pub age: u8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Entry {
+    /// Advertisement live with this many ticks of lease left (1..=lease).
+    Registered { ticks_left: u8 },
+    /// Swept: the holder routes around the member until re-advertised.
+    Tombstoned,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LeaseState {
+    pub tick: u8,
+    pub entries: Vec<Entry>,
+    pub net: Vec<Heartbeat>,
+    pub dups_left: u8,
+}
+
+#[derive(Debug, Clone)]
+pub enum LeaseAct {
+    /// Advance abstract time by one tick.
+    Tick,
+    Deliver(usize, Heartbeat),
+    Drop(usize, Heartbeat),
+    Dup(usize, Heartbeat),
+}
+
+pub struct LeaseMachine {
+    pub cfg: LeaseCfg,
+}
+
+impl LeaseMachine {
+    pub fn new(cfg: LeaseCfg) -> Self {
+        LeaseMachine { cfg }
+    }
+}
+
+impl Machine for LeaseMachine {
+    type State = LeaseState;
+    type Action = LeaseAct;
+
+    fn name(&self) -> String {
+        format!("lease/{}", self.cfg.name)
+    }
+
+    fn initial(&self) -> LeaseState {
+        // Arm-time seeding: every already-registered advertisement gets
+        // a full lease from "now" (the satellite fix for the bootstrap
+        // edge in `sweep_leases`).
+        LeaseState {
+            tick: 0,
+            entries: vec![
+                Entry::Registered {
+                    ticks_left: self.cfg.lease
+                };
+                self.cfg.holders as usize
+            ],
+            net: Vec::new(),
+            dups_left: self.cfg.dup_budget,
+        }
+    }
+
+    fn actions(&self, s: &LeaseState, out: &mut Vec<LeaseAct>) {
+        if s.tick < self.cfg.horizon {
+            out.push(LeaseAct::Tick);
+        }
+        for i in 0..s.net.len() {
+            if i > 0 && s.net[i] == s.net[i - 1] {
+                continue;
+            }
+            out.push(LeaseAct::Deliver(i, s.net[i]));
+            if self.cfg.drops {
+                out.push(LeaseAct::Drop(i, s.net[i]));
+            }
+            if s.dups_left > 0 {
+                out.push(LeaseAct::Dup(i, s.net[i]));
+            }
+        }
+    }
+
+    fn apply(&self, s: &LeaseState, a: &LeaseAct) -> LeaseState {
+        let mut next = s.clone();
+        match *a {
+            LeaseAct::Drop(i, _) => {
+                next.net.remove(i);
+            }
+            LeaseAct::Dup(i, _) => {
+                let m = next.net[i];
+                next.net.push(m);
+                next.dups_left -= 1;
+            }
+            LeaseAct::Deliver(i, expect) => {
+                let hb = next.net.remove(i);
+                debug_assert_eq!(hb, expect, "action/state index drift");
+                let grant = self.cfg.lease - hb.age;
+                let entry = &mut next.entries[hb.holder as usize];
+                *entry = match *entry {
+                    // Renewal is monotone: a stale heartbeat never
+                    // shortens a fresher grant.
+                    Entry::Registered { ticks_left } => Entry::Registered {
+                        ticks_left: ticks_left.max(grant),
+                    },
+                    // Heartbeat against a tombstone re-advertises.
+                    Entry::Tombstoned => Entry::Registered { ticks_left: grant },
+                };
+            }
+            LeaseAct::Tick => {
+                next.tick += 1;
+                // Age in-flight heartbeats; prune dead letters.
+                for hb in &mut next.net {
+                    hb.age += 1;
+                }
+                next.net.retain(|hb| hb.age < self.cfg.lease);
+                // Decay granted leases; sweep expirations to tombstones.
+                for entry in &mut next.entries {
+                    if let Entry::Registered { ticks_left } = entry {
+                        *ticks_left -= 1;
+                        if *ticks_left == 0 {
+                            *entry = Entry::Tombstoned;
+                        }
+                    }
+                }
+                // Holder restart: re-arm seeds a full lease for the
+                // known advertisement (restart-during-grace semantics).
+                if let Some((h, at)) = self.cfg.holder_restart {
+                    if at == next.tick {
+                        next.entries[h as usize] = Entry::Registered {
+                            ticks_left: self.cfg.lease,
+                        };
+                    }
+                }
+                // A live member heartbeats every holder each tick. Two
+                // identical in-flight copies are indistinguishable from
+                // more (delivery is idempotent), so cap the multiset.
+                if self.cfg.member_up(next.tick) {
+                    for h in 0..self.cfg.holders {
+                        let copies = next
+                            .net
+                            .iter()
+                            .filter(|m| **m == Heartbeat { holder: h, age: 0 })
+                            .count();
+                        if copies < 2 {
+                            next.net.push(Heartbeat { holder: h, age: 0 });
+                        }
+                    }
+                }
+            }
+        }
+        next.net.sort_unstable();
+        next
+    }
+
+    fn invariant(&self, s: &LeaseState) -> Result<(), String> {
+        for (h, entry) in s.entries.iter().enumerate() {
+            if let Entry::Registered { ticks_left } = entry {
+                if *ticks_left == 0 || *ticks_left > self.cfg.lease {
+                    return Err(format!(
+                        "holder {h}: granted lease of {ticks_left} ticks outside 1..={}",
+                        self.cfg.lease
+                    ));
+                }
+            }
+        }
+        // Down-convergence: with the member permanently down, each
+        // holder tombstones within `lease + 1` ticks of the last event
+        // that could still grant it time — the crash (stale heartbeats
+        // die within `lease` of it) or the holder's own re-arm.
+        if let (Some(crash), None) = (self.cfg.crash_at, self.cfg.restart_at) {
+            for (h, entry) in s.entries.iter().enumerate() {
+                let rearm = match self.cfg.holder_restart {
+                    Some((rh, at)) if rh as usize == h => at,
+                    _ => 0,
+                };
+                let threshold = crash.max(rearm) + self.cfg.lease + 1;
+                if s.tick >= threshold && *entry != Entry::Tombstoned {
+                    return Err(format!(
+                        "holder {h}: member down since tick {crash} but still \
+                         registered at tick {} (tombstone due by {threshold})",
+                        s.tick
+                    ));
+                }
+            }
+        }
+        // Up-convergence: drop-free runs that reach the horizon with the
+        // network drained and the member up must have every holder
+        // registered (the horizon heartbeat cannot have been lost).
+        if s.tick == self.cfg.horizon
+            && s.net.is_empty()
+            && !self.cfg.drops
+            && self.cfg.member_up(self.cfg.horizon)
+        {
+            for (h, entry) in s.entries.iter().enumerate() {
+                if *entry == Entry::Tombstoned {
+                    return Err(format!(
+                        "holder {h}: member up at drained horizon but advertisement \
+                         still tombstoned — leases failed to converge after churn"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn is_goal(&self, s: &LeaseState) -> bool {
+        s.tick == self.cfg.horizon && s.net.is_empty()
+    }
+
+    fn is_fair(&self, a: &LeaseAct) -> bool {
+        !matches!(a, LeaseAct::Drop(..) | LeaseAct::Dup(..))
+    }
+
+    fn render_action(&self, a: &LeaseAct) -> String {
+        match a {
+            LeaseAct::Tick => "tick".to_string(),
+            LeaseAct::Deliver(_, hb) => {
+                format!("deliver heartbeat holder={} age={}", hb.holder, hb.age)
+            }
+            LeaseAct::Drop(_, hb) => format!("drop heartbeat holder={} age={}", hb.holder, hb.age),
+            LeaseAct::Dup(_, hb) => format!("dup heartbeat holder={} age={}", hb.holder, hb.age),
+        }
+    }
+}
+
+/// The bounded configurations CI explores to a fixpoint.
+pub fn configs() -> Vec<LeaseCfg> {
+    vec![
+        LeaseCfg {
+            holders: 2,
+            lease: 3,
+            horizon: 8,
+            crash_at: None,
+            restart_at: None,
+            holder_restart: None,
+            drops: false,
+            dup_budget: 1,
+            name: "steady-renewal",
+        },
+        LeaseCfg {
+            holders: 2,
+            lease: 3,
+            horizon: 10,
+            crash_at: Some(2),
+            restart_at: None,
+            holder_restart: None,
+            drops: true,
+            dup_budget: 1,
+            name: "member-crash-expiry",
+        },
+        LeaseCfg {
+            holders: 2,
+            lease: 3,
+            horizon: 9,
+            crash_at: Some(2),
+            restart_at: Some(5),
+            holder_restart: None,
+            drops: false,
+            dup_budget: 1,
+            name: "crash-restart-readvertise",
+        },
+        LeaseCfg {
+            holders: 2,
+            lease: 4,
+            horizon: 10,
+            crash_at: Some(3),
+            restart_at: None,
+            holder_restart: Some((0, 5)),
+            drops: true,
+            dup_budget: 0,
+            name: "holder-restart-during-grace",
+        },
+    ]
+}

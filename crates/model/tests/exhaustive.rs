@@ -1,0 +1,92 @@
+//! The standing model-check: every bounded configuration of the four
+//! protocol machines explored to a fixpoint, violation-free, with a
+//! termination proof — plus the mutation demonstration showing that the
+//! harness actually catches bugs (a sender that skips one credit grant
+//! wedges, and the wedge renders as a replayable counterexample
+//! artifact).
+//!
+//! Run with `--nocapture` to see the explored-state counts per
+//! configuration; CI copies them into the job summary.
+
+use sqpeer_model::explore::{explore, Report, ViolationKind};
+use sqpeer_model::{dispatch, lease, replan, stream, trace};
+
+/// Per-configuration state budget: a fixpoint beyond this means the
+/// configuration is no longer small-state and must be re-bounded, not
+/// silently sampled.
+const BUDGET: usize = 2_000_000;
+
+fn check_all<M, C, F>(configs: Vec<C>, build: F) -> Vec<Report>
+where
+    M: sqpeer_model::explore::Machine,
+    F: Fn(C) -> M,
+{
+    configs
+        .into_iter()
+        .map(|cfg| {
+            let report = explore(&build(cfg), BUDGET);
+            report.assert_verified();
+            println!("{}", report.summary());
+            report
+        })
+        .collect()
+}
+
+/// All four machines, every bounded configuration, explored to a
+/// fixpoint — with the acceptance floor: ≥ 10⁵ distinct states covered
+/// across the machines. One test so each configuration is explored
+/// exactly once per run.
+#[test]
+fn all_machines_exhaustive_meet_coverage_floor() {
+    let mut reports = Vec::new();
+    reports.extend(check_all(lease::configs(), lease::LeaseMachine::new));
+    reports.extend(check_all(
+        dispatch::configs(),
+        dispatch::DispatchMachine::new,
+    ));
+    reports.extend(check_all(stream::configs(), stream::StreamMachine::new));
+    reports.extend(check_all(replan::configs(), replan::ReplanMachine::new));
+    assert_eq!(reports.len(), 17, "a configuration family went missing");
+
+    let total: usize = reports.iter().map(|r| r.states).sum();
+    println!("total explored states across machines: {total}");
+    assert!(
+        total >= 100_000,
+        "bounded configs cover only {total} states — below the 10^5 floor"
+    );
+}
+
+/// Deliberate mutation: a receiver that skips the credit grant for the
+/// first data packet starves a window-1 sender forever. The explorer
+/// must catch the wedge and the counterexample must land on disk as a
+/// replayable chaos artifact in the shared trace grammar.
+#[test]
+fn skipped_credit_grant_yields_counterexample_artifact() {
+    let machine = stream::StreamMachine::new(stream::mutation_cfg());
+    let report = explore(&machine, BUDGET);
+    let cex = report
+        .violation
+        .as_ref()
+        .expect("skipping a credit grant must wedge the stream");
+    assert_eq!(
+        cex.kind,
+        ViolationKind::Deadlock,
+        "the starved sender has no action left: {}",
+        report.summary()
+    );
+
+    let dir = std::env::temp_dir().join(format!("sqpeer-model-mutation-{}", std::process::id()));
+    let path = trace::write_counterexample_to(&dir, &report.name, cex)
+        .expect("artifact directory is writable");
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("# violation: deadlock"), "{text}");
+    // The schedule replays: every non-comment line parses in the shared
+    // trace grammar and reaches the wedged state step by step.
+    let replay = trace::parse(&report.name, &text).expect("artifact is valid trace grammar");
+    assert_eq!(replay.steps.len(), cex.schedule.len());
+    assert!(
+        replay.steps.iter().all(|s| s.verb == "deliver"),
+        "drop/dup-free config: the wedge needs no adversary, only the skipped grant"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

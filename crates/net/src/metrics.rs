@@ -42,6 +42,7 @@ pub struct Metrics {
     replans: usize,
     slow_channel_replans: usize,
     timeout_replans: usize,
+    stream_dedup_drops: usize,
 }
 
 /// Named global-counter deltas between two [`Metrics`] snapshots — what
@@ -67,6 +68,8 @@ pub struct MetricsDelta {
     pub slow_channel_replans: usize,
     /// Re-plans triggered by a subplan timeout.
     pub timeout_replans: usize,
+    /// Stream `Data` packets discarded by seq-dedup before reassembly.
+    pub stream_dedup_drops: usize,
 }
 
 impl Metrics {
@@ -137,6 +140,13 @@ impl Metrics {
         self.timeout_replans += 1;
     }
 
+    /// Records a stream packet discarded by seq-dedup
+    /// ([`crate::Ctx::note_stream_dedup`]) — a duplicated or stale `Data`
+    /// sequence number dropped before reassembly.
+    pub fn record_stream_dedup(&mut self) {
+        self.stream_dedup_drops += 1;
+    }
+
     /// Counters of one node.
     pub fn node(&self, id: NodeId) -> NodeMetrics {
         self.per_node.get(&id).copied().unwrap_or_default()
@@ -192,6 +202,14 @@ impl Metrics {
         self.timeout_replans
     }
 
+    /// Stream packets discarded by seq-dedup before reassembly. Every
+    /// duplicated or retried `Data` packet that reaches a consumer must
+    /// land here rather than in the answer — the live counterpart of the
+    /// model checker's dedup invariant.
+    pub fn stream_dedup_drops(&self) -> usize {
+        self.stream_dedup_drops
+    }
+
     /// Maximum messages received by any single node — the hot-spot measure
     /// behind "the load of queries processed by each peer is smaller"
     /// (§2.2).
@@ -224,6 +242,9 @@ impl Metrics {
                 .slow_channel_replans
                 .saturating_sub(earlier.slow_channel_replans),
             timeout_replans: self.timeout_replans.saturating_sub(earlier.timeout_replans),
+            stream_dedup_drops: self
+                .stream_dedup_drops
+                .saturating_sub(earlier.stream_dedup_drops),
         }
     }
 }
@@ -265,6 +286,9 @@ mod tests {
         m.record_timeout();
         m.record_timeout();
         m.record_replan();
+        m.record_stream_dedup();
+        m.record_stream_dedup();
+        m.record_stream_dedup();
         assert_eq!(m.silent_drops(), 2);
         assert_eq!(m.node(NodeId(4)).silent_dropped, 2);
         // Silent drops are accounted separately from notified drops.
@@ -274,6 +298,7 @@ mod tests {
         assert_eq!(m.retries_sent(), 1);
         assert_eq!(m.timeouts_fired(), 2);
         assert_eq!(m.replans(), 1);
+        assert_eq!(m.stream_dedup_drops(), 3);
         m.reset();
         assert_eq!(m, Metrics::default());
     }

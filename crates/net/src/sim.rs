@@ -88,6 +88,7 @@ pub struct Ctx<M> {
     replans: usize,
     slow_replans: usize,
     timeout_replans: usize,
+    stream_dedups: usize,
     stream_ttfr: Vec<(NodeId, u64)>,
 }
 
@@ -103,6 +104,7 @@ impl<M> Ctx<M> {
             replans: 0,
             slow_replans: 0,
             timeout_replans: 0,
+            stream_dedups: 0,
             stream_ttfr: Vec::new(),
         }
     }
@@ -156,6 +158,16 @@ impl<M> Ctx<M> {
         self.timeout_replans += 1;
     }
 
+    /// Reports a stream packet discarded by seq-dedup — a duplicate or
+    /// stale `Data` sequence number dropped before reassembly
+    /// ([`Metrics::stream_dedup_drops`]). The at-least-once dispatch and
+    /// fault-plan duplication both legitimately produce these; counting
+    /// them makes the "duplicates never reach the answer" invariant
+    /// observable in every chaos run.
+    pub fn note_stream_dedup(&mut self) {
+        self.stream_dedups += 1;
+    }
+
     /// Reports per-link time-to-first-row: `elapsed_us` between a subplan
     /// dispatch at this node and the first result packet arriving back
     /// from `from`. Recorded into the telemetry registry's `ttfr_us`
@@ -184,6 +196,7 @@ impl<M> Ctx<M> {
             replans: self.replans,
             slow_replans: self.slow_replans,
             timeout_replans: self.timeout_replans,
+            stream_dedups: self.stream_dedups,
             stream_ttfr: self.stream_ttfr,
         }
     }
@@ -209,6 +222,8 @@ pub struct CtxEffects<M> {
     pub slow_replans: usize,
     /// [`Ctx::note_timeout_replan`] count.
     pub timeout_replans: usize,
+    /// [`Ctx::note_stream_dedup`] count.
+    pub stream_dedups: usize,
     /// [`Ctx::note_stream_ttfr`] observations: `(from, elapsed_us)` per
     /// first result packet, for the telemetry registry.
     pub stream_ttfr: Vec<(NodeId, u64)>,
@@ -724,6 +739,7 @@ impl<N: NodeLogic> Simulator<N> {
             replans,
             slow_replans,
             timeout_replans,
+            stream_dedups,
             stream_ttfr,
             ..
         } = ctx;
@@ -753,6 +769,9 @@ impl<N: NodeLogic> Simulator<N> {
         }
         for _ in 0..timeout_replans {
             self.metrics.record_timeout_replan();
+        }
+        for _ in 0..stream_dedups {
+            self.metrics.record_stream_dedup();
         }
     }
 }

@@ -179,6 +179,12 @@ fn streamed_heavy_profile_holds_across_seed_matrix() {
 /// exactly — streaming must reproduce the baseline accounting to the
 /// query, and the duplicated final packets must not double-complete any
 /// stream.
+///
+/// The deterministic essence of this schedule is also pinned as the
+/// named conformance trace
+/// `crates/model/traces/stream_dup_reorder_seed2.trace`, replayed
+/// step-by-step against the real peer logic by `sqpeer-model`'s
+/// conformance suite.
 #[test]
 fn regression_streamed_dup_reorder_seed2() {
     let report = run_chaos(&streamed(2));

@@ -209,3 +209,97 @@ fn determinism_same_seed_same_everything() {
     };
     assert_eq!(run(), run());
 }
+
+/// Deadlock freedom at the tightest credit window: two peers stream
+/// multi-packet answers *to each other* concurrently over the same
+/// channel pair, each under `stream_credit_window = 1`. Every data
+/// packet must wait for the previous packet's credit grant, in both
+/// directions at once — a credit machine that coupled the duplex
+/// directions (or dropped a grant) would wedge one side forever. The
+/// model checker explores this duplex configuration exhaustively
+/// (`stream/w1-duplex` in sqpeer-model); this test pins the real wiring.
+#[test]
+fn duplex_window_one_streams_complete_without_deadlock() {
+    use sqpeer::exec::{Msg, PeerNode, QueryId};
+    use sqpeer::net::{NodeId, Simulator};
+    use sqpeer::rdfs::{Range, Resource, SchemaBuilder, Triple};
+    use sqpeer::routing::PeerId;
+    use sqpeer::rql::compile;
+    use sqpeer::store::DescriptionBase;
+    use std::sync::Arc;
+
+    let mut b = SchemaBuilder::new("duplex", "http://example.org/duplex#");
+    let c = b.class("C").unwrap();
+    let prop = b.property("prop1", c, Range::Class(c)).unwrap();
+    let schema = Arc::new(b.finish().unwrap());
+
+    // Each peer holds 8 rows of the same property under distinct
+    // subjects, so a single-pattern query rooted at either peer streams
+    // the *other* peer's 8 rows across while its own evaluate locally.
+    let base_for = |tag: &str| {
+        let mut db = DescriptionBase::new(Arc::clone(&schema));
+        for i in 0..8 {
+            db.insert_described(Triple::new(
+                Resource::new(format!("http://{tag}/s{i}")),
+                prop,
+                Resource::new(format!("http://{tag}/o{i}")),
+            ));
+        }
+        db
+    };
+    let config = PeerConfig {
+        mode: PeerMode::Adhoc,
+        optimize: false,
+        stream_batch_rows: Some(1),
+        stream_credit_window: 1,
+        ..PeerConfig::default()
+    };
+    let mut p1 = PeerNode::simple(PeerId(1), base_for("one"), config.clone());
+    let mut p2 = PeerNode::simple(PeerId(2), base_for("two"), config);
+    let ad1 = p1.own_advertisement().unwrap();
+    let ad2 = p2.own_advertisement().unwrap();
+    p1.registry.register(ad1.clone());
+    p1.registry.register(ad2.clone());
+    p2.registry.register(ad1);
+    p2.registry.register(ad2);
+
+    let mut sim: Simulator<PeerNode> = Simulator::default();
+    sim.add_node(NodeId(1), p1);
+    sim.add_node(NodeId(2), p2);
+    sim.add_node(NodeId(99), PeerNode::client(PeerId(99)));
+
+    // Both queries enter before anything runs: the streams cross.
+    let query = compile("SELECT X, Y FROM {X}prop1{Y}", &schema).unwrap();
+    for root in [1u32, 2] {
+        let msg = Msg::ClientQuery {
+            qid: QueryId(u64::from(root)),
+            query: query.clone(),
+        };
+        let bytes = msg.wire_size();
+        sim.inject(NodeId(99), NodeId(root), msg, bytes);
+    }
+    sim.run_to_quiescence();
+
+    for root in [1u32, 2] {
+        let node = sim.node(NodeId(root)).unwrap();
+        let outcome = node
+            .outcomes
+            .get(&QueryId(u64::from(root)))
+            .unwrap_or_else(|| panic!("peer {root} wedged: no outcome"));
+        assert!(!outcome.partial, "peer {root}: duplex stream lost rows");
+        assert_eq!(
+            outcome.result.len(),
+            16,
+            "peer {root}: both fragments must arrive in full"
+        );
+        assert!(
+            node.max_stream_inflight <= 1,
+            "peer {root}: window 1 breached ({} in flight)",
+            node.max_stream_inflight
+        );
+        assert!(
+            node.max_stream_inflight > 0,
+            "peer {root}: streaming never engaged"
+        );
+    }
+}
