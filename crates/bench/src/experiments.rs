@@ -103,6 +103,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
             "e21",
             "streaming: time-to-first-row and credit bounds, streamed vs monolithic",
         ),
+        (
+            "e22",
+            "hierarchical SONs: cluster-tree vs flat backbone vs flooding at 1k-5k peers",
+        ),
     ]
 }
 
@@ -130,6 +134,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e19" => e19(),
         "e20" => e20(),
         "e21" => e21(),
+        "e22" => e22(),
         _ => return None,
     })
 }
@@ -2928,6 +2933,174 @@ fn e21() -> String {
          substrate; streamed TTFR < 0.5x monolithic total latency on \
          simulator and loopback; per-channel in-flight packets bounded by \
          the credit window under the concurrent workload.\n",
+    );
+    out
+}
+
+// ----------------------------------------------------------------------
+// E22 — hierarchical SONs at thousand-peer scale
+// ----------------------------------------------------------------------
+
+/// E22 — cluster-tree routing vs the flat super-peer backbone vs
+/// flooding at 1,000–5,000 peers (PR 9 tentpole). Identical seeded
+/// placements feed a flat hybrid overlay and a hierarchical one, so the
+/// flat overlay is the routing oracle: every query must return the same
+/// rows with the same partial flag. The acceptance gate is total
+/// cluster-tree traffic (boot + queries) < 0.5x flat at every size —
+/// the flat backbone replicates every advertisement to all super-peers
+/// (O(S·N) deliveries), the cluster tree pushes only merged summaries
+/// up to heads and across the head ring.
+fn e22() -> String {
+    use sqpeer_testkit::{hier_network, hybrid_network, random_chain_query};
+
+    const CLUSTER: u32 = 8;
+    const QUERIES: usize = 3;
+    const SIZES: [(usize, u32); 3] = [(1_000, 40), (2_000, 80), (5_000, 120)];
+
+    let schema = community_schema(
+        SchemaSpec {
+            chain_classes: 8,
+            subclasses_per_class: 1,
+            subproperty_fraction: 0.5,
+        },
+        31,
+    );
+
+    let mut out = String::from(
+        "E22 — hierarchical SONs: cluster-tree vs flat backbone vs flooding\n\
+         workload: 1 property/peer, 2 triples/property, 3 oracle-checked \
+         chain queries per size\n\n",
+    );
+    let mut t = Table::new(&[
+        "peers",
+        "supers",
+        "flood msgs/query",
+        "flat boot",
+        "flat query",
+        "hier boot",
+        "hier query",
+        "hier/flat total",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for (n, supers) in SIZES {
+        let spec = NetworkSpec {
+            peers: n,
+            properties_per_peer: 1,
+            data: DataSpec {
+                triples_per_property: 2,
+                class_pool: 6,
+            },
+            seed: 31 ^ n as u64,
+        };
+        let queries: Vec<QueryPattern> = {
+            let mut rng = StdRng::seed_from_u64(spec.seed);
+            (0..QUERIES)
+                .filter_map(|i| random_chain_query(&schema, 1 + i % 2, &mut rng))
+                .collect()
+        };
+        assert!(!queries.is_empty(), "workload must generate queries");
+
+        // One overlay flavour over the shared placement: boot traffic,
+        // query traffic and the per-query answers.
+        let run = |hier: bool| -> (usize, usize, Vec<(ResultSet, bool)>) {
+            let (mut net, ids) = if hier {
+                hier_network(&schema, spec, supers, CLUSTER, PeerConfig::default())
+            } else {
+                hybrid_network(&schema, spec, supers, PeerConfig::default())
+            };
+            let boot = net.sim().metrics().total_messages();
+            net.sim_mut().reset_metrics();
+            let mut answers = Vec::new();
+            for (i, q) in queries.iter().enumerate() {
+                let origin = ids[(i * 311) % ids.len()];
+                let qid = net.query(origin, q.clone());
+                net.run();
+                let o = net.outcome(origin, qid).expect("completed").clone();
+                answers.push((o.result.clone().sorted(), o.partial));
+            }
+            (boot, net.sim().metrics().total_messages(), answers)
+        };
+        let (flat_boot, flat_query, flat_answers) = run(false);
+        let (hier_boot, hier_query, hier_answers) = run(true);
+        assert_eq!(
+            hier_answers, flat_answers,
+            "{n} peers: cluster-tree answers diverged from the flat oracle"
+        );
+        assert!(
+            flat_answers.iter().any(|(rs, _)| !rs.is_empty()),
+            "{n} peers: every query came back empty — vacuous comparison"
+        );
+        assert!(
+            flat_answers.iter().all(|(_, partial)| !partial),
+            "{n} peers: fault-free flat run must be complete"
+        );
+
+        // Flooding baseline: analytic flood over a ring-plus-chords
+        // physical topology of the same size (every reached peer
+        // processes the query), per query posed.
+        let mut topo = Topology::new();
+        for i in 0..n as u32 {
+            topo.add_link(PeerId(i), PeerId((i + 1) % n as u32));
+        }
+        {
+            use rand::Rng;
+            let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(1));
+            for _ in 0..n / 2 {
+                let a = rng.gen_range(0..n as u32);
+                let c = rng.gen_range(0..n as u32);
+                topo.add_link(PeerId(a), PeerId(c));
+            }
+        }
+        let flood_out = flood(&topo, PeerId(0), n);
+
+        let flat_total = flat_boot + flat_query;
+        let hier_total = hier_boot + hier_query;
+        let ratio = hier_total as f64 / flat_total as f64;
+        assert!(
+            ratio < 0.5,
+            "{n} peers: cluster-tree traffic not < 0.5x flat \
+             ({hier_total} vs {flat_total}, ratio {ratio:.3})"
+        );
+        t.row(vec![
+            n.to_string(),
+            supers.to_string(),
+            flood_out.messages.to_string(),
+            flat_boot.to_string(),
+            flat_query.to_string(),
+            hier_boot.to_string(),
+            hier_query.to_string(),
+            format!("{ratio:.3}"),
+        ]);
+        json_rows.push(format!(
+            "    {{\"peers\": {n}, \"supers\": {supers}, \
+             \"flood_msgs_per_query\": {}, \"flat_boot\": {flat_boot}, \
+             \"flat_query\": {flat_query}, \"hier_boot\": {hier_boot}, \
+             \"hier_query\": {hier_query}, \"ratio\": {ratio:.4}}}",
+            flood_out.messages,
+        ));
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nshape check: flat boot replicates every advertisement across the \
+         backbone and grows with supers x peers; cluster-tree boot carries \
+         each advertisement once plus merged summary pushes. Answers are \
+         asserted identical to the flat oracle at every size.\n",
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e22\",\n  \"cluster_size\": {CLUSTER},\n  \
+         \"queries_per_size\": {QUERIES},\n  \"gate_ratio\": 0.5,\n  \
+         \"answers_identical\": true,\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n"),
+    );
+    match std::fs::write("BENCH_e22.json", &json) {
+        Ok(()) => out.push_str("\nwrote BENCH_e22.json\n"),
+        Err(e) => out.push_str(&format!("\ncould not write BENCH_e22.json: {e}\n")),
+    }
+    out.push_str(
+        "\nacceptance: >= 1,000 peers; cluster-tree total traffic < 0.5x the \
+         flat backbone at every size; answer sets identical to the flat \
+         oracle on every query.\n",
     );
     out
 }

@@ -22,8 +22,8 @@ pub mod msg;
 pub mod peer;
 
 pub use local::{default_workers, eval_local, eval_local_threads};
-pub use msg::{Msg, PeerChannel, QueryId, QueryOutcome, TraceCtx};
-pub use peer::{BaseKind, PeerConfig, PeerMode, PeerNode, Role, SlowChannelPolicy};
+pub use msg::{HierScope, Msg, PeerChannel, QueryId, QueryOutcome, TraceCtx};
+pub use peer::{BaseKind, ClusterInfo, PeerConfig, PeerMode, PeerNode, Role, SlowChannelPolicy};
 pub use sqpeer_cache::{CacheConfig, CacheStats};
 pub use sqpeer_plan::Explain;
 pub use sqpeer_trace::{spans_well_nested, stitched_well_nested, QueryProfile, TraceEvent, Tracer};

@@ -216,6 +216,54 @@ pub enum Msg {
         /// Projected result rows.
         result: ResultSet,
     },
+
+    /// Hierarchical SONs: a super-peer pushes its (monotone) summary to
+    /// its cluster head, or a head pushes its merged cluster summary to
+    /// the other heads. The receiver tells the two apart by whether
+    /// `owner` is one of its members.
+    SummaryAdvertise {
+        /// The super-peer (or head, for tier-2 pushes) the summary
+        /// describes.
+        owner: sqpeer_routing::PeerId,
+        /// The merged active-schema fragment: every pattern answerable
+        /// below `owner` matches this summary (possibly wider).
+        summary: sqpeer_rvl::ActiveSchema,
+    },
+    /// Hierarchical SONs: descend the cluster tree for `query` instead of
+    /// walking the flat backbone.
+    HierRouteRequest {
+        /// The query being routed.
+        qid: QueryId,
+        /// The query pattern.
+        query: QueryPattern,
+        /// How far the receiver recurses (see [`HierScope`]).
+        scope: HierScope,
+    },
+    /// The annotated pattern covering the receiver's subtree, sent back
+    /// up the cluster tree to the gathering node.
+    HierRouteResponse {
+        /// The query being routed.
+        qid: QueryId,
+        /// Annotations over the responder's subtree.
+        annotated: AnnotatedQuery,
+        /// Departed peers in the subtree whose tombstoned schemas matched.
+        missing: Vec<sqpeer_routing::PeerId>,
+    },
+}
+
+/// How far a [`Msg::HierRouteRequest`] receiver recurses down the
+/// cluster tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HierScope {
+    /// Sent by an entry super-peer to its cluster head: route over the
+    /// whole overlay — own cluster plus every other cluster whose
+    /// summary intersects the pattern.
+    Global,
+    /// Sent head → head: route within the receiver's cluster only.
+    Cluster,
+    /// Sent head → member super-peer: annotate against the receiver's
+    /// own member registry only, no recursion.
+    Local,
 }
 
 impl Msg {
@@ -256,6 +304,16 @@ impl Msg {
             }
             Msg::ClientQuery { query, .. } => 32 + query.to_string().len(),
             Msg::ClientAnswer { result, .. } => 32 + result.wire_size(),
+            Msg::SummaryAdvertise { summary, .. } => summary.wire_size() + 24,
+            Msg::HierRouteRequest { query, .. } => 40 + query.to_string().len(),
+            Msg::HierRouteResponse {
+                annotated, missing, ..
+            } => {
+                let anns: usize = (0..annotated.query().patterns().len())
+                    .map(|i| annotated.peers_for(i).len())
+                    .sum();
+                64 + 32 * anns + 8 * missing.len()
+            }
         }
     }
 }

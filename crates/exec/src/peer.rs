@@ -15,7 +15,7 @@
 //! reaction to a delivered message or a failure notification.
 
 use crate::local::{eval_local, fully_local};
-use crate::msg::{Msg, PeerChannel, QueryId, QueryOutcome};
+use crate::msg::{HierScope, Msg, PeerChannel, QueryId, QueryOutcome};
 use crate::{node_of, peer_of};
 use sqpeer_cache::{CacheConfig, CacheStats, SemanticCache};
 use sqpeer_net::{Channel, ChannelTable, Ctx, NodeId, NodeLogic};
@@ -574,6 +574,47 @@ enum ReplanCause {
     SlowChannel,
 }
 
+/// A super-peer's position in a hierarchical (nested) SON: the flat
+/// backbone is partitioned into clusters, each with a designated head.
+/// Heads summarise their members' advertisements and exchange those
+/// summaries with the other heads, so routing descends the cluster tree
+/// (entry super-peer → head → intersecting clusters/members) instead of
+/// every super-peer replicating every advertisement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterInfo {
+    /// This cluster's head (may be this peer itself).
+    pub head: PeerId,
+    /// All super-peers of this cluster, sorted, including the head and
+    /// this peer.
+    pub members: Vec<PeerId>,
+    /// All cluster heads of the overlay, sorted, including `head`.
+    pub heads: Vec<PeerId>,
+    /// Widen cluster summaries to schema-hierarchy roots before pushing
+    /// them (coarser summaries: fewer pushes, more false-positive
+    /// descents, never a missed holder).
+    pub widen: bool,
+}
+
+/// Who a hierarchical routing gather answers to.
+#[derive(Debug, Clone, Copy)]
+enum HierReply {
+    /// A simple peer's plain `RouteRequest`: answer with `RouteResponse`.
+    Flat(PeerId),
+    /// An inner tree node's `HierRouteRequest`: answer with
+    /// `HierRouteResponse`.
+    Inner(PeerId),
+}
+
+/// An in-flight scatter/gather over the cluster tree: annotations and
+/// known-missing peers accumulated so far, and the subtrees still owed a
+/// response.
+struct HierGather {
+    reply: HierReply,
+    acc: AnnotatedQuery,
+    missing: Vec<PeerId>,
+    pending: HashSet<PeerId>,
+}
+
 /// The peer node: state machine over the simulated network.
 pub struct PeerNode {
     /// This peer's id (coincides with its simulator node id).
@@ -603,6 +644,9 @@ pub struct PeerNode {
     /// Subqueries this peer evaluated locally (the per-peer load measure
     /// of §2.2 / E8).
     pub queries_processed: usize,
+    /// Hierarchical-SON position (super-peers in nested overlays only).
+    /// `None` keeps the flat backbone behaviour unchanged.
+    pub cluster: Option<ClusterInfo>,
 
     channels: ChannelTable<PeerId>,
     rooted: HashMap<QueryId, RootQuery>,
@@ -644,6 +688,20 @@ pub struct PeerNode {
     /// so routing can name known-missing contributors. Cleared when the
     /// peer re-advertises or heartbeats again.
     departed: HashMap<PeerId, Advertisement>,
+    /// The member summary last pushed to this peer's cluster head (also
+    /// folded into later summaries so they only ever grow — a stale
+    /// summary is at worst too wide, never too narrow).
+    last_pushed_summary: Option<ActiveSchema>,
+    /// At a head: member super-peer → its latest pushed summary.
+    member_summaries: HashMap<PeerId, ActiveSchema>,
+    /// At a head: other cluster head → that cluster's latest summary.
+    cluster_summaries: HashMap<PeerId, ActiveSchema>,
+    /// At a head: the cluster summary last pushed to the other heads.
+    last_cluster_summary: Option<ActiveSchema>,
+    /// In-flight hierarchical scatter/gathers, by query.
+    hier_gathers: HashMap<QueryId, HierGather>,
+    /// Gather-timeout timers: timer id → query id.
+    hier_timers: HashMap<u64, QueryId>,
     /// Timer ids driving periodic heartbeats.
     heartbeat_timers: HashSet<u64>,
     /// Timer ids driving periodic lease sweeps.
@@ -689,6 +747,7 @@ impl PeerNode {
             outcomes: HashMap::new(),
             client_answers: HashMap::new(),
             queries_processed: 0,
+            cluster: None,
             channels: ChannelTable::new(),
             rooted: HashMap::new(),
             frames: HashMap::new(),
@@ -707,6 +766,12 @@ impl PeerNode {
             served: HashMap::new(),
             lease_expiry: HashMap::new(),
             departed: HashMap::new(),
+            last_pushed_summary: None,
+            member_summaries: HashMap::new(),
+            cluster_summaries: HashMap::new(),
+            last_cluster_summary: None,
+            hier_gathers: HashMap::new(),
+            hier_timers: HashMap::new(),
             heartbeat_timers: HashSet::new(),
             sweep_timers: HashSet::new(),
             cache,
@@ -996,6 +1061,8 @@ impl PeerNode {
             "production"
         } else if self.probes.contains_key(&timer) {
             "probe"
+        } else if self.hier_timers.contains_key(&timer) {
+            "hier-gather"
         } else if self.timeouts.contains_key(&timer) {
             "timeout"
         } else {
@@ -1028,7 +1095,10 @@ impl PeerNode {
         self.renew_lease(ctx.now_us(), peer);
         if let Some(ad) = self.departed.remove(&peer) {
             self.registry.register(ad.clone());
-            if self.role == Role::Super && !self.super_peers.contains(&peer) {
+            if self.role == Role::Super
+                && !self.super_peers.contains(&peer)
+                && self.cluster.is_none()
+            {
                 for &sp in &self.super_peers {
                     let msg = Msg::Advertise(ad.clone());
                     let bytes = msg.wire_size();
@@ -1078,7 +1148,10 @@ impl PeerNode {
                     self.registry.unregister(peer);
                     self.lease_expiry.remove(&peer);
                     self.departed.insert(peer, ad.clone());
-                    if self.role == Role::Super && !self.super_peers.contains(&peer) {
+                    if self.role == Role::Super
+                        && !self.super_peers.contains(&peer)
+                        && self.cluster.is_none()
+                    {
                         for &sp in &self.super_peers {
                             let msg = Msg::ExpirePeer(ad.clone());
                             let bytes = msg.wire_size();
@@ -1140,6 +1213,254 @@ impl PeerNode {
             self.sweep_timers.insert(timer);
             ctx.set_timer(period, timer);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Hierarchical SONs: cluster summaries and tree-descent routing
+    // ------------------------------------------------------------------
+
+    /// Everything answerable through this super-peer, as one merged
+    /// active-schema: member advertisements, departed tombstones, and
+    /// whatever was pushed before. Folding in tombstones and past pushes
+    /// makes summaries *monotone* — a stale summary is at worst too wide
+    /// (a harmless false-positive descent), never too narrow (a silently
+    /// skipped holder) — and keeps clusters whose only matching peers
+    /// departed reachable, so their super-peers can still name those
+    /// peers as known-missing contributors.
+    fn own_summary(&self) -> Option<ActiveSchema> {
+        fn fold(acc: Option<ActiveSchema>, active: &ActiveSchema) -> Option<ActiveSchema> {
+            Some(match acc {
+                Some(s) => s.merge(active),
+                None => active.clone(),
+            })
+        }
+        let mut acc = self.last_pushed_summary.clone();
+        for ad in self.registry.advertisements() {
+            acc = fold(acc, &ad.active);
+        }
+        // HashMap iteration order is not deterministic; fold in peer order
+        // so equal registries always produce byte-identical summaries.
+        let mut departed: Vec<(&PeerId, &Advertisement)> = self.departed.iter().collect();
+        departed.sort_by_key(|(p, _)| **p);
+        for (_, ad) in departed {
+            acc = fold(acc, &ad.active);
+        }
+        acc
+    }
+
+    /// Pushes this super-peer's member summary to its cluster head when
+    /// it changed, or unconditionally with `force` — the periodic
+    /// self-heal that re-seeds a head whose restart wiped its (volatile)
+    /// summary tables. Heads fold their own registry into the cluster
+    /// summary directly and never message themselves.
+    fn push_summary(&mut self, ctx: &mut Ctx<Msg>, force: bool) {
+        let Some(cluster) = self.cluster.clone() else {
+            return;
+        };
+        let Some(summary) = self.own_summary() else {
+            return;
+        };
+        let changed = self.last_pushed_summary.as_ref() != Some(&summary);
+        if changed {
+            self.last_pushed_summary = Some(summary.clone());
+        }
+        if !changed && !force {
+            return;
+        }
+        if cluster.head == self.id {
+            self.push_cluster_summary(ctx, force);
+        } else {
+            let msg = Msg::SummaryAdvertise {
+                owner: self.id,
+                summary,
+            };
+            let bytes = msg.wire_size();
+            ctx.send(node_of(cluster.head), msg, bytes);
+        }
+    }
+
+    /// At a head: recomputes the cluster summary (own registry plus all
+    /// member summaries, widened when configured) and pushes it to the
+    /// other heads when it changed (or with `force`).
+    fn push_cluster_summary(&mut self, ctx: &mut Ctx<Msg>, force: bool) {
+        let Some(cluster) = self.cluster.clone() else {
+            return;
+        };
+        if cluster.head != self.id {
+            return;
+        }
+        fn fold(acc: Option<ActiveSchema>, active: &ActiveSchema) -> Option<ActiveSchema> {
+            Some(match acc {
+                Some(s) => s.merge(active),
+                None => active.clone(),
+            })
+        }
+        let mut acc = self.last_cluster_summary.clone();
+        if let Some(own) = self.own_summary() {
+            acc = fold(acc, &own);
+        }
+        for m in &cluster.members {
+            if let Some(s) = self.member_summaries.get(m) {
+                acc = fold(acc, s);
+            }
+        }
+        let Some(mut summary) = acc else {
+            return;
+        };
+        if cluster.widen {
+            summary = sqpeer_subsume::widen_summary(&summary);
+        }
+        if !force && self.last_cluster_summary.as_ref() == Some(&summary) {
+            return;
+        }
+        self.last_cluster_summary = Some(summary.clone());
+        for &h in &cluster.heads {
+            if h == self.id {
+                continue;
+            }
+            let msg = Msg::SummaryAdvertise {
+                owner: self.id,
+                summary: summary.clone(),
+            };
+            let bytes = msg.wire_size();
+            ctx.send(node_of(h), msg, bytes);
+        }
+    }
+
+    /// Can `summary` possibly annotate any path pattern of `query`? The
+    /// loosest match kind counts — pruning must only skip subtrees that
+    /// cannot contribute under *any* routing policy.
+    fn summary_intersects(summary: &ActiveSchema, query: &QueryPattern) -> bool {
+        if !sqpeer_routing::same_schema(summary.schema(), query.schema()) {
+            return false;
+        }
+        query.patterns().iter().any(|pat| {
+            summary
+                .active_properties()
+                .iter()
+                .any(|ap| sqpeer_subsume::match_pattern(summary.schema(), ap, pat).is_some())
+        })
+    }
+
+    /// Starts a hierarchical scatter/gather: annotate the local registry,
+    /// then descend into exactly the subtrees whose summaries intersect
+    /// the query. Subtrees without a summary (head restarted, push still
+    /// in flight) are conservatively descended into.
+    fn begin_hier_gather(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        qid: QueryId,
+        query: &QueryPattern,
+        reply: HierReply,
+        scope: HierScope,
+        requester: PeerId,
+    ) {
+        if self.hier_gathers.contains_key(&qid) {
+            // A duplicated routing request must not fork a second gather;
+            // the in-flight one will answer the requester.
+            return;
+        }
+        let acc = self.local_route(query, &HashSet::new(), ctx.now_us(), qid.0);
+        let missing = self.departed_matching(query);
+        let mut pending: Vec<(PeerId, HierScope)> = Vec::new();
+        if let Some(cluster) = self.cluster.clone() {
+            if scope == HierScope::Global && cluster.head != self.id {
+                // Not the head: the head covers everything beyond our own
+                // members.
+                pending.push((cluster.head, HierScope::Global));
+            } else if scope != HierScope::Local {
+                // Head (or entry super-peer that *is* the head): descend
+                // into intersecting member super-peers…
+                for &m in &cluster.members {
+                    if m == self.id || m == requester {
+                        continue;
+                    }
+                    let descend = self
+                        .member_summaries
+                        .get(&m)
+                        .is_none_or(|s| Self::summary_intersects(s, query));
+                    if descend {
+                        pending.push((m, HierScope::Local));
+                    }
+                }
+                // …and, for a global descent, into intersecting sibling
+                // clusters.
+                if scope == HierScope::Global {
+                    for &h in &cluster.heads {
+                        if h == self.id {
+                            continue;
+                        }
+                        let descend = self
+                            .cluster_summaries
+                            .get(&h)
+                            .is_none_or(|s| Self::summary_intersects(s, query));
+                        if descend {
+                            pending.push((h, HierScope::Cluster));
+                        }
+                    }
+                }
+            }
+        }
+        let gather = HierGather {
+            reply,
+            acc,
+            missing,
+            pending: pending.iter().map(|&(p, _)| p).collect(),
+        };
+        if gather.pending.is_empty() {
+            self.finalize_hier_gather(ctx, qid, gather);
+            return;
+        }
+        self.hier_gathers.insert(qid, gather);
+        for (target, scope) in pending {
+            let msg = Msg::HierRouteRequest {
+                qid,
+                query: query.clone(),
+                scope,
+            };
+            let bytes = msg.wire_size();
+            ctx.send(node_of(target), msg, bytes);
+        }
+        // Silent subtree losses (a crashed super-peer produces no delivery
+        // failure) must not hang the query: a gather timeout converts
+        // unanswered subtrees into known-missing contributors.
+        let timer = self.next_timer;
+        self.next_timer += 1;
+        self.hier_timers.insert(timer, qid);
+        let delay = self
+            .config
+            .subplan_timeout_us
+            .unwrap_or(PeerConfig::DEFAULT_SUBPLAN_TIMEOUT_US);
+        ctx.set_timer(delay, timer);
+    }
+
+    /// Answers a finished gather. Annotations are sorted into the
+    /// canonical per-peer order single-registry routing produces, so the
+    /// root plans over exactly what flat routing would have handed it.
+    fn finalize_hier_gather(&mut self, ctx: &mut Ctx<Msg>, qid: QueryId, mut gather: HierGather) {
+        gather.acc.sort_by_peer();
+        gather.missing.sort();
+        gather.missing.dedup();
+        let (to, msg) = match gather.reply {
+            HierReply::Flat(requester) => (
+                requester,
+                Msg::RouteResponse {
+                    qid,
+                    annotated: gather.acc,
+                    missing: gather.missing,
+                },
+            ),
+            HierReply::Inner(requester) => (
+                requester,
+                Msg::HierRouteResponse {
+                    qid,
+                    annotated: gather.acc,
+                    missing: gather.missing,
+                },
+            ),
+        };
+        let bytes = msg.wire_size();
+        ctx.send(node_of(to), msg, bytes);
     }
 
     fn continue_with_annotation(
@@ -2498,17 +2819,23 @@ impl NodeLogic for PeerNode {
                 // §3.1) so every super-peer can produce the complete
                 // annotated pattern the hybrid architecture promises.
                 // Advertisements relayed by another super-peer are stored
-                // but not re-forwarded (loop guard).
+                // but not re-forwarded (loop guard). Hierarchical overlays
+                // replace backbone replication entirely: the ad stays in
+                // this super-peer's registry and only its merged *summary*
+                // travels up the cluster tree.
                 let from_backbone = self.super_peers.contains(&peer_of(from));
                 self.renew_lease(ctx.now_us(), ad.peer);
                 self.departed.remove(&ad.peer);
                 self.registry.register(ad.clone());
-                if self.role == Role::Super && !from_backbone {
+                if self.role == Role::Super && !from_backbone && self.cluster.is_none() {
                     for &sp in &self.super_peers {
                         let msg = Msg::Advertise(ad.clone());
                         let bytes = msg.wire_size();
                         ctx.send(node_of(sp), msg, bytes);
                     }
+                }
+                if self.role == Role::Super && self.cluster.is_some() {
+                    self.push_summary(ctx, false);
                 }
             }
             Msg::Withdraw => {
@@ -2518,7 +2845,13 @@ impl NodeLogic for PeerNode {
                 // Withdrawals replicate like advertisements. A withdrawal
                 // relayed over the backbone names the leaving peer in the
                 // dedicated variant below, so only direct leaves fan out.
-                if self.role == Role::Super && !self.super_peers.contains(&peer_of(from)) {
+                // Hierarchical summaries are monotone, so a withdrawal
+                // never shrinks them; the widened summary just descends
+                // into this cluster one false-positive at a time.
+                if self.role == Role::Super
+                    && !self.super_peers.contains(&peer_of(from))
+                    && self.cluster.is_none()
+                {
                     for &sp in &self.super_peers {
                         let msg = Msg::WithdrawPeer(peer_of(from));
                         let bytes = msg.wire_size();
@@ -2535,8 +2868,13 @@ impl NodeLogic for PeerNode {
                 let peer = peer_of(from);
                 self.heartbeat_from(ctx, peer);
                 // Replicate member heartbeats over the backbone so remote
-                // super-peers renew the replicated advertisement too.
-                if self.role == Role::Super && !self.super_peers.contains(&peer) {
+                // super-peers renew the replicated advertisement too —
+                // pointless in a hierarchical overlay, where no remote
+                // super-peer holds the advertisement.
+                if self.role == Role::Super
+                    && !self.super_peers.contains(&peer)
+                    && self.cluster.is_none()
+                {
                     for &sp in &self.super_peers {
                         let msg = Msg::HeartbeatPeer(peer);
                         let bytes = msg.wire_size();
@@ -2818,6 +3156,49 @@ impl NodeLogic for PeerNode {
                     self.flush_stream(ctx, key);
                 }
             }
+            Msg::SummaryAdvertise { owner, summary } => {
+                // Summaries only ever grow (merged into what we already
+                // hold), so reordered or replayed pushes cannot narrow a
+                // subtree's coverage and cause a missed descent.
+                let is_member = self
+                    .cluster
+                    .as_ref()
+                    .is_some_and(|c| c.head == self.id && c.members.contains(&owner));
+                if is_member {
+                    let merged = match self.member_summaries.get(&owner) {
+                        Some(prev) => prev.merge(&summary),
+                        None => summary,
+                    };
+                    self.member_summaries.insert(owner, merged);
+                    self.push_cluster_summary(ctx, false);
+                } else {
+                    let merged = match self.cluster_summaries.get(&owner) {
+                        Some(prev) => prev.merge(&summary),
+                        None => summary,
+                    };
+                    self.cluster_summaries.insert(owner, merged);
+                }
+            }
+            Msg::HierRouteRequest { qid, query, scope } => {
+                let reply = HierReply::Inner(peer_of(from));
+                self.begin_hier_gather(ctx, qid, &query, reply, scope, peer_of(from));
+            }
+            Msg::HierRouteResponse {
+                qid,
+                annotated,
+                missing,
+            } => {
+                let Some(gather) = self.hier_gathers.get_mut(&qid) else {
+                    return;
+                };
+                gather.acc.merge(&annotated);
+                gather.missing.extend(missing);
+                gather.pending.remove(&peer_of(from));
+                if gather.pending.is_empty() {
+                    let gather = self.hier_gathers.remove(&qid).expect("present");
+                    self.finalize_hier_gather(ctx, qid, gather);
+                }
+            }
         }
     }
 
@@ -2845,6 +3226,15 @@ impl NodeLogic for PeerNode {
         self.served.clear();
         self.heartbeat_timers.clear();
         self.sweep_timers.clear();
+        // Hierarchical summaries are soft state rebuilt from pushes; a
+        // restarted head treats summary-less subtrees as intersecting
+        // (conservative descent) until members re-push.
+        self.hier_gathers.clear();
+        self.hier_timers.clear();
+        self.member_summaries.clear();
+        self.cluster_summaries.clear();
+        self.last_pushed_summary = None;
+        self.last_cluster_summary = None;
         // Lease deadlines were computed from pre-crash heartbeats that may
         // have been silently eaten while this node was down; drop them.
         // `arm_lease_timers` below re-seeds every held ad with a full
@@ -2864,6 +3254,11 @@ impl NodeLogic for PeerNode {
                 ctx.send(node_of(p), msg, bytes);
             }
         }
+        // A restarted super-peer's registry is durable: re-push its merged
+        // summary so the cluster tree prunes correctly again.
+        if self.role == Role::Super && self.cluster.is_some() {
+            self.push_summary(ctx, true);
+        }
         self.arm_lease_timers(ctx);
     }
 
@@ -2879,11 +3274,32 @@ impl NodeLogic for PeerNode {
         }
         if self.sweep_timers.remove(&timer) {
             self.sweep_leases(ctx);
+            // Periodic summary re-push: heals a restarted head (whose
+            // summary tables are volatile) without any extra machinery.
+            // A sweep itself never changes the merged summary — expiry
+            // just moves an ad from the registry to the tombstones, and
+            // both feed the merge.
+            if self.role == Role::Super && self.cluster.is_some() {
+                self.push_summary(ctx, true);
+            }
             let period = self.lease_period().expect("armed only with leases on");
             let next = self.next_timer;
             self.next_timer += 1;
             self.sweep_timers.insert(next);
             ctx.set_timer(period, next);
+            return;
+        }
+        if let Some(qid) = self.hier_timers.remove(&timer) {
+            // Gather timeout: subtrees that never answered (silently
+            // crashed super-peers produce no delivery failure) become
+            // known-missing contributors, so the root's answer is honestly
+            // flagged partial rather than silently incomplete.
+            if let Some(mut gather) = self.hier_gathers.remove(&qid) {
+                let mut lost: Vec<PeerId> = gather.pending.drain().collect();
+                lost.sort();
+                gather.missing.extend(lost);
+                self.finalize_hier_gather(ctx, qid, gather);
+            }
             return;
         }
         if let Some((completion, result, partial)) = self.delayed.remove(&timer) {
@@ -2993,6 +3409,60 @@ impl NodeLogic for PeerNode {
             Msg::RouteRequest { qid, .. } if self.rooted.contains_key(&qid) => {
                 self.adapt_or_give_up(ctx, qid, Some(failed_peer), ReplanCause::Delivery);
             }
+            Msg::HierRouteRequest { qid, scope, .. } => {
+                // A subtree of an in-flight gather is unreachable.
+                if scope == HierScope::Global {
+                    // The cluster head is down: re-parent locally so later
+                    // queries pick a live head…
+                    if let Some(c) = self.cluster.as_mut() {
+                        if c.head == failed_peer {
+                            c.head = c
+                                .members
+                                .iter()
+                                .copied()
+                                .find(|&m| m != failed_peer)
+                                .unwrap_or(self.id);
+                        }
+                    }
+                }
+                let Some(mut gather) = self.hier_gathers.remove(&qid) else {
+                    return;
+                };
+                if !gather.pending.remove(&failed_peer) {
+                    self.hier_gathers.insert(qid, gather);
+                    return;
+                }
+                if scope == HierScope::Global {
+                    // …and degrade *this* query to a flat scatter over
+                    // every super-peer: the summaries needed for pruning
+                    // died with the head, but correctness only needs every
+                    // registry consulted once.
+                    let query = gather.acc.query().clone();
+                    for sp in self.super_peers.clone() {
+                        if sp == failed_peer || sp == self.id || gather.pending.contains(&sp) {
+                            continue;
+                        }
+                        gather.pending.insert(sp);
+                        let msg = Msg::HierRouteRequest {
+                            qid,
+                            query: query.clone(),
+                            scope: HierScope::Local,
+                        };
+                        let bytes = msg.wire_size();
+                        ctx.send(node_of(sp), msg, bytes);
+                    }
+                } else {
+                    // A member or sibling head is down: its subtree's
+                    // holders are unknown — name it missing so the answer
+                    // is honestly partial.
+                    gather.missing.push(failed_peer);
+                }
+                if gather.pending.is_empty() {
+                    self.finalize_hier_gather(ctx, qid, gather);
+                } else {
+                    self.hier_gathers.insert(qid, gather);
+                }
+            }
             // Lost answers/acknowledgements are not recoverable.
             _ => {}
         }
@@ -3015,6 +3485,14 @@ impl PeerNode {
         backbone_ttl: u32,
         partial: Option<AnnotatedQuery>,
     ) {
+        if self.cluster.is_some() {
+            // Hierarchical SON: answer by descending the cluster tree
+            // instead of walking the flat backbone. (Mediation through
+            // articulations stays a flat-backbone feature.)
+            let reply = HierReply::Flat(peer_of(from));
+            self.begin_hier_gather(ctx, qid, &query, reply, HierScope::Global, peer_of(from));
+            return;
+        }
         let mut annotated = self.local_route(&query, &HashSet::new(), ctx.now_us(), qid.0);
         if annotated.all_peers().is_empty() {
             // Mediation (§3.1): a query over a foreign schema is

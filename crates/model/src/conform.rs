@@ -485,6 +485,9 @@ pub fn msg_kind(msg: &Msg) -> &'static str {
         Msg::ExecutePlan { .. } => "executeplan",
         Msg::ClientQuery { .. } => "clientquery",
         Msg::ClientAnswer { .. } => "clientanswer",
+        Msg::SummaryAdvertise { .. } => "summaryadvertise",
+        Msg::HierRouteRequest { .. } => "hierrouterequest",
+        Msg::HierRouteResponse { .. } => "hierrouteresponse",
     }
 }
 

@@ -26,6 +26,7 @@
 pub mod channel;
 pub mod fault;
 pub mod metrics;
+pub mod queue;
 pub mod sim;
 pub mod telemetry;
 pub mod transport;
@@ -33,6 +34,7 @@ pub mod transport;
 pub use channel::{Channel, ChannelId, ChannelState, ChannelTable};
 pub use fault::{ChurnEvent, FaultPlan, SplitMix64};
 pub use metrics::{Metrics, MetricsDelta, NodeMetrics};
+pub use queue::{CalendarQueue, Scheduled};
 pub use sim::{Ctx, CtxEffects, LinkSpec, NodeId, NodeLogic, Simulator};
 pub use telemetry::{Histogram, LinkTelemetry, TelemetryRegistry, DEFAULT_WINDOW_US};
 pub use transport::{Clock, ManualClock, Transport};

@@ -2,9 +2,9 @@
 
 use crate::fault::{FaultPlan, SplitMix64};
 use crate::metrics::Metrics;
+use crate::queue::{CalendarQueue, Scheduled};
 use crate::telemetry::TelemetryRegistry;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
 /// Identifier of a simulated node. The overlay layer maps SQPeer peer ids
 /// onto these one-to-one.
@@ -280,13 +280,18 @@ impl<M> Ord for Event<M> {
         (self.at_us, self.seq).cmp(&(other.at_us, other.seq))
     }
 }
+impl<M> Scheduled for Event<M> {
+    fn at_us(&self) -> u64 {
+        self.at_us
+    }
+}
 
 /// The deterministic event-loop simulator.
 pub struct Simulator<N: NodeLogic> {
     nodes: HashMap<NodeId, N>,
     links: HashMap<(NodeId, NodeId), LinkSpec>,
     default_link: LinkSpec,
-    queue: BinaryHeap<Reverse<Event<N::Msg>>>,
+    queue: CalendarQueue<Event<N::Msg>>,
     now_us: u64,
     seq: u64,
     down: HashSet<NodeId>,
@@ -327,7 +332,7 @@ impl<N: NodeLogic> Simulator<N> {
             nodes: HashMap::new(),
             links: HashMap::new(),
             default_link,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             now_us: 0,
             seq: 0,
             down: HashSet::new(),
@@ -435,6 +440,18 @@ impl<N: NodeLogic> Simulator<N> {
             .unwrap_or(self.default_link)
     }
 
+    /// The default link spec unspecified pairs use.
+    pub fn default_link(&self) -> LinkSpec {
+        self.default_link
+    }
+
+    /// The explicitly-overridden directed links, in no particular order.
+    /// Every pair not listed here uses [`Simulator::default_link`] — so
+    /// cost models can iterate overrides instead of all O(n²) pairs.
+    pub fn overridden_links(&self) -> impl Iterator<Item = (NodeId, NodeId, LinkSpec)> + '_ {
+        self.links.iter().map(|(&(a, b), &s)| (a, b, s))
+    }
+
     /// Current virtual time (µs).
     pub fn now_us(&self) -> u64 {
         self.now_us
@@ -464,7 +481,7 @@ impl<N: NodeLogic> Simulator<N> {
     fn push(&mut self, at_us: u64, kind: EventKind<N::Msg>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { at_us, seq, kind }));
+        self.queue.push(Event { at_us, seq, kind });
     }
 
     /// Computes the delivery time of a message sent now, honouring link
@@ -596,7 +613,7 @@ impl<N: NodeLogic> Simulator<N> {
         self.boot();
         let mut processed = 0;
         while processed < max_events {
-            let Some(Reverse(event)) = self.queue.pop() else {
+            let Some(event) = self.queue.pop() else {
                 break;
             };
             self.now_us = self.now_us.max(event.at_us);
@@ -618,11 +635,11 @@ impl<N: NodeLogic> Simulator<N> {
         const BUDGET: usize = 50_000_000;
         self.boot();
         let mut processed = 0;
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at_us > until_us {
+        while let Some(head_at) = self.queue.peek_at() {
+            if head_at > until_us {
                 break;
             }
-            let Some(Reverse(event)) = self.queue.pop() else {
+            let Some(event) = self.queue.pop() else {
                 break;
             };
             self.now_us = self.now_us.max(event.at_us);

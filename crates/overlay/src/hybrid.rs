@@ -157,6 +157,27 @@ pub struct HybridNetwork {
 }
 
 impl HybridNetwork {
+    /// Crate-internal assembly for sibling builders (the hierarchical
+    /// builder produces the same driver type over a different backbone).
+    pub(crate) fn from_parts(
+        sim: Simulator<PeerNode>,
+        schema: Arc<Schema>,
+        super_ids: Vec<PeerId>,
+        peer_ids: Vec<PeerId>,
+        client: PeerId,
+        lease_us: Option<u64>,
+    ) -> Self {
+        HybridNetwork {
+            sim,
+            schema,
+            super_ids,
+            peer_ids,
+            client,
+            next_qid: 0,
+            lease_us,
+        }
+    }
+
     /// The community schema.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
@@ -368,7 +389,7 @@ fn peer_node(p: PeerId) -> NodeId {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::oracle::{oracle_answer, oracle_base};
     use sqpeer_rdfs::SchemaBuilder;

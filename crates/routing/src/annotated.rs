@@ -110,6 +110,18 @@ impl AnnotatedQuery {
             anns.retain(|a| a.peer != peer);
         }
     }
+
+    /// Sorts each pattern's annotations by peer id — the canonical order
+    /// single-registry routing produces (registries list advertisements
+    /// sorted by peer). Scatter/gather routing merges subtree responses
+    /// in arrival order; sorting at gather finalisation makes the result
+    /// independent of which subtree answered first, so hierarchical and
+    /// flat routing hand identical annotations to the planner.
+    pub fn sort_by_peer(&mut self) {
+        for anns in &mut self.annotations {
+            anns.sort_by_key(|a| a.peer);
+        }
+    }
 }
 
 impl fmt::Display for AnnotatedQuery {

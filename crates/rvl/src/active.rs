@@ -27,11 +27,16 @@ pub struct ActiveProperty {
 }
 
 /// The advertised fragment of a community schema.
+///
+/// The class set and property list live behind `Arc`s: an advertisement
+/// is cloned on every registry insert and fan-out message, and at
+/// thousand-peer scale those were thousand-fold deep copies. Clones now
+/// bump two reference counts; mutation happens only through constructors.
 #[derive(Debug, Clone)]
 pub struct ActiveSchema {
     schema: Arc<Schema>,
-    classes: BitSet,
-    properties: Vec<ActiveProperty>,
+    classes: Arc<BitSet>,
+    properties: Arc<Vec<ActiveProperty>>,
 }
 
 impl ActiveSchema {
@@ -47,9 +52,46 @@ impl ActiveSchema {
         }
         ActiveSchema {
             schema,
-            classes: set,
-            properties,
+            classes: Arc::new(set),
+            properties: Arc::new(properties),
         }
+    }
+
+    /// The least upper bound of `self` and `other`: the union of the
+    /// populated classes and property arcs. This is how a cluster head
+    /// summarises its members' advertisements — a query pattern that
+    /// matches any member's active-schema also matches the merged
+    /// summary (matchability is monotone in the advertised fragment), so
+    /// routing may prune whole clusters whose summary is disjoint from
+    /// the pattern without ever missing a holder.
+    pub fn merge(&self, other: &ActiveSchema) -> ActiveSchema {
+        if self.covers(other) {
+            return self.clone();
+        }
+        let mut classes = (*self.classes).clone();
+        classes.union_with(&other.classes);
+        let mut properties = (*self.properties).clone();
+        for ap in other.properties.iter() {
+            if !properties.contains(ap) {
+                properties.push(*ap);
+            }
+        }
+        properties.sort_unstable_by_key(|ap| (ap.property.0, ap.domain.0, ap.range.map(|c| c.0)));
+        ActiveSchema {
+            schema: Arc::clone(&self.schema),
+            classes: Arc::new(classes),
+            properties: Arc::new(properties),
+        }
+    }
+
+    /// Does `self` already advertise every class and arc of `other`?
+    /// (Makes repeated summary merges idempotent and allocation-free.)
+    pub fn covers(&self, other: &ActiveSchema) -> bool {
+        other.classes.is_subset(&self.classes)
+            && other
+                .properties
+                .iter()
+                .all(|ap| self.properties.contains(ap))
     }
 
     /// Derives the active-schema of a **materialized** peer base: every
@@ -204,6 +246,26 @@ mod tests {
         base.insert_described(Triple::new(Resource::new("r1"), p4, Resource::new("r2")));
         let text = ActiveSchema::of_base(&base).to_string();
         assert!(text.contains("n1:prop4(n1:C5 -> n1:C6)"), "{text}");
+    }
+
+    #[test]
+    fn merge_unions_classes_and_arcs() {
+        let schema = fig1_schema();
+        let p1 = schema.property_by_name("prop1").unwrap();
+        let p4 = schema.property_by_name("prop4").unwrap();
+        let mut base_a = DescriptionBase::new(Arc::clone(&schema));
+        base_a.insert_described(Triple::new(Resource::new("a"), p1, Resource::new("b")));
+        let mut base_b = DescriptionBase::new(Arc::clone(&schema));
+        base_b.insert_described(Triple::new(Resource::new("c"), p4, Resource::new("d")));
+        let a = ActiveSchema::of_base(&base_a);
+        let b = ActiveSchema::of_base(&base_b);
+        let merged = a.merge(&b);
+        assert!(merged.has_property(p1) && merged.has_property(p4));
+        assert!(merged.covers(&a) && merged.covers(&b));
+        // Commutative up to arc order (arcs are sorted) and idempotent.
+        assert_eq!(merged, b.merge(&a));
+        assert_eq!(merged.merge(&a), merged);
+        assert!(!a.covers(&b));
     }
 
     #[test]

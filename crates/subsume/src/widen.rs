@@ -1,0 +1,159 @@
+//! Subsumption-widening of advertisement summaries.
+//!
+//! Cluster heads summarise their members' active-schemas so that routing
+//! can prune whole clusters without inspecting individual peers. A plain
+//! union ([`ActiveSchema::merge`]) is exact; *widening* additionally
+//! lifts every advertised arc to the **topmost** property/class of its
+//! hierarchy, collapsing near-identical member arcs into one and keeping
+//! tier summaries O(schema roots) rather than O(members × arcs).
+//!
+//! Soundness: pattern matching compares reflexive **descendant sets**
+//! ([`match_pattern`](crate::match_pattern)), and an ancestor's
+//! descendant set is a superset of its descendants'. So any query
+//! pattern that matches a member's arc — equal, narrower, wider or
+//! overlapping — still *matches* the widened arc (the match kind may
+//! coarsen, e.g. `Equivalent` to `GeneralizesQuery`). Summary tests
+//! therefore run with `RoutingPolicy::IncludeOverlapping` and can only
+//! produce false-positive descents, never miss a holder.
+
+use sqpeer_rdfs::{ClassId, PropertyId, Schema};
+use sqpeer_rvl::{ActiveProperty, ActiveSchema};
+use std::sync::Arc;
+
+/// The topmost ancestors of `c` (roots of its class hierarchy; just `c`
+/// when it has no superclass). Reflexive ancestors make every class its
+/// own ancestor, so the result is never empty.
+fn top_classes(schema: &Schema, c: ClassId) -> Vec<ClassId> {
+    schema
+        .superclasses(c)
+        .filter(|&a| schema.superclasses(a).all(|aa| aa == a))
+        .collect()
+}
+
+fn top_properties(schema: &Schema, p: PropertyId) -> Vec<PropertyId> {
+    schema
+        .superproperties(p)
+        .filter(|&a| schema.superproperties(a).all(|aa| aa == a))
+        .collect()
+}
+
+/// Widens `summary` by lifting every arc to the top of its property and
+/// class hierarchies. Idempotent; preserves matchability (see module
+/// docs). Classes are kept as-is — routing matches path patterns, and
+/// the widened arcs already carry the lifted end-points.
+pub fn widen_summary(summary: &ActiveSchema) -> ActiveSchema {
+    let schema = Arc::clone(summary.schema());
+    let mut arcs: Vec<ActiveProperty> = Vec::new();
+    for ap in summary.active_properties() {
+        for &p in &top_properties(&schema, ap.property) {
+            // The lifted arc keeps the *declared* end-points of the top
+            // property, widened to their own hierarchy roots; a literal
+            // range stays literal.
+            for &domain in &top_classes(&schema, ap.domain) {
+                match ap.range {
+                    None => {
+                        let arc = ActiveProperty {
+                            property: p,
+                            domain,
+                            range: None,
+                        };
+                        if !arcs.contains(&arc) {
+                            arcs.push(arc);
+                        }
+                    }
+                    Some(r) => {
+                        for &range in &top_classes(&schema, r) {
+                            let arc = ActiveProperty {
+                                property: p,
+                                domain,
+                                range: Some(range),
+                            };
+                            if !arcs.contains(&arc) {
+                                arcs.push(arc);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    arcs.sort_unstable_by_key(|ap| (ap.property.0, ap.domain.0, ap.range.map(|c| c.0)));
+    ActiveSchema::new(schema, summary.classes(), arcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern_match::match_pattern;
+    use sqpeer_rdfs::{Range, Resource, SchemaBuilder, Triple};
+    use sqpeer_rql::compile;
+    use sqpeer_store::DescriptionBase;
+
+    fn fig1_schema() -> Arc<Schema> {
+        let mut b = SchemaBuilder::new("n1", "http://example.org/n1#");
+        let c1 = b.class("C1").unwrap();
+        let c2 = b.class("C2").unwrap();
+        let c3 = b.class("C3").unwrap();
+        let _ = b.class("C4").unwrap();
+        let c5 = b.subclass("C5", c1).unwrap();
+        let c6 = b.subclass("C6", c2).unwrap();
+        let p1 = b.property("prop1", c1, Range::Class(c2)).unwrap();
+        let _ = b.property("prop2", c2, Range::Class(c3)).unwrap();
+        let _ = b.subproperty("prop4", p1, c5, Range::Class(c6)).unwrap();
+        Arc::new(b.finish().unwrap())
+    }
+
+    fn prop4_base(schema: &Arc<Schema>) -> DescriptionBase {
+        let p4 = schema.property_by_name("prop4").unwrap();
+        let mut base = DescriptionBase::new(Arc::clone(schema));
+        base.insert_described(Triple::new(Resource::new("r1"), p4, Resource::new("r2")));
+        base
+    }
+
+    #[test]
+    fn lifts_arcs_to_hierarchy_roots() {
+        let schema = fig1_schema();
+        let active = ActiveSchema::of_base(&prop4_base(&schema));
+        let wide = widen_summary(&active);
+        let p1 = schema.property_by_name("prop1").unwrap();
+        let c1 = schema.class_by_name("C1").unwrap();
+        let c2 = schema.class_by_name("C2").unwrap();
+        assert_eq!(
+            wide.active_properties(),
+            &[ActiveProperty {
+                property: p1,
+                domain: c1,
+                range: Some(c2),
+            }]
+        );
+        // Idempotent.
+        assert_eq!(widen_summary(&wide), wide);
+    }
+
+    /// Every pattern the original summary matches, the widened one does
+    /// too (possibly with a coarser kind).
+    #[test]
+    fn widening_preserves_matchability() {
+        let schema = fig1_schema();
+        let active = ActiveSchema::of_base(&prop4_base(&schema));
+        let wide = widen_summary(&active);
+        for rql in [
+            "SELECT X, Y FROM {X}prop4{Y}",
+            "SELECT X, Y FROM {X}prop1{Y}",
+            "SELECT X, Y FROM {X;C5}prop1{Y}",
+        ] {
+            let q = compile(rql, &schema).unwrap();
+            for pat in q.patterns() {
+                let narrow_hits = active
+                    .active_properties()
+                    .iter()
+                    .any(|ap| match_pattern(&schema, ap, pat).is_some());
+                let wide_hits = wide
+                    .active_properties()
+                    .iter()
+                    .any(|ap| match_pattern(&schema, ap, pat).is_some());
+                assert!(!narrow_hits || wide_hits, "widening lost {rql} ({pat:?})");
+            }
+        }
+    }
+}

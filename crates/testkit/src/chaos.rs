@@ -17,7 +17,7 @@
 //! vacuity. Every violation message embeds `(seed, fault plan)` so a
 //! failing schedule replays exactly.
 
-use crate::network_gen::{hybrid_network, NetworkSpec};
+use crate::network_gen::{hier_network, hybrid_network, NetworkSpec};
 use crate::schema_gen::{community_schema, SchemaSpec};
 use crate::workload::random_chain_query;
 use rand::rngs::StdRng;
@@ -57,6 +57,15 @@ pub struct ChaosSpec {
     /// numbers the faults reorder and duplicate. `None` keeps
     /// single-packet results (the pre-streaming behaviour).
     pub stream_batch_rows: Option<usize>,
+    /// Group the super-peers into a hierarchical SON with clusters of
+    /// this size (`None` keeps the flat backbone). Routing then descends
+    /// the cluster tree, and the invariants additionally cover summary
+    /// staleness, gather timeouts and head churn.
+    pub cluster_size: Option<u32>,
+    /// Super-peers crashed ungracefully mid-run (each restarts later) —
+    /// in hierarchical mode this takes down cluster heads and entry
+    /// super-peers, exercising degradation and summary re-push.
+    pub super_churn_crashes: usize,
 }
 
 impl Default for ChaosSpec {
@@ -72,6 +81,8 @@ impl Default for ChaosSpec {
             churn_crashes: 1,
             lease_us: 2_000_000,
             stream_batch_rows: None,
+            cluster_size: None,
+            super_churn_crashes: 0,
         }
     }
 }
@@ -130,7 +141,12 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
         stream_batch_rows: spec.stream_batch_rows,
         ..PeerConfig::default()
     };
-    let (mut net, ids) = hybrid_network(&schema, net_spec, spec.super_count, config);
+    let (mut net, ids) = match spec.cluster_size {
+        Some(cluster_size) => {
+            hier_network(&schema, net_spec, spec.super_count, cluster_size, config)
+        }
+        None => hybrid_network(&schema, net_spec, spec.super_count, config),
+    };
 
     // The workload, and its fault-free ground truth. Peer bases are
     // durable across churn, so the oracle can be taken up front.
@@ -160,6 +176,18 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
         let crash_at = now + 200_000 + chaos_rng.below(3_000_000);
         let down_for = spec.lease_us + chaos_rng.below(2 * spec.lease_us);
         plan = plan.with_churn(node_of(victims[k]), crash_at, Some(crash_at + down_for));
+    }
+    // Super-peer churn: routing infrastructure itself crashes and
+    // restarts. Crashed heads make gathers time out (silent churn gives
+    // no failure notifications), restarted super-peers rebuild their
+    // summary tables from periodic re-pushes.
+    let mut sp_victims: Vec<PeerId> = net.super_peers().to_vec();
+    for k in 0..spec.super_churn_crashes.min(sp_victims.len()) {
+        let pick = k + chaos_rng.below((sp_victims.len() - k) as u64) as usize;
+        sp_victims.swap(k, pick);
+        let crash_at = now + 200_000 + chaos_rng.below(3_000_000);
+        let down_for = spec.lease_us + chaos_rng.below(2 * spec.lease_us);
+        plan = plan.with_churn(node_of(sp_victims[k]), crash_at, Some(crash_at + down_for));
     }
     let replay = plan.replay_string();
     net.sim_mut().set_fault_plan(plan);
@@ -296,6 +324,19 @@ mod tests {
     fn invariants_hold_under_moderate_chaos() {
         let report = run_chaos(&ChaosSpec {
             seed: 17,
+            ..ChaosSpec::default()
+        });
+        assert!(report.holds(), "{:?}", report.violations);
+        assert!(report.answered > 0, "run must not be vacuous");
+    }
+
+    #[test]
+    fn hierarchical_chaos_with_head_churn_is_sound_and_honest() {
+        let report = run_chaos(&ChaosSpec {
+            seed: 21,
+            super_count: 4,
+            cluster_size: Some(2),
+            super_churn_crashes: 1,
             ..ChaosSpec::default()
         });
         assert!(report.holds(), "{:?}", report.violations);

@@ -27,6 +27,6 @@ pub mod workload;
 pub use chaos::{run_chaos, ChaosReport, ChaosSpec};
 pub use data_gen::{populate, DataSpec};
 pub use fixtures::{fig1_schema, fig2_bases, fig6_network, fig7_network};
-pub use network_gen::{adhoc_network, hybrid_network, NetworkSpec, TopologyKind};
+pub use network_gen::{adhoc_network, hier_network, hybrid_network, NetworkSpec, TopologyKind};
 pub use schema_gen::{community_schema, SchemaSpec};
 pub use workload::{chain_properties, chain_query_text, random_chain_query, zipf_workload};

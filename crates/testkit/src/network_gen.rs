@@ -4,7 +4,7 @@ use crate::data_gen::{populate, DataSpec};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use sqpeer::overlay::{AdhocBuilder, AdhocNetwork, HybridBuilder, HybridNetwork};
+use sqpeer::overlay::{AdhocBuilder, AdhocNetwork, HierBuilder, HybridBuilder, HybridNetwork};
 use sqpeer::prelude::*;
 use std::sync::Arc;
 
@@ -71,6 +71,26 @@ pub fn hybrid_network(
     config: PeerConfig,
 ) -> (HybridNetwork, Vec<PeerId>) {
     let mut b = HybridBuilder::new(Arc::clone(schema), super_count).config(config);
+    let mut ids = Vec::with_capacity(spec.peers);
+    for (i, base) in peer_bases(schema, &spec).into_iter().enumerate() {
+        ids.push(b.add_peer(base, (i as u32) % super_count.max(1)));
+    }
+    (b.build(), ids)
+}
+
+/// Builds a hierarchical SON over the same generated placement as
+/// [`hybrid_network`]: `super_count` super-peers grouped into clusters
+/// of `cluster_size`, peers assigned round-robin. Identical specs give
+/// byte-identical peer bases across the two builders, so the flat
+/// overlay serves as the routing oracle for the hierarchical one.
+pub fn hier_network(
+    schema: &Arc<Schema>,
+    spec: NetworkSpec,
+    super_count: u32,
+    cluster_size: u32,
+    config: PeerConfig,
+) -> (HybridNetwork, Vec<PeerId>) {
+    let mut b = HierBuilder::new(Arc::clone(schema), super_count, cluster_size).config(config);
     let mut ids = Vec::with_capacity(spec.peers);
     for (i, base) in peer_bases(schema, &spec).into_iter().enumerate() {
         ids.push(b.add_peer(base, (i as u32) % super_count.max(1)));

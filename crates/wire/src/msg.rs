@@ -22,7 +22,7 @@
 
 use crate::codec::{Reader, Wire, WireError, Writer};
 use crate::SchemaRegistry;
-use sqpeer_exec::{Msg, QueryId, TraceCtx};
+use sqpeer_exec::{HierScope, Msg, QueryId, TraceCtx};
 use sqpeer_routing::PeerId;
 use std::io::{Read, Write};
 
@@ -156,6 +156,31 @@ impl Wire for Msg {
                 w.u64v(*tag);
                 w.u32v(*credits);
             }
+            Msg::SummaryAdvertise { owner, summary } => {
+                w.u64v(17);
+                owner.encode(w);
+                summary.encode(w);
+            }
+            Msg::HierRouteRequest { qid, query, scope } => {
+                w.u64v(18);
+                qid.encode(w);
+                query.encode(w);
+                w.u32v(match scope {
+                    HierScope::Global => 0,
+                    HierScope::Cluster => 1,
+                    HierScope::Local => 2,
+                });
+            }
+            Msg::HierRouteResponse {
+                qid,
+                annotated,
+                missing,
+            } => {
+                w.u64v(19);
+                qid.encode(w);
+                annotated.encode(w);
+                missing.encode(w);
+            }
         }
     }
 
@@ -222,6 +247,30 @@ impl Wire for Msg {
                 qid: Wire::decode(r)?,
                 tag: r.u64v()?,
                 credits: r.u32v()?,
+            }),
+            17 => Ok(Msg::SummaryAdvertise {
+                owner: Wire::decode(r)?,
+                summary: Wire::decode(r)?,
+            }),
+            18 => Ok(Msg::HierRouteRequest {
+                qid: Wire::decode(r)?,
+                query: Wire::decode(r)?,
+                scope: match r.u32v()? {
+                    0 => HierScope::Global,
+                    1 => HierScope::Cluster,
+                    2 => HierScope::Local,
+                    tag => {
+                        return Err(WireError::BadTag {
+                            what: "HierScope",
+                            tag: tag as u64,
+                        })
+                    }
+                },
+            }),
+            19 => Ok(Msg::HierRouteResponse {
+                qid: Wire::decode(r)?,
+                annotated: Wire::decode(r)?,
+                missing: Wire::decode(r)?,
             }),
             tag => Err(WireError::BadTag { what: "Msg", tag }),
         }

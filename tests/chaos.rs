@@ -93,6 +93,25 @@ fn streamed(seed: u64) -> ChaosSpec {
     }
 }
 
+/// Hierarchical overlay under churn that takes out super-peers — the
+/// nodes carrying cluster summaries and gather state. Crashed heads
+/// force the degradation path (re-parenting or flat scatter); the
+/// standard oracle still applies: no invented rows, and any answer
+/// claimed complete must equal the fault-free answer.
+fn hierarchical(seed: u64) -> ChaosSpec {
+    ChaosSpec {
+        seed,
+        super_count: 6,
+        cluster_size: Some(2),
+        silent_loss_permille: 50,
+        duplicate_permille: 25,
+        jitter_us: 10_000,
+        churn_crashes: 1,
+        super_churn_crashes: 1,
+        ..ChaosSpec::default()
+    }
+}
+
 #[test]
 fn light_profile_holds_across_seed_matrix() {
     for seed in SEEDS {
@@ -104,6 +123,16 @@ fn light_profile_holds_across_seed_matrix() {
 fn heavy_profile_holds_across_seed_matrix() {
     for seed in SEEDS {
         run_profile("heavy", heavy(seed));
+    }
+}
+
+/// Cluster-tree descent under super-peer churn: soundness, honesty and
+/// liveness on every seed — gather timeouts and the degradation path
+/// must keep queries answering even with a head down.
+#[test]
+fn hierarchical_profile_holds_across_seed_matrix() {
+    for seed in SEEDS {
+        run_profile("hierarchical", hierarchical(seed));
     }
 }
 

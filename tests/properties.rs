@@ -7,6 +7,8 @@
 //!   advertisements never remove annotations,
 //! * plan-rewrite semantics preservation — distribution and same-peer
 //!   merging never change the computed answer,
+//! * hierarchical cluster-tree routing ≡ flat-backbone routing on
+//!   identical placements (the flat overlay is the oracle),
 //! * subsumption-closure coherence on generated schemas.
 
 use proptest::prelude::*;
@@ -521,6 +523,75 @@ proptest! {
 /// empty registry still count lookups.)
 fn events_had_query(_registry: &sqpeer::routing::AdRegistry) -> bool {
     true
+}
+
+// ----------------------------------------------------------------------
+// Hierarchical cluster-tree routing ≡ flat-backbone routing
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Over random placements, random cluster partitions of the backbone
+    /// and random queries, the hierarchical overlay answers exactly what
+    /// the flat hybrid overlay answers — same rows, same partial flag.
+    /// Summary widening must not change answers either: widened
+    /// summaries only cause false-positive descents, never the pruning
+    /// of a holder.
+    #[test]
+    fn hierarchical_routing_equals_flat_backbone(
+        placements in prop::collection::vec((arb_base(), 0..4u32), 1..6),
+        labels in prop::collection::vec(0..4u8, 4usize),
+        (q1, q2) in arb_query_pair(),
+        widen in any::<bool>(),
+    ) {
+        use sqpeer::overlay::HierBuilder;
+        let schema = fig1_schema();
+        let super_count = 4u32;
+        // Group super-peer indexes by label; the non-empty groups form a
+        // valid partition of 0..super_count (singletons, one big cluster
+        // and everything in between all occur).
+        let partition: Vec<Vec<u32>> = (0..4u8)
+            .map(|l| {
+                labels
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &lab)| lab == l)
+                    .map(|(i, _)| i as u32)
+                    .collect::<Vec<u32>>()
+            })
+            .filter(|c| !c.is_empty())
+            .collect();
+
+        let mut hb = HybridBuilder::new(Arc::clone(&schema), super_count);
+        let mut nb = HierBuilder::new(Arc::clone(&schema), super_count, 2)
+            .clusters(partition)
+            .widen_summaries(widen);
+        let mut origin = None;
+        for (base, sp) in &placements {
+            let id = hb.add_peer(base.clone(), *sp);
+            nb.add_peer(base.clone(), *sp);
+            origin.get_or_insert(id);
+        }
+        let origin = origin.unwrap();
+        let mut flat = hb.build();
+        let mut hier = nb.build();
+        for q in [q1, q2] {
+            let fq = flat.query(origin, q.clone());
+            let hq = hier.query(origin, q.clone());
+            flat.run();
+            hier.run();
+            let f = flat.outcome(origin, fq).expect("flat completed").clone();
+            let h = hier.outcome(origin, hq).expect("hier completed").clone();
+            prop_assert_eq!(
+                h.result.clone().sorted(),
+                f.result.clone().sorted(),
+                "answer sets diverge on {}",
+                q.to_string()
+            );
+            prop_assert_eq!(h.partial, f.partial, "partial flags diverge");
+        }
+    }
 }
 
 // ----------------------------------------------------------------------

@@ -9,8 +9,8 @@ use sqpeer::exec::{node_of, PeerConfig, PeerMode};
 use sqpeer::overlay::oracle_answer;
 use sqpeer::prelude::*;
 use sqpeer_testkit::{
-    adhoc_network, community_schema, hybrid_network, random_chain_query, DataSpec, NetworkSpec,
-    SchemaSpec, TopologyKind,
+    adhoc_network, community_schema, hier_network, hybrid_network, random_chain_query, DataSpec,
+    NetworkSpec, SchemaSpec, TopologyKind,
 };
 
 #[test]
@@ -160,6 +160,78 @@ fn deep_chain_queries_scale() {
     assert!(
         !outcome.result.is_empty(),
         "dense pools make 4-chains joinable"
+    );
+}
+
+/// A deterministic 1,000-peer hierarchical SON inside the ordinary
+/// (debug-build) test run. Tiny per-peer bases keep evaluation cheap;
+/// the message and wall-clock budgets keep the run honest about *why*
+/// it is tractable: the cluster tree carries summaries, not the
+/// O(S²·N) flat-backbone replication (40² super-peer pairs × 1,000
+/// advertisements would alone be 1.6M messages).
+#[test]
+fn hierarchical_thousand_peer_smoke() {
+    let started = std::time::Instant::now();
+    let schema = community_schema(
+        SchemaSpec {
+            chain_classes: 8,
+            subclasses_per_class: 1,
+            subproperty_fraction: 0.5,
+        },
+        31,
+    );
+    let spec = NetworkSpec {
+        peers: 1_000,
+        properties_per_peer: 1,
+        data: DataSpec {
+            triples_per_property: 2,
+            class_pool: 6,
+        },
+        seed: 31,
+    };
+    let (mut net, ids) = hier_network(&schema, spec, 40, 8, PeerConfig::default());
+    let boot_messages = net.sim().metrics().total_messages();
+    assert!(
+        boot_messages < 20_000,
+        "boot traffic blew the budget: {boot_messages} messages for 1,000 joins"
+    );
+
+    let oracle = {
+        let mut o = DescriptionBase::new(schema.clone());
+        for b in net.bases() {
+            o.absorb(b);
+        }
+        o
+    };
+    net.sim_mut().reset_metrics();
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut checked = 0;
+    for i in 0..3 {
+        let Some(query) = random_chain_query(&schema, 1 + i % 2, &mut rng) else {
+            continue;
+        };
+        let origin = ids[(i * 311) % ids.len()];
+        let qid = net.query(origin, query.clone());
+        net.run();
+        let outcome = net.outcome(origin, qid).expect("completed").clone();
+        assert!(!outcome.partial, "fault-free run must be complete");
+        assert_eq!(
+            outcome.result.clone().sorted(),
+            oracle_answer(&oracle, &query),
+            "query {i} at {origin}: {query}"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 2, "queries must be generable at this seed");
+    let query_messages = net.sim().metrics().total_messages();
+    assert!(
+        query_messages < 30_000,
+        "query traffic blew the budget: {query_messages} messages for {checked} queries"
+    );
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(120),
+        "thousand-peer smoke exceeded its wall-clock ceiling: {:?}",
+        started.elapsed()
     );
 }
 

@@ -122,6 +122,60 @@ fn disabled_networks_expose_no_snapshot() {
     assert!(hybrid.telemetry_snapshot().is_none());
 }
 
+/// Lazy link registration pinned at scale: on a sparse 1,000-peer
+/// hierarchical overlay the registry must track only links that
+/// actually carried traffic during the observed window — never the
+/// O(n²) pair space (1,041 nodes ⇒ over a million ordered pairs). One
+/// query touches its descent path and its holders; the registry stays
+/// within a small multiple of the node count.
+#[test]
+fn lazy_registration_stays_sparse_at_thousand_peers() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sqpeer_testkit::{
+        community_schema, hier_network, random_chain_query, DataSpec, NetworkSpec, SchemaSpec,
+    };
+    let schema = community_schema(
+        SchemaSpec {
+            chain_classes: 8,
+            subclasses_per_class: 1,
+            subproperty_fraction: 0.5,
+        },
+        31,
+    );
+    let spec = NetworkSpec {
+        peers: 1_000,
+        properties_per_peer: 1,
+        data: DataSpec {
+            triples_per_property: 2,
+            class_pool: 6,
+        },
+        seed: 31,
+    };
+    let (mut net, ids) = hier_network(&schema, spec, 40, 8, PeerConfig::default());
+    // Telemetry watches the query phase only; the boot ad exchange is
+    // already done.
+    net.enable_telemetry(DEFAULT_WINDOW_US);
+    let mut rng = StdRng::seed_from_u64(31);
+    let query = random_chain_query(&schema, 2, &mut rng).expect("chain exists");
+    let qid = net.query(ids[0], query);
+    net.run();
+    assert!(net.outcome(ids[0], qid).is_some(), "query completed");
+
+    let snap = net.telemetry_snapshot().expect("telemetry enabled");
+    let nodes = 40 + 1_000 + 1;
+    assert!(!snap.is_empty(), "the query produced traffic to observe");
+    assert!(
+        snap.len() < 4 * nodes,
+        "registry tracked {} links on a {nodes}-node overlay — lazy \
+         registration regressed towards the O(n²) pair space",
+        snap.len()
+    );
+    // Every observation the registry made is real delivered traffic.
+    let seen: u64 = snap.node_rollup().iter().map(|(_, l)| l.messages).sum();
+    assert!(seen > 0, "rollup lost the observed deliveries");
+}
+
 /// Merging the per-run registries of two independent runs preserves
 /// totals — the cheap cross-snapshot aggregation path.
 #[test]
