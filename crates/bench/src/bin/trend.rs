@@ -1,0 +1,217 @@
+//! Bench-trend gate: compares committed `BENCH_*.json` baselines
+//! against freshly generated ones and fails on >2× shifts of the
+//! deterministic counters.
+//!
+//! ```text
+//! trend <baseline_dir> <fresh_dir>
+//! ```
+//!
+//! Every experiment's JSON mixes two kinds of numbers. Virtual-clock
+//! counters (messages, bytes, latencies on the simulated clock,
+//! violation counts) are bit-deterministic for a given seed and code
+//! version: any shift means behaviour changed, and a >2× shift in
+//! either direction fails the gate until the baseline is re-blessed by
+//! committing the fresh file. Real-clock numbers (`*_ms`, `*_pct`,
+//! wall clocks, loopback/TCP timings, speedups, host facts) vary by
+//! machine and are reported but never gated.
+//!
+//! The parser is a deliberately tiny `"key": number` scanner — the
+//! files are written by our own formatter, and a scanner keeps this
+//! binary dependency-free.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+/// One numeric observation: key plus occurrence index (rows arrays
+/// repeat keys; pairing by index keeps row order significant).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Metric {
+    key: String,
+    occurrence: usize,
+}
+
+/// Extracts every `"key": number` pair in document order.
+fn scan_numbers(text: &str) -> Vec<(String, f64)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let Some(end) = text[i + 1..].find('"').map(|e| i + 1 + e) else {
+            break;
+        };
+        let key = &text[i + 1..end];
+        i = end + 1;
+        let rest = text[i..].trim_start();
+        if !rest.starts_with(':') {
+            continue;
+        }
+        let value = rest[1..].trim_start();
+        let len = value
+            .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+            .unwrap_or(value.len());
+        if len == 0 {
+            continue;
+        }
+        if let Ok(v) = value[..len].parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Is this key a machine-dependent measurement (reported, never gated)?
+fn machine_dependent(key: &str) -> bool {
+    key.ends_with("_ms")
+        || key.ends_with("_pct")
+        || key.contains("wall")
+        || key.starts_with("loopback_")
+        || key.starts_with("tcp_")
+        || key.starts_with("speedup")
+        || key == "host_cores"
+        || key.chars().all(|c| c.is_ascii_digit())
+}
+
+/// A gated comparison that shifted more than 2× in either direction.
+struct Violation {
+    file: String,
+    metric: Metric,
+    baseline: f64,
+    fresh: f64,
+}
+
+fn compare_file(
+    name: &str,
+    baseline: &str,
+    fresh: &str,
+    violations: &mut Vec<Violation>,
+    gated: &mut usize,
+) -> Result<(), String> {
+    let base_nums = scan_numbers(baseline);
+    let fresh_nums = scan_numbers(fresh);
+    let occurrences = |nums: &[(String, f64)]| -> Vec<(Metric, f64)> {
+        let mut counts = std::collections::HashMap::new();
+        nums.iter()
+            .map(|(k, v)| {
+                let n = counts.entry(k.clone()).or_insert(0usize);
+                let m = Metric {
+                    key: k.clone(),
+                    occurrence: *n,
+                };
+                *n += 1;
+                (m, *v)
+            })
+            .collect()
+    };
+    let base = occurrences(&base_nums);
+    let fresh_map: std::collections::HashMap<Metric, f64> =
+        occurrences(&fresh_nums).into_iter().collect();
+    for (metric, b) in base {
+        if machine_dependent(&metric.key) {
+            continue;
+        }
+        let Some(&f) = fresh_map.get(&metric) else {
+            return Err(format!(
+                "{name}: gated metric '{}' (occurrence {}) missing from the fresh run — \
+                 structure changed, re-bless the baseline",
+                metric.key, metric.occurrence
+            ));
+        };
+        *gated += 1;
+        let regressed = if b == 0.0 {
+            f != 0.0
+        } else {
+            f > 2.0 * b || 2.0 * f < b
+        };
+        if regressed {
+            violations.push(Violation {
+                file: name.to_string(),
+                metric,
+                baseline: b,
+                fresh: f,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_dir, fresh_dir] = &args[..] else {
+        eprintln!("usage: trend <baseline_dir> <fresh_dir>");
+        return ExitCode::from(2);
+    };
+    let mut names: Vec<String> = match std::fs::read_dir(baseline_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("trend: cannot read {baseline_dir}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    names.sort();
+    if names.is_empty() {
+        eprintln!("trend: no BENCH_*.json baselines under {baseline_dir}");
+        return ExitCode::from(2);
+    }
+
+    let mut violations = Vec::new();
+    let mut gated = 0usize;
+    let mut failures = Vec::new();
+    for name in &names {
+        let base_path = Path::new(baseline_dir).join(name);
+        let fresh_path = Path::new(fresh_dir).join(name);
+        let baseline = match std::fs::read_to_string(&base_path) {
+            Ok(s) => s,
+            Err(e) => {
+                failures.push(format!("{name}: cannot read baseline: {e}"));
+                continue;
+            }
+        };
+        let fresh = match std::fs::read_to_string(&fresh_path) {
+            Ok(s) => s,
+            Err(e) => {
+                failures.push(format!(
+                    "{name}: committed baseline exists but the fresh run produced \
+                     nothing ({e}) — did its experiment fail?"
+                ));
+                continue;
+            }
+        };
+        if let Err(e) = compare_file(name, &baseline, &fresh, &mut violations, &mut gated) {
+            failures.push(e);
+        }
+    }
+
+    println!(
+        "trend: {} baseline file(s), {} gated metric(s) compared",
+        names.len(),
+        gated
+    );
+    for v in &violations {
+        println!(
+            "FAIL {} {} (occurrence {}): baseline {} fresh {} — >2x shift",
+            v.file, v.metric.key, v.metric.occurrence, v.baseline, v.fresh
+        );
+    }
+    for f in &failures {
+        println!("FAIL {f}");
+    }
+    if violations.is_empty() && failures.is_empty() {
+        println!("trend: all gated metrics within 2x of the committed baselines");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "trend: {} violation(s) — investigate, or re-bless by committing the fresh \
+             BENCH_*.json",
+            violations.len() + failures.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -107,6 +107,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
             "e22",
             "hierarchical SONs: cluster-tree vs flat backbone vs flooding at 1k-5k peers",
         ),
+        (
+            "e23",
+            "observability: rollup overhead vs query traffic and hot-pattern attribution at 1k peers",
+        ),
     ]
 }
 
@@ -135,6 +139,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e20" => e20(),
         "e21" => e21(),
         "e22" => e22(),
+        "e23" => e23(),
         _ => return None,
     })
 }
@@ -3102,5 +3107,276 @@ fn e22() -> String {
          flat backbone at every size; answer sets identical to the flat \
          oracle on every query.\n",
     );
+    out
+}
+
+// ----------------------------------------------------------------------
+// E23 — observability-plane overhead at thousand-peer scale
+// ----------------------------------------------------------------------
+
+/// E23 — the hierarchical observability plane at 1,000 peers (PR 10
+/// tentpole). A Zipf-skewed workload over a fixed pool of chain
+/// patterns runs twice on identical seeded placements — plane off,
+/// plane on. The off run prices pure query traffic; the on run's extra
+/// messages are exactly the rollup pushes (pinned by the transparency
+/// proptest), so the overhead ratio is push traffic over query
+/// traffic. Gates: identical answers, rollup overhead <= 3% of query
+/// traffic in messages and bytes, and the head's pattern table
+/// reproducing the workload's Zipf histogram exactly.
+fn e23() -> String {
+    use rand::Rng;
+    use sqpeer::exec::ObsConfig;
+    use sqpeer::net::PatternStats;
+    use sqpeer_testkit::{hier_network, random_chain_query};
+    use std::collections::HashMap;
+
+    const PEERS: usize = 1_000;
+    const SUPERS: u32 = 40;
+    const CLUSTER: u32 = 14;
+    const POOL: usize = 6;
+    const QUERIES: usize = 384;
+    const ORIGINS: usize = 4;
+    const PUSH_US: u64 = 20_000_000;
+    const STAGGER_US: u64 = 50_000;
+    const GATE: f64 = 0.03;
+
+    let schema = community_schema(
+        SchemaSpec {
+            chain_classes: 8,
+            subclasses_per_class: 1,
+            subproperty_fraction: 0.5,
+        },
+        31,
+    );
+    let spec = NetworkSpec {
+        peers: PEERS,
+        properties_per_peer: 1,
+        data: DataSpec {
+            triples_per_property: 2,
+            class_pool: 6,
+        },
+        seed: 47,
+    };
+
+    // A fixed pool of distinct chain patterns over the schema.
+    let pool: Vec<QueryPattern> = {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut seen = std::collections::HashSet::new();
+        let mut pool = Vec::new();
+        for attempt in 0..1_000 {
+            if pool.len() == POOL {
+                break;
+            }
+            if let Some(q) = random_chain_query(&schema, 1 + attempt % 2, &mut rng) {
+                if seen.insert(q.to_string()) {
+                    pool.push(q);
+                }
+            }
+        }
+        pool
+    };
+    assert_eq!(pool.len(), POOL, "schema too small for the pattern pool");
+
+    // A Zipf(1) draw over the pool: rank r sampled with weight 1/(r+1).
+    let workload: Vec<usize> = {
+        let weights: Vec<u64> = (0..POOL as u64).map(|r| 840 / (r + 1)).collect();
+        let total: u64 = weights.iter().sum();
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5A5A);
+        (0..QUERIES)
+            .map(|_| {
+                let mut x = rng.gen_range(0..total);
+                for (i, &w) in weights.iter().enumerate() {
+                    if x < w {
+                        return i;
+                    }
+                    x -= w;
+                }
+                POOL - 1
+            })
+            .collect()
+    };
+
+    // One run over the shared placement: answers, query-phase traffic,
+    // rollup-push traffic, query-phase wall clock, and (plane on) the
+    // pattern table a cluster head serves.
+    type RunOut = (
+        Vec<(ResultSet, bool)>,
+        u64,
+        u64,
+        u64,
+        u64,
+        u64,
+        Option<PatternStats>,
+    );
+    let run = |obs_on: bool| -> RunOut {
+        let config = PeerConfig {
+            obs: obs_on.then(|| ObsConfig {
+                push_period_us: PUSH_US,
+                ..ObsConfig::default()
+            }),
+            ..PeerConfig::default()
+        };
+        let (mut net, ids) = hier_network(&schema, spec, SUPERS, CLUSTER, config);
+        // Flush boot-driven rollups so the measured window prices only
+        // the query phase (the dirty flag then silences idle peers).
+        net.run_for(4 * PUSH_US);
+        net.sim_mut().reset_metrics();
+        let pushes0 = net.obs_pushes_total();
+        let push_bytes0 = net.obs_push_bytes_total();
+        let wall = std::time::Instant::now();
+        let mut injected = Vec::new();
+        for (k, &pi) in workload.iter().enumerate() {
+            let origin = ids[(k % ORIGINS) * 113 % ids.len()];
+            let qid = net.query(origin, pool[pi].clone());
+            injected.push((origin, qid));
+            net.run_for(STAGGER_US);
+        }
+        // Drain: answers finalize, then rollups climb member → head →
+        // sibling head with a period to spare.
+        net.run_for(4 * PUSH_US + 1_000_000);
+        let wall_us = wall.elapsed().as_micros().max(1) as u64;
+        let answers: Vec<(ResultSet, bool)> = injected
+            .iter()
+            .map(|(o, q)| {
+                let out = net
+                    .outcome(*o, *q)
+                    .unwrap_or_else(|| panic!("query {q} never completed"));
+                (out.result.clone().sorted(), out.partial)
+            })
+            .collect();
+        let msgs = net.sim().metrics().total_messages() as u64;
+        let bytes = net.sim().metrics().total_bytes() as u64;
+        let pushes = net.obs_pushes_total() - pushes0;
+        let push_bytes = net.obs_push_bytes_total() - push_bytes0;
+        let head_pats = if obs_on {
+            let head = net
+                .super_peers()
+                .iter()
+                .copied()
+                .find(|&s| {
+                    net.sim()
+                        .node(node_of(s))
+                        .and_then(|n| n.cluster.as_ref())
+                        .is_some_and(|c| c.head == s)
+                })
+                .expect("clustered overlay has heads");
+            Some(net.obs_snapshot(head).expect("plane is on").1)
+        } else {
+            None
+        };
+        (answers, msgs, bytes, pushes, push_bytes, wall_us, head_pats)
+    };
+
+    let (answers_off, msgs_off, bytes_off, pushes_off, _, wall_off, _) = run(false);
+    let (answers_on, msgs_on, bytes_on, pushes_on, push_bytes_on, wall_on, head_pats) = run(true);
+    assert_eq!(pushes_off, 0, "plane off must push nothing");
+    assert_eq!(answers_on, answers_off, "answers changed with the plane on");
+    assert!(
+        answers_off.iter().any(|(rs, _)| !rs.is_empty()),
+        "every query came back empty — vacuous run"
+    );
+    assert!(
+        answers_off.iter().all(|(_, partial)| !partial),
+        "fault-free run must be complete"
+    );
+
+    let msg_ratio = pushes_on as f64 / msgs_off as f64;
+    let byte_ratio = push_bytes_on as f64 / bytes_off as f64;
+    let wall_ratio = wall_on as f64 / wall_off as f64;
+
+    // Hot-pattern attribution: the head's table must reproduce the
+    // workload's Zipf histogram exactly, pattern text for pattern text.
+    let mut expected: HashMap<String, u64> = HashMap::new();
+    for &pi in &workload {
+        *expected.entry(pool[pi].to_string()).or_insert(0) += 1;
+    }
+    let pats = head_pats.expect("plane-on run serves a head snapshot");
+    assert_eq!(
+        pats.total(),
+        QUERIES as u64,
+        "head pattern table must count every answered query"
+    );
+    for (text, count) in &expected {
+        let entry = pats
+            .get(text)
+            .unwrap_or_else(|| panic!("pattern '{text}' missing from the head's table"));
+        assert_eq!(
+            entry.count, *count,
+            "pattern '{text}' count diverged from the workload histogram"
+        );
+    }
+    let hottest = pats.by_count()[0];
+    let max_expected = expected.values().max().copied().unwrap_or(0);
+    assert_eq!(
+        hottest.count, max_expected,
+        "the head's hottest pattern must match the Zipf head"
+    );
+
+    let mut out = format!(
+        "E23 — observability plane: rollup overhead and hot-pattern attribution\n\
+         overlay: {PEERS} peers, {SUPERS} supers, clusters of {CLUSTER}; \
+         workload: {QUERIES} Zipf-drawn queries over {POOL} patterns from \
+         {ORIGINS} origins; push period {}ms\n\n",
+        PUSH_US / 1_000,
+    );
+    let mut t = Table::new(&["metric", "plane off", "plane on", "overhead"]);
+    t.row(vec![
+        "query msgs".into(),
+        msgs_off.to_string(),
+        msgs_on.to_string(),
+        format!("{} pushes ({:.2}%)", pushes_on, 100.0 * msg_ratio),
+    ]);
+    t.row(vec![
+        "query bytes".into(),
+        bytes_off.to_string(),
+        bytes_on.to_string(),
+        format!("{} push bytes ({:.2}%)", push_bytes_on, 100.0 * byte_ratio),
+    ]);
+    t.row(vec![
+        "wall clock".into(),
+        ms(wall_off),
+        ms(wall_on),
+        format!("{wall_ratio:.2}x"),
+    ]);
+    out.push_str(&t.render());
+    out.push_str("\nhead pattern table (hottest first):\n");
+    out.push_str(&pats.render());
+
+    assert!(
+        msg_ratio <= GATE,
+        "rollup message overhead {msg_ratio:.4} exceeds the {GATE} gate \
+         ({pushes_on} pushes vs {msgs_off} query msgs)"
+    );
+    assert!(
+        byte_ratio <= GATE,
+        "rollup byte overhead {byte_ratio:.4} exceeds the {GATE} gate \
+         ({push_bytes_on} push bytes vs {bytes_off} query bytes)"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e23\",\n  \"peers\": {PEERS},\n  \
+         \"supers\": {SUPERS},\n  \"queries\": {QUERIES},\n  \
+         \"pool\": {POOL},\n  \"gate_ratio\": {GATE},\n  \
+         \"query_msgs\": {msgs_off},\n  \"query_bytes\": {bytes_off},\n  \
+         \"obs_pushes\": {pushes_on},\n  \"obs_push_bytes\": {push_bytes_on},\n  \
+         \"msg_ratio\": {msg_ratio:.5},\n  \"byte_ratio\": {byte_ratio:.5},\n  \
+         \"answers_identical\": true,\n  \"hot_patterns_reproduced\": true,\n  \
+         \"wall_off_ms\": {:.1},\n  \"wall_on_ms\": {:.1},\n  \
+         \"wall_ratio_ms\": {wall_ratio:.3}\n}}\n",
+        wall_off as f64 / 1_000.0,
+        wall_on as f64 / 1_000.0,
+    );
+    match std::fs::write("BENCH_e23.json", &json) {
+        Ok(()) => out.push_str("\nwrote BENCH_e23.json\n"),
+        Err(e) => out.push_str(&format!("\ncould not write BENCH_e23.json: {e}\n")),
+    }
+    out.push_str(&format!(
+        "\nacceptance: answers identical plane on/off; rollup overhead \
+         {:.2}% msgs / {:.2}% bytes of query traffic (gate {:.0}%); head \
+         pattern table reproduces the Zipf workload histogram exactly.\n",
+        100.0 * msg_ratio,
+        100.0 * byte_ratio,
+        100.0 * GATE,
+    ));
     out
 }

@@ -6,6 +6,7 @@
 //! sqpeerd gateway <config>                 run the token-routed gateway
 //! sqpeerd query   <addr> <token> <rql>     pose a query through a gateway
 //! sqpeerd status  <addr>                   dump a host's status page
+//! sqpeerd obs     <addr>                   dump only the observability section
 //! ```
 //!
 //! Config files are line-based (`#` starts a comment). A host config:
@@ -16,6 +17,8 @@
 //! schema fig1
 //! stream_batch_rows 8      # stream subplan results in 8-row packets
 //! answer_batch_rows 8      # stream client answers in 8-row frames
+//! obs                      # enable the observability plane (defaults)
+//! obs_slow_query_ms 500    # slow-query threshold (implies obs)
 //! peer
 //! triple http://p1/a prop1 http://p1/b
 //! peer
@@ -52,8 +55,9 @@ fn main() -> ExitCode {
         Some("gateway") => cmd_gateway(&args[1..]),
         Some("query") => return cmd_query(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
+        Some("obs") => cmd_obs(&args[1..]),
         _ => {
-            eprintln!("usage: sqpeerd serve|gateway|query|status ...");
+            eprintln!("usage: sqpeerd serve|gateway|query|status|obs ...");
             return ExitCode::from(64);
         }
     };
@@ -97,6 +101,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut telemetry_window_ms = Some(1_000u64);
     let mut answer_batch_rows = None;
     let mut stream_batch_rows = None;
+    let mut obs: Option<sqpeer_exec::ObsConfig> = None;
     for line in config_lines(path)? {
         let mut words = line.split_whitespace();
         let key = words.next().unwrap_or("");
@@ -128,6 +133,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                         .map_err(|_| format!("bad stream_batch_rows '{n}'"))?,
                 )
             }
+            ("obs", []) => obs = Some(obs.unwrap_or_default()),
+            ("obs_slow_query_ms", [ms]) => {
+                let threshold_ms: u64 = ms
+                    .parse()
+                    .map_err(|_| format!("bad obs_slow_query_ms '{ms}'"))?;
+                let mut cfg = obs.unwrap_or_default();
+                cfg.slow_query_us = threshold_ms * 1_000;
+                obs = Some(cfg);
+            }
             _ => return Err(format!("bad config line: '{line}'")),
         }
     }
@@ -155,6 +169,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             bases,
             config: PeerConfig {
                 stream_batch_rows,
+                obs,
                 ..PeerConfig::default()
             },
         },
@@ -298,5 +313,23 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
         .read_to_string(&mut text)
         .map_err(|e| format!("read failed: {e}"))?;
     print!("{text}");
+    Ok(())
+}
+
+/// Fetches the status page and prints only the observability section —
+/// pattern statistics, slow queries and flight-recorder dumps.
+fn cmd_obs(args: &[String]) -> Result<(), String> {
+    let [addr] = args else {
+        return Err("usage: sqpeerd obs <status-addr>".into());
+    };
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let mut text = String::new();
+    stream
+        .read_to_string(&mut text)
+        .map_err(|e| format!("read failed: {e}"))?;
+    match text.split_once("## obs\n") {
+        Some((_, obs)) => print!("{obs}"),
+        None => return Err("status page has no '## obs' section".into()),
+    }
     Ok(())
 }

@@ -261,6 +261,18 @@ fn render_status(net: &LoopbackNet<PeerNode>, ttfr: &QueryTtfr) -> String {
     let _ = writeln!(out, "retries {}", m.retries_sent());
     let _ = writeln!(out, "replans {}", m.replans());
     let _ = writeln!(out, "decode_failures {}", net.decode_failures());
+    // Streaming counters, folded across the hosted nodes: the high-water
+    // in-flight mark (bounded by the credit window) and total credits
+    // granted by consumers.
+    let (mut max_inflight, mut credits) = (0u32, 0u64);
+    for id in net.node_ids() {
+        if let Some(node) = net.node(id) {
+            max_inflight = max_inflight.max(node.max_stream_inflight);
+            credits += node.credits_granted;
+        }
+    }
+    let _ = writeln!(out, "max_stream_inflight {max_inflight}");
+    let _ = writeln!(out, "credits_granted {credits}");
     let _ = writeln!(out, "query_ttfr_count {}", ttfr.count);
     if let Some(mean) = ttfr.sum_us.checked_div(ttfr.count) {
         let _ = writeln!(out, "query_ttfr_mean_us {mean}");
@@ -275,6 +287,44 @@ fn render_status(net: &LoopbackNet<PeerNode>, ttfr: &QueryTtfr) -> String {
         }
         None => {
             let _ = writeln!(out, "telemetry off");
+        }
+    }
+    // Observability-plane section (`sqpeerd obs` prints from this marker
+    // on): merged pattern statistics, slow-query log entries and the
+    // per-node flight recorders.
+    let _ = writeln!(out, "## obs");
+    let mut patterns = sqpeer_net::PatternStats::new();
+    let (mut obs_on, mut pushes, mut push_bytes) = (false, 0u64, 0u64);
+    for id in net.node_ids() {
+        let Some(obs) = net.node(id).and_then(PeerNode::obs) else {
+            continue;
+        };
+        obs_on = true;
+        patterns.merge(&obs.patterns);
+        pushes += obs.pushes_sent;
+        push_bytes += obs.push_bytes_sent;
+    }
+    if !obs_on {
+        let _ = writeln!(out, "obs off");
+        return out;
+    }
+    let _ = writeln!(out, "obs_pushes_sent {pushes}");
+    let _ = writeln!(out, "obs_push_bytes {push_bytes}");
+    out.push_str(&patterns.render());
+    for id in net.node_ids() {
+        let Some(obs) = net.node(id).and_then(PeerNode::obs) else {
+            continue;
+        };
+        for sq in &obs.slow_queries {
+            let _ = writeln!(
+                out,
+                "slow_query node {} {} latency_us {} pattern {}",
+                id.0, sq.query, sq.latency_us, sq.pattern
+            );
+        }
+        if !obs.recorder.is_empty() {
+            let _ = writeln!(out, "# flight recorder, node {}", id.0);
+            out.push_str(&obs.recorder.dump());
         }
     }
     out

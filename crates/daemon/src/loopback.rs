@@ -119,6 +119,13 @@ where
         self.decode_failures
     }
 
+    /// Ids of every hosted node, sorted (status-page iteration).
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
     /// The schema registry inbound frames resolve against.
     pub fn schemas(&self) -> &SchemaRegistry {
         &self.schemas
@@ -202,8 +209,21 @@ where
                 }
                 self.flush(to, ctx);
             }
-            Err(_) => {
+            Err(err) => {
                 self.decode_failures += 1;
+                // Attribute the anomaly to the destination when the
+                // envelope header is still readable (the usual case:
+                // the body, not the header, got corrupted), so its
+                // flight recorder logs the event.
+                let mut r = Reader::new(&frame, &self.schemas);
+                if let (Ok(_), Ok(from), Ok(to), Ok(_)) = (r.byte(), r.u32v(), r.u32v(), r.u64v()) {
+                    if let Some(node) = self.nodes.get_mut(&NodeId(to)) {
+                        node.on_transport_anomaly(
+                            now,
+                            &format!("frame from node {from} failed to decode: {err:?}"),
+                        );
+                    }
+                }
             }
         }
     }

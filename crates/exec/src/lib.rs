@@ -19,10 +19,12 @@
 
 pub mod local;
 pub mod msg;
+pub mod obs;
 pub mod peer;
 
 pub use local::{default_workers, eval_local, eval_local_threads};
 pub use msg::{HierScope, Msg, PeerChannel, QueryId, QueryOutcome, TraceCtx};
+pub use obs::{ObsConfig, ObsState, SlowQuery};
 pub use peer::{BaseKind, ClusterInfo, PeerConfig, PeerMode, PeerNode, Role, SlowChannelPolicy};
 pub use sqpeer_cache::{CacheConfig, CacheStats};
 pub use sqpeer_plan::Explain;

@@ -249,6 +249,25 @@ pub enum Msg {
         /// Departed peers in the subtree whose tombstoned schemas matched.
         missing: Vec<sqpeer_routing::PeerId>,
     },
+    /// Observability plane: a periodic rollup *delta* pushed up the
+    /// cluster tree (member → entry super → head) or between equals
+    /// (head ↔ head, flat backbone). Carries only what changed since
+    /// the sender's last push — local links whole plus pattern
+    /// increments, folded with member deltas received meanwhile — and
+    /// never anything learned via peer exchange, so exchange cannot
+    /// double-count a cluster. Receivers fold links latest-wins per key
+    /// (link keys are receiver-owned, so replacement is exact) and add
+    /// pattern increments; the pattern leg rides the reliable ordered
+    /// delivery every supported transport provides.
+    ObsPush {
+        /// The peer the delta arrives from (selects member vs
+        /// peer-exchange handling at the receiver).
+        owner: sqpeer_routing::PeerId,
+        /// Links that changed since `owner`'s last push, carried whole.
+        registry: sqpeer_net::TelemetryRegistry,
+        /// Per-query-pattern counter increments, same delta scope.
+        patterns: sqpeer_net::PatternStats,
+    },
 }
 
 /// How far a [`Msg::HierRouteRequest`] receiver recurses down the
@@ -314,6 +333,9 @@ impl Msg {
                     .sum();
                 64 + 32 * anns + 8 * missing.len()
             }
+            Msg::ObsPush {
+                registry, patterns, ..
+            } => 24 + registry.wire_size() + patterns.wire_size(),
         }
     }
 }

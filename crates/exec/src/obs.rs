@@ -1,0 +1,323 @@
+//! Peer-side state of the hierarchical observability plane.
+//!
+//! Each peer with an [`ObsConfig`] keeps an [`ObsState`]: a local
+//! receiver-side [`TelemetryRegistry`], a [`PatternStats`] table of the
+//! queries it rooted, a bounded [`FlightRecorder`] of protocol events,
+//! and a small slow-query log. Members push *deltas* — only what
+//! changed since their last push — up the cluster tree on a period
+//! (`Msg::ObsPush`); heads fold the arriving deltas and exchange them
+//! between heads, so any head serves a near-global snapshot without an
+//! O(peers) scrape and without ever re-shipping cold state.
+//!
+//! The delta channel folds with two semantics, one per payload:
+//!
+//! * **Registry: per-link replacement.** A local link key
+//!   `(from, to = self)` is receiver-owned — exactly one peer ever
+//!   updates it — so changed links travel whole and latest-wins per
+//!   link is exact and idempotent under duplication.
+//! * **Patterns: additive increments.** Pattern fingerprints are shared
+//!   across origins, so entries travel as counter differences that
+//!   merge associatively and commutatively anywhere in the tree. This
+//!   leg assumes the reliable ordered delivery every supported
+//!   transport (simulator, loopback, TCP) provides.
+//!
+//! Two rules keep the rollup ≡ monoid-merge pin exact:
+//!
+//! * **No self-observation**: `ObsPush` receipts are never recorded
+//!   into the local registry, so the plane does not watch itself and a
+//!   quiet overlay converges instead of chasing its own traffic.
+//! * **No echo**: only deltas learned from *members* are forwarded
+//!   onward; what sibling heads (or, on the flat backbone, fellow
+//!   super-peers) push is folded locally and never re-shipped, so peer
+//!   exchange cannot double-count a cluster.
+
+use sqpeer_net::{FlightRecorder, PatternStats, TelemetryRegistry, DEFAULT_WINDOW_US};
+use std::collections::VecDeque;
+
+use crate::msg::QueryId;
+
+/// Observability-plane configuration (absent = plane fully off, zero
+/// cost, bit-identical behaviour — pinned by the transparency proptest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Period between rollup pushes up the cluster tree, virtual µs.
+    /// `0` disables pushing entirely (local-only collection — what the
+    /// chaos harness uses so obs never perturbs fault-plan draws).
+    pub push_period_us: u64,
+    /// Flight-recorder ring capacity in events (`0` = recorder off).
+    pub flight_recorder_cap: usize,
+    /// Root-observed latency above which a finished query lands in the
+    /// slow-query log with its EXPLAIN + profile JSON.
+    pub slow_query_us: u64,
+    /// Slow-query log capacity (oldest entries evicted).
+    pub slow_query_cap: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            push_period_us: 500_000,
+            flight_recorder_cap: 256,
+            slow_query_us: 1_000_000,
+            slow_query_cap: 32,
+        }
+    }
+}
+
+/// One slow-query log entry: the query, when and how slow, and the
+/// captured EXPLAIN/profile JSON (present only with tracing on).
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// The offending query.
+    pub query: QueryId,
+    /// When the answer was finalised (virtual µs).
+    pub at_us: u64,
+    /// Root-observed intake-to-answer latency (virtual µs).
+    pub latency_us: u64,
+    /// The query's pattern fingerprint preimage.
+    pub pattern: String,
+    /// EXPLAIN JSON, when tracing captured one.
+    pub explain_json: Option<String>,
+    /// Profile JSON, when tracing captured one.
+    pub profile_json: Option<String>,
+}
+
+/// The live observability state of one peer.
+#[derive(Debug)]
+pub struct ObsState {
+    /// The plane's configuration.
+    pub config: ObsConfig,
+    /// Receiver-side link telemetry this peer observed locally.
+    pub local: TelemetryRegistry,
+    /// Pattern statistics of queries this peer rooted.
+    pub patterns: PatternStats,
+    /// The protocol-event ring.
+    pub recorder: FlightRecorder,
+    /// Slow queries, oldest first, bounded by `config.slow_query_cap`.
+    pub slow_queries: VecDeque<SlowQuery>,
+    /// Links accumulated from every push received (member *and* peer
+    /// exchange), folded per-link latest-wins.
+    pub rollup_reg: TelemetryRegistry,
+    /// Pattern increments accumulated from every push received, folded
+    /// additively.
+    pub rollup_pats: PatternStats,
+    /// Member-push links awaiting forwarding up the tree (cleared on
+    /// push; peer-exchange pushes never land here — the no-echo rule).
+    pub pending_reg: TelemetryRegistry,
+    /// Member-push pattern increments awaiting forwarding up the tree.
+    pub pending_pats: PatternStats,
+    /// Local registry as of the last committed push — the baseline the
+    /// next registry delta is computed against.
+    pub last_reg: TelemetryRegistry,
+    /// Local pattern table as of the last committed push.
+    pub last_pats: PatternStats,
+    /// Rollup pushes this peer sent.
+    pub pushes_sent: u64,
+    /// Estimated bytes of those pushes (wire-size estimator).
+    pub push_bytes_sent: u64,
+    /// Has pushable state (local receipts, pattern records, member
+    /// deltas) changed since the last push? An idle peer skips its push
+    /// tick entirely, so a quiet overlay stops pushing within one
+    /// tree-depth ripple — the steady-state rollup overhead is zero.
+    pub dirty: bool,
+}
+
+impl ObsState {
+    /// Fresh state under `config`.
+    pub fn new(config: ObsConfig) -> Self {
+        ObsState {
+            config,
+            local: TelemetryRegistry::new(DEFAULT_WINDOW_US),
+            patterns: PatternStats::new(),
+            recorder: FlightRecorder::new(config.flight_recorder_cap),
+            slow_queries: VecDeque::new(),
+            rollup_reg: TelemetryRegistry::new(DEFAULT_WINDOW_US),
+            rollup_pats: PatternStats::new(),
+            pending_reg: TelemetryRegistry::new(DEFAULT_WINDOW_US),
+            pending_pats: PatternStats::new(),
+            last_reg: TelemetryRegistry::new(DEFAULT_WINDOW_US),
+            last_pats: PatternStats::new(),
+            pushes_sent: 0,
+            push_bytes_sent: 0,
+            dirty: false,
+        }
+    }
+
+    /// Accepts a rollup push. `peer_exchange` marks pushes from equals —
+    /// a sibling head, or a fellow super-peer on the flat backbone —
+    /// which are folded locally but never forwarded (the no-echo rule);
+    /// everything else came from a member and is queued for the next
+    /// push up the tree.
+    pub fn accept_push(
+        &mut self,
+        registry: TelemetryRegistry,
+        patterns: PatternStats,
+        peer_exchange: bool,
+    ) {
+        self.rollup_reg.overlay(&registry);
+        self.rollup_pats.merge(&patterns);
+        if !peer_exchange {
+            self.pending_reg.overlay(&registry);
+            self.pending_pats.merge(&patterns);
+            self.dirty = true;
+        }
+    }
+
+    /// What the next push carries: the local delta since the last
+    /// committed push — projected to per-link counters, distributions
+    /// stay local — plus every member delta received since then, and
+    /// deliberately nothing learned via peer exchange. Pure: call
+    /// [`ObsState::commit_push`] once the push is actually sent.
+    pub fn outbound_delta(&self) -> (TelemetryRegistry, PatternStats) {
+        let mut registry = self.pending_reg.clone();
+        registry.overlay(&self.local.delta_since(&self.last_reg).counters_only());
+        let mut patterns = self.pending_pats.clone();
+        patterns.merge(&self.patterns.diff(&self.last_pats));
+        (registry, patterns)
+    }
+
+    /// Marks the current [`ObsState::outbound_delta`] as sent: the next
+    /// delta is computed against today's local state, and the forwarded
+    /// member deltas are dropped.
+    pub fn commit_push(&mut self) {
+        self.last_reg = self.local.clone();
+        self.last_pats = self.patterns.clone();
+        self.pending_reg = TelemetryRegistry::new(DEFAULT_WINDOW_US);
+        self.pending_pats = PatternStats::new();
+    }
+
+    /// The full snapshot this peer can serve: local state folded with
+    /// everything the delta channel delivered. At a head this
+    /// approximates the global registry to within one push period of
+    /// propagation lag.
+    pub fn snapshot(&self) -> (TelemetryRegistry, PatternStats) {
+        let mut registry = self.local.clone();
+        registry.overlay(&self.rollup_reg);
+        let mut patterns = self.patterns.clone();
+        patterns.merge(&self.rollup_pats);
+        (registry, patterns)
+    }
+
+    /// Appends a slow-query record, evicting the oldest past the cap.
+    pub fn log_slow_query(&mut self, entry: SlowQuery) {
+        if self.config.slow_query_cap == 0 {
+            return;
+        }
+        if self.slow_queries.len() == self.config.slow_query_cap {
+            self.slow_queries.pop_front();
+        }
+        self.slow_queries.push_back(entry);
+    }
+
+    /// Restart hook. Accumulated rollups are *kept*: registry links
+    /// fold latest-wins (stale entries are safe lower bounds that the
+    /// next delta overwrites) and pattern increments were counted
+    /// exactly once, so dropping either would lose history, not fix it.
+    /// Only the dirty flag is raised so this peer re-ripples anything
+    /// it learned while the rest of the tree thought it was gone.
+    pub fn on_restart(&mut self) {
+        self.dirty = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqpeer_net::NodeId;
+
+    fn reg_with(from: u32, to: u32, bytes: usize) -> TelemetryRegistry {
+        let mut r = TelemetryRegistry::new(DEFAULT_WINDOW_US);
+        r.record_receipt(NodeId(from), NodeId(to), bytes, 10);
+        r
+    }
+
+    #[test]
+    fn snapshot_folds_local_members_and_peer_exchange() {
+        let mut obs = ObsState::new(ObsConfig::default());
+        obs.local = reg_with(1, 2, 100);
+        obs.patterns.record("p-local", 50, None, 1, false, 0);
+
+        let mut mp = PatternStats::new();
+        mp.record("p-member", 60, None, 2, false, 0);
+        obs.accept_push(reg_with(3, 4, 200), mp, false);
+
+        let mut cp = PatternStats::new();
+        cp.record("p-cluster", 70, None, 3, false, 0);
+        obs.accept_push(reg_with(5, 6, 300), cp, true);
+
+        let (out_reg, out_pat) = obs.outbound_delta();
+        assert_eq!(out_reg.total_bytes(), 300); // local + member, no echo
+        assert_eq!(out_pat.total(), 2);
+        assert!(out_pat.get("p-cluster").is_none());
+
+        let (snap_reg, snap_pat) = obs.snapshot();
+        assert_eq!(snap_reg.total_bytes(), 600);
+        assert_eq!(snap_pat.total(), 3);
+    }
+
+    #[test]
+    fn pushes_carry_only_deltas() {
+        let mut obs = ObsState::new(ObsConfig::default());
+        obs.local.record_receipt(NodeId(1), NodeId(2), 100, 10);
+        obs.patterns.record("p", 50, None, 1, false, 0);
+
+        let (reg, pats) = obs.outbound_delta();
+        assert_eq!(reg.total_bytes(), 100);
+        assert_eq!(pats.total(), 1);
+        obs.commit_push();
+
+        // Nothing changed: the next delta is empty.
+        let (reg, pats) = obs.outbound_delta();
+        assert!(reg.is_empty());
+        assert!(pats.is_empty());
+
+        // One more receipt and one more query: the delta carries the
+        // changed link whole, and the pattern entry as an increment.
+        obs.local.record_receipt(NodeId(1), NodeId(2), 40, 20);
+        obs.local.record_receipt(NodeId(3), NodeId(2), 70, 20);
+        obs.patterns.record("p", 90, None, 1, false, 0);
+        let (reg, pats) = obs.outbound_delta();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.total_bytes(), 140 + 70); // (1,2) whole, (3,2) new
+        assert_eq!(pats.total(), 1); // the increment, not the running count
+        assert_eq!(pats.get("p").unwrap().latency_us.sum(), 90);
+    }
+
+    #[test]
+    fn accept_push_replaces_links_and_adds_patterns() {
+        let mut obs = ObsState::new(ObsConfig::default());
+        let mut p1 = PatternStats::new();
+        p1.record("q", 10, None, 1, false, 0);
+        obs.accept_push(reg_with(1, 2, 100), p1.clone(), false);
+        // The same link re-pushed with a later value replaces; the same
+        // pattern increment re-pushed adds.
+        obs.accept_push(reg_with(1, 2, 250), p1, false);
+        let (reg, pats) = obs.snapshot();
+        assert_eq!(reg.total_bytes(), 250);
+        assert_eq!(pats.get("q").unwrap().count, 2);
+        // Restart keeps the accumulated rollups and re-ripples them.
+        obs.on_restart();
+        assert!(obs.dirty);
+        assert_eq!(obs.snapshot().0.total_bytes(), 250);
+    }
+
+    #[test]
+    fn slow_query_log_is_bounded() {
+        let mut obs = ObsState::new(ObsConfig {
+            slow_query_cap: 2,
+            ..ObsConfig::default()
+        });
+        for i in 0..4 {
+            obs.log_slow_query(SlowQuery {
+                query: QueryId(i),
+                at_us: i * 10,
+                latency_us: 2_000_000,
+                pattern: format!("q{i}"),
+                explain_json: None,
+                profile_json: None,
+            });
+        }
+        assert_eq!(obs.slow_queries.len(), 2);
+        assert_eq!(obs.slow_queries[0].query, QueryId(2));
+    }
+}

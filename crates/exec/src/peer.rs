@@ -18,7 +18,7 @@ use crate::local::{eval_local, fully_local};
 use crate::msg::{HierScope, Msg, PeerChannel, QueryId, QueryOutcome};
 use crate::{node_of, peer_of};
 use sqpeer_cache::{CacheConfig, CacheStats, SemanticCache};
-use sqpeer_net::{Channel, ChannelTable, Ctx, NodeId, NodeLogic};
+use sqpeer_net::{Channel, ChannelTable, Ctx, NodeId, NodeLogic, PatternStats, TelemetryRegistry};
 use sqpeer_plan::{
     generate_plan, optimize_traced, CostParams, Estimator, Explain, OptimizeReport, PlanNode, Site,
     Subquery, UniformCost,
@@ -148,6 +148,12 @@ pub struct PeerConfig {
     /// the policy floor — **before** the subplan timeout would fire.
     /// `None` (the default) keeps adaptation purely timeout-driven.
     pub slow_channel: Option<SlowChannelPolicy>,
+    /// The hierarchical observability plane (rollup pushes up the
+    /// cluster tree, flight recorder, slow-query log, pattern
+    /// statistics). `None` (the default) keeps the plane fully off:
+    /// no extra messages, no extra state, bit-identical behaviour —
+    /// pinned by the disabled-plane transparency proptest.
+    pub obs: Option<crate::obs::ObsConfig>,
 }
 
 /// Throughput floor for the telemetry-driven slow-channel trigger.
@@ -217,6 +223,7 @@ impl Default for PeerConfig {
             cache: Some(CacheConfig::default()),
             trace: false,
             slow_channel: None,
+            obs: None,
         }
     }
 }
@@ -724,12 +731,17 @@ pub struct PeerNode {
     pub max_stream_inflight: u32,
     /// Credits this peer granted as a stream consumer.
     pub credits_granted: u64,
+    /// The observability plane (None when `config.obs` is unset).
+    obs: Option<crate::obs::ObsState>,
+    /// Timer ids driving periodic rollup pushes.
+    obs_timers: HashSet<u64>,
 }
 
 impl PeerNode {
     /// Creates a peer with the given role and base.
     pub fn new(id: PeerId, role: Role, base: BaseKind, config: PeerConfig) -> Self {
         let cache = config.cache.map(|c| RefCell::new(SemanticCache::new(c)));
+        let obs = config.obs.map(crate::obs::ObsState::new);
         let tracer = RefCell::new(if config.trace {
             Tracer::enabled()
         } else {
@@ -780,6 +792,8 @@ impl PeerNode {
             explains: HashMap::new(),
             max_stream_inflight: 0,
             credits_granted: 0,
+            obs,
+            obs_timers: HashSet::new(),
         }
     }
 
@@ -1065,6 +1079,8 @@ impl PeerNode {
             "hier-gather"
         } else if self.timeouts.contains_key(&timer) {
             "timeout"
+        } else if self.obs_timers.contains(&timer) {
+            "obs"
         } else {
             "unknown"
         }
@@ -1148,6 +1164,9 @@ impl PeerNode {
                     self.registry.unregister(peer);
                     self.lease_expiry.remove(&peer);
                     self.departed.insert(peer, ad.clone());
+                    self.flight(now, "lease-expiry", || {
+                        format!("advertisement of {peer} expired unrenewed")
+                    });
                     if self.role == Role::Super
                         && !self.super_peers.contains(&peer)
                         && self.cluster.is_none()
@@ -1325,6 +1344,114 @@ impl PeerNode {
             let bytes = msg.wire_size();
             ctx.send(node_of(h), msg, bytes);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Observability plane (opt-in via `config.obs`)
+    // ------------------------------------------------------------------
+
+    /// Records a flight-recorder event; the detail closure only runs
+    /// when the plane is on and the ring has capacity.
+    fn flight(&mut self, now_us: u64, kind: &'static str, detail: impl FnOnce() -> String) {
+        if let Some(obs) = &mut self.obs {
+            obs.recorder.record_with(now_us, kind, detail);
+        }
+    }
+
+    /// The observability state, when the plane is on.
+    pub fn obs(&self) -> Option<&crate::obs::ObsState> {
+        self.obs.as_ref()
+    }
+
+    /// The merged snapshot this peer can serve: its local telemetry plus
+    /// every rollup pushed to it (members and, at a head, other
+    /// clusters). `None` when the plane is off.
+    pub fn obs_snapshot(&self) -> Option<(TelemetryRegistry, PatternStats)> {
+        self.obs.as_ref().map(crate::obs::ObsState::snapshot)
+    }
+
+    /// Plain-text flight-recorder dump (empty when the plane is off).
+    pub fn flight_dump(&self) -> String {
+        self.obs
+            .as_ref()
+            .map(|o| o.recorder.dump())
+            .unwrap_or_default()
+    }
+
+    fn obs_push_period(&self) -> Option<u64> {
+        self.config
+            .obs
+            .and_then(|o| (o.push_period_us > 0).then_some(o.push_period_us))
+    }
+
+    /// Arms the periodic rollup-push timer (no-op with the plane off or
+    /// the push period zero — local-only collection).
+    fn arm_obs_timer(&mut self, ctx: &mut Ctx<Msg>) {
+        let Some(period) = self.obs_push_period() else {
+            return;
+        };
+        let timer = self.next_timer;
+        self.next_timer += 1;
+        self.obs_timers.insert(timer);
+        ctx.set_timer(period, timer);
+    }
+
+    /// Pushes this peer's rollup *delta* one level up the cluster tree.
+    /// The destination set mirrors the summary-advertise flow: heads
+    /// push to the other heads, cluster members to their head, simple
+    /// peers to their entry super-peer, flat super-peers to the
+    /// backbone. The payload is only what changed since the last push —
+    /// local links carried whole plus pattern increments, folded with
+    /// every member delta received meanwhile — and never anything
+    /// learned via peer exchange (the no-echo rule), so head↔head and
+    /// backbone exchange cannot double-count a cluster.
+    fn push_obs(&mut self, ctx: &mut Ctx<Msg>) {
+        let Some(obs) = &self.obs else {
+            return;
+        };
+        // Idle skip: nothing pushable changed since the last push, so a
+        // quiet overlay goes silent within one tree-depth ripple.
+        if !obs.dirty {
+            return;
+        }
+        let dests: Vec<PeerId> = match &self.cluster {
+            Some(c) if c.head == self.id => {
+                c.heads.iter().copied().filter(|&h| h != self.id).collect()
+            }
+            Some(c) => vec![c.head],
+            None => match self.role {
+                Role::Super => self
+                    .super_peers
+                    .iter()
+                    .copied()
+                    .filter(|&p| p != self.id)
+                    .collect(),
+                Role::Simple => self.super_peers.first().copied().into_iter().collect(),
+                Role::Client => Vec::new(),
+            },
+        };
+        if dests.is_empty() {
+            return;
+        }
+        let (registry, patterns) = obs.outbound_delta();
+        if registry.is_empty() && patterns.is_empty() {
+            self.obs.as_mut().expect("checked above").dirty = false;
+            return;
+        }
+        let msg = Msg::ObsPush {
+            owner: self.id,
+            registry,
+            patterns,
+        };
+        let bytes = msg.wire_size();
+        for &d in &dests {
+            ctx.send(node_of(d), msg.clone(), bytes);
+        }
+        let obs = self.obs.as_mut().expect("checked above");
+        obs.commit_push();
+        obs.pushes_sent += dests.len() as u64;
+        obs.push_bytes_sent += bytes as u64 * dests.len() as u64;
+        obs.dirty = false;
     }
 
     /// Can `summary` possibly annotate any path pattern of `query`? The
@@ -1837,6 +1964,9 @@ impl PeerNode {
             .event_with(ctx.now_us(), qid.0, "exec:dispatch", || {
                 format!("subplan tag {tag} → {dest} over channel {}", channel.id.0)
             });
+        self.flight(ctx.now_us(), "dispatch", || {
+            format!("{qid} subplan tag {tag} → {dest}")
+        });
         ctx.send(node_of(dest), msg, bytes);
     }
 
@@ -1884,6 +2014,9 @@ impl PeerNode {
             .event_with(ctx.now_us(), qid.0, "exec:retry", || {
                 format!("subplan tag {tag} → {dest}, attempt {attempt}")
             });
+        self.flight(ctx.now_us(), "retry", || {
+            format!("{qid} subplan tag {tag} → {dest}, attempt {attempt}")
+        });
         ctx.send(node_of(dest), msg, bytes);
     }
 
@@ -2390,6 +2523,47 @@ impl PeerNode {
                 self.profiles.insert(qid, profile);
             }
         }
+        if let Some(threshold) = self.obs.as_ref().map(|o| o.config.slow_query_us) {
+            let now = ctx.now_us();
+            let latency_us = now.saturating_sub(started);
+            let (pattern, peers) = {
+                let root = self.rooted.get(&qid).expect("checked above");
+                (root.query.to_string(), root.peers_contacted.len() as u64)
+            };
+            let slow = latency_us >= threshold;
+            // EXPLAIN/profile capture only exists with tracing on; a slow
+            // query without tracing still lands in the log, JSON-less.
+            let explain_json = slow
+                .then(|| self.explains.get(&qid).map(|e| e.to_json()))
+                .flatten();
+            let profile_json = slow
+                .then(|| self.profiles.get(&qid).map(|p| p.to_json()))
+                .flatten();
+            if let Some(obs) = &mut self.obs {
+                obs.patterns.record(
+                    &pattern,
+                    latency_us,
+                    ttfr_us,
+                    peers,
+                    partial,
+                    u64::from(replans),
+                );
+                obs.dirty = true;
+                if slow {
+                    obs.recorder.record_with(now, "slow-query", || {
+                        format!("{qid} took {latency_us}us (threshold {threshold}us)")
+                    });
+                    obs.log_slow_query(crate::obs::SlowQuery {
+                        query: qid,
+                        at_us: now,
+                        latency_us,
+                        pattern,
+                        explain_json,
+                        profile_json,
+                    });
+                }
+            }
+        }
         if let Some(client) = client {
             let msg = Msg::ClientAnswer {
                 qid,
@@ -2541,6 +2715,9 @@ impl PeerNode {
             .event_with(ctx.now_us(), qid.0, "exec:failed", || {
                 format!("subplan {} lost at {failed_peer}", pending.plan_key)
             });
+        self.flight(ctx.now_us(), "replan", || {
+            format!("{qid} subplan lost at {failed_peer}")
+        });
         let is_root = self.rooted.contains_key(&qid);
         if is_root && self.config.adaptive && self.config.phased {
             // Phased, subplan-level repair (§2.5: "the alteration is done
@@ -2812,6 +2989,17 @@ impl NodeLogic for PeerNode {
     type Msg = Msg;
 
     fn on_message(&mut self, ctx: &mut Ctx<Msg>, from: NodeId, msg: Msg) {
+        if let Some(obs) = &mut self.obs {
+            // Receiver-side link telemetry. The plane never observes
+            // itself: ObsPush receipts are excluded, so a quiet overlay's
+            // rollups converge to the query traffic instead of chasing
+            // the plane's own pushes forever.
+            if !matches!(msg, Msg::ObsPush { .. }) {
+                obs.local
+                    .record_receipt(from, node_of(self.id), msg.wire_size(), ctx.now_us());
+                obs.dirty = true;
+            }
+        }
         match msg {
             Msg::Advertise(ad) => {
                 // Super-peers replicate simple-peer advertisements across
@@ -3044,6 +3232,9 @@ impl NodeLogic for PeerNode {
                     };
                     let bytes = msg.wire_size();
                     self.credits_granted += 1;
+                    self.flight(ctx.now_us(), "credit", || {
+                        format!("{qid} stream tag {tag}: granted 1 credit")
+                    });
                     if let Some(state) = self.streams.get_mut(&tag) {
                         state.credits_back += 1;
                         debug_assert!(
@@ -3199,11 +3390,30 @@ impl NodeLogic for PeerNode {
                     self.finalize_hier_gather(ctx, qid, gather);
                 }
             }
+            Msg::ObsPush {
+                owner,
+                registry,
+                patterns,
+            } => {
+                // A push from an equal — a sibling cluster head, or a
+                // fellow super-peer on the flat backbone — is folded
+                // locally but never forwarded (the no-echo rule); a
+                // member's push is also queued for the next push up the
+                // tree.
+                let peer_exchange = match &self.cluster {
+                    Some(c) => c.head == self.id && c.heads.contains(&owner) && owner != self.id,
+                    None => self.role == Role::Super && self.super_peers.contains(&owner),
+                };
+                if let Some(obs) = &mut self.obs {
+                    obs.accept_push(registry, patterns, peer_exchange);
+                }
+            }
         }
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
         self.arm_lease_timers(ctx);
+        self.arm_obs_timer(ctx);
     }
 
     fn on_restart(&mut self, ctx: &mut Ctx<Msg>) {
@@ -3226,6 +3436,14 @@ impl NodeLogic for PeerNode {
         self.served.clear();
         self.heartbeat_timers.clear();
         self.sweep_timers.clear();
+        self.obs_timers.clear();
+        // Accumulated rollups survive the restart — registry links fold
+        // latest-wins and pattern increments were counted exactly once,
+        // so dropping them would lose history. Re-ripple what this peer
+        // knows in case downstream wrote it off while it was down.
+        if let Some(obs) = &mut self.obs {
+            obs.on_restart();
+        }
         // Hierarchical summaries are soft state rebuilt from pushes; a
         // restarted head treats summary-less subtrees as intersecting
         // (conservative descent) until members re-push.
@@ -3260,9 +3478,15 @@ impl NodeLogic for PeerNode {
             self.push_summary(ctx, true);
         }
         self.arm_lease_timers(ctx);
+        self.arm_obs_timer(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<Msg>, timer: u64) {
+        if self.obs_timers.remove(&timer) {
+            self.push_obs(ctx);
+            self.arm_obs_timer(ctx);
+            return;
+        }
         if self.heartbeat_timers.remove(&timer) {
             self.send_heartbeats(ctx);
             let period = self.lease_period().expect("armed only with leases on");
@@ -3366,6 +3590,9 @@ impl NodeLogic for PeerNode {
                 .event_with(ctx.now_us(), timed_out_qid.0, "exec:timeout", || {
                     format!("subplan tag {tag} timed out")
                 });
+            self.flight(ctx.now_us(), "timeout", || {
+                format!("{timed_out_qid} subplan tag {tag} timed out")
+            });
             let attempt = self.outstanding[&tag].attempt;
             if attempt < self.config.subplan_retries {
                 // At-least-once dispatch: retry the same destination with
@@ -3390,6 +3617,13 @@ impl NodeLogic for PeerNode {
                 self.channels.sweep();
                 self.handle_lost_subplan(ctx, pending, ReplanCause::Timeout);
             }
+        }
+    }
+
+    fn on_transport_anomaly(&mut self, now_us: u64, detail: &str) {
+        if let Some(obs) = &mut self.obs {
+            obs.recorder
+                .record_with(now_us, "decode-failure", || detail.to_string());
         }
     }
 

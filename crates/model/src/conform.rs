@@ -488,6 +488,7 @@ pub fn msg_kind(msg: &Msg) -> &'static str {
         Msg::SummaryAdvertise { .. } => "summaryadvertise",
         Msg::HierRouteRequest { .. } => "hierrouterequest",
         Msg::HierRouteResponse { .. } => "hierrouteresponse",
+        Msg::ObsPush { .. } => "obspush",
     }
 }
 

@@ -26,6 +26,7 @@
 pub mod channel;
 pub mod fault;
 pub mod metrics;
+pub mod obs;
 pub mod queue;
 pub mod sim;
 pub mod telemetry;
@@ -34,6 +35,7 @@ pub mod transport;
 pub use channel::{Channel, ChannelId, ChannelState, ChannelTable};
 pub use fault::{ChurnEvent, FaultPlan, SplitMix64};
 pub use metrics::{Metrics, MetricsDelta, NodeMetrics};
+pub use obs::{FlightEvent, FlightRecorder, PatternEntry, PatternStats};
 pub use queue::{CalendarQueue, Scheduled};
 pub use sim::{Ctx, CtxEffects, LinkSpec, NodeId, NodeLogic, Simulator};
 pub use telemetry::{Histogram, LinkTelemetry, TelemetryRegistry, DEFAULT_WINDOW_US};

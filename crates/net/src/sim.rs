@@ -73,6 +73,12 @@ pub trait NodeLogic {
     /// timers were discarded while down; implementations should reset
     /// in-flight state, re-announce themselves and restart timers here.
     fn on_restart(&mut self, _ctx: &mut Ctx<Self::Msg>) {}
+
+    /// Called by a transport when it hits an anomaly attributable to this
+    /// node's endpoint — today a frame that failed to decode. Outside the
+    /// normal message path on purpose: the payload never became a `Msg`.
+    /// Default is a no-op; nodes with a flight recorder log it there.
+    fn on_transport_anomaly(&mut self, _now_us: u64, _detail: &str) {}
 }
 
 /// The API a node uses to interact with the network during a callback.

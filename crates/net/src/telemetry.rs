@@ -110,6 +110,25 @@ impl Histogram {
         &self.counts
     }
 
+    /// Reassembles a histogram from raw bucket counts and a sample sum
+    /// (the wire-decode path); the total count is derived from the
+    /// buckets, so a decoded histogram is always internally consistent.
+    pub fn from_parts(counts: [u64; BUCKETS], sum: u64) -> Histogram {
+        let count = counts.iter().sum();
+        Histogram { counts, count, sum }
+    }
+
+    /// Estimated encoded size in bytes under the sparse wire form (one
+    /// `(bucket, count)` pair per non-empty bucket plus the sum).
+    pub fn wire_size(&self) -> usize {
+        8 + self
+            .counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| 1 + varint_len(c))
+            .sum::<usize>()
+    }
+
     /// Folds `other` into `self` bucket-wise.
     pub fn merge(&mut self, other: &Histogram) {
         for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -119,11 +138,33 @@ impl Histogram {
         self.sum += other.sum;
     }
 
+    /// The bucket-wise increment `self − earlier`, where `earlier` is a
+    /// prior snapshot of this same monotonically-growing histogram.
+    /// Merging the result into `earlier` reproduces `self` — the
+    /// delta-rollup channel ships these instead of full histograms.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut counts = [0u64; BUCKETS];
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        Histogram {
+            counts,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+
     /// Index of the highest non-empty bucket (0 when empty) — bounds the
     /// exposition so empty tails are not rendered.
     fn highest_nonempty(&self) -> usize {
         self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
+}
+
+/// LEB128 length of `v` — sizes the wire-size estimates without the
+/// `sqpeer-wire` crate (which depends on this one).
+fn varint_len(v: u64) -> usize {
+    ((64 - v.leading_zeros()).max(1) as usize).div_ceil(7)
 }
 
 /// Telemetry of one *directed* link: counters plus the three histograms.
@@ -169,6 +210,48 @@ impl LinkTelemetry {
     /// Bytes seen so far in the still-open window.
     pub fn open_window_bytes(&self) -> u64 {
         self.open_window_bytes
+    }
+
+    /// Start of the currently open window (µs on the feeding clock).
+    pub fn window_start_us(&self) -> u64 {
+        self.window_start_us
+    }
+
+    /// Reassembles a link record from its raw parts (the wire-decode
+    /// path). Fields mirror the struct one-to-one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        messages: u64,
+        bytes: u64,
+        latency_us: Histogram,
+        size_bytes: Histogram,
+        window_bytes: Histogram,
+        ttfr_us: Histogram,
+        window_start_us: u64,
+        open_window_bytes: u64,
+    ) -> LinkTelemetry {
+        LinkTelemetry {
+            messages,
+            bytes,
+            latency_us,
+            size_bytes,
+            window_bytes,
+            ttfr_us,
+            window_start_us,
+            open_window_bytes,
+        }
+    }
+
+    /// Estimated encoded size in bytes under the wire form.
+    pub fn wire_size(&self) -> usize {
+        varint_len(self.messages)
+            + varint_len(self.bytes)
+            + varint_len(self.window_start_us)
+            + varint_len(self.open_window_bytes)
+            + self.latency_us.wire_size()
+            + self.size_bytes.wire_size()
+            + self.window_bytes.wire_size()
+            + self.ttfr_us.wire_size()
     }
 
     /// Folds `other` into `self`. Counters and histograms add; the open
@@ -270,6 +353,31 @@ impl TelemetryRegistry {
         link.open_window_bytes += bytes as u64;
     }
 
+    /// Records one message *receipt* on `from → to` as seen by the
+    /// receiver itself — the node-local feed of the hierarchical
+    /// observability plane. A receiver cannot observe one-way delivery
+    /// latency without clock synchronisation, so receipts count
+    /// messages, bytes, sizes and throughput windows but record no
+    /// latency sample; the transport-level
+    /// [`TelemetryRegistry::record_delivery`] remains the latency
+    /// authority.
+    pub fn record_receipt(&mut self, from: NodeId, to: NodeId, bytes: usize, now_us: u64) {
+        let window = self.window_us;
+        let epoch = self.epoch_us;
+        let link = self
+            .links
+            .entry((from, to))
+            .or_insert_with(|| LinkTelemetry {
+                window_start_us: epoch,
+                ..LinkTelemetry::default()
+            });
+        link.roll(now_us, window);
+        link.messages += 1;
+        link.bytes += bytes as u64;
+        link.size_bytes.record(bytes as u64);
+        link.open_window_bytes += bytes as u64;
+    }
+
     /// Records one time-to-first-row observation on `from → to`: the µs
     /// between a subplan dispatch at `to` and the first result packet
     /// arriving back from `from` (data flows `from → to`).
@@ -307,6 +415,48 @@ impl TelemetryRegistry {
         }
     }
 
+    /// Per-link *replacement* fold: every link present in `other`
+    /// replaces the entry under the same key. The delta-rollup channel
+    /// folds with this — a local link is receiver-owned (exactly one
+    /// peer ever updates a given `(from, to = self)` key), so latest
+    /// wins per link is exact and idempotent under duplication.
+    pub fn overlay(&mut self, other: &TelemetryRegistry) {
+        for (key, theirs) in &other.links {
+            self.links.insert(*key, theirs.clone());
+        }
+    }
+
+    /// The links that changed since `earlier` (a prior snapshot of this
+    /// same registry), each carried whole. Overlaying the result onto
+    /// `earlier` reproduces `self` — a push ships exactly this.
+    pub fn delta_since(&self, earlier: &TelemetryRegistry) -> TelemetryRegistry {
+        let links = self
+            .links
+            .iter()
+            .filter(|(key, link)| earlier.links.get(key) != Some(link))
+            .map(|(key, link)| (*key, link.clone()));
+        TelemetryRegistry::from_parts(self.window_us, self.epoch_us, links)
+    }
+
+    /// Projects every link to its two counters (messages, bytes),
+    /// dropping histograms and window state. Rollup deltas ship this
+    /// projection — distributions stay at the recording peer (and
+    /// inside pattern entries), so the cluster-tree fold pays a
+    /// near-constant handful of bytes per changed link.
+    pub fn counters_only(&self) -> TelemetryRegistry {
+        let links = self.links.iter().map(|(key, link)| {
+            (
+                *key,
+                LinkTelemetry {
+                    messages: link.messages,
+                    bytes: link.bytes,
+                    ..LinkTelemetry::default()
+                },
+            )
+        });
+        TelemetryRegistry::from_parts(self.window_us, self.epoch_us, links)
+    }
+
     /// Per-node rollup: for every node, all its incoming links merged
     /// into one [`LinkTelemetry`]. Sorted by node id.
     pub fn node_rollup(&self) -> Vec<(NodeId, LinkTelemetry)> {
@@ -319,11 +469,44 @@ impl TelemetryRegistry {
         rolled
     }
 
-    /// Directed links in sorted order (stable iteration for rendering).
-    fn sorted_links(&self) -> Vec<((NodeId, NodeId), &LinkTelemetry)> {
+    /// Directed links in sorted order (stable iteration for rendering
+    /// and for byte-deterministic wire encoding).
+    pub fn sorted_links(&self) -> Vec<((NodeId, NodeId), &LinkTelemetry)> {
         let mut links: Vec<_> = self.links.iter().map(|(k, v)| (*k, v)).collect();
         links.sort_by_key(|(k, _)| *k);
         links
+    }
+
+    /// Reassembles a registry from decoded parts (the wire-decode path).
+    pub fn from_parts(
+        window_us: u64,
+        epoch_us: u64,
+        links: impl IntoIterator<Item = ((NodeId, NodeId), LinkTelemetry)>,
+    ) -> TelemetryRegistry {
+        TelemetryRegistry {
+            window_us: window_us.max(1),
+            epoch_us,
+            links: links.into_iter().collect(),
+        }
+    }
+
+    /// Total messages across every recorded link.
+    pub fn total_messages(&self) -> u64 {
+        self.links.values().map(|l| l.messages).sum()
+    }
+
+    /// Total bytes across every recorded link.
+    pub fn total_bytes(&self) -> u64 {
+        self.links.values().map(|l| l.bytes).sum()
+    }
+
+    /// Estimated encoded size in bytes under the wire form.
+    pub fn wire_size(&self) -> usize {
+        16 + self
+            .links
+            .iter()
+            .map(|((_, _), l)| 10 + l.wire_size())
+            .sum::<usize>()
     }
 
     /// Stable Prometheus-style text exposition. Histogram buckets are
@@ -564,5 +747,57 @@ mod tests {
         // epoch/window ≈ 7.25e9 idle windows; anchored, only the windows
         // actually elapsed since the epoch are accounted.
         assert!(r.window_bytes.count() < 20);
+    }
+
+    /// Receiver-side receipts count everything a delivery does except
+    /// latency (unobservable one-way without clock sync).
+    #[test]
+    fn receipts_count_messages_but_not_latency() {
+        let (a, b) = (NodeId(0), NodeId(1));
+        let mut reg = TelemetryRegistry::new(1_000);
+        reg.record_receipt(a, b, 100, 500);
+        reg.record_receipt(a, b, 60, 900);
+        let link = reg.link(a, b).unwrap();
+        assert_eq!(link.messages, 2);
+        assert_eq!(link.bytes, 160);
+        assert_eq!(link.size_bytes.count(), 2);
+        assert_eq!(link.latency_us.count(), 0);
+        assert_eq!(link.open_window_bytes(), 160);
+        assert_eq!(reg.total_messages(), 2);
+        assert_eq!(reg.total_bytes(), 160);
+    }
+
+    /// The raw-parts constructors reassemble exactly what the accessors
+    /// expose — the contract the wire codec is built on.
+    #[test]
+    fn from_parts_roundtrips_exactly() {
+        let mut reg = TelemetryRegistry::anchored(2_000, 77);
+        reg.record_delivery(NodeId(3), NodeId(1), 64, 20_000, 20_100);
+        reg.record_ttfr(NodeId(3), NodeId(1), 41_000);
+        reg.record_receipt(NodeId(1), NodeId(3), 32, 25_000);
+        let rebuilt = TelemetryRegistry::from_parts(
+            reg.window_us(),
+            reg.epoch_us(),
+            reg.sorted_links().into_iter().map(|(k, l)| {
+                (
+                    k,
+                    LinkTelemetry::from_parts(
+                        l.messages,
+                        l.bytes,
+                        l.latency_us.clone(),
+                        l.size_bytes.clone(),
+                        l.window_bytes.clone(),
+                        l.ttfr_us.clone(),
+                        l.window_start_us(),
+                        l.open_window_bytes(),
+                    ),
+                )
+            }),
+        );
+        assert_eq!(reg, rebuilt);
+        let h = &reg.link(NodeId(3), NodeId(1)).unwrap().latency_us;
+        let hh = Histogram::from_parts(*h.buckets(), h.sum());
+        assert_eq!(*h, hh);
+        assert!(reg.wire_size() > 0);
     }
 }

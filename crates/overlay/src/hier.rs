@@ -203,8 +203,9 @@ impl HierBuilder {
             let bytes = msg.wire_size();
             sim.inject(node_of(peer), node_of(sp), msg, bytes);
         }
-        let lease_us = config.ad_lease_us;
-        let mut net = HybridNetwork::from_parts(sim, schema, super_ids, peer_ids, client, lease_us);
+        let run_window_us = crate::hybrid::run_window(&config);
+        let mut net =
+            HybridNetwork::from_parts(sim, schema, super_ids, peer_ids, client, run_window_us);
         net.run();
         net
     }

@@ -127,7 +127,7 @@ impl HybridBuilder {
             let bytes = msg.wire_size();
             sim.inject(node_of(peer), node_of(sp), msg, bytes);
         }
-        let lease_us = config.ad_lease_us;
+        let run_window_us = run_window(&config);
         let mut net = HybridNetwork {
             sim,
             schema,
@@ -135,11 +135,23 @@ impl HybridBuilder {
             peer_ids,
             client,
             next_qid: 0,
-            lease_us,
+            run_window_us,
         };
         net.run();
         net
     }
+}
+
+/// The bounded run window a configuration demands, or `None` when runs
+/// can go to quiescence. Lease heartbeats re-arm forever, so leases
+/// force a two-lease window; likewise the observability plane's rollup
+/// pushes never quiesce, so an obs-on config gets four push periods.
+pub(crate) fn run_window(config: &PeerConfig) -> Option<u64> {
+    config.ad_lease_us.map(|l| 2 * l).or_else(|| {
+        config
+            .obs
+            .and_then(|o| (o.push_period_us > 0).then_some(4 * o.push_period_us))
+    })
 }
 
 /// A running hybrid SON.
@@ -150,10 +162,11 @@ pub struct HybridNetwork {
     peer_ids: Vec<PeerId>,
     client: PeerId,
     next_qid: u64,
-    /// The configured advertisement lease (None = immortal ads). With
-    /// leases on the network never quiesces (heartbeats re-arm forever),
-    /// so [`HybridNetwork::run`] advances bounded windows instead.
-    lease_us: Option<u64>,
+    /// Bounded run window (None = run to quiescence). Set when the
+    /// configuration arms periodic timers that re-arm forever — lease
+    /// heartbeats, observability rollup pushes — so
+    /// [`HybridNetwork::run`] advances windows instead of hanging.
+    run_window_us: Option<u64>,
 }
 
 impl HybridNetwork {
@@ -165,7 +178,7 @@ impl HybridNetwork {
         super_ids: Vec<PeerId>,
         peer_ids: Vec<PeerId>,
         client: PeerId,
-        lease_us: Option<u64>,
+        run_window_us: Option<u64>,
     ) -> Self {
         HybridNetwork {
             sim,
@@ -174,7 +187,7 @@ impl HybridNetwork {
             peer_ids,
             client,
             next_qid: 0,
-            lease_us,
+            run_window_us,
         }
     }
 
@@ -242,16 +255,16 @@ impl HybridNetwork {
         qid
     }
 
-    /// Runs the network: to quiescence with immortal ads, or a bounded
-    /// two-lease window when leases are on (periodic heartbeat timers
-    /// never quiesce).
+    /// Runs the network: to quiescence when no periodic timers are
+    /// armed, or by the configured bounded window otherwise (lease
+    /// heartbeats and obs rollup pushes re-arm forever).
     pub fn run(&mut self) {
-        match self.lease_us {
+        match self.run_window_us {
             None => {
                 self.sim.run_to_quiescence();
             }
-            Some(lease) => {
-                self.run_for(2 * lease);
+            Some(window) => {
+                self.run_for(window);
             }
         }
     }
@@ -309,6 +322,54 @@ impl HybridNetwork {
     /// [`enable_telemetry`]: HybridNetwork::enable_telemetry
     pub fn telemetry_snapshot(&self) -> Option<sqpeer_net::TelemetryRegistry> {
         self.sim.telemetry().cloned()
+    }
+
+    /// The observability snapshot peer `at` can serve — its local
+    /// telemetry merged with every rollup pushed to it. At a cluster
+    /// head this approximates the global registry to within one push
+    /// period. `None` when the plane is off or the peer is down.
+    pub fn obs_snapshot(
+        &self,
+        at: PeerId,
+    ) -> Option<(sqpeer_net::TelemetryRegistry, sqpeer_net::PatternStats)> {
+        self.sim.node(node_of(at)).and_then(|n| n.obs_snapshot())
+    }
+
+    /// Peer `at`'s flight-recorder dump (empty when the plane is off or
+    /// the peer is down).
+    pub fn flight_dump(&self, at: PeerId) -> String {
+        self.sim
+            .node(node_of(at))
+            .map(|n| n.flight_dump())
+            .unwrap_or_default()
+    }
+
+    /// Every node id of the overlay (supers, simple peers, client).
+    fn all_ids(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.super_ids
+            .iter()
+            .chain(self.peer_ids.iter())
+            .copied()
+            .chain(std::iter::once(self.client))
+    }
+
+    /// Total rollup pushes sent across the overlay.
+    pub fn obs_pushes_total(&self) -> u64 {
+        self.all_ids()
+            .filter_map(|p| self.sim.node(node_of(p)))
+            .filter_map(|n| n.obs())
+            .map(|o| o.pushes_sent)
+            .sum()
+    }
+
+    /// Total estimated bytes of those pushes — the numerator of the E23
+    /// overhead budget.
+    pub fn obs_push_bytes_total(&self) -> u64 {
+        self.all_ids()
+            .filter_map(|p| self.sim.node(node_of(p)))
+            .filter_map(|n| n.obs())
+            .map(|o| o.push_bytes_sent)
+            .sum()
     }
 
     /// All peer bases (for oracle construction).

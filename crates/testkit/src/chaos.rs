@@ -22,7 +22,7 @@ use crate::schema_gen::{community_schema, SchemaSpec};
 use crate::workload::random_chain_query;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sqpeer::exec::{node_of, PeerConfig};
+use sqpeer::exec::{node_of, ObsConfig, PeerConfig};
 use sqpeer::net::{FaultPlan, Metrics, SplitMix64};
 use sqpeer::overlay::{oracle_answer, oracle_base};
 use sqpeer::routing::PeerId;
@@ -66,6 +66,9 @@ pub struct ChaosSpec {
     /// in hierarchical mode this takes down cluster heads and entry
     /// super-peers, exercising degradation and summary re-push.
     pub super_churn_crashes: usize,
+    /// Fault-profile name, embedded in every replay artifact so a red
+    /// run replays with `CHAOS_PROFILE=<name> CHAOS_SEED=<seed>`.
+    pub profile: &'static str,
 }
 
 impl Default for ChaosSpec {
@@ -83,6 +86,7 @@ impl Default for ChaosSpec {
             stream_batch_rows: None,
             cluster_size: None,
             super_churn_crashes: 0,
+            profile: "default",
         }
     }
 }
@@ -92,6 +96,8 @@ impl Default for ChaosSpec {
 pub struct ChaosReport {
     /// The spec's master seed (for replay).
     pub seed: u64,
+    /// The spec's fault-profile name (for replay).
+    pub profile: &'static str,
     /// The generated fault plan, printed (for replay).
     pub replay: String,
     /// Queries that produced an outcome at their root.
@@ -134,11 +140,19 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
     // within the drain window; leases on so churn heals.
     // Tracing on: a violation's artifact carries the failing query's
     // EXPLAIN and profile, so a red run replays with full context.
+    // Observability is on but local-only (push period 0): the flight
+    // recorder and slow-query log capture every run for the replay
+    // artifacts without injecting rollup traffic that would perturb the
+    // fault plan's RNG draws and change pinned schedules.
     let config = PeerConfig {
         subplan_timeout_us: Some(1_000_000),
         ad_lease_us: Some(spec.lease_us),
         trace: true,
         stream_batch_rows: spec.stream_batch_rows,
+        obs: Some(ObsConfig {
+            push_period_us: 0,
+            ..ObsConfig::default()
+        }),
         ..PeerConfig::default()
     };
     let (mut net, ids) = match spec.cluster_size {
@@ -206,6 +220,7 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
 
     let mut report = ChaosReport {
         seed: spec.seed,
+        profile: spec.profile,
         replay,
         ..ChaosReport::default()
     };
@@ -248,26 +263,34 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosReport {
                 ));
             }
         }
-        // Every fresh violation gets a replay artifact: the query's
-        // EXPLAIN plus its profile JSON, as recorded at the root, and the
+        // Every fresh violation gets a replay artifact: the exact
+        // one-command replay line (profile + seed), the query's EXPLAIN
+        // plus its profile JSON as recorded at the root, the
         // network-wide adaptation tally so the replayer sees which §2.5
-        // trigger (telemetry vs timeout) was driving re-plans.
+        // trigger (telemetry vs timeout) was driving re-plans, and the
+        // root's flight-recorder dump — the protocol events leading up
+        // to the anomaly.
         for _ in before..report.violations.len() {
             let explain = net
                 .explain(*origin, *qid)
                 .map(|e| e.render())
                 .unwrap_or_else(|| "(no explain recorded)".to_string());
-            let profile = net
+            let profile_json = net
                 .profile(*origin, *qid)
                 .map(|p| p.to_json())
                 .unwrap_or_else(|| "null".to_string());
             let m = net.sim().metrics();
             report.artifacts.push(format!(
-                "query {i} at {origin}\n{explain}\nprofile: {profile}\n\
-                 replans: {} total ({} slow-channel, {} timeout)",
+                "replay: CHAOS_PROFILE={} CHAOS_SEED={} cargo test --test chaos replay_from_env\n\
+                 query {i} at {origin}\n{explain}\nprofile: {profile_json}\n\
+                 replans: {} total ({} slow-channel, {} timeout)\n\
+                 flight recorder at {origin}:\n{}",
+                spec.profile,
+                spec.seed,
                 m.replans(),
                 m.slow_channel_replans(),
-                m.timeout_replans()
+                m.timeout_replans(),
+                net.flight_dump(*origin)
             ));
         }
     }

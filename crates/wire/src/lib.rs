@@ -23,6 +23,7 @@
 pub mod codec;
 pub mod fingerprint;
 pub mod msg;
+pub mod telemetry;
 mod types;
 
 pub use codec::{Reader, Wire, WireError, Writer, MAX_DEPTH};

@@ -181,6 +181,16 @@ impl Wire for Msg {
                 annotated.encode(w);
                 missing.encode(w);
             }
+            Msg::ObsPush {
+                owner,
+                registry,
+                patterns,
+            } => {
+                w.u64v(20);
+                owner.encode(w);
+                registry.encode(w);
+                patterns.encode(w);
+            }
         }
     }
 
@@ -271,6 +281,11 @@ impl Wire for Msg {
                 qid: Wire::decode(r)?,
                 annotated: Wire::decode(r)?,
                 missing: Wire::decode(r)?,
+            }),
+            20 => Ok(Msg::ObsPush {
+                owner: Wire::decode(r)?,
+                registry: Wire::decode(r)?,
+                patterns: Wire::decode(r)?,
             }),
             tag => Err(WireError::BadTag { what: "Msg", tag }),
         }

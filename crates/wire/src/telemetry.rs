@@ -1,0 +1,236 @@
+//! [`Wire`] encodings for the observability-plane payloads: histograms,
+//! link telemetry, registry rollups and pattern statistics.
+//!
+//! Histograms ship **sparse** — a count of non-empty buckets followed by
+//! `(bucket index, count)` pairs in strictly increasing index order, then
+//! the sum (the total count is derived at decode). Most protocol
+//! histograms populate a handful of adjacent log₂ buckets, so this is
+//! far smaller than 40 varints and gives decode a cheap validity check.
+//!
+//! Registries and pattern tables encode their maps as sorted vectors
+//! (links by `(from, to)`, entries by fingerprint), so equal values
+//! produce identical bytes — the determinism rule the whole codec
+//! follows. Pattern fingerprints are *recomputed from the pattern text*
+//! at decode, so a decoded table can never hold a mismatched key.
+
+use crate::codec::{Reader, Wire, WireError, Writer};
+use sqpeer_net::telemetry::BUCKETS;
+use sqpeer_net::{Histogram, LinkTelemetry, NodeId, PatternEntry, PatternStats, TelemetryRegistry};
+
+impl Wire for NodeId {
+    fn encode(&self, w: &mut Writer) {
+        w.u32v(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NodeId(r.u32v()?))
+    }
+}
+
+impl Wire for Histogram {
+    fn encode(&self, w: &mut Writer) {
+        let buckets = self.buckets();
+        let nonempty = buckets.iter().filter(|&&c| c > 0).count();
+        w.u64v(nonempty as u64);
+        for (i, &c) in buckets.iter().enumerate() {
+            if c > 0 {
+                w.byte(i as u8);
+                w.u64v(c);
+            }
+        }
+        w.u64v(self.sum());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.count()?;
+        if n > BUCKETS {
+            return Err(WireError::BadTag {
+                what: "Histogram buckets",
+                tag: n as u64,
+            });
+        }
+        let mut counts = [0u64; BUCKETS];
+        let mut prev: Option<u8> = None;
+        for _ in 0..n {
+            let idx = r.byte()?;
+            // Strictly increasing indices < BUCKETS: anything else is a
+            // malformed (or adversarial) frame, rejected whole.
+            if usize::from(idx) >= BUCKETS || prev.is_some_and(|p| idx <= p) {
+                return Err(WireError::BadTag {
+                    what: "Histogram bucket index",
+                    tag: u64::from(idx),
+                });
+            }
+            counts[usize::from(idx)] = r.u64v()?;
+            prev = Some(idx);
+        }
+        let sum = r.u64v()?;
+        Ok(Histogram::from_parts(counts, sum))
+    }
+}
+
+impl Wire for LinkTelemetry {
+    fn encode(&self, w: &mut Writer) {
+        w.u64v(self.messages);
+        w.u64v(self.bytes);
+        self.latency_us.encode(w);
+        self.size_bytes.encode(w);
+        self.window_bytes.encode(w);
+        self.ttfr_us.encode(w);
+        w.u64v(self.window_start_us());
+        w.u64v(self.open_window_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(LinkTelemetry::from_parts(
+            r.u64v()?,
+            r.u64v()?,
+            Histogram::decode(r)?,
+            Histogram::decode(r)?,
+            Histogram::decode(r)?,
+            Histogram::decode(r)?,
+            r.u64v()?,
+            r.u64v()?,
+        ))
+    }
+}
+
+impl Wire for TelemetryRegistry {
+    fn encode(&self, w: &mut Writer) {
+        w.u64v(self.window_us());
+        w.u64v(self.epoch_us());
+        let links = self.sorted_links();
+        w.u64v(links.len() as u64);
+        for ((from, to), link) in links {
+            from.encode(w);
+            to.encode(w);
+            link.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let window_us = r.u64v()?;
+        let epoch_us = r.u64v()?;
+        let n = r.count()?;
+        let mut links = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let from = NodeId::decode(r)?;
+            let to = NodeId::decode(r)?;
+            links.push(((from, to), LinkTelemetry::decode(r)?));
+        }
+        Ok(TelemetryRegistry::from_parts(window_us, epoch_us, links))
+    }
+}
+
+impl Wire for PatternEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.string(&self.pattern);
+        w.u64v(self.count);
+        w.u64v(self.partials);
+        w.u64v(self.replans);
+        self.peers.encode(w);
+        self.latency_us.encode(w);
+        self.ttfr_us.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(PatternEntry {
+            pattern: r.string()?,
+            count: r.u64v()?,
+            partials: r.u64v()?,
+            replans: r.u64v()?,
+            peers: Histogram::decode(r)?,
+            latency_us: Histogram::decode(r)?,
+            ttfr_us: Histogram::decode(r)?,
+        })
+    }
+}
+
+impl Wire for PatternStats {
+    fn encode(&self, w: &mut Writer) {
+        let entries = self.sorted_entries();
+        w.u64v(entries.len() as u64);
+        for (_, entry) in entries {
+            // The fingerprint is not shipped: it is a pure function of
+            // the pattern text and is recomputed at decode.
+            entry.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.count()?;
+        let mut entries = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            entries.push(PatternEntry::decode(r)?);
+        }
+        Ok(PatternStats::from_entries(entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(value: &T) -> T {
+        let reg = crate::SchemaRegistry::new();
+        let mut w = Writer::new();
+        value.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, &reg);
+        let decoded = T::decode(&mut r).expect("decodes");
+        r.expect_end().expect("consumed fully");
+        assert_eq!(*value, decoded);
+        decoded
+    }
+
+    #[test]
+    fn histogram_roundtrips_sparsely() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(1_000_000);
+        h.record_n(42, 7);
+        roundtrip(&h);
+        roundtrip(&Histogram::default());
+    }
+
+    #[test]
+    fn histogram_rejects_bad_bucket_indices() {
+        // Out-of-range index.
+        let mut w = Writer::new();
+        w.u64v(1);
+        w.byte(BUCKETS as u8);
+        w.u64v(3);
+        w.u64v(0);
+        let bytes = w.into_bytes();
+        let reg = crate::SchemaRegistry::new();
+        assert!(Histogram::decode(&mut Reader::new(&bytes, &reg)).is_err());
+        // Non-increasing indices.
+        let mut w = Writer::new();
+        w.u64v(2);
+        w.byte(5);
+        w.u64v(1);
+        w.byte(5);
+        w.u64v(1);
+        w.u64v(0);
+        let bytes = w.into_bytes();
+        assert!(Histogram::decode(&mut Reader::new(&bytes, &reg)).is_err());
+    }
+
+    #[test]
+    fn registry_roundtrips_with_links() {
+        let mut reg = TelemetryRegistry::new(100_000);
+        reg.record_delivery(NodeId(1), NodeId(2), 500, 300, 40_000);
+        reg.record_delivery(NodeId(2), NodeId(1), 120, 900, 140_000);
+        reg.record_receipt(NodeId(3), NodeId(1), 64, 200_000);
+        reg.record_ttfr(NodeId(1), NodeId(2), 77_000);
+        let decoded = roundtrip(&reg);
+        assert_eq!(decoded.total_bytes(), reg.total_bytes());
+        roundtrip(&TelemetryRegistry::new(1));
+    }
+
+    #[test]
+    fn pattern_stats_roundtrip_and_refingerprint() {
+        let mut ps = PatternStats::new();
+        ps.record("SELECT X FROM {X}p{Y}", 1_500, Some(300), 4, false, 1);
+        ps.record("SELECT Z FROM {Z}q{W}", 90, None, 1, true, 0);
+        ps.record("SELECT X FROM {X}p{Y}", 2_500, None, 2, false, 0);
+        let decoded = roundtrip(&ps);
+        assert_eq!(decoded.get("SELECT X FROM {X}p{Y}").unwrap().count, 2);
+        roundtrip(&PatternStats::new());
+    }
+}

@@ -82,20 +82,20 @@ fn unknown_msg_tag_is_refused() {
     );
 }
 
-/// `HierRouteResponse` (tag 19) is the last assigned `Msg` tag; the
-/// first tag past it must be refused, so a peer speaking a future
-/// protocol revision fails loudly instead of desynchronising the stream.
+/// `ObsPush` (tag 20) is the last assigned `Msg` tag; the first tag
+/// past it must be refused, so a peer speaking a future protocol
+/// revision fails loudly instead of desynchronising the stream.
 #[test]
 fn first_tag_past_frontier_is_refused() {
     let reg = registry();
     let mut w = Writer::new();
-    w.u64v(20);
+    w.u64v(21);
     let bytes = w.into_bytes();
     assert_eq!(
         decode_value::<Msg>(&bytes, &reg).unwrap_err(),
         WireError::BadTag {
             what: "Msg",
-            tag: 20
+            tag: 21
         }
     );
 }

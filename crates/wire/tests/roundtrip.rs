@@ -115,7 +115,7 @@ fn advertisement(peer: u32, with_stats: bool) -> Advertisement {
 
 fn arb_msg() -> impl Strategy<Value = Msg> {
     (
-        0..17u8,
+        0..18u8,
         0..QUERY_TEXTS.len(),
         (0..64u64, 0..8u32, 0..8u32, any::<bool>()),
         arb_result_set(),
@@ -202,12 +202,45 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                 13 => Msg::ExecutePlan { qid, query, plan },
                 14 => Msg::ClientQuery { qid, query },
                 15 => Msg::ClientAnswer { qid, result },
-                _ => Msg::Credit {
+                16 => Msg::Credit {
                     channel: ch,
                     qid,
                     tag,
                     credits: a + 1,
                 },
+                _ => {
+                    let mut registry = sqpeer_net::TelemetryRegistry::new(100_000);
+                    registry.record_delivery(
+                        sqpeer_net::NodeId(a),
+                        sqpeer_net::NodeId(b),
+                        64 + tag as usize,
+                        1_000 + tag,
+                        tag * 10_000,
+                    );
+                    if flag {
+                        registry.record_receipt(
+                            sqpeer_net::NodeId(b),
+                            sqpeer_net::NodeId(a),
+                            128,
+                            tag * 20_000,
+                        );
+                        registry.record_ttfr(sqpeer_net::NodeId(a), sqpeer_net::NodeId(b), tag);
+                    }
+                    let mut patterns = sqpeer_net::PatternStats::new();
+                    patterns.record(
+                        QUERY_TEXTS[qi],
+                        tag * 100,
+                        flag.then_some(tag * 10),
+                        u64::from(a),
+                        flag,
+                        u64::from(b),
+                    );
+                    Msg::ObsPush {
+                        owner: PeerId(a),
+                        registry,
+                        patterns,
+                    }
+                }
             }
         })
 }

@@ -23,6 +23,7 @@ fn light(seed: u64) -> ChaosSpec {
         duplicate_permille: 25,
         jitter_us: 10_000,
         churn_crashes: 1,
+        profile: "light",
         ..ChaosSpec::default()
     }
 }
@@ -34,6 +35,7 @@ fn heavy(seed: u64) -> ChaosSpec {
         duplicate_permille: 100,
         jitter_us: 50_000,
         churn_crashes: 2,
+        profile: "heavy",
         ..ChaosSpec::default()
     }
 }
@@ -48,7 +50,8 @@ fn run_profile(name: &str, spec: ChaosSpec) -> sqpeer_testkit::ChaosReport {
     let report = run_chaos(&spec);
     if !report.holds() {
         let body = format!(
-            "profile: {name}\nseed: {}\nfault plan: {}\nanswered: {} (partial {}, complete {}), unanswered: {}\nviolations:\n{}\n\nper-violation EXPLAIN + profile:\n{}\n",
+            "profile: {name}\nseed: {}\nreplay: CHAOS_PROFILE={name} CHAOS_SEED={} cargo test --test chaos replay_from_env\nfault plan: {}\nanswered: {} (partial {}, complete {}), unanswered: {}\nviolations:\n{}\n\nper-violation EXPLAIN + profile + flight recorder:\n{}\n",
+            report.seed,
             report.seed,
             report.replay,
             report.answered,
@@ -89,6 +92,7 @@ fn streamed(seed: u64) -> ChaosSpec {
         jitter_us: 50_000,
         churn_crashes: 0,
         stream_batch_rows: Some(2),
+        profile: "streamed",
         ..ChaosSpec::default()
     }
 }
@@ -108,6 +112,7 @@ fn hierarchical(seed: u64) -> ChaosSpec {
         jitter_us: 10_000,
         churn_crashes: 1,
         super_churn_crashes: 1,
+        profile: "hierarchical",
         ..ChaosSpec::default()
     }
 }
@@ -147,6 +152,7 @@ fn streamed_profile_survives_reorder_and_duplication() {
             "streamed-baseline",
             ChaosSpec {
                 stream_batch_rows: None,
+                profile: "streamed-baseline",
                 ..streamed(seed)
             },
         );
@@ -185,6 +191,7 @@ fn streamed_heavy_profile_holds_across_seed_matrix() {
     for seed in SEEDS {
         let report = run_chaos(&ChaosSpec {
             stream_batch_rows: Some(2),
+            profile: "streamed-heavy",
             ..heavy(seed)
         });
         assert!(
@@ -214,6 +221,46 @@ fn streamed_heavy_profile_holds_across_seed_matrix() {
 /// `crates/model/traces/stream_dup_reorder_seed2.trace`, replayed
 /// step-by-step against the real peer logic by `sqpeer-model`'s
 /// conformance suite.
+/// One-command replay: a violation artifact names its profile and seed,
+/// and `CHAOS_PROFILE=heavy CHAOS_SEED=13 cargo test --test chaos
+/// replay_from_env` re-runs exactly that schedule with full artifact
+/// capture (EXPLAIN, profile JSON, flight-recorder dump). A no-op when
+/// the variables are unset, so the matrix stays green in normal runs.
+#[test]
+fn replay_from_env() {
+    let (Ok(profile), Ok(seed)) = (std::env::var("CHAOS_PROFILE"), std::env::var("CHAOS_SEED"))
+    else {
+        return;
+    };
+    let seed: u64 = seed.parse().expect("CHAOS_SEED must be an integer");
+    let spec = match profile.as_str() {
+        "default" => ChaosSpec {
+            seed,
+            ..ChaosSpec::default()
+        },
+        "light" => light(seed),
+        "heavy" => heavy(seed),
+        "streamed" => streamed(seed),
+        "streamed-baseline" => ChaosSpec {
+            stream_batch_rows: None,
+            profile: "streamed-baseline",
+            ..streamed(seed)
+        },
+        "streamed-heavy" => ChaosSpec {
+            stream_batch_rows: Some(2),
+            profile: "streamed-heavy",
+            ..heavy(seed)
+        },
+        "hierarchical" => hierarchical(seed),
+        other => panic!("unknown CHAOS_PROFILE '{other}'"),
+    };
+    let report = run_profile(&profile, spec);
+    println!(
+        "replayed {profile} seed {seed}: answered {} (partial {}, complete {}), unanswered {}",
+        report.answered, report.partial, report.complete, report.unanswered
+    );
+}
+
 #[test]
 fn regression_streamed_dup_reorder_seed2() {
     let report = run_chaos(&streamed(2));

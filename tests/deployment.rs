@@ -361,6 +361,77 @@ fn streaming_matches_monolithic_and_respects_credit_window() {
     );
 }
 
+/// The observability plane on the real-clock transport: every member's
+/// pattern-stats entry fills its `ttfr_us` histogram with the wall-clock
+/// time-to-first-row the streamed outcome measured — one observation per
+/// posed query, sums matching the outcomes exactly.
+#[test]
+fn loopback_pattern_stats_record_real_clock_ttfr() {
+    use sqpeer_exec::ObsConfig;
+
+    let mut schemas = SchemaRegistry::new();
+    schemas.register(fig1_schema());
+    let mut net: LoopbackNet<PeerNode> = LoopbackNet::new(schemas);
+    let obs_spec = GroupSpec {
+        config: PeerConfig {
+            stream_batch_rows: Some(2),
+            obs: Some(ObsConfig::default()),
+            ..PeerConfig::default()
+        },
+        ..spec()
+    };
+    let mut group = assemble(&mut net, obs_spec, 200_000);
+    let query = group
+        .compile(fig1_query_text())
+        .expect("fixture query compiles");
+    let text = query.to_string();
+    let posed: Vec<(PeerId, QueryId)> = group
+        .peers
+        .clone()
+        .into_iter()
+        .map(|at| (at, pose(&mut net, &mut group, at, query.clone())))
+        .collect();
+    let mut measured = 0usize;
+    for (at, qid) in &posed {
+        assert!(
+            await_outcome(&mut net, *at, *qid, 10_000, 20_000_000),
+            "query {qid} at {at:?} did not complete in budget"
+        );
+        let (ttfr_us, latency_us) = {
+            let o = outcome(&net, *at, *qid).expect("just awaited");
+            (o.ttfr_us, o.latency_us)
+        };
+        let entry = net
+            .node(node_of(*at))
+            .and_then(PeerNode::obs)
+            .expect("plane is on")
+            .patterns
+            .get(&text)
+            .expect("finalize recorded the pattern");
+        assert_eq!(entry.latency_us.count(), 1, "one finalize at {at:?}");
+        assert_eq!(entry.latency_us.sum(), latency_us);
+        match ttfr_us {
+            Some(ttfr) => {
+                assert_eq!(entry.ttfr_us.count(), 1, "ttfr observed at {at:?}");
+                assert_eq!(
+                    entry.ttfr_us.sum(),
+                    ttfr,
+                    "histogram sum must match the outcome's measured ttfr"
+                );
+                assert!(ttfr <= latency_us, "first rows precede completion");
+                measured += 1;
+            }
+            None => assert_eq!(entry.ttfr_us.count(), 0),
+        }
+    }
+    assert!(
+        measured > 0,
+        "no member measured a time-to-first-row — the histogram path \
+         was never exercised"
+    );
+    assert_eq!(net.decode_failures(), 0);
+}
+
 /// Gateway isolation: two tenants, two hosts, and the token alone
 /// decides whose data a query can see. Tenant A's token can never reach
 /// tenant B's triples, an unknown token reaches nothing, and a
